@@ -1,0 +1,164 @@
+// Package atlas is the public API of the Atlas reproduction: an online
+// network-slicing system that automates service configuration with
+// three interrelated learning stages (CoNEXT '22, Liu, Choi & Han,
+// "Atlas: Automate Online Service Configuration in Network Slicing").
+//
+//   - Stage 1 — learning-based simulator: Bayesian optimization with a
+//     Bayesian neural network and parallel Thompson sampling searches the
+//     simulator's parameters to minimize the KL divergence against real
+//     measurements (Calibrator).
+//   - Stage 2 — offline training: a Lagrangian adaptive penalty turns
+//     the QoE-constrained minimum-usage problem into an unconstrained
+//     one, optimized in the calibrated simulator (OfflineTrainer).
+//   - Stage 3 — online learning: a Gaussian process learns only the
+//     sim-to-real QoE residual while clipped randomized GP-UCB keeps
+//     exploration conservative (OnlineLearner).
+//
+// The package also bundles the substrates the system runs on: a
+// discrete-event LTE/backhaul/edge simulator (NewSimulator) and a
+// real-network surrogate standing in for the paper's OAI/USRP testbed
+// (NewRealNetwork).
+//
+// The smallest complete loop:
+//
+//	real := atlas.NewRealNetwork()
+//	sim := atlas.NewSimulator()
+//
+//	// Stage 1: calibrate the simulator against real measurements.
+//	dr := real.Collect(atlas.FullConfig(), 1, 3, 1)
+//	cal := atlas.NewCalibrator(sim, dr, atlas.DefaultCalibratorOptions())
+//	calib := cal.Run(rand.New(rand.NewSource(2)))
+//	aug := sim.WithParams(calib.BestParams)
+//
+//	// Stage 2: train the configuration policy offline.
+//	off := atlas.NewOfflineTrainer(aug, atlas.DefaultOfflineOptions()).
+//		Run(rand.New(rand.NewSource(3)))
+//
+//	// Stage 3: adapt safely online.
+//	learner := atlas.NewOnlineLearner(off.Policy, aug,
+//		atlas.DefaultOnlineOptions(), rand.New(rand.NewSource(4)))
+//	for it := 0; it < 100; it++ {
+//		cfg := learner.Next(it, rng)
+//		trace := real.Episode(cfg, 1, rng.Int63())
+//		learner.Observe(it, cfg, atlas.DefaultConfigSpace().Usage(cfg),
+//			trace.QoE(atlas.DefaultSLA()))
+//	}
+package atlas
+
+import (
+	"github.com/atlas-slicing/atlas/internal/baselines"
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// Domain vocabulary (see internal/slicing).
+type (
+	// Config is a slice service configuration (paper Table 2).
+	Config = slicing.Config
+	// ConfigSpace is the box of valid configurations with usage
+	// accounting.
+	ConfigSpace = slicing.ConfigSpace
+	// SimParams are the searchable simulation parameters (Table 3).
+	SimParams = slicing.SimParams
+	// ParamSpace is the stage-1 search box with its trust region.
+	ParamSpace = slicing.ParamSpace
+	// SLA is a slice tenant's service-level agreement (threshold Y,
+	// availability E).
+	SLA = slicing.SLA
+	// Trace is one configuration interval's observed outcome.
+	Trace = slicing.Trace
+	// Env is a queryable network environment.
+	Env = slicing.Env
+	// OnlinePolicy is a configuration-selection strategy for live
+	// networks.
+	OnlinePolicy = slicing.OnlinePolicy
+	// Regret accumulates the paper's online regret metrics.
+	Regret = slicing.Regret
+)
+
+// The three stages (see internal/core).
+type (
+	// Calibrator is stage 1 (Algorithm 1).
+	Calibrator = core.Calibrator
+	// CalibratorOptions configures stage 1.
+	CalibratorOptions = core.CalibratorOptions
+	// CalibrationResult is stage 1's outcome.
+	CalibrationResult = core.CalibrationResult
+	// OfflineTrainer is stage 2 (Algorithm 2).
+	OfflineTrainer = core.OfflineTrainer
+	// OfflineOptions configures stage 2.
+	OfflineOptions = core.OfflineOptions
+	// OfflineResult is stage 2's outcome.
+	OfflineResult = core.OfflineResult
+	// Policy is the offline-trained configuration policy.
+	Policy = core.Policy
+	// OnlineLearner is stage 3 (Algorithm 3).
+	OnlineLearner = core.OnlineLearner
+	// OnlineOptions configures stage 3.
+	OnlineOptions = core.OnlineOptions
+	// System is the slice-lifecycle orchestrator (§10: admission,
+	// removal, infrastructure changes, per-interval stepping).
+	System = core.System
+	// SliceInstance is one tenant's runtime state inside a System.
+	SliceInstance = core.SliceInstance
+)
+
+// Substrates.
+type (
+	// Simulator is the discrete-event network simulator (the NS-3
+	// analogue).
+	Simulator = simnet.Simulator
+	// RealNetwork is the real-network surrogate (the testbed
+	// analogue).
+	RealNetwork = realnet.Network
+	// Oracle is the evaluation-only optimal policy reference.
+	Oracle = baselines.Oracle
+	// RunResult is one online-learning trajectory.
+	RunResult = baselines.RunResult
+)
+
+// Constructors and defaults, re-exported for a one-import experience.
+var (
+	// NewSimulator returns the uncalibrated simulator.
+	NewSimulator = simnet.NewDefault
+	// NewSimulatorWith returns a simulator with explicit parameters.
+	NewSimulatorWith = simnet.New
+	// NewRealNetwork returns the real-network surrogate at 1 m.
+	NewRealNetwork = realnet.New
+	// NewRealNetworkAtDistance places the user at a distance in
+	// metres.
+	NewRealNetworkAtDistance = realnet.NewAtDistance
+
+	// NewCalibrator builds stage 1.
+	NewCalibrator = core.NewCalibrator
+	// DefaultCalibratorOptions returns stage-1 defaults.
+	DefaultCalibratorOptions = core.DefaultCalibratorOptions
+	// NewOfflineTrainer builds stage 2.
+	NewOfflineTrainer = core.NewOfflineTrainer
+	// DefaultOfflineOptions returns stage-2 defaults.
+	DefaultOfflineOptions = core.DefaultOfflineOptions
+	// NewOnlineLearner builds stage 3.
+	NewOnlineLearner = core.NewOnlineLearner
+	// DefaultOnlineOptions returns stage-3 defaults.
+	DefaultOnlineOptions = core.DefaultOnlineOptions
+	// NewSystem builds the multi-slice lifecycle orchestrator.
+	NewSystem = core.NewSystem
+
+	// DefaultConfigSpace returns the Table 2 configuration space.
+	DefaultConfigSpace = slicing.DefaultConfigSpace
+	// DefaultParamSpace returns the Table 3 search space.
+	DefaultParamSpace = slicing.DefaultParamSpace
+	// DefaultSimParams returns the original simulator parameters.
+	DefaultSimParams = slicing.DefaultSimParams
+	// DefaultSLA returns the evaluation SLA (Y=300 ms, E=0.9).
+	DefaultSLA = slicing.DefaultSLA
+	// FullConfig returns the all-resources measurement configuration.
+	FullConfig = core.FullConfig
+
+	// FindOracle locates the optimal policy for regret accounting.
+	FindOracle = baselines.FindOracle
+	// RunOnline drives any OnlinePolicy against an environment.
+	RunOnline = baselines.RunOnline
+)

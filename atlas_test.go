@@ -1,0 +1,74 @@
+package atlas_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/atlas-slicing/atlas"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the public
+// package on tiny budgets: calibrate, train offline, adapt online. It is
+// the integration test a downstream user's first program corresponds to.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	real := atlas.NewRealNetwork()
+	sim := atlas.NewSimulator()
+	space := atlas.DefaultConfigSpace()
+	sla := atlas.DefaultSLA()
+
+	// Stage 1.
+	dr := real.Collect(atlas.FullConfig(), 1, 1, 1)
+	if len(dr) == 0 {
+		t.Fatal("empty online collection")
+	}
+	copts := atlas.DefaultCalibratorOptions()
+	copts.Iters, copts.Explore, copts.Batch, copts.Pool = 20, 6, 2, 150
+	cal := atlas.NewCalibrator(sim, dr, copts)
+	before := cal.Discrepancy(atlas.DefaultSimParams())
+	calib := cal.Run(rand.New(rand.NewSource(2)))
+	if calib.BestKL >= before {
+		t.Fatalf("calibration regressed: %v -> %v", before, calib.BestKL)
+	}
+	aug := sim.WithParams(calib.BestParams)
+
+	// Stage 2.
+	oopts := atlas.DefaultOfflineOptions()
+	oopts.Iters, oopts.Explore, oopts.Batch, oopts.Pool = 30, 10, 2, 150
+	offline := atlas.NewOfflineTrainer(aug, oopts).Run(rand.New(rand.NewSource(3)))
+	if offline.BestQoE < sla.Availability {
+		t.Fatalf("offline optimum infeasible: %v", offline.BestQoE)
+	}
+
+	// Stage 3 through the generic runner.
+	lopts := atlas.DefaultOnlineOptions()
+	lopts.Pool, lopts.N = 150, 4
+	learner := atlas.NewOnlineLearner(offline.Policy, aug, lopts, rand.New(rand.NewSource(4)))
+	oracle := atlas.FindOracle(real, space, sla, 1, 60, 1, 5)
+	run := atlas.RunOnline(learner, real, space, sla, 1, 6, oracle, 6)
+	if len(run.QoEs) != 6 {
+		t.Fatalf("online run logged %d intervals", len(run.QoEs))
+	}
+	if run.Regret.N != 6 {
+		t.Fatal("regret not accumulated")
+	}
+}
+
+// TestTypeAliasesInteroperate verifies that public aliases and internal
+// types are the same types (zero-cost API surface).
+func TestTypeAliasesInteroperate(t *testing.T) {
+	var cfg atlas.Config
+	cfg.BandwidthUL = 10
+	space := atlas.DefaultConfigSpace()
+	if u := space.Usage(cfg); u <= 0 {
+		t.Fatalf("usage through aliases = %v", u)
+	}
+	sim := atlas.NewSimulator()
+	tr := sim.Episode(atlas.FullConfig(), 1, 7)
+	if tr.Frames == 0 {
+		t.Fatal("no frames through alias path")
+	}
+	var env atlas.Env = atlas.NewRealNetwork()
+	if env == nil {
+		t.Fatal("real network does not satisfy Env")
+	}
+}

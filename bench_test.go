@@ -1,0 +1,240 @@
+package atlas_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation as a testing.B benchmark (quick budgets, so
+// `go test -bench=. -benchmem` completes on a laptop), plus
+// micro-benchmarks of the substrates the pipeline spends its time in:
+// simulator episodes, KL estimation, BNN training/inference, GP
+// fitting, and Thompson-sampling selection.
+//
+// For a full-fidelity reproduction log use the CLI instead:
+//
+//	go run ./cmd/atlas-bench -run all          # default budgets
+//	go run ./cmd/atlas-bench -run all -paper   # paper-scale budgets
+
+import (
+	"io"
+	"testing"
+
+	"github.com/atlas-slicing/atlas"
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/experiments"
+	"github.com/atlas-slicing/atlas/internal/gp"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+// benchExperiment runs one registered paper artifact per iteration on
+// the quick budget, sharing a lab across iterations so the incremental
+// cost (not the one-time pipeline training) is measured after the first
+// iteration for fixture-reusing experiments.
+func benchExperiment(b *testing.B, id string) {
+	f, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	budget := experiments.QuickBudget()
+	lab := experiments.NewLab(42, budget)
+	params := experiments.Params{Seed: 42, Budget: budget, Lab: lab}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f(params)
+		res.Print(io.Discard)
+	}
+}
+
+// One benchmark per paper table.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// One benchmark per paper figure.
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B) { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B) { benchExperiment(b, "fig24") }
+func BenchmarkFig25(b *testing.B) { benchExperiment(b, "fig25") }
+func BenchmarkFig26(b *testing.B) { benchExperiment(b, "fig26") }
+
+// ---- substrate micro-benchmarks ------------------------------------
+
+// BenchmarkSimEpisode measures one 60-second configuration interval in
+// the discrete-event simulator (the unit every stage queries).
+func BenchmarkSimEpisode(b *testing.B) {
+	sim := atlas.NewSimulator()
+	cfg := atlas.FullConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Episode(cfg, 2, int64(i))
+	}
+}
+
+// BenchmarkRealEpisode measures the real-network surrogate (fading,
+// bursts and jitter enabled).
+func BenchmarkRealEpisode(b *testing.B) {
+	real := atlas.NewRealNetwork()
+	cfg := atlas.FullConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		real.Episode(cfg, 2, int64(i))
+	}
+}
+
+// BenchmarkKLDivergence measures the discrepancy estimator on
+// episode-sized samples.
+func BenchmarkKLDivergence(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	mk := func(shift float64) []float64 {
+		out := make([]float64, 500)
+		for i := range out {
+			out[i] = 150 + shift + 40*rng.NormFloat64()
+		}
+		return out
+	}
+	real, sim := mk(30), mk(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.KLDivergence(real, sim)
+	}
+}
+
+// BenchmarkBNNFit measures one warm-start training pass over a
+// stage-2-sized collection.
+func BenchmarkBNNFit(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	model := bnn.New(8, bnn.DefaultOptions(), mathx.NewRNG(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+0.5*x[3])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Fit(xs, ys, 1, 128)
+	}
+}
+
+// BenchmarkBNNThompsonDraw measures one function draw evaluated over a
+// 2000-candidate pool (the PTS selection primitive).
+func BenchmarkBNNThompsonDraw(b *testing.B) {
+	rng := mathx.NewRNG(4)
+	model := bnn.New(8, bnn.DefaultOptions(), mathx.NewRNG(5))
+	xs := make([][]float64, 64)
+	ys := make([]float64, 64)
+	for i := range xs {
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = x[0]
+	}
+	model.Fit(xs, ys, 5, 32)
+	pool := make([][]float64, 2000)
+	for i := range pool {
+		x := make([]float64, 8)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		pool[i] = x
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		draw := model.Draw(rng)
+		for _, x := range pool {
+			model.Eval(draw, x)
+		}
+	}
+}
+
+// BenchmarkGPFit measures conditioning on an online-stage-sized (100
+// point) collection, including the hyperparameter grid search.
+func BenchmarkGPFit(b *testing.B) {
+	rng := mathx.NewRNG(6)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]-x[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gp.NewRegressor()
+		if err := g.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPPredict measures posterior evaluation against 100 stored
+// points.
+func BenchmarkGPPredict(b *testing.B) {
+	rng := mathx.NewRNG(7)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]-x[1])
+	}
+	g := gp.NewRegressor()
+	if err := g.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Predict(q)
+	}
+}
+
+// BenchmarkCRGPUCBBeta measures the clipped randomized beta draw.
+func BenchmarkCRGPUCBBeta(b *testing.B) {
+	s := bo.CRGPUCBSchedule{Rho: 0.1, B: 10}
+	rng := mathx.NewRNG(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Beta(i%100+1, rng)
+	}
+}
+
+// BenchmarkOracleSearch measures the regret-anchor search at test
+// budget.
+func BenchmarkOracleSearch(b *testing.B) {
+	real := atlas.NewRealNetwork()
+	space := atlas.DefaultConfigSpace()
+	sla := atlas.DefaultSLA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atlas.FindOracle(real, space, sla, 1, 40, 1, int64(i))
+	}
+}

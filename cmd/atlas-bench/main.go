@@ -1,0 +1,74 @@
+// Command atlas-bench regenerates the paper's evaluation artifacts.
+//
+// Each table and figure of the paper is a registered experiment; run one
+// by id or the whole suite:
+//
+//	atlas-bench -run table1
+//	atlas-bench -run fig8,fig13
+//	atlas-bench -run all
+//	atlas-bench -run all -paper   # paper-scale budgets (hours)
+//	atlas-bench -list
+//
+// Results print as aligned text tables with paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id(s), comma-separated, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		seed  = flag.Int64("seed", 42, "master seed")
+		paper = flag.Bool("paper", false, "paper-scale budgets (500/1000/100 iterations)")
+		quick = flag.Bool("quick", false, "tiny budgets (smoke testing)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.SortedIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	budget := experiments.DefaultBudget()
+	if *paper {
+		budget = experiments.PaperBudget()
+	}
+	if *quick {
+		budget = experiments.QuickBudget()
+	}
+
+	ids := strings.Split(*run, ",")
+	if strings.EqualFold(*run, "all") {
+		ids = experiments.SortedIDs()
+	}
+
+	lab := experiments.NewLab(*seed, budget)
+	params := experiments.Params{Seed: *seed, Budget: budget, Lab: lab}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(strings.ToLower(id))
+		f, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "atlas-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := f(params)
+		res.AddNote("wall time %.1fs", time.Since(start).Seconds())
+		res.Print(os.Stdout)
+	}
+}

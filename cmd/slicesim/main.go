@@ -1,0 +1,107 @@
+// Command slicesim runs the network simulator (or the real-network
+// surrogate) standalone for one configuration interval and prints the
+// trace: latency statistics, component breakdown, and link-layer
+// metrics. It is the debugging companion of the simulator substrate.
+//
+//	slicesim -env sim -traffic 2 -ul 20 -dl 10 -backhaul 25 -cpu 0.6
+//	slicesim -env real -measure
+//	slicesim -env sim -trace frames.csv   # per-frame tracer output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+func main() {
+	var (
+		env      = flag.String("env", "sim", "environment: sim | real")
+		traffic  = flag.Int("traffic", 1, "concurrent on-the-fly frames")
+		seed     = flag.Int64("seed", 1, "episode seed")
+		distance = flag.Float64("distance", 1, "user-eNB distance in metres (real env)")
+		measure  = flag.Bool("measure", false, "run the Table-1 link-layer measurement instead of an episode")
+
+		ul       = flag.Float64("ul", 50, "uplink PRBs")
+		dl       = flag.Float64("dl", 50, "downlink PRBs")
+		mcsUL    = flag.Float64("mcs-ul", 0, "uplink MCS offset")
+		mcsDL    = flag.Float64("mcs-dl", 0, "downlink MCS offset")
+		backhaul = flag.Float64("backhaul", 100, "backhaul bandwidth (Mbps)")
+		cpu      = flag.Float64("cpu", 1, "edge CPU ratio")
+		y        = flag.Float64("threshold", 300, "latency threshold Y (ms) for QoE")
+		trace    = flag.String("trace", "", "write per-frame tracer records as CSV to this file (sim env only)")
+	)
+	flag.Parse()
+
+	cfg := slicing.Config{
+		BandwidthUL: *ul, BandwidthDL: *dl,
+		MCSOffsetUL: *mcsUL, MCSOffsetDL: *mcsDL,
+		BackhaulMbps: *backhaul, CPURatio: *cpu,
+	}
+
+	var network slicing.Env
+	var measurer interface {
+		Measure(slicing.Config, int64) slicing.Trace
+	}
+	var tracer *simnet.Simulator
+	switch *env {
+	case "sim":
+		s := simnet.NewDefault()
+		network, measurer, tracer = s, s, s
+	case "real":
+		n := realnet.NewAtDistance(*distance)
+		network, measurer = n, n
+	default:
+		fmt.Fprintf(os.Stderr, "slicesim: unknown env %q\n", *env)
+		os.Exit(2)
+	}
+
+	if *trace != "" {
+		if tracer == nil {
+			fmt.Fprintln(os.Stderr, "slicesim: -trace requires -env sim (the real network exposes no tracer)")
+			os.Exit(2)
+		}
+		_, recs := tracer.EpisodeRecords(cfg, *traffic, *seed)
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slicesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := simnet.WriteFrameCSV(f, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "slicesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d frame records to %s\n", len(recs), *trace)
+		return
+	}
+
+	if *measure {
+		m := measurer.Measure(cfg, *seed)
+		fmt.Printf("ping        %.1f ms\n", m.PingMs)
+		fmt.Printf("UL tput     %.2f Mbps\n", m.ULThroughputMbps)
+		fmt.Printf("DL tput     %.2f Mbps\n", m.DLThroughputMbps)
+		fmt.Printf("UL PER      %.2e\n", m.ULPER)
+		fmt.Printf("DL PER      %.2e\n", m.DLPER)
+		return
+	}
+
+	tr := network.Episode(cfg, *traffic, *seed)
+	sla := slicing.SLA{ThresholdMs: *y, Availability: 0.9}
+	s := stats.Summarize(tr.LatenciesMs)
+	fmt.Printf("config      %v\n", cfg)
+	fmt.Printf("usage       %.1f%%\n", 100*slicing.DefaultConfigSpace().Usage(cfg))
+	fmt.Printf("frames      %d\n", tr.Frames)
+	fmt.Printf("latency     mean %.1f ms, std %.1f, p50 %.1f, p95 %.1f, p99 %.1f\n",
+		s.Mean, s.Std,
+		stats.Quantile(tr.LatenciesMs, 0.5), stats.Quantile(tr.LatenciesMs, 0.95), stats.Quantile(tr.LatenciesMs, 0.99))
+	fmt.Printf("QoE(Y=%.0f)  %.3f\n", *y, tr.QoE(sla))
+	fmt.Printf("breakdown   loading %.1f | UL %.1f | backhaul %.1f | queue %.1f | compute %.1f | DL %.1f ms\n",
+		tr.MeanLoadingMs, tr.MeanULMs, tr.MeanBackhaulMs, tr.MeanQueueMs, tr.MeanComputeMs, tr.MeanDLMs)
+	fmt.Printf("PER         UL %.2e, DL %.2e\n", tr.ULPER, tr.DLPER)
+}

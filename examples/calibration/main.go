@@ -1,0 +1,60 @@
+// Calibration explores stage 1 in depth: it compares the BNN+PTS
+// searcher against a GP-based one, sweeps the discrepancy/parameter-
+// distance tradeoff via the weight alpha (the paper's Fig. 12 Pareto
+// boundary), and shows how parallel Thompson sampling accelerates the
+// search (Fig. 13).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas"
+)
+
+func main() {
+	real := atlas.NewRealNetwork()
+	sim := atlas.NewSimulator()
+	dr := real.Collect(atlas.FullConfig(), 1, 3, 21)
+
+	base := atlas.DefaultCalibratorOptions()
+	base.Iters, base.Explore = 80, 20
+
+	// Surrogate comparison: BNN+PTS (ours) vs GP+EI.
+	fmt.Println("-- surrogate comparison --")
+	for _, useGP := range []bool{false, true} {
+		opts := base
+		opts.UseGP = useGP
+		cal := atlas.NewCalibrator(sim, dr, opts)
+		res := cal.Run(rand.New(rand.NewSource(22)))
+		name := "BNN+PTS (ours)"
+		if useGP {
+			name = "GP+EI"
+		}
+		fmt.Printf("%-16s discrepancy %.3f, distance %.3f, params %v\n",
+			name, res.BestKL, res.BestDistance, res.BestParams)
+	}
+
+	// Pareto sweep over alpha.
+	fmt.Println("\n-- alpha sweep (Pareto of discrepancy vs parameter distance) --")
+	for _, alpha := range []float64{0.25, 1, 4} {
+		opts := base
+		opts.Alpha = alpha
+		opts.Iters = 60
+		cal := atlas.NewCalibrator(sim, dr, opts)
+		res := cal.Run(rand.New(rand.NewSource(23)))
+		fmt.Printf("alpha=%-5.2f discrepancy %.3f, distance %.3f\n",
+			alpha, res.BestKL, res.BestDistance)
+	}
+
+	// Parallel queries.
+	fmt.Println("\n-- parallel Thompson sampling --")
+	for _, par := range []int{1, 4, 16} {
+		opts := base
+		opts.Iters, opts.Batch = 50, par
+		cal := atlas.NewCalibrator(sim, dr, opts)
+		res := cal.Run(rand.New(rand.NewSource(24)))
+		fmt.Printf("parallel=%-3d best weighted discrepancy %.3f after %d queries\n",
+			par, res.BestWeighted, len(res.History.Ys))
+	}
+}

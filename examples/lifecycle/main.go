@@ -1,0 +1,85 @@
+// Lifecycle demonstrates the full operator workflow through the
+// System orchestrator (paper §10): calibrate the shared simulator once,
+// admit slices with heterogeneous SLAs, step them through configuration
+// intervals (each action flows through the four domain managers), handle
+// an infrastructure change with warm-started re-calibration and policy
+// fine-tuning, and finally remove a tenant.
+package main
+
+import (
+	"fmt"
+
+	"github.com/atlas-slicing/atlas"
+)
+
+func main() {
+	sys := atlas.NewSystem(atlas.NewRealNetwork(), atlas.NewSimulator(), 99)
+	// Small budgets so the example completes in about a minute.
+	sys.CalOpts.Iters, sys.CalOpts.Explore = 60, 15
+	sys.OffOpts.Iters, sys.OffOpts.Explore = 80, 20
+	sys.OnOpts.Pool = 600
+
+	cal, err := sys.Calibrate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shared calibration: discrepancy %.3f at parameter distance %.3f\n",
+		cal.BestKL, cal.BestDistance)
+
+	if _, err := sys.AdmitSlice("ar-headset", atlas.SLA{ThresholdMs: 300, Availability: 0.9}, 1); err != nil {
+		panic(err)
+	}
+	if _, err := sys.AdmitSlice("telemetry", atlas.SLA{ThresholdMs: 500, Availability: 0.9}, 3); err != nil {
+		panic(err)
+	}
+	fmt.Printf("admitted slices: %v\n", sys.Slices())
+
+	for i := 0; i < 10; i++ {
+		if err := sys.StepAll(); err != nil {
+			panic(err)
+		}
+	}
+	report(sys, "after 10 intervals")
+
+	// The operator upgrades the backhaul: lower switch latency.
+	fmt.Println("\n-- infrastructure change: faster backhaul --")
+	sys.Sim.Profile.BackhaulDelayMs = 1.0
+	if err := sys.InfrastructureChanged(40); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.StepAll(); err != nil {
+			panic(err)
+		}
+	}
+	report(sys, "after re-calibration + 10 more intervals")
+
+	if err := sys.RemoveSlice("telemetry"); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nremaining slices: %v\n", sys.Slices())
+
+	inst, _ := sys.Slice("ar-headset")
+	acts := inst.Domains.Audit()
+	fmt.Printf("ar-headset domain actions recorded: %d (last: %s)\n",
+		len(acts), acts[len(acts)-1].Detail)
+}
+
+func report(sys *atlas.System, label string) {
+	fmt.Printf("%s:\n", label)
+	for _, id := range sys.Slices() {
+		inst, _ := sys.Slice(id)
+		n := len(inst.QoEs)
+		tail := 5
+		if tail > n {
+			tail = n
+		}
+		var usage, qoe float64
+		for i := n - tail; i < n; i++ {
+			usage += inst.Usages[i]
+			qoe += inst.QoEs[i]
+		}
+		fmt.Printf("  %-12s usage %.1f%%  QoE %.3f (target %.1f)\n",
+			id, 100*usage/float64(tail), qoe/float64(tail), inst.SLA.Availability)
+	}
+}

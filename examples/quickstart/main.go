@@ -1,0 +1,67 @@
+// Quickstart runs the whole Atlas loop end to end on small budgets:
+// calibrate the simulator against real measurements (stage 1), train
+// the configuration policy offline (stage 2), then learn safely online
+// (stage 3). It finishes in about a minute on one core.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas"
+)
+
+func main() {
+	real := atlas.NewRealNetwork()
+	sim := atlas.NewSimulator()
+	space := atlas.DefaultConfigSpace()
+	sla := atlas.DefaultSLA()
+
+	// ---- Stage 1: learning-based simulator -------------------------
+	// The operator logs slice latencies from the incumbent deployment;
+	// that online collection D_r anchors the parameter search.
+	dr := real.Collect(atlas.FullConfig(), 1, 3, 11)
+
+	copts := atlas.DefaultCalibratorOptions()
+	copts.Iters, copts.Explore = 80, 20
+	cal := atlas.NewCalibrator(sim, dr, copts)
+	before := cal.Discrepancy(atlas.DefaultSimParams())
+	calib := cal.Run(rand.New(rand.NewSource(12)))
+	fmt.Printf("stage 1: discrepancy %.3f -> %.3f (param distance %.3f)\n",
+		before, calib.BestKL, calib.BestDistance)
+
+	aug := sim.WithParams(calib.BestParams)
+
+	// ---- Stage 2: offline training ----------------------------------
+	oopts := atlas.DefaultOfflineOptions()
+	oopts.Iters, oopts.Explore = 120, 25
+	offline := atlas.NewOfflineTrainer(aug, oopts).Run(rand.New(rand.NewSource(13)))
+	fmt.Printf("stage 2: offline optimum %.1f%% usage at QoE %.3f\n",
+		100*offline.BestUsage, offline.BestQoE)
+	fmt.Printf("         config: %v\n", offline.BestConfig)
+
+	// ---- Stage 3: online learning -----------------------------------
+	lopts := atlas.DefaultOnlineOptions()
+	lopts.Pool = 800
+	learner := atlas.NewOnlineLearner(offline.Policy, aug, lopts, rand.New(rand.NewSource(14)))
+
+	rng := rand.New(rand.NewSource(15))
+	const intervals = 40
+	for it := 0; it < intervals; it++ {
+		cfg := learner.Next(it, rng)
+		trace := real.Episode(cfg, 1, rng.Int63())
+		usage, qoe := space.Usage(cfg), trace.QoE(sla)
+		learner.Observe(it, cfg, usage, qoe)
+		if it == 0 {
+			fmt.Printf("stage 3: first online action %.1f%% usage, QoE %.3f "+
+				"(the sim-to-real gap, before adaptation)\n", 100*usage, qoe)
+		}
+	}
+	last := learner.QoEs[len(learner.QoEs)-8:]
+	var q float64
+	for _, v := range last {
+		q += v
+	}
+	fmt.Printf("stage 3: after %d intervals QoE converges to %.3f (target %.1f)\n",
+		intervals, q/float64(len(last)), sla.Availability)
+}

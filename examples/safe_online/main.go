@@ -1,0 +1,68 @@
+// Safe_online contrasts exploration strategies during the online stage:
+// the paper's clipped randomized GP-UCB against classic EI and the
+// deterministic GP-UCB schedule. It reports each strategy's safety
+// footprint — how often the explored configurations violated the slice
+// SLA — mirroring the paper's Fig. 22.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas"
+	"github.com/atlas-slicing/atlas/internal/bo"
+)
+
+func main() {
+	real := atlas.NewRealNetwork()
+	sim := atlas.NewSimulator()
+	space := atlas.DefaultConfigSpace()
+	sla := atlas.DefaultSLA()
+
+	// Stages 1 and 2 once, shared by all variants.
+	dr := real.Collect(atlas.FullConfig(), 1, 3, 31)
+	copts := atlas.DefaultCalibratorOptions()
+	copts.Iters, copts.Explore = 80, 20
+	calib := atlas.NewCalibrator(sim, dr, copts).Run(rand.New(rand.NewSource(32)))
+	aug := sim.WithParams(calib.BestParams)
+
+	oopts := atlas.DefaultOfflineOptions()
+	oopts.Iters, oopts.Explore = 120, 25
+	offline := atlas.NewOfflineTrainer(aug, oopts).Run(rand.New(rand.NewSource(33)))
+	fmt.Printf("offline policy ready: %.1f%% usage at QoE %.3f in the simulator\n\n",
+		100*offline.BestUsage, offline.BestQoE)
+
+	oracle := atlas.FindOracle(real, space, sla, 1, 300, 2, 34)
+	fmt.Printf("oracle: %.1f%% usage at QoE %.3f\n\n", 100*oracle.Usage, oracle.QoE)
+
+	variants := []struct {
+		name   string
+		mutate func(*atlas.OnlineOptions)
+	}{
+		{"cRGP-UCB (ours)", nil},
+		{"GP-UCB", func(o *atlas.OnlineOptions) { o.Schedule = bo.GPUCBSchedule{Delta: 0.1} }},
+		{"EI", func(o *atlas.OnlineOptions) { o.Acq = bo.EI{} }},
+	}
+	const intervals = 40
+	for i, v := range variants {
+		opts := atlas.DefaultOnlineOptions()
+		opts.Pool = 800
+		if v.mutate != nil {
+			v.mutate(&opts)
+		}
+		learner := atlas.NewOnlineLearner(offline.Policy, aug, opts, rand.New(rand.NewSource(int64(40+i))))
+		run := atlas.RunOnline(learner, real, space, sla, 1, intervals, oracle, int64(50+i))
+
+		violations := 0
+		var usage float64
+		for j, q := range run.QoEs {
+			if q < sla.Availability {
+				violations++
+			}
+			usage += run.Usages[j]
+		}
+		fmt.Printf("%-16s violations %2d/%d, mean usage %.1f%%, usage regret %.2f%%, QoE regret %.3f\n",
+			v.name, violations, intervals, 100*usage/float64(intervals),
+			100*run.Regret.AvgUsageRegret(), run.Regret.AvgQoERegret())
+	}
+}

@@ -1,0 +1,162 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func testScenario() (slicing.ConfigSpace, slicing.SLA) {
+	return slicing.DefaultConfigSpace(), slicing.DefaultSLA()
+}
+
+func TestFindOracleFeasibleAndCheap(t *testing.T) {
+	env := realnet.New()
+	space, sla := testScenario()
+	o := FindOracle(env, space, sla, 1, 150, 2, 1)
+	if o.QoE < sla.Availability {
+		t.Fatalf("oracle QoE %v below requirement (validation failed)", o.QoE)
+	}
+	if o.Usage <= 0 || o.Usage > 1 {
+		t.Fatalf("oracle usage %v", o.Usage)
+	}
+	// Full resources are always feasible, so the oracle must not be the
+	// trivial fallback on a reasonable budget.
+	if o.Usage > 0.9 {
+		t.Fatalf("oracle fell back to full resources (%v)", o.Usage)
+	}
+}
+
+func TestFindOracleUnreachableSLAFallsBack(t *testing.T) {
+	env := realnet.New()
+	space := slicing.DefaultConfigSpace()
+	impossible := slicing.SLA{ThresholdMs: 1, Availability: 0.999}
+	o := FindOracle(env, space, impossible, 1, 30, 1, 2)
+	if o.Config != space.Max {
+		t.Fatalf("expected full-resource fallback, got %v", o.Config)
+	}
+}
+
+func TestRunOnlineAccounting(t *testing.T) {
+	env := simnet.NewDefault()
+	space, sla := testScenario()
+	oracle := Oracle{Usage: 0.2, QoE: 0.9}
+	fixed := &fixedPolicy{cfg: slicing.Config{BandwidthUL: 20, BandwidthDL: 10, BackhaulMbps: 30, CPURatio: 0.9}}
+	res := RunOnline(fixed, env, space, sla, 1, 10, oracle, 3)
+	if len(res.Usages) != 10 || len(res.QoEs) != 10 || len(res.Configs) != 10 {
+		t.Fatal("trajectory length wrong")
+	}
+	wantUsage := space.Usage(fixed.cfg)
+	for _, u := range res.Usages {
+		if u != wantUsage {
+			t.Fatalf("usage %v want %v", u, wantUsage)
+		}
+	}
+	if res.Regret.N != 10 {
+		t.Fatalf("regret N = %d", res.Regret.N)
+	}
+	wantReg := wantUsage - 0.2
+	if math.Abs(res.Regret.AvgUsageRegret()-wantReg) > 1e-12 {
+		t.Fatalf("usage regret %v want %v", res.Regret.AvgUsageRegret(), wantReg)
+	}
+}
+
+type fixedPolicy struct{ cfg slicing.Config }
+
+func (f *fixedPolicy) Name() string                                  { return "fixed" }
+func (f *fixedPolicy) Next(int, *rand.Rand) slicing.Config           { return f.cfg }
+func (f *fixedPolicy) Observe(int, slicing.Config, float64, float64) {}
+
+func TestMeanTail(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := MeanTail(xs, 2); got != 3.5 {
+		t.Fatalf("MeanTail = %v", got)
+	}
+	if got := MeanTail(xs, 10); got != 2.5 {
+		t.Fatalf("oversized window = %v", got)
+	}
+	if got := MeanTail(nil, 3); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestDirectBOImprovesObjective(t *testing.T) {
+	env := realnet.New()
+	space, sla := testScenario()
+	b := NewDirectBO(space, sla, 1)
+	b.Pool = 300
+	oracle := Oracle{Usage: 0.2, QoE: 0.9}
+	res := RunOnline(b, env, space, sla, 1, 20, oracle, 4)
+
+	obj := func(i int) float64 {
+		return res.Usages[i] + 2*math.Max(sla.Availability-res.QoEs[i], 0)
+	}
+	bestEarly, bestLate := math.Inf(1), math.Inf(1)
+	for i := 0; i < 5; i++ {
+		if v := obj(i); v < bestEarly {
+			bestEarly = v
+		}
+	}
+	for i := 0; i < len(res.Usages); i++ {
+		if v := obj(i); v < bestLate {
+			bestLate = v
+		}
+	}
+	if bestLate > bestEarly {
+		t.Fatalf("BO never improved over warmup: %v vs %v", bestLate, bestEarly)
+	}
+}
+
+func TestDLDAGridAndSelection(t *testing.T) {
+	space, sla := testScenario()
+	d := NewDLDA(space, sla, 1, mathx.NewRNG(5))
+	d.GridValues = []float64{0, 0.45, 0.9}
+	d.SelectionPool = 500
+	grid := d.GridConfigs()
+	if len(grid) != int(math.Pow(3, 6)) {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	d.TrainOffline(simnet.NewDefault(), 6)
+	cfg := d.Next(0, mathx.NewRNG(7))
+	if u := space.Usage(cfg); u <= 0 || u > 1 {
+		t.Fatalf("selected usage %v", u)
+	}
+	// Observing a violation and retraining must not crash and keeps the
+	// student usable.
+	d.Observe(0, cfg, space.Usage(cfg), 0.2)
+	_ = d.Next(1, mathx.NewRNG(8))
+}
+
+func TestDLDAUntrainedFallsBackToRandom(t *testing.T) {
+	space, sla := testScenario()
+	d := NewDLDA(space, sla, 1, mathx.NewRNG(9))
+	cfg := d.Next(0, mathx.NewRNG(10))
+	if cfg == (slicing.Config{}) {
+		t.Fatal("untrained DLDA returned zero config")
+	}
+}
+
+func TestVirtualEdgeAdapts(t *testing.T) {
+	env := realnet.New()
+	space, sla := testScenario()
+	v := NewVirtualEdge(space, sla, 1)
+	oracle := Oracle{Usage: 0.2, QoE: 0.9}
+	res := RunOnline(v, env, space, sla, 1, 15, oracle, 11)
+	if len(res.Usages) != 15 {
+		t.Fatal("trajectory length wrong")
+	}
+	// After warmup the moves must stay in the box.
+	for _, cfg := range res.Configs {
+		n := space.Normalize(cfg)
+		for _, x := range n {
+			if x < -1e-9 || x > 1+1e-9 {
+				t.Fatalf("config out of box: %v", cfg)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/gp"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// DirectBO is the paper's "Baseline": Bayesian optimization with a
+// Gaussian-process model and the expected-improvement acquisition,
+// learning directly in the real network with no offline stage. The
+// constrained problem is scalarized with a fixed penalty on QoE
+// shortfall, so the GP models a single objective
+// f(a) = F(a) + C·max(E − Q(a), 0).
+type DirectBO struct {
+	Space   slicing.ConfigSpace
+	SLA     slicing.SLA
+	Traffic int
+	// Penalty is the scalarization weight C.
+	Penalty float64
+	// Warmup is the number of initial random probes.
+	Warmup int
+	// Pool is the candidate pool per EI maximization.
+	Pool int
+
+	model *gp.Regressor
+	xs    [][]float64
+	ys    []float64
+	last  slicing.Config
+}
+
+// NewDirectBO returns the baseline with the evaluation's settings.
+func NewDirectBO(space slicing.ConfigSpace, sla slicing.SLA, traffic int) *DirectBO {
+	return &DirectBO{
+		Space: space, SLA: sla, Traffic: traffic,
+		Penalty: 2.0, Warmup: 5, Pool: 2000,
+		model: gp.NewRegressor(),
+	}
+}
+
+// Name implements slicing.OnlinePolicy.
+func (d *DirectBO) Name() string { return "Baseline" }
+
+func (d *DirectBO) encode(cfg slicing.Config) []float64 {
+	return core.EncodeInput(d.Space, d.Traffic, d.SLA, cfg)
+}
+
+// Next implements slicing.OnlinePolicy.
+func (d *DirectBO) Next(iter int, rng *rand.Rand) slicing.Config {
+	if iter < d.Warmup || !d.model.Fitted() {
+		d.last = d.Space.Sample(rng)
+		return d.last
+	}
+	best := math.Inf(1)
+	for _, y := range d.ys {
+		if y < best {
+			best = y
+		}
+	}
+	acq := bo.EI{}
+	var pick slicing.Config
+	bestScore := math.Inf(-1)
+	for i := 0; i < d.Pool; i++ {
+		cfg := d.Space.Sample(rng)
+		mean, std := d.model.Predict(d.encode(cfg))
+		if s := acq.Score(mean, std, best); s > bestScore {
+			pick, bestScore = cfg, s
+		}
+	}
+	d.last = pick
+	return pick
+}
+
+// Observe implements slicing.OnlinePolicy.
+func (d *DirectBO) Observe(_ int, cfg slicing.Config, usage, qoe float64) {
+	f := usage + d.Penalty*math.Max(d.SLA.Availability-qoe, 0)
+	d.xs = append(d.xs, d.encode(cfg))
+	d.ys = append(d.ys, f)
+	_ = d.model.Fit(d.xs, d.ys)
+}

@@ -1,0 +1,57 @@
+package baselines
+
+import (
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// RunResult is one method's online-learning trajectory on an
+// environment.
+type RunResult struct {
+	Name    string
+	Configs []slicing.Config
+	Usages  []float64
+	QoEs    []float64
+	Regret  slicing.Regret
+}
+
+// RunOnline drives an OnlinePolicy for iters configuration intervals on
+// env, measuring usage and QoE each interval and accumulating regret
+// against the oracle. The same seed reproduces the same run for any
+// deterministic policy.
+func RunOnline(policy slicing.OnlinePolicy, env slicing.Env, space slicing.ConfigSpace, sla slicing.SLA, traffic, iters int, oracle Oracle, seed int64) *RunResult {
+	rng := mathx.NewRNG(seed)
+	res := &RunResult{
+		Name:   policy.Name(),
+		Regret: slicing.Regret{OptUsage: oracle.Usage, OptQoE: oracle.QoE},
+	}
+	for it := 0; it < iters; it++ {
+		cfg := policy.Next(it, rng)
+		tr := env.Episode(cfg, traffic, rng.Int63())
+		usage := space.Usage(cfg)
+		qoe := tr.QoE(sla)
+		policy.Observe(it, cfg, usage, qoe)
+
+		res.Configs = append(res.Configs, cfg)
+		res.Usages = append(res.Usages, usage)
+		res.QoEs = append(res.QoEs, qoe)
+		res.Regret.Observe(usage, qoe)
+	}
+	return res
+}
+
+// MeanTail returns the mean of the last k values of xs (or of all of
+// them when fewer exist) — a convergence summary for trajectories.
+func MeanTail(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	var sum float64
+	for _, x := range xs[len(xs)-k:] {
+		sum += x
+	}
+	return sum / float64(k)
+}

@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/gp"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// VirtualEdge re-implements the multi-domain orchestration comparator
+// (Liu & Han, ICDCS'19) at the interface the paper uses it: a Gaussian
+// process learns the slice QoE function online, and a predictive
+// gradient-descent step updates the current configuration — shrinking
+// resources while the predicted QoE holds, growing them along the
+// predicted QoE gradient when it does not.
+type VirtualEdge struct {
+	Space   slicing.ConfigSpace
+	SLA     slicing.SLA
+	Traffic int
+	// Warmup random probes seed the GP.
+	Warmup int
+	// Step is the gradient step size in normalized configuration
+	// space.
+	Step float64
+	// Dither adds exploration noise to each move.
+	Dither float64
+
+	model   *gp.Regressor
+	xs      [][]float64
+	ys      []float64
+	current []float64 // normalized configuration
+}
+
+// NewVirtualEdge returns the comparator with evaluation settings.
+func NewVirtualEdge(space slicing.ConfigSpace, sla slicing.SLA, traffic int) *VirtualEdge {
+	return &VirtualEdge{
+		Space: space, SLA: sla, Traffic: traffic,
+		Warmup: 5, Step: 0.08, Dither: 0.02,
+		model: gp.NewRegressor(),
+	}
+}
+
+// Name implements slicing.OnlinePolicy.
+func (v *VirtualEdge) Name() string { return "VirtualEdge" }
+
+func (v *VirtualEdge) encode(u []float64) []float64 {
+	return core.EncodeInput(v.Space, v.Traffic, v.SLA, v.Space.Denormalize(u))
+}
+
+// predict returns the GP's QoE estimate at normalized point u.
+func (v *VirtualEdge) predict(u []float64) float64 {
+	mean, _ := v.model.Predict(v.encode(u))
+	return mathx.Clip(mean, 0, 1)
+}
+
+// gradient estimates ∂Q̂/∂u by central differences.
+func (v *VirtualEdge) gradient(u []float64) []float64 {
+	const h = 0.05
+	g := make([]float64, len(u))
+	for i := range u {
+		up := append([]float64(nil), u...)
+		dn := append([]float64(nil), u...)
+		up[i] = mathx.Clip(u[i]+h, 0, 1)
+		dn[i] = mathx.Clip(u[i]-h, 0, 1)
+		span := up[i] - dn[i]
+		if span == 0 {
+			continue
+		}
+		g[i] = (v.predict(up) - v.predict(dn)) / span
+	}
+	return g
+}
+
+// Next implements slicing.OnlinePolicy.
+func (v *VirtualEdge) Next(iter int, rng *rand.Rand) slicing.Config {
+	if iter < v.Warmup || !v.model.Fitted() {
+		cfg := v.Space.Sample(rng)
+		v.current = v.Space.Normalize(cfg)
+		return cfg
+	}
+	u := append([]float64(nil), v.current...)
+	if v.predict(u) >= v.SLA.Availability {
+		// Feasible: descend resource usage uniformly, but prefer the
+		// dimensions the QoE gradient says are least needed.
+		g := v.gradient(u)
+		for i := range u {
+			// Shrink more where QoE is insensitive (small gradient).
+			sensitivity := mathx.Clip(g[i]*4, 0, 1)
+			u[i] -= v.Step * (1 - sensitivity)
+		}
+	} else {
+		// Infeasible: climb the predicted QoE gradient.
+		g := v.gradient(u)
+		norm := 0.0
+		for _, x := range g {
+			norm += x * x
+		}
+		if norm > 0 {
+			scale := v.Step * 2 / mathx.Clip(math.Sqrt(norm), 1e-6, 1e9)
+			for i := range u {
+				u[i] += scale * g[i]
+			}
+		} else {
+			for i := range u {
+				u[i] += v.Step
+			}
+		}
+	}
+	for i := range u {
+		u[i] = mathx.Clip(u[i]+v.Dither*rng.NormFloat64(), 0, 1)
+	}
+	v.current = u
+	return v.Space.Denormalize(u)
+}
+
+// Observe implements slicing.OnlinePolicy.
+func (v *VirtualEdge) Observe(_ int, cfg slicing.Config, _ float64, qoe float64) {
+	v.xs = append(v.xs, core.EncodeInput(v.Space, v.Traffic, v.SLA, cfg))
+	v.ys = append(v.ys, qoe)
+	_ = v.model.Fit(v.xs, v.ys)
+}

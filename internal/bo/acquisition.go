@@ -1,0 +1,135 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// Acquisition scores a candidate for *minimization* problems given the
+// surrogate posterior at the point and the best (lowest) observed value
+// so far. Higher scores are better; the optimizer queries the
+// highest-scoring candidate.
+type Acquisition interface {
+	Score(mean, std, best float64) float64
+}
+
+// EI is the expected-improvement acquisition for minimization:
+// E[max(best − f(x), 0)].
+type EI struct {
+	// Xi is the optional improvement margin (0 = classic EI).
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (a EI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-a.Xi {
+			return best - a.Xi - mean
+		}
+		return 0
+	}
+	z := (best - a.Xi - mean) / std
+	return (best-a.Xi-mean)*mathx.NormalCDF(z) + std*mathx.NormalPDF(z)
+}
+
+// PI is the probability-of-improvement acquisition for minimization:
+// Pr(f(x) < best − ξ).
+type PI struct {
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (a PI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-a.Xi {
+			return 1
+		}
+		return 0
+	}
+	return mathx.NormalCDF((best - a.Xi - mean) / std)
+}
+
+// LCB is the lower-confidence-bound acquisition for minimization with a
+// fixed β: score = −(mean − √β·std). GP-UCB and the paper's cRGP-UCB
+// are LCB with iteration-dependent β schedules (see BetaSchedule).
+type LCB struct {
+	Beta float64
+}
+
+// Score implements Acquisition.
+func (a LCB) Score(mean, std, _ float64) float64 {
+	return -(mean - math.Sqrt(math.Max(a.Beta, 0))*std)
+}
+
+// BetaSchedule produces the per-iteration exploration weight β_t of
+// confidence-bound acquisitions.
+type BetaSchedule interface {
+	Beta(n int, rng *rand.Rand) float64
+}
+
+// GPUCBSchedule is the deterministic schedule of Srinivas et al. (2009):
+// β_n = 2·log(n²·π²/(6δ)). It guarantees sublinear regret but grows
+// large, which over-explores — the behaviour the paper's Fig. 22
+// demonstrates.
+type GPUCBSchedule struct {
+	Delta float64 // confidence parameter, e.g. 0.1
+}
+
+// Beta implements BetaSchedule.
+func (s GPUCBSchedule) Beta(n int, _ *rand.Rand) float64 {
+	if n < 1 {
+		n = 1
+	}
+	delta := s.Delta
+	if delta <= 0 {
+		delta = 0.1
+	}
+	return 2 * math.Log(float64(n*n)*math.Pi*math.Pi/(6*delta))
+}
+
+// CRGPUCBSchedule is the paper's clipped randomized GP-UCB (§6.2,
+// Eq. 13, after Berk et al. 2020): β_t ~ Γ(κ_t, ρ) with
+// κ_t = log((n²+1)/√(2π)) / log(1 + ρ/2), clipped to [0, B]. The
+// distributional β keeps the Bayesian regret bound while allowing far
+// smaller exploration weights than GP-UCB — the conservative behaviour
+// online slices need.
+type CRGPUCBSchedule struct {
+	Rho float64 // scale parameter ρ (paper: 0.1)
+	B   float64 // clip bound (paper: 10)
+}
+
+// Kappa returns κ_t for iteration n.
+func (s CRGPUCBSchedule) Kappa(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	rho := s.rho()
+	return math.Log(float64(n*n+1)/math.Sqrt(2*math.Pi)) / math.Log(1+rho/2)
+}
+
+func (s CRGPUCBSchedule) rho() float64 {
+	if s.Rho <= 0 {
+		return 0.1
+	}
+	return s.Rho
+}
+
+func (s CRGPUCBSchedule) bound() float64 {
+	if s.B <= 0 {
+		return 10
+	}
+	return s.B
+}
+
+// Beta implements BetaSchedule: a Gamma draw with shape κ_t and scale ρ,
+// clipped to [0, B].
+func (s CRGPUCBSchedule) Beta(n int, rng *rand.Rand) float64 {
+	kappa := s.Kappa(n)
+	if kappa <= 0 {
+		kappa = 1e-3
+	}
+	beta := mathx.SampleGamma(rng, kappa, s.rho())
+	return mathx.Clip(beta, 0, s.bound())
+}

@@ -1,0 +1,234 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+func TestEIProperties(t *testing.T) {
+	acq := EI{}
+	// Non-negative everywhere.
+	f := func(mean, std, best float64) bool {
+		if math.IsNaN(mean) || math.IsNaN(std) || math.IsNaN(best) {
+			return true
+		}
+		if math.Abs(mean) > 1e6 || math.Abs(best) > 1e6 || math.Abs(std) > 1e6 {
+			return true
+		}
+		return acq.Score(mean, math.Abs(std), best) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// More uncertainty at equal mean means more expected improvement.
+	lo := acq.Score(1.0, 0.1, 1.0)
+	hi := acq.Score(1.0, 1.0, 1.0)
+	if hi <= lo {
+		t.Fatalf("EI should grow with std: %v vs %v", lo, hi)
+	}
+	// Deterministic point below the incumbent scores its gap.
+	if got := acq.Score(0.3, 0, 1.0); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("deterministic EI = %v", got)
+	}
+}
+
+func TestPIRange(t *testing.T) {
+	acq := PI{}
+	f := func(mean, std, best float64) bool {
+		if math.IsNaN(mean) || math.IsNaN(std) || math.IsNaN(best) {
+			return true
+		}
+		s := acq.Score(mean, math.Abs(std), best)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := acq.Score(0, 0, 1); got != 1 {
+		t.Fatalf("certain improvement PI = %v", got)
+	}
+	if got := acq.Score(2, 0, 1); got != 0 {
+		t.Fatalf("certain non-improvement PI = %v", got)
+	}
+}
+
+func TestLCBPrefersLowMeanAndHighStd(t *testing.T) {
+	acq := LCB{Beta: 4}
+	if acq.Score(1, 0.5, 0) <= acq.Score(2, 0.5, 0) {
+		t.Fatal("LCB must prefer lower mean")
+	}
+	if acq.Score(1, 1.0, 0) <= acq.Score(1, 0.5, 0) {
+		t.Fatal("LCB must prefer higher std (optimism)")
+	}
+}
+
+func TestGPUCBScheduleGrows(t *testing.T) {
+	s := GPUCBSchedule{Delta: 0.1}
+	rng := rand.New(rand.NewSource(1))
+	prev := 0.0
+	for n := 1; n <= 100; n *= 2 {
+		b := s.Beta(n, rng)
+		if b <= prev {
+			t.Fatalf("GP-UCB beta not growing at n=%d", n)
+		}
+		prev = b
+	}
+}
+
+func TestCRGPUCBClipped(t *testing.T) {
+	s := CRGPUCBSchedule{Rho: 0.1, B: 10}
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 200; n += 13 {
+		b := s.Beta(n, rng)
+		if b < 0 || b > 10 {
+			t.Fatalf("beta %v outside [0, 10] at n=%d", b, n)
+		}
+	}
+}
+
+func TestCRGPUCBSmallerThanGPUCB(t *testing.T) {
+	// The clipped randomized schedule must explore less than the
+	// deterministic one at moderate n (the paper's whole point).
+	cr := CRGPUCBSchedule{Rho: 0.1, B: 10}
+	gp := GPUCBSchedule{Delta: 0.1}
+	rng := rand.New(rand.NewSource(3))
+	var crSum, gpSum float64
+	const n = 50
+	for i := 1; i <= n; i++ {
+		crSum += cr.Beta(i, rng)
+		gpSum += gp.Beta(i, rng)
+	}
+	if crSum >= gpSum {
+		t.Fatalf("cRGP-UCB mean beta %v not below GP-UCB %v", crSum/n, gpSum/n)
+	}
+}
+
+func TestCRGPUCBKappaPositive(t *testing.T) {
+	s := CRGPUCBSchedule{Rho: 0.1, B: 10}
+	// κ_1 = log(2/√2π)/log(1+ρ/2) is negative by the paper's formula;
+	// Beta clamps it. From n ≥ 2 the shape must be positive and
+	// increasing.
+	prev := 0.0
+	for n := 2; n < 1000; n += 50 {
+		k := s.Kappa(n)
+		if k <= 0 {
+			t.Fatalf("kappa not positive at n=%d", n)
+		}
+		if k <= prev {
+			t.Fatalf("kappa not increasing at n=%d", n)
+		}
+		prev = k
+	}
+	// n=1 must still yield a valid clipped beta.
+	b := s.Beta(1, rand.New(rand.NewSource(10)))
+	if b < 0 || b > 10 {
+		t.Fatalf("beta at n=1 = %v", b)
+	}
+}
+
+func quadratic(x []float64) float64 {
+	return (x[0]-0.3)*(x[0]-0.3) + (x[1]-0.6)*(x[1]-0.6)
+}
+
+func TestMinimizerBNNThompson(t *testing.T) {
+	min := &Minimizer{
+		Surrogate:    NewBNNSurrogate(bnn.New(2, bnn.DefaultOptions(), mathx.NewRNG(4)), mathx.NewRNG(5)),
+		Sample:       UnitSampler(2),
+		Objective:    quadratic,
+		Pool:         500,
+		Batch:        4,
+		ExploreIters: 5,
+	}
+	h := min.Run(25, mathx.NewRNG(6))
+	if h.BestY > 0.05 {
+		t.Fatalf("BNN-TS best %v at %v, want near 0", h.BestY, h.BestX)
+	}
+	if len(h.Ys) != 25*4 {
+		t.Fatalf("expected 100 queries, got %d", len(h.Ys))
+	}
+	if len(h.IterMean) != 25 {
+		t.Fatalf("expected 25 iteration means, got %d", len(h.IterMean))
+	}
+}
+
+func TestMinimizerGPEI(t *testing.T) {
+	min := &Minimizer{
+		Surrogate:    NewGPSurrogate(),
+		Sample:       UnitSampler(2),
+		Objective:    quadratic,
+		Pool:         500,
+		Batch:        1,
+		ExploreIters: 5,
+		Acq:          EI{},
+	}
+	h := min.Run(30, mathx.NewRNG(7))
+	if h.BestY > 0.01 {
+		t.Fatalf("GP-EI best %v, want near 0", h.BestY)
+	}
+}
+
+func TestBestSoFarMonotone(t *testing.T) {
+	h := &History{}
+	for _, y := range []float64{3, 1, 2, 0.5, 4} {
+		h.observe([]float64{y}, y)
+	}
+	curve := h.BestSoFar()
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("best-so-far increased at %d: %v", i, curve)
+		}
+	}
+	if h.BestY != 0.5 {
+		t.Fatalf("BestY = %v", h.BestY)
+	}
+}
+
+func TestHistoryBestXCopied(t *testing.T) {
+	h := &History{}
+	x := []float64{1, 2}
+	h.observe(x, 5)
+	x[0] = 99
+	if h.BestX[0] == 99 {
+		t.Fatal("BestX aliases observed slice")
+	}
+}
+
+func TestUnitSamplerInRange(t *testing.T) {
+	s := UnitSampler(4)
+	rng := mathx.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		x := s(rng)
+		if len(x) != 4 {
+			t.Fatalf("dim = %d", len(x))
+		}
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("sample %v out of unit box", v)
+			}
+		}
+	}
+}
+
+func TestGPSurrogateDrawDeterministicPerPoint(t *testing.T) {
+	s := NewGPSurrogate()
+	if err := s.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	draw := s.DrawFunc(mathx.NewRNG(9))
+	x := []float64{0.5}
+	if draw(x) != draw(x) {
+		t.Fatal("one GP draw must be stable at a point")
+	}
+}
+
+func TestClipUnit(t *testing.T) {
+	x := ClipUnit([]float64{-0.5, 0.5, 1.5})
+	if x[0] != 0 || x[1] != 0.5 || x[2] != 1 {
+		t.Fatalf("ClipUnit = %v", x)
+	}
+}

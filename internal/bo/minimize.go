@@ -1,0 +1,216 @@
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// Minimizer runs Bayesian optimization of an expensive black-box
+// objective. With Acq nil it uses (parallel) Thompson sampling — the
+// paper's PTS; with an Acquisition set it scores a candidate pool on the
+// surrogate posterior instead.
+type Minimizer struct {
+	Surrogate Surrogate
+	// Sample draws one candidate from the feasible set.
+	Sample func(rng *rand.Rand) []float64
+	// Objective evaluates a candidate (the expensive query). It must be
+	// safe for concurrent calls when Batch > 1.
+	Objective func(x []float64) float64
+
+	// Pool is the number of random candidates scored per selection
+	// (paper: "tens of thousands"; scaled down by default).
+	Pool int
+	// Batch is the number of parallel queries per iteration (the
+	// paper's parallel Thompson sampling with multiprocessing).
+	Batch int
+	// ExploreIters is the number of initial iterations with uniformly
+	// random queries (paper: first 100 iterations are purely
+	// exploration).
+	ExploreIters int
+	// Acq, when non-nil, replaces Thompson sampling for selection.
+	Acq Acquisition
+}
+
+// History records the optimization trajectory.
+type History struct {
+	Xs [][]float64 // every queried candidate, in order
+	Ys []float64   // corresponding objective values
+
+	// IterMean[i] is the mean objective value of iteration i's batch —
+	// the "average weighted discrepancy" curve of Figs. 8 and 13.
+	IterMean []float64
+
+	BestX []float64
+	BestY float64
+}
+
+// observe appends a query result and updates the incumbent.
+func (h *History) observe(x []float64, y float64) {
+	h.Xs = append(h.Xs, x)
+	h.Ys = append(h.Ys, y)
+	if len(h.Xs) == 1 || y < h.BestY {
+		h.BestY = y
+		h.BestX = append([]float64(nil), x...)
+	}
+}
+
+// BestSoFar returns the running-minimum curve over queries.
+func (h *History) BestSoFar() []float64 {
+	out := make([]float64, len(h.Ys))
+	best := math.Inf(1)
+	for i, y := range h.Ys {
+		if y < best {
+			best = y
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Run executes iters iterations and returns the trajectory. Each
+// iteration selects Batch candidates (random during warmup, otherwise by
+// Thompson sampling or the acquisition), evaluates them concurrently,
+// and refits the surrogate.
+func (m *Minimizer) Run(iters int, rng *rand.Rand) *History {
+	pool := m.Pool
+	if pool <= 0 {
+		pool = 2000
+	}
+	batch := m.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	h := &History{BestY: math.Inf(1)}
+
+	for it := 0; it < iters; it++ {
+		var picks [][]float64
+		switch {
+		case it < m.ExploreIters || len(h.Xs) == 0:
+			for b := 0; b < batch; b++ {
+				picks = append(picks, m.Sample(rng))
+			}
+		case m.Acq != nil:
+			picks = m.selectAcq(pool, batch, h, rng)
+		default:
+			picks = m.selectThompson(pool, batch, rng)
+		}
+
+		ys := m.evaluate(picks)
+		var sum float64
+		for i, x := range picks {
+			h.observe(x, ys[i])
+			sum += ys[i]
+		}
+		h.IterMean = append(h.IterMean, sum/float64(len(picks)))
+
+		if err := m.Surrogate.Fit(h.Xs, h.Ys); err != nil {
+			// A degenerate fit (e.g. duplicate points) falls back to
+			// exploration next iteration rather than aborting the run.
+			continue
+		}
+	}
+	return h
+}
+
+// selectThompson draws one surrogate function per batch slot and
+// minimizes it over a fresh candidate pool (parallel Thompson
+// sampling).
+func (m *Minimizer) selectThompson(pool, batch int, rng *rand.Rand) [][]float64 {
+	candidates := m.pool(pool, rng)
+	picks := make([][]float64, batch)
+	for b := 0; b < batch; b++ {
+		draw := m.Surrogate.DrawFunc(rng)
+		best, bestVal := candidates[0], math.Inf(1)
+		for _, c := range candidates {
+			if v := draw(c); v < bestVal {
+				best, bestVal = c, v
+			}
+		}
+		picks[b] = best
+	}
+	return picks
+}
+
+// selectAcq scores the pool with the acquisition on the surrogate
+// posterior and returns the top-scoring candidates (distinct pool
+// indices).
+func (m *Minimizer) selectAcq(pool, batch int, h *History, rng *rand.Rand) [][]float64 {
+	candidates := m.pool(pool, rng)
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, len(candidates))
+	for i, c := range candidates {
+		mean, std := m.Surrogate.Predict(c)
+		scores[i] = scored{i, m.Acq.Score(mean, std, h.BestY)}
+	}
+	// Partial selection of the top `batch` scores.
+	picks := make([][]float64, 0, batch)
+	used := make(map[int]bool, batch)
+	for b := 0; b < batch; b++ {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for _, s := range scores {
+			if !used[s.idx] && s.score > bestScore {
+				bestIdx, bestScore = s.idx, s.score
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		picks = append(picks, candidates[bestIdx])
+	}
+	return picks
+}
+
+func (m *Minimizer) pool(n int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// evaluate queries the objective for every pick, concurrently when the
+// batch has more than one member.
+func (m *Minimizer) evaluate(picks [][]float64) []float64 {
+	ys := make([]float64, len(picks))
+	if len(picks) == 1 {
+		ys[0] = m.Objective(picks[0])
+		return ys
+	}
+	var wg sync.WaitGroup
+	for i := range picks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ys[i] = m.Objective(picks[i])
+		}(i)
+	}
+	wg.Wait()
+	return ys
+}
+
+// UnitSampler returns a Sample function drawing uniformly from [0,1]^dim
+// — the normalized search boxes Atlas uses everywhere.
+func UnitSampler(dim int) func(rng *rand.Rand) []float64 {
+	return func(rng *rand.Rand) []float64 {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		return x
+	}
+}
+
+// ClipUnit clamps a point into [0,1]^d in place and returns it.
+func ClipUnit(x []float64) []float64 {
+	for i := range x {
+		x[i] = mathx.Clip(x[i], 0, 1)
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+// Package bo provides the Bayesian-optimization framework shared by all
+// three Atlas stages: surrogate-model adapters (Bayesian neural network,
+// Gaussian process), acquisition functions (EI, PI, GP-UCB, and the
+// paper's clipped randomized GP-UCB), candidate pools, and a parallel
+// Thompson-sampling minimizer.
+package bo
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/gp"
+)
+
+// FuncDraw is one realized sample of the surrogate's posterior over
+// functions. Thompson sampling draws one and optimizes it over a
+// candidate pool. Draws must be safe for concurrent evaluation.
+type FuncDraw func(x []float64) float64
+
+// Surrogate is a probabilistic model of an expensive black-box function.
+type Surrogate interface {
+	// Fit conditions the model on all observations collected so far.
+	Fit(xs [][]float64, ys []float64) error
+	// Predict returns the posterior mean and standard deviation at x.
+	Predict(x []float64) (mean, std float64)
+	// DrawFunc samples one function realization for Thompson sampling.
+	DrawFunc(rng *rand.Rand) FuncDraw
+}
+
+// BNNSurrogate adapts a Bayesian neural network to the Surrogate
+// interface. Fit continues training from the current posterior (warm
+// start), which is how the paper's loop behaves: "train the BNN with new
+// added transitions".
+type BNNSurrogate struct {
+	Model *bnn.Model
+	// FitEpochs is the number of passes over the collection per Fit.
+	FitEpochs int
+	// BatchSize is the minibatch size (paper: 128).
+	BatchSize int
+	// PredictSamples is the Monte Carlo sample count for Predict.
+	PredictSamples int
+	// RNG drives prediction-time sampling.
+	RNG *rand.Rand
+}
+
+// NewBNNSurrogate wraps a model with the defaults used across the
+// evaluation.
+func NewBNNSurrogate(model *bnn.Model, rng *rand.Rand) *BNNSurrogate {
+	return &BNNSurrogate{Model: model, FitEpochs: 20, BatchSize: 128, PredictSamples: 16, RNG: rng}
+}
+
+// Fit implements Surrogate.
+func (s *BNNSurrogate) Fit(xs [][]float64, ys []float64) error {
+	s.Model.Fit(xs, ys, s.FitEpochs, s.BatchSize)
+	return nil
+}
+
+// Predict implements Surrogate.
+func (s *BNNSurrogate) Predict(x []float64) (mean, std float64) {
+	return s.Model.Predict(x, s.PredictSamples, s.RNG)
+}
+
+// DrawFunc implements Surrogate: a single reparameterized weight draw,
+// i.e. "inferring the BNN only once" per Thompson sample (paper §4.2).
+func (s *BNNSurrogate) DrawFunc(rng *rand.Rand) FuncDraw {
+	d := s.Model.Draw(rng)
+	return func(x []float64) float64 { return s.Model.Eval(d, x) }
+}
+
+// GPSurrogate adapts the Gaussian-process regressor to the Surrogate
+// interface.
+type GPSurrogate struct {
+	Model *gp.Regressor
+}
+
+// NewGPSurrogate returns a Matérn-5/2 GP surrogate.
+func NewGPSurrogate() *GPSurrogate {
+	return &GPSurrogate{Model: gp.NewRegressor()}
+}
+
+// Fit implements Surrogate.
+func (s *GPSurrogate) Fit(xs [][]float64, ys []float64) error {
+	return s.Model.Fit(xs, ys)
+}
+
+// Predict implements Surrogate.
+func (s *GPSurrogate) Predict(x []float64) (mean, std float64) {
+	return s.Model.Predict(x)
+}
+
+// DrawFunc implements Surrogate with independent-marginal posterior
+// draws (the standard large-pool approximation to GP Thompson
+// sampling). Each DrawFunc call derives its own RNG stream so the draw
+// is safe for concurrent evaluation.
+func (s *GPSurrogate) DrawFunc(rng *rand.Rand) FuncDraw {
+	seed := rng.Int63()
+	return func(x []float64) float64 {
+		// Hash the point into the stream so repeated evaluations of the
+		// same draw at the same x agree.
+		h := seed
+		for _, v := range x {
+			h = h*31 + int64(v*1e6)
+		}
+		r := rand.New(rand.NewSource(h))
+		return s.Model.Sample(x, r)
+	}
+}

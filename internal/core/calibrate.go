@@ -1,0 +1,191 @@
+// Package core implements the paper's contribution: the three-stage
+// learn-to-configure system.
+//
+//   - Stage 1 (Calibrator): search the simulator's parameters to minimize
+//     the KL divergence between simulated and real latency distributions
+//     (learning-based simulator, §4, Algorithm 1).
+//   - Stage 2 (OfflineTrainer): learn the minimum-usage configuration
+//     policy under the QoE constraint inside the calibrated simulator via
+//     Lagrangian-penalized Bayesian optimization (§5, Algorithm 2).
+//   - Stage 3 (OnlineLearner): safely adapt online, learning only the
+//     sim-to-real QoE residual with a Gaussian process and exploring with
+//     clipped randomized GP-UCB (§6, Algorithm 3).
+package core
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+// CalibratorOptions configures stage 1.
+type CalibratorOptions struct {
+	Space slicing.ParamSpace
+	// Alpha is the weight of the parameter-distance penalty in the
+	// weighted discrepancy KL + α·|x − x̂|₂ (paper: 7).
+	Alpha float64
+	// Traffic and Cfg describe the condition under which the online
+	// collection D_r was logged (paper: traffic 1, full resources).
+	Traffic int
+	Cfg     slicing.Config
+	// Episodes is the number of simulator episodes averaged per
+	// discrepancy query.
+	Episodes int
+
+	// Optimization budget.
+	Iters   int // total iterations (paper: 500)
+	Explore int // initial pure-exploration iterations (paper: 100)
+	Pool    int // candidates scored per Thompson draw
+	Batch   int // parallel queries per iteration (paper: up to 16)
+
+	// UseGP switches the surrogate from the BNN to a Gaussian process
+	// (the "GP-based approach" comparator of Fig. 8 and Table 4).
+	UseGP bool
+	// BNN configures the Bayesian-network surrogate.
+	BNN bnn.Options
+	// FitEpochs is the surrogate training budget per iteration.
+	FitEpochs int
+}
+
+// DefaultCalibratorOptions returns harness-scale defaults (see DESIGN.md
+// §4: paper-scale budgets are restored with the -paper flag).
+func DefaultCalibratorOptions() CalibratorOptions {
+	return CalibratorOptions{
+		Space:     slicing.DefaultParamSpace(),
+		Alpha:     1,
+		Traffic:   1,
+		Cfg:       FullConfig(),
+		Episodes:  1,
+		Iters:     150,
+		Explore:   30,
+		Pool:      2000,
+		Batch:     4,
+		BNN:       bnn.DefaultOptions(),
+		FitEpochs: 15,
+	}
+}
+
+// FullConfig is the measurement configuration used for online
+// collections: all resources granted (the operator logs the incumbent
+// deployment, which runs unconstrained).
+func FullConfig() slicing.Config {
+	return slicing.Config{BandwidthUL: 50, BandwidthDL: 50, BackhaulMbps: 100, CPURatio: 1}
+}
+
+// CalibrationResult is the outcome of stage 1.
+type CalibrationResult struct {
+	BestParams slicing.SimParams
+	// BestWeighted is the lowest observed weighted discrepancy.
+	BestWeighted float64
+	// BestKL and BestDistance decompose the incumbent.
+	BestKL       float64
+	BestDistance float64
+	// History is the raw optimization trajectory; History.IterMean is
+	// the average-weighted-discrepancy curve of Figs. 8 and 13.
+	History *bo.History
+}
+
+// Calibrator runs the stage-1 parameter search (Algorithm 1).
+type Calibrator struct {
+	Opts CalibratorOptions
+	// Sim is the simulator being calibrated; its Params field is the
+	// starting point x̂.
+	Sim *simnet.Simulator
+	// Real is the collection D_r of real-network latencies.
+	Real []float64
+}
+
+// NewCalibrator builds a calibrator for sim against the online
+// collection realLatencies.
+func NewCalibrator(sim *simnet.Simulator, realLatencies []float64, opts CalibratorOptions) *Calibrator {
+	return &Calibrator{Opts: opts, Sim: sim, Real: realLatencies}
+}
+
+// Discrepancy runs the simulator under params and returns the
+// KL(D_r ‖ D_s(x)) estimate. Seeds derive deterministically from the
+// parameters so repeated queries agree and parallel queries are safe.
+func (c *Calibrator) Discrepancy(params slicing.SimParams) float64 {
+	sim := c.Sim.WithParams(params)
+	var latencies []float64
+	base := seedOf(params.Vector())
+	for e := 0; e < max(1, c.Opts.Episodes); e++ {
+		tr := sim.Episode(c.Opts.Cfg, c.Opts.Traffic, mathx.ChildSeed(base, e))
+		latencies = append(latencies, tr.LatenciesMs...)
+	}
+	return stats.KLDivergence(c.Real, latencies)
+}
+
+// Weighted returns the stage-1 objective KL + α·distance for params.
+func (c *Calibrator) Weighted(params slicing.SimParams) float64 {
+	return c.Discrepancy(params) + c.Opts.Alpha*c.Opts.Space.Distance(params)
+}
+
+// Run executes the parameter search and returns the calibration result.
+func (c *Calibrator) Run(rng *rand.Rand) *CalibrationResult {
+	opts := c.Opts
+	space := opts.Space
+
+	var surrogate bo.Surrogate
+	if opts.UseGP {
+		surrogate = bo.NewGPSurrogate()
+	} else {
+		model := bnn.New(slicing.ParamDim, opts.BNN, mathx.NewRNG(rng.Int63()))
+		s := bo.NewBNNSurrogate(model, mathx.NewRNG(rng.Int63()))
+		s.FitEpochs = opts.FitEpochs
+		surrogate = s
+	}
+
+	min := &bo.Minimizer{
+		Surrogate: surrogate,
+		Sample: func(rng *rand.Rand) []float64 {
+			return space.Normalize(space.Sample(rng))
+		},
+		Objective: func(x []float64) float64 {
+			return c.Weighted(space.Denormalize(x))
+		},
+		Pool:         opts.Pool,
+		Batch:        opts.Batch,
+		ExploreIters: opts.Explore,
+	}
+	if opts.UseGP {
+		// The GP comparator follows the classic single-query BO recipe.
+		min.Batch = 1
+		min.Acq = bo.EI{}
+	}
+
+	h := min.Run(opts.Iters, rng)
+	best := space.Denormalize(h.BestX)
+	return &CalibrationResult{
+		BestParams:   best,
+		BestWeighted: h.BestY,
+		BestKL:       c.Discrepancy(best),
+		BestDistance: space.Distance(best),
+		History:      h,
+	}
+}
+
+// seedOf derives a deterministic seed from a parameter vector so that
+// the same query point always simulates the same episode.
+func seedOf(v mathx.Vector) int64 {
+	var h uint64 = 1469598103934665603
+	for _, x := range v {
+		bits := uint64(int64(x * 1e6))
+		for i := 0; i < 8; i++ {
+			h ^= (bits >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return int64(h)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func quickCalOpts() CalibratorOptions {
+	opts := DefaultCalibratorOptions()
+	opts.Iters, opts.Explore, opts.Batch, opts.Pool = 25, 8, 2, 200
+	opts.BNN.Hidden = []int{16, 16}
+	opts.FitEpochs = 8
+	return opts
+}
+
+func quickOffOpts() OfflineOptions {
+	opts := DefaultOfflineOptions()
+	opts.Iters, opts.Explore, opts.Batch, opts.Pool = 35, 10, 2, 200
+	opts.BNN.Hidden = []int{16, 16}
+	opts.FitEpochs = 8
+	return opts
+}
+
+func TestEncodeInputShape(t *testing.T) {
+	space := slicing.DefaultConfigSpace()
+	x := EncodeInput(space, 2, slicing.DefaultSLA(), FullConfig())
+	if len(x) != PolicyInputDim {
+		t.Fatalf("dim = %d want %d", len(x), PolicyInputDim)
+	}
+	if x[0] != 0.5 { // traffic 2 of 4
+		t.Fatalf("traffic feature = %v", x[0])
+	}
+	if x[1] != 0.3 { // 300 ms / 1000
+		t.Fatalf("threshold feature = %v", x[1])
+	}
+	for _, v := range x[2:] {
+		if v < 0 || v > 1 {
+			t.Fatalf("config features not normalized: %v", x)
+		}
+	}
+}
+
+func TestDiscrepancyDeterministic(t *testing.T) {
+	real := realnet.New()
+	dr := real.Collect(FullConfig(), 1, 1, 1)
+	cal := NewCalibrator(simnet.NewDefault(), dr, quickCalOpts())
+	p := slicing.DefaultSimParams()
+	if cal.Discrepancy(p) != cal.Discrepancy(p) {
+		t.Fatal("discrepancy must be deterministic per parameter point")
+	}
+}
+
+func TestWeightedObjectiveComposition(t *testing.T) {
+	real := realnet.New()
+	dr := real.Collect(FullConfig(), 1, 1, 2)
+	opts := quickCalOpts()
+	opts.Alpha = 3
+	cal := NewCalibrator(simnet.NewDefault(), dr, opts)
+	p := opts.Space.Sample(mathx.NewRNG(3))
+	want := cal.Discrepancy(p) + 3*opts.Space.Distance(p)
+	if got := cal.Weighted(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted = %v want %v", got, want)
+	}
+}
+
+func TestCalibratorReducesDiscrepancy(t *testing.T) {
+	real := realnet.New()
+	dr := real.Collect(FullConfig(), 1, 2, 4)
+	sim := simnet.NewDefault()
+	cal := NewCalibrator(sim, dr, quickCalOpts())
+	orig := cal.Discrepancy(slicing.DefaultSimParams())
+	res := cal.Run(mathx.NewRNG(5))
+	if res.BestKL >= orig {
+		t.Fatalf("calibration failed to improve: %v -> %v", orig, res.BestKL)
+	}
+	if !cal.Opts.Space.InTrustRegion(res.BestParams) {
+		t.Fatal("best parameters escaped trust region")
+	}
+	if res.History == nil || len(res.History.Ys) == 0 {
+		t.Fatal("empty history")
+	}
+}
+
+func TestCalibratorGPVariantRuns(t *testing.T) {
+	real := realnet.New()
+	dr := real.Collect(FullConfig(), 1, 1, 6)
+	opts := quickCalOpts()
+	opts.UseGP = true
+	opts.Iters = 15
+	cal := NewCalibrator(simnet.NewDefault(), dr, opts)
+	res := cal.Run(mathx.NewRNG(7))
+	if res.BestWeighted <= 0 || math.IsInf(res.BestWeighted, 1) {
+		t.Fatalf("bad GP result %v", res.BestWeighted)
+	}
+}
+
+func TestOfflineTrainerFindsFeasibleConfig(t *testing.T) {
+	trainer := NewOfflineTrainer(simnet.NewDefault(), quickOffOpts())
+	res := trainer.Run(mathx.NewRNG(8))
+	if res.BestQoE < trainer.Opts.SLA.Availability {
+		t.Fatalf("best config infeasible: qoe %v", res.BestQoE)
+	}
+	if res.BestUsage <= 0 || res.BestUsage >= 1 {
+		t.Fatalf("best usage %v", res.BestUsage)
+	}
+	if len(res.UsageCurve) != trainer.Opts.Iters || len(res.QoECurve) != trainer.Opts.Iters {
+		t.Fatal("curve lengths wrong")
+	}
+	if res.Policy == nil || !res.Policy.Model.Fitted() {
+		t.Fatal("policy model untrained")
+	}
+	if res.Policy.Lambda < 0 {
+		t.Fatalf("negative multiplier %v", res.Policy.Lambda)
+	}
+}
+
+func TestOfflineBeatsRandomOnUsage(t *testing.T) {
+	// The trained search should find a feasible config cheaper than the
+	// cheapest feasible one among the same number of pure-random draws.
+	env := simnet.NewDefault()
+	opts := quickOffOpts()
+	opts.Iters = 50
+	trainer := NewOfflineTrainer(env, opts)
+	res := trainer.Run(mathx.NewRNG(9))
+
+	rng := mathx.NewRNG(10)
+	randomBest := math.Inf(1)
+	for i := 0; i < opts.Iters*opts.Batch; i++ {
+		cfg := opts.Space.Sample(rng)
+		if trainer.MeasureQoE(cfg) >= opts.SLA.Availability {
+			if u := opts.Space.Usage(cfg); u < randomBest {
+				randomBest = u
+			}
+		}
+	}
+	if res.BestUsage > randomBest {
+		t.Fatalf("BO usage %v worse than random search %v", res.BestUsage, randomBest)
+	}
+}
+
+func TestOfflineGPVariant(t *testing.T) {
+	opts := quickOffOpts()
+	opts.UseGP = true
+	opts.Iters = 20
+	trainer := NewOfflineTrainer(simnet.NewDefault(), opts)
+	res := trainer.Run(mathx.NewRNG(11))
+	if res.BestConfig == (slicing.Config{}) {
+		t.Fatal("GP variant produced nothing")
+	}
+}
+
+func TestPolicySelectConfigRespectsLambda(t *testing.T) {
+	// With a huge multiplier the policy must buy QoE (more resources)
+	// compared to a zero multiplier.
+	trainer := NewOfflineTrainer(simnet.NewDefault(), quickOffOpts())
+	res := trainer.Run(mathx.NewRNG(12))
+	pol := res.Policy
+
+	pol.Lambda = 0
+	cheap := pol.SelectConfig(400, mathx.NewRNG(13))
+	pol.Lambda = 50
+	rich := pol.SelectConfig(400, mathx.NewRNG(13))
+	if pol.Space.Usage(rich) <= pol.Space.Usage(cheap) {
+		t.Fatalf("lambda did not buy resources: rich %v cheap %v",
+			pol.Space.Usage(rich), pol.Space.Usage(cheap))
+	}
+}
+
+func TestPredictQoEBatchMatchesScale(t *testing.T) {
+	trainer := NewOfflineTrainer(simnet.NewDefault(), quickOffOpts())
+	res := trainer.Run(mathx.NewRNG(14))
+	pol := res.Policy
+	rng := mathx.NewRNG(15)
+	inputs := [][]float64{
+		pol.Encode(FullConfig()),
+		pol.Encode(slicing.Config{BandwidthUL: 8, BandwidthDL: 4, BackhaulMbps: 5, CPURatio: 0.3}),
+	}
+	means, stds := pol.PredictQoEBatch(inputs, 16, rng)
+	if len(means) != 2 || len(stds) != 2 {
+		t.Fatal("batch size mismatch")
+	}
+	for i := range means {
+		if stds[i] < 0 {
+			t.Fatalf("negative std %v", stds[i])
+		}
+		if means[i] < -0.5 || means[i] > 1.5 {
+			t.Fatalf("QoE mean %v far outside [0,1]", means[i])
+		}
+	}
+}
+
+func TestOnlineLearnerConverges(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	dr := real.Collect(FullConfig(), 1, 2, 16)
+	cal := NewCalibrator(sim, dr, quickCalOpts())
+	cres := cal.Run(mathx.NewRNG(17))
+	aug := sim.WithParams(cres.BestParams)
+
+	off := NewOfflineTrainer(aug, quickOffOpts()).Run(mathx.NewRNG(18))
+
+	lopts := DefaultOnlineOptions()
+	lopts.Pool = 300
+	lopts.N = 8
+	learner := NewOnlineLearner(off.Policy, aug, lopts, mathx.NewRNG(19))
+
+	space := slicing.DefaultConfigSpace()
+	sla := slicing.DefaultSLA()
+	rng := mathx.NewRNG(20)
+	const iters = 25
+	for it := 0; it < iters; it++ {
+		cfg := learner.Next(it, rng)
+		tr := real.Episode(cfg, 1, rng.Int63())
+		learner.Observe(it, cfg, space.Usage(cfg), tr.QoE(sla))
+	}
+	if len(learner.QoEs) != iters {
+		t.Fatalf("logged %d iterations", len(learner.QoEs))
+	}
+	var early, late float64
+	for i := 0; i < 5; i++ {
+		early += learner.QoEs[i]
+		late += learner.QoEs[iters-5+i]
+	}
+	if late < early-0.5 {
+		t.Fatalf("QoE collapsed: early %v late %v", early/5, late/5)
+	}
+	if learner.Lambda() < 0 {
+		t.Fatal("negative multiplier")
+	}
+}
+
+func TestOnlineLearnerVariantsRun(t *testing.T) {
+	real := realnet.New()
+	aug := simnet.NewDefault()
+	off := NewOfflineTrainer(aug, quickOffOpts()).Run(mathx.NewRNG(21))
+	space := slicing.DefaultConfigSpace()
+	sla := slicing.DefaultSLA()
+
+	for _, model := range []ResidualModel{ResidualGP, ResidualBNN, ContinueBNN} {
+		opts := DefaultOnlineOptions()
+		opts.Pool, opts.N = 200, 4
+		opts.Model = model
+		learner := NewOnlineLearner(off.Policy, aug, opts, mathx.NewRNG(22))
+		rng := mathx.NewRNG(23)
+		for it := 0; it < 4; it++ {
+			cfg := learner.Next(it, rng)
+			tr := real.Episode(cfg, 1, rng.Int63())
+			learner.Observe(it, cfg, space.Usage(cfg), tr.QoE(sla))
+		}
+	}
+}
+
+func TestOnlineColdStartWithoutPolicy(t *testing.T) {
+	real := realnet.New()
+	opts := DefaultOnlineOptions()
+	opts.Pool, opts.N = 200, 4
+	learner := NewOnlineLearner(nil, simnet.NewDefault(), opts, mathx.NewRNG(24))
+	space := slicing.DefaultConfigSpace()
+	sla := slicing.DefaultSLA()
+	rng := mathx.NewRNG(25)
+	for it := 0; it < 4; it++ {
+		cfg := learner.Next(it, rng)
+		tr := real.Episode(cfg, 1, rng.Int63())
+		learner.Observe(it, cfg, space.Usage(cfg), tr.QoE(sla))
+	}
+	if len(learner.QoEs) != 4 {
+		t.Fatal("cold-start learner did not log")
+	}
+}
+
+func TestOnlineNoAccelUpdatesLambdaFromObservations(t *testing.T) {
+	aug := simnet.NewDefault()
+	off := NewOfflineTrainer(aug, quickOffOpts()).Run(mathx.NewRNG(26))
+	opts := DefaultOnlineOptions()
+	opts.Pool, opts.OfflineAccel = 200, false
+	learner := NewOnlineLearner(off.Policy, aug, opts, mathx.NewRNG(27))
+	before := learner.Lambda()
+	cfg := FullConfig()
+	// A badly violating observation must raise the multiplier.
+	learner.Observe(0, cfg, 0.5, 0.0)
+	if learner.Lambda() <= before-1e-9 {
+		t.Fatalf("lambda %v did not respond to violation (was %v)", learner.Lambda(), before)
+	}
+}
+
+func TestSeedOfStability(t *testing.T) {
+	v := mathx.Vector{1.5, 2.5}
+	if seedOf(v) != seedOf(mathx.Vector{1.5, 2.5}) {
+		t.Fatal("seedOf not deterministic")
+	}
+	if seedOf(v) == seedOf(mathx.Vector{1.5, 2.6}) {
+		t.Fatal("seedOf ignores values")
+	}
+}
+
+func TestBNNOptionsPlumbing(t *testing.T) {
+	opts := quickCalOpts()
+	if len(opts.BNN.Hidden) != 2 {
+		t.Fatal("BNN options not applied")
+	}
+	m := bnn.New(slicing.ParamDim, opts.BNN, mathx.NewRNG(28))
+	if m.InDim() != slicing.ParamDim {
+		t.Fatal("BNN input dim mismatch")
+	}
+}

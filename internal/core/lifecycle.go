@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/domains"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// System is the slice-lifecycle orchestrator of the paper's §10: one
+// individualized Atlas instance per admitted slice, sharing a single
+// learning-based simulator for the common infrastructure. It covers the
+// scalability and adaptability procedures the paper describes:
+//
+//   - AdmitSlice builds the tenant's simulator calibration (reusing the
+//     shared one), trains the offline policy, and starts online
+//     learning;
+//   - Step advances every slice one configuration interval;
+//   - InfrastructureChanged re-searches the simulation parameters
+//     "based on its last optima" and fine-tunes every offline policy in
+//     the updated simulator, without interrupting online learning;
+//   - RemoveSlice tears a tenant down.
+type System struct {
+	Real  slicing.Env
+	Sim   *simnet.Simulator
+	Space slicing.ConfigSpace
+
+	// Budgets for admission-time training.
+	CalOpts CalibratorOptions
+	OffOpts OfflineOptions
+	OnOpts  OnlineOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	params slicing.SimParams // shared calibrated parameters
+	calib  bool
+	slices map[string]*SliceInstance
+}
+
+// SliceInstance is one tenant's runtime state.
+type SliceInstance struct {
+	ID      string
+	SLA     slicing.SLA
+	Traffic int
+
+	Offline *OfflineResult
+	Learner *OnlineLearner
+	Domains *domains.Orchestrator
+
+	Iter   int
+	Usages []float64
+	QoEs   []float64
+}
+
+// NewSystem builds an orchestrator over a real network and a simulator.
+func NewSystem(real slicing.Env, sim *simnet.Simulator, seed int64) *System {
+	return &System{
+		Real:    real,
+		Sim:     sim,
+		Space:   slicing.DefaultConfigSpace(),
+		CalOpts: DefaultCalibratorOptions(),
+		OffOpts: DefaultOfflineOptions(),
+		OnOpts:  DefaultOnlineOptions(),
+		rng:     mathx.NewRNG(seed),
+		slices:  map[string]*SliceInstance{},
+	}
+}
+
+// collector is the optional interface a real network provides for
+// gathering the online collection D_r (the surrogate implements it).
+type collector interface {
+	Collect(cfg slicing.Config, traffic, episodes int, seed int64) []float64
+}
+
+// Calibrate runs (or re-runs) stage 1 for the shared infrastructure.
+// When the simulator was calibrated before, the search warm-starts
+// around the last optimum, as §10 prescribes for infrastructure changes.
+func (s *System) Calibrate() (*CalibrationResult, error) {
+	col, ok := s.Real.(collector)
+	if !ok {
+		return nil, fmt.Errorf("core: real network does not expose an online collection")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dr := col.Collect(FullConfig(), 1, 3, s.rng.Int63())
+	opts := s.CalOpts
+	if s.calib {
+		// Continual search based on the last optimum: recentre the
+		// trust region and shrink the exploration phase.
+		opts.Space.Original = s.params
+		opts.Explore = opts.Explore / 2
+	}
+	cal := NewCalibrator(s.Sim, dr, opts)
+	res := cal.Run(mathx.NewRNG(s.rng.Int63()))
+	s.params = res.BestParams
+	s.calib = true
+	return res, nil
+}
+
+// Augmented returns the shared calibrated simulator.
+func (s *System) Augmented() *simnet.Simulator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.calib {
+		return s.Sim
+	}
+	return s.Sim.WithParams(s.params)
+}
+
+// AdmitSlice onboards a tenant: offline training in the shared augmented
+// simulator, then an online learner and a domain-manager set of its own.
+func (s *System) AdmitSlice(id string, sla slicing.SLA, traffic int) (*SliceInstance, error) {
+	s.mu.Lock()
+	if _, dup := s.slices[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: slice %q already admitted", id)
+	}
+	s.mu.Unlock()
+
+	if !s.calib {
+		if _, err := s.Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+	aug := s.Augmented()
+
+	opts := s.OffOpts
+	opts.SLA = sla
+	opts.Traffic = traffic
+	off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.rng.Int63()))
+
+	lo := s.OnOpts
+	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.rng.Int63()))
+
+	inst := &SliceInstance{
+		ID: id, SLA: sla, Traffic: traffic,
+		Offline: off,
+		Learner: learner,
+		Domains: domains.NewOrchestrator(id),
+	}
+	s.mu.Lock()
+	s.slices[id] = inst
+	s.mu.Unlock()
+	return inst, nil
+}
+
+// RemoveSlice tears a tenant down.
+func (s *System) RemoveSlice(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.slices[id]; !ok {
+		return fmt.Errorf("core: slice %q not admitted", id)
+	}
+	delete(s.slices, id)
+	return nil
+}
+
+// Slice returns a tenant's instance.
+func (s *System) Slice(id string) (*SliceInstance, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.slices[id]
+	return inst, ok
+}
+
+// Slices returns the admitted slice ids.
+func (s *System) Slices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.slices))
+	for id := range s.slices {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Step advances one slice by one configuration interval: select, apply
+// through the domain managers, run the interval on the real network,
+// observe.
+func (s *System) Step(id string) error {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return fmt.Errorf("core: slice %q not admitted", id)
+	}
+	cfg := inst.Learner.Next(inst.Iter, s.rng)
+	if _, err := inst.Domains.Apply(s.Space.Clamp(cfg)); err != nil {
+		return fmt.Errorf("core: slice %q domain apply: %w", id, err)
+	}
+	tr := s.Real.Episode(cfg, inst.Traffic, s.rng.Int63())
+	usage := s.Space.Usage(cfg)
+	qoe := tr.QoE(inst.SLA)
+	inst.Learner.Observe(inst.Iter, cfg, usage, qoe)
+	inst.Iter++
+	inst.Usages = append(inst.Usages, usage)
+	inst.QoEs = append(inst.QoEs, qoe)
+	return nil
+}
+
+// StepAll advances every admitted slice one interval.
+func (s *System) StepAll() error {
+	for _, id := range s.Slices() {
+		if err := s.Step(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InfrastructureChanged handles the §10 adaptability procedure: re-run
+// stage 1 from the last optimum against fresh measurements, then
+// fine-tune every slice's offline policy in the updated simulator. The
+// online GP models survive untouched — they learn only the residual, so
+// they keep adapting continuously.
+func (s *System) InfrastructureChanged(fineTuneIters int) error {
+	if _, err := s.Calibrate(); err != nil {
+		return err
+	}
+	aug := s.Augmented()
+	for _, id := range s.Slices() {
+		inst, _ := s.Slice(id)
+		opts := s.OffOpts
+		opts.SLA = inst.SLA
+		opts.Traffic = inst.Traffic
+		if fineTuneIters > 0 {
+			opts.Iters = fineTuneIters
+			opts.Explore = fineTuneIters / 5
+		}
+		off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.rng.Int63()))
+		inst.Offline = off
+		// The learner keeps its online GP but points at the refreshed
+		// offline artifacts and simulator.
+		inst.Learner.Policy = off.Policy
+		inst.Learner.Sim = aug
+	}
+	return nil
+}

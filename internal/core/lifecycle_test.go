@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func quickSystem() *System {
+	s := NewSystem(realnet.New(), simnet.NewDefault(), 1)
+	s.CalOpts.Iters, s.CalOpts.Explore, s.CalOpts.Batch, s.CalOpts.Pool = 15, 5, 2, 150
+	s.OffOpts.Iters, s.OffOpts.Explore, s.OffOpts.Batch, s.OffOpts.Pool = 20, 6, 2, 150
+	s.OnOpts.Pool, s.OnOpts.N = 150, 3
+	return s
+}
+
+func TestSystemAdmitStepRemove(t *testing.T) {
+	s := quickSystem()
+	inst, err := s.AdmitSlice("ar", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Offline == nil || inst.Learner == nil || inst.Domains == nil {
+		t.Fatal("instance incomplete")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step("ar"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inst.Iter != 3 || len(inst.QoEs) != 3 {
+		t.Fatalf("iter=%d qoes=%d", inst.Iter, len(inst.QoEs))
+	}
+	if len(inst.Domains.Audit()) == 0 {
+		t.Fatal("no domain actions recorded")
+	}
+	if err := s.RemoveSlice("ar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step("ar"); err == nil {
+		t.Fatal("stepping a removed slice must fail")
+	}
+}
+
+func TestSystemRejectsDuplicateAdmission(t *testing.T) {
+	s := quickSystem()
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err == nil {
+		t.Fatal("duplicate admission accepted")
+	}
+}
+
+func TestSystemStepAllMultipleSlices(t *testing.T) {
+	s := quickSystem()
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdmitSlice("b", slicing.SLA{ThresholdMs: 500, Availability: 0.9}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		inst, _ := s.Slice(id)
+		if inst.Iter != 1 {
+			t.Fatalf("slice %s iter = %d", id, inst.Iter)
+		}
+	}
+	if len(s.Slices()) != 2 {
+		t.Fatalf("slices = %v", s.Slices())
+	}
+}
+
+func TestInfrastructureChangedWarmStarts(t *testing.T) {
+	s := quickSystem()
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := s.Slice("a")
+	oldPolicy := inst.Offline.Policy
+
+	// Infrastructure change: the backhaul gets faster.
+	s.Sim.Profile.BackhaulDelayMs = 1.0
+	if err := s.InfrastructureChanged(12); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Offline.Policy == oldPolicy {
+		t.Fatal("offline policy not refreshed")
+	}
+	// Online learning continues uninterrupted.
+	if err := s.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateRequiresCollector(t *testing.T) {
+	// A bare simulator does not implement Collect; Calibrate must fail
+	// cleanly rather than panic.
+	s := NewSystem(simnet.NewDefault(), simnet.NewDefault(), 2)
+	if _, err := s.Calibrate(); err == nil {
+		t.Fatal("expected error for environment without online collection")
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// PolicyInputDim is the input dimensionality of the QoE surrogate:
+// [traffic, latency threshold Y, six configuration dimensions], all
+// normalized (paper §5.2: "its inputs include the network state s_t,
+// threshold Y and network configuration a_t").
+const PolicyInputDim = 2 + slicing.ConfigDim
+
+// MaxTraffic normalizes the traffic state (the prototype emulates up to
+// four users).
+const MaxTraffic = 4
+
+// EncodeInput builds the surrogate input vector for a scenario and
+// configuration.
+func EncodeInput(space slicing.ConfigSpace, traffic int, sla slicing.SLA, cfg slicing.Config) []float64 {
+	v := make([]float64, 0, PolicyInputDim)
+	v = append(v, float64(traffic)/MaxTraffic, sla.ThresholdMs/1000)
+	v = append(v, space.Normalize(cfg)...)
+	return v
+}
+
+// Policy is the offline-trained configuration policy: the BNN
+// approximation of the simulator QoE function Q_s plus the final dual
+// multiplier. It is the artifact stage 2 hands to stage 3.
+type Policy struct {
+	Model   *bnn.Model
+	Space   slicing.ConfigSpace
+	SLA     slicing.SLA
+	Traffic int
+	Lambda  float64
+}
+
+// Encode builds the model input for a configuration under the policy's
+// scenario.
+func (p *Policy) Encode(cfg slicing.Config) []float64 {
+	return EncodeInput(p.Space, p.Traffic, p.SLA, cfg)
+}
+
+// PredictQoE returns the model's posterior mean and std of the simulator
+// QoE for cfg, clamped into [0, 1].
+func (p *Policy) PredictQoE(cfg slicing.Config, samples int, rng *rand.Rand) (mean, std float64) {
+	mean, std = p.Model.Predict(p.Encode(cfg), samples, rng)
+	return mathx.Clip(mean, 0, 1), std
+}
+
+// PredictQoEBatch estimates the posterior mean and std of the simulator
+// QoE for many encoded inputs at once, drawing k weight samples and
+// evaluating every input under each — k draws total instead of k per
+// input, which is what makes large candidate pools affordable.
+func (p *Policy) PredictQoEBatch(inputs [][]float64, k int, rng *rand.Rand) (means, stds []float64) {
+	if k < 2 {
+		k = 2
+	}
+	n := len(inputs)
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	for d := 0; d < k; d++ {
+		draw := p.Model.Draw(rng)
+		for i, x := range inputs {
+			v := p.Model.Eval(draw, x)
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+	}
+	means = make([]float64, n)
+	stds = make([]float64, n)
+	kf := float64(k)
+	for i := 0; i < n; i++ {
+		m := sum[i] / kf
+		variance := sumSq[i]/kf - m*m
+		if variance < 0 {
+			variance = 0
+		}
+		means[i] = m
+		stds[i] = math.Sqrt(variance * kf / (kf - 1))
+	}
+	return means, stds
+}
+
+// SelectConfig picks the configuration minimizing the Lagrangian
+// F(a) − λ(Q̂(a) − E) over a random pool using the posterior-mean QoE —
+// the greedy deployment action of the trained policy.
+func (p *Policy) SelectConfig(pool int, rng *rand.Rand) slicing.Config {
+	draw := p.Model.MeanDraw()
+	best, bestL := slicing.Config{}, math.Inf(1)
+	for i := 0; i < pool; i++ {
+		cfg := p.Space.Sample(rng)
+		q := mathx.Clip(p.Model.Eval(draw, p.Encode(cfg)), 0, 1)
+		l := p.Space.Usage(cfg) - p.Lambda*(q-p.SLA.Availability)
+		if l < bestL {
+			best, bestL = cfg, l
+		}
+	}
+	return best
+}
+
+// OfflineOptions configures stage 2.
+type OfflineOptions struct {
+	Space   slicing.ConfigSpace
+	SLA     slicing.SLA
+	Traffic int
+
+	Iters   int // total iterations (paper: 1000)
+	Explore int // initial pure exploration (paper: 100)
+	Pool    int // candidate pool per selection
+	Batch   int // parallel simulator queries per iteration
+
+	// Eps is the dual step size ε of Eq. 9 (paper: 0.1).
+	Eps float64
+	// Episodes averaged per QoE query.
+	Episodes int
+
+	BNN       bnn.Options
+	FitEpochs int
+
+	// UseGP switches the surrogate to a Gaussian process and GPAcq
+	// selects its acquisition — the GP-EI / GP-PI / GP-UCB comparators
+	// of Fig. 17. With UseGP false, selection is the paper's parallel
+	// Thompson sampling on the BNN.
+	UseGP bool
+	GPAcq bo.Acquisition
+}
+
+// DefaultOfflineOptions returns harness-scale defaults.
+func DefaultOfflineOptions() OfflineOptions {
+	return OfflineOptions{
+		Space:     slicing.DefaultConfigSpace(),
+		SLA:       slicing.DefaultSLA(),
+		Traffic:   1,
+		Iters:     250,
+		Explore:   40,
+		Pool:      2000,
+		Batch:     4,
+		Eps:       0.1,
+		Episodes:  1,
+		BNN:       bnn.DefaultOptions(),
+		FitEpochs: 15,
+	}
+}
+
+// OfflineResult is the outcome of stage 2.
+type OfflineResult struct {
+	Policy *Policy
+	// BestConfig is the queried configuration with the lowest usage
+	// among those meeting the QoE requirement (measured in the
+	// simulator); BestUsage and BestQoE are its measurements.
+	BestConfig slicing.Config
+	BestUsage  float64
+	BestQoE    float64
+	// UsageCurve and QoECurve are per-iteration batch means (the
+	// training-progress series of Fig. 16).
+	UsageCurve []float64
+	QoECurve   []float64
+	// LambdaCurve tracks the dual multiplier.
+	LambdaCurve []float64
+}
+
+// OfflineTrainer runs stage 2 (Algorithm 2) against a simulator.
+type OfflineTrainer struct {
+	Opts OfflineOptions
+	// Env is the (augmented) simulator used as the offline environment.
+	Env slicing.Env
+}
+
+// NewOfflineTrainer builds a trainer against env.
+func NewOfflineTrainer(env slicing.Env, opts OfflineOptions) *OfflineTrainer {
+	return &OfflineTrainer{Opts: opts, Env: env}
+}
+
+// MeasureQoE queries the environment for the QoE of cfg, averaging the
+// configured number of episodes. Seeds derive from the configuration so
+// parallel queries are deterministic.
+func (t *OfflineTrainer) MeasureQoE(cfg slicing.Config) float64 {
+	base := seedOf(cfg.Vector())
+	var sum float64
+	n := max(1, t.Opts.Episodes)
+	for e := 0; e < n; e++ {
+		tr := t.Env.Episode(cfg, t.Opts.Traffic, mathx.ChildSeed(base, e))
+		sum += tr.QoE(t.Opts.SLA)
+	}
+	return sum / float64(n)
+}
+
+// Run executes offline training and returns the trained policy.
+func (t *OfflineTrainer) Run(rng *rand.Rand) *OfflineResult {
+	opts := t.Opts
+	space := opts.Space
+	model := bnn.New(PolicyInputDim, opts.BNN, mathx.NewRNG(rng.Int63()))
+	pol := &Policy{Model: model, Space: space, SLA: opts.SLA, Traffic: opts.Traffic}
+
+	var gpSur *bo.GPSurrogate
+	if opts.UseGP {
+		gpSur = bo.NewGPSurrogate()
+		if opts.GPAcq == nil {
+			// selectBatch reads t.Opts, so the default must land there.
+			t.Opts.GPAcq = bo.EI{}
+			opts = t.Opts
+		}
+	}
+	bnnSur := bo.NewBNNSurrogate(model, mathx.NewRNG(rng.Int63()))
+	bnnSur.FitEpochs = opts.FitEpochs
+
+	res := &OfflineResult{Policy: pol, BestUsage: math.Inf(1)}
+	var xs [][]float64
+	var ys []float64
+	lambda := 0.0
+
+	for it := 0; it < opts.Iters; it++ {
+		batch := t.selectBatch(it, lambda, gpSur, bnnSur, rng)
+
+		// Parallel simulator queries (the paper's multiprocessing PTS).
+		qoes := make([]float64, len(batch))
+		var wg sync.WaitGroup
+		for i := range batch {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				qoes[i] = t.MeasureQoE(batch[i])
+			}(i)
+		}
+		wg.Wait()
+
+		var usageSum, qoeSum float64
+		for i, cfg := range batch {
+			usage := space.Usage(cfg)
+			usageSum += usage
+			qoeSum += qoes[i]
+			xs = append(xs, pol.Encode(cfg))
+			ys = append(ys, qoes[i])
+			if qoes[i] >= opts.SLA.Availability && usage < res.BestUsage {
+				res.BestConfig, res.BestUsage, res.BestQoE = cfg, usage, qoes[i]
+			}
+		}
+		meanUsage := usageSum / float64(len(batch))
+		meanQoE := qoeSum / float64(len(batch))
+		res.UsageCurve = append(res.UsageCurve, meanUsage)
+		res.QoECurve = append(res.QoECurve, meanQoE)
+
+		// Dual update (Eq. 9), averaged over the parallel queries.
+		lambda = math.Max(0, lambda-opts.Eps*(meanQoE-opts.SLA.Availability))
+		res.LambdaCurve = append(res.LambdaCurve, lambda)
+
+		// Refit the surrogate on the grown collection.
+		if opts.UseGP {
+			_ = gpSur.Fit(xs, ys)
+		} else {
+			_ = bnnSur.Fit(xs, ys)
+		}
+	}
+	pol.Lambda = lambda
+	if math.IsInf(res.BestUsage, 1) {
+		// Nothing met the SLA: fall back to the highest-QoE query.
+		bestQ := -1.0
+		for i, x := range xs {
+			if ys[i] > bestQ {
+				bestQ = ys[i]
+				res.BestConfig = decodeConfig(space, x)
+				res.BestUsage = space.Usage(res.BestConfig)
+				res.BestQoE = ys[i]
+			}
+		}
+	}
+	return res
+}
+
+// selectBatch picks the next configurations to query: random during
+// warmup, Lagrangian Thompson sampling on the BNN otherwise (or the
+// acquisition-scored GP comparator).
+func (t *OfflineTrainer) selectBatch(it int, lambda float64, gpSur *bo.GPSurrogate, bnnSur *bo.BNNSurrogate, rng *rand.Rand) []slicing.Config {
+	opts := t.Opts
+	space := opts.Space
+	batch := max(1, opts.Batch)
+	if it < opts.Explore {
+		out := make([]slicing.Config, batch)
+		for i := range out {
+			out[i] = space.Sample(rng)
+		}
+		return out
+	}
+
+	pool := make([]slicing.Config, max(2, opts.Pool))
+	for i := range pool {
+		pool[i] = space.Sample(rng)
+	}
+
+	if opts.UseGP {
+		// Score the Lagrangian posterior with the acquisition: the
+		// Lagrangian mean is F − λ(μ_Q − E) and its std is λ·σ_Q.
+		type scored struct {
+			idx int
+			s   float64
+		}
+		bestL := math.Inf(1)
+		means := make([]float64, len(pool))
+		stds := make([]float64, len(pool))
+		for i, cfg := range pool {
+			mu, sd := gpSur.Predict(encodeFor(space, opts, cfg))
+			mu = mathx.Clip(mu, 0, 1)
+			means[i] = space.Usage(cfg) - lambda*(mu-opts.SLA.Availability)
+			stds[i] = lambda * sd
+			if means[i] < bestL {
+				bestL = means[i]
+			}
+		}
+		scores := make([]scored, len(pool))
+		for i := range pool {
+			scores[i] = scored{i, opts.GPAcq.Score(means[i], stds[i], bestL)}
+		}
+		picks := make([]slicing.Config, 0, batch)
+		used := make(map[int]bool)
+		for b := 0; b < batch; b++ {
+			bi, bs := -1, math.Inf(-1)
+			for _, s := range scores {
+				if !used[s.idx] && s.s > bs {
+					bi, bs = s.idx, s.s
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			used[bi] = true
+			picks = append(picks, pool[bi])
+		}
+		return picks
+	}
+
+	// Parallel Thompson sampling: one BNN draw per batch slot, each
+	// minimizing the Lagrangian over the pool (Algorithm 2, lines 3–7).
+	picks := make([]slicing.Config, batch)
+	for b := 0; b < batch; b++ {
+		draw := bnnSur.DrawFunc(rng)
+		best, bestL := pool[0], math.Inf(1)
+		for _, cfg := range pool {
+			q := mathx.Clip(draw(encodeFor(space, opts, cfg)), 0, 1)
+			l := space.Usage(cfg) - lambda*(q-opts.SLA.Availability)
+			if l < bestL {
+				best, bestL = cfg, l
+			}
+		}
+		picks[b] = best
+	}
+	return picks
+}
+
+func encodeFor(space slicing.ConfigSpace, opts OfflineOptions, cfg slicing.Config) []float64 {
+	return EncodeInput(space, opts.Traffic, opts.SLA, cfg)
+}
+
+func decodeConfig(space slicing.ConfigSpace, x []float64) slicing.Config {
+	return space.Denormalize(x[2:])
+}

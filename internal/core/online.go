@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/gp"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// ResidualModel selects what the online stage learns (the Fig. 23
+// ablation).
+type ResidualModel int
+
+// Residual-model choices.
+const (
+	// ResidualGP is the paper's design: a Gaussian process learns only
+	// the sim-to-real QoE difference G = Q − Q_s.
+	ResidualGP ResidualModel = iota
+	// ResidualBNN replaces the GP with a freshly initialized Bayesian
+	// network — sample-inefficient with ~100 online transitions.
+	ResidualBNN
+	// ContinueBNN drops the residual idea and keeps training the
+	// offline BNN directly on real QoE observations ("BNN-Cont'd").
+	ContinueBNN
+)
+
+// OnlineOptions configures stage 3.
+type OnlineOptions struct {
+	// N is the number of simulator queries used to update the dual
+	// multiplier after each online action (paper: 20).
+	N int
+	// Pool is the candidate pool per selection.
+	Pool int
+	// Eps is the dual step size of Eq. 15.
+	Eps float64
+	// Schedule produces β_t; defaults to the paper's cRGP-UCB with
+	// ρ = 0.1, B = 10.
+	Schedule bo.BetaSchedule
+	// Acq, when non-nil, replaces the confidence-bound selection with a
+	// classic acquisition on the Lagrangian posterior (the EI/PI
+	// comparators of Fig. 22).
+	Acq bo.Acquisition
+	// Model selects the online learner (Fig. 23 ablation).
+	Model ResidualModel
+	// OfflineAccel enables the simulator-driven multiplier updates;
+	// disabling it reproduces the "No Offline Acc." ablation.
+	OfflineAccel bool
+	// PredictSamples is the number of BNN draws for posterior
+	// estimates.
+	PredictSamples int
+	// Episodes averaged per simulator query.
+	Episodes int
+}
+
+// DefaultOnlineOptions mirrors the paper's §8 settings.
+func DefaultOnlineOptions() OnlineOptions {
+	return OnlineOptions{
+		N:              20,
+		Pool:           2000,
+		Eps:            0.1,
+		Schedule:       bo.CRGPUCBSchedule{Rho: 0.1, B: 3},
+		Model:          ResidualGP,
+		OfflineAccel:   true,
+		PredictSamples: 8,
+		Episodes:       1,
+	}
+}
+
+// OnlineLearner is stage 3 (Algorithm 3): it implements
+// slicing.OnlinePolicy, choosing one configuration per interval for the
+// real network while querying the augmented simulator on the side.
+type OnlineLearner struct {
+	Opts OnlineOptions
+	// Policy is the stage-2 artifact (offline BNN + multiplier). A nil
+	// model (see NewColdStart) reproduces the "No stage 2" ablation:
+	// everything must be learned online.
+	Policy *Policy
+	// Sim is the augmented simulator (stage-1 output). Nil disables
+	// simulator-side queries entirely.
+	Sim slicing.Env
+
+	lambda float64
+	rng    *rand.Rand
+
+	// Residual learner state.
+	gpModel  *gp.Regressor
+	bnnModel *bnn.Model
+	xs       [][]float64
+	ys       []float64
+
+	// Per-iteration log.
+	Usages []float64
+	QoEs   []float64
+}
+
+// NewOnlineLearner builds the online stage from the offline artifacts.
+func NewOnlineLearner(policy *Policy, sim slicing.Env, opts OnlineOptions, rng *rand.Rand) *OnlineLearner {
+	l := &OnlineLearner{Opts: opts, Policy: policy, Sim: sim, rng: rng}
+	if policy != nil {
+		l.lambda = policy.Lambda
+	}
+	if l.lambda <= 0 {
+		l.lambda = 1.0
+	}
+	switch opts.Model {
+	case ResidualBNN:
+		l.bnnModel = bnn.New(PolicyInputDim, bnn.DefaultOptions(), mathx.NewRNG(rng.Int63()))
+	case ContinueBNN:
+		// Continues training policy.Model; no extra model needed.
+	default:
+		l.gpModel = gp.NewRegressor()
+	}
+	return l
+}
+
+// Name implements slicing.OnlinePolicy.
+func (l *OnlineLearner) Name() string { return "Atlas" }
+
+// space returns the configuration space (from the policy when present).
+func (l *OnlineLearner) space() slicing.ConfigSpace {
+	if l.Policy != nil {
+		return l.Policy.Space
+	}
+	return slicing.DefaultConfigSpace()
+}
+
+func (l *OnlineLearner) sla() slicing.SLA {
+	if l.Policy != nil {
+		return l.Policy.SLA
+	}
+	return slicing.DefaultSLA()
+}
+
+func (l *OnlineLearner) traffic() int {
+	if l.Policy != nil {
+		return l.Policy.Traffic
+	}
+	return 1
+}
+
+func (l *OnlineLearner) encode(cfg slicing.Config) []float64 {
+	return EncodeInput(l.space(), l.traffic(), l.sla(), cfg)
+}
+
+// qs returns the offline model's QoE posterior (mean, std) for cfg, or
+// (0, 0) without a stage-2 policy.
+func (l *OnlineLearner) qs(cfg slicing.Config) (float64, float64) {
+	if l.Policy == nil || l.Policy.Model == nil || !l.Policy.Model.Fitted() {
+		return 0, 0
+	}
+	mean, std := l.Policy.PredictQoE(cfg, l.Opts.PredictSamples, l.rng)
+	return mean, std
+}
+
+// residual returns the online model's estimate (mean, std) of
+// G = Q − Q_s at cfg.
+func (l *OnlineLearner) residual(cfg slicing.Config) (float64, float64) {
+	x := l.encode(cfg)
+	switch l.Opts.Model {
+	case ResidualBNN:
+		if !l.bnnModel.Fitted() {
+			return 0, 0.3
+		}
+		return l.bnnModel.Predict(x, l.Opts.PredictSamples, l.rng)
+	case ContinueBNN:
+		// The residual concept is dropped; qoe comes straight from the
+		// (continually trained) offline model, so the residual is zero.
+		return 0, 0.1
+	default:
+		if l.gpModel == nil || !l.gpModel.Fitted() {
+			return 0, 0.3
+		}
+		return l.gpModel.Predict(x)
+	}
+}
+
+// simQoE queries the augmented simulator for Q_s(cfg).
+func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
+	if l.Sim == nil {
+		return 0
+	}
+	base := seedOf(cfg.Vector())
+	n := max(1, l.Opts.Episodes)
+	var sum float64
+	for e := 0; e < n; e++ {
+		tr := l.Sim.Episode(cfg, l.traffic(), mathx.ChildSeed(base, e))
+		sum += tr.QoE(l.sla())
+	}
+	return sum / float64(n)
+}
+
+// candidatePool is one scan of the configuration space: candidates with
+// their usage and the decomposed QoE posterior (offline Q_s and online
+// residual G, Eq. 12). Scanning once per interval and reusing the scan
+// across the inner dual updates keeps the cost independent of N.
+type candidatePool struct {
+	cfgs   []slicing.Config
+	usage  []float64
+	qsMean []float64
+	qsStd  []float64
+	gMean  []float64
+	gStd   []float64
+}
+
+// mean returns the combined QoE mean for candidate i.
+func (p *candidatePool) mean(i int) float64 { return p.qsMean[i] + p.gMean[i] }
+
+// std returns the combined QoE std for candidate i.
+func (p *candidatePool) std(i int) float64 {
+	return math.Sqrt(p.qsStd[i]*p.qsStd[i] + p.gStd[i]*p.gStd[i])
+}
+
+// scanPool samples a fresh candidate pool and evaluates both posterior
+// components over it. The offline BNN is evaluated with a constant
+// number of weight draws shared across the whole pool.
+func (l *OnlineLearner) scanPool(space slicing.ConfigSpace, rng *rand.Rand) *candidatePool {
+	n := max(2, l.Opts.Pool)
+	p := &candidatePool{
+		cfgs:   make([]slicing.Config, n),
+		usage:  make([]float64, n),
+		qsMean: make([]float64, n),
+		qsStd:  make([]float64, n),
+		gMean:  make([]float64, n),
+		gStd:   make([]float64, n),
+	}
+	inputs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p.cfgs[i] = space.Sample(rng)
+		p.usage[i] = space.Usage(p.cfgs[i])
+		inputs[i] = l.encode(p.cfgs[i])
+	}
+	if l.Policy != nil && l.Policy.Model != nil && l.Policy.Model.Fitted() {
+		means, stds := l.Policy.PredictQoEBatch(inputs, l.Opts.PredictSamples, l.rng)
+		copy(p.qsMean, means)
+		copy(p.qsStd, stds)
+	}
+	if l.Opts.Model != ContinueBNN {
+		for i := 0; i < n; i++ {
+			p.gMean[i], p.gStd[i] = l.residualAt(inputs[i])
+		}
+	}
+	return p
+}
+
+// residualAt is residual() on a pre-encoded input.
+func (l *OnlineLearner) residualAt(x []float64) (float64, float64) {
+	switch l.Opts.Model {
+	case ResidualBNN:
+		if !l.bnnModel.Fitted() {
+			return 0, 0.3
+		}
+		return l.bnnModel.Predict(x, l.Opts.PredictSamples, l.rng)
+	case ContinueBNN:
+		return 0, 0.1
+	default:
+		if l.gpModel == nil || !l.gpModel.Fitted() {
+			return 0, 0.3
+		}
+		return l.gpModel.Predict(x)
+	}
+}
+
+// argmin returns the pool index minimizing the Lagrangian
+// F(a) − λ·(clip(Q̂(a) + w·σ(a)) − E) with optimism weight w.
+func (p *candidatePool) argmin(lambda, optimism, availability float64) int {
+	best, bestL := 0, math.Inf(1)
+	for i := range p.cfgs {
+		q := mathx.Clip(p.mean(i)+optimism*p.std(i), 0, 1)
+		lag := p.usage[i] - lambda*(q-availability)
+		if lag < bestL {
+			best, bestL = i, lag
+		}
+	}
+	return best
+}
+
+// Next implements slicing.OnlinePolicy (Algorithm 3).
+func (l *OnlineLearner) Next(iter int, rng *rand.Rand) slicing.Config {
+	space := l.space()
+	sla := l.sla()
+
+	// The very first online action is the offline optimum, when one
+	// exists.
+	if iter == 0 && l.Policy != nil && l.Policy.Model != nil && l.Policy.Model.Fitted() {
+		return l.Policy.SelectConfig(max(2, l.Opts.Pool), rng)
+	}
+
+	pool := l.scanPool(space, rng)
+
+	// Offline acceleration: N simulator interactions refresh the dual
+	// multiplier around the current residual estimate (lines 3–10). The
+	// models do not change inside this loop — only λ does — so the pool
+	// scan is shared and each step re-minimizes the Lagrangian, queries
+	// the simulator at the chosen point, and updates λ with Eq. 15.
+	if l.Opts.OfflineAccel && l.Sim != nil {
+		for j := 0; j < l.Opts.N; j++ {
+			i := pool.argmin(l.lambda, 0, sla.Availability)
+			qs := l.simQoE(pool.cfgs[i])
+			l.lambda = math.Max(0, l.lambda-l.Opts.Eps*(qs+pool.gMean[i]-sla.Availability))
+		}
+	}
+
+	// Online selection.
+	if l.Opts.Acq != nil {
+		return l.selectAcq(pool, sla)
+	}
+	beta := 0.0
+	if l.Opts.Schedule != nil {
+		beta = l.Opts.Schedule.Beta(iter+1, rng)
+	}
+	i := pool.argmin(l.lambda, math.Sqrt(beta), sla.Availability)
+	return pool.cfgs[i]
+}
+
+// selectAcq scores the pool with a classic acquisition on the Lagrangian
+// posterior (Fig. 22 comparators).
+func (l *OnlineLearner) selectAcq(pool *candidatePool, sla slicing.SLA) slicing.Config {
+	n := len(pool.cfgs)
+	means := make([]float64, n)
+	stds := make([]float64, n)
+	bestMean := math.Inf(1)
+	for i := 0; i < n; i++ {
+		mu := mathx.Clip(pool.mean(i), 0, 1)
+		means[i] = pool.usage[i] - l.lambda*(mu-sla.Availability)
+		stds[i] = l.lambda * pool.std(i)
+		if means[i] < bestMean {
+			bestMean = means[i]
+		}
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if s := l.Opts.Acq.Score(means[i], stds[i], bestMean); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return pool.cfgs[best]
+}
+
+// Observe implements slicing.OnlinePolicy: it logs the outcome, learns
+// the residual from the paired simulator query (line 13 of Algorithm 3),
+// and — without offline acceleration — performs the single-sample dual
+// update.
+func (l *OnlineLearner) Observe(iter int, cfg slicing.Config, usage, qoe float64) {
+	l.Usages = append(l.Usages, usage)
+	l.QoEs = append(l.QoEs, qoe)
+
+	x := l.encode(cfg)
+	switch l.Opts.Model {
+	case ContinueBNN:
+		if l.Policy != nil && l.Policy.Model != nil {
+			l.xs = append(l.xs, x)
+			l.ys = append(l.ys, qoe)
+			l.Policy.Model.Fit(l.xs, l.ys, 20, 32)
+		}
+	default:
+		g := qoe - l.simQoE(cfg)
+		l.xs = append(l.xs, x)
+		l.ys = append(l.ys, g)
+		if l.Opts.Model == ResidualBNN {
+			l.bnnModel.Fit(l.xs, l.ys, 20, 32)
+		} else {
+			_ = l.gpModel.Fit(l.xs, l.ys)
+		}
+	}
+
+	if !l.Opts.OfflineAccel {
+		sla := l.sla()
+		g, _ := l.residual(cfg)
+		qs, _ := l.qs(cfg)
+		l.lambda = math.Max(0, l.lambda-l.Opts.Eps*(qs+g-sla.Availability))
+	}
+}
+
+// Lambda returns the current dual multiplier (exported for inspection
+// and tests).
+func (l *OnlineLearner) Lambda() float64 { return l.lambda }

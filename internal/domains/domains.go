@@ -1,0 +1,281 @@
+// Package domains implements the management plane of the paper's
+// prototype (§7.1): one domain manager per technical domain, each
+// translating its share of a slice configuration into domain-level
+// actions —
+//
+//   - radio: PRB allocation and MCS offsets via the FlexRAN-style
+//     controller;
+//   - transport: per-slice bandwidth via OpenFlow meter updates;
+//   - core: mapping the slice's users to its dedicated SPGW-U instance;
+//   - edge: the container's CPU ratio via the runtime (docker update).
+//
+// Managers validate their slice of the configuration, record an audit
+// trail of applied actions, and expose the currently enforced state.
+// The orchestrator (internal/core's lifecycle) drives them as a unit.
+package domains
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// Action is one applied management-plane operation, kept for audit.
+type Action struct {
+	Domain  string
+	Detail  string
+	Applied time.Time
+}
+
+// Manager configures one technical domain for one slice.
+type Manager interface {
+	// Domain names the technical domain (ran, transport, core, edge).
+	Domain() string
+	// Validate checks the manager's share of the configuration against
+	// domain limits without applying it.
+	Validate(cfg slicing.Config) error
+	// Apply enforces the configuration and returns the actions taken.
+	Apply(cfg slicing.Config) ([]Action, error)
+}
+
+// RANManager allocates PRBs and MCS offsets (the FlexRAN agent role).
+type RANManager struct {
+	MaxPRB float64 // cell capacity per direction
+
+	mu      sync.Mutex
+	current slicing.Config
+}
+
+// NewRANManager returns a manager for a 10 MHz cell (50 PRBs).
+func NewRANManager() *RANManager { return &RANManager{MaxPRB: 50} }
+
+// Domain implements Manager.
+func (m *RANManager) Domain() string { return "ran" }
+
+// Validate implements Manager.
+func (m *RANManager) Validate(cfg slicing.Config) error {
+	if cfg.BandwidthUL < 0 || cfg.BandwidthUL > m.MaxPRB {
+		return fmt.Errorf("ran: uplink PRBs %.1f outside [0, %.0f]", cfg.BandwidthUL, m.MaxPRB)
+	}
+	if cfg.BandwidthDL < 0 || cfg.BandwidthDL > m.MaxPRB {
+		return fmt.Errorf("ran: downlink PRBs %.1f outside [0, %.0f]", cfg.BandwidthDL, m.MaxPRB)
+	}
+	if cfg.MCSOffsetUL < 0 || cfg.MCSOffsetUL > 10 || cfg.MCSOffsetDL < 0 || cfg.MCSOffsetDL > 10 {
+		return fmt.Errorf("ran: MCS offsets (%.1f, %.1f) outside [0, 10]", cfg.MCSOffsetUL, cfg.MCSOffsetDL)
+	}
+	return nil
+}
+
+// Apply implements Manager.
+func (m *RANManager) Apply(cfg slicing.Config) ([]Action, error) {
+	if err := m.Validate(cfg); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = cfg
+	now := time.Now()
+	return []Action{
+		{Domain: "ran", Applied: now,
+			Detail: fmt.Sprintf("slice PRB allocation ul=%.0f dl=%.0f", cfg.BandwidthUL, cfg.BandwidthDL)},
+		{Domain: "ran", Applied: now,
+			Detail: fmt.Sprintf("link-adaptation backoff mcs_ul=%.0f mcs_dl=%.0f", cfg.MCSOffsetUL, cfg.MCSOffsetDL)},
+	}, nil
+}
+
+// Current returns the enforced radio allocation.
+func (m *RANManager) Current() slicing.Config {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// TransportManager meters the slice's backhaul bandwidth (the
+// OpenDayLight/OpenFlow meter role).
+type TransportManager struct {
+	PortCapMbps float64
+
+	mu      sync.Mutex
+	current float64
+}
+
+// NewTransportManager returns a manager for a 1 Gbps port.
+func NewTransportManager() *TransportManager { return &TransportManager{PortCapMbps: 1000} }
+
+// Domain implements Manager.
+func (m *TransportManager) Domain() string { return "transport" }
+
+// Validate implements Manager.
+func (m *TransportManager) Validate(cfg slicing.Config) error {
+	if cfg.BackhaulMbps < 0 || cfg.BackhaulMbps > m.PortCapMbps {
+		return fmt.Errorf("transport: meter rate %.1f Mbps outside [0, %.0f]", cfg.BackhaulMbps, m.PortCapMbps)
+	}
+	return nil
+}
+
+// Apply implements Manager.
+func (m *TransportManager) Apply(cfg slicing.Config) ([]Action, error) {
+	if err := m.Validate(cfg); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = cfg.BackhaulMbps
+	return []Action{{Domain: "transport", Applied: time.Now(),
+		Detail: fmt.Sprintf("OpenFlow meter set to %.1f Mbps", cfg.BackhaulMbps)}}, nil
+}
+
+// CurrentMbps returns the enforced meter rate.
+func (m *TransportManager) CurrentMbps() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// CoreManager pins the slice's users to its dedicated SPGW-U instance
+// (control/data-plane separation with per-slice user planes).
+type CoreManager struct {
+	mu    sync.Mutex
+	spgwu map[string]string // user IMSI → SPGW-U instance
+	slice string
+}
+
+// NewCoreManager returns a manager for the named slice.
+func NewCoreManager(sliceID string) *CoreManager {
+	return &CoreManager{spgwu: map[string]string{}, slice: sliceID}
+}
+
+// Domain implements Manager.
+func (m *CoreManager) Domain() string { return "core" }
+
+// Validate implements Manager: the core share of the configuration has
+// no numeric knobs; it always validates.
+func (m *CoreManager) Validate(slicing.Config) error { return nil }
+
+// Apply implements Manager: it (re-)asserts the user→SPGW-U mapping.
+func (m *CoreManager) Apply(slicing.Config) ([]Action, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return []Action{{Domain: "core", Applied: time.Now(),
+		Detail: fmt.Sprintf("slice %s served by dedicated SPGW-U (%d users attached)", m.slice, len(m.spgwu))}}, nil
+}
+
+// Attach maps a user to the slice's SPGW-U.
+func (m *CoreManager) Attach(imsi string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spgwu[imsi] = "spgwu-" + m.slice
+}
+
+// Detach removes a user.
+func (m *CoreManager) Detach(imsi string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.spgwu, imsi)
+}
+
+// Users returns the number of attached users.
+func (m *CoreManager) Users() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spgwu)
+}
+
+// EdgeManager scales the slice's edge container (docker update
+// --cpus).
+type EdgeManager struct {
+	mu      sync.Mutex
+	current float64
+}
+
+// NewEdgeManager returns an edge manager.
+func NewEdgeManager() *EdgeManager { return &EdgeManager{} }
+
+// Domain implements Manager.
+func (m *EdgeManager) Domain() string { return "edge" }
+
+// Validate implements Manager.
+func (m *EdgeManager) Validate(cfg slicing.Config) error {
+	if cfg.CPURatio < 0 || cfg.CPURatio > 1 {
+		return fmt.Errorf("edge: cpu ratio %.2f outside [0, 1]", cfg.CPURatio)
+	}
+	return nil
+}
+
+// Apply implements Manager.
+func (m *EdgeManager) Apply(cfg slicing.Config) ([]Action, error) {
+	if err := m.Validate(cfg); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = cfg.CPURatio
+	return []Action{{Domain: "edge", Applied: time.Now(),
+		Detail: fmt.Sprintf("docker update --cpus=%.2f", cfg.CPURatio)}}, nil
+}
+
+// CurrentRatio returns the enforced CPU ratio.
+func (m *EdgeManager) CurrentRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// Orchestrator drives all four domain managers as one transaction-ish
+// unit: Validate everything first, then Apply everything, collecting the
+// audit trail. A validation failure applies nothing.
+type Orchestrator struct {
+	RAN       *RANManager
+	Transport *TransportManager
+	Core      *CoreManager
+	Edge      *EdgeManager
+
+	mu    sync.Mutex
+	audit []Action
+}
+
+// NewOrchestrator wires the default managers for one slice.
+func NewOrchestrator(sliceID string) *Orchestrator {
+	return &Orchestrator{
+		RAN:       NewRANManager(),
+		Transport: NewTransportManager(),
+		Core:      NewCoreManager(sliceID),
+		Edge:      NewEdgeManager(),
+	}
+}
+
+// managers returns the domain managers in application order.
+func (o *Orchestrator) managers() []Manager {
+	return []Manager{o.RAN, o.Transport, o.Core, o.Edge}
+}
+
+// Apply validates the configuration against every domain and then
+// enforces it, returning the full action list.
+func (o *Orchestrator) Apply(cfg slicing.Config) ([]Action, error) {
+	for _, m := range o.managers() {
+		if err := m.Validate(cfg); err != nil {
+			return nil, fmt.Errorf("validate %s: %w", m.Domain(), err)
+		}
+	}
+	var all []Action
+	for _, m := range o.managers() {
+		acts, err := m.Apply(cfg)
+		if err != nil {
+			return all, fmt.Errorf("apply %s: %w", m.Domain(), err)
+		}
+		all = append(all, acts...)
+	}
+	o.mu.Lock()
+	o.audit = append(o.audit, all...)
+	o.mu.Unlock()
+	return all, nil
+}
+
+// Audit returns a copy of the applied-action history.
+func (o *Orchestrator) Audit() []Action {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Action(nil), o.audit...)
+}

@@ -1,0 +1,129 @@
+package domains
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func validConfig() slicing.Config {
+	return slicing.Config{BandwidthUL: 20, BandwidthDL: 10, MCSOffsetUL: 2, BackhaulMbps: 40, CPURatio: 0.6}
+}
+
+func TestRANValidation(t *testing.T) {
+	m := NewRANManager()
+	if err := m.Validate(validConfig()); err != nil {
+		t.Fatal(err)
+	}
+	bad := validConfig()
+	bad.BandwidthUL = 99
+	if err := m.Validate(bad); err == nil {
+		t.Fatal("accepted over-allocation")
+	}
+	bad = validConfig()
+	bad.MCSOffsetDL = 11
+	if err := m.Validate(bad); err == nil {
+		t.Fatal("accepted bad MCS offset")
+	}
+}
+
+func TestRANApplyRecordsState(t *testing.T) {
+	m := NewRANManager()
+	acts, err := m.Apply(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	if m.Current().BandwidthUL != 20 {
+		t.Fatal("state not recorded")
+	}
+}
+
+func TestTransportMeter(t *testing.T) {
+	m := NewTransportManager()
+	if _, err := m.Apply(validConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if m.CurrentMbps() != 40 {
+		t.Fatalf("meter = %v", m.CurrentMbps())
+	}
+	bad := validConfig()
+	bad.BackhaulMbps = 2000
+	if err := m.Validate(bad); err == nil {
+		t.Fatal("accepted rate beyond port capacity")
+	}
+}
+
+func TestCoreUserMapping(t *testing.T) {
+	m := NewCoreManager("ar-slice")
+	m.Attach("001010000000001")
+	m.Attach("001010000000002")
+	if m.Users() != 2 {
+		t.Fatalf("users = %d", m.Users())
+	}
+	m.Detach("001010000000001")
+	if m.Users() != 1 {
+		t.Fatalf("users after detach = %d", m.Users())
+	}
+	acts, err := m.Apply(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(acts[0].Detail, "ar-slice") {
+		t.Fatalf("audit detail %q", acts[0].Detail)
+	}
+}
+
+func TestEdgeCPU(t *testing.T) {
+	m := NewEdgeManager()
+	if _, err := m.Apply(validConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if m.CurrentRatio() != 0.6 {
+		t.Fatalf("ratio = %v", m.CurrentRatio())
+	}
+	bad := validConfig()
+	bad.CPURatio = 1.5
+	if err := m.Validate(bad); err == nil {
+		t.Fatal("accepted ratio > 1")
+	}
+}
+
+func TestOrchestratorAppliesAllDomains(t *testing.T) {
+	o := NewOrchestrator("s1")
+	acts, err := o.Apply(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range acts {
+		seen[a.Domain] = true
+	}
+	for _, d := range []string{"ran", "transport", "core", "edge"} {
+		if !seen[d] {
+			t.Fatalf("domain %s missing from actions", d)
+		}
+	}
+	if len(o.Audit()) != len(acts) {
+		t.Fatal("audit trail incomplete")
+	}
+}
+
+func TestOrchestratorValidatesBeforeApplying(t *testing.T) {
+	o := NewOrchestrator("s1")
+	bad := validConfig()
+	bad.CPURatio = 7 // edge invalid, but RAN valid
+	if _, err := o.Apply(bad); err == nil {
+		t.Fatal("orchestrator accepted invalid config")
+	}
+	// Nothing may have been applied: RAN state must be untouched.
+	if o.RAN.Current() != (slicing.Config{}) {
+		t.Fatal("partial application after validation failure")
+	}
+	if len(o.Audit()) != 0 {
+		t.Fatal("audit recorded a failed transaction")
+	}
+}

@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 motivation and §8). Each experiment is registered under
+// the paper's artifact id (table1, fig2, …, fig26) and emits the same
+// rows or series the paper reports, so `atlas-bench -run all` produces a
+// complete reproduction log.
+//
+// Budgets come in three tiers: Quick (unit tests), Default (minutes on a
+// laptop core), and Paper (the paper's iteration counts).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Budget sets the iteration counts and pool sizes of the pipeline.
+type Budget struct {
+	Stage1Iters   int
+	Stage1Explore int
+	Stage2Iters   int
+	Stage2Explore int
+	OnlineIters   int
+	Batch         int
+	Pool          int
+	OracleBudget  int
+	DrEpisodes    int // episodes in the online collection D_r
+	GridLevels    []float64
+	SweepScale    float64 // multiplies stage budgets inside parameter sweeps
+}
+
+// QuickBudget is sized for unit tests.
+func QuickBudget() Budget {
+	return Budget{
+		Stage1Iters: 30, Stage1Explore: 10,
+		Stage2Iters: 40, Stage2Explore: 12,
+		OnlineIters: 8, Batch: 2, Pool: 200,
+		OracleBudget: 60, DrEpisodes: 1,
+		GridLevels: []float64{0.0, 0.45, 0.9},
+		SweepScale: 0.5,
+	}
+}
+
+// DefaultBudget runs the full suite in tens of minutes on one core.
+func DefaultBudget() Budget {
+	return Budget{
+		Stage1Iters: 150, Stage1Explore: 30,
+		Stage2Iters: 200, Stage2Explore: 40,
+		OnlineIters: 100, Batch: 4, Pool: 1500,
+		OracleBudget: 400, DrEpisodes: 3,
+		GridLevels: []float64{0.0, 0.3, 0.6, 0.9},
+		SweepScale: 0.6,
+	}
+}
+
+// PaperBudget restores the paper's §8 settings (500/1000/100 iterations,
+// 16 parallel queries, 10K selection pools).
+func PaperBudget() Budget {
+	return Budget{
+		Stage1Iters: 500, Stage1Explore: 100,
+		Stage2Iters: 1000, Stage2Explore: 100,
+		OnlineIters: 100, Batch: 16, Pool: 10000,
+		OracleBudget: 1500, DrEpisodes: 5,
+		GridLevels: []float64{0.0, 0.3, 0.6, 0.9},
+		SweepScale: 1.0,
+	}
+}
+
+// Params configures one experiment run.
+type Params struct {
+	Seed   int64
+	Budget Budget
+	// Lab carries shared fixtures across experiments in one process;
+	// NewLab(seed, budget) builds one.
+	Lab *Lab
+}
+
+// Row is one labelled series of values in a result table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Result is the reproduction of one paper artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string // column labels (optional)
+	Rows   []Row
+	Notes  []string
+}
+
+// AddRow appends a labelled series.
+func (r *Result) AddRow(label string, values ...float64) {
+	r.Rows = append(r.Rows, Row{Label: label, Values: values})
+}
+
+// AddNote appends a free-form observation (paper-vs-measured comments).
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the result as an aligned text table.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	labelW := 12
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	if len(r.Header) > 0 {
+		fmt.Fprintf(w, "%-*s", labelW+2, "")
+		for _, h := range r.Header {
+			fmt.Fprintf(w, "%12s", h)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-*s", labelW+2, row.Label)
+		for _, v := range row.Values {
+			fmt.Fprintf(w, "%12.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Func runs one experiment.
+type Func func(p Params) *Result
+
+var registry = map[string]Func{}
+var order []string
+
+// Register adds an experiment under its paper artifact id.
+func Register(id string, f Func) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = f
+	order = append(order, id)
+}
+
+// Lookup returns the experiment registered under id.
+func Lookup(id string) (Func, bool) {
+	f, ok := registry[strings.ToLower(id)]
+	return f, ok
+}
+
+// IDs returns all registered experiment ids in registration order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	return out
+}
+
+// SortedIDs returns ids sorted with tables first then figures by number.
+func SortedIDs() []string {
+	out := IDs()
+	sort.Slice(out, func(i, j int) bool { return artifactKey(out[i]) < artifactKey(out[j]) })
+	return out
+}
+
+func artifactKey(id string) int {
+	var n int
+	switch {
+	case strings.HasPrefix(id, "table"):
+		fmt.Sscanf(id, "table%d", &n)
+		return n * 10
+	case strings.HasPrefix(id, "fig"):
+		fmt.Sscanf(id, "fig%d", &n)
+		return n*10 + 5
+	default:
+		return 1 << 20
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// expectedIDs is the complete inventory of evaluation artifacts in the
+// paper: every table and figure of §2 (motivation) and §8 (evaluation).
+var expectedIDs = []string{
+	"table1", "table4", "table5",
+	"fig2", "fig3", "fig4", "fig5",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"fig16", "fig17", "fig18", "fig19",
+	"fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, id := range expectedIDs {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got, want := len(IDs()), len(expectedIDs); got != want {
+		t.Errorf("registry has %d experiments, want %d", got, want)
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	if _, ok := Lookup("TABLE1"); !ok {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestSortedIDsOrder(t *testing.T) {
+	ids := SortedIDs()
+	// tableN sorts by N among tables; figures interleave by number.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if pos["table1"] > pos["fig2"] {
+		t.Fatal("table1 should precede fig2")
+	}
+	if pos["fig8"] > pos["fig9"] {
+		t.Fatal("fig8 should precede fig9")
+	}
+	if pos["table4"] > pos["fig8"] {
+		t.Fatal("table4 (between fig5 and fig8) misplaced")
+	}
+}
+
+func TestResultPrint(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	r.AddRow("row1", 1, 2)
+	r.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "row1", "hello 7", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckpointHelpers(t *testing.T) {
+	c := checkpoints(100, 5)
+	if len(c) != 5 || c[0] != 0 || c[4] != 99 {
+		t.Fatalf("checkpoints = %v", c)
+	}
+	if got := checkpoints(3, 10); len(got) != 3 {
+		t.Fatalf("oversized k = %v", got)
+	}
+	if checkpoints(0, 5) != nil {
+		t.Fatal("empty series should yield nil")
+	}
+	vals := at([]float64{10, 20, 30}, []int{0, 2, 9})
+	if vals[0] != 10 || vals[1] != 30 || vals[2] != 30 {
+		t.Fatalf("at = %v", vals)
+	}
+}
+
+func TestCumMean(t *testing.T) {
+	got := cumMean([]float64{1, 3, 5}, 1)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("cumMean = %v", got)
+	}
+}
+
+func TestBudgetTiers(t *testing.T) {
+	q, d, p := QuickBudget(), DefaultBudget(), PaperBudget()
+	if !(q.Stage1Iters < d.Stage1Iters && d.Stage1Iters < p.Stage1Iters) {
+		t.Fatal("stage-1 budgets not ordered")
+	}
+	if p.Stage2Iters != 1000 || p.OnlineIters != 100 || p.Batch != 16 {
+		t.Fatalf("paper budget does not match §8: %+v", p)
+	}
+}
+
+// TestMotivationExperimentsRun exercises the cheap experiments end to
+// end on the quick budget; the heavier pipeline experiments are covered
+// by the root-level integration test and benchmarks.
+func TestMotivationExperimentsRun(t *testing.T) {
+	lab := NewLab(7, QuickBudget())
+	params := Params{Seed: 7, Budget: QuickBudget(), Lab: lab}
+	for _, id := range []string{"table1", "fig2", "fig3", "fig4", "fig11"} {
+		f, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res := f(params)
+		if res.ID != id {
+			t.Fatalf("result id %q for experiment %s", res.ID, id)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		for _, row := range res.Rows {
+			if len(row.Values) == 0 {
+				t.Fatalf("%s row %q empty", id, row.Label)
+			}
+		}
+	}
+}
+
+func TestLabMemoizesFixtures(t *testing.T) {
+	lab := NewLab(9, QuickBudget())
+	a := lab.DR()
+	b := lab.DR()
+	if &a[0] != &b[0] {
+		t.Fatal("DR recomputed")
+	}
+	o1 := lab.Oracle(1, lab.SLA)
+	o2 := lab.Oracle(1, lab.SLA)
+	if o1.Config != o2.Config {
+		t.Fatal("oracle recomputed differently")
+	}
+	g1 := lab.GridTraces(1)
+	g2 := lab.GridTraces(1)
+	if len(g1) != len(g2) {
+		t.Fatal("grid recomputed differently")
+	}
+}
+
+func TestStage1ExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stage-1 pipeline in -short mode")
+	}
+	lab := NewLab(11, QuickBudget())
+	params := Params{Seed: 11, Budget: QuickBudget(), Lab: lab}
+	f, _ := Lookup("table4")
+	res := f(params)
+	if len(res.Rows) != 3 {
+		t.Fatalf("table4 rows = %d", len(res.Rows))
+	}
+	orig := res.Rows[0].Values[0]
+	ours := res.Rows[2].Values[0]
+	if ours >= orig {
+		t.Fatalf("calibration did not reduce discrepancy: %v -> %v", orig, ours)
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/baselines"
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// Lab owns the shared fixtures of the evaluation — the real-network
+// surrogate, the simulator, the online collection D_r, calibration
+// results, offline policies, oracles and grid datasets — and memoizes
+// them so a full `-run all` sweep computes each expensive artifact once.
+// All accessors are safe for use from a single goroutine (the bench
+// harness runs experiments sequentially).
+type Lab struct {
+	Seed   int64
+	Budget Budget
+
+	Real  *realnet.Network
+	Sim   *simnet.Simulator
+	Space slicing.ConfigSpace
+	SLA   slicing.SLA
+
+	once struct {
+		dr, calOurs, calGP sync.Once
+	}
+	dr      []float64
+	calOurs *core.CalibrationResult
+	calGP   *core.CalibrationResult
+
+	policies map[string]*core.OfflineResult
+	oracles  map[string]baselines.Oracle
+	grids    map[int][]GridPoint
+	runs     map[string][]*baselines.RunResult
+}
+
+// GridPoint is one grid-searched configuration with its measured latency
+// trace; QoE labels for any threshold Y derive from the trace.
+type GridPoint struct {
+	Config    slicing.Config
+	Latencies []float64
+}
+
+// NewLab builds a lab with fresh fixtures.
+func NewLab(seed int64, budget Budget) *Lab {
+	return &Lab{
+		Seed:     seed,
+		Budget:   budget,
+		Real:     realnet.New(),
+		Sim:      simnet.NewDefault(),
+		Space:    slicing.DefaultConfigSpace(),
+		SLA:      slicing.DefaultSLA(),
+		policies: map[string]*core.OfflineResult{},
+		oracles:  map[string]baselines.Oracle{},
+		grids:    map[int][]GridPoint{},
+		runs:     map[string][]*baselines.RunResult{},
+	}
+}
+
+func (l *Lab) rng(salt int64) int64 { return mathx.ChildSeed(l.Seed, int(salt%1024)) }
+
+// DR returns the online collection D_r (traffic 1, full resources).
+func (l *Lab) DR() []float64 {
+	l.once.dr.Do(func() {
+		l.dr = l.Real.Collect(core.FullConfig(), 1, l.Budget.DrEpisodes, l.rng(1))
+	})
+	return l.dr
+}
+
+func (l *Lab) calibratorOptions() core.CalibratorOptions {
+	opts := core.DefaultCalibratorOptions()
+	opts.Iters = l.Budget.Stage1Iters
+	opts.Explore = l.Budget.Stage1Explore
+	opts.Batch = l.Budget.Batch
+	opts.Pool = l.Budget.Pool
+	return opts
+}
+
+// CalibrationOurs returns the stage-1 result with the BNN+PTS searcher.
+func (l *Lab) CalibrationOurs() *core.CalibrationResult {
+	l.once.calOurs.Do(func() {
+		cal := core.NewCalibrator(l.Sim, l.DR(), l.calibratorOptions())
+		l.calOurs = cal.Run(mathx.NewRNG(l.rng(2)))
+	})
+	return l.calOurs
+}
+
+// CalibrationGP returns the stage-1 result with the GP comparator.
+func (l *Lab) CalibrationGP() *core.CalibrationResult {
+	l.once.calGP.Do(func() {
+		opts := l.calibratorOptions()
+		opts.UseGP = true
+		cal := core.NewCalibrator(l.Sim, l.DR(), opts)
+		l.calGP = cal.Run(mathx.NewRNG(l.rng(3)))
+	})
+	return l.calGP
+}
+
+// Augmented returns the calibrated ("augmented") simulator.
+func (l *Lab) Augmented() *simnet.Simulator {
+	return l.Sim.WithParams(l.CalibrationOurs().BestParams)
+}
+
+// OriginalKL returns the uncalibrated simulator's discrepancy.
+func (l *Lab) OriginalKL() float64 {
+	cal := core.NewCalibrator(l.Sim, l.DR(), l.calibratorOptions())
+	return cal.Discrepancy(slicing.DefaultSimParams())
+}
+
+func scenarioKey(traffic int, sla slicing.SLA) string {
+	return fmt.Sprintf("t%d-y%.0f-e%.3f", traffic, sla.ThresholdMs, sla.Availability)
+}
+
+// Offline returns the stage-2 result for a scenario, training it in the
+// augmented simulator on first use. Scenarios other than the primary
+// one (traffic 1, default SLA) use the sweep-scaled budget.
+func (l *Lab) Offline(traffic int, sla slicing.SLA) *core.OfflineResult {
+	key := scenarioKey(traffic, sla)
+	if res, ok := l.policies[key]; ok {
+		return res
+	}
+	opts := core.DefaultOfflineOptions()
+	opts.Traffic = traffic
+	opts.SLA = sla
+	opts.Iters = l.Budget.Stage2Iters
+	opts.Explore = l.Budget.Stage2Explore
+	opts.Batch = l.Budget.Batch
+	opts.Pool = l.Budget.Pool
+	primary := traffic == 1 && sla == slicing.DefaultSLA()
+	if !primary {
+		opts.Iters = scaled(opts.Iters, l.Budget.SweepScale)
+		opts.Explore = scaled(opts.Explore, l.Budget.SweepScale)
+	}
+	res := core.NewOfflineTrainer(l.Augmented(), opts).Run(mathx.NewRNG(l.rng(int64(10 + len(key)))))
+	l.policies[key] = res
+	return res
+}
+
+// Oracle returns φ* for a scenario on the real network.
+func (l *Lab) Oracle(traffic int, sla slicing.SLA) baselines.Oracle {
+	key := scenarioKey(traffic, sla)
+	if o, ok := l.oracles[key]; ok {
+		return o
+	}
+	o := baselines.FindOracle(l.Real, l.Space, sla, traffic, l.Budget.OracleBudget, 2, l.rng(int64(100+len(key))))
+	l.oracles[key] = o
+	return o
+}
+
+// GridTraces returns the DLDA offline grid dataset for a traffic level,
+// collected in the *uncalibrated* simulator (DLDA has no equivalent of
+// Atlas's stage 1; the learning-based simulator is Atlas's own
+// contribution): each grid configuration's full latency trace, so QoE
+// labels can be derived for any SLA threshold.
+func (l *Lab) GridTraces(traffic int) []GridPoint {
+	if g, ok := l.grids[traffic]; ok {
+		return g
+	}
+	levels := l.Budget.GridLevels
+	env := l.Sim
+	rng := mathx.NewRNG(l.rng(int64(200 + traffic)))
+	var out []GridPoint
+	u := make([]float64, slicing.ConfigDim)
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == slicing.ConfigDim {
+			cfg := l.Space.Denormalize(append([]float64(nil), u...))
+			tr := env.Episode(cfg, traffic, rng.Int63())
+			out = append(out, GridPoint{Config: cfg, Latencies: tr.LatenciesMs})
+			return
+		}
+		for _, v := range levels {
+			u[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	l.grids[traffic] = out
+	return out
+}
+
+// NewDLDA builds the DLDA baseline trained on the lab's grid dataset for
+// the scenario.
+func (l *Lab) NewDLDA(traffic int, sla slicing.SLA, seedSalt int64) *baselines.DLDA {
+	d := baselines.NewDLDA(l.Space, sla, traffic, mathx.NewRNG(l.rng(300+seedSalt)))
+	grid := l.GridTraces(traffic)
+	cfgs := make([]slicing.Config, len(grid))
+	traces := make([][]float64, len(grid))
+	for i, g := range grid {
+		cfgs[i] = g.Config
+		traces[i] = g.Latencies
+	}
+	d.TrainFromTraces(cfgs, traces, l.rng(400+seedSalt))
+	return d
+}
+
+// NewAtlasLearner builds the stage-3 learner for a scenario with the
+// given option overrides applied.
+func (l *Lab) NewAtlasLearner(traffic int, sla slicing.SLA, seedSalt int64, mutate func(*core.OnlineOptions)) *core.OnlineLearner {
+	opts := core.DefaultOnlineOptions()
+	opts.Pool = l.Budget.Pool
+	if mutate != nil {
+		mutate(&opts)
+	}
+	pol := l.Offline(traffic, sla).Policy
+	return core.NewOnlineLearner(pol, l.Augmented(), opts, mathx.NewRNG(l.rng(500+seedSalt)))
+}
+
+func scaled(n int, f float64) int {
+	if f <= 0 {
+		return n
+	}
+	out := int(float64(n) * f)
+	if out < 10 {
+		out = 10
+	}
+	return out
+}

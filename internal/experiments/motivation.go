@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/atlas-slicing/atlas/internal/baselines"
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+func init() {
+	Register("table1", table1)
+	Register("fig2", fig2)
+	Register("fig3", fig3)
+	Register("fig4", fig4)
+	Register("fig5", fig5)
+}
+
+// table1 reproduces Table 1: link-layer performance of the simulator
+// versus the real network under full resources.
+func table1(p Params) *Result {
+	l := p.Lab
+	sim := l.Sim.Measure(core.FullConfig(), l.rng(1001))
+	real := l.Real.Measure(core.FullConfig(), l.rng(1002))
+
+	r := &Result{ID: "table1", Title: "Network performance comparison (10 MHz LTE)",
+		Header: []string{"Simulator", "RealNetwork"}}
+	r.AddRow("Ping (ms)", sim.PingMs, real.PingMs)
+	r.AddRow("UL tput (Mbps)", sim.ULThroughputMbps, real.ULThroughputMbps)
+	r.AddRow("DL tput (Mbps)", sim.DLThroughputMbps, real.DLThroughputMbps)
+	r.AddRow("UL PER", sim.ULPER, real.ULPER)
+	r.AddRow("DL PER", sim.DLPER, real.DLPER)
+	r.AddNote("paper: ping 34/34.6 ms, UL 19.87/17.53, DL 32.37/31.12, ULPER 4.16e-3/9.17e-3, DLPER 2.05e-3/5.15e-3")
+	r.AddNote("shape: real slightly worse everywhere, PER roughly 2x")
+	return r
+}
+
+// fig2 reproduces Fig. 2: the end-to-end latency CDF under one slice
+// user, simulator vs system.
+func fig2(p Params) *Result {
+	l := p.Lab
+	sim := l.Sim.Episode(core.FullConfig(), 1, l.rng(1011))
+	real := l.Real.Episode(core.FullConfig(), 1, l.rng(1012))
+
+	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	r := &Result{ID: "fig2", Title: "End-to-end latency CDF under one slice user (quantiles, ms)",
+		Header: []string{"p10", "p25", "p50", "p75", "p90", "p95", "p99"}}
+	r.AddRow("Simulator", stats.Quantiles(sim.LatenciesMs, qs)...)
+	r.AddRow("System", stats.Quantiles(real.LatenciesMs, qs)...)
+	ms, mr := stats.Summarize(sim.LatenciesMs), stats.Summarize(real.LatenciesMs)
+	r.AddRow("mean", ms.Mean, mr.Mean)
+	r.AddNote("paper: system average latency 25.2%% higher than simulator; measured %+.1f%%",
+		100*(mr.Mean/ms.Mean-1))
+	return r
+}
+
+// fig3 reproduces Fig. 3: latency statistics under user traffic 1–4.
+func fig3(p Params) *Result {
+	l := p.Lab
+	r := &Result{ID: "fig3", Title: "End-to-end latency under different user traffic (ms)",
+		Header: []string{"simMean", "simStd", "sysMean", "sysStd"}}
+	for traffic := 1; traffic <= 4; traffic++ {
+		sim := l.Sim.Episode(core.FullConfig(), traffic, l.rng(int64(1020+traffic)))
+		real := l.Real.Episode(core.FullConfig(), traffic, l.rng(int64(1030+traffic)))
+		ms, mr := stats.Summarize(sim.LatenciesMs), stats.Summarize(real.LatenciesMs)
+		r.AddRow(label("traffic", traffic), ms.Mean, ms.Std, mr.Mean, mr.Std)
+	}
+	r.AddNote("shape: mean and variance of the discrepancy grow with traffic")
+	return r
+}
+
+// fig4 reproduces Fig. 4: the KL-divergence heatmap of application
+// latency over (CPU usage, UL bandwidth usage).
+func fig4(p Params) *Result {
+	l := p.Lab
+	levels := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	r := &Result{ID: "fig4", Title: "KL divergence between system and simulator latency (rows: UL BW usage, cols: CPU usage)",
+		Header: []string{"cpu10%", "cpu30%", "cpu50%", "cpu70%", "cpu90%"}}
+	for _, ulFrac := range levels {
+		row := make([]float64, 0, len(levels))
+		for _, cpuFrac := range levels {
+			cfg := slicing.Config{
+				BandwidthUL:  ulFrac * l.Space.Max.BandwidthUL,
+				BandwidthDL:  0.5 * l.Space.Max.BandwidthDL,
+				BackhaulMbps: 0.5 * l.Space.Max.BackhaulMbps,
+				CPURatio:     cpuFrac * l.Space.Max.CPURatio,
+			}
+			seed := l.rng(int64(1040 + int(ulFrac*100) + int(cpuFrac*10)))
+			sim := l.Sim.Episode(cfg, 1, seed)
+			real := l.Real.Episode(cfg, 1, seed+1)
+			row = append(row, stats.KLDivergence(real.LatenciesMs, sim.LatenciesMs))
+		}
+		r.AddRow(labelPct("ulbw", ulFrac), row...)
+	}
+	r.AddNote("shape: discrepancy is uneven across resource configurations (paper: up to >10 at scarce resources)")
+	return r
+}
+
+// fig5 reproduces Fig. 5: the online-learning footprint (resource usage
+// vs QoE) of two state-of-the-art methods, DLDA and plain Bayesian
+// optimization, showing how many explored actions violate the QoE
+// requirement.
+func fig5(p Params) *Result {
+	l := p.Lab
+	iters := p.Budget.OnlineIters
+	oracle := l.Oracle(1, l.SLA)
+
+	bobl := baselines.NewDirectBO(l.Space, l.SLA, 1)
+	boRun := baselines.RunOnline(bobl, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(1051))
+
+	dlda := l.NewDLDA(1, l.SLA, 1052)
+	dldaRun := baselines.RunOnline(dlda, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(1053))
+
+	r := &Result{ID: "fig5", Title: "Footprint of online learning methods (fraction of actions by outcome)",
+		Header: []string{"meetQoE", "violate", "meanUsage%", "meanQoE"}}
+	for _, run := range []*baselines.RunResult{boRun, dldaRun} {
+		meet := 0
+		for _, q := range run.QoEs {
+			if q >= l.SLA.Availability {
+				meet++
+			}
+		}
+		n := float64(len(run.QoEs))
+		r.AddRow(run.Name, float64(meet)/n, 1-float64(meet)/n,
+			100*mathx.Vector(run.Usages).Mean(), mathx.Vector(run.QoEs).Mean())
+	}
+	r.AddNote("paper: most configuration actions explored by both solutions fail the QoE requirement of 0.9")
+	return r
+}
+
+func label(prefix string, v int) string { return fmt.Sprintf("%s=%d", prefix, v) }
+
+func labelPct(prefix string, frac float64) string {
+	return fmt.Sprintf("%s=%d%%", prefix, int(frac*100+0.5))
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"fmt"
+
+	"github.com/atlas-slicing/atlas/internal/baselines"
+	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func init() {
+	Register("table5", table5)
+	Register("fig20", fig20)
+	Register("fig21", fig21)
+	Register("fig22", fig22)
+	Register("fig23", fig23)
+	Register("fig24", fig24)
+	Register("fig25", fig25)
+	Register("fig26", fig26)
+}
+
+// onlineMethods builds the four online methods of §8.3 for a scenario.
+func onlineMethods(l *Lab, traffic int, sla slicing.SLA, salt int64) []slicing.OnlinePolicy {
+	return []slicing.OnlinePolicy{
+		baselines.NewDirectBO(l.Space, sla, traffic),
+		baselines.NewVirtualEdge(l.Space, sla, traffic),
+		l.NewDLDA(traffic, sla, salt),
+		l.NewAtlasLearner(traffic, sla, salt, nil),
+	}
+}
+
+// runAll executes every method on the real network for the scenario,
+// memoizing by (scenario, iters, salt): Table 5 and Figs. 20-21 report
+// the same runs, exactly as the paper does.
+func runAll(l *Lab, traffic int, sla slicing.SLA, iters int, salt int64) []*baselines.RunResult {
+	key := fmt.Sprintf("%s-i%d-s%d", scenarioKey(traffic, sla), iters, salt)
+	if cached, ok := l.runs[key]; ok {
+		return cached
+	}
+	oracle := l.Oracle(traffic, sla)
+	var out []*baselines.RunResult
+	for i, m := range onlineMethods(l, traffic, sla, salt) {
+		out = append(out, baselines.RunOnline(m, l.Real, l.Space, sla, traffic, iters, oracle, l.rng(salt+int64(10*i))))
+	}
+	l.runs[key] = out
+	return out
+}
+
+// table5 reproduces Table 5: average usage and QoE regret of online
+// learning under the four methods.
+func table5(p Params) *Result {
+	l := p.Lab
+	runs := runAll(l, 1, l.SLA, p.Budget.OnlineIters, 3000)
+	oracle := l.Oracle(1, l.SLA)
+
+	r := &Result{ID: "table5", Title: "Details of online learning under different methods",
+		Header: []string{"usageReg%", "qoeReg", "offQueries"}}
+	for _, run := range runs {
+		off := 0.0
+		if run.Name == "Atlas" {
+			off = float64(core.DefaultOnlineOptions().N * p.Budget.OnlineIters)
+		}
+		if run.Name == "DLDA" {
+			// DLDA consumed the offline grid dataset.
+			off = float64(len(l.GridTraces(1)))
+		}
+		r.AddRow(run.Name, 100*run.Regret.AvgUsageRegret(), run.Regret.AvgQoERegret(), off)
+	}
+	r.AddNote("oracle: usage=%.1f%% qoe=%.3f cfg=%v", 100*oracle.Usage, oracle.QoE, oracle.Config)
+	r.AddNote("paper: Baseline 35.83/0.31, VirtualEdge 16.06/0.34, DLDA 8.79/0.54, Ours 3.17/0.077")
+	r.AddNote("shape: ours lowest on both regrets (paper: 63.9%% and 85.7%% reduction vs DLDA)")
+	return r
+}
+
+// fig20 reproduces Fig. 20: online average resource usage vs iteration.
+func fig20(p Params) *Result {
+	return onlineProgress(p, "fig20", "Online training progress: avg resource usage (%)", func(run *baselines.RunResult) []float64 {
+		return cumMean(run.Usages, 100)
+	})
+}
+
+// fig21 reproduces Fig. 21: online average QoE vs iteration.
+func fig21(p Params) *Result {
+	return onlineProgress(p, "fig21", "Online training progress: avg QoE", func(run *baselines.RunResult) []float64 {
+		return cumMean(run.QoEs, 1)
+	})
+}
+
+func onlineProgress(p Params, id, title string, series func(*baselines.RunResult) []float64) *Result {
+	l := p.Lab
+	runs := runAll(l, 1, l.SLA, p.Budget.OnlineIters, 3000)
+	r := &Result{ID: id, Title: title}
+	check := checkpoints(p.Budget.OnlineIters, 10)
+	r.Header = make([]string, len(check))
+	for i, c := range check {
+		r.Header[i] = fmt.Sprintf("it%d", c)
+	}
+	for _, run := range runs {
+		r.AddRow(run.Name, at(series(run), check)...)
+	}
+	r.AddNote("shape: Atlas converges near the optimum while keeping QoE around E (paper Figs. 20-21)")
+	return r
+}
+
+// cumMean returns the running mean of xs scaled by s.
+func cumMean(xs []float64, s float64) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		out[i] = s * sum / float64(i+1)
+	}
+	return out
+}
+
+// fig22 reproduces Fig. 22: the footprint of Atlas under different
+// acquisition functions.
+func fig22(p Params) *Result {
+	l := p.Lab
+	oracle := l.Oracle(1, l.SLA)
+	variants := []struct {
+		name   string
+		mutate func(*core.OnlineOptions)
+	}{
+		{"PI", func(o *core.OnlineOptions) { o.Acq = bo.PI{} }},
+		{"EI", func(o *core.OnlineOptions) { o.Acq = bo.EI{} }},
+		{"GP-UCB", func(o *core.OnlineOptions) { o.Schedule = bo.GPUCBSchedule{Delta: 0.1} }},
+		{"cRGP-UCB", nil},
+	}
+	r := &Result{ID: "fig22", Title: "Footprint under acquisition functions",
+		Header: []string{"meetQoE", "meanUsage%", "meanQoE", "usageReg%", "qoeReg"}}
+	for i, v := range variants {
+		learner := l.NewAtlasLearner(1, l.SLA, int64(3200+i), v.mutate)
+		run := baselines.RunOnline(learner, l.Real, l.Space, l.SLA, 1, p.Budget.OnlineIters, oracle, l.rng(int64(3210+i)))
+		meet := 0
+		for _, q := range run.QoEs {
+			if q >= l.SLA.Availability {
+				meet++
+			}
+		}
+		r.AddRow(v.name, float64(meet)/float64(len(run.QoEs)),
+			100*mathx.Vector(run.Usages).Mean(), mathx.Vector(run.QoEs).Mean(),
+			100*run.Regret.AvgUsageRegret(), run.Regret.AvgQoERegret())
+	}
+	r.AddNote("shape: cRGP-UCB explores lowest-usage actions near the QoE requirement; GP-UCB comparable but over-provisions (paper Fig. 22)")
+	return r
+}
+
+// fig23 reproduces Fig. 23: the online-model ablation — GP residual
+// (ours), BNN residual, continually trained BNN, and no offline
+// acceleration.
+func fig23(p Params) *Result {
+	l := p.Lab
+	oracle := l.Oracle(1, l.SLA)
+	variants := []struct {
+		name   string
+		mutate func(*core.OnlineOptions)
+	}{
+		{"Ours", nil},
+		{"BNN", func(o *core.OnlineOptions) { o.Model = core.ResidualBNN }},
+		{"BNN-Cont'd", func(o *core.OnlineOptions) { o.Model = core.ContinueBNN }},
+		{"No Offline Acc.", func(o *core.OnlineOptions) { o.OfflineAccel = false }},
+	}
+	r := &Result{ID: "fig23", Title: "Online models ablation (regret)",
+		Header: []string{"usageReg%", "qoeReg"}}
+	for i, v := range variants {
+		learner := l.NewAtlasLearner(1, l.SLA, int64(3300+i), v.mutate)
+		run := baselines.RunOnline(learner, l.Real, l.Space, l.SLA, 1, p.Budget.OnlineIters, oracle, l.rng(int64(3310+i)))
+		r.AddRow(v.name, 100*run.Regret.AvgUsageRegret(), run.Regret.AvgQoERegret())
+	}
+	r.AddNote("paper: BNN regrets +107.6%%/+96.5%% vs ours; BNN-Cont'd QoE regret soars; no offline acc. +63.5%% usage regret")
+	return r
+}
+
+// fig24 reproduces Fig. 24: the impact of removing individual stages.
+func fig24(p Params) *Result {
+	l := p.Lab
+	oracle := l.Oracle(1, l.SLA)
+	iters := p.Budget.OnlineIters
+
+	r := &Result{ID: "fig24", Title: "Impact of individual components",
+		Header: []string{"meanUsage%", "meanQoE", "tailQoE"}}
+
+	// Full system.
+	full := l.NewAtlasLearner(1, l.SLA, 3400, nil)
+	addFootprint(r, "Ours", baselines.RunOnline(full, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(3401)))
+
+	// No stage 1: offline training and online learning use the
+	// uncalibrated simulator.
+	{
+		opts := core.DefaultOfflineOptions()
+		opts.Iters = scaled(l.Budget.Stage2Iters, l.Budget.SweepScale)
+		opts.Explore = scaled(l.Budget.Stage2Explore, l.Budget.SweepScale)
+		opts.Batch, opts.Pool = l.Budget.Batch, l.Budget.Pool
+		off := core.NewOfflineTrainer(l.Sim, opts).Run(mathx.NewRNG(l.rng(3410)))
+		lo := core.DefaultOnlineOptions()
+		lo.Pool = l.Budget.Pool
+		learner := core.NewOnlineLearner(off.Policy, l.Sim, lo, mathx.NewRNG(l.rng(3411)))
+		addFootprint(r, "No stage 1", baselines.RunOnline(learner, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(3412)))
+	}
+
+	// No stage 2: no offline policy; everything learned online.
+	{
+		lo := core.DefaultOnlineOptions()
+		lo.Pool = l.Budget.Pool
+		learner := core.NewOnlineLearner(nil, l.Augmented(), lo, mathx.NewRNG(l.rng(3420)))
+		addFootprint(r, "No stage 2", baselines.RunOnline(learner, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(3421)))
+	}
+
+	// No stage 3: apply the offline optimum open-loop.
+	{
+		fixed := &fixedPolicy{name: "No stage 3", cfg: l.Offline(1, l.SLA).BestConfig}
+		addFootprint(r, "No stage 3", baselines.RunOnline(fixed, l.Real, l.Space, l.SLA, 1, iters, oracle, l.rng(3431)))
+	}
+
+	r.AddNote("paper: no stage 3 -> constant usage, QoE ~0.65; no stage 2 -> poor early performance; no stage 1 -> worse QoE")
+	return r
+}
+
+func addFootprint(r *Result, name string, run *baselines.RunResult) {
+	r.AddRow(name, 100*mathx.Vector(run.Usages).Mean(), mathx.Vector(run.QoEs).Mean(),
+		baselines.MeanTail(run.QoEs, maxInt(1, len(run.QoEs)/5)))
+}
+
+// fixedPolicy applies one configuration forever (the "No stage 3"
+// ablation).
+type fixedPolicy struct {
+	name string
+	cfg  slicing.Config
+}
+
+func (f *fixedPolicy) Name() string { return f.name }
+func (f *fixedPolicy) Next(int, *rand.Rand) slicing.Config {
+	return f.cfg
+}
+func (f *fixedPolicy) Observe(int, slicing.Config, float64, float64) {}
+
+// fig25 reproduces Fig. 25: average QoE regret under user traffic 2–4.
+func fig25(p Params) *Result {
+	return trafficSweep(p, "fig25", "Avg QoE regret under different user traffic", func(run *baselines.RunResult) float64 {
+		return run.Regret.AvgQoERegret()
+	})
+}
+
+// fig26 reproduces Fig. 26: average usage regret under user traffic 2–4.
+func fig26(p Params) *Result {
+	return trafficSweep(p, "fig26", "Avg usage regret (%) under different user traffic", func(run *baselines.RunResult) float64 {
+		return 100 * run.Regret.AvgUsageRegret()
+	})
+}
+
+func trafficSweep(p Params, id, title string, metric func(*baselines.RunResult) float64) *Result {
+	l := p.Lab
+	// The paper relaxes the threshold to 500 ms for the traffic sweep.
+	sla := slicing.SLA{ThresholdMs: 500, Availability: l.SLA.Availability}
+	r := &Result{ID: id, Title: title,
+		Header: []string{"Baseline", "VirtualEdge", "DLDA", "Ours"}}
+	iters := maxInt(10, p.Budget.OnlineIters/2)
+	for traffic := 2; traffic <= 4; traffic++ {
+		runs := runAll(l, traffic, sla, iters, int64(3500+10*traffic))
+		vals := make([]float64, len(runs))
+		for i, run := range runs {
+			vals[i] = metric(run)
+		}
+		r.AddRow(label("traffic", traffic), vals...)
+	}
+	r.AddNote("shape: ours lowest for almost all traffic levels (paper Figs. 25-26)")
+	return r
+}

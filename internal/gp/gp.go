@@ -1,0 +1,202 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+// Regressor is an exact Gaussian-process regressor. Targets are
+// standardized internally (mean removed, unit variance), mirroring the
+// paper's preprocessing. The zero value predicts the prior (mean 0 in
+// original units only after Fit; before any data it reports the prior in
+// standardized units mapped through an identity scaler).
+type Regressor struct {
+	Kernel Kernel
+	// NoiseVar is the observation noise variance in standardized target
+	// units (the diagonal jitter α of sklearn's regressor).
+	NoiseVar float64
+	// OptimizeHyper enables a small log-marginal-likelihood grid search
+	// over the kernel length scale and variance on every Fit.
+	OptimizeHyper bool
+
+	x      [][]float64
+	scaler stats.Scaler
+	l      *mathx.Matrix // Cholesky factor of K + noise·I
+	alpha  mathx.Vector  // (K+σ²I)⁻¹ y (standardized)
+	fitted bool
+}
+
+// NewRegressor returns a GP with the Matérn-5/2 kernel, unit length
+// scale and variance, and a small noise floor — the configuration the
+// paper uses for the online stage.
+func NewRegressor() *Regressor {
+	return &Regressor{
+		Kernel:        Matern52{LengthScale: 1.0, Variance: 1.0},
+		NoiseVar:      1e-4,
+		OptimizeHyper: true,
+	}
+}
+
+// N returns the number of stored observations.
+func (g *Regressor) N() int { return len(g.x) }
+
+// Fitted reports whether the regressor has data.
+func (g *Regressor) Fitted() bool { return g.fitted }
+
+// Fit conditions the GP on (xs, ys). It copies its inputs.
+func (g *Regressor) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: %d inputs but %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		g.fitted = false
+		g.x = nil
+		return nil
+	}
+	g.x = make([][]float64, len(xs))
+	for i, x := range xs {
+		g.x[i] = append([]float64(nil), x...)
+	}
+	g.scaler = stats.Scaler{}
+	g.scaler.Fit(ys)
+	ty := g.scaler.TransformAll(ys)
+
+	if g.OptimizeHyper && len(xs) >= 4 {
+		g.tuneHyper(ty)
+	}
+	if err := g.factorize(ty); err != nil {
+		return err
+	}
+	g.fitted = true
+	return nil
+}
+
+// factorize builds K + σ²I, its Cholesky factor, and alpha.
+func (g *Regressor) factorize(ty []float64) error {
+	n := len(g.x)
+	k := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.Kernel.Eval(g.x[i], g.x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiag(g.NoiseVar)
+	l, _, err := mathx.CholeskyJitter(k, 1e-8)
+	if err != nil {
+		return errors.New("gp: covariance not positive definite")
+	}
+	g.l = l
+	g.alpha = mathx.CholSolve(l, mathx.Vector(ty))
+	return nil
+}
+
+// tuneHyper grid-searches kernel hyperparameters by log marginal
+// likelihood on standardized targets.
+func (g *Regressor) tuneHyper(ty []float64) {
+	lengths := []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2}
+	variances := []float64{0.25, 1.0, 4.0}
+	bestLML := math.Inf(-1)
+	bestKernel := g.Kernel
+	for _, ls := range lengths {
+		for _, v := range variances {
+			g.Kernel = withHyper(g.Kernel, ls, v)
+			if err := g.factorize(ty); err != nil {
+				continue
+			}
+			lml := g.logMarginalLikelihood(ty)
+			if lml > bestLML {
+				bestLML = lml
+				bestKernel = g.Kernel
+			}
+		}
+	}
+	g.Kernel = bestKernel
+}
+
+func withHyper(k Kernel, ls, v float64) Kernel {
+	switch k.(type) {
+	case Matern52:
+		return Matern52{LengthScale: ls, Variance: v}
+	case RBF:
+		return RBF{LengthScale: ls, Variance: v}
+	default:
+		return k
+	}
+}
+
+// logMarginalLikelihood returns log p(y|X) for standardized targets
+// given the current factorization.
+func (g *Regressor) logMarginalLikelihood(ty []float64) float64 {
+	n := float64(len(ty))
+	var fit float64
+	for i, y := range ty {
+		fit += y * g.alpha[i]
+	}
+	return -0.5*fit - 0.5*mathx.LogDetFromChol(g.l) - 0.5*n*math.Log(2*math.Pi)
+}
+
+// Predict returns the posterior mean and standard deviation at x in
+// original target units. Before any data it returns the prior (mean 0,
+// std = √(k(x,x) + noise)).
+func (g *Regressor) Predict(x []float64) (mean, std float64) {
+	prior := math.Sqrt(g.Kernel.Eval(x, x) + g.NoiseVar)
+	if !g.fitted {
+		return 0, prior
+	}
+	n := len(g.x)
+	kstar := make(mathx.Vector, n)
+	for i := range g.x {
+		kstar[i] = g.Kernel.Eval(x, g.x[i])
+	}
+	mu := kstar.Dot(g.alpha)
+	v := mathx.SolveLower(g.l, kstar)
+	variance := g.Kernel.Eval(x, x) - v.Dot(v)
+	if variance < 0 {
+		variance = 0
+	}
+	return g.scaler.Inverse(mu), g.scaler.InverseStd(math.Sqrt(variance))
+}
+
+// Sample draws an (independent-marginal) posterior sample at x: a
+// cheap Thompson-style draw that avoids the O(m³) joint sampling cost
+// over large candidate pools.
+func (g *Regressor) Sample(x []float64, rng *rand.Rand) float64 {
+	mean, std := g.Predict(x)
+	return mean + std*rng.NormFloat64()
+}
+
+// LogMarginalLikelihood returns log p(y|X) of the fitted data, or -Inf
+// when unfitted.
+func (g *Regressor) LogMarginalLikelihood() float64 {
+	if !g.fitted {
+		return math.Inf(-1)
+	}
+	// Recover standardized targets from alpha: y = (K+σ²I)·alpha; using
+	// the factor: y = L·Lᵀ·alpha.
+	n := len(g.alpha)
+	ty := make([]float64, n)
+	// Compute Lᵀ·alpha then L·that.
+	lt := make(mathx.Vector, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := i; j < n; j++ {
+			sum += g.l.At(j, i) * g.alpha[j]
+		}
+		lt[i] = sum
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j <= i; j++ {
+			sum += g.l.At(i, j) * lt[j]
+		}
+		ty[i] = sum
+	}
+	return g.logMarginalLikelihood(ty)
+}

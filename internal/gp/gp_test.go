@@ -1,0 +1,225 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+func TestKernelSymmetryAndPeak(t *testing.T) {
+	f := func(rawA, rawB [3]float64) bool {
+		a, b := rawA[:], rawB[:]
+		for _, x := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(x) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		for _, k := range []Kernel{Matern52{1, 1}, RBF{1, 1}} {
+			kab, kba := k.Eval(a, b), k.Eval(b, a)
+			if kab != kba {
+				return false
+			}
+			if kab > k.Eval(a, a)+1e-12 {
+				return false // peak at zero distance
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelDecay(t *testing.T) {
+	k := Matern52{LengthScale: 1, Variance: 1}
+	prev := k.Eval([]float64{0}, []float64{0})
+	for d := 0.5; d < 10; d += 0.5 {
+		v := k.Eval([]float64{0}, []float64{d})
+		if v >= prev {
+			t.Fatalf("kernel not decaying at distance %v", d)
+		}
+		prev = v
+	}
+}
+
+func TestGramMatrixIsPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(10)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		k := Matern52{LengthScale: 0.7, Variance: 2}
+		g := mathx.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.Set(i, j, k.Eval(xs[i], xs[j]))
+			}
+		}
+		g.AddDiag(1e-8)
+		if _, _, err := mathx.CholeskyJitter(g, 1e-10); err != nil {
+			t.Fatalf("gram matrix not PSD: %v", err)
+		}
+	}
+}
+
+func TestInterpolatesTrainingData(t *testing.T) {
+	g := NewRegressor()
+	g.OptimizeHyper = false
+	g.NoiseVar = 1e-8
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, -1, 2}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mean, std := g.Predict(x)
+		if math.Abs(mean-ys[i]) > 1e-3 {
+			t.Fatalf("mean at training point %v = %v, want %v", x, mean, ys[i])
+		}
+		if std > 0.05 {
+			t.Fatalf("std at training point = %v, want tiny", std)
+		}
+	}
+}
+
+func TestPriorFarFromData(t *testing.T) {
+	g := NewRegressor()
+	g.OptimizeHyper = false
+	xs := [][]float64{{0}, {0.1}}
+	ys := []float64{5, 5.1}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	_, stdNear := g.Predict([]float64{0.05})
+	_, stdFar := g.Predict([]float64{100})
+	if stdFar <= stdNear {
+		t.Fatalf("uncertainty should grow away from data: near %v far %v", stdNear, stdFar)
+	}
+}
+
+func TestUnfittedPredictsPrior(t *testing.T) {
+	g := NewRegressor()
+	mean, std := g.Predict([]float64{1, 2})
+	if mean != 0 {
+		t.Fatalf("prior mean = %v", mean)
+	}
+	if std <= 0 {
+		t.Fatalf("prior std = %v", std)
+	}
+}
+
+func TestFitRecoversFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewRegressor()
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64() * 2}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(3*x[0]))
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	var sse float64
+	const n = 40
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 2}
+		mean, _ := g.Predict(x)
+		d := mean - math.Sin(3*x[0])
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / n); rmse > 0.05 {
+		t.Fatalf("RMSE %v too high", rmse)
+	}
+}
+
+func TestFitMismatch(t *testing.T) {
+	g := NewRegressor()
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+}
+
+func TestFitEmptyResets(t *testing.T) {
+	g := NewRegressor()
+	if err := g.Fit([][]float64{{1}}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fitted() {
+		t.Fatal("empty fit should reset")
+	}
+}
+
+func TestFitCopiesInputs(t *testing.T) {
+	g := NewRegressor()
+	x := []float64{1}
+	if err := g.Fit([][]float64{x}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := g.Predict([]float64{1})
+	x[0] = 99 // mutate caller's slice
+	after, _ := g.Predict([]float64{1})
+	if before != after {
+		t.Fatal("regressor aliases caller data")
+	}
+}
+
+func TestSampleCentersOnPosterior(t *testing.T) {
+	g := NewRegressor()
+	g.OptimizeHyper = false
+	g.NoiseVar = 1e-6
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += g.Sample([]float64{0.5}, rng)
+	}
+	mean, _ := g.Predict([]float64{0.5})
+	if math.Abs(sum/n-mean) > 0.05 {
+		t.Fatalf("sample mean %v vs posterior mean %v", sum/n, mean)
+	}
+}
+
+func TestLogMarginalLikelihoodFinite(t *testing.T) {
+	g := NewRegressor()
+	if !math.IsInf(g.LogMarginalLikelihood(), -1) {
+		t.Fatal("unfitted LML should be -Inf")
+	}
+	if err := g.Fit([][]float64{{0}, {1}, {2}}, []float64{1, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	lml := g.LogMarginalLikelihood()
+	if math.IsNaN(lml) || math.IsInf(lml, 0) {
+		t.Fatalf("LML = %v", lml)
+	}
+}
+
+func TestHyperOptImprovesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := []float64{rng.Float64() * 0.2} // short length-scale data
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(40*x[0]))
+	}
+	tuned := NewRegressor()
+	if err := tuned.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := tuned.Kernel.(Matern52); ok && k.LengthScale >= 1.6 {
+		t.Fatalf("hyper-opt kept a long length scale %v for wiggly data", k.LengthScale)
+	}
+}

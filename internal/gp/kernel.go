@@ -1,0 +1,51 @@
+// Package gp implements exact Gaussian-process regression with the
+// Matérn-5/2 kernel used by the paper's online stage (§7.3: sklearn's
+// GaussianProcessRegressor with a Matérn ν=2.5 kernel and standardized
+// targets): jittered Cholesky factorization, posterior mean/std,
+// log-marginal-likelihood-based hyperparameter selection, and posterior
+// sampling.
+package gp
+
+import "math"
+
+// Kernel is a positive-definite covariance function.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+}
+
+// Matern52 is the Matérn kernel with ν = 5/2:
+// k(r) = σ²·(1 + √5·r/ℓ + 5r²/(3ℓ²))·exp(−√5·r/ℓ).
+type Matern52 struct {
+	LengthScale float64
+	Variance    float64 // σ², the output scale
+}
+
+// Eval implements Kernel.
+func (k Matern52) Eval(a, b []float64) float64 {
+	r := dist(a, b) / k.LengthScale
+	s := math.Sqrt(5) * r
+	return k.Variance * (1 + s + 5*r*r/3) * math.Exp(-s)
+}
+
+// RBF is the squared-exponential kernel
+// k(r) = σ²·exp(−r²/(2ℓ²)).
+type RBF struct {
+	LengthScale float64
+	Variance    float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	r := dist(a, b) / k.LengthScale
+	return k.Variance * math.Exp(-0.5*r*r)
+}
+
+func dist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

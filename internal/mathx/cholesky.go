@@ -1,0 +1,103 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite even after the maximum
+// jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("mathx: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ.
+// A must be symmetric positive definite; only the lower triangle of A is
+// read. The returned matrix has zeros above the diagonal.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("mathx: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskyJitter behaves like Cholesky but, on failure, retries with
+// geometrically increasing jitter added to the diagonal, starting at
+// startJitter and giving up after ten doublings of magnitude. It returns
+// the factor and the jitter that succeeded.
+func CholeskyJitter(a *Matrix, startJitter float64) (*Matrix, float64, error) {
+	if l, err := Cholesky(a); err == nil {
+		return l, 0, nil
+	}
+	jitter := startJitter
+	for i := 0; i < 10; i++ {
+		aj := a.Clone().AddDiag(jitter)
+		if l, err := Cholesky(aj); err == nil {
+			return l, jitter, nil
+		}
+		jitter *= 10
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// SolveLower solves L·x = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	mustSameLen(n, len(b))
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// SolveUpperT solves Lᵀ·x = b given lower-triangular L by backward
+// substitution (without forming the transpose).
+func SolveUpperT(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	mustSameLen(n, len(b))
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves A·x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b Vector) Vector {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log|A| given the Cholesky factor L of A.
+func LogDetFromChol(l *Matrix) float64 {
+	var sum float64
+	for i := 0; i < l.Rows; i++ {
+		sum += math.Log(l.At(i, i))
+	}
+	return 2 * sum
+}

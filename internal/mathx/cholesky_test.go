@@ -1,0 +1,165 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive-definite matrix A = BᵀB + I.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Transpose().Mul(b)
+	a.AddDiag(1.0)
+	return a
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// L·Lᵀ must reconstruct A.
+		recon := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(recon.At(i, j), a.At(i, j), 1e-8*(1+math.Abs(a.At(i, j)))) {
+					t.Fatalf("trial %d: recon[%d][%d]=%v want %v", trial, i, j, recon.At(i, j), a.At(i, j))
+				}
+			}
+		}
+		// Upper triangle of L must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L not lower triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+}
+
+func TestCholeskyJitterRecovers(t *testing.T) {
+	// Singular PSD matrix: rank-1.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	l, jitter, err := CholeskyJitter(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter <= 0 {
+		t.Fatal("expected positive jitter for singular input")
+	}
+	if l == nil {
+		t.Fatal("nil factor")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(n, rng)
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholSolve(l, b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7*(1+math.Abs(x[i]))) {
+				t.Fatalf("trial %d: solve[%d]=%v want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	// diag(4, 9): det = 36, logdet = log 36.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 9)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromChol(l); !almostEq(got, math.Log(36), 1e-12) {
+		t.Fatalf("logdet = %v want %v", got, math.Log(36))
+	}
+}
+
+// Property: solving against the identity returns the input.
+func TestSolveIdentity(t *testing.T) {
+	f := func(raw [5]float64) bool {
+		n := len(raw)
+		eye := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			eye.Set(i, i, 1)
+		}
+		b := make(Vector, n)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+			b[i] = x
+		}
+		l, err := Cholesky(eye)
+		if err != nil {
+			return false
+		}
+		got := CholSolve(l, b)
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	v := m.MulVec(Vector{1, 1, 1})
+	if v[0] != 3 || v[1] != 3 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 2 {
+		t.Fatalf("Transpose wrong: %+v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases source")
+	}
+}

@@ -1,0 +1,121 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NormalPDF returns the standard normal density at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// NormalCDF returns the standard normal cumulative distribution at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// SampleNormal draws from N(mean, std²).
+func SampleNormal(rng *rand.Rand, mean, std float64) float64 {
+	return mean + std*rng.NormFloat64()
+}
+
+// SampleTruncNormal draws from N(mean, std²) truncated to [lo, hi] by
+// rejection, falling back to clipping after 64 rejections (which only
+// happens when the interval has negligible mass).
+func SampleTruncNormal(rng *rand.Rand, mean, std, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := SampleNormal(rng, mean, std)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return Clip(mean, lo, hi)
+}
+
+// SampleLogNormal draws from LogNormal(mu, sigma²) where mu and sigma are
+// the mean and standard deviation of the underlying normal.
+func SampleLogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(SampleNormal(rng, mu, sigma))
+}
+
+// LogNormalParams converts a desired mean m and standard deviation s of a
+// lognormal variate into the (mu, sigma) of the underlying normal.
+func LogNormalParams(m, s float64) (mu, sigma float64) {
+	if m <= 0 {
+		panic("mathx: lognormal mean must be positive")
+	}
+	v := s * s / (m * m)
+	sigma = math.Sqrt(math.Log(1 + v))
+	mu = math.Log(m) - sigma*sigma/2
+	return mu, sigma
+}
+
+// SampleExp draws from Exponential(rate).
+func SampleExp(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// SampleGamma draws from Gamma(shape k, scale θ) using the
+// Marsaglia–Tsang method (with Johnk boost for shape < 1).
+func SampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("mathx: gamma shape and scale must be positive")
+	}
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) * U^{1/k}
+		u := rng.Float64()
+		return SampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Softplus returns log(1+exp(x)) computed stably.
+func Softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// SoftplusInv returns the inverse of Softplus: log(exp(y)-1).
+func SoftplusInv(y float64) float64 {
+	if y > 30 {
+		return y
+	}
+	return math.Log(math.Expm1(y))
+}
+
+// Sigmoid returns 1/(1+exp(-x)).
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogGaussianPDF returns log N(x | mean, std²).
+func LogGaussianPDF(x, mean, std float64) float64 {
+	z := (x - mean) / std
+	return -0.5*z*z - math.Log(std) - 0.5*math.Log(2*math.Pi)
+}

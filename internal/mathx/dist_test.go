@@ -1,0 +1,150 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("NormalCDF(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid over [-8, 8].
+	sum := 0.0
+	const step = 1e-3
+	for x := -8.0; x < 8; x += step {
+		sum += NormalPDF(x) * step
+	}
+	if !almostEq(sum, 1, 1e-4) {
+		t.Fatalf("integral = %v", sum)
+	}
+}
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := NewRNG(3)
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 1}, {2, 0.5}, {48, 0.1},
+	} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := SampleGamma(rng, c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if !almostEq(mean, wantMean, 0.05*wantMean+0.01) {
+			t.Errorf("Gamma(%v,%v) mean=%v want %v", c.shape, c.scale, mean, wantMean)
+		}
+		if !almostEq(variance, wantVar, 0.15*wantVar+0.01) {
+			t.Errorf("Gamma(%v,%v) var=%v want %v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestSampleGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleGamma(NewRNG(1), -1, 1)
+}
+
+func TestLogNormalParamsRoundTrip(t *testing.T) {
+	rng := NewRNG(4)
+	mu, sigma := LogNormalParams(100, 30)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += SampleLogNormal(rng, mu, sigma)
+	}
+	if mean := sum / n; !almostEq(mean, 100, 2) {
+		t.Fatalf("lognormal mean = %v want 100", mean)
+	}
+}
+
+func TestSampleTruncNormalBounds(t *testing.T) {
+	rng := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		x := SampleTruncNormal(rng, 0, 10, -1, 1)
+		if x < -1 || x > 1 {
+			t.Fatalf("sample %v outside bounds", x)
+		}
+	}
+}
+
+func TestSoftplusInverse(t *testing.T) {
+	f := func(raw float64) bool {
+		y := math.Abs(raw)
+		if math.IsNaN(y) || y < 1e-6 || y > 1e6 {
+			return true
+		}
+		got := Softplus(SoftplusInv(y))
+		return almostEq(got, y, 1e-9*(1+y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftplusPositive(t *testing.T) {
+	for _, x := range []float64{-100, -1, 0, 1, 100} {
+		if Softplus(x) <= 0 {
+			t.Errorf("Softplus(%v) = %v not positive", x, Softplus(x))
+		}
+	}
+}
+
+func TestSigmoidRangeAndSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 500 {
+			return true
+		}
+		s := Sigmoid(x)
+		if s < 0 || s > 1 {
+			return false
+		}
+		return almostEq(s+Sigmoid(-x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogGaussianPDFMatchesPDF(t *testing.T) {
+	got := LogGaussianPDF(1.3, 0, 1)
+	want := math.Log(NormalPDF(1.3))
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("LogGaussianPDF = %v want %v", got, want)
+	}
+}
+
+func TestSampleExpMean(t *testing.T) {
+	rng := NewRNG(6)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += SampleExp(rng, 4)
+	}
+	if mean := sum / n; !almostEq(mean, 0.25, 0.01) {
+		t.Fatalf("exp mean = %v want 0.25", mean)
+	}
+}

@@ -1,0 +1,52 @@
+// Package mathx provides the small numerical toolbox Atlas is built on:
+// vectors, dense matrices, Cholesky factorization, probability
+// distributions, and deterministic RNG splitting.
+//
+// Everything uses float64 and the standard library only. The package is
+// deliberately minimal: it implements exactly what the Bayesian
+// optimization stack (Gaussian processes, Bayesian neural networks,
+// Thompson sampling) and the network simulator need, with predictable
+// numerical behaviour rather than maximal generality.
+package mathx
+
+import "math/rand"
+
+// SplitMix64 advances a SplitMix64 state and returns the next value.
+// It is used to derive independent child seeds from a parent seed so that
+// experiments are reproducible regardless of the order in which their
+// subsystems draw random numbers.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a rand.Rand seeded with the given seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives n independent RNGs from a single seed using SplitMix64.
+// Child i is a pure function of (seed, i): inserting additional draws in
+// one child never perturbs its siblings.
+func Split(seed int64, n int) []*rand.Rand {
+	state := uint64(seed)
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = NewRNG(int64(SplitMix64(&state)))
+	}
+	return out
+}
+
+// ChildSeed returns the idx-th child seed derived from seed. It is the
+// scalar form of Split for callers that construct their own RNGs.
+func ChildSeed(seed int64, idx int) int64 {
+	state := uint64(seed)
+	var v uint64
+	for i := 0; i <= idx; i++ {
+		v = SplitMix64(&state)
+	}
+	return int64(v)
+}

@@ -1,0 +1,159 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a slice of float64 with the small set of dense linear-algebra
+// helpers Atlas needs. Operations that produce a new vector never alias
+// their inputs.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w element-wise. It panics if lengths differ.
+func (v Vector) Add(w Vector) Vector {
+	mustSameLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w element-wise. It panics if lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	mustSameLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns s*v.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	mustSameLen(len(v), len(w))
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean (l2) norm of v.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm1 returns the l1 norm of v.
+func (v Vector) Norm1() float64 {
+	var sum float64
+	for i := range v {
+		sum += math.Abs(v[i])
+	}
+	return sum
+}
+
+// Dist2 returns the Euclidean distance |v - w|₂.
+func (v Vector) Dist2(w Vector) float64 {
+	mustSameLen(len(v), len(w))
+	var sum float64
+	for i := range v {
+		d := v[i] - w[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var sum float64
+	for i := range v {
+		sum += v[i]
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Min returns the smallest element and its index. It panics on an empty
+// vector.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("mathx: Min of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Max returns the largest element and its index. It panics on an empty
+// vector.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("mathx: Max of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Clip returns a copy of v with every element clamped to [lo, hi].
+func (v Vector) Clip(lo, hi float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = Clip(v[i], lo, hi)
+	}
+	return out
+}
+
+// Clip clamps x to [lo, hi].
+func Clip(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b: a + t*(b-a).
+func Lerp(a, b, t float64) float64 { return a + t*(b-a) }
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("mathx: length mismatch %d != %d", a, b))
+	}
+}

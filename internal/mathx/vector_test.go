@@ -1,0 +1,164 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	sum := v.Add(w)
+	if sum[0] != 5 || sum[1] != 7 || sum[2] != 9 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := w.Sub(v)
+	if diff[0] != 3 || diff[1] != 3 || diff[2] != 3 {
+		t.Fatalf("Sub = %v", diff)
+	}
+	// Inputs untouched.
+	if v[0] != 1 || w[0] != 4 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestVectorAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(v); got != 25 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %v", got)
+	}
+	if got := (Vector{0, 0}).Dist2(v); got != 5 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestVectorMinMaxMean(t *testing.T) {
+	v := Vector{2, -1, 7, 3}
+	if m, i := v.Min(); m != -1 || i != 1 {
+		t.Fatalf("Min = %v,%d", m, i)
+	}
+	if m, i := v.Max(); m != 7 || i != 2 {
+		t.Fatalf("Max = %v,%d", m, i)
+	}
+	if got := v.Mean(); got != 2.75 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := (Vector{}).Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 1, 1},
+		{-5, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Clip(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clip(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: triangle inequality for Dist2 on random 4-vectors.
+func TestDist2TriangleInequality(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		va, vb, vc := Vector(a[:]), Vector(b[:]), Vector(c[:])
+		for _, x := range append(append(append([]float64{}, a[:]...), b[:]...), c[:]...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return va.Dist2(vc) <= va.Dist2(vb)+vb.Dist2(vc)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale distributes over Add.
+func TestScaleDistributes(t *testing.T) {
+	f := func(a, b [3]float64, s float64) bool {
+		for _, x := range []float64{a[0], a[1], a[2], b[0], b[1], b[2], s} {
+			if math.IsNaN(x) || math.Abs(x) > 1e50 {
+				return true
+			}
+		}
+		va, vb := Vector(a[:]), Vector(b[:])
+		left := va.Add(vb).Scale(s)
+		right := va.Scale(s).Add(vb.Scale(s))
+		for i := range left {
+			tol := 1e-9 * (1 + math.Abs(left[i]))
+			if !almostEq(left[i], right[i], tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := Split(42, 3)
+	b := Split(42, 3)
+	for i := range a {
+		for j := 0; j < 10; j++ {
+			if a[i].Int63() != b[i].Int63() {
+				t.Fatalf("child %d diverged", i)
+			}
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Child i must not depend on how many draws child i-1 made.
+	a := Split(7, 2)
+	b := Split(7, 2)
+	a[0].Int63() // extra draw on a's first child
+	if b[1].Int63() != a[1].Int63() {
+		t.Fatal("sibling streams not independent")
+	}
+}
+
+func TestChildSeedMatchesSplit(t *testing.T) {
+	rngs := Split(99, 4)
+	for i := 0; i < 4; i++ {
+		want := NewRNG(ChildSeed(99, i)).Int63()
+		if got := rngs[i].Int63(); got != want {
+			t.Fatalf("child %d: Split=%d ChildSeed=%d", i, got, want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(2, 4, 0.5); got != 3 {
+		t.Fatalf("Lerp = %v", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Fatalf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Fatalf("Lerp(1) = %v", got)
+	}
+}

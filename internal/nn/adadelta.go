@@ -1,0 +1,69 @@
+package nn
+
+import "math"
+
+// adadelta implements the Adadelta optimizer (Zeiler 2012): per-parameter
+// adaptive steps from running averages of squared gradients and squared
+// updates, scaled by a learning rate (PyTorch semantics, where Adadelta
+// takes an lr that multiplies the computed step).
+type adadelta struct {
+	rho, eps float64
+	// One accumulator pair per layer, split into W and B blocks.
+	egW, edW [][]float64
+	egB, edB [][]float64
+}
+
+func newAdadelta(m *MLP) *adadelta {
+	a := &adadelta{rho: 0.95, eps: 1e-6}
+	for _, l := range m.Layers {
+		a.egW = append(a.egW, make([]float64, len(l.W)))
+		a.edW = append(a.edW, make([]float64, len(l.W)))
+		a.egB = append(a.egB, make([]float64, len(l.B)))
+		a.edB = append(a.edB, make([]float64, len(l.B)))
+	}
+	return a
+}
+
+// step applies one Adadelta update. Gradients in g are sums over the
+// batch; scale converts them to means; lr scales the final step.
+func (a *adadelta) step(m *MLP, g *grads, scale, lr float64) {
+	for li := range m.Layers {
+		a.apply(m.Layers[li].W, g.W[li], a.egW[li], a.edW[li], scale, lr)
+		a.apply(m.Layers[li].B, g.B[li], a.egB[li], a.edB[li], scale, lr)
+	}
+}
+
+func (a *adadelta) apply(params, grad, eg, ed []float64, scale, lr float64) {
+	for i := range params {
+		gi := grad[i] * scale
+		eg[i] = a.rho*eg[i] + (1-a.rho)*gi*gi
+		dx := -math.Sqrt(ed[i]+a.eps) / math.Sqrt(eg[i]+a.eps) * gi
+		ed[i] = a.rho*ed[i] + (1-a.rho)*dx*dx
+		params[i] += lr * dx
+	}
+}
+
+// AdadeltaState is a reusable per-parameter Adadelta accumulator for
+// callers (like the Bayesian network) that manage flat parameter slices
+// themselves.
+type AdadeltaState struct {
+	rho, eps float64
+	eg, ed   []float64
+}
+
+// NewAdadeltaState returns an accumulator for n parameters.
+func NewAdadeltaState(n int) *AdadeltaState {
+	return &AdadeltaState{rho: 0.95, eps: 1e-6, eg: make([]float64, n), ed: make([]float64, n)}
+}
+
+// Step applies one update to params given mean gradients grad, scaled by
+// lr. The three slices must have the accumulator's length.
+func (s *AdadeltaState) Step(params, grad []float64, lr float64) {
+	for i := range params {
+		gi := grad[i]
+		s.eg[i] = s.rho*s.eg[i] + (1-s.rho)*gi*gi
+		dx := -math.Sqrt(s.ed[i]+s.eps) / math.Sqrt(s.eg[i]+s.eps) * gi
+		s.ed[i] = s.rho*s.ed[i] + (1-s.rho)*dx*dx
+		params[i] += lr * dx
+	}
+}

@@ -1,0 +1,231 @@
+// Package nn implements a small deterministic multilayer perceptron with
+// manual backpropagation and the Adadelta optimizer, matching the
+// training setup of the paper's implementation (§7.3: fully connected
+// ReLU layers, Adadelta with initial learning rate 1.0 and StepLR
+// decay). It is the building block for the DLDA baseline's teacher and
+// student networks; the Bayesian neural network of package bnn
+// implements its own layers because every weight there is a
+// distribution.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one fully connected layer with ReLU activation (the output
+// layer is linear).
+type Layer struct {
+	In, Out int
+	W       []float64 // Out×In, row-major
+	B       []float64 // Out
+}
+
+// MLP is a feed-forward network: hidden layers use ReLU, the final layer
+// is linear.
+type MLP struct {
+	Layers []Layer
+}
+
+// NewMLP builds a network with the given input dimension, hidden widths
+// and output dimension, using He initialization.
+func NewMLP(in int, hidden []int, out int, rng *rand.Rand) *MLP {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: bad dims in=%d out=%d", in, out))
+	}
+	dims := append([]int{in}, hidden...)
+	dims = append(dims, out)
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		l := Layer{In: dims[i], Out: dims[i+1]}
+		l.W = make([]float64, l.Out*l.In)
+		l.B = make([]float64, l.Out)
+		scale := math.Sqrt(2.0 / float64(l.In))
+		for j := range l.W {
+			l.W[j] = scale * rng.NormFloat64()
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m
+}
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// Forward evaluates the network on input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	a := x
+	for i := range m.Layers {
+		a = m.Layers[i].forward(a, i < len(m.Layers)-1)
+	}
+	return a
+}
+
+func (l *Layer) forward(x []float64, relu bool) []float64 {
+	out := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, w := range row {
+			sum += w * x[i]
+		}
+		if relu && sum < 0 {
+			sum = 0
+		}
+		out[o] = sum
+	}
+	return out
+}
+
+// cache holds forward activations for backprop.
+type cache struct {
+	acts [][]float64 // acts[0] = input, acts[i+1] = output of layer i (post-activation)
+}
+
+func (m *MLP) forwardCache(x []float64) ([]float64, *cache) {
+	c := &cache{acts: make([][]float64, len(m.Layers)+1)}
+	c.acts[0] = x
+	a := x
+	for i := range m.Layers {
+		a = m.Layers[i].forward(a, i < len(m.Layers)-1)
+		c.acts[i+1] = a
+	}
+	return a, c
+}
+
+// grads mirrors the layer parameters.
+type grads struct {
+	W [][]float64
+	B [][]float64
+}
+
+func (m *MLP) newGrads() *grads {
+	g := &grads{W: make([][]float64, len(m.Layers)), B: make([][]float64, len(m.Layers))}
+	for i, l := range m.Layers {
+		g.W[i] = make([]float64, len(l.W))
+		g.B[i] = make([]float64, len(l.B))
+	}
+	return g
+}
+
+// backward accumulates gradients of 0.5*Σ(pred-y)² into g for one
+// example, given the forward cache.
+func (m *MLP) backward(c *cache, pred, target []float64, g *grads) {
+	// Output delta for squared error with linear output.
+	delta := make([]float64, len(pred))
+	for i := range pred {
+		delta[i] = pred[i] - target[i]
+	}
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := &m.Layers[li]
+		in := c.acts[li]
+		// Parameter gradients.
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			g.B[li][o] += d
+			grow := g.W[li][o*l.In : (o+1)*l.In]
+			for i, x := range in {
+				grow[i] += d * x
+			}
+		}
+		if li == 0 {
+			break
+		}
+		// Propagate to previous layer, applying the ReLU mask of the
+		// previous layer's output.
+		prev := make([]float64, l.In)
+		for i := 0; i < l.In; i++ {
+			if in[i] <= 0 { // ReLU inactive (inputs to layer li are post-ReLU)
+				continue
+			}
+			var sum float64
+			for o := 0; o < l.Out; o++ {
+				sum += delta[o] * l.W[o*l.In+i]
+			}
+			prev[i] = sum
+		}
+		delta = prev
+	}
+}
+
+// TrainOptions controls Fit.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	// LR is the initial Adadelta learning rate (the paper uses 1.0).
+	LR float64
+	// Gamma is the per-epoch StepLR decay (the paper uses 0.999).
+	Gamma float64
+}
+
+// DefaultTrainOptions mirrors the paper's §7.3 training setup.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 40, BatchSize: 128, LR: 1.0, Gamma: 0.999}
+}
+
+// Fit trains the network on (xs, ys) with mini-batch Adadelta and
+// returns the final mean squared error.
+func (m *MLP) Fit(xs [][]float64, ys [][]float64, opt TrainOptions, rng *rand.Rand) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("nn: %d inputs but %d targets", len(xs), len(ys)))
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 128
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	if opt.LR <= 0 {
+		opt.LR = 1.0
+	}
+	if opt.Gamma <= 0 {
+		opt.Gamma = 1.0
+	}
+
+	ada := newAdadelta(m)
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := opt.LR
+	var lastMSE float64
+	for ep := 0; ep < opt.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sse float64
+		var count int
+		for start := 0; start < len(idx); start += opt.BatchSize {
+			end := start + opt.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			g := m.newGrads()
+			for _, i := range idx[start:end] {
+				pred, c := m.forwardCache(xs[i])
+				for j := range pred {
+					d := pred[j] - ys[i][j]
+					sse += d * d
+				}
+				count++
+				m.backward(c, pred, ys[i], g)
+			}
+			scale := 1 / float64(end-start)
+			ada.step(m, g, scale, lr)
+		}
+		lr *= opt.Gamma
+		lastMSE = sse / float64(count)
+	}
+	return lastMSE
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(3, []int{8, 8}, 2, rng)
+	out := m.Forward([]float64{1, 2, 3})
+	if len(out) != 2 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+	if m.NumParams() != 3*8+8+8*8+8+8*2+2 {
+		t.Fatalf("NumParams = %d", m.NumParams())
+	}
+}
+
+func TestFitLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(2, []int{16}, 1, rng)
+	var xs, ys [][]float64
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, []float64{2*x[0] - x[1] + 0.5})
+	}
+	mse := m.Fit(xs, ys, TrainOptions{Epochs: 200, BatchSize: 64, LR: 1, Gamma: 1}, rng)
+	if mse > 0.01 {
+		t.Fatalf("final MSE %v too high for a linear target", mse)
+	}
+}
+
+func TestFitNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(1, []int{32, 32}, 1, rng)
+	var xs, ys [][]float64
+	for i := 0; i < 600; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{math.Sin(2 * x)})
+	}
+	mse := m.Fit(xs, ys, TrainOptions{Epochs: 300, BatchSize: 64, LR: 1, Gamma: 0.999}, rng)
+	if mse > 0.05 {
+		t.Fatalf("final MSE %v too high for sin target", mse)
+	}
+}
+
+// TestGradientFiniteDifference verifies backprop against numeric
+// gradients on a tiny network.
+func TestGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(2, []int{3}, 1, rng)
+	x := []float64{0.7, -0.4}
+	y := []float64{0.3}
+
+	loss := func() float64 {
+		pred := m.Forward(x)
+		d := pred[0] - y[0]
+		return 0.5 * d * d
+	}
+
+	g := m.newGrads()
+	pred, c := m.forwardCache(x)
+	m.backward(c, pred, y, g)
+
+	const h = 1e-6
+	for li := range m.Layers {
+		for wi := range m.Layers[li].W {
+			orig := m.Layers[li].W[wi]
+			m.Layers[li].W[wi] = orig + h
+			up := loss()
+			m.Layers[li].W[wi] = orig - h
+			down := loss()
+			m.Layers[li].W[wi] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-g.W[li][wi]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d W[%d]: analytic %v numeric %v", li, wi, g.W[li][wi], numeric)
+			}
+		}
+		for bi := range m.Layers[li].B {
+			orig := m.Layers[li].B[bi]
+			m.Layers[li].B[bi] = orig + h
+			up := loss()
+			m.Layers[li].B[bi] = orig - h
+			down := loss()
+			m.Layers[li].B[bi] = orig
+			numeric := (up - down) / (2 * h)
+			if math.Abs(numeric-g.B[li][bi]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("layer %d B[%d]: analytic %v numeric %v", li, bi, g.B[li][bi], numeric)
+			}
+		}
+	}
+}
+
+func TestFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(1, []int{4}, 1, rng)
+	m.Fit([][]float64{{1}}, nil, DefaultTrainOptions(), rng)
+}
+
+func TestAdadeltaStateStep(t *testing.T) {
+	// Minimizing f(x) = (x-3)² with Adadelta must move toward 3.
+	s := NewAdadeltaState(1)
+	x := []float64{0.0}
+	for i := 0; i < 4000; i++ {
+		g := []float64{x[0] - 3}
+		s.Step(x, g, 1.0)
+	}
+	if math.Abs(x[0]-3) > 0.2 {
+		t.Fatalf("Adadelta converged to %v, want 3", x[0])
+	}
+}
+
+func TestFitEmptyDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(1, []int{4}, 1, rng)
+	if got := m.Fit(nil, nil, DefaultTrainOptions(), rng); got != 0 {
+		t.Fatalf("empty fit MSE = %v", got)
+	}
+}

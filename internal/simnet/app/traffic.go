@@ -1,0 +1,58 @@
+// Package app models the slice application of the paper's prototype: an
+// Android client that continuously uploads 540p video frames to the edge
+// server and receives feature-extraction results, with the number of
+// on-the-fly frames capped for congestion control. The cap doubles as
+// the "user traffic" knob (a cap of four emulates the traffic of four
+// users).
+package app
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// Profile describes the application's traffic characteristics.
+type Profile struct {
+	// FrameKBitMean and FrameKBitStd describe uplink frame sizes in
+	// kilobits (the paper matched 28.8 kB mean, 9.9 kB std — i.e.
+	// 230.4 kbit mean, 79.2 kbit std).
+	FrameKBitMean float64
+	FrameKBitStd  float64
+	// ResultKBit is the downlink result size in kilobits.
+	ResultKBit float64
+	// LoadingBaseMs is the frame capture/encode time on the UE before
+	// upload starts.
+	LoadingBaseMs float64
+	// LoadingExtraMs is the loading_time simulation parameter (or real
+	// overhead).
+	LoadingExtraMs float64
+	// LoadingJitterMs, when positive, adds uniform [0, jitter) noise to
+	// the loading time (Android scheduling; zero in the simulator).
+	LoadingJitterMs float64
+}
+
+// DefaultProfile returns the prototype application's traffic profile.
+func DefaultProfile() Profile {
+	return Profile{
+		FrameKBitMean: 230.4, // 28.8 kB
+		FrameKBitStd:  79.2,  // 9.9 kB
+		ResultKBit:    16,    // 2 kB of extracted features
+		LoadingBaseMs: 20,
+	}
+}
+
+// FrameKBits draws one frame's size in kilobits, truncated to stay
+// positive.
+func (p Profile) FrameKBits(rng *rand.Rand) float64 {
+	return mathx.SampleTruncNormal(rng, p.FrameKBitMean, p.FrameKBitStd, 24, p.FrameKBitMean+5*p.FrameKBitStd)
+}
+
+// LoadingMs draws one frame's loading time.
+func (p Profile) LoadingMs(rng *rand.Rand) float64 {
+	t := p.LoadingBaseMs + p.LoadingExtraMs
+	if p.LoadingJitterMs > 0 {
+		t += rng.Float64() * p.LoadingJitterMs
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package app
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFrameSizeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultProfile()
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := p.FrameKBits(rng)
+		if s < 24 {
+			t.Fatalf("frame below floor: %v", s)
+		}
+		sum += s
+	}
+	mean := sum / n
+	if mean < 220 || mean > 240 {
+		t.Fatalf("frame mean = %v kbit, want ~230.4", mean)
+	}
+}
+
+func TestLoadingComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := DefaultProfile()
+	p.LoadingExtraMs = 7
+	if got := p.LoadingMs(rng); got != 27 {
+		t.Fatalf("loading = %v, want base+extra = 27", got)
+	}
+}
+
+func TestLoadingJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := DefaultProfile()
+	p.LoadingJitterMs = 10
+	for i := 0; i < 5000; i++ {
+		got := p.LoadingMs(rng)
+		if got < 20 || got >= 30 {
+			t.Fatalf("loading %v outside [20, 30)", got)
+		}
+	}
+}

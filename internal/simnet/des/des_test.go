@@ -1,0 +1,167 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := &Kernel{}
+	var order []int
+	k.Schedule(30, func() { order = append(order, 3) })
+	k.Schedule(10, func() { order = append(order, 1) })
+	k.Schedule(20, func() { order = append(order, 2) })
+	k.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock = %v, want advanced to horizon", k.Now())
+	}
+}
+
+func TestKernelTieBreakFIFO(t *testing.T) {
+	k := &Kernel{}
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Schedule(10, func() { order = append(order, i) })
+	}
+	k.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelHorizonCutoff(t *testing.T) {
+	k := &Kernel{}
+	ran := false
+	k.Schedule(50, func() { ran = true })
+	k.Run(49)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Run(50)
+	if !ran {
+		t.Fatal("event at horizon must run")
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := &Kernel{}
+	k.Schedule(10, func() {
+		k.Schedule(-5, func() {
+			if k.Now() != 10 {
+				t.Errorf("negative delay ran at %v", k.Now())
+			}
+		})
+	})
+	k.Run(100)
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := &Kernel{}
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 10 {
+			k.Schedule(1, rec)
+		}
+	}
+	k.Schedule(0, rec)
+	k.Run(100)
+	if depth != 10 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("now = %v", k.Now())
+	}
+}
+
+func TestStationFIFO(t *testing.T) {
+	k := &Kernel{}
+	st := NewStation(k)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		st.Enqueue(func() float64 { return 10 }, func(wait, svc float64) {
+			done = append(done, i)
+			wantWait := float64(i * 10)
+			if wait != wantWait {
+				t.Errorf("job %d wait = %v want %v", i, wait, wantWait)
+			}
+			if svc != 10 {
+				t.Errorf("job %d service = %v", i, svc)
+			}
+		})
+	}
+	k.Run(1000)
+	if len(done) != 3 || done[0] != 0 || done[2] != 2 {
+		t.Fatalf("completion order = %v", done)
+	}
+	if st.Served != 3 {
+		t.Fatalf("served = %d", st.Served)
+	}
+	if st.BusyMs != 30 {
+		t.Fatalf("busy = %v", st.BusyMs)
+	}
+}
+
+func TestStationServiceTimeEvaluatedAtStart(t *testing.T) {
+	k := &Kernel{}
+	st := NewStation(k)
+	var evalTimes []float64
+	for i := 0; i < 2; i++ {
+		st.Enqueue(func() float64 {
+			evalTimes = append(evalTimes, k.Now())
+			return 5
+		}, nil)
+	}
+	k.Run(100)
+	if len(evalTimes) != 2 || evalTimes[0] != 0 || evalTimes[1] != 5 {
+		t.Fatalf("service evaluated at %v, want [0 5]", evalTimes)
+	}
+}
+
+func TestStationIdleRestart(t *testing.T) {
+	k := &Kernel{}
+	st := NewStation(k)
+	finished := 0
+	st.Enqueue(func() float64 { return 1 }, func(_, _ float64) { finished++ })
+	k.Run(10)
+	// The station drained; a later arrival must restart service.
+	k.Schedule(5, func() {
+		st.Enqueue(func() float64 { return 1 }, func(wait, _ float64) {
+			finished++
+			if wait != 0 {
+				t.Errorf("second job waited %v on idle station", wait)
+			}
+		})
+	})
+	k.Run(30)
+	if finished != 2 {
+		t.Fatalf("finished = %d", finished)
+	}
+	if st.Busy() {
+		t.Fatal("station should be idle")
+	}
+	if st.QueueLen() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestStationNegativeServiceClamped(t *testing.T) {
+	k := &Kernel{}
+	st := NewStation(k)
+	st.Enqueue(func() float64 { return -3 }, func(_, svc float64) {
+		if svc < 0 {
+			t.Errorf("negative service %v", svc)
+		}
+	})
+	k.Run(10)
+}

@@ -1,0 +1,87 @@
+// Package des implements a small discrete-event simulation kernel: a
+// time-ordered event heap with deterministic tie-breaking, plus a FIFO
+// single-server station primitive used to model network elements
+// (radio links, backhaul, edge servers) as tandem queues.
+package des
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	time float64 // simulation time, milliseconds
+	seq  uint64  // insertion order, breaks ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulation clock and scheduler. The zero
+// value is ready to use with the clock at time 0. Times are in
+// milliseconds by convention throughout Atlas.
+type Kernel struct {
+	heap eventHeap
+	now  float64
+	seq  uint64
+}
+
+// Now returns the current simulation time in milliseconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Schedule runs fn after the given delay (clamped to be non-negative).
+func (k *Kernel) Schedule(delayMs float64, fn func()) {
+	if delayMs < 0 {
+		delayMs = 0
+	}
+	k.ScheduleAt(k.now+delayMs, fn)
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to not precede the
+// current clock).
+func (k *Kernel) ScheduleAt(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.heap.pushEvent(event{time: t, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// Step executes the earliest pending event, advancing the clock. It
+// returns false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.heap) == 0 {
+		return false
+	}
+	e := k.heap.popEvent()
+	k.now = e.time
+	e.fn()
+	return true
+}
+
+// Run executes events until the clock passes untilMs or no events
+// remain. Events scheduled exactly at untilMs still run; later ones are
+// left pending.
+func (k *Kernel) Run(untilMs float64) {
+	for len(k.heap) > 0 && k.heap.peek().time <= untilMs {
+		k.Step()
+	}
+	if k.now < untilMs {
+		k.now = untilMs
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.heap) }

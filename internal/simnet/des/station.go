@@ -1,0 +1,72 @@
+package des
+
+// Station is a FIFO single-server queue attached to a Kernel. Jobs are
+// served one at a time; the per-job service time is supplied by the
+// caller when the job is enqueued, and is evaluated when service
+// *starts* (so time-varying channels are sampled at transmission time,
+// not arrival time).
+//
+// Stations model the serialization points of the slice data path: the
+// uplink radio, the backhaul link, the edge server, and the downlink
+// radio.
+type Station struct {
+	k     *Kernel
+	busy  bool
+	queue []stationJob
+
+	// BusyMs accumulates total service time, for utilization metrics.
+	BusyMs float64
+	// Served counts completed jobs.
+	Served int
+}
+
+type stationJob struct {
+	arrive  float64
+	service func() float64
+	done    func(waitMs, serviceMs float64)
+}
+
+// NewStation returns an idle station bound to k.
+func NewStation(k *Kernel) *Station {
+	return &Station{k: k}
+}
+
+// Enqueue adds a job. service is called once, when the server picks the
+// job up, and must return the service duration in milliseconds. done is
+// called at completion with the queueing wait and the service time.
+func (s *Station) Enqueue(service func() float64, done func(waitMs, serviceMs float64)) {
+	s.queue = append(s.queue, stationJob{arrive: s.k.Now(), service: service, done: done})
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+func (s *Station) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	s.busy = true
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	wait := s.k.Now() - job.arrive
+	dur := job.service()
+	if dur < 0 {
+		dur = 0
+	}
+	s.BusyMs += dur
+	s.k.Schedule(dur, func() {
+		s.Served++
+		if job.done != nil {
+			job.done(wait, dur)
+		}
+		s.startNext()
+	})
+}
+
+// QueueLen returns the number of jobs waiting (excluding the one in
+// service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether a job is currently in service.
+func (s *Station) Busy() bool { return s.busy }

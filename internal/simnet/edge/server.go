@@ -1,0 +1,58 @@
+// Package edge models the slice's edge server: a queue-based compute
+// service (the paper's Docker container running ORB feature extraction)
+// whose service rate scales with the container's CPU ratio.
+package edge
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// Server describes the compute service of one slice.
+type Server struct {
+	// BaseMeanMs and BaseStdMs describe the per-frame compute time at
+	// CPU ratio 1.0 (the paper matched 81 ms mean, 35 ms std from
+	// experimental collections).
+	BaseMeanMs float64
+	BaseStdMs  float64
+	// CPURatio is the container's CPU share; service time scales as
+	// 1/CPURatio.
+	CPURatio float64
+	// ExtraMs is a fixed additional compute time (the compute_time
+	// simulation parameter, or real-world container overhead).
+	ExtraMs float64
+	// JitterSigma, when positive, multiplies the service time by a
+	// lognormal factor exp(N(0, σ²)) (OS scheduling noise on real
+	// hardware; zero in the clean simulator). The factor's mean is
+	// exp(σ²/2) > 1: real jitter both widens and slows the service.
+	JitterSigma float64
+	// StallProb and StallFactor model occasional container stalls
+	// (garbage collection, page faults): with probability StallProb the
+	// service time is multiplied by StallFactor. Zero disables stalls.
+	StallProb   float64
+	StallFactor float64
+}
+
+// DefaultServer returns the prototype's edge service at full CPU.
+func DefaultServer() Server {
+	return Server{BaseMeanMs: 81, BaseStdMs: 35, CPURatio: 1}
+}
+
+// ServiceMs draws one frame's compute time. A CPU ratio of zero models a
+// stalled container as a very large service time.
+func (s Server) ServiceMs(rng *rand.Rand) float64 {
+	cpu := s.CPURatio
+	if cpu <= 0.01 {
+		cpu = 0.01
+	}
+	base := mathx.SampleTruncNormal(rng, s.BaseMeanMs, s.BaseStdMs, 5, s.BaseMeanMs+6*s.BaseStdMs)
+	t := base/cpu + s.ExtraMs
+	if s.JitterSigma > 0 {
+		t *= mathx.SampleLogNormal(rng, 0, s.JitterSigma)
+	}
+	if s.StallProb > 0 && rng.Float64() < s.StallProb {
+		t *= s.StallFactor
+	}
+	return t
+}

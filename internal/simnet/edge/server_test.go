@@ -1,0 +1,94 @@
+package edge
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mean(n int, f func() float64) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += f()
+	}
+	return sum / float64(n)
+}
+
+func TestServiceMeanTracksBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultServer()
+	m := mean(20000, func() float64 { return s.ServiceMs(rng) })
+	if m < 75 || m > 90 {
+		t.Fatalf("mean service = %v, want near 81", m)
+	}
+}
+
+func TestCPURatioScalesService(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	full := DefaultServer()
+	half := DefaultServer()
+	half.CPURatio = 0.5
+	mf := mean(20000, func() float64 { return full.ServiceMs(rng) })
+	mh := mean(20000, func() float64 { return half.ServiceMs(rng) })
+	ratio := mh / mf
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("half CPU should double service: ratio %v", ratio)
+	}
+}
+
+func TestZeroCPUStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := DefaultServer()
+	s.CPURatio = 0
+	if got := s.ServiceMs(rng); got < 1000 {
+		t.Fatalf("zero CPU service = %v, want a stall", got)
+	}
+}
+
+func TestExtraAddsFixedOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := DefaultServer()
+	extra := DefaultServer()
+	extra.ExtraMs = 25
+	mb := mean(20000, func() float64 { return base.ServiceMs(rng) })
+	me := mean(20000, func() float64 { return extra.ServiceMs(rng) })
+	if d := me - mb; d < 23 || d > 27 {
+		t.Fatalf("extra offset = %v, want ~25", d)
+	}
+}
+
+func TestJitterRaisesMeanAndSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	clean := DefaultServer()
+	noisy := DefaultServer()
+	noisy.JitterSigma = 0.4
+	mc := mean(20000, func() float64 { return clean.ServiceMs(rng) })
+	mn := mean(20000, func() float64 { return noisy.ServiceMs(rng) })
+	// exp(σ²/2) ≈ 1.083 mean inflation.
+	if mn < mc*1.03 {
+		t.Fatalf("lognormal jitter should raise the mean: %v vs %v", mn, mc)
+	}
+}
+
+func TestStallsInflateTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := DefaultServer()
+	s.StallProb = 1.0
+	s.StallFactor = 3
+	m := mean(5000, func() float64 { return s.ServiceMs(rng) })
+	if m < 230 || m > 260 {
+		t.Fatalf("always-stalling mean = %v, want ~3x81", m)
+	}
+}
+
+func TestServiceAlwaysPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := DefaultServer()
+	s.JitterSigma = 0.5
+	s.StallProb = 0.2
+	s.StallFactor = 4
+	for i := 0; i < 10000; i++ {
+		if got := s.ServiceMs(rng); got <= 0 {
+			t.Fatalf("non-positive service %v", got)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package simnet is Atlas's network simulator: a from-scratch
+// discrete-event model of the paper's end-to-end slicing testbed — an
+// LTE radio access network, an SDN backhaul, a core/edge segment with a
+// queue-based compute server, and the closed-loop frame application.
+//
+// It plays the role NS-3 plays in the paper: a queryable offline
+// environment whose *simulation parameters* (slicing.SimParams, Table 3)
+// can be searched to match a real network. The same engine, configured
+// with a hidden "structural" Profile, also powers the real-network
+// surrogate in package realnet; the profile captures everything a
+// simulator typically gets wrong (fading, implementation efficiency,
+// jitter), which is exactly what creates the sim-to-real discrepancy.
+package simnet
+
+import "github.com/atlas-slicing/atlas/internal/simnet/radio"
+
+// Profile is the structural description of a network environment: the
+// parts of reality that are *not* exposed as searchable simulation
+// parameters. The clean simulator profile has no fading, no jitter and
+// ideal efficiency; the real-network profile (internal/realnet) sets all
+// of them.
+type Profile struct {
+	// Radio environment.
+	PathlossExp   float64 // log-distance exponent
+	DistanceM     float64 // user–eNB distance
+	SINRCapDB     float64 // effective SINR ceiling
+	FadingSigmaDB float64 // shadow-fading σ (0 = none)
+	FadingRho     float64 // shadow-fading AR(1) coefficient
+	BurstRatePerS float64 // interference-burst rate (0 = none)
+	BurstDurMeanS float64 // mean burst duration
+	BurstDepthDB  float64 // SINR drop during bursts
+
+	ULEfficiency     float64 // implementation efficiency of the uplink PHY/MAC
+	DLEfficiency     float64 // implementation efficiency of the downlink
+	BasePERUL        float64 // residual uplink packet error floor
+	BasePERDL        float64 // residual downlink packet error floor
+	AccessULMs       float64 // steady-state uplink scheduling latency (warm grants)
+	AccessDLMs       float64 // steady-state downlink scheduling latency
+	ULAccessJitterMs float64 // uniform jitter on uplink access (0 = none)
+	PingAccessULMs   float64 // cold uplink access for sporadic probes (SR + RACH)
+	PingAccessDLMs   float64 // cold downlink access for sporadic probes
+
+	// Transport and core.
+	BackhaulDelayMs  float64 // one-way backhaul propagation + stack delay
+	BackhaulHeadroom float64 // Mbps beyond the metered rate (token-bucket burst)
+	PortCapMbps      float64 // physical port capacity
+	CoreProcMs       float64 // core-network processing per direction
+
+	// Edge compute.
+	ComputeMeanMs      float64 // per-frame compute at CPU ratio 1
+	ComputeStdMs       float64
+	ComputeExtraMs     float64 // fixed overhead (e.g. container runtime)
+	ComputeJitterSigma float64 // lognormal service-time jitter (0 = none)
+	ComputeStallProb   float64 // probability of a container stall per frame
+	ComputeStallFactor float64 // service-time multiplier during a stall
+
+	// Application.
+	FrameKBitMean   float64
+	FrameKBitStd    float64
+	ResultKBit      float64
+	LoadingBaseMs   float64
+	LoadingJitterMs float64
+
+	// EpisodeMs is the duration of one configuration interval's
+	// measurement window (the paper collects 60 s per configuration).
+	EpisodeMs float64
+}
+
+// CleanProfile returns the simulator's structural profile: the idealized
+// environment NS-3-style simulators model (no fading, no jitter, ideal
+// efficiency, log-distance pathloss with exponent 3).
+func CleanProfile() Profile {
+	return Profile{
+		PathlossExp: 3.0,
+		DistanceM:   1.0,
+		SINRCapDB:   28,
+
+		ULEfficiency:   1.0,
+		DLEfficiency:   1.0,
+		BasePERUL:      0.004,
+		BasePERDL:      0.002,
+		AccessULMs:     8,
+		AccessDLMs:     4,
+		PingAccessULMs: 14,
+		PingAccessDLMs: 8,
+
+		BackhaulDelayMs: 2.0,
+		PortCapMbps:     1000,
+		CoreProcMs:      2.5,
+
+		ComputeMeanMs: 81,
+		ComputeStdMs:  35,
+
+		FrameKBitMean: 230.4,
+		FrameKBitStd:  79.2,
+		ResultKBit:    16,
+		LoadingBaseMs: 20,
+
+		EpisodeMs: 60000,
+	}
+}
+
+// channelModel assembles the radio.ChannelModel for this profile given
+// the searchable radio parameters.
+func (p Profile) channelModel(baselineLoss, enbNF, ueNF float64) radio.ChannelModel {
+	return radio.ChannelModel{
+		UETxPowerDBm:  23,
+		ENBTxPowerDBm: 30,
+		BaselineLoss:  baselineLoss,
+		PathlossExp:   p.PathlossExp,
+		DistanceM:     p.DistanceM,
+		ENBNoiseFig:   enbNF,
+		UENoiseFig:    ueNF,
+		SINRCapDB:     p.SINRCapDB,
+		FadingSigmaDB: p.FadingSigmaDB,
+		FadingRho:     p.FadingRho,
+		BurstRatePerS: p.BurstRatePerS,
+		BurstDurMeanS: p.BurstDurMeanS,
+		BurstDepthDB:  p.BurstDepthDB,
+	}
+}

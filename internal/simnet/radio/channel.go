@@ -1,0 +1,169 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// ChannelModel describes the radio propagation environment of an
+// episode. The fields split into the *searchable* simulation parameters
+// (reference loss, noise figures — paper Table 3) and the *structural*
+// environment (distance, pathloss exponent, SINR ceiling, fading and
+// interference processes) that a simulator may or may not model.
+type ChannelModel struct {
+	// Link budget.
+	UETxPowerDBm  float64 // uplink transmit power
+	ENBTxPowerDBm float64 // downlink transmit power
+	BaselineLoss  float64 // reference pathloss at 1 m, dB (searchable)
+	PathlossExp   float64 // log-distance exponent
+	DistanceM     float64 // user–eNB distance, metres
+	ENBNoiseFig   float64 // eNB receiver noise figure, dB (searchable)
+	UENoiseFig    float64 // UE receiver noise figure, dB (searchable)
+	SINRCapDB     float64 // effective SINR ceiling (EVM/quantization limits)
+
+	// Shadow fading: an AR(1) process in dB sampled on a 100 ms grid.
+	// Sigma of zero disables fading (ideal simulator channel).
+	FadingSigmaDB float64
+	FadingRho     float64
+
+	// Interference bursts: Poisson episodes during which the SINR drops
+	// by BurstDepthDB. Rate of zero disables bursts.
+	BurstRatePerS float64
+	BurstDurMeanS float64
+	BurstDepthDB  float64
+}
+
+// DefaultChannel returns the clean simulator channel at 1 m (paper §7.2:
+// log-distance pathloss, no fading).
+func DefaultChannel() ChannelModel {
+	return ChannelModel{
+		UETxPowerDBm:  23,
+		ENBTxPowerDBm: 30,
+		BaselineLoss:  38.57,
+		PathlossExp:   3.0,
+		DistanceM:     1.0,
+		ENBNoiseFig:   5.0,
+		UENoiseFig:    9.0,
+		SINRCapDB:     28,
+	}
+}
+
+// Pathloss returns the log-distance pathloss in dB at the configured
+// distance: PL = PL₀ + 10·n·log10(d/1m).
+func (c ChannelModel) Pathloss() float64 {
+	d := c.DistanceM
+	if d < 1 {
+		d = 1
+	}
+	return c.BaselineLoss + 10*c.PathlossExp*math.Log10(d)
+}
+
+// MeanSINR returns the burst- and fading-free SINR in dB for a
+// direction, assuming the transmit power is spread over nPRB resource
+// blocks.
+func (c ChannelModel) MeanSINR(dir Direction, nPRB int) float64 {
+	if nPRB < 1 {
+		nPRB = 1
+	}
+	var tx, nf float64
+	switch dir {
+	case Uplink:
+		tx, nf = c.UETxPowerDBm, c.ENBNoiseFig
+	default:
+		tx, nf = c.ENBTxPowerDBm, c.UENoiseFig
+	}
+	perPRBTx := tx - 10*math.Log10(float64(nPRB))
+	noise := ThermalNoiseDBmPerHz + 10*math.Log10(PRBBandwidthHz) + nf
+	sinr := perPRBTx - c.Pathloss() - noise
+	if sinr > c.SINRCapDB {
+		sinr = c.SINRCapDB
+	}
+	return sinr
+}
+
+// ChannelState is a realized channel trajectory for one episode:
+// precomputed fading samples and interference-burst intervals, queryable
+// at any simulation time. It is deterministic given the RNG it was built
+// with.
+type ChannelState struct {
+	model     ChannelModel
+	fading    []float64 // dB offsets on a fadingStepMs grid
+	bursts    [][2]float64
+	horizonMs float64
+}
+
+const fadingStepMs = 100.0
+
+// NewChannelState realizes fading and burst processes over [0, horizonMs].
+func NewChannelState(model ChannelModel, horizonMs float64, rng *rand.Rand) *ChannelState {
+	st := &ChannelState{model: model, horizonMs: horizonMs}
+	steps := int(horizonMs/fadingStepMs) + 2
+	st.fading = make([]float64, steps)
+	if model.FadingSigmaDB > 0 {
+		rho := mathx.Clip(model.FadingRho, 0, 0.999)
+		innov := model.FadingSigmaDB * math.Sqrt(1-rho*rho)
+		x := model.FadingSigmaDB * rng.NormFloat64()
+		for i := range st.fading {
+			st.fading[i] = x
+			x = rho*x + innov*rng.NormFloat64()
+		}
+	}
+	if model.BurstRatePerS > 0 {
+		t := 0.0
+		for {
+			gapMs := mathx.SampleExp(rng, model.BurstRatePerS) * 1000
+			t += gapMs
+			if t >= horizonMs {
+				break
+			}
+			durMs := mathx.SampleExp(rng, 1/model.BurstDurMeanS) * 1000
+			st.bursts = append(st.bursts, [2]float64{t, t + durMs})
+			t += durMs
+		}
+	}
+	return st
+}
+
+// Model returns the underlying channel model.
+func (s *ChannelState) Model() ChannelModel { return s.model }
+
+// fadingAt returns the shadow-fading offset in dB at time t.
+func (s *ChannelState) fadingAt(tMs float64) float64 {
+	if len(s.fading) == 0 {
+		return 0
+	}
+	idx := int(tMs / fadingStepMs)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.fading) {
+		idx = len(s.fading) - 1
+	}
+	return s.fading[idx]
+}
+
+// inBurst reports whether an interference burst is active at time t.
+func (s *ChannelState) inBurst(tMs float64) bool {
+	for _, b := range s.bursts {
+		if tMs >= b[0] && tMs < b[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// SINRAt returns the effective SINR in dB at time t for a direction and
+// PRB allocation, including fading and bursts, capped at the model's
+// SINR ceiling.
+func (s *ChannelState) SINRAt(tMs float64, dir Direction, nPRB int) float64 {
+	sinr := s.model.MeanSINR(dir, nPRB) - s.fadingAt(tMs)
+	if s.inBurst(tMs) {
+		sinr -= s.model.BurstDepthDB
+	}
+	if sinr > s.model.SINRCapDB {
+		sinr = s.model.SINRCapDB
+	}
+	return sinr
+}

@@ -1,0 +1,123 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// Link models one direction of the radio access for a slice: a PRB
+// allocation with an MCS offset over a realized channel, plus the fixed
+// access latency of the LTE MAC (scheduling request/grant cycle).
+type Link struct {
+	Dir       Direction
+	PRBs      float64 // PRBs allocated to the slice (may be fractional)
+	MCSOffset float64 // link-adaptation backoff steps
+
+	// AccessDelayMs is the fixed scheduling latency before data flows
+	// (SR + grant cycle on the uplink, scheduling delay on the
+	// downlink).
+	AccessDelayMs float64
+	// AccessJitterMs adds uniform [0, jitter) noise to the access delay
+	// (grant re-acquisition after CQI changes on real hardware; zero in
+	// the clean simulator).
+	AccessJitterMs float64
+
+	// Efficiency scales the ideal PHY rate to account for protocol and
+	// implementation overheads (1.0 = ideal).
+	Efficiency float64
+
+	// BasePER is the residual packet error floor independent of SINR
+	// (decoding glitches, HARQ feedback errors).
+	BasePER float64
+
+	Channel *ChannelState
+}
+
+// RateMbps returns the instantaneous goodput in Mbps at time t, given the
+// realized channel. A 30% resource-element overhead (control, reference
+// signals) is applied on top of the spectral efficiency.
+func (l *Link) RateMbps(tMs float64) float64 {
+	if l.PRBs <= 0 {
+		return 0
+	}
+	sinr := l.Channel.SINRAt(tMs, l.Dir, int(math.Ceil(l.PRBs)))
+	cqi := CQIFromSINR(sinr, l.Dir)
+	cqi = ApplyMCSOffset(cqi, l.MCSOffset)
+	eff := Efficiency(cqi)
+	const overhead = 0.70 // usable fraction of REs
+	bitsPerMs := l.PRBs * REsPerPRBPerTTI * eff * overhead
+	return bitsPerMs * l.Efficiency / 1000 // kbit/ms → Mbit/s numerically equal
+}
+
+// bler returns the first-transmission block error rate at time t: 10% at
+// the CQI threshold, decaying one decade per 2 dB of margin, capped near
+// 1 with a small irreducible floor.
+func (l *Link) bler(tMs float64) float64 {
+	sinr := l.Channel.SINRAt(tMs, l.Dir, int(math.Ceil(l.PRBs)))
+	cqi := CQIFromSINR(sinr, l.Dir)
+	cqi = ApplyMCSOffset(cqi, l.MCSOffset)
+	margin := sinr - Threshold(cqi)
+	p := 0.1 * math.Pow(10, -margin/2)
+	return mathx.Clip(p, 1e-4, 0.95)
+}
+
+// TxResult is the outcome of transmitting one frame over the link.
+type TxResult struct {
+	DurationMs float64 // total time including access delay, HARQ, RLC recovery
+	TBs        int     // transport blocks sent
+	Errors     int     // TBs that exhausted HARQ (recovered by RLC)
+}
+
+// Transmit models sending sizeKBits kilobits starting at time t. Each
+// TTI carries one transport block; blocks failing their first
+// transmission enter HARQ (up to MaxHARQ attempts with combining gain),
+// and blocks exhausting HARQ pay the RLC recovery penalty and count as
+// residual packet errors.
+func (l *Link) Transmit(tMs, sizeKBits float64, rng *rand.Rand) TxResult {
+	rate := l.RateMbps(tMs)
+	if rate <= 0 {
+		// No resources: model a stalled link as a very long delay so the
+		// latency distribution (and hence QoE) reflects the outage.
+		return TxResult{DurationMs: 10000, TBs: 1, Errors: 1}
+	}
+	baseTxMs := sizeKBits / rate // kbit / (kbit/ms)
+	tbs := int(math.Ceil(baseTxMs / TTIMs))
+	if tbs < 1 {
+		tbs = 1
+	}
+	p1 := l.bler(tMs)
+	extra := 0.0
+	errors := 0
+	for i := 0; i < tbs; i++ {
+		// Residual glitches (HARQ feedback errors, decoder aborts) lose
+		// the block outright regardless of SINR; RLC AM recovers it.
+		if rng.Float64() < l.BasePER {
+			errors++
+			extra += RLCPenaltyMs
+			continue
+		}
+		p := p1
+		attempt := 1
+		for rng.Float64() < p {
+			attempt++
+			if attempt > MaxHARQ {
+				errors++
+				extra += RLCPenaltyMs
+				break
+			}
+			extra += HARQRTTMs
+			p /= 4 // HARQ soft-combining gain per retransmission
+		}
+	}
+	access := l.AccessDelayMs
+	if l.AccessJitterMs > 0 {
+		access += rng.Float64() * l.AccessJitterMs
+	}
+	return TxResult{
+		DurationMs: access + baseTxMs + extra,
+		TBs:        tbs,
+		Errors:     errors,
+	}
+}

@@ -1,0 +1,128 @@
+// Package radio models an LTE-style radio link at the granularity Atlas
+// needs: log-distance pathloss, an SINR budget with noise figures, a
+// CQI/MCS table mapping SINR to spectral efficiency, a BLER waterfall
+// with HARQ retransmissions, shadow fading, and interference bursts.
+//
+// The model follows the conventions of NS-3 LENA (which the paper's
+// simulator is built on): 180 kHz physical resource blocks, 1 ms TTIs,
+// and link adaptation targeting 10% first-transmission BLER.
+package radio
+
+// PRB and TTI constants for a 10 MHz LTE carrier.
+const (
+	// REsPerPRBPerTTI is 12 subcarriers × 14 OFDM symbols.
+	REsPerPRBPerTTI = 168
+	// TTIMs is the transmission time interval in milliseconds.
+	TTIMs = 1.0
+	// HARQRTTMs is the HARQ retransmission round-trip in milliseconds.
+	HARQRTTMs = 8.0
+	// RLCPenaltyMs is the recovery delay when all HARQ attempts fail
+	// and RLC AM retransmits the PDU.
+	RLCPenaltyMs = 40.0
+	// MaxHARQ is the number of transmission attempts before RLC takes
+	// over.
+	MaxHARQ = 4
+	// ThermalNoiseDBmPerHz is the thermal noise density at 290 K.
+	ThermalNoiseDBmPerHz = -174.0
+	// PRBBandwidthHz is the bandwidth of one physical resource block.
+	PRBBandwidthHz = 180e3
+)
+
+// cqiEntry maps a CQI index to its spectral efficiency (bits per resource
+// element) and the SINR at which a first transmission achieves roughly
+// 10% BLER (the link-adaptation operating point).
+type cqiEntry struct {
+	Eff    float64 // bits per RE
+	SINRdB float64 // 10%-BLER threshold
+}
+
+// cqiTable is the 3GPP 4-bit CQI table (36.213 Table 7.2.3-1) with
+// commonly used AWGN thresholds. Index 0 is out-of-range.
+var cqiTable = []cqiEntry{
+	{0, -9999}, // CQI 0: out of range
+	{0.1523, -6.7},
+	{0.2344, -4.7},
+	{0.3770, -2.3},
+	{0.6016, 0.2},
+	{0.8770, 2.4},
+	{1.1758, 4.3},
+	{1.4766, 5.9},
+	{1.9141, 8.1},
+	{2.4063, 10.3},
+	{2.7305, 11.7},
+	{3.3223, 14.1},
+	{3.9023, 16.3},
+	{4.5234, 18.7},
+	{5.1152, 21.0},
+	{5.5547, 22.7},
+}
+
+// MaxCQI is the highest CQI index.
+const MaxCQI = 15
+
+// Direction selects uplink or downlink link budgets and modulation caps.
+type Direction int
+
+// Link directions.
+const (
+	Uplink Direction = iota
+	Downlink
+)
+
+// maxCQIFor caps the modulation per direction: LTE category-4 UEs
+// transmit at most 16QAM uplink (CQI 11 efficiency class), while the
+// downlink reaches 64QAM (CQI 15).
+func maxCQIFor(dir Direction) int {
+	if dir == Uplink {
+		return 11
+	}
+	return MaxCQI
+}
+
+// CQIFromSINR returns the highest CQI whose threshold is at or below the
+// given SINR, capped per direction. It returns 0 when even CQI 1 is not
+// supportable.
+func CQIFromSINR(sinrDB float64, dir Direction) int {
+	best := 0
+	limit := maxCQIFor(dir)
+	for c := 1; c <= limit; c++ {
+		if sinrDB >= cqiTable[c].SINRdB {
+			best = c
+		}
+	}
+	return best
+}
+
+// Efficiency returns the spectral efficiency in bits/RE for a CQI index.
+func Efficiency(cqi int) float64 {
+	if cqi < 0 {
+		cqi = 0
+	}
+	if cqi > MaxCQI {
+		cqi = MaxCQI
+	}
+	return cqiTable[cqi].Eff
+}
+
+// Threshold returns the 10%-BLER SINR threshold for a CQI index.
+func Threshold(cqi int) float64 {
+	if cqi <= 0 {
+		return cqiTable[1].SINRdB
+	}
+	if cqi > MaxCQI {
+		cqi = MaxCQI
+	}
+	return cqiTable[cqi].SINRdB
+}
+
+// ApplyMCSOffset backs the selected CQI off by the configured offset
+// (rounded down), flooring at CQI 1. Backing off trades rate for a lower
+// block error rate, mirroring the mcs_offset_ul/dl knobs of the paper's
+// prototype (Table 2).
+func ApplyMCSOffset(cqi int, offset float64) int {
+	c := cqi - int(offset)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,222 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCQIMonotoneInSINR(t *testing.T) {
+	prev := 0
+	for sinr := -10.0; sinr <= 30; sinr += 0.5 {
+		c := CQIFromSINR(sinr, Downlink)
+		if c < prev {
+			t.Fatalf("CQI decreased at %v dB: %d < %d", sinr, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCQIDirectionCaps(t *testing.T) {
+	// At very high SINR the uplink caps at 16QAM-class CQI.
+	if got := CQIFromSINR(40, Uplink); got != 11 {
+		t.Fatalf("UL cap = %d, want 11", got)
+	}
+	if got := CQIFromSINR(40, Downlink); got != MaxCQI {
+		t.Fatalf("DL cap = %d, want %d", got, MaxCQI)
+	}
+}
+
+func TestCQIOutOfRange(t *testing.T) {
+	if got := CQIFromSINR(-20, Uplink); got != 0 {
+		t.Fatalf("CQI at -20 dB = %d", got)
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	for c := 2; c <= MaxCQI; c++ {
+		if Efficiency(c) <= Efficiency(c-1) {
+			t.Fatalf("efficiency not increasing at CQI %d", c)
+		}
+	}
+	if Efficiency(0) != 0 {
+		t.Fatal("CQI 0 must carry nothing")
+	}
+	if Efficiency(-1) != 0 || Efficiency(99) != Efficiency(MaxCQI) {
+		t.Fatal("out-of-range CQI not clamped")
+	}
+}
+
+func TestApplyMCSOffset(t *testing.T) {
+	if got := ApplyMCSOffset(10, 3); got != 7 {
+		t.Fatalf("offset = %d", got)
+	}
+	if got := ApplyMCSOffset(2, 10); got != 1 {
+		t.Fatalf("offset floor = %d", got)
+	}
+	if got := ApplyMCSOffset(10, 0.9); got != 10 {
+		t.Fatalf("fractional offset truncates: %d", got)
+	}
+}
+
+func TestPathlossGrowsWithDistance(t *testing.T) {
+	m := DefaultChannel()
+	m.DistanceM = 1
+	pl1 := m.Pathloss()
+	m.DistanceM = 10
+	pl10 := m.Pathloss()
+	if pl10 != pl1+30 { // exponent 3 → 30 dB per decade
+		t.Fatalf("pathloss: %v at 1m, %v at 10m", pl1, pl10)
+	}
+	// Sub-metre distances clamp to the 1 m reference.
+	m.DistanceM = 0.1
+	if m.Pathloss() != pl1 {
+		t.Fatal("sub-metre pathloss not clamped")
+	}
+}
+
+func TestMeanSINRCapped(t *testing.T) {
+	m := DefaultChannel()
+	if got := m.MeanSINR(Uplink, 50); got != m.SINRCapDB {
+		t.Fatalf("SINR at 1m = %v, want capped at %v", got, m.SINRCapDB)
+	}
+}
+
+func TestChannelStateDeterministic(t *testing.T) {
+	m := DefaultChannel()
+	m.FadingSigmaDB = 3
+	m.FadingRho = 0.9
+	m.BurstRatePerS = 0.1
+	m.BurstDurMeanS = 1
+	m.BurstDepthDB = 10
+	a := NewChannelState(m, 60000, rand.New(rand.NewSource(7)))
+	b := NewChannelState(m, 60000, rand.New(rand.NewSource(7)))
+	for ts := 0.0; ts < 60000; ts += 997 {
+		if a.SINRAt(ts, Uplink, 50) != b.SINRAt(ts, Uplink, 50) {
+			t.Fatalf("channel diverged at %v", ts)
+		}
+	}
+}
+
+func TestChannelNoFadingIsFlat(t *testing.T) {
+	m := DefaultChannel()
+	st := NewChannelState(m, 60000, rand.New(rand.NewSource(8)))
+	ref := st.SINRAt(0, Downlink, 50)
+	for ts := 0.0; ts < 60000; ts += 1000 {
+		if st.SINRAt(ts, Downlink, 50) != ref {
+			t.Fatal("clean channel should be time-invariant")
+		}
+	}
+}
+
+func TestBurstsReduceSINR(t *testing.T) {
+	m := DefaultChannel()
+	m.BurstRatePerS = 50 // essentially always bursting
+	m.BurstDurMeanS = 10
+	m.BurstDepthDB = 12
+	st := NewChannelState(m, 10000, rand.New(rand.NewSource(9)))
+	inBurst := 0
+	for ts := 0.0; ts < 10000; ts += 100 {
+		if st.SINRAt(ts, Downlink, 50) < m.SINRCapDB {
+			inBurst++
+		}
+	}
+	if inBurst == 0 {
+		t.Fatal("no burst impact observed")
+	}
+}
+
+func TestLinkRateMonotoneInPRBs(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(10)))
+	prev := 0.0
+	for prbs := 5.0; prbs <= 50; prbs += 5 {
+		l := &Link{Dir: Uplink, PRBs: prbs, Efficiency: 1, Channel: st}
+		r := l.RateMbps(0)
+		if r <= prev {
+			t.Fatalf("rate not increasing at %v PRBs: %v <= %v", prbs, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestLinkRateZeroPRBs(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(11)))
+	l := &Link{Dir: Uplink, PRBs: 0, Efficiency: 1, Channel: st}
+	if l.RateMbps(0) != 0 {
+		t.Fatal("zero PRBs must carry nothing")
+	}
+	res := l.Transmit(0, 100, rand.New(rand.NewSource(12)))
+	if res.DurationMs < 1000 {
+		t.Fatalf("stalled link should report a large delay, got %v", res.DurationMs)
+	}
+}
+
+func TestMCSOffsetReducesRate(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(13)))
+	fast := &Link{Dir: Downlink, PRBs: 50, Efficiency: 1, Channel: st}
+	slow := &Link{Dir: Downlink, PRBs: 50, MCSOffset: 5, Efficiency: 1, Channel: st}
+	if slow.RateMbps(0) >= fast.RateMbps(0) {
+		t.Fatal("MCS backoff must reduce rate")
+	}
+}
+
+func TestTransmitAccounting(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(14)))
+	l := &Link{Dir: Uplink, PRBs: 50, Efficiency: 1, AccessDelayMs: 8, Channel: st}
+	rng := rand.New(rand.NewSource(15))
+	res := l.Transmit(0, 400, rng)
+	if res.TBs < 1 {
+		t.Fatalf("TBs = %d", res.TBs)
+	}
+	minDur := 8 + 400/l.RateMbps(0)
+	if res.DurationMs < minDur-1e-9 {
+		t.Fatalf("duration %v below physical floor %v", res.DurationMs, minDur)
+	}
+}
+
+func TestTransmitErrorRateMatchesBasePER(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(16)))
+	l := &Link{Dir: Uplink, PRBs: 50, Efficiency: 1, BasePER: 0.05, Channel: st}
+	rng := rand.New(rand.NewSource(17))
+	tbs, errs := 0, 0
+	for i := 0; i < 500; i++ {
+		res := l.Transmit(0, 400, rng)
+		tbs += res.TBs
+		errs += res.Errors
+	}
+	per := float64(errs) / float64(tbs)
+	if per < 0.03 || per > 0.08 {
+		t.Fatalf("observed PER %v, want near 0.05", per)
+	}
+}
+
+func TestAccessJitterWithinBounds(t *testing.T) {
+	st := NewChannelState(DefaultChannel(), 1000, rand.New(rand.NewSource(18)))
+	l := &Link{Dir: Uplink, PRBs: 50, Efficiency: 1, AccessDelayMs: 5, AccessJitterMs: 4, Channel: st}
+	rng := rand.New(rand.NewSource(19))
+	base := &Link{Dir: Uplink, PRBs: 50, Efficiency: 1, Channel: st}
+	baseTx := 400 / base.RateMbps(0)
+	for i := 0; i < 200; i++ {
+		res := l.Transmit(0, 400, rng)
+		access := res.DurationMs - baseTx - 40*float64(res.Errors)
+		// HARQ retransmissions add multiples of 8 ms; subtract the
+		// largest explanation and check the remainder stays in bounds.
+		for access >= 9+baseTx*0 && access > 9 {
+			access -= HARQRTTMs
+		}
+		if access < 5-1e-9 {
+			t.Fatalf("access %v below floor", access)
+		}
+	}
+}
+
+// Property: thresholds are increasing in CQI.
+func TestThresholdMonotone(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := int(raw%14) + 2
+		return Threshold(c) > Threshold(c-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
+	"github.com/atlas-slicing/atlas/internal/simnet/des"
+	"github.com/atlas-slicing/atlas/internal/simnet/edge"
+	"github.com/atlas-slicing/atlas/internal/simnet/radio"
+	"github.com/atlas-slicing/atlas/internal/simnet/transport"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// Simulator is a network environment: a structural Profile plus the
+// searchable simulation parameters. It implements slicing.Env.
+//
+// Two configurations of the same engine cover both sides of the
+// sim-to-real divide:
+//
+//   - simulator: CleanProfile() + whatever parameters stage 1 is testing;
+//   - real network: a hidden structural profile + hidden ground-truth
+//     parameters (see package realnet).
+type Simulator struct {
+	Profile Profile
+	Params  slicing.SimParams
+}
+
+// New returns a simulator with the clean profile and the given
+// parameters.
+func New(params slicing.SimParams) *Simulator {
+	return &Simulator{Profile: CleanProfile(), Params: params}
+}
+
+// NewDefault returns the uncalibrated simulator (original Table 3
+// parameters).
+func NewDefault() *Simulator { return New(slicing.DefaultSimParams()) }
+
+// WithParams returns a copy of s using the given parameters.
+func (s *Simulator) WithParams(params slicing.SimParams) *Simulator {
+	return &Simulator{Profile: s.Profile, Params: params}
+}
+
+// frame carries per-frame bookkeeping through the pipeline closures.
+type frame struct {
+	genMs     float64
+	loadingMs float64
+	ulMs      float64
+	bhMs      float64
+	queueMs   float64
+	computeMs float64
+	dlMs      float64
+	sizeKBit  float64
+}
+
+// Episode runs one configuration interval: `traffic` concurrent
+// on-the-fly frames flowing UE → RAN → backhaul → edge → backhaul → RAN
+// for Profile.EpisodeMs simulated milliseconds. It returns the per-frame
+// latency trace with component breakdowns and residual PER.
+func (s *Simulator) Episode(cfg slicing.Config, traffic int, seed int64) slicing.Trace {
+	tr, _ := s.run(cfg, traffic, seed, false)
+	return tr
+}
+
+// EpisodeRecords runs an episode and additionally returns every frame's
+// tracer record (the NS-3 tracer analogue, §7.2), ordered by completion.
+func (s *Simulator) EpisodeRecords(cfg slicing.Config, traffic int, seed int64) (slicing.Trace, []FrameRecord) {
+	return s.run(cfg, traffic, seed, true)
+}
+
+func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect bool) (slicing.Trace, []FrameRecord) {
+	if traffic < 1 {
+		traffic = 1
+	}
+	cfg = slicing.DefaultConfigSpace().Clamp(cfg)
+	cfg = slicing.ApplyConnectivityFloor(cfg)
+
+	rngs := mathx.Split(seed, 5)
+	chanRNG, appRNG, ulRNG, dlRNG, edgeRNG := rngs[0], rngs[1], rngs[2], rngs[3], rngs[4]
+
+	p := s.Profile
+	horizon := p.EpisodeMs
+	model := p.channelModel(s.Params.BaselineLoss, s.Params.ENBNoiseFig, s.Params.UENoiseFig)
+	channel := radio.NewChannelState(model, horizon, chanRNG)
+
+	ul := &radio.Link{
+		Dir: radio.Uplink, PRBs: cfg.BandwidthUL, MCSOffset: cfg.MCSOffsetUL,
+		AccessDelayMs: p.AccessULMs, AccessJitterMs: p.ULAccessJitterMs,
+		Efficiency: p.ULEfficiency,
+		BasePER:    p.BasePERUL, Channel: channel,
+	}
+	dl := &radio.Link{
+		Dir: radio.Downlink, PRBs: cfg.BandwidthDL, MCSOffset: cfg.MCSOffsetDL,
+		AccessDelayMs: p.AccessDLMs, Efficiency: p.DLEfficiency,
+		BasePER: p.BasePERDL, Channel: channel,
+	}
+	bh := transport.Link{
+		BandwidthMbps: cfg.BackhaulMbps,
+		HeadroomMbps:  s.Params.BackhaulBW + p.BackhaulHeadroom,
+		PortCapMbps:   p.PortCapMbps,
+		DelayMs:       p.BackhaulDelayMs + s.Params.BackhaulDelay,
+	}
+	server := edge.Server{
+		BaseMeanMs: p.ComputeMeanMs, BaseStdMs: p.ComputeStdMs,
+		CPURatio:    cfg.CPURatio,
+		ExtraMs:     s.Params.ComputeTime + p.ComputeExtraMs,
+		JitterSigma: p.ComputeJitterSigma,
+		StallProb:   p.ComputeStallProb, StallFactor: p.ComputeStallFactor,
+	}
+	appProf := app.Profile{
+		FrameKBitMean: p.FrameKBitMean, FrameKBitStd: p.FrameKBitStd,
+		ResultKBit:    p.ResultKBit,
+		LoadingBaseMs: p.LoadingBaseMs, LoadingExtraMs: s.Params.LoadingTime,
+		LoadingJitterMs: p.LoadingJitterMs,
+	}
+
+	k := &des.Kernel{}
+	ulSt := des.NewStation(k)
+	bhSt := des.NewStation(k)
+	edgeSt := des.NewStation(k)
+	dlSt := des.NewStation(k)
+
+	var (
+		tr                                       slicing.Trace
+		ulTBs                                    int
+		ulErrs                                   int
+		dlTBs                                    int
+		dlErrs                                   int
+		sumLoad, sumUL, sumBH, sumQ, sumC, sumDL float64
+	)
+
+	var records []FrameRecord
+	var launch func()
+	finish := func(f *frame) {
+		if k.Now() <= horizon {
+			tr.LatenciesMs = append(tr.LatenciesMs, k.Now()-f.genMs)
+			tr.Frames++
+			sumLoad += f.loadingMs
+			sumUL += f.ulMs
+			sumBH += f.bhMs
+			sumQ += f.queueMs
+			sumC += f.computeMs
+			sumDL += f.dlMs
+			if collect {
+				records = append(records, FrameRecord{
+					GenMs:      f.genMs,
+					SizeKBit:   f.sizeKBit,
+					LoadingMs:  f.loadingMs,
+					ULMs:       f.ulMs,
+					BackhaulMs: f.bhMs,
+					QueueMs:    f.queueMs,
+					ComputeMs:  f.computeMs,
+					DLMs:       f.dlMs,
+					LatencyMs:  k.Now() - f.genMs,
+				})
+			}
+		}
+		launch() // closed loop: the window slot is free again
+	}
+
+	launch = func() {
+		if k.Now() > horizon {
+			return
+		}
+		f := &frame{genMs: k.Now(), sizeKBit: appProf.FrameKBits(appRNG)}
+		f.loadingMs = appProf.LoadingMs(appRNG)
+		k.Schedule(f.loadingMs, func() {
+			// Uplink radio transmission.
+			ulSt.Enqueue(func() float64 {
+				res := ul.Transmit(k.Now(), f.sizeKBit, ulRNG)
+				ulTBs += res.TBs
+				ulErrs += res.Errors
+				return res.DurationMs
+			}, func(wait, svc float64) {
+				f.ulMs = wait + svc
+				// Backhaul serialization, then propagation + core
+				// processing as pure delay.
+				bhSt.Enqueue(func() float64 {
+					return bh.SerializationMs(f.sizeKBit)
+				}, func(wait, svc float64) {
+					f.bhMs = wait + svc + bh.DelayMs + p.CoreProcMs
+					k.Schedule(bh.DelayMs+p.CoreProcMs, func() {
+						// Edge compute.
+						edgeSt.Enqueue(func() float64 {
+							return server.ServiceMs(edgeRNG)
+						}, func(wait, svc float64) {
+							f.queueMs = wait
+							f.computeMs = svc
+							// Return path: core + backhaul as delay (the
+							// small result does not contend for the
+							// meter), then downlink radio.
+							k.Schedule(bh.DelayMs+p.CoreProcMs, func() {
+								dlSt.Enqueue(func() float64 {
+									res := dl.Transmit(k.Now(), appProf.ResultKBit, dlRNG)
+									dlTBs += res.TBs
+									dlErrs += res.Errors
+									return res.DurationMs
+								}, func(wait, svc float64) {
+									f.dlMs = wait + svc
+									finish(f)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+
+	for i := 0; i < traffic; i++ {
+		launch()
+	}
+	k.Run(horizon)
+
+	if tr.Frames > 0 {
+		n := float64(tr.Frames)
+		tr.MeanLoadingMs = sumLoad / n
+		tr.MeanULMs = sumUL / n
+		tr.MeanBackhaulMs = sumBH / n
+		tr.MeanQueueMs = sumQ / n
+		tr.MeanComputeMs = sumC / n
+		tr.MeanDLMs = sumDL / n
+	}
+	if ulTBs > 0 {
+		tr.ULPER = float64(ulErrs) / float64(ulTBs)
+	}
+	if dlTBs > 0 {
+		tr.DLPER = float64(dlErrs) / float64(dlTBs)
+	}
+	return tr, records
+}
+
+// Measure runs the link-layer measurement campaign of Table 1 against a
+// configuration: saturation uplink and downlink throughput, residual
+// PER, and small-probe ping. The returned trace has only the link-layer
+// fields set.
+func (s *Simulator) Measure(cfg slicing.Config, seed int64) slicing.Trace {
+	cfg = slicing.DefaultConfigSpace().Clamp(cfg)
+	cfg = slicing.ApplyConnectivityFloor(cfg)
+	rngs := mathx.Split(seed, 3)
+	chanRNG, ulRNG, dlRNG := rngs[0], rngs[1], rngs[2]
+
+	p := s.Profile
+	horizon := p.EpisodeMs
+	model := p.channelModel(s.Params.BaselineLoss, s.Params.ENBNoiseFig, s.Params.UENoiseFig)
+	channel := radio.NewChannelState(model, horizon, chanRNG)
+
+	ulTput, ulPER := s.saturate(radio.Uplink, cfg, channel, horizon, ulRNG)
+	dlTput, dlPER := s.saturate(radio.Downlink, cfg, channel, horizon, dlRNG)
+
+	bh := transport.Link{
+		BandwidthMbps: cfg.BackhaulMbps,
+		HeadroomMbps:  s.Params.BackhaulBW + p.BackhaulHeadroom,
+		PortCapMbps:   p.PortCapMbps,
+		DelayMs:       p.BackhaulDelayMs + s.Params.BackhaulDelay,
+	}
+	// A ping probe crosses the radio both ways and the backhaul both
+	// ways; it does not touch the application or the edge queue.
+	// Sporadic probes pay the cold access latency (SR + RACH cycle),
+	// unlike the application's pipelined transmissions.
+	const probeKBit = 0.8
+	ul := &radio.Link{Dir: radio.Uplink, PRBs: cfg.BandwidthUL, MCSOffset: cfg.MCSOffsetUL,
+		AccessDelayMs: p.PingAccessULMs, AccessJitterMs: p.ULAccessJitterMs,
+		Efficiency: p.ULEfficiency, BasePER: p.BasePERUL, Channel: channel}
+	dl := &radio.Link{Dir: radio.Downlink, PRBs: cfg.BandwidthDL, MCSOffset: cfg.MCSOffsetDL,
+		AccessDelayMs: p.PingAccessDLMs,
+		Efficiency:    p.DLEfficiency, BasePER: p.BasePERDL, Channel: channel}
+	var pingSum float64
+	const pings = 100
+	for i := 0; i < pings; i++ {
+		t := float64(i) * horizon / pings
+		up := ul.Transmit(t, probeKBit, ulRNG)
+		down := dl.Transmit(t, probeKBit, dlRNG)
+		pingSum += up.DurationMs + down.DurationMs +
+			2*(bh.SerializationMs(probeKBit)+bh.DelayMs) + p.CoreProcMs
+	}
+
+	return slicing.Trace{
+		ULThroughputMbps: ulTput,
+		DLThroughputMbps: dlTput,
+		ULPER:            ulPER,
+		DLPER:            dlPER,
+		PingMs:           pingSum / pings,
+	}
+}
+
+// saturate measures one direction's goodput by transmitting
+// back-to-back bulk transport blocks for the whole horizon.
+func (s *Simulator) saturate(dir radio.Direction, cfg slicing.Config, channel *radio.ChannelState, horizon float64, rng *rand.Rand) (tputMbps, per float64) {
+	link := &radio.Link{Dir: dir, Channel: channel,
+		BasePER: s.Profile.BasePERUL}
+	if dir == radio.Uplink {
+		link.PRBs, link.MCSOffset, link.Efficiency = cfg.BandwidthUL, cfg.MCSOffsetUL, s.Profile.ULEfficiency
+	} else {
+		link.PRBs, link.MCSOffset, link.Efficiency = cfg.BandwidthDL, cfg.MCSOffsetDL, s.Profile.DLEfficiency
+		link.BasePER = s.Profile.BasePERDL
+	}
+	// Access delay amortizes away under saturation (pipelined grants).
+	link.AccessDelayMs = 0
+
+	const chunkKBit = 400
+	t, delivered := 0.0, 0.0
+	tbs, errs := 0, 0
+	for t < horizon {
+		res := link.Transmit(t, chunkKBit, rng)
+		// RLC recovery is per-packet latency, not a link stall: under
+		// saturation other data keeps flowing while a lost block is
+		// retransmitted, so exclude the recovery penalty from the
+		// air-time accounting.
+		t += res.DurationMs - radio.RLCPenaltyMs*float64(res.Errors)
+		tbs += res.TBs
+		errs += res.Errors
+		delivered += chunkKBit * (1 - float64(res.Errors)/float64(res.TBs))
+	}
+	if t > 0 {
+		tputMbps = delivered / t
+	}
+	if tbs > 0 {
+		per = float64(errs) / float64(tbs)
+	}
+	return tputMbps, per
+}

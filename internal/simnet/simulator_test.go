@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+func fullConfig() slicing.Config {
+	return slicing.Config{BandwidthUL: 50, BandwidthDL: 50, BackhaulMbps: 100, CPURatio: 1}
+}
+
+func TestEpisodeDeterministic(t *testing.T) {
+	s := NewDefault()
+	a := s.Episode(fullConfig(), 2, 42)
+	b := s.Episode(fullConfig(), 2, 42)
+	if a.Frames != b.Frames || len(a.LatenciesMs) != len(b.LatenciesMs) {
+		t.Fatal("episode not deterministic")
+	}
+	for i := range a.LatenciesMs {
+		if a.LatenciesMs[i] != b.LatenciesMs[i] {
+			t.Fatalf("latency %d diverged", i)
+		}
+	}
+	c := s.Episode(fullConfig(), 2, 43)
+	if len(c.LatenciesMs) == len(a.LatenciesMs) && c.LatenciesMs[0] == a.LatenciesMs[0] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestEpisodeProducesFrames(t *testing.T) {
+	s := NewDefault()
+	tr := s.Episode(fullConfig(), 1, 1)
+	if tr.Frames < 100 {
+		t.Fatalf("only %d frames in 60s", tr.Frames)
+	}
+	for _, lat := range tr.LatenciesMs {
+		if lat <= 0 || lat > 60000 {
+			t.Fatalf("implausible latency %v", lat)
+		}
+	}
+}
+
+func TestLatencyGrowsWithTraffic(t *testing.T) {
+	s := NewDefault()
+	prev := 0.0
+	for traffic := 1; traffic <= 4; traffic++ {
+		tr := s.Episode(fullConfig(), traffic, 7)
+		m := stats.Summarize(tr.LatenciesMs).Mean
+		if m <= prev {
+			t.Fatalf("latency not increasing at traffic %d: %v <= %v", traffic, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMoreResourcesLowerLatency(t *testing.T) {
+	s := NewDefault()
+	scarce := slicing.Config{BandwidthUL: 8, BandwidthDL: 5, BackhaulMbps: 5, CPURatio: 0.4}
+	rich := fullConfig()
+	mScarce := stats.Summarize(s.Episode(scarce, 1, 9).LatenciesMs).Mean
+	mRich := stats.Summarize(s.Episode(rich, 1, 9).LatenciesMs).Mean
+	if mRich >= mScarce {
+		t.Fatalf("more resources should cut latency: rich %v vs scarce %v", mRich, mScarce)
+	}
+}
+
+func TestThroughputBudget(t *testing.T) {
+	s := NewDefault()
+	m := s.Measure(fullConfig(), 3)
+	// Table 1 anchors: ~19.9 UL, ~32.4 DL on the real testbed spec.
+	if m.ULThroughputMbps < 17 || m.ULThroughputMbps > 22 {
+		t.Fatalf("UL throughput %v outside LTE 10MHz budget", m.ULThroughputMbps)
+	}
+	if m.DLThroughputMbps < 29 || m.DLThroughputMbps > 36 {
+		t.Fatalf("DL throughput %v outside LTE 10MHz budget", m.DLThroughputMbps)
+	}
+	if m.PingMs < 15 || m.PingMs > 50 {
+		t.Fatalf("ping %v implausible", m.PingMs)
+	}
+	if m.ULPER <= 0 || m.ULPER > 0.05 || m.DLPER <= 0 || m.DLPER > 0.05 {
+		t.Fatalf("PER out of range: UL %v DL %v", m.ULPER, m.DLPER)
+	}
+}
+
+func TestHalfPRBsRoughlyHalveThroughput(t *testing.T) {
+	s := NewDefault()
+	full := s.Measure(fullConfig(), 5)
+	half := fullConfig()
+	half.BandwidthUL = 25
+	hm := s.Measure(half, 5)
+	ratio := hm.ULThroughputMbps / full.ULThroughputMbps
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("UL throughput ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestConnectivityFloorApplies(t *testing.T) {
+	s := NewDefault()
+	zero := slicing.Config{BackhaulMbps: 50, CPURatio: 1}
+	tr := s.Episode(zero, 1, 11)
+	// With the 6/3 PRB floor the slice still completes frames.
+	if tr.Frames == 0 {
+		t.Fatal("connectivity floor failed to keep the slice alive")
+	}
+}
+
+func TestQoEMonotoneInThreshold(t *testing.T) {
+	s := NewDefault()
+	tr := s.Episode(fullConfig(), 2, 13)
+	prev := -1.0
+	for _, y := range []float64{100, 200, 300, 500, 1000} {
+		q := tr.QoE(slicing.SLA{ThresholdMs: y, Availability: 0.9})
+		if q < prev {
+			t.Fatalf("QoE not monotone in Y at %v", y)
+		}
+		prev = q
+	}
+}
+
+func TestComponentBreakdownConsistent(t *testing.T) {
+	s := NewDefault()
+	tr := s.Episode(fullConfig(), 1, 17)
+	parts := tr.MeanLoadingMs + tr.MeanULMs + tr.MeanBackhaulMs +
+		tr.MeanQueueMs + tr.MeanComputeMs + tr.MeanDLMs
+	mean := stats.Summarize(tr.LatenciesMs).Mean
+	// The breakdown must explain most of the latency (return-path
+	// propagation is the only piece not itemized).
+	if parts < 0.8*mean || parts > 1.1*mean {
+		t.Fatalf("breakdown %v vs mean %v", parts, mean)
+	}
+}
+
+func TestMCSOffsetCostsLatency(t *testing.T) {
+	s := NewDefault()
+	plain := slicing.Config{BandwidthUL: 10, BandwidthDL: 5, BackhaulMbps: 20, CPURatio: 0.8}
+	backoff := plain
+	backoff.MCSOffsetUL = 6
+	mp := stats.Summarize(s.Episode(plain, 1, 19).LatenciesMs).Mean
+	mb := stats.Summarize(s.Episode(backoff, 1, 19).LatenciesMs).Mean
+	if mb <= mp {
+		t.Fatalf("MCS backoff should slow the clean channel: %v vs %v", mb, mp)
+	}
+}
+
+func TestWithParamsDoesNotMutate(t *testing.T) {
+	s := NewDefault()
+	p := s.Params
+	mod := slicing.SimParams{BaselineLoss: 45, LoadingTime: 10}
+	s2 := s.WithParams(mod)
+	if s.Params != p {
+		t.Fatal("WithParams mutated the receiver")
+	}
+	if s2.Params != mod {
+		t.Fatal("WithParams did not apply")
+	}
+}
+
+func TestLoadingTimeParameterShiftsLatency(t *testing.T) {
+	base := NewDefault()
+	shifted := base.WithParams(slicing.SimParams{
+		BaselineLoss: 38.57, ENBNoiseFig: 5, UENoiseFig: 9, LoadingTime: 30,
+	})
+	mb := stats.Summarize(base.Episode(fullConfig(), 1, 23).LatenciesMs).Mean
+	ms := stats.Summarize(shifted.Episode(fullConfig(), 1, 23).LatenciesMs).Mean
+	if d := ms - mb; d < 20 || d > 40 {
+		t.Fatalf("loading_time=30 shifted mean by %v, want ~30", d)
+	}
+}
+
+func TestBackhaulDelayParameterShiftsLatency(t *testing.T) {
+	base := NewDefault()
+	shifted := base.WithParams(slicing.SimParams{
+		BaselineLoss: 38.57, ENBNoiseFig: 5, UENoiseFig: 9, BackhaulDelay: 20,
+	})
+	mb := stats.Summarize(base.Episode(fullConfig(), 1, 29).LatenciesMs).Mean
+	ms := stats.Summarize(shifted.Episode(fullConfig(), 1, 29).LatenciesMs).Mean
+	// The delay applies on both directions of the backhaul.
+	if d := ms - mb; d < 30 || d > 50 {
+		t.Fatalf("backhaul_delay=20 shifted mean by %v, want ~40", d)
+	}
+}

@@ -1,0 +1,59 @@
+package simnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FrameRecord is the per-frame detail the paper's simulator exposes via
+// the NS-3 tracer (§7.2: "reading the tracer including not only
+// end-to-end latency of every frame, but also transmission and computing
+// details, e.g., queuing time, computing time, and uplink and downlink
+// transmission time"). All fields are milliseconds except SizeKBit.
+type FrameRecord struct {
+	GenMs      float64 // generation time (episode clock)
+	SizeKBit   float64
+	LoadingMs  float64
+	ULMs       float64 // uplink wait + transmission
+	BackhaulMs float64 // serialization + propagation + core processing
+	QueueMs    float64 // edge queue wait
+	ComputeMs  float64
+	DLMs       float64 // downlink wait + transmission
+	LatencyMs  float64 // end-to-end
+}
+
+// WriteFrameCSV writes records as CSV with a header row, the same layout
+// the paper's plot scripts consume from the tracer output.
+func WriteFrameCSV(w io.Writer, records []FrameRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"gen_ms", "size_kbit", "loading_ms", "ul_ms", "backhaul_ms", "queue_ms", "compute_ms", "dl_ms", "latency_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			fmt.Sprintf("%.3f", r.GenMs),
+			fmt.Sprintf("%.1f", r.SizeKBit),
+			fmt.Sprintf("%.3f", r.LoadingMs),
+			fmt.Sprintf("%.3f", r.ULMs),
+			fmt.Sprintf("%.3f", r.BackhaulMs),
+			fmt.Sprintf("%.3f", r.QueueMs),
+			fmt.Sprintf("%.3f", r.ComputeMs),
+			fmt.Sprintf("%.3f", r.DLMs),
+			fmt.Sprintf("%.3f", r.LatencyMs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SortRecordsByLatency orders records ascending by end-to-end latency
+// (useful for CDF export).
+func SortRecordsByLatency(records []FrameRecord) {
+	sort.Slice(records, func(i, j int) bool { return records[i].LatencyMs < records[j].LatencyMs })
+}

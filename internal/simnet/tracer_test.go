@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEpisodeRecordsMatchTrace(t *testing.T) {
+	s := NewDefault()
+	tr, recs := s.EpisodeRecords(fullConfig(), 2, 31)
+	if len(recs) != tr.Frames {
+		t.Fatalf("records %d vs frames %d", len(recs), tr.Frames)
+	}
+	for i, r := range recs {
+		if r.LatencyMs != tr.LatenciesMs[i] {
+			t.Fatalf("record %d latency %v vs trace %v", i, r.LatencyMs, tr.LatenciesMs[i])
+		}
+		sum := r.LoadingMs + r.ULMs + r.BackhaulMs + r.QueueMs + r.ComputeMs + r.DLMs
+		// The breakdown plus the (un-itemized) return-path propagation
+		// must reconstruct the latency.
+		if sum > r.LatencyMs+1e-6 {
+			t.Fatalf("record %d components %v exceed latency %v", i, sum, r.LatencyMs)
+		}
+		if r.LatencyMs-sum > 20 {
+			t.Fatalf("record %d unexplained latency %v", i, r.LatencyMs-sum)
+		}
+		if r.SizeKBit <= 0 {
+			t.Fatalf("record %d size %v", i, r.SizeKBit)
+		}
+	}
+}
+
+func TestEpisodeRecordsDeterministicWithEpisode(t *testing.T) {
+	s := NewDefault()
+	plain := s.Episode(fullConfig(), 1, 33)
+	traced, _ := s.EpisodeRecords(fullConfig(), 1, 33)
+	if len(plain.LatenciesMs) != len(traced.LatenciesMs) {
+		t.Fatal("collection changed the simulation")
+	}
+	for i := range plain.LatenciesMs {
+		if plain.LatenciesMs[i] != traced.LatenciesMs[i] {
+			t.Fatal("collection perturbed the random streams")
+		}
+	}
+}
+
+func TestWriteFrameCSV(t *testing.T) {
+	s := NewDefault()
+	_, recs := s.EpisodeRecords(fullConfig(), 1, 35)
+	var buf bytes.Buffer
+	if err := WriteFrameCSV(&buf, recs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "gen_ms,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 8 {
+		t.Fatalf("columns = %d", got+1)
+	}
+}
+
+func TestSortRecordsByLatency(t *testing.T) {
+	recs := []FrameRecord{{LatencyMs: 3}, {LatencyMs: 1}, {LatencyMs: 2}}
+	SortRecordsByLatency(recs)
+	if recs[0].LatencyMs != 1 || recs[2].LatencyMs != 3 {
+		t.Fatalf("sorted = %v", recs)
+	}
+}
+
+func TestRecordsHaveFiniteFields(t *testing.T) {
+	s := NewDefault()
+	_, recs := s.EpisodeRecords(fullConfig(), 4, 37)
+	for _, r := range recs {
+		for _, v := range []float64{r.GenMs, r.LoadingMs, r.ULMs, r.BackhaulMs, r.QueueMs, r.ComputeMs, r.DLMs, r.LatencyMs} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("bad field %v in %+v", v, r)
+			}
+		}
+	}
+}

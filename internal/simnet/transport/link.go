@@ -1,0 +1,43 @@
+// Package transport models the slice's backhaul: a point-to-point link
+// with a metered bandwidth (the transport domain manager's OpenFlow
+// meter), a fixed propagation/stack delay, and FIFO serialization.
+package transport
+
+// Link is the transport-network segment between the eNB and the core.
+type Link struct {
+	// BandwidthMbps is the metered rate granted to the slice.
+	BandwidthMbps float64
+	// HeadroomMbps is extra effective bandwidth beyond the metered rate
+	// (token-bucket burst allowance); in the simulator it is the
+	// backhaul_bw simulation parameter, in the real network a property
+	// of the switch.
+	HeadroomMbps float64
+	// PortCapMbps is the physical port capacity; the effective rate
+	// never exceeds it.
+	PortCapMbps float64
+	// DelayMs is the one-way propagation plus stack delay.
+	DelayMs float64
+}
+
+// EffectiveRateMbps returns the serialization rate seen by slice
+// traffic.
+func (l Link) EffectiveRateMbps() float64 {
+	r := l.BandwidthMbps + l.HeadroomMbps
+	if l.PortCapMbps > 0 && r > l.PortCapMbps {
+		r = l.PortCapMbps
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// SerializationMs returns the time to clock sizeKBits onto the link, or
+// a large stall value when the slice has no transport bandwidth.
+func (l Link) SerializationMs(sizeKBits float64) float64 {
+	r := l.EffectiveRateMbps()
+	if r <= 0 {
+		return 10000
+	}
+	return sizeKBits / r
+}

@@ -1,0 +1,39 @@
+package transport
+
+import "testing"
+
+func TestEffectiveRate(t *testing.T) {
+	l := Link{BandwidthMbps: 50, HeadroomMbps: 10, PortCapMbps: 1000}
+	if got := l.EffectiveRateMbps(); got != 60 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestEffectiveRatePortCap(t *testing.T) {
+	l := Link{BandwidthMbps: 900, HeadroomMbps: 200, PortCapMbps: 1000}
+	if got := l.EffectiveRateMbps(); got != 1000 {
+		t.Fatalf("rate = %v, want capped at port", got)
+	}
+}
+
+func TestEffectiveRateNeverNegative(t *testing.T) {
+	l := Link{BandwidthMbps: -5, HeadroomMbps: 0, PortCapMbps: 1000}
+	if got := l.EffectiveRateMbps(); got != 0 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	l := Link{BandwidthMbps: 10, PortCapMbps: 1000}
+	// 100 kbit at 10 Mbps = 10 ms.
+	if got := l.SerializationMs(100); got != 10 {
+		t.Fatalf("serialization = %v", got)
+	}
+}
+
+func TestSerializationStallsWithoutBandwidth(t *testing.T) {
+	l := Link{BandwidthMbps: 0, PortCapMbps: 1000}
+	if got := l.SerializationMs(100); got < 1000 {
+		t.Fatalf("zero-bandwidth link should stall, got %v ms", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package slicing defines the domain vocabulary of Atlas: the 6-dim
+// network configuration space (paper Table 2), the 7-dim simulation
+// parameter space (paper Table 3), service-level agreements, quality of
+// experience, and resource-usage accounting.
+//
+// The numeric conventions follow the paper's prototype: an LTE cell with
+// 10 MHz (50 physical resource blocks), a transport link capped at
+// 100 Mbps, and a Docker edge server whose CPU share is a ratio in
+// [0, 1].
+package slicing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// ConfigDim is the dimensionality of the slice configuration action.
+const ConfigDim = 6
+
+// Minimum radio resources kept for connectivity, per the paper's
+// evaluation ("we set a minimum of 6 uplink and 3 downlink PRBs for
+// maintaining radio connectivities of users").
+const (
+	MinULPRB = 6
+	MinDLPRB = 3
+)
+
+// Config is a slice service configuration a_t (paper Table 2): the
+// cross-domain resources assigned to one slice for one configuration
+// interval.
+type Config struct {
+	BandwidthUL  float64 // maximum uplink PRBs, [0, 50]
+	BandwidthDL  float64 // maximum downlink PRBs, [0, 50]
+	MCSOffsetUL  float64 // uplink MCS backoff steps, [0, 10]
+	MCSOffsetDL  float64 // downlink MCS backoff steps, [0, 10]
+	BackhaulMbps float64 // transport bandwidth, [0, 100] Mbps
+	CPURatio     float64 // CPU share of the edge container, [0, 1]
+}
+
+// ConfigSpace describes the axis-aligned box of valid configurations
+// (the constraint 0 ≤ a_t ≤ A of the paper's problem P1).
+type ConfigSpace struct {
+	Max Config // per-dimension maxima A
+}
+
+// DefaultConfigSpace returns the prototype's configuration space
+// (Table 2).
+func DefaultConfigSpace() ConfigSpace {
+	return ConfigSpace{Max: Config{
+		BandwidthUL:  50,
+		BandwidthDL:  50,
+		MCSOffsetUL:  10,
+		MCSOffsetDL:  10,
+		BackhaulMbps: 100,
+		CPURatio:     1.0,
+	}}
+}
+
+// Vector returns the configuration as an ordered vector
+// [ulPRB, dlPRB, mcsUL, mcsDL, backhaul, cpu].
+func (c Config) Vector() mathx.Vector {
+	return mathx.Vector{c.BandwidthUL, c.BandwidthDL, c.MCSOffsetUL, c.MCSOffsetDL, c.BackhaulMbps, c.CPURatio}
+}
+
+// ConfigFromVector is the inverse of Config.Vector. It panics if v does
+// not have ConfigDim elements.
+func ConfigFromVector(v mathx.Vector) Config {
+	if len(v) != ConfigDim {
+		panic(fmt.Sprintf("slicing: config vector needs %d dims, got %d", ConfigDim, len(v)))
+	}
+	return Config{
+		BandwidthUL:  v[0],
+		BandwidthDL:  v[1],
+		MCSOffsetUL:  v[2],
+		MCSOffsetDL:  v[3],
+		BackhaulMbps: v[4],
+		CPURatio:     v[5],
+	}
+}
+
+// Normalize maps a configuration into [0,1]^6 relative to the space
+// maxima. Zero maxima map to zero.
+func (s ConfigSpace) Normalize(c Config) mathx.Vector {
+	maxv := s.Max.Vector()
+	cv := c.Vector()
+	out := make(mathx.Vector, ConfigDim)
+	for i := range cv {
+		if maxv[i] > 0 {
+			out[i] = cv[i] / maxv[i]
+		}
+	}
+	return out
+}
+
+// Denormalize maps u ∈ [0,1]^6 back to a configuration, clamping to the
+// box.
+func (s ConfigSpace) Denormalize(u mathx.Vector) Config {
+	if len(u) != ConfigDim {
+		panic(fmt.Sprintf("slicing: normalized vector needs %d dims, got %d", ConfigDim, len(u)))
+	}
+	maxv := s.Max.Vector()
+	out := make(mathx.Vector, ConfigDim)
+	for i := range u {
+		out[i] = mathx.Clip(u[i], 0, 1) * maxv[i]
+	}
+	return ConfigFromVector(out)
+}
+
+// Clamp returns c restricted to the box [0, Max].
+func (s ConfigSpace) Clamp(c Config) Config {
+	maxv := s.Max.Vector()
+	cv := c.Vector()
+	for i := range cv {
+		cv[i] = mathx.Clip(cv[i], 0, maxv[i])
+	}
+	return ConfigFromVector(cv)
+}
+
+// Sample draws a configuration uniformly from the box.
+func (s ConfigSpace) Sample(rng *rand.Rand) Config {
+	u := make(mathx.Vector, ConfigDim)
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	return s.Denormalize(u)
+}
+
+// Usage is the resource-usage objective F(a) = |a/A|₁ / dim, reported as
+// a fraction in [0, 1]. The paper reports it as a percentage; dividing by
+// the dimension keeps the value in [0, 1] so it composes with QoE in the
+// Lagrangian without additional scaling.
+func (s ConfigSpace) Usage(c Config) float64 {
+	return s.Normalize(c).Sum() / ConfigDim
+}
+
+// ApplyConnectivityFloor raises the radio allocations to the minimum PRB
+// counts that keep users attached. This mirrors the prototype, where the
+// scheduler always grants a connectivity floor regardless of the slice
+// configuration. The floor affects the delivered service, not the billed
+// usage.
+func ApplyConnectivityFloor(c Config) Config {
+	if c.BandwidthUL < MinULPRB {
+		c.BandwidthUL = MinULPRB
+	}
+	if c.BandwidthDL < MinDLPRB {
+		c.BandwidthDL = MinDLPRB
+	}
+	return c
+}
+
+// String implements fmt.Stringer with the Table 2 field order.
+func (c Config) String() string {
+	return fmt.Sprintf("ul=%.1fPRB dl=%.1fPRB mcsUL=%.1f mcsDL=%.1f bh=%.1fMbps cpu=%.2f",
+		c.BandwidthUL, c.BandwidthDL, c.MCSOffsetUL, c.MCSOffsetDL, c.BackhaulMbps, c.CPURatio)
+}

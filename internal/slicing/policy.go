@@ -1,0 +1,55 @@
+package slicing
+
+import "math/rand"
+
+// OnlinePolicy is a configuration-selection strategy interacting with a
+// live network: each configuration interval it proposes a configuration,
+// then observes the delivered usage and QoE. Atlas's online learner and
+// every comparison baseline (direct BO, DLDA, VirtualEdge) implement
+// this interface, so the evaluation harness can run them identically.
+type OnlinePolicy interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Next returns the configuration to apply at iteration iter.
+	Next(iter int, rng *rand.Rand) Config
+	// Observe reports the measured outcome of iteration iter.
+	Observe(iter int, cfg Config, usage, qoe float64)
+}
+
+// Regret accumulates the paper's online-learning regret metrics
+// (Eqs. 10–11) against the optimal policy (φ*): the cumulative extra
+// resource usage and the cumulative QoE shortfall.
+type Regret struct {
+	OptUsage float64 // F(φ*)
+	OptQoE   float64 // Q(φ*)
+
+	CumUsage float64 // Σ (F(φ_j) − F(φ*))
+	CumQoE   float64 // Σ max(Q(φ*) − Q(φ_j), 0)
+	N        int
+}
+
+// Observe folds one iteration's outcome into the regret.
+func (r *Regret) Observe(usage, qoe float64) {
+	r.CumUsage += usage - r.OptUsage
+	if d := r.OptQoE - qoe; d > 0 {
+		r.CumQoE += d
+	}
+	r.N++
+}
+
+// AvgUsageRegret returns the mean per-iteration usage regret (the
+// paper's "avg usage regret", reported in percent of total resources).
+func (r *Regret) AvgUsageRegret() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.CumUsage / float64(r.N)
+}
+
+// AvgQoERegret returns the mean per-iteration QoE regret.
+func (r *Regret) AvgQoERegret() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return r.CumQoE / float64(r.N)
+}

@@ -1,0 +1,173 @@
+package slicing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// ParamDim is the dimensionality of the simulation parameter vector.
+const ParamDim = 7
+
+// SimParams are the tunable simulation parameters of the network
+// simulator (paper Table 3). Stage 1 searches this space to shrink the
+// sim-to-real discrepancy.
+type SimParams struct {
+	BaselineLoss  float64 // reference pathloss at 1 m in the log-distance model, dB
+	ENBNoiseFig   float64 // eNB receiver noise figure (uplink reception), dB
+	UENoiseFig    float64 // UE receiver noise figure (downlink reception), dB
+	BackhaulBW    float64 // additional transport bandwidth, Mbps
+	BackhaulDelay float64 // additional transport delay, ms
+	ComputeTime   float64 // additional edge compute time, ms
+	LoadingTime   float64 // additional frame loading time in the UE, ms
+}
+
+// Vector returns the parameters in Table 3 order.
+func (p SimParams) Vector() mathx.Vector {
+	return mathx.Vector{p.BaselineLoss, p.ENBNoiseFig, p.UENoiseFig, p.BackhaulBW, p.BackhaulDelay, p.ComputeTime, p.LoadingTime}
+}
+
+// ParamsFromVector is the inverse of SimParams.Vector. It panics if v
+// does not have ParamDim elements.
+func ParamsFromVector(v mathx.Vector) SimParams {
+	if len(v) != ParamDim {
+		panic(fmt.Sprintf("slicing: param vector needs %d dims, got %d", ParamDim, len(v)))
+	}
+	return SimParams{
+		BaselineLoss:  v[0],
+		ENBNoiseFig:   v[1],
+		UENoiseFig:    v[2],
+		BackhaulBW:    v[3],
+		BackhaulDelay: v[4],
+		ComputeTime:   v[5],
+		LoadingTime:   v[6],
+	}
+}
+
+// DefaultSimParams are the simulator defaults before any calibration:
+// NS-3's LogDistancePropagationLossModel reference loss and the LENA
+// noise figures, with zero additional transport/compute/loading terms
+// (paper Table 4, "Original Simulator" row).
+func DefaultSimParams() SimParams {
+	return SimParams{
+		BaselineLoss: 38.57,
+		ENBNoiseFig:  5.0,
+		UENoiseFig:   9.0,
+	}
+}
+
+// ParamSpace is the axis-aligned search box for simulation parameters
+// together with the trust region |x − x̂|₂ ≤ H around the original
+// parameters x̂ (paper Eq. 2). Distances are computed on range-normalized
+// coordinates so heterogeneous units compare sensibly.
+type ParamSpace struct {
+	Lo, Hi   SimParams // box bounds
+	Original SimParams // x̂
+	H        float64   // trust-region radius on normalized distance
+}
+
+// DefaultParamSpace returns the search space used throughout the
+// evaluation: ±10 dB around the pathloss reference, the full plausible
+// noise-figure ranges, and up to 20 units of each additional term.
+func DefaultParamSpace() ParamSpace {
+	return ParamSpace{
+		Lo: SimParams{BaselineLoss: 30, ENBNoiseFig: 0, UENoiseFig: 0,
+			BackhaulBW: 0, BackhaulDelay: 0, ComputeTime: 0, LoadingTime: 0},
+		Hi: SimParams{BaselineLoss: 50, ENBNoiseFig: 10, UENoiseFig: 15,
+			BackhaulBW: 30, BackhaulDelay: 30, ComputeTime: 30, LoadingTime: 30},
+		Original: DefaultSimParams(),
+		H:        0.5,
+	}
+}
+
+// Normalize maps parameters into [0,1]^7 relative to the box.
+func (s ParamSpace) Normalize(p SimParams) mathx.Vector {
+	lo, hi, pv := s.Lo.Vector(), s.Hi.Vector(), p.Vector()
+	out := make(mathx.Vector, ParamDim)
+	for i := range pv {
+		span := hi[i] - lo[i]
+		if span > 0 {
+			out[i] = (pv[i] - lo[i]) / span
+		}
+	}
+	return out
+}
+
+// Denormalize maps u ∈ [0,1]^7 back into the box.
+func (s ParamSpace) Denormalize(u mathx.Vector) SimParams {
+	if len(u) != ParamDim {
+		panic(fmt.Sprintf("slicing: normalized param vector needs %d dims, got %d", ParamDim, len(u)))
+	}
+	lo, hi := s.Lo.Vector(), s.Hi.Vector()
+	out := make(mathx.Vector, ParamDim)
+	for i := range u {
+		out[i] = lo[i] + mathx.Clip(u[i], 0, 1)*(hi[i]-lo[i])
+	}
+	return ParamsFromVector(out)
+}
+
+// Distance is the parameter distance |x − x̂|₂ of the paper, computed as
+// the root-mean-square of range-normalized per-dimension deltas so that a
+// distance of 1 means "every parameter moved across its full range".
+func (s ParamSpace) Distance(p SimParams) float64 {
+	a := s.Normalize(p)
+	b := s.Normalize(s.Original)
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / ParamDim)
+}
+
+// InTrustRegion reports whether p satisfies the constraint
+// Distance(p) ≤ H.
+func (s ParamSpace) InTrustRegion(p SimParams) bool {
+	return s.Distance(p) <= s.H
+}
+
+// Sample draws parameters uniformly from the box, rejecting points
+// outside the trust region (falling back to the original parameters if
+// the region is tiny).
+func (s ParamSpace) Sample(rng *rand.Rand) SimParams {
+	for i := 0; i < 256; i++ {
+		u := make(mathx.Vector, ParamDim)
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		p := s.Denormalize(u)
+		if s.InTrustRegion(p) {
+			return p
+		}
+	}
+	return s.SampleNear(rng, s.Original, 0.25)
+}
+
+// SampleNear draws parameters from a normalized Gaussian ball of radius
+// scale around center, clamped to the box and trust region (by
+// shrinking toward the original parameters if necessary).
+func (s ParamSpace) SampleNear(rng *rand.Rand, center SimParams, scale float64) SimParams {
+	cu := s.Normalize(center)
+	u := make(mathx.Vector, ParamDim)
+	for j := range u {
+		u[j] = mathx.Clip(cu[j]+scale*rng.NormFloat64(), 0, 1)
+	}
+	p := s.Denormalize(u)
+	for i := 0; i < 32 && !s.InTrustRegion(p); i++ {
+		// Contract halfway toward the original parameters.
+		pv, ov := p.Vector(), s.Original.Vector()
+		for j := range pv {
+			pv[j] = (pv[j] + ov[j]) / 2
+		}
+		p = ParamsFromVector(pv)
+	}
+	return p
+}
+
+// String implements fmt.Stringer with the Table 3 field order.
+func (p SimParams) String() string {
+	return fmt.Sprintf("[%.2f, %.2f, %.2f, %.2f, %.2f, %.2f, %.2f]",
+		p.BaselineLoss, p.ENBNoiseFig, p.UENoiseFig, p.BackhaulBW, p.BackhaulDelay, p.ComputeTime, p.LoadingTime)
+}

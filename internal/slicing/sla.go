@@ -1,0 +1,64 @@
+package slicing
+
+import "github.com/atlas-slicing/atlas/internal/stats"
+
+// SLA is a slice tenant's service-level agreement: the slice's QoE —
+// the probability that per-frame end-to-end latency stays at or below
+// ThresholdMs (paper's Y) — must be at least Availability (paper's E).
+type SLA struct {
+	ThresholdMs  float64 // Y: latency threshold in milliseconds
+	Availability float64 // E: required Pr(latency ≤ Y)
+}
+
+// DefaultSLA returns the evaluation's application SLA (E = 0.9,
+// Y = 300 ms).
+func DefaultSLA() SLA {
+	return SLA{ThresholdMs: 300, Availability: 0.9}
+}
+
+// QoE computes the unified quality of experience of a latency trace
+// under this SLA: the fraction of frames meeting the threshold. The
+// value is in [0, 1] by construction, matching the paper's unified QoE.
+func (s SLA) QoE(latenciesMs []float64) float64 {
+	return stats.FracBelow(latenciesMs, s.ThresholdMs)
+}
+
+// Satisfied reports whether a measured QoE meets the availability
+// requirement.
+func (s SLA) Satisfied(qoe float64) bool {
+	return qoe >= s.Availability
+}
+
+// Trace is the observable outcome of running one configuration interval
+// (an "episode") against a network environment — either the simulator or
+// the real network.
+type Trace struct {
+	LatenciesMs []float64 // per-frame end-to-end latency
+	Frames      int       // frames completed in the episode
+
+	// Component breakdown (mean milliseconds per completed frame).
+	MeanLoadingMs  float64
+	MeanULMs       float64
+	MeanBackhaulMs float64
+	MeanQueueMs    float64
+	MeanComputeMs  float64
+	MeanDLMs       float64
+
+	// Link-layer measurements.
+	ULThroughputMbps float64 // delivered uplink goodput
+	DLThroughputMbps float64 // delivered downlink goodput
+	ULPER            float64 // residual uplink packet error rate
+	DLPER            float64 // residual downlink packet error rate
+	PingMs           float64 // mean small-probe round-trip time
+}
+
+// QoE evaluates the trace under an SLA.
+func (t Trace) QoE(sla SLA) float64 { return sla.QoE(t.LatenciesMs) }
+
+// Env is a queryable network environment: one episode maps a
+// configuration and a traffic level (number of concurrent on-the-fly
+// frames, the paper's "user traffic") to a Trace. Implementations must
+// be deterministic given the seed.
+type Env interface {
+	Episode(cfg Config, traffic int, seed int64) Trace
+}

@@ -1,0 +1,164 @@
+package slicing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+func TestConfigVectorRoundTrip(t *testing.T) {
+	c := Config{BandwidthUL: 10, BandwidthDL: 20, MCSOffsetUL: 3, MCSOffsetDL: 4, BackhaulMbps: 50, CPURatio: 0.7}
+	if got := ConfigFromVector(c.Vector()); got != c {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	space := DefaultConfigSpace()
+	f := func(raw [6]float64) bool {
+		u := make(mathx.Vector, 6)
+		for i, x := range raw {
+			if math.IsNaN(x) {
+				return true
+			}
+			u[i] = math.Mod(math.Abs(x), 1)
+		}
+		cfg := space.Denormalize(u)
+		back := space.Normalize(cfg)
+		for i := range u {
+			if math.Abs(back[i]-u[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageBounds(t *testing.T) {
+	space := DefaultConfigSpace()
+	if got := space.Usage(Config{}); got != 0 {
+		t.Fatalf("empty usage = %v", got)
+	}
+	if got := space.Usage(space.Max); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full usage = %v", got)
+	}
+	rng := mathx.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		u := space.Usage(space.Sample(rng))
+		if u < 0 || u > 1 {
+			t.Fatalf("usage %v out of range", u)
+		}
+	}
+}
+
+func TestClampRestrictsToBox(t *testing.T) {
+	space := DefaultConfigSpace()
+	c := Config{BandwidthUL: 500, BandwidthDL: -10, CPURatio: 3}
+	got := space.Clamp(c)
+	if got.BandwidthUL != 50 || got.BandwidthDL != 0 || got.CPURatio != 1 {
+		t.Fatalf("clamp = %+v", got)
+	}
+}
+
+func TestConnectivityFloor(t *testing.T) {
+	c := ApplyConnectivityFloor(Config{})
+	if c.BandwidthUL != MinULPRB || c.BandwidthDL != MinDLPRB {
+		t.Fatalf("floor = %+v", c)
+	}
+	rich := ApplyConnectivityFloor(Config{BandwidthUL: 40, BandwidthDL: 40})
+	if rich.BandwidthUL != 40 || rich.BandwidthDL != 40 {
+		t.Fatal("floor must not reduce rich allocations")
+	}
+}
+
+func TestParamsVectorRoundTrip(t *testing.T) {
+	p := SimParams{BaselineLoss: 40, ENBNoiseFig: 3, UENoiseFig: 7, BackhaulBW: 5, BackhaulDelay: 2, ComputeTime: 1, LoadingTime: 4}
+	if got := ParamsFromVector(p.Vector()); got != p {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestParamDistanceProperties(t *testing.T) {
+	space := DefaultParamSpace()
+	if d := space.Distance(space.Original); d != 0 {
+		t.Fatalf("distance to original = %v", d)
+	}
+	// Distance is bounded by 1 inside the box (RMS of normalized deltas).
+	rng := mathx.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		u := make(mathx.Vector, ParamDim)
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		p := space.Denormalize(u)
+		if d := space.Distance(p); d < 0 || d > 1 {
+			t.Fatalf("distance %v out of [0,1]", d)
+		}
+	}
+}
+
+func TestParamSampleRespectsTrustRegion(t *testing.T) {
+	space := DefaultParamSpace()
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		p := space.Sample(rng)
+		if !space.InTrustRegion(p) {
+			t.Fatalf("sample %v outside trust region (d=%v)", p, space.Distance(p))
+		}
+	}
+}
+
+func TestSampleNearContractsIntoRegion(t *testing.T) {
+	space := DefaultParamSpace()
+	space.H = 0.05 // very tight region
+	rng := mathx.NewRNG(4)
+	for i := 0; i < 100; i++ {
+		p := space.SampleNear(rng, space.Hi, 0.5)
+		if !space.InTrustRegion(p) {
+			t.Fatalf("SampleNear escaped tight region: d=%v", space.Distance(p))
+		}
+	}
+}
+
+func TestSLAQoE(t *testing.T) {
+	sla := SLA{ThresholdMs: 100, Availability: 0.9}
+	q := sla.QoE([]float64{50, 80, 100, 150})
+	if q != 0.75 {
+		t.Fatalf("QoE = %v", q)
+	}
+	if sla.Satisfied(q) {
+		t.Fatal("0.75 should not satisfy E=0.9")
+	}
+	if !sla.Satisfied(0.95) {
+		t.Fatal("0.95 should satisfy")
+	}
+}
+
+func TestRegretAccounting(t *testing.T) {
+	r := Regret{OptUsage: 0.2, OptQoE: 0.9}
+	r.Observe(0.3, 0.8) // +0.1 usage, +0.1 qoe shortfall
+	r.Observe(0.2, 0.95)
+	if math.Abs(r.AvgUsageRegret()-0.05) > 1e-12 {
+		t.Fatalf("usage regret = %v", r.AvgUsageRegret())
+	}
+	if math.Abs(r.AvgQoERegret()-0.05) > 1e-12 {
+		t.Fatalf("qoe regret = %v", r.AvgQoERegret())
+	}
+	var empty Regret
+	if empty.AvgUsageRegret() != 0 || empty.AvgQoERegret() != 0 {
+		t.Fatal("empty regret must be zero")
+	}
+}
+
+func TestQoEExceedingOptimumIsNotNegativeRegret(t *testing.T) {
+	r := Regret{OptUsage: 0.2, OptQoE: 0.9}
+	r.Observe(0.2, 1.0) // better QoE than optimal: no shortfall credit
+	if r.AvgQoERegret() != 0 {
+		t.Fatalf("qoe regret = %v, want 0", r.AvgQoERegret())
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binned density over [Lo, Hi] with underflow
+// and overflow folded into the edge bins. It is the common representation
+// used for KL-divergence estimation between latency collections.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64
+	Total  float64
+}
+
+// NewHistogram returns an empty histogram with the given range and number
+// of bins. It panics on a degenerate range or non-positive bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: bad histogram range [%v, %v]", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, bins)}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// binOf maps a sample to its bin index, clamping out-of-range values to
+// the edge bins.
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) {
+		return 0
+	}
+	frac := (x - h.Lo) / (h.Hi - h.Lo)
+	idx := int(frac * float64(len(h.Counts)))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(h.Counts) {
+		return len(h.Counts) - 1
+	}
+	return idx
+}
+
+// Add records a single sample.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.binOf(x)]++
+	h.Total++
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Probs returns the bin probabilities smoothed with additive constant eps
+// per bin (Laplace smoothing), so the result is strictly positive and
+// sums to one. An empty histogram yields the uniform distribution.
+func (h *Histogram) Probs(eps float64) []float64 {
+	n := len(h.Counts)
+	out := make([]float64, n)
+	denom := h.Total + eps*float64(n)
+	if denom == 0 {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = (c + eps) / denom
+	}
+	return out
+}
+
+// HistogramOf builds a histogram over [lo, hi] with the given bins and
+// fills it with xs.
+func HistogramOf(xs []float64, lo, hi float64, bins int) *Histogram {
+	h := NewHistogram(lo, hi, bins)
+	h.AddAll(xs)
+	return h
+}

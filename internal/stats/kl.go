@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultKLBins and related constants define the canonical discretization
+// Atlas uses when comparing latency collections, mirroring the paper's
+// KL-divergence measurements over end-to-end latency distributions.
+const (
+	DefaultKLBins = 40
+	DefaultKLLoMs = 0
+	DefaultKLHiMs = 1000
+	DefaultKLEps  = 0.1
+)
+
+// KLFromProbs returns KL(p || q) = Σ p·log(p/q) in nats. Both arguments
+// must be strictly positive distributions of equal length.
+func KLFromProbs(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stats: KL length mismatch %d != %d", len(p), len(q)))
+	}
+	var kl float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			panic("stats: KL with zero mass in q; smooth the histogram first")
+		}
+		kl += p[i] * math.Log(p[i]/q[i])
+	}
+	if kl < 0 { // tiny negative values can appear from rounding
+		kl = 0
+	}
+	return kl
+}
+
+// KLDivergence estimates KL(real || sim) between two latency samples by
+// discretizing both on the canonical latency grid with Laplace smoothing.
+// This is the sim-to-real discrepancy measure from the paper (Eq. 1).
+func KLDivergence(real, sim []float64) float64 {
+	hr := HistogramOf(real, DefaultKLLoMs, DefaultKLHiMs, DefaultKLBins)
+	hs := HistogramOf(sim, DefaultKLLoMs, DefaultKLHiMs, DefaultKLBins)
+	return KLFromProbs(hr.Probs(DefaultKLEps), hs.Probs(DefaultKLEps))
+}
+
+// KLDivergenceBinned is KLDivergence with an explicit grid, for callers
+// comparing quantities other than millisecond latencies.
+func KLDivergenceBinned(real, sim []float64, lo, hi float64, bins int, eps float64) float64 {
+	hr := HistogramOf(real, lo, hi, bins)
+	hs := HistogramOf(sim, lo, hi, bins)
+	return KLFromProbs(hr.Probs(eps), hs.Probs(eps))
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Scaler standardizes targets by removing the mean and scaling to unit
+// variance, matching the paper's preprocessing for the Gaussian-process
+// regressor ("target values are normalized by removing the mean and
+// scaling to unit-variance").
+type Scaler struct {
+	Mean, Std float64
+	fitted    bool
+}
+
+// Fit computes mean and std from ys. A constant (or empty) sample gets
+// Std = 1 so transforms stay well-defined.
+func (s *Scaler) Fit(ys []float64) {
+	sum := Summarize(ys)
+	s.Mean = sum.Mean
+	s.Std = sum.Std
+	if s.Std <= 0 || math.IsNaN(s.Std) {
+		s.Std = 1
+	}
+	s.fitted = true
+}
+
+// Transform maps y to standardized space. An unfitted scaler is the
+// identity.
+func (s *Scaler) Transform(y float64) float64 {
+	if !s.fitted {
+		return y
+	}
+	return (y - s.Mean) / s.Std
+}
+
+// TransformAll maps each element of ys to standardized space.
+func (s *Scaler) TransformAll(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = s.Transform(y)
+	}
+	return out
+}
+
+// Inverse maps a standardized value back to the original space.
+func (s *Scaler) Inverse(z float64) float64 {
+	if !s.fitted {
+		return z
+	}
+	return z*s.Std + s.Mean
+}
+
+// InverseStd maps a standardized standard deviation back to the original
+// space (scale only, no shift).
+func (s *Scaler) InverseStd(z float64) float64 {
+	if !s.fitted {
+		return z
+	}
+	return z * s.Std
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	f := func(raw [9]float64) bool {
+		xs := raw[:]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		qs := Quantiles(xs, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := FracBelow(xs, 25); got != 0.5 {
+		t.Fatalf("FracBelow = %v", got)
+	}
+	if got := FracBelow(nil, 25); got != 0 {
+		t.Fatalf("empty FracBelow = %v", got)
+	}
+	if got := FracBelow(xs, 40); got != 1 {
+		t.Fatalf("inclusive FracBelow = %v", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 5, 9.9, 10, 100})
+	if h.Total != 7 {
+		t.Fatalf("total = %v", h.Total)
+	}
+	// Out-of-range folds to edge bins.
+	if h.Counts[0] != 3 { // -1, 0, 1.9
+		t.Fatalf("bin0 = %v", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.9, 10, 100
+		t.Fatalf("bin4 = %v", h.Counts[4])
+	}
+}
+
+func TestHistogramProbsSumToOne(t *testing.T) {
+	f := func(raw [16]float64, eps uint8) bool {
+		h := NewHistogram(0, 1, 8)
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(math.Mod(math.Abs(x), 1))
+		}
+		e := 0.01 + float64(eps)/64
+		ps := h.Probs(e)
+		var sum float64
+		for _, p := range ps {
+			if p <= 0 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	c := make([]float64, 2000)
+	for i := range a {
+		a[i] = 100 + 30*rng.NormFloat64()
+		b[i] = 100 + 30*rng.NormFloat64()
+		c[i] = 200 + 30*rng.NormFloat64()
+	}
+	same := KLDivergence(a, b)
+	far := KLDivergence(a, c)
+	if same < 0 || far < 0 {
+		t.Fatal("KL must be non-negative")
+	}
+	if far <= same {
+		t.Fatalf("shifted distribution should have larger KL: same=%v far=%v", same, far)
+	}
+	if self := KLDivergence(a, a); self > 1e-9 {
+		t.Fatalf("KL(p||p) = %v", self)
+	}
+}
+
+func TestKLFromProbsPanicsOnZeroQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero q mass")
+		}
+	}()
+	KLFromProbs([]float64{0.5, 0.5}, []float64{1, 0})
+}
+
+func TestKLDivergenceBinned(t *testing.T) {
+	a := []float64{1, 2, 3}
+	got := KLDivergenceBinned(a, a, 0, 4, 4, 0.5)
+	if got > 1e-9 {
+		t.Fatalf("self-KL = %v", got)
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	f := func(raw [10]float64, y float64) bool {
+		ys := raw[:]
+		ok := false
+		for _, x := range ys {
+			if math.IsNaN(x) || math.Abs(x) > 1e9 {
+				return true
+			}
+			if x != ys[0] {
+				ok = true
+			}
+		}
+		if !ok || math.IsNaN(y) || math.Abs(y) > 1e9 {
+			return true
+		}
+		var s Scaler
+		s.Fit(ys)
+		back := s.Inverse(s.Transform(y))
+		return math.Abs(back-y) <= 1e-6*(1+math.Abs(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalerConstantSample(t *testing.T) {
+	var s Scaler
+	s.Fit([]float64{5, 5, 5})
+	if s.Std != 1 {
+		t.Fatalf("constant sample std = %v, want fallback 1", s.Std)
+	}
+	if got := s.Transform(5); got != 0 {
+		t.Fatalf("Transform(5) = %v", got)
+	}
+}
+
+func TestScalerUnfittedIdentity(t *testing.T) {
+	var s Scaler
+	if s.Transform(3.14) != 3.14 || s.Inverse(2.71) != 2.71 {
+		t.Fatal("unfitted scaler must be identity")
+	}
+}
+
+func TestScalerTransformAllStandardizes(t *testing.T) {
+	ys := []float64{10, 20, 30, 40, 50}
+	var s Scaler
+	s.Fit(ys)
+	ts := s.TransformAll(ys)
+	sum := Summarize(ts)
+	if math.Abs(sum.Mean) > 1e-12 {
+		t.Fatalf("standardized mean = %v", sum.Mean)
+	}
+	if math.Abs(sum.Std-1) > 1e-12 {
+		t.Fatalf("standardized std = %v", sum.Std)
+	}
+}

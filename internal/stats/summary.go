@@ -1,0 +1,105 @@
+// Package stats provides the empirical-distribution machinery Atlas uses
+// to compare simulator output against real-network measurements:
+// streaming summaries, histograms, smoothed KL divergence, empirical CDFs
+// and quantiles, and target standardization for regression models.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds first- and second-moment statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64 // sample standard deviation (n-1 denominator)
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the quantiles of xs at each q in qs, sorting the
+// sample only once.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: quantiles of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// FracBelow returns the fraction of xs that are ≤ threshold. This is the
+// empirical QoE estimator for latency SLAs: Pr(latency ≤ Y).
+func FracBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range xs {
+		if x <= threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
