@@ -103,6 +103,21 @@ type (
 	System = core.System
 	// SliceInstance is one tenant's runtime state inside a System.
 	SliceInstance = core.SliceInstance
+	// Orchestrator runs N independent online-learning loops
+	// concurrently over shared environment pools.
+	Orchestrator = core.Orchestrator
+	// OrchestratorOptions configures the concurrent control loop.
+	OrchestratorOptions = core.OrchestratorOptions
+	// OrchestratorResult is one orchestrated run's outcome.
+	OrchestratorResult = core.OrchestratorResult
+	// SliceSpec declares one tenant for the Orchestrator.
+	SliceSpec = core.SliceSpec
+	// SliceRun is one tenant's completed trajectory.
+	SliceRun = core.SliceRun
+	// EpochMetrics aggregates one interval across all slices.
+	EpochMetrics = core.EpochMetrics
+	// EnvPool hands out environments to concurrent slice loops.
+	EnvPool = core.EnvPool
 )
 
 // Substrates.
@@ -145,6 +160,14 @@ var (
 	DefaultOnlineOptions = core.DefaultOnlineOptions
 	// NewSystem builds the multi-slice lifecycle orchestrator.
 	NewSystem = core.NewSystem
+	// NewOrchestrator builds the concurrent multi-slice control loop.
+	NewOrchestrator = core.NewOrchestrator
+	// DefaultOrchestratorOptions returns orchestrator defaults.
+	DefaultOrchestratorOptions = core.DefaultOrchestratorOptions
+	// NewEnvPool builds a replica environment pool.
+	NewEnvPool = core.NewEnvPool
+	// SharedEnvPool wraps one concurrency-safe environment.
+	SharedEnvPool = core.SharedEnvPool
 
 	// DefaultConfigSpace returns the Table 2 configuration space.
 	DefaultConfigSpace = slicing.DefaultConfigSpace

@@ -194,6 +194,62 @@ func BenchmarkGPFit(b *testing.B) {
 	}
 }
 
+// gpObserveFixture returns 120 points of a smooth 2-D target for the
+// conditioning benchmarks.
+func gpObserveFixture() (xs [][]float64, ys []float64) {
+	rng := mathx.NewRNG(16)
+	for i := 0; i < 120; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]-x[1])
+	}
+	return xs, ys
+}
+
+// BenchmarkGPObserveIncremental measures conditioning on 20 further
+// observations at n≈100 via the rank-1 Cholesky extension — stage 3's
+// per-interval hot path after the incremental update.
+func BenchmarkGPObserveIncremental(b *testing.B) {
+	xs, ys := gpObserveFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := gp.NewRegressor()
+		g.OptimizeHyper = false
+		g.RefactorEvery = 1 << 30
+		if err := g.Fit(xs[:100], ys[:100]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for j := 100; j < 120; j++ {
+			if err := g.Observe(xs[j], ys[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGPObserveFullRefit measures the same 20 conditioning steps
+// done the seed way: a full O(n³) refactorization per observation.
+func BenchmarkGPObserveFullRefit(b *testing.B) {
+	xs, ys := gpObserveFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := gp.NewRegressor()
+		g.OptimizeHyper = false
+		if err := g.Fit(xs[:100], ys[:100]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for j := 100; j < 120; j++ {
+			if err := g.Fit(xs[:j+1], ys[:j+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkGPPredict measures posterior evaluation against 100 stored
 // points.
 func BenchmarkGPPredict(b *testing.B) {

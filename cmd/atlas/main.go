@@ -5,6 +5,13 @@
 //	atlas -stage1-iters 500 -stage2-iters 1000 -online-iters 100
 //	atlas -traffic 2 -threshold 500 -availability 0.9
 //
+// With -slices N (N > 1) it switches to the concurrent multi-slice
+// orchestrator: one shared stage-1 calibration, then N per-tenant
+// stage-2/stage-3 pipelines scheduled over a bounded worker pool:
+//
+//	atlas -slices 8               # 8 tenants, GOMAXPROCS workers
+//	atlas -slices 8 -workers 2    # same tenants, bounded concurrency
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -34,6 +41,8 @@ func main() {
 		batch        = flag.Int("batch", 4, "parallel queries per iteration")
 		pool         = flag.Int("pool", 1500, "candidate pool per selection")
 		alpha        = flag.Float64("alpha", 1, "weighted-discrepancy alpha")
+		slices       = flag.Int("slices", 1, "number of concurrent tenant slices (>1 enables the orchestrator)")
+		workers      = flag.Int("workers", 0, "orchestrator worker bound (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -42,18 +51,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atlas: traffic must be in [1, 4]")
 		os.Exit(2)
 	}
+	if *onIters < 1 {
+		fmt.Fprintln(os.Stderr, "atlas: online-iters must be at least 1")
+		os.Exit(2)
+	}
 
 	real := realnet.New()
 	sim := simnet.NewDefault()
 	space := slicing.DefaultConfigSpace()
 	seeds := mathx.Split(*seed, 8)
 
+	if *slices > 1 {
+		// Heterogeneous thresholds by default; an explicit -threshold
+		// applies to every tenant.
+		thresholds := []float64{300, 400, 500}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threshold" {
+				thresholds = []float64{*threshold}
+			}
+		})
+		runMultiSlice(real, sim, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha, *traffic, thresholds, *availability)
+		return
+	}
+
 	fmt.Println("== stage 1: learning-based simulator ==")
-	dr := real.Collect(core.FullConfig(), *traffic, 3, seeds[0].Int63())
-	copts := core.DefaultCalibratorOptions()
-	copts.Iters, copts.Batch, copts.Pool, copts.Alpha, copts.Traffic = *s1Iters, *batch, *pool, *alpha, *traffic
-	copts.Explore = *s1Iters / 5
-	cal := core.NewCalibrator(sim, dr, copts)
+	cal := newSharedCalibrator(real, sim, seeds[0].Int63(), *s1Iters, *batch, *pool, *alpha, *traffic)
 	orig := cal.Discrepancy(slicing.DefaultSimParams())
 	cres := cal.Run(seeds[1])
 	fmt.Printf("original discrepancy: %.3f\n", orig)
@@ -82,9 +104,68 @@ func main() {
 	run := baselines.RunOnline(learner, real, space, sla, *traffic, *onIters, oracle, seeds[5].Int63())
 	fmt.Printf("first online action:  usage %.1f%% QoE %.3f (sim-to-real gap made visible)\n",
 		100*run.Usages[0], run.QoEs[0])
-	tail := *onIters / 5
+	tail := max(1, *onIters/5)
 	fmt.Printf("converged (last %d):  usage %.1f%% QoE %.3f\n",
 		tail, 100*baselines.MeanTail(run.Usages, tail), baselines.MeanTail(run.QoEs, tail))
 	fmt.Printf("avg usage regret:     %.2f%%\n", 100*run.Regret.AvgUsageRegret())
 	fmt.Printf("avg QoE regret:       %.3f\n", run.Regret.AvgQoERegret())
+}
+
+// newSharedCalibrator collects fresh real-network measurements and
+// builds the stage-1 calibrator both the single- and multi-slice paths
+// share.
+func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed int64, s1Iters, batch, pool int, alpha float64, traffic int) *core.Calibrator {
+	dr := real.Collect(core.FullConfig(), traffic, 3, drSeed)
+	copts := core.DefaultCalibratorOptions()
+	copts.Iters, copts.Batch, copts.Pool, copts.Alpha, copts.Traffic = s1Iters, batch, pool, alpha, traffic
+	copts.Explore = s1Iters / 5
+	return core.NewCalibrator(sim, dr, copts)
+}
+
+// runMultiSlice is the orchestrated path: one shared stage-1
+// calibration, then nSlices per-tenant stage-2/stage-3 pipelines
+// running concurrently.
+func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, traffic int, thresholds []float64, availability float64) {
+	seeds := mathx.Split(seed, 4)
+
+	fmt.Printf("== stage 1 (shared): learning-based simulator ==\n")
+	cres := newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, traffic).Run(seeds[1])
+	fmt.Printf("calibrated discrepancy %.3f, parameter distance %.3f\n\n", cres.BestKL, cres.BestDistance)
+	aug := sim.WithParams(cres.BestParams)
+
+	// Heterogeneous tenants: thresholds and traffic cycle over the
+	// offered service classes.
+	specs := make([]core.SliceSpec, nSlices)
+	for i := range specs {
+		specs[i] = core.SliceSpec{
+			ID:      fmt.Sprintf("slice-%02d", i),
+			SLA:     slicing.SLA{ThresholdMs: thresholds[i%len(thresholds)], Availability: availability},
+			Traffic: 1 + i%core.MaxTraffic,
+			Train:   true,
+		}
+	}
+
+	opts := core.DefaultOrchestratorOptions()
+	opts.Workers = workers
+	opts.Intervals = onIters
+	opts.Seed = seeds[2].Int63()
+	opts.Online.Pool = pool
+	opts.Offline.Iters, opts.Offline.Batch, opts.Offline.Pool = s2Iters, batch, pool
+	opts.Offline.Explore = s2Iters / 5
+
+	fmt.Printf("== stages 2+3: %d slices, %d intervals each ==\n", nSlices, onIters)
+	res := core.NewOrchestrator(real, aug, specs, opts).Run()
+	for _, sr := range res.Slices {
+		if sr.Err != nil {
+			fmt.Printf("%-10s error: %v\n", sr.Spec.ID, sr.Err)
+			continue
+		}
+		tail := max(1, onIters/5)
+		fmt.Printf("%-10s traffic=%d Y=%.0fms: usage %.1f%% QoE %.3f (tail %d)\n",
+			sr.Spec.ID, sr.Spec.Traffic, sr.Spec.SLA.ThresholdMs,
+			100*baselines.MeanTail(sr.Usages, tail), baselines.MeanTail(sr.QoEs, tail), tail)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	fmt.Printf("\nfinal epoch: mean usage %.1f%% mean QoE %.3f, %d violations across run\n",
+		100*last.MeanUsage, last.MeanQoE, res.TotalViolations())
 }

@@ -1,4 +1,4 @@
-// Multislice demonstrates the scalability claim of the paper's §10: one
+// Multislice demonstrates the concurrent multi-slice orchestrator: one
 // individualized Atlas instance per admitted slice, each with its own
 // SLA, traffic profile, and learning state, sharing nothing but the
 // physical infrastructure. Three heterogeneous tenants run side by
@@ -8,9 +8,10 @@
 //   - a video-analytics slice (400 ms, two users),
 //   - a bulk-telemetry slice (relaxed 500 ms, four users).
 //
-// Because the prototype isolates slices in every domain, each instance
-// trains and adapts independently; this example runs them sequentially
-// and reports per-tenant outcomes.
+// Stage 1 is shared — the simulator models the infrastructure, not a
+// tenant — while stages 2 and 3 run per tenant, scheduled concurrently
+// over a bounded worker pool. Per-slice results are deterministic under
+// a fixed seed at any worker count.
 package main
 
 import (
@@ -20,25 +21,11 @@ import (
 	"github.com/atlas-slicing/atlas"
 )
 
-type tenant struct {
-	name    string
-	sla     atlas.SLA
-	traffic int
-}
-
 func main() {
-	tenants := []tenant{
-		{"ar-headset", atlas.SLA{ThresholdMs: 300, Availability: 0.9}, 1},
-		{"video-analytics", atlas.SLA{ThresholdMs: 400, Availability: 0.9}, 2},
-		{"bulk-telemetry", atlas.SLA{ThresholdMs: 500, Availability: 0.9}, 4},
-	}
-
 	real := atlas.NewRealNetwork()
 	sim := atlas.NewSimulator()
-	space := atlas.DefaultConfigSpace()
 
-	// Stage 1 is shared: the simulator models the infrastructure, not a
-	// tenant, so one calibration serves every slice (§10: "the
+	// Stage 1 is shared: one calibration serves every slice (§10: "the
 	// corresponding parts in the learning-based simulator will be
 	// updated" only on infrastructure changes).
 	dr := real.Collect(atlas.FullConfig(), 1, 3, 61)
@@ -48,29 +35,34 @@ func main() {
 	aug := sim.WithParams(calib.BestParams)
 	fmt.Printf("shared stage 1: discrepancy %.3f at distance %.3f\n\n", calib.BestKL, calib.BestDistance)
 
+	// Stages 2 and 3 are per-tenant: the orchestrator trains each
+	// slice's offline policy on admission and runs every online loop
+	// concurrently over the shared environment pools.
+	specs := []atlas.SliceSpec{
+		{ID: "ar-headset", SLA: atlas.SLA{ThresholdMs: 300, Availability: 0.9}, Traffic: 1, Train: true},
+		{ID: "video-analytics", SLA: atlas.SLA{ThresholdMs: 400, Availability: 0.9}, Traffic: 2, Train: true},
+		{ID: "bulk-telemetry", SLA: atlas.SLA{ThresholdMs: 500, Availability: 0.9}, Traffic: 4, Train: true},
+	}
+
 	const intervals = 30
-	for i, t := range tenants {
-		// Stages 2 and 3 are per-tenant.
-		oopts := atlas.DefaultOfflineOptions()
-		oopts.SLA, oopts.Traffic = t.sla, t.traffic
-		oopts.Iters, oopts.Explore = 100, 20
-		offline := atlas.NewOfflineTrainer(aug, oopts).Run(rand.New(rand.NewSource(int64(70 + i))))
+	opts := atlas.DefaultOrchestratorOptions()
+	opts.Intervals = intervals
+	opts.Seed = 70
+	opts.Online.Pool = 800
+	opts.Offline.Iters, opts.Offline.Explore = 100, 20
 
-		lopts := atlas.DefaultOnlineOptions()
-		lopts.Pool = 800
-		learner := atlas.NewOnlineLearner(offline.Policy, aug, lopts, rand.New(rand.NewSource(int64(80+i))))
+	res := atlas.NewOrchestrator(real, aug, specs, opts).Run()
 
-		oracle := atlas.FindOracle(real, space, t.sla, t.traffic, 250, 2, int64(90+i))
-		run := atlas.RunOnline(learner, real, space, t.sla, t.traffic, intervals, oracle, int64(95+i))
-
-		tail := intervals / 4
+	tail := intervals / 4
+	for _, sr := range res.Slices {
 		var usage, qoe float64
 		for j := intervals - tail; j < intervals; j++ {
-			usage += run.Usages[j]
-			qoe += run.QoEs[j]
+			usage += sr.Usages[j]
+			qoe += sr.QoEs[j]
 		}
 		fmt.Printf("%-16s traffic=%d Y=%.0fms: offline %.1f%% usage -> online %.1f%% usage, QoE %.3f (target %.1f)\n",
-			t.name, t.traffic, t.sla.ThresholdMs,
-			100*offline.BestUsage, 100*usage/float64(tail), qoe/float64(tail), t.sla.Availability)
+			sr.Spec.ID, sr.Spec.Traffic, sr.Spec.SLA.ThresholdMs,
+			100*sr.Offline.BestUsage, 100*usage/float64(tail), qoe/float64(tail), sr.Spec.SLA.Availability)
 	}
+	fmt.Printf("\nQoE violations across the run: %d\n", res.TotalViolations())
 }

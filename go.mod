@@ -1,0 +1,3 @@
+module github.com/atlas-slicing/atlas
+
+go 1.22

@@ -182,10 +182,3 @@ func seedOf(v mathx.Vector) int64 {
 	}
 	return int64(h)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

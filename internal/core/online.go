@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/atlas-slicing/atlas/internal/bnn"
 	"github.com/atlas-slicing/atlas/internal/bo"
@@ -239,21 +241,77 @@ func (l *OnlineLearner) scanPool(space slicing.ConfigSpace, rng *rand.Rand) *can
 		copy(p.qsStd, stds)
 	}
 	if l.Opts.Model != ContinueBNN {
-		for i := 0; i < n; i++ {
-			p.gMean[i], p.gStd[i] = l.residualAt(inputs[i])
-		}
+		l.evalResiduals(p, inputs)
 	}
 	return p
 }
 
-// residualAt is residual() on a pre-encoded input.
-func (l *OnlineLearner) residualAt(x []float64) (float64, float64) {
+// residualChunks fixes the fan-out of the parallel pool scan: the pool
+// splits into this many contiguous chunks regardless of GOMAXPROCS, so
+// per-chunk RNG derivation — and therefore every scan result — is
+// independent of the host's core count.
+const residualChunks = 16
+
+// evalResiduals fills the residual posterior over the whole pool,
+// fanning contiguous candidate chunks out across worker goroutines —
+// the same parallel evaluation stage 1 uses for its Thompson-sampling
+// batches (bo.Minimizer). GP prediction is read-only and consumes no
+// randomness; the BNN path derives one deterministic child RNG per
+// chunk from the learner RNG before any goroutine starts, so results do
+// not depend on goroutine scheduling.
+func (l *OnlineLearner) evalResiduals(p *candidatePool, inputs [][]float64) {
+	n := len(inputs)
+	chunks := residualChunks
+	if chunks > n {
+		chunks = n
+	}
+	type span struct {
+		lo, hi int
+		rng    *rand.Rand
+	}
+	size := (n + chunks - 1) / chunks
+	work := make(chan span, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		var crng *rand.Rand
+		if l.Opts.Model == ResidualBNN {
+			crng = mathx.NewRNG(l.rng.Int63())
+		}
+		work <- span{lo, hi, crng}
+	}
+	close(work)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chunks {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				for i := s.lo; i < s.hi; i++ {
+					p.gMean[i], p.gStd[i] = l.residualAt(inputs[i], s.rng)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// residualAt is residual() on a pre-encoded input, with an explicit RNG
+// for the sampling-based models so concurrent callers stay isolated.
+func (l *OnlineLearner) residualAt(x []float64, rng *rand.Rand) (float64, float64) {
 	switch l.Opts.Model {
 	case ResidualBNN:
 		if !l.bnnModel.Fitted() {
 			return 0, 0.3
 		}
-		return l.bnnModel.Predict(x, l.Opts.PredictSamples, l.rng)
+		return l.bnnModel.Predict(x, l.Opts.PredictSamples, rng)
 	case ContinueBNN:
 		return 0, 0.1
 	default:
@@ -358,12 +416,16 @@ func (l *OnlineLearner) Observe(iter int, cfg slicing.Config, usage, qoe float64
 		}
 	default:
 		g := qoe - l.simQoE(cfg)
-		l.xs = append(l.xs, x)
-		l.ys = append(l.ys, g)
 		if l.Opts.Model == ResidualBNN {
+			// The BNN retrains on the whole collection, so it keeps one.
+			l.xs = append(l.xs, x)
+			l.ys = append(l.ys, g)
 			l.bnnModel.Fit(l.xs, l.ys, 20, 32)
 		} else {
-			_ = l.gpModel.Fit(l.xs, l.ys)
+			// Incremental conditioning: O(n²) rank-1 Cholesky extension
+			// instead of refactorizing from scratch every interval. The
+			// GP stores its own copy of the collection.
+			_ = l.gpModel.Observe(x, g)
 		}
 	}
 

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// This file is the concurrent multi-slice control loop: one Atlas
+// instance per tenant, all learning online at the same time over shared
+// infrastructure. The paper evaluates slices one at a time (§10 argues
+// the isolation makes that sound); the Orchestrator is the production
+// shape of that argument — a worker-pool scheduler that runs N
+// independent OnlineLearner loops concurrently, with deterministic
+// per-slice seeding and aggregated per-epoch metrics.
+
+// EnvPool hands out network environments to concurrent slice loops.
+// Two shapes are supported:
+//
+//   - a shared pool wraps one Env whose Episode is safe for concurrent
+//     use (the bundled simulator and real-network surrogate are
+//     stateless per episode) — Get never blocks;
+//   - a replica pool serializes access to each of a fixed set of
+//     replicas, for environments that keep per-episode mutable state.
+//     Size replica pools with at least as many entries as the
+//     orchestrator has workers, or slices will queue for an
+//     environment.
+type EnvPool struct {
+	shared slicing.Env
+	ch     chan slicing.Env
+}
+
+// SharedEnvPool wraps a concurrency-safe environment.
+func SharedEnvPool(env slicing.Env) *EnvPool { return &EnvPool{shared: env} }
+
+// NewEnvPool builds a replica pool over the given environments.
+func NewEnvPool(envs ...slicing.Env) *EnvPool {
+	if len(envs) == 1 {
+		return SharedEnvPool(envs[0])
+	}
+	ch := make(chan slicing.Env, len(envs))
+	for _, e := range envs {
+		ch <- e
+	}
+	return &EnvPool{ch: ch}
+}
+
+// Get checks an environment out; replica pools block until one is free.
+func (p *EnvPool) Get() slicing.Env {
+	if p.shared != nil {
+		return p.shared
+	}
+	return <-p.ch
+}
+
+// Put returns a checked-out environment to the pool.
+func (p *EnvPool) Put(env slicing.Env) {
+	if p.shared != nil {
+		return
+	}
+	p.ch <- env
+}
+
+// SliceSpec declares one tenant for the orchestrator.
+type SliceSpec struct {
+	ID      string
+	SLA     slicing.SLA
+	Traffic int
+
+	// Policy optionally supplies a pre-trained stage-2 artifact. When
+	// nil, Train decides between on-admission offline training and a
+	// cold start ("No stage 2").
+	Policy *Policy
+	// Train requests stage-2 offline training during admission, using
+	// the orchestrator's Offline options with this spec's SLA/Traffic.
+	Train bool
+
+	// OptUsage and OptQoE anchor the slice's regret accounting at the
+	// oracle φ*. Leave zero to record raw cumulative sums instead.
+	OptUsage float64
+	OptQoE   float64
+}
+
+// OrchestratorOptions configures the concurrent control loop.
+type OrchestratorOptions struct {
+	// Workers bounds how many slice loops run at once; zero selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Intervals is the number of online configuration intervals per
+	// slice.
+	Intervals int
+	// Seed is the master seed. Slice i's RNGs are a pure function of
+	// (Seed, i), so results are reproducible at any worker count and
+	// independent of scheduling order.
+	Seed int64
+	// Online configures every slice's stage-3 learner.
+	Online OnlineOptions
+	// Offline configures on-admission training for Train specs; its
+	// SLA and Traffic are overridden per slice.
+	Offline OfflineOptions
+}
+
+// DefaultOrchestratorOptions mirrors the single-slice defaults.
+func DefaultOrchestratorOptions() OrchestratorOptions {
+	return OrchestratorOptions{
+		Workers:   0,
+		Intervals: 50,
+		Seed:      1,
+		Online:    DefaultOnlineOptions(),
+		Offline:   DefaultOfflineOptions(),
+	}
+}
+
+// EpochMetrics aggregates one configuration interval across every
+// slice that reached it.
+type EpochMetrics struct {
+	Epoch  int
+	Slices int
+	// MeanUsage and MeanQoE average over the slices.
+	MeanUsage float64
+	MeanQoE   float64
+	// Violations counts slices whose delivered QoE fell below their
+	// SLA availability target this epoch.
+	Violations int
+	// UsageRegret and QoERegret sum the per-slice regret increments
+	// (zero-anchored for specs without an oracle).
+	UsageRegret float64
+	QoERegret   float64
+}
+
+// epochAgg collects per-epoch metrics from concurrent slice loops.
+type epochAgg struct {
+	mu     sync.Mutex
+	epochs []EpochMetrics
+}
+
+func newEpochAgg(intervals int) *epochAgg {
+	a := &epochAgg{epochs: make([]EpochMetrics, intervals)}
+	for i := range a.epochs {
+		a.epochs[i].Epoch = i
+	}
+	return a
+}
+
+// observe folds one slice-interval outcome into the aggregate.
+func (a *epochAgg) observe(epoch int, usage, qoe float64, violated bool, uReg, qReg float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := &a.epochs[epoch]
+	e.Slices++
+	e.MeanUsage += usage
+	e.MeanQoE += qoe
+	if violated {
+		e.Violations++
+	}
+	e.UsageRegret += uReg
+	e.QoERegret += qReg
+}
+
+// snapshot finalizes the means and returns the epochs.
+func (a *epochAgg) snapshot() []EpochMetrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]EpochMetrics(nil), a.epochs...)
+	for i := range out {
+		if out[i].Slices > 0 {
+			out[i].MeanUsage /= float64(out[i].Slices)
+			out[i].MeanQoE /= float64(out[i].Slices)
+		}
+	}
+	return out
+}
+
+// SliceRun is one tenant's completed trajectory.
+type SliceRun struct {
+	Spec    SliceSpec
+	Learner *OnlineLearner
+	// Offline holds the on-admission training artifact for Train specs.
+	Offline *OfflineResult
+	Configs []slicing.Config
+	Usages  []float64
+	QoEs    []float64
+	Regret  slicing.Regret
+	Err     error
+}
+
+// OrchestratorResult is the outcome of one orchestrated run.
+type OrchestratorResult struct {
+	Slices []SliceRun
+	Epochs []EpochMetrics
+}
+
+// TotalViolations sums QoE violations across all epochs.
+func (r *OrchestratorResult) TotalViolations() int {
+	var n int
+	for _, e := range r.Epochs {
+		n += e.Violations
+	}
+	return n
+}
+
+// Orchestrator runs N independent online-learning loops concurrently:
+// per-slice stage-2/stage-3 pipelines scheduled over a bounded worker
+// pool, querying a shared simulator pool and applying configurations to
+// a shared real-network pool.
+type Orchestrator struct {
+	// Real is the live network the slices run on.
+	Real *EnvPool
+	// Sim is the (augmented) simulator pool the learners query.
+	Sim *EnvPool
+	// Space is the shared configuration space.
+	Space slicing.ConfigSpace
+	Opts  OrchestratorOptions
+
+	specs []SliceSpec
+}
+
+// NewOrchestrator builds an orchestrator over a real network and an
+// (augmented) simulator, both assumed safe for concurrent episodes (use
+// the EnvPool fields directly for replica pools).
+func NewOrchestrator(real, sim slicing.Env, specs []SliceSpec, opts OrchestratorOptions) *Orchestrator {
+	return &Orchestrator{
+		Real:  SharedEnvPool(real),
+		Sim:   SharedEnvPool(sim),
+		Space: slicing.DefaultConfigSpace(),
+		Opts:  opts,
+		specs: append([]SliceSpec(nil), specs...),
+	}
+}
+
+// Specs returns the declared slices.
+func (o *Orchestrator) Specs() []SliceSpec { return append([]SliceSpec(nil), o.specs...) }
+
+// Run executes every slice's admission and online loop and returns the
+// per-slice trajectories plus the per-epoch aggregate. It blocks until
+// all slices finish.
+func (o *Orchestrator) Run() *OrchestratorResult {
+	n := len(o.specs)
+	intervals := o.Opts.Intervals
+	if intervals <= 0 {
+		intervals = DefaultOrchestratorOptions().Intervals
+	}
+	workers := o.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// ContinueBNN trains the policy's model in place during online
+	// learning, so a Policy shared between specs would be mutated from
+	// several goroutines at once; fail those slices up front.
+	shared := map[*Policy]bool{}
+	if o.Opts.Online.Model == ContinueBNN {
+		seen := map[*Policy]int{}
+		for _, s := range o.specs {
+			if s.Policy != nil {
+				seen[s.Policy]++
+			}
+		}
+		for p, c := range seen {
+			if c > 1 {
+				shared[p] = true
+			}
+		}
+	}
+
+	agg := newEpochAgg(intervals)
+	runs := make([]SliceRun, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range o.specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if spec := o.specs[i]; shared[spec.Policy] {
+				runs[i] = SliceRun{Spec: spec, Err: fmt.Errorf(
+					"core: slice %q: ContinueBNN trains the policy model in place and requires an unshared Policy", spec.ID)}
+				return
+			}
+			runs[i] = o.runSlice(i, intervals, agg)
+		}(i)
+	}
+	wg.Wait()
+	return &OrchestratorResult{Slices: runs, Epochs: agg.snapshot()}
+}
+
+// runSlice is one tenant's full pipeline: optional offline training,
+// then the online loop. All randomness derives from (Seed, i) alone.
+func (o *Orchestrator) runSlice(i, intervals int, agg *epochAgg) SliceRun {
+	spec := o.specs[i]
+	run := SliceRun{Spec: spec}
+	if spec.Traffic < 1 {
+		run.Err = fmt.Errorf("core: slice %q traffic %d out of range", spec.ID, spec.Traffic)
+		return run
+	}
+	seeds := splitSliceSeeds(o.Opts.Seed, i)
+	offRNG, learnRNG, runRNG := seeds[0], seeds[1], seeds[2]
+
+	policy := spec.Policy
+	if policy == nil && spec.Train {
+		oo := o.Opts.Offline
+		oo.SLA = spec.SLA
+		oo.Traffic = spec.Traffic
+		sim := o.Sim.Get()
+		run.Offline = NewOfflineTrainer(sim, oo).Run(offRNG)
+		o.Sim.Put(sim)
+		policy = run.Offline.Policy
+	}
+	if policy != nil && (policy.SLA != spec.SLA || policy.Traffic != spec.Traffic) {
+		// The learner consults the policy's SLA/traffic; the spec is
+		// authoritative, so rebind a shallow copy rather than mutating a
+		// policy the caller may share across slices. The offline model
+		// itself stays shared — safe because the residual designs only
+		// read it online; the one model that trains in place
+		// (ContinueBNN) rejects shared policies in Run.
+		p := *policy
+		p.SLA = spec.SLA
+		p.Traffic = spec.Traffic
+		policy = &p
+	}
+
+	sim := o.Sim.Get()
+	defer o.Sim.Put(sim)
+	learner := NewOnlineLearner(policy, sim, o.Opts.Online, learnRNG)
+	run.Learner = learner
+	run.Regret = slicing.Regret{OptUsage: spec.OptUsage, OptQoE: spec.OptQoE}
+
+	for it := 0; it < intervals; it++ {
+		cfg := learner.Next(it, runRNG)
+		real := o.Real.Get()
+		tr := real.Episode(cfg, spec.Traffic, runRNG.Int63())
+		o.Real.Put(real)
+		usage := o.Space.Usage(cfg)
+		qoe := tr.QoE(spec.SLA)
+		learner.Observe(it, cfg, usage, qoe)
+
+		run.Configs = append(run.Configs, cfg)
+		run.Usages = append(run.Usages, usage)
+		run.QoEs = append(run.QoEs, qoe)
+		run.Regret.Observe(usage, qoe)
+		agg.observe(it, usage, qoe, qoe < spec.SLA.Availability,
+			usage-spec.OptUsage, max(spec.OptQoE-qoe, 0))
+	}
+	return run
+}
+
+// splitSliceSeeds derives slice i's (offline, learner, run) RNGs as a
+// pure function of the master seed and the slice index.
+func splitSliceSeeds(seed int64, i int) []*rand.Rand {
+	return mathx.Split(mathx.ChildSeed(seed, i), 3)
+}

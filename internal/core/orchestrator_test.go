@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// quickOrchOpts keeps orchestrated runs test-sized: tiny pools and
+// budgets, cold-start online learners unless a spec requests training.
+func quickOrchOpts(intervals int) OrchestratorOptions {
+	opts := DefaultOrchestratorOptions()
+	opts.Intervals = intervals
+	opts.Seed = 7
+	opts.Online.Pool = 64
+	opts.Online.N = 4
+	opts.Offline = quickOffOpts()
+	opts.Offline.Iters, opts.Offline.Explore = 12, 4
+	return opts
+}
+
+func quickSpecs(n int) []SliceSpec {
+	thresholds := []float64{300, 400, 500}
+	specs := make([]SliceSpec, n)
+	for i := range specs {
+		specs[i] = SliceSpec{
+			ID:      string(rune('a' + i)),
+			SLA:     slicing.SLA{ThresholdMs: thresholds[i%len(thresholds)], Availability: 0.9},
+			Traffic: 1 + i%MaxTraffic,
+		}
+	}
+	return specs
+}
+
+// TestOrchestratorDeterministicAcrossWorkers: per-slice results must be
+// a pure function of (seed, slice index) — identical whether 8 slices
+// run one at a time or all at once.
+func TestOrchestratorDeterministicAcrossWorkers(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(8)
+
+	runAt := func(workers int) *OrchestratorResult {
+		opts := quickOrchOpts(4)
+		opts.Workers = workers
+		return NewOrchestrator(real, sim, specs, opts).Run()
+	}
+	seq := runAt(1)
+	par := runAt(8)
+
+	if len(seq.Slices) != 8 || len(par.Slices) != 8 {
+		t.Fatalf("slice counts %d, %d", len(seq.Slices), len(par.Slices))
+	}
+	for i := range seq.Slices {
+		a, b := seq.Slices[i], par.Slices[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("slice %d errs: %v, %v", i, a.Err, b.Err)
+		}
+		if len(a.Usages) != len(b.Usages) {
+			t.Fatalf("slice %d lengths %d vs %d", i, len(a.Usages), len(b.Usages))
+		}
+		for j := range a.Usages {
+			if a.Usages[j] != b.Usages[j] || a.QoEs[j] != b.QoEs[j] {
+				t.Fatalf("slice %d interval %d: (%v,%v) vs (%v,%v)",
+					i, j, a.Usages[j], a.QoEs[j], b.Usages[j], b.QoEs[j])
+			}
+			if a.Configs[j] != b.Configs[j] {
+				t.Fatalf("slice %d interval %d config mismatch", i, j)
+			}
+		}
+	}
+	// The epoch aggregate is order-independent too.
+	for e := range seq.Epochs {
+		if seq.Epochs[e].Slices != par.Epochs[e].Slices ||
+			math.Abs(seq.Epochs[e].MeanUsage-par.Epochs[e].MeanUsage) > 1e-12 ||
+			math.Abs(seq.Epochs[e].MeanQoE-par.Epochs[e].MeanQoE) > 1e-12 ||
+			seq.Epochs[e].Violations != par.Epochs[e].Violations {
+			t.Fatalf("epoch %d aggregate mismatch: %+v vs %+v", e, seq.Epochs[e], par.Epochs[e])
+		}
+	}
+}
+
+// TestOrchestratorMatchesSequentialLoop: one orchestrated slice must
+// reproduce the hand-rolled sequential loop exactly under the same
+// derived seeds.
+func TestOrchestratorMatchesSequentialLoop(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(2)
+	opts := quickOrchOpts(4)
+	res := NewOrchestrator(real, sim, specs, opts).Run()
+
+	for i, spec := range specs {
+		seeds := splitSliceSeeds(opts.Seed, i)
+		learner := NewOnlineLearner(nil, sim, opts.Online, seeds[1])
+		runRNG := seeds[2]
+		space := slicing.DefaultConfigSpace()
+		for it := 0; it < opts.Intervals; it++ {
+			cfg := learner.Next(it, runRNG)
+			tr := real.Episode(cfg, spec.Traffic, runRNG.Int63())
+			usage := space.Usage(cfg)
+			qoe := tr.QoE(spec.SLA)
+			learner.Observe(it, cfg, usage, qoe)
+			if got := res.Slices[i]; got.Usages[it] != usage || got.QoEs[it] != qoe {
+				t.Fatalf("slice %d interval %d: orchestrated (%v,%v) vs sequential (%v,%v)",
+					i, it, got.Usages[it], got.QoEs[it], usage, qoe)
+			}
+		}
+	}
+}
+
+// TestOrchestratorTrainsOnAdmission: Train specs get a per-tenant
+// offline policy and the learner starts from it.
+func TestOrchestratorTrainsOnAdmission(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(2)
+	for i := range specs {
+		specs[i].Train = true
+	}
+	opts := quickOrchOpts(3)
+	res := NewOrchestrator(real, sim, specs, opts).Run()
+	for i, sr := range res.Slices {
+		if sr.Err != nil {
+			t.Fatalf("slice %d: %v", i, sr.Err)
+		}
+		if sr.Offline == nil || sr.Offline.Policy == nil {
+			t.Fatalf("slice %d missing offline artifact", i)
+		}
+		if sr.Learner.Policy == nil {
+			t.Fatalf("slice %d learner has no policy", i)
+		}
+		if got := sr.Learner.Policy.SLA; got != specs[i].SLA {
+			t.Fatalf("slice %d policy SLA %+v want %+v", i, got, specs[i].SLA)
+		}
+	}
+}
+
+// TestOrchestratorSharedPolicy: several slices can share one pre-trained
+// policy; the orchestrator rebinds SLA/traffic per spec without mutating
+// the caller's artifact.
+func TestOrchestratorSharedPolicy(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	off := NewOfflineTrainer(sim, quickOffOpts()).Run(mathx.NewRNG(31))
+	orig := *off.Policy
+
+	specs := quickSpecs(4)
+	for i := range specs {
+		specs[i].Policy = off.Policy
+	}
+	opts := quickOrchOpts(3)
+	opts.Workers = 4
+	res := NewOrchestrator(real, sim, specs, opts).Run()
+	for i, sr := range res.Slices {
+		if sr.Err != nil {
+			t.Fatalf("slice %d: %v", i, sr.Err)
+		}
+		if got := sr.Learner.Policy.Traffic; got != specs[i].Traffic {
+			t.Fatalf("slice %d learner traffic %d want %d", i, got, specs[i].Traffic)
+		}
+	}
+	if off.Policy.SLA != orig.SLA || off.Policy.Traffic != orig.Traffic {
+		t.Fatalf("caller's policy mutated: %+v", off.Policy)
+	}
+}
+
+// TestOrchestratorMetricsAndRegret: epoch slots cover every slice, and
+// oracle-anchored specs accumulate regret.
+func TestOrchestratorMetricsAndRegret(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(3)
+	for i := range specs {
+		specs[i].OptUsage = 0.2
+		specs[i].OptQoE = 0.9
+	}
+	opts := quickOrchOpts(4)
+	res := NewOrchestrator(real, sim, specs, opts).Run()
+
+	if len(res.Epochs) != opts.Intervals {
+		t.Fatalf("%d epochs want %d", len(res.Epochs), opts.Intervals)
+	}
+	for e, ep := range res.Epochs {
+		if ep.Epoch != e || ep.Slices != len(specs) {
+			t.Fatalf("epoch %d: %+v", e, ep)
+		}
+		if ep.MeanUsage <= 0 || ep.MeanUsage > 1 {
+			t.Fatalf("epoch %d mean usage %v", e, ep.MeanUsage)
+		}
+		if ep.MeanQoE < 0 || ep.MeanQoE > 1 {
+			t.Fatalf("epoch %d mean QoE %v", e, ep.MeanQoE)
+		}
+	}
+	for i, sr := range res.Slices {
+		if sr.Regret.N != opts.Intervals {
+			t.Fatalf("slice %d regret over %d intervals", i, sr.Regret.N)
+		}
+	}
+}
+
+// TestOrchestratorRejectsBadTraffic: invalid specs fail per-slice, not
+// globally.
+func TestOrchestratorRejectsBadTraffic(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(2)
+	specs[1].Traffic = 0
+	res := NewOrchestrator(real, sim, specs, quickOrchOpts(2)).Run()
+	if res.Slices[0].Err != nil {
+		t.Fatalf("healthy slice errored: %v", res.Slices[0].Err)
+	}
+	if res.Slices[1].Err == nil {
+		t.Fatal("invalid traffic accepted")
+	}
+}
+
+// TestEnvPool: shared pools never block; replica pools serialize a
+// fixed set.
+func TestEnvPool(t *testing.T) {
+	sim := simnet.NewDefault()
+	shared := SharedEnvPool(sim)
+	if shared.Get() != slicing.Env(sim) {
+		t.Fatal("shared pool returned a different env")
+	}
+	shared.Put(sim) // no-op, must not block or grow
+
+	a, b := simnet.NewDefault(), simnet.NewDefault()
+	pool := NewEnvPool(a, b)
+	e1, e2 := pool.Get(), pool.Get()
+	if e1 == nil || e2 == nil || e1 == e2 {
+		t.Fatal("replica pool handed out duplicates")
+	}
+	pool.Put(e1)
+	if e3 := pool.Get(); e3 != e1 {
+		t.Fatal("replica pool lost a returned env")
+	}
+}
+
+// TestOrchestratorRejectsSharedContinueBNNPolicy: a policy shared
+// between specs is fine for the read-only residual designs but must be
+// rejected when ContinueBNN would train it in place concurrently.
+func TestOrchestratorRejectsSharedContinueBNNPolicy(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	off := NewOfflineTrainer(sim, quickOffOpts()).Run(mathx.NewRNG(41))
+
+	specs := quickSpecs(3)
+	specs[0].Policy = off.Policy
+	specs[1].Policy = off.Policy
+	opts := quickOrchOpts(2)
+	opts.Online.Model = ContinueBNN
+	res := NewOrchestrator(real, sim, specs, opts).Run()
+	if res.Slices[0].Err == nil || res.Slices[1].Err == nil {
+		t.Fatal("shared policy accepted under ContinueBNN")
+	}
+	if res.Slices[2].Err != nil {
+		t.Fatalf("unshared slice errored: %v", res.Slices[2].Err)
+	}
+}

@@ -23,13 +23,32 @@ type Regressor struct {
 	// OptimizeHyper enables a small log-marginal-likelihood grid search
 	// over the kernel length scale and variance on every Fit.
 	OptimizeHyper bool
+	// RefactorEvery bounds how many incremental Observe updates may pass
+	// between full refactorizations (numerical hygiene plus, with
+	// OptimizeHyper, hyperparameter refresh). Zero selects the default.
+	RefactorEvery int
 
 	x      [][]float64
+	y      []float64
 	scaler stats.Scaler
 	l      *mathx.Matrix // Cholesky factor of K + noise·I
+	ty     mathx.Vector  // standardized targets
 	alpha  mathx.Vector  // (K+σ²I)⁻¹ y (standardized)
 	fitted bool
+	// sinceRefactor counts incremental updates since the last full
+	// factorization.
+	sinceRefactor int
 }
+
+// defaultRefactorEvery is the incremental-update budget between full
+// refactorizations when RefactorEvery is unset.
+const defaultRefactorEvery = 25
+
+// bootstrapN is the collection size below which Observe always refits
+// from scratch: small-n factorizations are cheap and full refits keep
+// the early hyperparameter tuning (which Fit starts at n = 4)
+// responsive exactly when each new point moves the posterior most.
+const bootstrapN = 8
 
 // NewRegressor returns a GP with the Matérn-5/2 kernel, unit length
 // scale and variance, and a small noise floor — the configuration the
@@ -56,12 +75,17 @@ func (g *Regressor) Fit(xs [][]float64, ys []float64) error {
 	if len(xs) == 0 {
 		g.fitted = false
 		g.x = nil
+		g.y = nil
+		g.ty = nil
+		g.l = nil
+		g.alpha = nil
 		return nil
 	}
 	g.x = make([][]float64, len(xs))
 	for i, x := range xs {
 		g.x[i] = append([]float64(nil), x...)
 	}
+	g.y = append([]float64(nil), ys...)
 	g.scaler = stats.Scaler{}
 	g.scaler.Fit(ys)
 	ty := g.scaler.TransformAll(ys)
@@ -72,8 +96,61 @@ func (g *Regressor) Fit(xs [][]float64, ys []float64) error {
 	if err := g.factorize(ty); err != nil {
 		return err
 	}
+	g.ty = mathx.Vector(ty)
 	g.fitted = true
+	g.sinceRefactor = 0
 	return nil
+}
+
+// Observe conditions the GP on one more observation. When possible it
+// extends the existing Cholesky factor with an O(n²) incremental update
+// (mathx.CholAppend) instead of the O(n³) refactorization a full Fit
+// performs; every RefactorEvery updates — or whenever the incremental
+// extension loses positive definiteness — it falls back to a full Fit
+// for numerical hygiene and (with OptimizeHyper) a hyperparameter
+// refresh. Between refactorizations the kernel hyperparameters are
+// frozen, so the posterior matches a full refactorization at the same
+// hyperparameters exactly (up to rounding).
+func (g *Regressor) Observe(x []float64, y float64) error {
+	g.x = append(g.x, append([]float64(nil), x...))
+	g.y = append(g.y, y)
+
+	every := g.RefactorEvery
+	if every <= 0 {
+		every = defaultRefactorEvery
+	}
+	n := len(g.x)
+	if !g.fitted || n < bootstrapN || g.sinceRefactor+1 >= every {
+		return g.refit()
+	}
+
+	// The factor depends only on inputs and hyperparameters, so the
+	// target standardization can be refreshed at O(n) cost without
+	// touching it.
+	g.scaler = stats.Scaler{}
+	g.scaler.Fit(g.y)
+	ty := mathx.Vector(g.scaler.TransformAll(g.y))
+
+	k := make(mathx.Vector, n-1)
+	for i := 0; i < n-1; i++ {
+		k[i] = g.Kernel.Eval(x, g.x[i])
+	}
+	kappa := g.Kernel.Eval(x, x) + g.NoiseVar
+	l, err := mathx.CholAppend(g.l, k, kappa)
+	if err != nil {
+		return g.refit()
+	}
+	g.l = l
+	g.ty = ty
+	g.alpha = mathx.CholSolve(l, ty)
+	g.sinceRefactor++
+	return nil
+}
+
+// refit reruns the full Fit pipeline on the stored observations.
+func (g *Regressor) refit() error {
+	xs, ys := g.x, g.y
+	return g.Fit(xs, ys)
 }
 
 // factorize builds K + σ²I, its Cholesky factor, and alpha.
@@ -178,25 +255,5 @@ func (g *Regressor) LogMarginalLikelihood() float64 {
 	if !g.fitted {
 		return math.Inf(-1)
 	}
-	// Recover standardized targets from alpha: y = (K+σ²I)·alpha; using
-	// the factor: y = L·Lᵀ·alpha.
-	n := len(g.alpha)
-	ty := make([]float64, n)
-	// Compute Lᵀ·alpha then L·that.
-	lt := make(mathx.Vector, n)
-	for i := 0; i < n; i++ {
-		var sum float64
-		for j := i; j < n; j++ {
-			sum += g.l.At(j, i) * g.alpha[j]
-		}
-		lt[i] = sum
-	}
-	for i := 0; i < n; i++ {
-		var sum float64
-		for j := 0; j <= i; j++ {
-			sum += g.l.At(i, j) * lt[j]
-		}
-		ty[i] = sum
-	}
-	return g.logMarginalLikelihood(ty)
+	return g.logMarginalLikelihood(g.ty)
 }

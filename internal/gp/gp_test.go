@@ -223,3 +223,125 @@ func TestHyperOptImprovesFit(t *testing.T) {
 		t.Fatalf("hyper-opt kept a long length scale %v for wiggly data", k.LengthScale)
 	}
 }
+
+// observeFixture returns a noisy 2-D regression sample.
+func observeFixture(n int, rng *rand.Rand) (xs [][]float64, ys []float64) {
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(3*x[0])-x[1]*x[1]+0.05*rng.NormFloat64())
+	}
+	return xs, ys
+}
+
+// TestObserveMatchesFullRefactorization: the incremental rank-1
+// Cholesky path must reproduce a from-scratch factorization at the same
+// hyperparameters to tight tolerance.
+func TestObserveMatchesFullRefactorization(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	xs, ys := observeFixture(60, rng)
+
+	inc := NewRegressor()
+	inc.OptimizeHyper = false
+	inc.RefactorEvery = 1000 // stay on the incremental path throughout
+	if err := inc.Fit(xs[:5], ys[:5]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < len(xs); i++ {
+		if err := inc.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+
+	full := NewRegressor()
+	full.OptimizeHyper = false
+	if err := full.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		m1, s1 := inc.Predict(q)
+		m2, s2 := full.Predict(q)
+		if math.Abs(m1-m2) > 1e-8 || math.Abs(s1-s2) > 1e-8 {
+			t.Fatalf("posterior diverged at %v: mean %g vs %g, std %g vs %g", q, m1, m2, s1, s2)
+		}
+	}
+	if lml1, lml2 := inc.LogMarginalLikelihood(), full.LogMarginalLikelihood(); math.Abs(lml1-lml2) > 1e-8 {
+		t.Fatalf("LML diverged: %g vs %g", lml1, lml2)
+	}
+}
+
+// TestObservePeriodicRefactorization: with a small RefactorEvery the
+// regressor interleaves incremental and full updates and still matches
+// the from-scratch posterior (hyperparameters fixed).
+func TestObservePeriodicRefactorization(t *testing.T) {
+	rng := mathx.NewRNG(12)
+	xs, ys := observeFixture(40, rng)
+
+	inc := NewRegressor()
+	inc.OptimizeHyper = false
+	inc.RefactorEvery = 4
+	for i := range xs {
+		if err := inc.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+
+	full := NewRegressor()
+	full.OptimizeHyper = false
+	if err := full.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.6}
+	m1, s1 := inc.Predict(q)
+	m2, s2 := full.Predict(q)
+	if math.Abs(m1-m2) > 1e-8 || math.Abs(s1-s2) > 1e-8 {
+		t.Fatalf("posterior diverged: mean %g vs %g, std %g vs %g", m1, m2, s1, s2)
+	}
+}
+
+// TestObserveFromEmpty: Observe must bootstrap an unfitted regressor.
+func TestObserveFromEmpty(t *testing.T) {
+	g := NewRegressor()
+	g.OptimizeHyper = false
+	rng := mathx.NewRNG(13)
+	xs, ys := observeFixture(10, rng)
+	for i := range xs {
+		if err := g.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if g.N() != 10 || !g.Fitted() {
+		t.Fatalf("n = %d fitted = %v", g.N(), g.Fitted())
+	}
+	m, _ := g.Predict(xs[3])
+	if math.Abs(m-ys[3]) > 0.2 {
+		t.Fatalf("poor interpolation after incremental fits: %g vs %g", m, ys[3])
+	}
+}
+
+// TestObserveWithHyperTuning: the default configuration (hyperparameter
+// search on) must keep the model healthy across many Observe calls.
+func TestObserveWithHyperTuning(t *testing.T) {
+	g := NewRegressor()
+	g.RefactorEvery = 8
+	rng := mathx.NewRNG(14)
+	xs, ys := observeFixture(30, rng)
+	for i := range xs {
+		if err := g.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if !g.Fitted() {
+		t.Fatal("not fitted")
+	}
+	var se float64
+	for i := range xs {
+		m, _ := g.Predict(xs[i])
+		se += (m - ys[i]) * (m - ys[i])
+	}
+	if rmse := math.Sqrt(se / float64(len(xs))); rmse > 0.15 {
+		t.Fatalf("rmse %g too high after incremental conditioning", rmse)
+	}
+}

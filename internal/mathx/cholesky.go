@@ -57,6 +57,38 @@ func CholeskyJitter(a *Matrix, startJitter float64) (*Matrix, float64, error) {
 	return nil, 0, ErrNotPositiveDefinite
 }
 
+// CholAppend returns a new factor extending L by one observation: given
+// the factor L of an n×n matrix A (left untouched), the cross-covariance
+// vector k and the new diagonal entry kappa, it returns the
+// (n+1)×(n+1) factor of
+//
+//	⎡ A   k     ⎤
+//	⎣ kᵀ  kappa ⎦
+//
+// in O(n²) — the incremental alternative to an O(n³) refactorization when
+// observations arrive one at a time. It fails with ErrNotPositiveDefinite
+// when the extended matrix is not (numerically) positive definite, in
+// which case the caller should fall back to a full factorization with
+// jitter.
+func CholAppend(l *Matrix, k Vector, kappa float64) (*Matrix, error) {
+	n := l.Rows
+	mustSameLen(n, len(k))
+	// New off-diagonal row: solve L·l₁₂ = k.
+	l12 := SolveLower(l, k)
+	// New diagonal entry: l₂₂² = kappa − l₁₂·l₁₂.
+	d := kappa - l12.Dot(l12)
+	if d <= 0 || math.IsNaN(d) {
+		return nil, ErrNotPositiveDefinite
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(n+1):i*(n+1)+n], l.Data[i*n:(i+1)*n])
+	}
+	copy(out.Data[n*(n+1):n*(n+1)+n], l12)
+	out.Set(n, n, math.Sqrt(d))
+	return out, nil
+}
+
 // SolveLower solves L·x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b Vector) Vector {
 	n := l.Rows

@@ -163,3 +163,62 @@ func TestMatrixOps(t *testing.T) {
 		t.Fatal("Clone aliases source")
 	}
 }
+
+func TestCholAppendMatchesFullFactorization(t *testing.T) {
+	rng := NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		a := randomSPD(n, rng)
+		// Factor the leading 2×2 block, then grow one row/column at a
+		// time and compare against factoring the full leading block.
+		lead := func(m int) *Matrix {
+			out := NewMatrix(m, m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					out.Set(i, j, a.At(i, j))
+				}
+			}
+			return out
+		}
+		l, err := Cholesky(lead(2))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for m := 3; m <= n; m++ {
+			k := make(Vector, m-1)
+			for i := 0; i < m-1; i++ {
+				k[i] = a.At(m-1, i)
+			}
+			l, err = CholAppend(l, k, a.At(m-1, m-1))
+			if err != nil {
+				t.Fatalf("trial %d append to %d: %v", trial, m, err)
+			}
+			full, err := Cholesky(lead(m))
+			if err != nil {
+				t.Fatalf("trial %d full %d: %v", trial, m, err)
+			}
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					if d := math.Abs(l.At(i, j) - full.At(i, j)); d > 1e-10 {
+						t.Fatalf("trial %d size %d: L(%d,%d) differs by %g", trial, m, i, j, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCholAppendRejectsIndefiniteExtension(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extending with a cross-covariance too large for the new diagonal
+	// makes the Schur complement negative.
+	if _, err := CholAppend(l, Vector{2, 0}, 1); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite for indefinite extension")
+	}
+}

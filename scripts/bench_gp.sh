@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench_gp.sh — run the GP hot-path benchmarks and emit a JSON snapshot
+# seeding the performance trajectory across PRs.
+#
+#	scripts/bench_gp.sh                 # writes BENCH_1.json
+#	scripts/bench_gp.sh out.json        # custom output path
+#	BENCHTIME=1x scripts/bench_gp.sh    # CI smoke budget
+#
+# The snapshot records ns/op for GP conditioning (full refit — the
+# seed's only path — and the incremental rank-1 Cholesky extension),
+# posterior prediction, and one simulator episode, plus the speedup of
+# incremental conditioning over refitting from scratch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+benchtime="${BENCHTIME:-10x}"
+pattern='^(BenchmarkGPFit|BenchmarkGPPredict|BenchmarkGPObserveIncremental|BenchmarkGPObserveFullRefit|BenchmarkSimEpisode)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"gp-hot-paths\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}%s\n", \
+			name, iters[name], ns[name], (i < n - 1 ? "," : "")
+	}
+	printf "  ]"
+	if (ns["GPObserveFullRefit"] > 0 && ns["GPObserveIncremental"] > 0)
+		printf ",\n  \"observe_speedup\": %.2f", \
+			ns["GPObserveFullRefit"] / ns["GPObserveIncremental"]
+	printf "\n}\n"
+}' > "$out"
+
+echo "wrote $out"
