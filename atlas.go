@@ -49,7 +49,9 @@ import (
 	"github.com/atlas-slicing/atlas/internal/baselines"
 	"github.com/atlas-slicing/atlas/internal/core"
 	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/scenarios"
 	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 )
 
@@ -76,6 +78,39 @@ type (
 	OnlinePolicy = slicing.OnlinePolicy
 	// Regret accumulates the paper's online regret metrics.
 	Regret = slicing.Regret
+)
+
+// Service-class layer (see internal/slicing and internal/scenarios).
+type (
+	// ServiceClass bundles a named application profile, QoE model, SLA,
+	// and traffic model — one tenant template.
+	ServiceClass = slicing.ServiceClass
+	// AppProfile describes an application workload (frame sizes, result
+	// sizes, loading behavior, compute demand).
+	AppProfile = app.Profile
+	// QoEModel judges an episode trace, returning a QoE in [0, 1].
+	QoEModel = slicing.QoEModel
+	// AvailabilityQoE is the paper's latency-availability QoE.
+	AvailabilityQoE = slicing.AvailabilityQoE
+	// PercentileDeadlineQoE is the URLLC-style tail-deadline QoE.
+	PercentileDeadlineQoE = slicing.PercentileDeadlineQoE
+	// ThroughputFloorQoE is the eMBB-style goodput-floor QoE.
+	ThroughputFloorQoE = slicing.ThroughputFloorQoE
+	// TrafficModel shapes a slice's per-interval demand.
+	TrafficModel = slicing.TrafficModel
+	// ConstantTraffic is the paper's fixed-demand model.
+	ConstantTraffic = slicing.ConstantTraffic
+	// DiurnalTraffic swings demand sinusoidally over a period.
+	DiurnalTraffic = slicing.DiurnalTraffic
+	// BurstyTraffic draws Poisson demand per interval.
+	BurstyTraffic = slicing.BurstyTraffic
+	// ClassEnv is an environment that runs class-specific episodes.
+	ClassEnv = slicing.ClassEnv
+	// Scenario is a named multi-tenant workload from the catalog.
+	Scenario = scenarios.Scenario
+	// ClassMetrics aggregates one service class over an orchestrated
+	// run.
+	ClassMetrics = core.ClassMetrics
 )
 
 // The three stages (see internal/core).
@@ -184,4 +219,18 @@ var (
 	FindOracle = baselines.FindOracle
 	// RunOnline drives any OnlinePolicy against an environment.
 	RunOnline = baselines.RunOnline
+
+	// DefaultServiceClass returns the paper's video-analytics class.
+	DefaultServiceClass = slicing.DefaultServiceClass
+	// EpisodeFor runs one episode under a service class when supported.
+	EpisodeFor = slicing.EpisodeFor
+	// GetScenario looks a scenario up in the catalog by name.
+	GetScenario = scenarios.Get
+	// ScenarioNames lists the catalog's scenario names.
+	ScenarioNames = scenarios.Names
+	// Scenarios returns every cataloged scenario.
+	Scenarios = scenarios.All
+	// ServiceClasses returns the distinct service classes across the
+	// catalog.
+	ServiceClasses = scenarios.Classes
 )

@@ -87,6 +87,23 @@ func BenchmarkSimEpisode(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioEpisode measures one configuration interval per
+// cataloged service class — the per-class episode throughput the
+// scenario bench script snapshots into BENCH_2.json.
+func BenchmarkScenarioEpisode(b *testing.B) {
+	sim := atlas.NewSimulator()
+	cfg := atlas.FullConfig()
+	for _, class := range atlas.ServiceClasses() {
+		class := class
+		b.Run(class.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim.EpisodeClass(class, cfg, class.Traffic, int64(i))
+			}
+		})
+	}
+}
+
 // BenchmarkRealEpisode measures the real-network surrogate (fading,
 // bursts and jitter enabled).
 func BenchmarkRealEpisode(b *testing.B) {

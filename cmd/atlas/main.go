@@ -12,6 +12,14 @@
 //	atlas -slices 8               # 8 tenants, GOMAXPROCS workers
 //	atlas -slices 8 -workers 2    # same tenants, bounded concurrency
 //
+// With -scenario <name> the tenants come from the scenario catalog
+// instead of N clones of the prototype service: heterogeneous service
+// classes with their own workloads, QoE models, and (possibly
+// time-varying) traffic models:
+//
+//	atlas -scenario mixed -slices 4   # video + teleop + IoT + eMBB
+//	atlas -scenario urllc -slices 2   # deadline-percentile tenants
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -20,11 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/atlas-slicing/atlas/internal/baselines"
 	"github.com/atlas-slicing/atlas/internal/core"
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/scenarios"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 )
@@ -43,23 +53,63 @@ func main() {
 		alpha        = flag.Float64("alpha", 1, "weighted-discrepancy alpha")
 		slices       = flag.Int("slices", 1, "number of concurrent tenant slices (>1 enables the orchestrator)")
 		workers      = flag.Int("workers", 0, "orchestrator worker bound (0 = GOMAXPROCS)")
+		scenario     = flag.String("scenario", "", "named scenario from the catalog (heterogeneous service classes); empty = prototype service")
 	)
 	flag.Parse()
 
-	sla := slicing.SLA{ThresholdMs: *threshold, Availability: *availability}
-	if *traffic < 1 || *traffic > core.MaxTraffic {
-		fmt.Fprintln(os.Stderr, "atlas: traffic must be in [1, 4]")
+	// Validate every flag up front with a clear error instead of
+	// silently clamping deep in the stack.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "atlas: "+format+"\n", args...)
 		os.Exit(2)
+	}
+	if *slices < 1 {
+		fail("-slices must be at least 1, got %d", *slices)
+	}
+	if *traffic < 1 || *traffic > core.MaxTraffic {
+		fail("-traffic must be in [1, %d], got %d", core.MaxTraffic, *traffic)
+	}
+	if *workers < 0 {
+		fail("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *pool < 2 {
+		fail("-pool must be at least 2, got %d", *pool)
 	}
 	if *onIters < 1 {
-		fmt.Fprintln(os.Stderr, "atlas: online-iters must be at least 1")
-		os.Exit(2)
+		fail("-online-iters must be at least 1, got %d", *onIters)
+	}
+	if *s1Iters < 1 || *s2Iters < 1 {
+		fail("-stage1-iters and -stage2-iters must be at least 1, got %d and %d", *s1Iters, *s2Iters)
+	}
+	if *batch < 1 {
+		fail("-batch must be at least 1, got %d", *batch)
+	}
+	if *threshold <= 0 {
+		fail("-threshold must be positive milliseconds, got %v", *threshold)
+	}
+	if *availability <= 0 || *availability > 1 {
+		fail("-availability must be in (0, 1], got %v", *availability)
+	}
+	var scen scenarios.Scenario
+	if *scenario != "" {
+		var ok bool
+		scen, ok = scenarios.Get(*scenario)
+		if !ok {
+			fail("unknown scenario %q; valid scenarios: %s", *scenario, strings.Join(scenarios.Names(), ", "))
+		}
 	}
 
+	sla := slicing.SLA{ThresholdMs: *threshold, Availability: *availability}
 	real := realnet.New()
 	sim := simnet.NewDefault()
 	space := slicing.DefaultConfigSpace()
 	seeds := mathx.Split(*seed, 8)
+
+	if *scenario != "" {
+		runScenario(real, sim, scen, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha,
+			overrides{traffic: *traffic, threshold: *threshold, availability: *availability})
+		return
+	}
 
 	if *slices > 1 {
 		// Heterogeneous thresholds by default; an explicit -threshold
@@ -111,6 +161,46 @@ func main() {
 	fmt.Printf("avg QoE regret:       %.3f\n", run.Regret.AvgQoERegret())
 }
 
+// overrides carries the per-tenant flags a user set explicitly on top
+// of a scenario. Scenario classes carry their own nominal demand and
+// SLA; an explicitly passed -traffic / -threshold / -availability
+// overrides them for every tenant instead of being silently ignored.
+type overrides struct {
+	traffic      int
+	threshold    float64
+	availability float64
+}
+
+// explicit zeroes the fields whose flags the user did not pass.
+func (o overrides) explicit() overrides {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["traffic"] {
+		o.traffic = 0
+	}
+	if !set["threshold"] {
+		o.threshold = 0
+	}
+	if !set["availability"] {
+		o.availability = 0
+	}
+	return o
+}
+
+// apply folds the explicit overrides into one scenario spec. The
+// orchestrator rebinds the class's QoE model to an overridden SLA.
+func (o overrides) apply(spec *core.SliceSpec) {
+	if o.traffic > 0 {
+		spec.Traffic = o.traffic
+	}
+	if o.threshold > 0 {
+		spec.SLA.ThresholdMs = o.threshold
+	}
+	if o.availability > 0 {
+		spec.SLA.Availability = o.availability
+	}
+}
+
 // newSharedCalibrator collects fresh real-network measurements and
 // builds the stage-1 calibrator both the single- and multi-slice paths
 // share.
@@ -122,9 +212,62 @@ func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed in
 	return core.NewCalibrator(sim, dr, copts)
 }
 
-// runMultiSlice is the orchestrated path: one shared stage-1
-// calibration, then nSlices per-tenant stage-2/stage-3 pipelines
-// running concurrently.
+// runScenario is the catalog-driven path: one shared stage-1
+// calibration, then a heterogeneous fleet expanded from the scenario's
+// service classes, with per-slice and per-class reporting.
+func runScenario(real *realnet.Network, sim *simnet.Simulator, scen scenarios.Scenario, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, over overrides) {
+	over = over.explicit()
+	seeds := mathx.Split(seed, 4)
+
+	fmt.Printf("== scenario %q: %s ==\n", scen.Name, scen.Description)
+	fmt.Printf("== stage 1 (shared): learning-based simulator ==\n")
+	cres := newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, 1).Run(seeds[1])
+	fmt.Printf("calibrated discrepancy %.3f, parameter distance %.3f\n\n", cres.BestKL, cres.BestDistance)
+	aug := sim.WithParams(cres.BestParams)
+
+	specs := scen.Specs(nSlices)
+	for i := range specs {
+		specs[i].Train = true
+		over.apply(&specs[i])
+	}
+
+	opts := core.DefaultOrchestratorOptions()
+	opts.Workers = workers
+	opts.Intervals = onIters
+	opts.Seed = seeds[2].Int63()
+	opts.Online.Pool = pool
+	opts.Offline.Iters, opts.Offline.Batch, opts.Offline.Pool = s2Iters, batch, pool
+	opts.Offline.Explore = s2Iters / 5
+
+	fmt.Printf("== stages 2+3: %d slices over %d classes, %d intervals each ==\n",
+		nSlices, len(scen.Classes), onIters)
+	res := core.NewOrchestrator(real, aug, specs, opts).Run()
+	tail := max(1, onIters/5)
+	for _, sr := range res.Slices {
+		if sr.Err != nil {
+			fmt.Printf("%-20s error: %v\n", sr.Spec.ID, sr.Err)
+			continue
+		}
+		class := sr.Spec.Class
+		fmt.Printf("%-20s qoe=%s traffic=%s(%d): usage %.1f%% QoE %.3f (target %.2f, tail %d)\n",
+			sr.Spec.ID, class.QoEModelName(), class.TrafficModelName(), sr.Spec.Traffic,
+			100*baselines.MeanTail(sr.Usages, tail), baselines.MeanTail(sr.QoEs, tail),
+			sr.Spec.SLA.Availability, tail)
+	}
+
+	fmt.Println("\nper-class epoch metrics:")
+	for _, cm := range res.Classes {
+		fmt.Printf("%-20s slices=%d mean usage %.1f%% mean QoE %.3f violations %d\n",
+			cm.Class, cm.Slices, 100*cm.MeanUsage, cm.MeanQoE, cm.Violations)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	fmt.Printf("\nfinal epoch: mean usage %.1f%% mean QoE %.3f, %d violations across run\n",
+		100*last.MeanUsage, last.MeanQoE, res.TotalViolations())
+}
+
+// runMultiSlice is the legacy orchestrated path (no scenario): one
+// shared stage-1 calibration, then nSlices per-tenant stage-2/stage-3
+// pipelines running concurrently.
 func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, traffic int, thresholds []float64, availability float64) {
 	seeds := mathx.Split(seed, 4)
 

@@ -1,17 +1,20 @@
-// Multislice demonstrates the concurrent multi-slice orchestrator: one
-// individualized Atlas instance per admitted slice, each with its own
-// SLA, traffic profile, and learning state, sharing nothing but the
-// physical infrastructure. Three heterogeneous tenants run side by
-// side:
+// Multislice demonstrates the service-class layer on the concurrent
+// multi-slice orchestrator: a mixed fleet expanded from the scenario
+// catalog, where every tenant brings its own workload, QoE model, SLA,
+// and traffic model —
 //
-//   - an AR slice (tight 300 ms threshold, one user),
-//   - a video-analytics slice (400 ms, two users),
-//   - a bulk-telemetry slice (relaxed 500 ms, four users).
+//   - video analytics (the paper's prototype) under a diurnal demand
+//     swing, judged by latency availability;
+//   - URLLC-style teleoperation with small frames and light compute,
+//     judged by the p95 latency against a hard deadline;
+//   - IoT telemetry arriving in Poisson bursts;
+//   - eMBB bulk streaming judged by delivered goodput against a floor.
 //
 // Stage 1 is shared — the simulator models the infrastructure, not a
-// tenant — while stages 2 and 3 run per tenant, scheduled concurrently
-// over a bounded worker pool. Per-slice results are deterministic under
-// a fixed seed at any worker count.
+// tenant — while stages 2 and 3 run per tenant over the class's own
+// application profile, scheduled concurrently over a bounded worker
+// pool. Per-slice results are deterministic under a fixed seed at any
+// worker count.
 package main
 
 import (
@@ -35,16 +38,16 @@ func main() {
 	aug := sim.WithParams(calib.BestParams)
 	fmt.Printf("shared stage 1: discrepancy %.3f at distance %.3f\n\n", calib.BestKL, calib.BestDistance)
 
-	// Stages 2 and 3 are per-tenant: the orchestrator trains each
-	// slice's offline policy on admission and runs every online loop
-	// concurrently over the shared environment pools.
-	specs := []atlas.SliceSpec{
-		{ID: "ar-headset", SLA: atlas.SLA{ThresholdMs: 300, Availability: 0.9}, Traffic: 1, Train: true},
-		{ID: "video-analytics", SLA: atlas.SLA{ThresholdMs: 400, Availability: 0.9}, Traffic: 2, Train: true},
-		{ID: "bulk-telemetry", SLA: atlas.SLA{ThresholdMs: 500, Availability: 0.9}, Traffic: 4, Train: true},
+	// Stages 2 and 3 are per-tenant: the "mixed" scenario expands to a
+	// heterogeneous fleet (one slice per class), each trained on
+	// admission against its own workload and QoE model.
+	scen, _ := atlas.GetScenario("mixed")
+	specs := scen.Specs(4)
+	for i := range specs {
+		specs[i].Train = true
 	}
 
-	const intervals = 30
+	const intervals = 24
 	opts := atlas.DefaultOrchestratorOptions()
 	opts.Intervals = intervals
 	opts.Seed = 70
@@ -55,14 +58,25 @@ func main() {
 
 	tail := intervals / 4
 	for _, sr := range res.Slices {
+		if sr.Err != nil {
+			fmt.Printf("%-20s error: %v\n", sr.Spec.ID, sr.Err)
+			continue
+		}
 		var usage, qoe float64
 		for j := intervals - tail; j < intervals; j++ {
 			usage += sr.Usages[j]
 			qoe += sr.QoEs[j]
 		}
-		fmt.Printf("%-16s traffic=%d Y=%.0fms: offline %.1f%% usage -> online %.1f%% usage, QoE %.3f (target %.1f)\n",
-			sr.Spec.ID, sr.Spec.Traffic, sr.Spec.SLA.ThresholdMs,
-			100*sr.Offline.BestUsage, 100*usage/float64(tail), qoe/float64(tail), sr.Spec.SLA.Availability)
+		class := sr.Spec.Class
+		fmt.Printf("%-20s qoe=%-19s traffic=%-14s usage %.1f%% QoE %.3f (target %.2f)\n",
+			sr.Spec.ID, class.QoEModelName(), fmt.Sprintf("%s(%d)", class.TrafficModelName(), sr.Spec.Traffic),
+			100*usage/float64(tail), qoe/float64(tail), sr.Spec.SLA.Availability)
+	}
+
+	fmt.Println("\nper-class aggregates:")
+	for _, cm := range res.Classes {
+		fmt.Printf("%-20s mean usage %.1f%% mean QoE %.3f violations %d\n",
+			cm.Class, 100*cm.MeanUsage, cm.MeanQoE, cm.Violations)
 	}
 	fmt.Printf("\nQoE violations across the run: %d\n", res.TotalViolations())
 }

@@ -46,7 +46,7 @@ func NewDirectBO(space slicing.ConfigSpace, sla slicing.SLA, traffic int) *Direc
 func (d *DirectBO) Name() string { return "Baseline" }
 
 func (d *DirectBO) encode(cfg slicing.Config) []float64 {
-	return core.EncodeInput(d.Space, d.Traffic, d.SLA, cfg)
+	return core.EncodeInput(d.Space, d.Traffic, d.SLA, nil, cfg)
 }
 
 // Next implements slicing.OnlinePolicy.

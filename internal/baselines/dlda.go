@@ -50,7 +50,7 @@ func NewDLDA(space slicing.ConfigSpace, sla slicing.SLA, traffic int, rng *rand.
 func (d *DLDA) Name() string { return "DLDA" }
 
 func (d *DLDA) encode(cfg slicing.Config) []float64 {
-	return core.EncodeInput(d.Space, d.Traffic, d.SLA, cfg)
+	return core.EncodeInput(d.Space, d.Traffic, d.SLA, nil, cfg)
 }
 
 // GridConfigs enumerates the offline dataset's configurations: the

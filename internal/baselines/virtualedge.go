@@ -47,7 +47,7 @@ func NewVirtualEdge(space slicing.ConfigSpace, sla slicing.SLA, traffic int) *Vi
 func (v *VirtualEdge) Name() string { return "VirtualEdge" }
 
 func (v *VirtualEdge) encode(u []float64) []float64 {
-	return core.EncodeInput(v.Space, v.Traffic, v.SLA, v.Space.Denormalize(u))
+	return core.EncodeInput(v.Space, v.Traffic, v.SLA, nil, v.Space.Denormalize(u))
 }
 
 // predict returns the GP's QoE estimate at normalized point u.
@@ -118,7 +118,7 @@ func (v *VirtualEdge) Next(iter int, rng *rand.Rand) slicing.Config {
 
 // Observe implements slicing.OnlinePolicy.
 func (v *VirtualEdge) Observe(_ int, cfg slicing.Config, _ float64, qoe float64) {
-	v.xs = append(v.xs, core.EncodeInput(v.Space, v.Traffic, v.SLA, cfg))
+	v.xs = append(v.xs, core.EncodeInput(v.Space, v.Traffic, v.SLA, nil, cfg))
 	v.ys = append(v.ys, qoe)
 	_ = v.model.Fit(v.xs, v.ys)
 }

@@ -29,7 +29,7 @@ func quickOffOpts() OfflineOptions {
 
 func TestEncodeInputShape(t *testing.T) {
 	space := slicing.DefaultConfigSpace()
-	x := EncodeInput(space, 2, slicing.DefaultSLA(), FullConfig())
+	x := EncodeInput(space, 2, slicing.DefaultSLA(), nil, FullConfig())
 	if len(x) != PolicyInputDim {
 		t.Fatalf("dim = %d want %d", len(x), PolicyInputDim)
 	}
@@ -39,10 +39,24 @@ func TestEncodeInputShape(t *testing.T) {
 	if x[1] != 0.3 { // 300 ms / 1000
 		t.Fatalf("threshold feature = %v", x[1])
 	}
-	for _, v := range x[2:] {
+	if x[2] < 0 || x[2] >= 1 {
+		t.Fatalf("class feature = %v outside [0, 1)", x[2])
+	}
+	for _, v := range x[3:] {
 		if v < 0 || v > 1 {
 			t.Fatalf("config features not normalized: %v", x)
 		}
+	}
+	// A nil class encodes like the default latency-availability class,
+	// and a distinct QoE model moves the fingerprint.
+	def := slicing.DefaultServiceClass()
+	if y := EncodeInput(space, 2, slicing.DefaultSLA(), &def, FullConfig()); y[2] != x[2] {
+		t.Fatalf("default class fingerprint %v differs from nil %v", y[2], x[2])
+	}
+	urllc := def
+	urllc.QoE = slicing.PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 150}
+	if y := EncodeInput(space, 2, slicing.DefaultSLA(), &urllc, FullConfig()); y[2] == x[2] {
+		t.Fatal("distinct QoE models share a fingerprint")
 	}
 }
 

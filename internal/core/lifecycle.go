@@ -46,14 +46,22 @@ type SliceInstance struct {
 	ID      string
 	SLA     slicing.SLA
 	Traffic int
+	// Class is the tenant's service class; nil keeps the prototype
+	// workload under the SLA's latency-availability QoE.
+	Class *slicing.ServiceClass
 
 	Offline *OfflineResult
 	Learner *OnlineLearner
 	Domains *domains.Orchestrator
 
-	Iter   int
-	Usages []float64
-	QoEs   []float64
+	Iter int
+	// Traffics records the per-interval demand of the class's traffic
+	// model.
+	Traffics []int
+	Usages   []float64
+	QoEs     []float64
+
+	trafficSeed int64
 }
 
 // NewSystem builds an orchestrator over a real network and a simulator.
@@ -112,15 +120,36 @@ func (s *System) Augmented() *simnet.Simulator {
 	return s.Sim.WithParams(s.params)
 }
 
-// AdmitSlice onboards a tenant: offline training in the shared augmented
-// simulator, then an online learner and a domain-manager set of its own.
+// AdmitSlice onboards a tenant under the prototype service behavior:
+// offline training in the shared augmented simulator, then an online
+// learner and a domain-manager set of its own.
 func (s *System) AdmitSlice(id string, sla slicing.SLA, traffic int) (*SliceInstance, error) {
+	return s.admit(id, nil, sla, traffic)
+}
+
+// AdmitSliceClass onboards a tenant of a specific service class: the
+// class's application profile drives offline training and every episode,
+// its QoE model judges them, and its traffic model shapes the
+// per-interval demand. A zero traffic defaults to the class's nominal
+// demand.
+func (s *System) AdmitSliceClass(id string, class slicing.ServiceClass, traffic int) (*SliceInstance, error) {
+	if traffic == 0 {
+		traffic = class.Traffic
+	}
+	sla := class.SLA
+	return s.admit(id, &class, sla, traffic)
+}
+
+func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, traffic int) (*SliceInstance, error) {
 	s.mu.Lock()
 	if _, dup := s.slices[id]; dup {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("core: slice %q already admitted", id)
 	}
 	s.mu.Unlock()
+	if traffic < 1 || traffic > MaxTraffic {
+		return nil, fmt.Errorf("core: slice %q traffic %d outside [1, %d]", id, traffic, MaxTraffic)
+	}
 
 	if !s.calib {
 		if _, err := s.Calibrate(); err != nil {
@@ -132,16 +161,19 @@ func (s *System) AdmitSlice(id string, sla slicing.SLA, traffic int) (*SliceInst
 	opts := s.OffOpts
 	opts.SLA = sla
 	opts.Traffic = traffic
+	opts.Class = class
 	off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.rng.Int63()))
 
 	lo := s.OnOpts
 	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.rng.Int63()))
+	learner.Class = class
 
 	inst := &SliceInstance{
-		ID: id, SLA: sla, Traffic: traffic,
-		Offline: off,
-		Learner: learner,
-		Domains: domains.NewOrchestrator(id),
+		ID: id, SLA: sla, Traffic: traffic, Class: class,
+		Offline:     off,
+		Learner:     learner,
+		Domains:     domains.NewOrchestrator(id),
+		trafficSeed: s.rng.Int63(),
 	}
 	s.mu.Lock()
 	s.slices[id] = inst
@@ -187,15 +219,21 @@ func (s *System) Step(id string) error {
 	if !ok {
 		return fmt.Errorf("core: slice %q not admitted", id)
 	}
+	traffic := inst.Traffic
+	if inst.Class != nil {
+		traffic = min(inst.Class.TrafficAt(inst.Iter, inst.Traffic, inst.trafficSeed), MaxTraffic)
+		inst.Learner.SetTraffic(traffic)
+	}
 	cfg := inst.Learner.Next(inst.Iter, s.rng)
 	if _, err := inst.Domains.Apply(s.Space.Clamp(cfg)); err != nil {
 		return fmt.Errorf("core: slice %q domain apply: %w", id, err)
 	}
-	tr := s.Real.Episode(cfg, inst.Traffic, s.rng.Int63())
+	tr := slicing.EpisodeFor(s.Real, inst.Class, cfg, traffic, s.rng.Int63())
 	usage := s.Space.Usage(cfg)
-	qoe := tr.QoE(inst.SLA)
+	qoe := slicing.EvalFor(inst.Class, inst.SLA, tr)
 	inst.Learner.Observe(inst.Iter, cfg, usage, qoe)
 	inst.Iter++
+	inst.Traffics = append(inst.Traffics, traffic)
 	inst.Usages = append(inst.Usages, usage)
 	inst.QoEs = append(inst.QoEs, qoe)
 	return nil
@@ -226,6 +264,7 @@ func (s *System) InfrastructureChanged(fineTuneIters int) error {
 		opts := s.OffOpts
 		opts.SLA = inst.SLA
 		opts.Traffic = inst.Traffic
+		opts.Class = inst.Class
 		if fineTuneIters > 0 {
 			opts.Iters = fineTuneIters
 			opts.Explore = fineTuneIters / 5

@@ -106,3 +106,55 @@ func TestCalibrateRequiresCollector(t *testing.T) {
 		t.Fatal("expected error for environment without online collection")
 	}
 }
+
+// TestSystemAdmitSliceClass: class-based admission threads the service
+// class into offline training, the learner, and per-interval stepping
+// (traffic model + class QoE).
+func TestSystemAdmitSliceClass(t *testing.T) {
+	s := quickSystem()
+	class := slicing.DefaultServiceClass()
+	class.Name = "diurnal-video"
+	class.Traffic = 2
+	class.TrafficModel = slicing.DiurnalTraffic{PeriodIntervals: 4, MinFactor: 0.25}
+	inst, err := s.AdmitSliceClass("dv", class, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Class == nil || inst.Traffic != 2 || inst.SLA != class.SLA {
+		t.Fatalf("class defaults not applied: %+v", inst)
+	}
+	if inst.Offline.Policy.Class == nil {
+		t.Fatal("offline policy not bound to the class")
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Step("dv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(inst.Traffics) != 4 {
+		t.Fatalf("traffics recorded %d want 4", len(inst.Traffics))
+	}
+	varied := false
+	for _, tr := range inst.Traffics {
+		if tr < 1 || tr > MaxTraffic {
+			t.Fatalf("traffic %d outside [1, %d]", tr, MaxTraffic)
+		}
+		if tr != inst.Traffics[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("diurnal demand never varied over a 4-interval period")
+	}
+	for _, q := range inst.QoEs {
+		if q < 0 || q > 1 {
+			t.Fatalf("QoE %v outside [0, 1]", q)
+		}
+	}
+	// Invalid traffic is rejected up front.
+	zero := class
+	zero.Traffic = 0
+	if _, err := s.AdmitSliceClass("bad", zero, -1); err == nil {
+		t.Fatal("negative traffic admitted")
+	}
+}

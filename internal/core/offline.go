@@ -12,20 +12,28 @@ import (
 )
 
 // PolicyInputDim is the input dimensionality of the QoE surrogate:
-// [traffic, latency threshold Y, six configuration dimensions], all
-// normalized (paper §5.2: "its inputs include the network state s_t,
-// threshold Y and network configuration a_t").
-const PolicyInputDim = 2 + slicing.ConfigDim
+// [traffic, latency threshold Y, service-class fingerprint, six
+// configuration dimensions], all normalized (paper §5.2: "its inputs
+// include the network state s_t, threshold Y and network configuration
+// a_t" — the class fingerprint extends the state so one surrogate can
+// tell heterogeneous service classes apart).
+const PolicyInputDim = 3 + slicing.ConfigDim
 
 // MaxTraffic normalizes the traffic state (the prototype emulates up to
 // four users).
 const MaxTraffic = 4
 
 // EncodeInput builds the surrogate input vector for a scenario and
-// configuration.
-func EncodeInput(space slicing.ConfigSpace, traffic int, sla slicing.SLA, cfg slicing.Config) []float64 {
+// configuration. traffic is the *current interval's* demand, so
+// time-varying traffic models surface in the encoding; a nil class
+// encodes the default latency-availability fingerprint.
+func EncodeInput(space slicing.ConfigSpace, traffic int, sla slicing.SLA, class *slicing.ServiceClass, cfg slicing.Config) []float64 {
+	var c slicing.ServiceClass
+	if class != nil {
+		c = *class
+	}
 	v := make([]float64, 0, PolicyInputDim)
-	v = append(v, float64(traffic)/MaxTraffic, sla.ThresholdMs/1000)
+	v = append(v, float64(traffic)/MaxTraffic, sla.ThresholdMs/1000, c.Feature())
 	v = append(v, space.Normalize(cfg)...)
 	return v
 }
@@ -39,12 +47,16 @@ type Policy struct {
 	SLA     slicing.SLA
 	Traffic int
 	Lambda  float64
+	// Class is the service class the policy was trained for; nil means
+	// the prototype video-analytics class under the SLA's
+	// latency-availability QoE.
+	Class *slicing.ServiceClass
 }
 
 // Encode builds the model input for a configuration under the policy's
 // scenario.
 func (p *Policy) Encode(cfg slicing.Config) []float64 {
-	return EncodeInput(p.Space, p.Traffic, p.SLA, cfg)
+	return EncodeInput(p.Space, p.Traffic, p.SLA, p.Class, cfg)
 }
 
 // PredictQoE returns the model's posterior mean and std of the simulator
@@ -110,6 +122,11 @@ type OfflineOptions struct {
 	Space   slicing.ConfigSpace
 	SLA     slicing.SLA
 	Traffic int
+	// Class selects the service class trained for: its application
+	// profile drives the simulator episodes and its QoE model judges
+	// them. Nil keeps the prototype workload under the SLA's
+	// latency-availability QoE.
+	Class *slicing.ServiceClass
 
 	Iters   int // total iterations (paper: 1000)
 	Explore int // initial pure exploration (paper: 100)
@@ -180,16 +197,24 @@ func NewOfflineTrainer(env slicing.Env, opts OfflineOptions) *OfflineTrainer {
 
 // MeasureQoE queries the environment for the QoE of cfg, averaging the
 // configured number of episodes. Seeds derive from the configuration so
-// parallel queries are deterministic.
+// parallel queries are deterministic. With a service class set, the
+// episodes run the class's workload and the class's QoE model judges
+// them.
 func (t *OfflineTrainer) MeasureQoE(cfg slicing.Config) float64 {
 	base := seedOf(cfg.Vector())
 	var sum float64
 	n := max(1, t.Opts.Episodes)
 	for e := 0; e < n; e++ {
-		tr := t.Env.Episode(cfg, t.Opts.Traffic, mathx.ChildSeed(base, e))
-		sum += tr.QoE(t.Opts.SLA)
+		tr := slicing.EpisodeFor(t.Env, t.Opts.Class, cfg, t.Opts.Traffic, mathx.ChildSeed(base, e))
+		sum += t.evalTrace(tr)
 	}
 	return sum / float64(n)
+}
+
+// evalTrace judges one episode trace under the configured service class
+// (falling back to the SLA's latency-availability QoE).
+func (t *OfflineTrainer) evalTrace(tr slicing.Trace) float64 {
+	return slicing.EvalFor(t.Opts.Class, t.Opts.SLA, tr)
 }
 
 // Run executes offline training and returns the trained policy.
@@ -197,7 +222,7 @@ func (t *OfflineTrainer) Run(rng *rand.Rand) *OfflineResult {
 	opts := t.Opts
 	space := opts.Space
 	model := bnn.New(PolicyInputDim, opts.BNN, mathx.NewRNG(rng.Int63()))
-	pol := &Policy{Model: model, Space: space, SLA: opts.SLA, Traffic: opts.Traffic}
+	pol := &Policy{Model: model, Space: space, SLA: opts.SLA, Traffic: opts.Traffic, Class: opts.Class}
 
 	var gpSur *bo.GPSurrogate
 	if opts.UseGP {
@@ -354,9 +379,9 @@ func (t *OfflineTrainer) selectBatch(it int, lambda float64, gpSur *bo.GPSurroga
 }
 
 func encodeFor(space slicing.ConfigSpace, opts OfflineOptions, cfg slicing.Config) []float64 {
-	return EncodeInput(space, opts.Traffic, opts.SLA, cfg)
+	return EncodeInput(space, opts.Traffic, opts.SLA, opts.Class, cfg)
 }
 
 func decodeConfig(space slicing.ConfigSpace, x []float64) slicing.Config {
-	return space.Denormalize(x[2:])
+	return space.Denormalize(x[PolicyInputDim-slicing.ConfigDim:])
 }

@@ -84,9 +84,15 @@ type OnlineLearner struct {
 	// Sim is the augmented simulator (stage-1 output). Nil disables
 	// simulator-side queries entirely.
 	Sim slicing.Env
+	// Class is the tenant's service class: its application profile
+	// drives simulator queries and its QoE model judges them. Nil falls
+	// back to the policy's class, then to the prototype workload under
+	// the SLA's latency-availability QoE.
+	Class *slicing.ServiceClass
 
-	lambda float64
-	rng    *rand.Rand
+	lambda     float64
+	rng        *rand.Rand
+	curTraffic int
 
 	// Residual learner state.
 	gpModel  *gp.Regressor
@@ -138,14 +144,39 @@ func (l *OnlineLearner) sla() slicing.SLA {
 }
 
 func (l *OnlineLearner) traffic() int {
+	if l.curTraffic > 0 {
+		return l.curTraffic
+	}
 	if l.Policy != nil {
 		return l.Policy.Traffic
 	}
 	return 1
 }
 
+// SetTraffic overrides the traffic level used for simulator queries and
+// model inputs — the per-interval demand of a time-varying traffic
+// model. Zero restores the policy default.
+func (l *OnlineLearner) SetTraffic(t int) { l.curTraffic = t }
+
+// class resolves the effective service class (learner override first,
+// then the policy's training class).
+func (l *OnlineLearner) class() *slicing.ServiceClass {
+	if l.Class != nil {
+		return l.Class
+	}
+	if l.Policy != nil {
+		return l.Policy.Class
+	}
+	return nil
+}
+
+// evalTrace judges one episode trace under the effective service class.
+func (l *OnlineLearner) evalTrace(tr slicing.Trace) float64 {
+	return slicing.EvalFor(l.class(), l.sla(), tr)
+}
+
 func (l *OnlineLearner) encode(cfg slicing.Config) []float64 {
-	return EncodeInput(l.space(), l.traffic(), l.sla(), cfg)
+	return EncodeInput(l.space(), l.traffic(), l.sla(), l.class(), cfg)
 }
 
 // qs returns the offline model's QoE posterior (mean, std) for cfg, or
@@ -189,8 +220,8 @@ func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
 	n := max(1, l.Opts.Episodes)
 	var sum float64
 	for e := 0; e < n; e++ {
-		tr := l.Sim.Episode(cfg, l.traffic(), mathx.ChildSeed(base, e))
-		sum += tr.QoE(l.sla())
+		tr := slicing.EpisodeFor(l.Sim, l.class(), cfg, l.traffic(), mathx.ChildSeed(base, e))
+		sum += l.evalTrace(tr)
 	}
 	return sum / float64(n)
 }

@@ -71,6 +71,12 @@ type SliceSpec struct {
 	SLA     slicing.SLA
 	Traffic int
 
+	// Class is the tenant's service class: application workload, QoE
+	// model, and traffic model. Nil keeps the prototype video-analytics
+	// behavior (constant traffic, latency-availability QoE). When the
+	// spec's SLA or Traffic are zero they default from the class.
+	Class *slicing.ServiceClass
+
 	// Policy optionally supplies a pre-trained stage-2 artifact. When
 	// nil, Train decides between on-admission offline training and a
 	// cold start ("No stage 2").
@@ -132,47 +138,18 @@ type EpochMetrics struct {
 	QoERegret   float64
 }
 
-// epochAgg collects per-epoch metrics from concurrent slice loops.
-type epochAgg struct {
-	mu     sync.Mutex
-	epochs []EpochMetrics
-}
-
-func newEpochAgg(intervals int) *epochAgg {
-	a := &epochAgg{epochs: make([]EpochMetrics, intervals)}
-	for i := range a.epochs {
-		a.epochs[i].Epoch = i
-	}
-	return a
-}
-
-// observe folds one slice-interval outcome into the aggregate.
-func (a *epochAgg) observe(epoch int, usage, qoe float64, violated bool, uReg, qReg float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	e := &a.epochs[epoch]
-	e.Slices++
-	e.MeanUsage += usage
-	e.MeanQoE += qoe
-	if violated {
-		e.Violations++
-	}
-	e.UsageRegret += uReg
-	e.QoERegret += qReg
-}
-
-// snapshot finalizes the means and returns the epochs.
-func (a *epochAgg) snapshot() []EpochMetrics {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := append([]EpochMetrics(nil), a.epochs...)
-	for i := range out {
-		if out[i].Slices > 0 {
-			out[i].MeanUsage /= float64(out[i].Slices)
-			out[i].MeanQoE /= float64(out[i].Slices)
-		}
-	}
-	return out
+// ClassMetrics aggregates one service class's slices over the whole run.
+type ClassMetrics struct {
+	// Class is the service-class name ("default" for class-less specs).
+	Class  string
+	Slices int
+	// Epochs are the per-interval aggregates restricted to this class.
+	Epochs []EpochMetrics
+	// MeanUsage and MeanQoE average over every (slice, interval) of the
+	// class; Violations counts its SLA misses across the run.
+	MeanUsage  float64
+	MeanQoE    float64
+	Violations int
 }
 
 // SliceRun is one tenant's completed trajectory.
@@ -182,16 +159,22 @@ type SliceRun struct {
 	// Offline holds the on-admission training artifact for Train specs.
 	Offline *OfflineResult
 	Configs []slicing.Config
-	Usages  []float64
-	QoEs    []float64
-	Regret  slicing.Regret
-	Err     error
+	// Traffics records the per-interval demand the traffic model
+	// produced.
+	Traffics []int
+	Usages   []float64
+	QoEs     []float64
+	Regret   slicing.Regret
+	Err      error
 }
 
 // OrchestratorResult is the outcome of one orchestrated run.
 type OrchestratorResult struct {
 	Slices []SliceRun
 	Epochs []EpochMetrics
+	// Classes are the per-service-class aggregates, ordered by first
+	// appearance in the spec list (deterministic at any worker count).
+	Classes []ClassMetrics
 }
 
 // TotalViolations sums QoE violations across all epochs.
@@ -201,6 +184,97 @@ func (r *OrchestratorResult) TotalViolations() int {
 		n += e.Violations
 	}
 	return n
+}
+
+// ClassByName returns the aggregate for one service class.
+func (r *OrchestratorResult) ClassByName(name string) (ClassMetrics, bool) {
+	for _, c := range r.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return ClassMetrics{}, false
+}
+
+// classNameOf labels a spec's service class for aggregation.
+func classNameOf(spec SliceSpec) string {
+	if spec.Class != nil && spec.Class.Name != "" {
+		return spec.Class.Name
+	}
+	return "default"
+}
+
+// aggregate computes the per-epoch and per-class aggregates from the
+// completed runs. It walks the runs in spec order, so every float
+// accumulation happens in a deterministic sequence regardless of how the
+// worker pool scheduled the slices — repeated runs are bit-identical at
+// any worker count.
+func aggregate(runs []SliceRun, intervals int) ([]EpochMetrics, []ClassMetrics) {
+	epochs := make([]EpochMetrics, intervals)
+	for e := range epochs {
+		epochs[e].Epoch = e
+	}
+	var classes []ClassMetrics
+	classIdx := map[string]int{}
+
+	fold := func(e *EpochMetrics, run *SliceRun, it int) {
+		spec := run.Spec
+		e.Slices++
+		e.MeanUsage += run.Usages[it]
+		e.MeanQoE += run.QoEs[it]
+		if run.QoEs[it] < spec.SLA.Availability {
+			e.Violations++
+		}
+		e.UsageRegret += run.Usages[it] - spec.OptUsage
+		e.QoERegret += max(spec.OptQoE-run.QoEs[it], 0)
+	}
+
+	for i := range runs {
+		run := &runs[i]
+		if run.Err != nil {
+			continue
+		}
+		name := classNameOf(run.Spec)
+		ci, ok := classIdx[name]
+		if !ok {
+			ci = len(classes)
+			classIdx[name] = ci
+			cm := ClassMetrics{Class: name, Epochs: make([]EpochMetrics, intervals)}
+			for e := range cm.Epochs {
+				cm.Epochs[e].Epoch = e
+			}
+			classes = append(classes, cm)
+		}
+		classes[ci].Slices++
+		for it := 0; it < len(run.Usages) && it < intervals; it++ {
+			fold(&epochs[it], run, it)
+			fold(&classes[ci].Epochs[it], run, it)
+		}
+	}
+
+	finalize := func(es []EpochMetrics) (meanU, meanQ float64, viol, n int) {
+		for e := range es {
+			if es[e].Slices > 0 {
+				meanU += es[e].MeanUsage
+				meanQ += es[e].MeanQoE
+				n += es[e].Slices
+				es[e].MeanUsage /= float64(es[e].Slices)
+				es[e].MeanQoE /= float64(es[e].Slices)
+			}
+			viol += es[e].Violations
+		}
+		return meanU, meanQ, viol, n
+	}
+	finalize(epochs)
+	for ci := range classes {
+		u, q, viol, n := finalize(classes[ci].Epochs)
+		if n > 0 {
+			classes[ci].MeanUsage = u / float64(n)
+			classes[ci].MeanQoE = q / float64(n)
+		}
+		classes[ci].Violations = viol
+	}
+	return epochs, classes
 }
 
 // Orchestrator runs N independent online-learning loops concurrently:
@@ -270,7 +344,6 @@ func (o *Orchestrator) Run() *OrchestratorResult {
 		}
 	}
 
-	agg := newEpochAgg(intervals)
 	runs := make([]SliceRun, n)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -285,75 +358,108 @@ func (o *Orchestrator) Run() *OrchestratorResult {
 					"core: slice %q: ContinueBNN trains the policy model in place and requires an unshared Policy", spec.ID)}
 				return
 			}
-			runs[i] = o.runSlice(i, intervals, agg)
+			runs[i] = o.runSlice(i, intervals)
 		}(i)
 	}
 	wg.Wait()
-	return &OrchestratorResult{Slices: runs, Epochs: agg.snapshot()}
+	epochs, classes := aggregate(runs, intervals)
+	return &OrchestratorResult{Slices: runs, Epochs: epochs, Classes: classes}
+}
+
+// normalizeSpec defaults a spec's SLA and nominal traffic from its
+// service class when the spec leaves them zero. When the spec overrides
+// the class's SLA, the class is rebound to the override (the spec is
+// authoritative) so its QoE model judges against the overridden
+// threshold rather than the one frozen at class construction.
+func normalizeSpec(spec SliceSpec) SliceSpec {
+	if spec.Class != nil {
+		switch {
+		case spec.SLA == (slicing.SLA{}):
+			spec.SLA = spec.Class.SLA
+		case spec.SLA != spec.Class.SLA:
+			derived := spec.Class.WithSLA(spec.SLA)
+			spec.Class = &derived
+		}
+		if spec.Traffic == 0 && spec.Class.Traffic >= 1 {
+			spec.Traffic = spec.Class.Traffic
+		}
+	}
+	return spec
 }
 
 // runSlice is one tenant's full pipeline: optional offline training,
 // then the online loop. All randomness derives from (Seed, i) alone.
-func (o *Orchestrator) runSlice(i, intervals int, agg *epochAgg) SliceRun {
-	spec := o.specs[i]
+func (o *Orchestrator) runSlice(i, intervals int) SliceRun {
+	spec := normalizeSpec(o.specs[i])
 	run := SliceRun{Spec: spec}
-	if spec.Traffic < 1 {
-		run.Err = fmt.Errorf("core: slice %q traffic %d out of range", spec.ID, spec.Traffic)
+	if spec.Traffic < 1 || spec.Traffic > MaxTraffic {
+		run.Err = fmt.Errorf("core: slice %q traffic %d outside [1, %d]", spec.ID, spec.Traffic, MaxTraffic)
 		return run
 	}
 	seeds := splitSliceSeeds(o.Opts.Seed, i)
 	offRNG, learnRNG, runRNG := seeds[0], seeds[1], seeds[2]
+	trafficSeed := seeds[3].Int63()
 
 	policy := spec.Policy
 	if policy == nil && spec.Train {
 		oo := o.Opts.Offline
 		oo.SLA = spec.SLA
 		oo.Traffic = spec.Traffic
+		oo.Class = spec.Class
 		sim := o.Sim.Get()
 		run.Offline = NewOfflineTrainer(sim, oo).Run(offRNG)
 		o.Sim.Put(sim)
 		policy = run.Offline.Policy
 	}
-	if policy != nil && (policy.SLA != spec.SLA || policy.Traffic != spec.Traffic) {
-		// The learner consults the policy's SLA/traffic; the spec is
-		// authoritative, so rebind a shallow copy rather than mutating a
-		// policy the caller may share across slices. The offline model
-		// itself stays shared — safe because the residual designs only
-		// read it online; the one model that trains in place
-		// (ContinueBNN) rejects shared policies in Run.
+	if policy != nil && (policy.SLA != spec.SLA || policy.Traffic != spec.Traffic || policy.Class != spec.Class) {
+		// The learner consults the policy's SLA/traffic/class; the spec
+		// is authoritative, so rebind a shallow copy rather than
+		// mutating a policy the caller may share across slices. The
+		// offline model itself stays shared — safe because the residual
+		// designs only read it online; the one model that trains in
+		// place (ContinueBNN) rejects shared policies in Run.
 		p := *policy
 		p.SLA = spec.SLA
 		p.Traffic = spec.Traffic
+		p.Class = spec.Class
 		policy = &p
 	}
 
 	sim := o.Sim.Get()
 	defer o.Sim.Put(sim)
 	learner := NewOnlineLearner(policy, sim, o.Opts.Online, learnRNG)
+	learner.Class = spec.Class
 	run.Learner = learner
 	run.Regret = slicing.Regret{OptUsage: spec.OptUsage, OptQoE: spec.OptQoE}
 
 	for it := 0; it < intervals; it++ {
+		traffic := spec.Traffic
+		if spec.Class != nil {
+			// Per-interval demand from the class's traffic model,
+			// clamped to the prototype's emulation range so the policy
+			// encoding stays normalized.
+			traffic = min(spec.Class.TrafficAt(it, spec.Traffic, trafficSeed), MaxTraffic)
+			learner.SetTraffic(traffic)
+		}
 		cfg := learner.Next(it, runRNG)
 		real := o.Real.Get()
-		tr := real.Episode(cfg, spec.Traffic, runRNG.Int63())
+		tr := slicing.EpisodeFor(real, spec.Class, cfg, traffic, runRNG.Int63())
 		o.Real.Put(real)
 		usage := o.Space.Usage(cfg)
-		qoe := tr.QoE(spec.SLA)
+		qoe := slicing.EvalFor(spec.Class, spec.SLA, tr)
 		learner.Observe(it, cfg, usage, qoe)
 
 		run.Configs = append(run.Configs, cfg)
+		run.Traffics = append(run.Traffics, traffic)
 		run.Usages = append(run.Usages, usage)
 		run.QoEs = append(run.QoEs, qoe)
 		run.Regret.Observe(usage, qoe)
-		agg.observe(it, usage, qoe, qoe < spec.SLA.Availability,
-			usage-spec.OptUsage, max(spec.OptQoE-qoe, 0))
 	}
 	return run
 }
 
-// splitSliceSeeds derives slice i's (offline, learner, run) RNGs as a
-// pure function of the master seed and the slice index.
+// splitSliceSeeds derives slice i's (offline, learner, run, traffic)
+// RNGs as a pure function of the master seed and the slice index.
 func splitSliceSeeds(seed int64, i int) []*rand.Rand {
-	return mathx.Split(mathx.ChildSeed(seed, i), 3)
+	return mathx.Split(mathx.ChildSeed(seed, i), 4)
 }

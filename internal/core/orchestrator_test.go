@@ -262,3 +262,46 @@ func TestOrchestratorRejectsSharedContinueBNNPolicy(t *testing.T) {
 		t.Fatalf("unshared slice errored: %v", res.Slices[2].Err)
 	}
 }
+
+// TestNormalizeSpecRebindsClassSLA: a spec-level SLA override must reach
+// the class's QoE model (the spec is authoritative), while zero specs
+// default from the class.
+func TestNormalizeSpecRebindsClassSLA(t *testing.T) {
+	class := slicing.DefaultServiceClass()
+
+	spec := normalizeSpec(SliceSpec{Class: &class})
+	if spec.SLA != class.SLA || spec.Traffic != class.Traffic {
+		t.Fatalf("defaults not taken from class: %+v", spec)
+	}
+	if spec.Class != &class {
+		t.Fatal("class needlessly rebound for a defaulting spec")
+	}
+
+	over := slicing.SLA{ThresholdMs: 500, Availability: 0.8}
+	spec = normalizeSpec(SliceSpec{Class: &class, SLA: over, Traffic: 2})
+	if spec.Class == &class {
+		t.Fatal("override did not rebind the class")
+	}
+	if q, ok := spec.Class.QoE.(slicing.AvailabilityQoE); !ok || q.ThresholdMs != 500 {
+		t.Fatalf("QoE model not rebound to the override: %+v", spec.Class.QoE)
+	}
+	if class.QoE.(slicing.AvailabilityQoE).ThresholdMs != 300 {
+		t.Fatal("caller's class mutated")
+	}
+}
+
+// TestOrchestratorRejectsExcessTraffic: traffic above the prototype's
+// emulation range fails per-slice with a range error.
+func TestOrchestratorRejectsExcessTraffic(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := quickSpecs(2)
+	specs[1].Traffic = MaxTraffic + 1
+	res := NewOrchestrator(real, sim, specs, quickOrchOpts(2)).Run()
+	if res.Slices[0].Err != nil {
+		t.Fatalf("healthy slice errored: %v", res.Slices[0].Err)
+	}
+	if res.Slices[1].Err == nil {
+		t.Fatal("excess traffic accepted")
+	}
+}

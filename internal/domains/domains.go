@@ -231,6 +231,9 @@ type Orchestrator struct {
 	Transport *TransportManager
 	Core      *CoreManager
 	Edge      *EdgeManager
+	// Extra appends additional domain managers (e.g. a tenant-specific
+	// placement domain); they validate and apply after the built-ins.
+	Extra []Manager
 
 	mu    sync.Mutex
 	audit []Action
@@ -248,11 +251,14 @@ func NewOrchestrator(sliceID string) *Orchestrator {
 
 // managers returns the domain managers in application order.
 func (o *Orchestrator) managers() []Manager {
-	return []Manager{o.RAN, o.Transport, o.Core, o.Edge}
+	return append([]Manager{o.RAN, o.Transport, o.Core, o.Edge}, o.Extra...)
 }
 
 // Apply validates the configuration against every domain and then
-// enforces it, returning the full action list.
+// enforces it, returning the full action list. On a mid-apply failure
+// the actions applied before the failing domain are still recorded in
+// the audit trail — the audit must reflect the state actually enforced
+// on the network, not just fully successful transactions.
 func (o *Orchestrator) Apply(cfg slicing.Config) ([]Action, error) {
 	for _, m := range o.managers() {
 		if err := m.Validate(cfg); err != nil {
@@ -260,16 +266,23 @@ func (o *Orchestrator) Apply(cfg slicing.Config) ([]Action, error) {
 		}
 	}
 	var all []Action
+	record := func() {
+		if len(all) == 0 {
+			return
+		}
+		o.mu.Lock()
+		o.audit = append(o.audit, all...)
+		o.mu.Unlock()
+	}
 	for _, m := range o.managers() {
 		acts, err := m.Apply(cfg)
+		all = append(all, acts...)
 		if err != nil {
+			record()
 			return all, fmt.Errorf("apply %s: %w", m.Domain(), err)
 		}
-		all = append(all, acts...)
 	}
-	o.mu.Lock()
-	o.audit = append(o.audit, all...)
-	o.mu.Unlock()
+	record()
 	return all, nil
 }
 

@@ -1,6 +1,7 @@
 package domains
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -125,5 +126,62 @@ func TestOrchestratorValidatesBeforeApplying(t *testing.T) {
 	}
 	if len(o.Audit()) != 0 {
 		t.Fatal("audit recorded a failed transaction")
+	}
+}
+
+// failingManager validates cleanly but fails on Apply after n successful
+// applications — a domain whose controller connection drops mid-apply.
+type failingManager struct {
+	applied int
+	failAt  int
+}
+
+func (m *failingManager) Domain() string                { return "placement" }
+func (m *failingManager) Validate(slicing.Config) error { return nil }
+func (m *failingManager) Apply(slicing.Config) ([]Action, error) {
+	if m.applied >= m.failAt {
+		return nil, fmt.Errorf("placement: controller unreachable")
+	}
+	m.applied++
+	return []Action{{Domain: "placement", Detail: "pod pinned"}}, nil
+}
+
+// TestOrchestratorAuditRecordsPartialApply: when a later domain fails
+// mid-apply, the actions already enforced on earlier domains must land
+// in the audit trail — the audit reflects enforced state, not just
+// fully successful transactions.
+func TestOrchestratorAuditRecordsPartialApply(t *testing.T) {
+	o := NewOrchestrator("s1")
+	o.Extra = []Manager{&failingManager{failAt: 0}}
+	acts, err := o.Apply(validConfig())
+	if err == nil {
+		t.Fatal("mid-apply failure not surfaced")
+	}
+	if len(acts) == 0 {
+		t.Fatal("partially applied actions not returned")
+	}
+	audit := o.Audit()
+	if len(audit) != len(acts) {
+		t.Fatalf("audit has %d actions, %d were enforced", len(audit), len(acts))
+	}
+	// The built-in domains all applied before the failure.
+	seen := map[string]bool{}
+	for _, a := range audit {
+		seen[a.Domain] = true
+	}
+	for _, d := range []string{"ran", "transport", "core", "edge"} {
+		if !seen[d] {
+			t.Fatalf("enforced domain %s missing from audit", d)
+		}
+	}
+	// A subsequent successful apply appends to — not replaces — the
+	// partial record.
+	o.Extra = nil
+	more, err := o.Apply(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Audit()); got != len(acts)+len(more) {
+		t.Fatalf("audit has %d actions want %d", got, len(acts)+len(more))
 	}
 }

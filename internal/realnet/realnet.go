@@ -118,6 +118,13 @@ func (n *Network) Episode(cfg slicing.Config, traffic int, seed int64) slicing.T
 	return n.inner.Episode(cfg, traffic, seed)
 }
 
+// EpisodeClass runs one configuration interval under a service class's
+// application workload; the testbed's hidden structural effects still
+// apply. It implements slicing.ClassEnv.
+func (n *Network) EpisodeClass(class slicing.ServiceClass, cfg slicing.Config, traffic int, seed int64) slicing.Trace {
+	return n.inner.EpisodeClass(class, cfg, traffic, seed)
+}
+
 // Measure runs the Table 1 link-layer measurement campaign.
 func (n *Network) Measure(cfg slicing.Config, seed int64) slicing.Trace {
 	return n.inner.Measure(cfg, seed)

@@ -1,0 +1,188 @@
+// Package scenarios is the catalog of named multi-tenant workloads: each
+// scenario expands to a heterogeneous set of core.SliceSpec templates
+// built from the service-class presets below. The paper evaluates one
+// service (540p video analytics under a latency-availability SLA); this
+// registry treats that as just one template among eMBB-, URLLC- and
+// mMTC-style classes, so every scaling and learning experiment can be
+// exercised against mixed fleets instead of N clones of the same slice.
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// VideoAnalytics is the paper's prototype service: 540p frame upload
+// with edge feature extraction, judged by latency availability.
+func VideoAnalytics() slicing.ServiceClass {
+	return slicing.DefaultServiceClass()
+}
+
+// Teleoperation is a URLLC-style class: small command/sensor frames,
+// light compute, and a hard tail-latency deadline — the p95 frame
+// latency must stay within 150 ms.
+func Teleoperation() slicing.ServiceClass {
+	return slicing.ServiceClass{
+		Name: "teleop",
+		App: app.Profile{
+			FrameKBitMean: 12, FrameKBitStd: 3,
+			ResultKBit:    4,
+			LoadingBaseMs: 2,
+			ComputeScale:  0.08,
+		},
+		QoE:          slicing.PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 150},
+		SLA:          slicing.SLA{ThresholdMs: 150, Availability: 0.95},
+		Traffic:      1,
+		TrafficModel: slicing.ConstantTraffic{},
+	}
+}
+
+// IoTTelemetry is an mMTC-style class: small sensor reports arriving in
+// Poisson bursts, judged by a relaxed latency availability.
+func IoTTelemetry() slicing.ServiceClass {
+	return slicing.ServiceClass{
+		Name: "iot-telemetry",
+		App: app.Profile{
+			FrameKBitMean: 40, FrameKBitStd: 12,
+			ResultKBit:    2,
+			LoadingBaseMs: 5,
+			ComputeScale:  0.15,
+		},
+		QoE:          slicing.AvailabilityQoE{ThresholdMs: 500},
+		SLA:          slicing.SLA{ThresholdMs: 500, Availability: 0.85},
+		Traffic:      2,
+		TrafficModel: slicing.BurstyTraffic{},
+	}
+}
+
+// BulkStreaming is an eMBB-style class: large frames whose QoE is the
+// delivered uplink goodput against a contracted floor, with a diurnal
+// demand swing.
+func BulkStreaming() slicing.ServiceClass {
+	return slicing.ServiceClass{
+		Name: "embb-streaming",
+		App: app.Profile{
+			FrameKBitMean: 800, FrameKBitStd: 200,
+			ResultKBit:    8,
+			LoadingBaseMs: 10,
+			ComputeScale:  0.05,
+		},
+		QoE:          slicing.ThroughputFloorQoE{FloorMbps: 6},
+		SLA:          slicing.SLA{ThresholdMs: 800, Availability: 0.9},
+		Traffic:      3,
+		TrafficModel: slicing.DiurnalTraffic{PeriodIntervals: 24, MinFactor: 0.3},
+	}
+}
+
+// DiurnalVideoAnalytics is the prototype service under a day-night
+// demand swing (the mixed fleet's time-varying tenant).
+func DiurnalVideoAnalytics() slicing.ServiceClass {
+	c := VideoAnalytics()
+	c.Traffic = 2
+	c.TrafficModel = slicing.DiurnalTraffic{PeriodIntervals: 24, MinFactor: 0.25}
+	return c
+}
+
+// Scenario is one named multi-tenant workload: slices cycle over its
+// class templates.
+type Scenario struct {
+	Name        string
+	Description string
+	Classes     []slicing.ServiceClass
+}
+
+// Specs expands the scenario to n slice specs, cycling over the class
+// templates. SLA and nominal traffic come from each class; Train is
+// left unset for the caller to decide.
+func (s Scenario) Specs(n int) []core.SliceSpec {
+	specs := make([]core.SliceSpec, n)
+	for i := range specs {
+		class := s.Classes[i%len(s.Classes)]
+		specs[i] = core.SliceSpec{
+			ID:      fmt.Sprintf("%s-%02d", class.Name, i),
+			SLA:     class.SLA,
+			Traffic: class.Traffic,
+			Class:   &class,
+		}
+	}
+	return specs
+}
+
+// registry holds the named scenarios in catalog order.
+var registry = []Scenario{
+	{
+		Name:        "paper",
+		Description: "the paper's evaluation: homogeneous 540p video analytics, constant traffic",
+		Classes:     []slicing.ServiceClass{VideoAnalytics()},
+	},
+	{
+		Name:        "mixed",
+		Description: "heterogeneous fleet: diurnal video analytics, URLLC teleoperation, bursty IoT telemetry, eMBB streaming",
+		Classes: []slicing.ServiceClass{
+			DiurnalVideoAnalytics(),
+			Teleoperation(),
+			IoTTelemetry(),
+			BulkStreaming(),
+		},
+	},
+	{
+		Name:        "urllc",
+		Description: "teleoperation-only fleet under a p95 deadline QoE",
+		Classes:     []slicing.ServiceClass{Teleoperation()},
+	},
+	{
+		Name:        "iot",
+		Description: "telemetry-only fleet with Poisson burst traffic",
+		Classes:     []slicing.ServiceClass{IoTTelemetry()},
+	},
+	{
+		Name:        "embb",
+		Description: "bulk-streaming fleet judged by a throughput floor with diurnal demand",
+		Classes:     []slicing.ServiceClass{BulkStreaming()},
+	},
+}
+
+// Get returns a registered scenario by name.
+func Get(name string) (Scenario, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered scenario in catalog order.
+func All() []Scenario {
+	return append([]Scenario(nil), registry...)
+}
+
+// Classes returns the distinct service classes across all scenarios, in
+// first-appearance order (the per-class benchmark set).
+func Classes() []slicing.ServiceClass {
+	var out []slicing.ServiceClass
+	seen := map[string]bool{}
+	for _, s := range registry {
+		for _, c := range s.Classes {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package scenarios
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// TestRegistryLookup: every name resolves, unknown names don't.
+func TestRegistryLookup(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog has %d scenarios, want at least 5", len(names))
+	}
+	for _, name := range names {
+		s, ok := Get(name)
+		if !ok || s.Name != name {
+			t.Fatalf("scenario %q not resolvable", name)
+		}
+		if len(s.Classes) == 0 || s.Description == "" {
+			t.Fatalf("scenario %q incomplete: %+v", name, s)
+		}
+	}
+	if _, ok := Get("no-such-scenario"); ok {
+		t.Fatal("unknown scenario resolved")
+	}
+}
+
+// TestScenariosExpandToValidSpecs: every registered scenario expands to
+// specs the orchestrator accepts: a class, a positive nominal traffic,
+// an availability target in (0, 1], and unique IDs.
+func TestScenariosExpandToValidSpecs(t *testing.T) {
+	for _, scen := range All() {
+		specs := scen.Specs(6)
+		if len(specs) != 6 {
+			t.Fatalf("%s: expanded to %d specs", scen.Name, len(specs))
+		}
+		ids := map[string]bool{}
+		for i, spec := range specs {
+			if spec.Class == nil {
+				t.Fatalf("%s spec %d: no class", scen.Name, i)
+			}
+			if spec.Traffic < 1 || spec.Traffic > core.MaxTraffic {
+				t.Fatalf("%s spec %d: traffic %d outside [1, %d]", scen.Name, i, spec.Traffic, core.MaxTraffic)
+			}
+			if a := spec.SLA.Availability; a <= 0 || a > 1 {
+				t.Fatalf("%s spec %d: availability %v", scen.Name, i, a)
+			}
+			if ids[spec.ID] {
+				t.Fatalf("%s spec %d: duplicate id %q", scen.Name, i, spec.ID)
+			}
+			ids[spec.ID] = true
+		}
+	}
+}
+
+// TestMixedScenarioIsHeterogeneous: the mixed fleet covers at least 3
+// distinct classes, 2 distinct QoE models, and a time-varying traffic
+// model (the acceptance shape of the service-class refactor).
+func TestMixedScenarioIsHeterogeneous(t *testing.T) {
+	scen, ok := Get("mixed")
+	if !ok {
+		t.Fatal("mixed scenario missing")
+	}
+	specs := scen.Specs(4)
+	classes := map[string]bool{}
+	qoes := map[string]bool{}
+	timeVarying := false
+	for _, spec := range specs {
+		classes[spec.Class.Name] = true
+		qoes[spec.Class.QoEModelName()] = true
+		if spec.Class.TrafficModelName() != (slicing.ConstantTraffic{}).Name() {
+			timeVarying = true
+		}
+	}
+	if len(classes) < 3 {
+		t.Fatalf("mixed fleet has %d distinct classes, want >= 3", len(classes))
+	}
+	if len(qoes) < 2 {
+		t.Fatalf("mixed fleet has %d distinct QoE models, want >= 2", len(qoes))
+	}
+	if !timeVarying {
+		t.Fatal("mixed fleet has no time-varying traffic model")
+	}
+}
+
+// TestClassQoEModelsStayInUnitInterval: every cataloged class's QoE
+// model maps both simulator and surrogate-testbed episodes — and
+// degenerate traces — into [0, 1].
+func TestClassQoEModelsStayInUnitInterval(t *testing.T) {
+	sim := simnet.NewDefault()
+	real := realnet.New()
+	cfg := slicing.Config{BandwidthUL: 40, BandwidthDL: 40, BackhaulMbps: 80, CPURatio: 0.8}
+	starved := slicing.Config{BandwidthUL: 1, BandwidthDL: 1, BackhaulMbps: 2, CPURatio: 0.05}
+	for _, class := range Classes() {
+		for i, env := range []slicing.Env{sim, real} {
+			for j, c := range []slicing.Config{cfg, starved} {
+				tr := slicing.EpisodeFor(env, &class, c, class.Traffic, int64(17+i+10*j))
+				q := class.Eval(tr)
+				if q < 0 || q > 1 {
+					t.Fatalf("%s env %d cfg %d: QoE %v outside [0, 1]", class.Name, i, j, q)
+				}
+			}
+		}
+		if q := class.Eval(slicing.Trace{}); q < 0 || q > 1 {
+			t.Fatalf("%s: empty-trace QoE %v outside [0, 1]", class.Name, q)
+		}
+	}
+}
+
+// TestClassWorkloadsDiffer: class app profiles actually change what the
+// episode pipeline produces (frame counts or goodput), i.e. the engine
+// is really parameterized by the class.
+func TestClassWorkloadsDiffer(t *testing.T) {
+	sim := simnet.NewDefault()
+	cfg := slicing.Config{BandwidthUL: 40, BandwidthDL: 40, BackhaulMbps: 80, CPURatio: 0.8}
+	teleop := Teleoperation()
+	embb := BulkStreaming()
+	trTele := sim.EpisodeClass(teleop, cfg, 1, 5)
+	trEmbb := sim.EpisodeClass(embb, cfg, 1, 5)
+	if trTele.Frames <= trEmbb.Frames {
+		t.Fatalf("teleop (%d frames) should out-pace bulk streaming (%d frames)", trTele.Frames, trEmbb.Frames)
+	}
+	if trEmbb.ULThroughputMbps <= trTele.ULThroughputMbps {
+		t.Fatalf("bulk streaming goodput %v should exceed teleop %v",
+			trEmbb.ULThroughputMbps, trTele.ULThroughputMbps)
+	}
+}
+
+// quickMixedOpts keeps orchestrated scenario runs test-sized.
+func quickMixedOpts(intervals, workers int) core.OrchestratorOptions {
+	opts := core.DefaultOrchestratorOptions()
+	opts.Intervals = intervals
+	opts.Workers = workers
+	opts.Seed = 11
+	opts.Online.Pool = 64
+	opts.Online.N = 4
+	return opts
+}
+
+// TestMixedFleetDeterministicAcrossWorkers: a heterogeneous mixed-class
+// run must be bit-identical at any worker count — per-slice
+// trajectories, per-interval traffic, the epoch aggregate, and the
+// per-class aggregates.
+func TestMixedFleetDeterministicAcrossWorkers(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	scen, _ := Get("mixed")
+
+	runAt := func(workers int) *core.OrchestratorResult {
+		return core.NewOrchestrator(real, sim, scen.Specs(4), quickMixedOpts(4, workers)).Run()
+	}
+	seq := runAt(1)
+	par := runAt(8)
+
+	for i := range seq.Slices {
+		a, b := seq.Slices[i], par.Slices[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("slice %d errs: %v, %v", i, a.Err, b.Err)
+		}
+		for j := range a.Usages {
+			if a.Usages[j] != b.Usages[j] || a.QoEs[j] != b.QoEs[j] ||
+				a.Configs[j] != b.Configs[j] || a.Traffics[j] != b.Traffics[j] {
+				t.Fatalf("slice %d interval %d diverged across worker counts", i, j)
+			}
+		}
+	}
+	for e := range seq.Epochs {
+		if seq.Epochs[e] != par.Epochs[e] {
+			t.Fatalf("epoch %d aggregate not bit-identical: %+v vs %+v", e, seq.Epochs[e], par.Epochs[e])
+		}
+	}
+	if len(seq.Classes) != len(par.Classes) {
+		t.Fatalf("class aggregate counts %d vs %d", len(seq.Classes), len(par.Classes))
+	}
+	for c := range seq.Classes {
+		a, b := seq.Classes[c], par.Classes[c]
+		if a.Class != b.Class || a.Slices != b.Slices || a.MeanUsage != b.MeanUsage ||
+			a.MeanQoE != b.MeanQoE || a.Violations != b.Violations {
+			t.Fatalf("class %q aggregate not bit-identical", a.Class)
+		}
+		for e := range a.Epochs {
+			if a.Epochs[e] != b.Epochs[e] {
+				t.Fatalf("class %q epoch %d not bit-identical", a.Class, e)
+			}
+		}
+	}
+
+	// Repeated runs at the same worker count are bit-identical too.
+	again := runAt(8)
+	for i := range par.Slices {
+		for j := range par.Slices[i].Usages {
+			if par.Slices[i].Usages[j] != again.Slices[i].Usages[j] {
+				t.Fatalf("slice %d interval %d not reproducible", i, j)
+			}
+		}
+	}
+}
+
+// TestMixedFleetExercisesTimeVaryingTraffic: at least one slice's
+// per-interval demand actually changes over the run.
+func TestMixedFleetExercisesTimeVaryingTraffic(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	scen, _ := Get("mixed")
+	res := core.NewOrchestrator(real, sim, scen.Specs(4), quickMixedOpts(12, 4)).Run()
+	varied := false
+	for _, sr := range res.Slices {
+		if sr.Err != nil {
+			t.Fatalf("%s: %v", sr.Spec.ID, sr.Err)
+		}
+		for j := 1; j < len(sr.Traffics); j++ {
+			if sr.Traffics[j] != sr.Traffics[0] {
+				varied = true
+			}
+			if sr.Traffics[j] < 1 || sr.Traffics[j] > core.MaxTraffic {
+				t.Fatalf("%s interval %d: traffic %d outside [1, %d]",
+					sr.Spec.ID, j, sr.Traffics[j], core.MaxTraffic)
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("no slice's demand varied over 12 intervals")
+	}
+}

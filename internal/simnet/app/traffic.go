@@ -30,6 +30,11 @@ type Profile struct {
 	// LoadingJitterMs, when positive, adds uniform [0, jitter) noise to
 	// the loading time (Android scheduling; zero in the simulator).
 	LoadingJitterMs float64
+	// ComputeScale scales the edge compute demand relative to the
+	// prototype's feature-extraction workload (teleoperation commands
+	// and telemetry decoding are far lighter than ORB extraction). Zero
+	// means 1.0.
+	ComputeScale float64
 }
 
 // DefaultProfile returns the prototype application's traffic profile.

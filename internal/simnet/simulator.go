@@ -62,13 +62,54 @@ func (s *Simulator) Episode(cfg slicing.Config, traffic int, seed int64) slicing
 	return tr
 }
 
+// EpisodeClass runs one configuration interval under a service class's
+// application workload (frame sizes, result sizes, loading behavior,
+// compute demand) instead of the structural profile's prototype app.
+// Classes without their own app profile fall back to the prototype.
+// It implements slicing.ClassEnv.
+func (s *Simulator) EpisodeClass(class slicing.ServiceClass, cfg slicing.Config, traffic int, seed int64) slicing.Trace {
+	tr, _ := s.runWith(s.classAppProfile(class), cfg, traffic, seed, false)
+	return tr
+}
+
 // EpisodeRecords runs an episode and additionally returns every frame's
 // tracer record (the NS-3 tracer analogue, §7.2), ordered by completion.
 func (s *Simulator) EpisodeRecords(cfg slicing.Config, traffic int, seed int64) (slicing.Trace, []FrameRecord) {
 	return s.run(cfg, traffic, seed, true)
 }
 
+// baseAppProfile assembles the structural profile's prototype
+// application plus the searchable loading-time parameter.
+func (s *Simulator) baseAppProfile() app.Profile {
+	p := s.Profile
+	return app.Profile{
+		FrameKBitMean: p.FrameKBitMean, FrameKBitStd: p.FrameKBitStd,
+		ResultKBit:    p.ResultKBit,
+		LoadingBaseMs: p.LoadingBaseMs, LoadingExtraMs: s.Params.LoadingTime,
+		LoadingJitterMs: p.LoadingJitterMs,
+	}
+}
+
+// classAppProfile merges a service class's workload with the
+// environment's structural reality: the class dictates what the
+// application sends and computes, while the profile's loading jitter and
+// the searchable loading-time parameter still apply on top (they model
+// the platform, not the workload).
+func (s *Simulator) classAppProfile(class slicing.ServiceClass) app.Profile {
+	if !class.HasApp() {
+		return s.baseAppProfile()
+	}
+	ap := class.App
+	ap.LoadingExtraMs += s.Params.LoadingTime
+	ap.LoadingJitterMs += s.Profile.LoadingJitterMs
+	return ap
+}
+
 func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect bool) (slicing.Trace, []FrameRecord) {
+	return s.runWith(s.baseAppProfile(), cfg, traffic, seed, collect)
+}
+
+func (s *Simulator) runWith(appProf app.Profile, cfg slicing.Config, traffic int, seed int64, collect bool) (slicing.Trace, []FrameRecord) {
 	if traffic < 1 {
 		traffic = 1
 	}
@@ -100,18 +141,16 @@ func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect boo
 		PortCapMbps:   p.PortCapMbps,
 		DelayMs:       p.BackhaulDelayMs + s.Params.BackhaulDelay,
 	}
+	computeScale := appProf.ComputeScale
+	if computeScale <= 0 {
+		computeScale = 1
+	}
 	server := edge.Server{
-		BaseMeanMs: p.ComputeMeanMs, BaseStdMs: p.ComputeStdMs,
+		BaseMeanMs: computeScale * p.ComputeMeanMs, BaseStdMs: computeScale * p.ComputeStdMs,
 		CPURatio:    cfg.CPURatio,
 		ExtraMs:     s.Params.ComputeTime + p.ComputeExtraMs,
 		JitterSigma: p.ComputeJitterSigma,
 		StallProb:   p.ComputeStallProb, StallFactor: p.ComputeStallFactor,
-	}
-	appProf := app.Profile{
-		FrameKBitMean: p.FrameKBitMean, FrameKBitStd: p.FrameKBitStd,
-		ResultKBit:    p.ResultKBit,
-		LoadingBaseMs: p.LoadingBaseMs, LoadingExtraMs: s.Params.LoadingTime,
-		LoadingJitterMs: p.LoadingJitterMs,
 	}
 
 	k := &des.Kernel{}
@@ -127,6 +166,7 @@ func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect boo
 		dlTBs                                    int
 		dlErrs                                   int
 		sumLoad, sumUL, sumBH, sumQ, sumC, sumDL float64
+		sumKBit                                  float64
 	)
 
 	var records []FrameRecord
@@ -141,6 +181,7 @@ func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect boo
 			sumQ += f.queueMs
 			sumC += f.computeMs
 			sumDL += f.dlMs
+			sumKBit += f.sizeKBit
 			if collect {
 				records = append(records, FrameRecord{
 					GenMs:      f.genMs,
@@ -220,6 +261,12 @@ func (s *Simulator) run(cfg slicing.Config, traffic int, seed int64, collect boo
 		tr.MeanQueueMs = sumQ / n
 		tr.MeanComputeMs = sumC / n
 		tr.MeanDLMs = sumDL / n
+	}
+	if horizon > 0 {
+		// Delivered application goodput (kbit/ms == Mbps) — what the
+		// throughput-floor QoE models judge.
+		tr.ULThroughputMbps = sumKBit / horizon
+		tr.DLThroughputMbps = float64(tr.Frames) * appProf.ResultKBit / horizon
 	}
 	if ulTBs > 0 {
 		tr.ULPER = float64(ulErrs) / float64(ulTBs)

@@ -1,0 +1,316 @@
+package slicing
+
+import (
+	"hash/fnv"
+	"math"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+// This file is the service-class layer: the vocabulary that turns "one
+// hard-coded 540p video-analytics slice" into a catalog of heterogeneous
+// tenants. A ServiceClass bundles a named application/traffic profile, a
+// pluggable quality-of-experience model, an SLA, and a (possibly
+// time-varying) traffic model. Every layer above — the simulator, the
+// offline trainer, the online learner, the orchestrator, the CLI —
+// consumes classes instead of baked-in prototype constants, so one
+// engine serves video analytics, small-frame teleoperation, IoT
+// telemetry bursts, and bulk streaming side by side.
+
+// QoEModel maps one configuration interval's observable Trace to a
+// unified quality of experience in [0, 1]. The paper's model
+// (AvailabilityQoE) is the fraction of frames meeting a latency
+// threshold; other service classes judge the same trace differently —
+// URLLC-style classes by a tail percentile against a deadline,
+// eMBB-style classes by delivered goodput against a floor.
+type QoEModel interface {
+	// Name identifies the model in reports and scenario catalogs.
+	Name() string
+	// Eval returns the QoE of a trace, in [0, 1] by construction.
+	Eval(tr Trace) float64
+}
+
+// AvailabilityQoE is the paper's unified QoE: the fraction of frames
+// whose end-to-end latency stays at or below ThresholdMs.
+type AvailabilityQoE struct {
+	ThresholdMs float64
+}
+
+// Name implements QoEModel.
+func (q AvailabilityQoE) Name() string { return "latency-availability" }
+
+// Eval implements QoEModel.
+func (q AvailabilityQoE) Eval(tr Trace) float64 {
+	return stats.FracBelow(tr.LatenciesMs, q.ThresholdMs)
+}
+
+// PercentileDeadlineQoE is the URLLC-style model: the QoE is governed by
+// the Percentile-th latency (e.g. p95) against a hard DeadlineMs. A
+// trace whose tail latency meets the deadline scores 1; beyond it the
+// score decays as deadline/tail, so "how badly the tail missed" stays
+// visible to the learner instead of collapsing to zero.
+type PercentileDeadlineQoE struct {
+	Percentile float64 // in (0, 1), e.g. 0.95
+	DeadlineMs float64
+}
+
+// Name implements QoEModel.
+func (q PercentileDeadlineQoE) Name() string { return "deadline-percentile" }
+
+// Eval implements QoEModel.
+func (q PercentileDeadlineQoE) Eval(tr Trace) float64 {
+	if len(tr.LatenciesMs) == 0 || q.DeadlineMs <= 0 {
+		return 0
+	}
+	p := q.Percentile
+	if p <= 0 || p >= 1 {
+		p = 0.95
+	}
+	tail := stats.Quantile(tr.LatenciesMs, p)
+	if tail <= q.DeadlineMs {
+		return 1
+	}
+	return mathx.Clip(q.DeadlineMs/tail, 0, 1)
+}
+
+// ThroughputFloorQoE is the eMBB-style model: the QoE is the delivered
+// uplink goodput relative to a contracted FloorMbps, capped at 1.
+type ThroughputFloorQoE struct {
+	FloorMbps float64
+}
+
+// Name implements QoEModel.
+func (q ThroughputFloorQoE) Name() string { return "throughput-floor" }
+
+// Eval implements QoEModel.
+func (q ThroughputFloorQoE) Eval(tr Trace) float64 {
+	if q.FloorMbps <= 0 {
+		return 0
+	}
+	return mathx.Clip(tr.ULThroughputMbps/q.FloorMbps, 0, 1)
+}
+
+// TrafficModel produces a slice's demand trajectory: the number of
+// concurrent on-the-fly frames for each configuration interval. Models
+// are pure functions of (interval, base, seed) — no internal state — so
+// mixed-class multi-slice runs stay deterministic at any worker count.
+type TrafficModel interface {
+	// Name identifies the model in reports and scenario catalogs.
+	Name() string
+	// TrafficAt returns the demand at the given interval. base is the
+	// slice's nominal traffic and seed a per-slice deterministic seed;
+	// implementations must return at least 1.
+	TrafficAt(interval, base int, seed int64) int
+}
+
+// ConstantTraffic is the paper's model: the nominal demand every
+// interval.
+type ConstantTraffic struct{}
+
+// Name implements TrafficModel.
+func (ConstantTraffic) Name() string { return "constant" }
+
+// TrafficAt implements TrafficModel.
+func (ConstantTraffic) TrafficAt(_, base int, _ int64) int {
+	if base < 1 {
+		return 1
+	}
+	return base
+}
+
+// DiurnalTraffic swings sinusoidally between MinFactor·base and base
+// over PeriodIntervals configuration intervals (a compressed
+// day-night cycle).
+type DiurnalTraffic struct {
+	PeriodIntervals int     // full cycle length; <= 0 defaults to 24
+	MinFactor       float64 // trough as a fraction of base, in [0, 1]
+}
+
+// Name implements TrafficModel.
+func (DiurnalTraffic) Name() string { return "diurnal" }
+
+// TrafficAt implements TrafficModel.
+func (d DiurnalTraffic) TrafficAt(interval, base int, _ int64) int {
+	period := d.PeriodIntervals
+	if period <= 0 {
+		period = 24
+	}
+	minf := mathx.Clip(d.MinFactor, 0, 1)
+	phase := 2 * math.Pi * float64(interval%period) / float64(period)
+	factor := minf + (1-minf)*0.5*(1+math.Sin(phase))
+	t := int(math.Round(factor * float64(base)))
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// BurstyTraffic draws each interval's demand from a Poisson
+// distribution with mean base (IoT telemetry: long quiet stretches
+// punctuated by reporting bursts). The draw's randomness derives from
+// (seed, interval) alone, so trajectories replay identically.
+type BurstyTraffic struct{}
+
+// Name implements TrafficModel.
+func (BurstyTraffic) Name() string { return "bursty-poisson" }
+
+// TrafficAt implements TrafficModel.
+func (BurstyTraffic) TrafficAt(interval, base int, seed int64) int {
+	if base < 1 {
+		base = 1
+	}
+	rng := mathx.NewRNG(mathx.ChildSeed(seed, interval))
+	// Knuth's method is fine at the small means slices use.
+	limit := math.Exp(-float64(base))
+	k, p := 0, 1.0
+	for p > limit && k < 64*base {
+		k++
+		p *= rng.Float64()
+	}
+	if k-1 < 1 {
+		return 1
+	}
+	return k - 1
+}
+
+// ServiceClass is one named tenant template: the application's traffic
+// profile, how its quality of experience is judged, the contracted SLA,
+// and how its demand varies over time. The zero App profile means "use
+// the environment's built-in prototype application".
+type ServiceClass struct {
+	// Name identifies the class (e.g. "video-analytics", "teleop").
+	Name string
+	// App is the workload the episode pipeline runs: frame sizes,
+	// result sizes, loading behavior, compute demand.
+	App app.Profile
+	// QoE judges an episode trace; nil falls back to the SLA's
+	// latency-availability model.
+	QoE QoEModel
+	// SLA carries the availability target E (the required QoE level for
+	// every model) and the latency threshold Y (consumed by the
+	// latency-based models and the policy encoding).
+	SLA SLA
+	// Traffic is the nominal demand in concurrent on-the-fly frames.
+	Traffic int
+	// TrafficModel shapes the demand over intervals; nil means
+	// constant.
+	TrafficModel TrafficModel
+}
+
+// DefaultServiceClass is the paper's prototype: 540p video analytics
+// under the latency-availability QoE with constant traffic.
+func DefaultServiceClass() ServiceClass {
+	sla := DefaultSLA()
+	return ServiceClass{
+		Name:         "video-analytics",
+		App:          app.DefaultProfile(),
+		QoE:          AvailabilityQoE{ThresholdMs: sla.ThresholdMs},
+		SLA:          sla,
+		Traffic:      1,
+		TrafficModel: ConstantTraffic{},
+	}
+}
+
+// HasApp reports whether the class carries its own application profile
+// (as opposed to deferring to the environment's built-in one).
+func (c ServiceClass) HasApp() bool { return c.App.FrameKBitMean > 0 }
+
+// QoEModelName returns the class's QoE model name ("latency-availability"
+// when deferring to the SLA).
+func (c ServiceClass) QoEModelName() string {
+	if c.QoE == nil {
+		return AvailabilityQoE{}.Name()
+	}
+	return c.QoE.Name()
+}
+
+// TrafficModelName returns the class's traffic model name ("constant"
+// when none is set).
+func (c ServiceClass) TrafficModelName() string {
+	if c.TrafficModel == nil {
+		return ConstantTraffic{}.Name()
+	}
+	return c.TrafficModel.Name()
+}
+
+// Eval judges a trace under the class's QoE model (falling back to the
+// SLA's latency-availability model).
+func (c ServiceClass) Eval(tr Trace) float64 {
+	if c.QoE == nil {
+		return tr.QoE(c.SLA)
+	}
+	return c.QoE.Eval(tr)
+}
+
+// WithSLA returns a copy of the class bound to a different SLA. For
+// latency-availability QoE models the threshold follows the new SLA's,
+// so an SLA override changes what the model actually judges instead of
+// leaving the QoE frozen at the class's construction threshold.
+func (c ServiceClass) WithSLA(sla SLA) ServiceClass {
+	c.SLA = sla
+	if q, ok := c.QoE.(AvailabilityQoE); ok && q.ThresholdMs != sla.ThresholdMs {
+		c.QoE = AvailabilityQoE{ThresholdMs: sla.ThresholdMs}
+	}
+	return c
+}
+
+// TrafficAt returns the class's demand at one interval given the
+// slice's nominal traffic and deterministic seed.
+func (c ServiceClass) TrafficAt(interval, base int, seed int64) int {
+	if base < 1 {
+		base = 1
+	}
+	if c.TrafficModel == nil {
+		return base
+	}
+	t := c.TrafficModel.TrafficAt(interval, base, seed)
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// Feature is a stable [0, 1) fingerprint of the class's QoE model,
+// used as a policy-encoding input so one surrogate can tell service
+// classes apart.
+func (c ServiceClass) Feature() float64 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(c.QoEModelName()))
+	return float64(h.Sum32()%1024) / 1024
+}
+
+// ClassEnv is a network environment that can run episodes under a
+// specific service class's application profile. The bundled simulator
+// and real-network surrogate implement it; plain Envs fall back to their
+// built-in prototype application via EpisodeFor.
+type ClassEnv interface {
+	Env
+	// EpisodeClass runs one configuration interval with the class's
+	// application workload.
+	EpisodeClass(class ServiceClass, cfg Config, traffic int, seed int64) Trace
+}
+
+// EpisodeFor runs one episode under a class when both the environment
+// and the class support it, falling back to the plain prototype episode
+// otherwise. A nil class always takes the plain path.
+func EpisodeFor(env Env, class *ServiceClass, cfg Config, traffic int, seed int64) Trace {
+	if class != nil {
+		if ce, ok := env.(ClassEnv); ok {
+			return ce.EpisodeClass(*class, cfg, traffic, seed)
+		}
+	}
+	return env.Episode(cfg, traffic, seed)
+}
+
+// EvalFor judges one trace: under the class's QoE model when class is
+// non-nil, else under the SLA's latency-availability model. It is the
+// single evaluation path every layer (offline trainer, online learner,
+// orchestrator, lifecycle) shares.
+func EvalFor(class *ServiceClass, sla SLA, tr Trace) float64 {
+	if class != nil {
+		return class.Eval(tr)
+	}
+	return tr.QoE(sla)
+}

@@ -1,0 +1,182 @@
+package slicing
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		LatenciesMs:      []float64{40, 80, 120, 160, 200, 240, 280, 320, 360, 400},
+		Frames:           10,
+		ULThroughputMbps: 4,
+	}
+}
+
+func TestAvailabilityQoEMatchesSLA(t *testing.T) {
+	tr := sampleTrace()
+	sla := SLA{ThresholdMs: 250, Availability: 0.9}
+	m := AvailabilityQoE{ThresholdMs: 250}
+	if got, want := m.Eval(tr), tr.QoE(sla); got != want {
+		t.Fatalf("availability QoE %v want %v", got, want)
+	}
+}
+
+func TestPercentileDeadlineQoE(t *testing.T) {
+	tr := sampleTrace()
+	relaxed := PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 1000}
+	if q := relaxed.Eval(tr); q != 1 {
+		t.Fatalf("relaxed deadline QoE %v want 1", q)
+	}
+	tight := PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 50}
+	q := tight.Eval(tr)
+	if q <= 0 || q >= 1 {
+		t.Fatalf("tight deadline QoE %v want in (0, 1)", q)
+	}
+	// Tighter deadlines can never score higher.
+	tighter := PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 25}
+	if tighter.Eval(tr) > q {
+		t.Fatal("deadline QoE not monotone in the deadline")
+	}
+	if e := (PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 100}).Eval(Trace{}); e != 0 {
+		t.Fatalf("empty trace QoE %v want 0", e)
+	}
+}
+
+func TestThroughputFloorQoE(t *testing.T) {
+	tr := sampleTrace()
+	if q := (ThroughputFloorQoE{FloorMbps: 2}).Eval(tr); q != 1 {
+		t.Fatalf("above-floor QoE %v want 1", q)
+	}
+	if q := (ThroughputFloorQoE{FloorMbps: 8}).Eval(tr); q != 0.5 {
+		t.Fatalf("half-floor QoE %v want 0.5", q)
+	}
+	if q := (ThroughputFloorQoE{}).Eval(tr); q != 0 {
+		t.Fatalf("zero-floor QoE %v want 0", q)
+	}
+}
+
+func TestTrafficModelsDeterministicAndPositive(t *testing.T) {
+	models := []TrafficModel{
+		ConstantTraffic{},
+		DiurnalTraffic{PeriodIntervals: 24, MinFactor: 0.25},
+		BurstyTraffic{},
+	}
+	for _, m := range models {
+		for it := 0; it < 100; it++ {
+			a := m.TrafficAt(it, 3, 12345)
+			b := m.TrafficAt(it, 3, 12345)
+			if a != b {
+				t.Fatalf("%s: interval %d not deterministic: %d vs %d", m.Name(), it, a, b)
+			}
+			if a < 1 {
+				t.Fatalf("%s: interval %d traffic %d below 1", m.Name(), it, a)
+			}
+		}
+	}
+}
+
+func TestDiurnalTrafficSwings(t *testing.T) {
+	d := DiurnalTraffic{PeriodIntervals: 24, MinFactor: 0.25}
+	lo, hi := math.MaxInt, 0
+	for it := 0; it < 24; it++ {
+		v := d.TrafficAt(it, 4, 0)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo >= hi {
+		t.Fatalf("diurnal traffic flat: lo %d hi %d", lo, hi)
+	}
+	if hi > 4 {
+		t.Fatalf("diurnal traffic %d exceeds base", hi)
+	}
+}
+
+func TestBurstyTrafficVaries(t *testing.T) {
+	b := BurstyTraffic{}
+	seen := map[int]bool{}
+	for it := 0; it < 200; it++ {
+		seen[b.TrafficAt(it, 3, 99)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("bursty traffic never varied")
+	}
+}
+
+func TestServiceClassDefaults(t *testing.T) {
+	c := DefaultServiceClass()
+	if !c.HasApp() {
+		t.Fatal("default class has no app profile")
+	}
+	tr := sampleTrace()
+	if got, want := c.Eval(tr), tr.QoE(c.SLA); got != want {
+		t.Fatalf("default class eval %v want %v", got, want)
+	}
+	// A class without a QoE model falls back to the SLA.
+	bare := ServiceClass{SLA: SLA{ThresholdMs: 250, Availability: 0.9}}
+	if got, want := bare.Eval(tr), tr.QoE(bare.SLA); got != want {
+		t.Fatalf("bare class eval %v want %v", got, want)
+	}
+	if bare.TrafficAt(5, 2, 1) != 2 {
+		t.Fatal("bare class traffic not constant")
+	}
+	if bare.TrafficAt(5, 0, 1) != 1 {
+		t.Fatal("bare class traffic floor not applied")
+	}
+}
+
+func TestServiceClassFeatureDistinguishesQoEModels(t *testing.T) {
+	a := ServiceClass{QoE: AvailabilityQoE{ThresholdMs: 300}}
+	b := ServiceClass{QoE: PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 150}}
+	c := ServiceClass{QoE: ThroughputFloorQoE{FloorMbps: 6}}
+	if a.Feature() == b.Feature() || b.Feature() == c.Feature() || a.Feature() == c.Feature() {
+		t.Fatal("QoE-model fingerprints collide")
+	}
+	for _, cls := range []ServiceClass{a, b, c, {}} {
+		f := cls.Feature()
+		if f < 0 || f >= 1 {
+			t.Fatalf("fingerprint %v outside [0, 1)", f)
+		}
+	}
+	// Nil QoE shares the availability fingerprint (same model).
+	if (ServiceClass{}).Feature() != a.Feature() {
+		t.Fatal("nil QoE fingerprint differs from availability")
+	}
+}
+
+func TestWithSLARebindsAvailabilityThreshold(t *testing.T) {
+	c := DefaultServiceClass() // availability QoE at 300 ms
+	override := SLA{ThresholdMs: 500, Availability: 0.8}
+	d := c.WithSLA(override)
+	if d.SLA != override {
+		t.Fatalf("SLA not rebound: %+v", d.SLA)
+	}
+	if q, ok := d.QoE.(AvailabilityQoE); !ok || q.ThresholdMs != 500 {
+		t.Fatalf("availability threshold not rebound: %+v", d.QoE)
+	}
+	// The original class is untouched.
+	if q := c.QoE.(AvailabilityQoE); q.ThresholdMs != 300 {
+		t.Fatalf("original class mutated: %+v", q)
+	}
+	// Non-latency models keep their own parameters.
+	e := ServiceClass{QoE: ThroughputFloorQoE{FloorMbps: 6}, SLA: SLA{ThresholdMs: 800, Availability: 0.9}}
+	if f := e.WithSLA(override).QoE.(ThroughputFloorQoE); f.FloorMbps != 6 {
+		t.Fatalf("floor model perturbed by SLA rebind: %+v", f)
+	}
+}
+
+func TestEvalForSharedHelper(t *testing.T) {
+	tr := sampleTrace()
+	sla := SLA{ThresholdMs: 250, Availability: 0.9}
+	if got, want := EvalFor(nil, sla, tr), tr.QoE(sla); got != want {
+		t.Fatalf("nil-class eval %v want %v", got, want)
+	}
+	c := ServiceClass{QoE: ThroughputFloorQoE{FloorMbps: 8}}
+	if got := EvalFor(&c, sla, tr); got != 0.5 {
+		t.Fatalf("class eval %v want 0.5", got)
+	}
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_scenarios.sh — run one simulator episode benchmark per cataloged
+# service class and emit a JSON snapshot of per-class episode throughput,
+# seeding the workload-coverage trajectory across PRs.
+#
+#	scripts/bench_scenarios.sh            # writes BENCH_2.json
+#	scripts/bench_scenarios.sh out.json   # custom output path
+#	BENCHTIME=1x scripts/bench_scenarios.sh   # CI smoke budget
+#
+# The snapshot records ns/op and episodes/second for every service class
+# in the scenario catalog (video analytics, teleoperation, IoT
+# telemetry, bulk streaming, ...), so a regression in any class's episode
+# pipeline is visible, not just the prototype's.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+benchtime="${BENCHTIME:-10x}"
+
+raw="$(go test -run '^$' -bench '^BenchmarkScenarioEpisode$' -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^BenchmarkScenarioEpisode\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkScenarioEpisode\//, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"scenario-episodes\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"classes\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		eps = (ns[name] > 0) ? 1e9 / ns[name] : 0
+		printf "    {\"class\": \"%s\", \"iters\": %s, \"ns_per_episode\": %s, \"episodes_per_sec\": %.2f}%s\n", \
+			name, iters[name], ns[name], eps, (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n"
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
