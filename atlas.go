@@ -53,6 +53,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/simnet/app"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // Domain vocabulary (see internal/slicing).
@@ -153,6 +154,21 @@ type (
 	EpochMetrics = core.EpochMetrics
 	// EnvPool hands out environments to concurrent slice loops.
 	EnvPool = core.EnvPool
+
+	// ArtifactStore is the content-addressed store that persists every
+	// learned model (calibrations, offline policies, online residuals)
+	// keyed by canonical fingerprints.
+	ArtifactStore = store.Store
+	// PolicySnapshot is the versioned serializable form of a Policy.
+	PolicySnapshot = core.PolicySnapshot
+	// OfflineArtifact is the store payload of one stage-2 training run.
+	OfflineArtifact = core.OfflineArtifact
+	// OnlineSnapshot is the serializable learned state of an
+	// OnlineLearner (residual model + dual multiplier).
+	OnlineSnapshot = core.OnlineSnapshot
+	// OfflineOutcome reports how a stage-2 artifact was obtained
+	// (trained, restored, diagnostic).
+	OfflineOutcome = core.OfflineOutcome
 )
 
 // Substrates.
@@ -233,4 +249,24 @@ var (
 	// ServiceClasses returns the distinct service classes across the
 	// catalog.
 	ServiceClasses = scenarios.Classes
+
+	// OpenStore opens (or creates) an on-disk artifact store.
+	OpenStore = store.Open
+	// InMemoryStore returns a dirless artifact store (process-local
+	// cache and dedup point).
+	InMemoryStore = store.InMemory
+	// SnapshotPolicy serializes a trained policy.
+	SnapshotPolicy = core.SnapshotPolicy
+	// PolicyFromSnapshot restores a policy for a service class.
+	PolicyFromSnapshot = core.PolicyFromSnapshot
+	// OfflineFingerprint computes the content address of a stage-2
+	// training run (environment, class, SLA, traffic, budgets, seed).
+	OfflineFingerprint = core.OfflineFingerprint
+	// OfflineSeed derives the canonical training seed for a stage-2
+	// run from a base seed and the run's seedless fingerprint.
+	OfflineSeed = core.OfflineSeed
+	// RunOfflineWithStore is the load-or-train path for stage 2.
+	RunOfflineWithStore = core.RunOfflineWithStore
+	// RunCalibrationWithStore is the load-or-search path for stage 1.
+	RunCalibrationWithStore = core.RunCalibrationWithStore
 )

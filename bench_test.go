@@ -13,6 +13,7 @@ package atlas_test
 //	go run ./cmd/atlas-bench -run all -paper   # paper-scale budgets
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/gp"
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/stats"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // benchExperiment runs one registered paper artifact per iteration on
@@ -298,6 +300,101 @@ func BenchmarkCRGPUCBBeta(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Beta(i%100+1, rng)
 	}
+}
+
+// ---- artifact-store fleet benchmarks --------------------------------
+
+// storeFleetOrchestrator builds the BENCH_3 workload: a 16-slice fleet
+// sharing one service class (the train-once-per-class case), each slice
+// requesting on-admission offline training plus a short online loop.
+func storeFleetOrchestrator(st *store.Store, warm bool) *atlas.Orchestrator {
+	real := atlas.NewRealNetwork()
+	sim := atlas.NewSimulator()
+	specs := make([]atlas.SliceSpec, 16)
+	for i := range specs {
+		specs[i] = atlas.SliceSpec{
+			ID:      fmt.Sprintf("slice-%02d", i),
+			SLA:     atlas.DefaultSLA(),
+			Traffic: 1,
+			Train:   true,
+		}
+	}
+	opts := atlas.DefaultOrchestratorOptions()
+	opts.Seed = 7
+	opts.Intervals = 2
+	opts.Online.Pool = 64
+	opts.Online.N = 2
+	opts.Offline.Iters, opts.Offline.Explore = 120, 25
+	opts.Offline.Pool, opts.Offline.Batch = 800, 4
+	opts.Warm, opts.Save = warm, true
+	orch := atlas.NewOrchestrator(real, sim, specs, opts)
+	orch.Store = st
+	return orch
+}
+
+func checkFleet(b *testing.B, res *atlas.OrchestratorResult) {
+	b.Helper()
+	for i := range res.Slices {
+		if res.Slices[i].Err != nil {
+			b.Fatalf("slice %d: %v", i, res.Slices[i].Err)
+		}
+	}
+}
+
+// BenchmarkStoreColdFleet measures end-to-end orchestration of the
+// 16-slice single-class fleet against an empty store: the in-run
+// singleflight dedups the sixteen identical fingerprints down to
+// exactly one offline training, and the artifact lands in the store.
+func BenchmarkStoreColdFleet(b *testing.B) {
+	var trainings, hits float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res := storeFleetOrchestrator(st, true).Run()
+		trainings += float64(res.OfflineTrainings)
+		hits += float64(res.OfflineStoreHits)
+		b.StopTimer()
+		checkFleet(b, res)
+		b.StartTimer()
+	}
+	b.ReportMetric(trainings/float64(b.N), "trainings")
+	b.ReportMetric(hits/float64(b.N), "store_hits")
+}
+
+// BenchmarkStoreWarmFleet measures the same fleet against a populated
+// store: every policy restores from disk (a fresh store handle per
+// iteration, so the read-through is really exercised) and zero
+// training runs.
+func BenchmarkStoreWarmFleet(b *testing.B) {
+	seedStore, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := seedStore.Dir()
+	checkFleet(b, storeFleetOrchestrator(seedStore, false).Run()) // populate
+	b.ResetTimer()
+
+	var trainings, hits float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res := storeFleetOrchestrator(st, true).Run()
+		trainings += float64(res.OfflineTrainings)
+		hits += float64(res.OfflineStoreHits)
+		b.StopTimer()
+		checkFleet(b, res)
+		b.StartTimer()
+	}
+	b.ReportMetric(trainings/float64(b.N), "trainings")
+	b.ReportMetric(hits/float64(b.N), "store_hits")
 }
 
 // BenchmarkOracleSearch measures the regret-anchor search at test

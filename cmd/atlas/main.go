@@ -20,6 +20,15 @@
 //	atlas -scenario mixed -slices 4   # video + teleop + IoT + eMBB
 //	atlas -scenario urllc -slices 2   # deadline-percentile tenants
 //
+// With -store DIR every learned artifact (stage-1 calibration, stage-2
+// policy) is keyed by its content fingerprint in an on-disk artifact
+// store. -save writes trained artifacts back; -warm restores matching
+// artifacts instead of retraining, which turns a repeated run into a
+// warm start:
+//
+//	atlas -slices 16 -store ./artifacts -save          # cold: train once per class
+//	atlas -slices 16 -store ./artifacts -warm -save    # warm: restore, zero training
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -37,6 +46,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/scenarios"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 func main() {
@@ -54,6 +64,9 @@ func main() {
 		slices       = flag.Int("slices", 1, "number of concurrent tenant slices (>1 enables the orchestrator)")
 		workers      = flag.Int("workers", 0, "orchestrator worker bound (0 = GOMAXPROCS)")
 		scenario     = flag.String("scenario", "", "named scenario from the catalog (heterogeneous service classes); empty = prototype service")
+		storeDir     = flag.String("store", "", "artifact-store directory for learned models (empty = no persistence)")
+		save         = flag.Bool("save", false, "write trained artifacts back to the store (requires -store)")
+		warm         = flag.Bool("warm", false, "restore matching artifacts from the store instead of retraining (requires -store)")
 	)
 	flag.Parse()
 
@@ -98,6 +111,16 @@ func main() {
 			fail("unknown scenario %q; valid scenarios: %s", *scenario, strings.Join(scenarios.Names(), ", "))
 		}
 	}
+	if (*save || *warm) && *storeDir == "" {
+		fail("-save and -warm require -store DIR")
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fail("open artifact store: %v", err)
+		}
+	}
 
 	sla := slicing.SLA{ThresholdMs: *threshold, Availability: *availability}
 	real := realnet.New()
@@ -105,8 +128,10 @@ func main() {
 	space := slicing.DefaultConfigSpace()
 	seeds := mathx.Split(*seed, 8)
 
+	sc := storeCtx{st: st, warm: *warm, save: *save}
+
 	if *scenario != "" {
-		runScenario(real, sim, scen, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha,
+		runScenario(real, sim, sc, scen, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha,
 			overrides{traffic: *traffic, threshold: *threshold, availability: *availability})
 		return
 	}
@@ -120,14 +145,14 @@ func main() {
 				thresholds = []float64{*threshold}
 			}
 		})
-		runMultiSlice(real, sim, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha, *traffic, thresholds, *availability)
+		runMultiSlice(real, sim, sc, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha, *traffic, thresholds, *availability)
 		return
 	}
 
 	fmt.Println("== stage 1: learning-based simulator ==")
 	cal := newSharedCalibrator(real, sim, seeds[0].Int63(), *s1Iters, *batch, *pool, *alpha, *traffic)
 	orig := cal.Discrepancy(slicing.DefaultSimParams())
-	cres := cal.Run(seeds[1])
+	cres := sc.calibrate(cal, seeds[1].Int63())
 	fmt.Printf("original discrepancy: %.3f\n", orig)
 	fmt.Printf("calibrated:           %.3f (%.0f%% reduction), parameter distance %.3f\n",
 		cres.BestKL, 100*(1-cres.BestKL/orig), cres.BestDistance)
@@ -139,7 +164,14 @@ func main() {
 	oopts := core.DefaultOfflineOptions()
 	oopts.Iters, oopts.Batch, oopts.Pool, oopts.SLA, oopts.Traffic = *s2Iters, *batch, *pool, sla, *traffic
 	oopts.Explore = *s2Iters / 5
-	ores := core.NewOfflineTrainer(aug, oopts).Run(seeds[2])
+	oout := core.RunOfflineWithStore(aug, oopts, core.OfflineSeed(aug, seeds[2].Int63(), oopts), sc.st, sc.warm, sc.save)
+	if oout.Diag != nil {
+		fmt.Fprintf(os.Stderr, "atlas: store diagnostic (stage 2): %v\n", oout.Diag)
+	}
+	if oout.Hit {
+		fmt.Printf("restored policy %.12s from the artifact store\n", oout.Key)
+	}
+	ores := oout.Result
 	fmt.Printf("best offline config:  %v\n", ores.BestConfig)
 	fmt.Printf("offline usage/QoE:    %.1f%% / %.3f (lambda %.2f)\n\n",
 		100*ores.BestUsage, ores.BestQoE, ores.Policy.Lambda)
@@ -159,6 +191,48 @@ func main() {
 		tail, 100*baselines.MeanTail(run.Usages, tail), baselines.MeanTail(run.QoEs, tail))
 	fmt.Printf("avg usage regret:     %.2f%%\n", 100*run.Regret.AvgUsageRegret())
 	fmt.Printf("avg QoE regret:       %.3f\n", run.Regret.AvgQoERegret())
+}
+
+// storeCtx bundles the artifact-store flags every run path threads
+// through: the (optional) store plus the warm/save policy.
+type storeCtx struct {
+	st   *store.Store
+	warm bool
+	save bool
+}
+
+// calibrate runs (or restores) stage 1, reporting store traffic.
+func (sc storeCtx) calibrate(cal *core.Calibrator, seed int64) *core.CalibrationResult {
+	res, key, hit, diag := core.RunCalibrationWithStore(cal, seed, sc.st, sc.warm, sc.save)
+	if diag != nil {
+		fmt.Fprintf(os.Stderr, "atlas: store diagnostic (stage 1): %v\n", diag)
+	}
+	if hit {
+		fmt.Printf("restored calibration %.12s from the artifact store\n", key)
+	}
+	return res
+}
+
+// apply wires the store into an orchestrator.
+func (sc storeCtx) apply(orch *core.Orchestrator) {
+	orch.Store = sc.st
+	orch.Opts.Warm = sc.warm
+	orch.Opts.Save = sc.save
+}
+
+// report prints the offline-training accounting of an orchestrated run.
+func (sc storeCtx) report(res *core.OrchestratorResult) {
+	fmt.Printf("\noffline training: %d trained, %d restored from store, %d shared in-run\n",
+		res.OfflineTrainings, res.OfflineStoreHits, res.OfflineShared)
+	seen := map[string]bool{}
+	for _, sr := range res.Slices {
+		// Shared flights surface the same diagnostic on every rider;
+		// print each distinct one once.
+		if sr.OfflineDiag != nil && !seen[sr.OfflineDiag.Error()] {
+			seen[sr.OfflineDiag.Error()] = true
+			fmt.Fprintf(os.Stderr, "atlas: store diagnostic: %v\n", sr.OfflineDiag)
+		}
+	}
 }
 
 // overrides carries the per-tenant flags a user set explicitly on top
@@ -215,13 +289,13 @@ func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed in
 // runScenario is the catalog-driven path: one shared stage-1
 // calibration, then a heterogeneous fleet expanded from the scenario's
 // service classes, with per-slice and per-class reporting.
-func runScenario(real *realnet.Network, sim *simnet.Simulator, scen scenarios.Scenario, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, over overrides) {
+func runScenario(real *realnet.Network, sim *simnet.Simulator, sc storeCtx, scen scenarios.Scenario, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, over overrides) {
 	over = over.explicit()
 	seeds := mathx.Split(seed, 4)
 
 	fmt.Printf("== scenario %q: %s ==\n", scen.Name, scen.Description)
 	fmt.Printf("== stage 1 (shared): learning-based simulator ==\n")
-	cres := newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, 1).Run(seeds[1])
+	cres := sc.calibrate(newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, 1), seeds[1].Int63())
 	fmt.Printf("calibrated discrepancy %.3f, parameter distance %.3f\n\n", cres.BestKL, cres.BestDistance)
 	aug := sim.WithParams(cres.BestParams)
 
@@ -241,7 +315,9 @@ func runScenario(real *realnet.Network, sim *simnet.Simulator, scen scenarios.Sc
 
 	fmt.Printf("== stages 2+3: %d slices over %d classes, %d intervals each ==\n",
 		nSlices, len(scen.Classes), onIters)
-	res := core.NewOrchestrator(real, aug, specs, opts).Run()
+	orch := core.NewOrchestrator(real, aug, specs, opts)
+	sc.apply(orch)
+	res := orch.Run()
 	tail := max(1, onIters/5)
 	for _, sr := range res.Slices {
 		if sr.Err != nil {
@@ -263,16 +339,17 @@ func runScenario(real *realnet.Network, sim *simnet.Simulator, scen scenarios.Sc
 	last := res.Epochs[len(res.Epochs)-1]
 	fmt.Printf("\nfinal epoch: mean usage %.1f%% mean QoE %.3f, %d violations across run\n",
 		100*last.MeanUsage, last.MeanQoE, res.TotalViolations())
+	sc.report(res)
 }
 
 // runMultiSlice is the legacy orchestrated path (no scenario): one
 // shared stage-1 calibration, then nSlices per-tenant stage-2/stage-3
 // pipelines running concurrently.
-func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, traffic int, thresholds []float64, availability float64) {
+func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, sc storeCtx, nSlices, workers int, seed int64, s1Iters, s2Iters, onIters, batch, pool int, alpha float64, traffic int, thresholds []float64, availability float64) {
 	seeds := mathx.Split(seed, 4)
 
 	fmt.Printf("== stage 1 (shared): learning-based simulator ==\n")
-	cres := newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, traffic).Run(seeds[1])
+	cres := sc.calibrate(newSharedCalibrator(real, sim, seeds[0].Int63(), s1Iters, batch, pool, alpha, traffic), seeds[1].Int63())
 	fmt.Printf("calibrated discrepancy %.3f, parameter distance %.3f\n\n", cres.BestKL, cres.BestDistance)
 	aug := sim.WithParams(cres.BestParams)
 
@@ -297,7 +374,9 @@ func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, nSlices, worker
 	opts.Offline.Explore = s2Iters / 5
 
 	fmt.Printf("== stages 2+3: %d slices, %d intervals each ==\n", nSlices, onIters)
-	res := core.NewOrchestrator(real, aug, specs, opts).Run()
+	orch := core.NewOrchestrator(real, aug, specs, opts)
+	sc.apply(orch)
+	res := orch.Run()
 	for _, sr := range res.Slices {
 		if sr.Err != nil {
 			fmt.Printf("%-10s error: %v\n", sr.Spec.ID, sr.Err)
@@ -311,4 +390,5 @@ func runMultiSlice(real *realnet.Network, sim *simnet.Simulator, nSlices, worker
 	last := res.Epochs[len(res.Epochs)-1]
 	fmt.Printf("\nfinal epoch: mean usage %.1f%% mean QoE %.3f, %d violations across run\n",
 		100*last.MeanUsage, last.MeanQoE, res.TotalViolations())
+	sc.report(res)
 }

@@ -2,6 +2,11 @@
 // calibrate the simulator against real measurements (stage 1), train
 // the configuration policy offline (stage 2), then learn safely online
 // (stage 3). It finishes in about a minute on one core.
+//
+// Every learned artifact is persisted in a content-addressed store
+// under ./atlas-artifacts, so running the program a second time
+// warm-starts stages 1 and 2 from disk instead of retraining — the
+// same behavior `atlas -store DIR -warm -save` exposes on the CLI.
 package main
 
 import (
@@ -17,6 +22,14 @@ func main() {
 	space := atlas.DefaultConfigSpace()
 	sla := atlas.DefaultSLA()
 
+	// The artifact store: calibrations and policies are keyed by a
+	// canonical fingerprint of everything that determined them, so a
+	// rerun with the same budgets and seeds hits instead of retraining.
+	st, err := atlas.OpenStore("atlas-artifacts")
+	if err != nil {
+		fmt.Println("artifact store unavailable, running cold:", err)
+	}
+
 	// ---- Stage 1: learning-based simulator -------------------------
 	// The operator logs slice latencies from the incumbent deployment;
 	// that online collection D_r anchors the parameter search.
@@ -26,7 +39,10 @@ func main() {
 	copts.Iters, copts.Explore = 80, 20
 	cal := atlas.NewCalibrator(sim, dr, copts)
 	before := cal.Discrepancy(atlas.DefaultSimParams())
-	calib := cal.Run(rand.New(rand.NewSource(12)))
+	calib, _, calHit, _ := atlas.RunCalibrationWithStore(cal, 12, st, true, true)
+	if calHit {
+		fmt.Println("stage 1: calibration restored from the artifact store")
+	}
 	fmt.Printf("stage 1: discrepancy %.3f -> %.3f (param distance %.3f)\n",
 		before, calib.BestKL, calib.BestDistance)
 
@@ -35,7 +51,11 @@ func main() {
 	// ---- Stage 2: offline training ----------------------------------
 	oopts := atlas.DefaultOfflineOptions()
 	oopts.Iters, oopts.Explore = 120, 25
-	offline := atlas.NewOfflineTrainer(aug, oopts).Run(rand.New(rand.NewSource(13)))
+	oout := atlas.RunOfflineWithStore(aug, oopts, atlas.OfflineSeed(aug, 13, oopts), st, true, true)
+	offline := oout.Result
+	if oout.Hit {
+		fmt.Printf("stage 2: policy %.12s restored from the artifact store\n", oout.Key)
+	}
 	fmt.Printf("stage 2: offline optimum %.1f%% usage at QoE %.3f\n",
 		100*offline.BestUsage, offline.BestQoE)
 	fmt.Printf("         config: %v\n", offline.BestConfig)
@@ -64,4 +84,14 @@ func main() {
 	}
 	fmt.Printf("stage 3: after %d intervals QoE converges to %.3f (target %.1f)\n",
 		intervals, q/float64(len(last)), sla.Availability)
+
+	// The learner's residual GP snapshots too — System checkpoints it
+	// every interval; here we just show the round trip.
+	if snap, err := learner.Snapshot(); err == nil && st != nil {
+		key := atlas.OfflineFingerprint(aug, oopts, atlas.OfflineSeed(aug, 13, oopts))
+		_ = st.Put("online", key, snap)
+		fmt.Printf("saved online residual checkpoint (%d observations); "+
+			"rerun this program to warm-start stages 1+2 from %s\n",
+			learner.Residuals(), st.Dir())
+	}
 }

@@ -1,0 +1,131 @@
+package bnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/nn"
+	"github.com/atlas-slicing/atlas/internal/stats"
+)
+
+// SnapshotVersion tags the Bayesian-network snapshot encoding; restore
+// rejects other versions with a diagnostic instead of misreading bytes.
+const SnapshotVersion = 1
+
+// LayerState is the serializable form of one variational layer: the
+// (μ, ρ) posteriors plus the Adadelta accumulators, so a restored model
+// both predicts and continues training bit-identically (given the same
+// RNG stream).
+type LayerState struct {
+	In      int                  `json:"in"`
+	Out     int                  `json:"out"`
+	MuW     []float64            `json:"mu_w"`
+	RhoW    []float64            `json:"rho_w"`
+	MuB     []float64            `json:"mu_b"`
+	RhoB    []float64            `json:"rho_b"`
+	AdaMuW  *nn.AdadeltaSnapshot `json:"ada_mu_w,omitempty"`
+	AdaRhoW *nn.AdadeltaSnapshot `json:"ada_rho_w,omitempty"`
+	AdaMuB  *nn.AdadeltaSnapshot `json:"ada_mu_b,omitempty"`
+	AdaRhoB *nn.AdadeltaSnapshot `json:"ada_rho_b,omitempty"`
+}
+
+// State is the versioned serializable form of a Model. The training RNG
+// is deliberately not captured: restore takes a fresh one, and callers
+// that need reproducible post-restore sampling reseed explicitly.
+type State struct {
+	Version int               `json:"version"`
+	InDim   int               `json:"in_dim"`
+	Opts    Options           `json:"opts"`
+	Layers  []LayerState      `json:"layers"`
+	Scaler  stats.ScalerState `json:"scaler"`
+	Fitted  bool              `json:"fitted"`
+}
+
+// Snapshot returns a deep-copied serializable snapshot of the model.
+func (m *Model) Snapshot() *State {
+	s := &State{
+		Version: SnapshotVersion,
+		InDim:   m.inDim,
+		Opts:    m.opts,
+		Scaler:  m.scaler.State(),
+		Fitted:  m.fitted,
+	}
+	for _, l := range m.layers {
+		s.Layers = append(s.Layers, LayerState{
+			In:      l.in,
+			Out:     l.out,
+			MuW:     append([]float64(nil), l.muW...),
+			RhoW:    append([]float64(nil), l.rhoW...),
+			MuB:     append([]float64(nil), l.muB...),
+			RhoB:    append([]float64(nil), l.rhoB...),
+			AdaMuW:  l.adaMuW.Snapshot(),
+			AdaRhoW: l.adaRhoW.Snapshot(),
+			AdaMuB:  l.adaMuB.Snapshot(),
+			AdaRhoB: l.adaRhoB.Snapshot(),
+		})
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a model from its snapshot, validating the
+// version tag and every layer's dimensions. rng seeds the restored
+// model's training/sampling stream (snapshot encodings never carry RNG
+// state).
+func FromSnapshot(s *State, rng *rand.Rand) (*Model, error) {
+	if s == nil {
+		return nil, fmt.Errorf("bnn: nil snapshot")
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("bnn: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if s.InDim <= 0 {
+		return nil, fmt.Errorf("bnn: snapshot input dim %d", s.InDim)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("bnn: snapshot has no layers")
+	}
+	if s.Layers[0].In != s.InDim {
+		return nil, fmt.Errorf("bnn: first layer dim %d does not match input dim %d", s.Layers[0].In, s.InDim)
+	}
+	if last := s.Layers[len(s.Layers)-1]; last.Out != 1 {
+		return nil, fmt.Errorf("bnn: final layer width %d, want scalar output", last.Out)
+	}
+	m := &Model{opts: s.Opts, inDim: s.InDim, rng: rng, fitted: s.Fitted}
+	m.scaler = stats.ScalerFromState(s.Scaler)
+	for i, ls := range s.Layers {
+		if ls.In <= 0 || ls.Out <= 0 {
+			return nil, fmt.Errorf("bnn: layer %d has bad dims %dx%d", i, ls.In, ls.Out)
+		}
+		if i > 0 && ls.In != s.Layers[i-1].Out {
+			return nil, fmt.Errorf("bnn: layer %d input dim %d does not chain from previous output %d",
+				i, ls.In, s.Layers[i-1].Out)
+		}
+		nW, nB := ls.In*ls.Out, ls.Out
+		if len(ls.MuW) != nW || len(ls.RhoW) != nW || len(ls.MuB) != nB || len(ls.RhoB) != nB {
+			return nil, fmt.Errorf("bnn: layer %d parameter lengths inconsistent with dims %dx%d", i, ls.In, ls.Out)
+		}
+		l := &bayesLayer{
+			in:   ls.In,
+			out:  ls.Out,
+			muW:  append([]float64(nil), ls.MuW...),
+			rhoW: append([]float64(nil), ls.RhoW...),
+			muB:  append([]float64(nil), ls.MuB...),
+			rhoB: append([]float64(nil), ls.RhoB...),
+		}
+		var err error
+		if l.adaMuW, err = nn.AdadeltaFromSnapshot(ls.AdaMuW, nW); err != nil {
+			return nil, fmt.Errorf("bnn: layer %d: %w", i, err)
+		}
+		if l.adaRhoW, err = nn.AdadeltaFromSnapshot(ls.AdaRhoW, nW); err != nil {
+			return nil, fmt.Errorf("bnn: layer %d: %w", i, err)
+		}
+		if l.adaMuB, err = nn.AdadeltaFromSnapshot(ls.AdaMuB, nB); err != nil {
+			return nil, fmt.Errorf("bnn: layer %d: %w", i, err)
+		}
+		if l.adaRhoB, err = nn.AdadeltaFromSnapshot(ls.AdaRhoB, nB); err != nil {
+			return nil, fmt.Errorf("bnn: layer %d: %w", i, err)
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/atlas-slicing/atlas/internal/bnn"
+	"github.com/atlas-slicing/atlas/internal/gp"
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
+)
+
+// This file is the persistence and dedup layer of the pipeline: every
+// learned artifact — the stage-1 calibration, the stage-2 policy, the
+// stage-3 residual GP — gains a versioned snapshot form, a canonical
+// fingerprint of everything that determined it, and a load-or-train
+// path against the content-addressed artifact store. The paper's §10
+// individualizes learning per slice; fingerprinting makes the sharing
+// structure explicit instead: identical (class, SLA, traffic, budgets,
+// seed) tuples are the same artifact, trained once per class rather
+// than once per slice, and surviving process exit.
+
+// ArtifactVersion tags every core-level artifact payload (on top of the
+// store's envelope version). Restore rejects other versions with a
+// diagnostic.
+const ArtifactVersion = 1
+
+// ---- fingerprints ---------------------------------------------------
+
+// classFingerprint is the canonical value-identity of a service class:
+// two *ServiceClass pointers with equal fingerprints train identical
+// policies, so they share one artifact.
+type classFingerprint struct {
+	Name         string      `json:"name"`
+	QoE          string      `json:"qoe"`
+	TrafficModel string      `json:"traffic_model"`
+	App          app.Profile `json:"app"`
+	SLA          slicing.SLA `json:"sla"`
+	Traffic      int         `json:"traffic"`
+}
+
+// classFP builds the canonical descriptor of a (possibly nil) class.
+// The QoE and traffic models are concrete parameter structs, so their
+// %T%+v rendering is a complete, deterministic value identity.
+func classFP(c *slicing.ServiceClass) *classFingerprint {
+	if c == nil {
+		return nil
+	}
+	fp := &classFingerprint{
+		Name:         c.Name,
+		App:          c.App,
+		SLA:          c.SLA,
+		Traffic:      c.Traffic,
+		QoE:          fmt.Sprintf("%T%+v", c.QoE, c.QoE),
+		TrafficModel: fmt.Sprintf("%T%+v", c.TrafficModel, c.TrafficModel),
+	}
+	return fp
+}
+
+// EnvFingerprinter is implemented by environments whose identity keys
+// stored artifacts (the bundled simulator hashes its structural profile
+// and calibrated parameters). Policies trained in different
+// environments must never share an artifact; environments that do not
+// implement it contribute an empty identity, which keeps dedup sound
+// within a run but makes cross-process sharing the caller's
+// responsibility.
+type EnvFingerprinter interface {
+	EnvFingerprint() string
+}
+
+// envFP extracts an environment's artifact identity, "" when it has
+// none.
+func envFP(env slicing.Env) string {
+	if f, ok := env.(EnvFingerprinter); ok {
+		return f.EnvFingerprint()
+	}
+	return ""
+}
+
+// offlineFingerprint is the canonical identity of a stage-2 training
+// run: environment, service class, scenario, configuration space,
+// every budget, and the training seed. Equal fingerprints produce
+// bit-identical policies.
+type offlineFingerprint struct {
+	Kind      string              `json:"kind"`
+	Env       string              `json:"env"`
+	Class     *classFingerprint   `json:"class,omitempty"`
+	SLA       slicing.SLA         `json:"sla"`
+	Traffic   int                 `json:"traffic"`
+	Space     slicing.ConfigSpace `json:"space"`
+	Iters     int                 `json:"iters"`
+	Explore   int                 `json:"explore"`
+	Pool      int                 `json:"pool"`
+	Batch     int                 `json:"batch"`
+	Eps       float64             `json:"eps"`
+	Episodes  int                 `json:"episodes"`
+	BNN       bnn.Options         `json:"bnn"`
+	FitEpochs int                 `json:"fit_epochs"`
+	UseGP     bool                `json:"use_gp"`
+	GPAcq     string              `json:"gp_acq"`
+	Seed      int64               `json:"seed"`
+}
+
+// OfflineFingerprint returns the content address of a stage-2 training
+// run: a canonical hash of (environment, service-class fingerprint,
+// SLA, traffic, config space, budgets, seed). It keys the artifact
+// store and the orchestrator's in-run singleflight.
+func OfflineFingerprint(env slicing.Env, oo OfflineOptions, seed int64) string {
+	return store.Fingerprint(offlineFingerprint{
+		Kind:      "offline",
+		Env:       envFP(env),
+		Class:     classFP(oo.Class),
+		SLA:       oo.SLA,
+		Traffic:   oo.Traffic,
+		Space:     oo.Space,
+		Iters:     oo.Iters,
+		Explore:   oo.Explore,
+		Pool:      oo.Pool,
+		Batch:     oo.Batch,
+		Eps:       oo.Eps,
+		Episodes:  oo.Episodes,
+		BNN:       oo.BNN,
+		FitEpochs: oo.FitEpochs,
+		UseGP:     oo.UseGP,
+		GPAcq:     fmt.Sprintf("%T%+v", oo.GPAcq, oo.GPAcq),
+		Seed:      seed,
+	})
+}
+
+// OfflineSeed derives the canonical training seed for a stage-2 run: a
+// pure function of the caller's base seed and the run's seedless
+// fingerprint. Every slice of a class derives the same seed, which is
+// what makes "dedup'd training" and "per-slice training" bit-identical
+// — the shared artifact is exactly what each slice would have trained.
+func OfflineSeed(env slicing.Env, base int64, oo OfflineOptions) int64 {
+	state := uint64(base) ^ uint64(store.FingerprintSeed(OfflineFingerprint(env, oo, 0)))
+	return int64(mathx.SplitMix64(&state))
+}
+
+// calibrationFingerprint is the canonical identity of a stage-1 search:
+// the calibrator options (budgets, search space, measurement condition)
+// plus a content hash of the real-measurement collection and the
+// search seed.
+type calibrationFingerprint struct {
+	Kind       string            `json:"kind"`
+	Opts       CalibratorOptions `json:"opts"`
+	Collection string            `json:"collection"`
+	Seed       int64             `json:"seed"`
+}
+
+// CalibrationFingerprint returns the content address of a stage-1
+// search over the given real-measurement collection.
+func CalibrationFingerprint(opts CalibratorOptions, real []float64, seed int64) string {
+	return store.Fingerprint(calibrationFingerprint{
+		Kind:       "calibration",
+		Opts:       opts,
+		Collection: store.Fingerprint(real),
+		Seed:       seed,
+	})
+}
+
+// ---- policy and offline artifacts -----------------------------------
+
+// PolicySnapshot is the versioned serializable form of a stage-2
+// Policy: the BNN posterior, the scenario bindings, and the final dual
+// multiplier. The service class itself is carried by identity (name +
+// encoding feature), not by value — restore rebinds the caller's class
+// and verifies it matches what the policy was trained for.
+type PolicySnapshot struct {
+	Version      int                 `json:"version"`
+	Model        *bnn.State          `json:"model,omitempty"`
+	Space        slicing.ConfigSpace `json:"space"`
+	SLA          slicing.SLA         `json:"sla"`
+	Traffic      int                 `json:"traffic"`
+	Lambda       float64             `json:"lambda"`
+	ClassName    string              `json:"class_name,omitempty"`
+	ClassFeature float64             `json:"class_feature"`
+}
+
+// SnapshotPolicy returns the policy's serializable snapshot.
+func SnapshotPolicy(p *Policy) *PolicySnapshot {
+	if p == nil {
+		return nil
+	}
+	s := &PolicySnapshot{
+		Version: ArtifactVersion,
+		Space:   p.Space,
+		SLA:     p.SLA,
+		Traffic: p.Traffic,
+		Lambda:  p.Lambda,
+	}
+	if p.Model != nil {
+		s.Model = p.Model.Snapshot()
+	}
+	if p.Class != nil {
+		s.ClassName = p.Class.Name
+		s.ClassFeature = p.Class.Feature()
+	}
+	return s
+}
+
+// PolicyFromSnapshot rebuilds a policy, rebinding it to the caller's
+// class (which must match the snapshot's class identity — a mismatch is
+// the "restored the wrong blueprint" failure and yields a diagnostic).
+// rng seeds the restored model's sampling stream.
+func PolicyFromSnapshot(s *PolicySnapshot, class *slicing.ServiceClass, rng *rand.Rand) (*Policy, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil policy snapshot")
+	}
+	if s.Version != ArtifactVersion {
+		return nil, fmt.Errorf("core: policy snapshot version %d, want %d", s.Version, ArtifactVersion)
+	}
+	var name string
+	var feature float64
+	if class != nil {
+		name = class.Name
+		feature = class.Feature()
+	}
+	if name != s.ClassName || feature != s.ClassFeature {
+		return nil, fmt.Errorf("core: policy snapshot trained for class %q (feature %.4f), asked to restore for %q (feature %.4f)",
+			s.ClassName, s.ClassFeature, name, feature)
+	}
+	p := &Policy{Space: s.Space, SLA: s.SLA, Traffic: s.Traffic, Lambda: s.Lambda, Class: class}
+	if s.Model != nil {
+		m, err := bnn.FromSnapshot(s.Model, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy model: %w", err)
+		}
+		if m.InDim() != PolicyInputDim {
+			return nil, fmt.Errorf("core: policy model input dim %d, want %d", m.InDim(), PolicyInputDim)
+		}
+		p.Model = m
+	}
+	return p, nil
+}
+
+// OfflineArtifact is the store payload for one stage-2 training run:
+// the policy snapshot plus the measured optimum and training curves, so
+// a warm start recovers everything a cold run would have produced.
+type OfflineArtifact struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Policy      *PolicySnapshot `json:"policy"`
+	BestConfig  slicing.Config  `json:"best_config"`
+	BestUsage   float64         `json:"best_usage"`
+	BestQoE     float64         `json:"best_qoe"`
+	UsageCurve  []float64       `json:"usage_curve,omitempty"`
+	QoECurve    []float64       `json:"qoe_curve,omitempty"`
+	LambdaCurve []float64       `json:"lambda_curve,omitempty"`
+}
+
+// NewOfflineArtifact snapshots a training result under its fingerprint.
+func NewOfflineArtifact(fingerprint string, res *OfflineResult) *OfflineArtifact {
+	return &OfflineArtifact{
+		Version:     ArtifactVersion,
+		Fingerprint: fingerprint,
+		Policy:      SnapshotPolicy(res.Policy),
+		BestConfig:  res.BestConfig,
+		BestUsage:   res.BestUsage,
+		BestQoE:     res.BestQoE,
+		UsageCurve:  append([]float64(nil), res.UsageCurve...),
+		QoECurve:    append([]float64(nil), res.QoECurve...),
+		LambdaCurve: append([]float64(nil), res.LambdaCurve...),
+	}
+}
+
+// Restore rebuilds the OfflineResult, validating the version and that
+// the artifact's recorded fingerprint matches the requested one.
+func (a *OfflineArtifact) Restore(fingerprint string, class *slicing.ServiceClass, rng *rand.Rand) (*OfflineResult, error) {
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("core: offline artifact version %d, want %d", a.Version, ArtifactVersion)
+	}
+	if a.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("core: offline artifact fingerprint %.12s does not match requested %.12s",
+			a.Fingerprint, fingerprint)
+	}
+	pol, err := PolicyFromSnapshot(a.Policy, class, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &OfflineResult{
+		Policy:      pol,
+		BestConfig:  a.BestConfig,
+		BestUsage:   a.BestUsage,
+		BestQoE:     a.BestQoE,
+		UsageCurve:  append([]float64(nil), a.UsageCurve...),
+		QoECurve:    append([]float64(nil), a.QoECurve...),
+		LambdaCurve: append([]float64(nil), a.LambdaCurve...),
+	}, nil
+}
+
+// CalibrationArtifact is the store payload for one stage-1 search: the
+// calibrated simulation parameters and the discrepancy decomposition
+// (the optimization history is not persisted — it only feeds plots).
+type CalibrationArtifact struct {
+	Version      int               `json:"version"`
+	Fingerprint  string            `json:"fingerprint"`
+	Params       slicing.SimParams `json:"params"`
+	BestWeighted float64           `json:"best_weighted"`
+	BestKL       float64           `json:"best_kl"`
+	BestDistance float64           `json:"best_distance"`
+}
+
+// Restore rebuilds the CalibrationResult (with a nil History).
+func (a *CalibrationArtifact) Restore(fingerprint string) (*CalibrationResult, error) {
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("core: calibration artifact version %d, want %d", a.Version, ArtifactVersion)
+	}
+	if a.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("core: calibration artifact fingerprint %.12s does not match requested %.12s",
+			a.Fingerprint, fingerprint)
+	}
+	return &CalibrationResult{
+		BestParams:   a.Params,
+		BestWeighted: a.BestWeighted,
+		BestKL:       a.BestKL,
+		BestDistance: a.BestDistance,
+	}, nil
+}
+
+// ---- online (stage-3) snapshots -------------------------------------
+
+// OnlineSnapshot is the versioned serializable form of an
+// OnlineLearner's learned state: the dual multiplier plus the residual
+// model — the GP (observed X/y and Cholesky factor), the residual BNN,
+// or the continually-trained offline model, per the learner's ablation
+// mode. The RNG stream is not captured; warm-started learners reseed.
+type OnlineSnapshot struct {
+	Version int           `json:"version"`
+	Model   ResidualModel `json:"model"`
+	Lambda  float64       `json:"lambda"`
+	GP      *gp.State     `json:"gp,omitempty"`
+	BNN     *bnn.State    `json:"bnn,omitempty"`
+	XS      [][]float64   `json:"xs,omitempty"`
+	YS      []float64     `json:"ys,omitempty"`
+}
+
+// Snapshot returns the learner's serializable learned state.
+func (l *OnlineLearner) Snapshot() (*OnlineSnapshot, error) {
+	s := &OnlineSnapshot{Version: ArtifactVersion, Model: l.Opts.Model, Lambda: l.lambda}
+	switch l.Opts.Model {
+	case ResidualBNN:
+		s.BNN = l.bnnModel.Snapshot()
+		s.XS = mathx.CopyVecs(l.xs)
+		s.YS = append([]float64(nil), l.ys...)
+	case ContinueBNN:
+		if l.Policy != nil && l.Policy.Model != nil {
+			s.BNN = l.Policy.Model.Snapshot()
+		}
+		s.XS = mathx.CopyVecs(l.xs)
+		s.YS = append([]float64(nil), l.ys...)
+	default:
+		gs, err := l.gpModel.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		s.GP = gs
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot's learned state into the learner. The
+// snapshot must come from the same residual-model mode; mismatches and
+// version skew return diagnostics and leave the learner untouched.
+func (l *OnlineLearner) Restore(s *OnlineSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("core: nil online snapshot")
+	}
+	if s.Version != ArtifactVersion {
+		return fmt.Errorf("core: online snapshot version %d, want %d", s.Version, ArtifactVersion)
+	}
+	if s.Model != l.Opts.Model {
+		return fmt.Errorf("core: online snapshot from residual model %d, learner uses %d", s.Model, l.Opts.Model)
+	}
+	if len(s.XS) != len(s.YS) {
+		return fmt.Errorf("core: online snapshot has %d inputs but %d targets", len(s.XS), len(s.YS))
+	}
+	switch l.Opts.Model {
+	case ResidualBNN:
+		m, err := bnn.FromSnapshot(s.BNN, mathx.NewRNG(l.rng.Int63()))
+		if err != nil {
+			return err
+		}
+		l.bnnModel = m
+	case ContinueBNN:
+		if s.BNN != nil {
+			if l.Policy == nil {
+				return fmt.Errorf("core: online snapshot carries a policy model but the learner has no policy")
+			}
+			m, err := bnn.FromSnapshot(s.BNN, mathx.NewRNG(l.rng.Int63()))
+			if err != nil {
+				return err
+			}
+			// The policy may be shared with the caller; rebind a shallow
+			// copy around the restored model instead of mutating it.
+			p := *l.Policy
+			p.Model = m
+			l.Policy = &p
+		}
+	default:
+		g, err := gp.FromSnapshot(s.GP)
+		if err != nil {
+			return err
+		}
+		l.gpModel = g
+	}
+	l.lambda = s.Lambda
+	l.xs = mathx.CopyVecs(s.XS)
+	l.ys = append([]float64(nil), s.YS...)
+	return nil
+}
+
+// Reseed replaces the learner's internal RNG stream. Snapshots never
+// carry RNG state, so a caller that needs two learners (e.g. an
+// original and its restored twin) to act identically reseeds both.
+func (l *OnlineLearner) Reseed(seed int64) { l.rng = mathx.NewRNG(seed) }
+
+// ---- load-or-train paths --------------------------------------------
+
+// OfflineOutcome reports how a stage-2 artifact was obtained.
+type OfflineOutcome struct {
+	Result *OfflineResult
+	// Key is the artifact's content address (fingerprint).
+	Key string
+	// Hit is true when the result was restored from the store.
+	Hit bool
+	// Trained is true when training actually ran.
+	Trained bool
+	// Diag carries the non-fatal diagnostic of a failed store read
+	// (corrupt file, version skew, fingerprint mismatch) that forced the
+	// fall back to fresh training.
+	Diag error
+}
+
+// RunOfflineWithStore is the load-or-train path for stage 2: with a
+// store and warm=true it restores the artifact under the run's
+// fingerprint; otherwise (or when the read fails) it trains with the
+// given seed, and with save=true writes the result back. A nil store
+// always trains.
+func RunOfflineWithStore(env slicing.Env, oo OfflineOptions, seed int64, st *store.Store, warm, save bool) OfflineOutcome {
+	out := OfflineOutcome{Key: OfflineFingerprint(env, oo, seed)}
+	if st != nil && warm {
+		var art OfflineArtifact
+		found, err := st.Get(store.KindOffline, out.Key, &art)
+		if err != nil {
+			out.Diag = err
+		} else if found {
+			res, rerr := art.Restore(out.Key, oo.Class, mathx.NewRNG(mathx.ChildSeed(seed, 1)))
+			if rerr != nil {
+				out.Diag = rerr
+			} else {
+				out.Result = res
+				out.Hit = true
+				return out
+			}
+		}
+	}
+	out.Result = NewOfflineTrainer(env, oo).Run(mathx.NewRNG(seed))
+	out.Trained = true
+	if st != nil && save {
+		if err := st.Put(store.KindOffline, out.Key, NewOfflineArtifact(out.Key, out.Result)); err != nil && out.Diag == nil {
+			out.Diag = err
+		}
+	}
+	return out
+}
+
+// RunCalibrationWithStore is the load-or-search path for stage 1,
+// mirroring RunOfflineWithStore: hit on the fingerprint of (options,
+// collection, seed), else search and write back.
+func RunCalibrationWithStore(cal *Calibrator, seed int64, st *store.Store, warm, save bool) (res *CalibrationResult, key string, hit bool, diag error) {
+	key = CalibrationFingerprint(cal.Opts, cal.Real, seed)
+	if st != nil && warm {
+		var art CalibrationArtifact
+		found, err := st.Get(store.KindCalibration, key, &art)
+		if err != nil {
+			diag = err
+		} else if found {
+			if r, rerr := art.Restore(key); rerr != nil {
+				diag = rerr
+			} else {
+				return r, key, true, diag
+			}
+		}
+	}
+	res = cal.Run(mathx.NewRNG(seed))
+	if st != nil && save {
+		art := &CalibrationArtifact{
+			Version:      ArtifactVersion,
+			Fingerprint:  key,
+			Params:       res.BestParams,
+			BestWeighted: res.BestWeighted,
+			BestKL:       res.BestKL,
+			BestDistance: res.BestDistance,
+		}
+		if err := st.Put(store.KindCalibration, key, art); err != nil && diag == nil {
+			diag = err
+		}
+	}
+	return res, key, false, diag
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
+)
+
+// policyBytes canonicalizes a policy for bit-identity comparison.
+func policyBytes(t *testing.T, p *Policy) []byte {
+	t.Helper()
+	raw, err := json.Marshal(SnapshotPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestOrchestratorDedupsIdenticalSpecs: identical (Class, SLA, Traffic)
+// Train specs must share one OfflineResult via the in-run singleflight,
+// and the shared artifact must be bit-identical to what per-slice
+// training at the same canonical seed would have produced.
+func TestOrchestratorDedupsIdenticalSpecs(t *testing.T) {
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	sla := slicing.SLA{ThresholdMs: 400, Availability: 0.9}
+	specs := make([]SliceSpec, 4)
+	for i := range specs {
+		specs[i] = SliceSpec{ID: string(rune('a' + i)), SLA: sla, Traffic: 2, Train: true}
+	}
+	// One odd one out: a different SLA must train separately.
+	specs[3].SLA = slicing.SLA{ThresholdMs: 300, Availability: 0.9}
+
+	opts := quickOrchOpts(2)
+	opts.Workers = 4
+	orch := NewOrchestrator(real, sim, specs, opts)
+	res := orch.Run()
+
+	for i, sr := range res.Slices {
+		if sr.Err != nil {
+			t.Fatalf("slice %d: %v", i, sr.Err)
+		}
+	}
+	if res.Slices[0].Offline != res.Slices[1].Offline || res.Slices[1].Offline != res.Slices[2].Offline {
+		t.Fatal("identical specs did not share one OfflineResult")
+	}
+	if res.Slices[3].Offline == res.Slices[0].Offline {
+		t.Fatal("distinct SLA shared the dedup'd artifact")
+	}
+	if res.OfflineTrainings != 2 {
+		t.Fatalf("trained %d distinct fingerprints, want 2", res.OfflineTrainings)
+	}
+	if res.OfflineShared != 2 {
+		t.Fatalf("shared count %d, want 2", res.OfflineShared)
+	}
+
+	// Bit-identity: per-slice training at the same canonical seed
+	// reproduces the shared artifact exactly.
+	oo := opts.Offline
+	oo.SLA = sla
+	oo.Traffic = 2
+	seed := OfflineSeed(sim, opts.Seed, oo)
+	solo := NewOfflineTrainer(sim, oo).Run(mathx.NewRNG(seed))
+	if got, want := policyBytes(t, solo.Policy), policyBytes(t, res.Slices[0].Offline.Policy); string(got) != string(want) {
+		t.Fatal("dedup'd policy is not bit-identical to per-slice training at the same seed")
+	}
+	if solo.BestConfig != res.Slices[0].Offline.BestConfig || solo.BestUsage != res.Slices[0].Offline.BestUsage {
+		t.Fatal("dedup'd optimum differs from per-slice training at the same seed")
+	}
+}
+
+// TestOrchestratorWarmRun: a second orchestrated run against a
+// populated store restores every policy instead of training, and the
+// warm trajectories match the cold ones exactly (same seeds, same
+// policy bits).
+func TestOrchestratorWarmRun(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := realnet.New()
+	sim := simnet.NewDefault()
+	specs := make([]SliceSpec, 3)
+	for i := range specs {
+		specs[i] = SliceSpec{ID: string(rune('a' + i)), SLA: slicing.DefaultSLA(), Traffic: 1, Train: true}
+	}
+	opts := quickOrchOpts(3)
+	opts.Warm, opts.Save = true, true
+
+	cold := NewOrchestrator(real, sim, specs, opts)
+	cold.Store = st
+	cres := cold.Run()
+	if cres.OfflineTrainings != 1 || cres.OfflineStoreHits != 0 {
+		t.Fatalf("cold run: trainings=%d hits=%d", cres.OfflineTrainings, cres.OfflineStoreHits)
+	}
+
+	warm := NewOrchestrator(real, sim, specs, opts)
+	warm.Store = st
+	wres := warm.Run()
+	if wres.OfflineTrainings != 0 || wres.OfflineStoreHits != 1 {
+		t.Fatalf("warm run: trainings=%d hits=%d", wres.OfflineTrainings, wres.OfflineStoreHits)
+	}
+	for i := range wres.Slices {
+		if !wres.Slices[i].WarmHit {
+			t.Fatalf("slice %d not marked as a warm hit", i)
+		}
+		for it := range wres.Slices[i].Usages {
+			if wres.Slices[i].Usages[it] != cres.Slices[i].Usages[it] ||
+				wres.Slices[i].QoEs[it] != cres.Slices[i].QoEs[it] {
+				t.Fatalf("slice %d interval %d: warm trajectory diverged from cold", i, it)
+			}
+		}
+	}
+}
+
+// TestOnlineLearnerRoundTripDeterminism: a learner restored from a
+// snapshot must produce the exact same Next() configuration sequence as
+// the original for 20 intervals — covering the GP's observed
+// collection, its Cholesky factor, the dual multiplier, and the policy
+// encoding.
+func TestOnlineLearnerRoundTripDeterminism(t *testing.T) {
+	sim := simnet.NewDefault()
+	real := realnet.New()
+	off := NewOfflineTrainer(sim, quickOffOpts()).Run(mathx.NewRNG(5))
+
+	lopts := DefaultOnlineOptions()
+	lopts.Pool, lopts.N = 96, 3
+	orig := NewOnlineLearner(off.Policy, sim, lopts, mathx.NewRNG(9))
+	space := slicing.DefaultConfigSpace()
+	sla := off.Policy.SLA
+
+	// Warm the learner so the snapshot carries real GP state (Cholesky
+	// factor included).
+	warmRNG := mathx.NewRNG(21)
+	for it := 0; it < 10; it++ {
+		cfg := orig.Next(it, warmRNG)
+		tr := real.Episode(cfg, 1, warmRNG.Int63())
+		orig.Observe(it, cfg, space.Usage(cfg), tr.QoE(sla))
+	}
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize through JSON: the round trip must survive the actual
+	// persistence encoding, not just the in-memory structs.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded OnlineSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewOnlineLearner(off.Policy, sim, lopts, mathx.NewRNG(77))
+	if err := restored.Restore(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Lambda() != orig.Lambda() {
+		t.Fatalf("restored lambda %v, want %v", restored.Lambda(), orig.Lambda())
+	}
+
+	// Snapshots never carry RNG state; reseed both learners identically
+	// and drive them with identical run RNGs and observations.
+	orig.Reseed(1234)
+	restored.Reseed(1234)
+	rngA, rngB := mathx.NewRNG(555), mathx.NewRNG(555)
+	for it := 10; it < 30; it++ {
+		ca := orig.Next(it, rngA)
+		cb := restored.Next(it, rngB)
+		if ca != cb {
+			t.Fatalf("interval %d: original chose %v, restored chose %v", it, ca, cb)
+		}
+		tr := real.Episode(ca, 1, int64(it)*101)
+		usage, qoe := space.Usage(ca), tr.QoE(sla)
+		orig.Observe(it, ca, usage, qoe)
+		restored.Observe(it, cb, usage, qoe)
+	}
+}
+
+// TestRunOfflineWithStoreFallbacks: truncated JSON, a wrong version
+// tag, and a fingerprint mismatch must all fall back to fresh training
+// with a non-nil diagnostic — never a panic, never a nil result.
+func TestRunOfflineWithStoreFallbacks(t *testing.T) {
+	sim := simnet.NewDefault()
+	oo := quickOffOpts()
+	oo.Iters, oo.Explore = 6, 2
+	seed := OfflineSeed(sim, 3, oo)
+	key := OfflineFingerprint(sim, oo, seed)
+
+	corruptions := map[string]func(t *testing.T, dir string){
+		"truncated-json": func(t *testing.T, dir string) {
+			path := filepath.Join(dir, store.KindOffline, key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"wrong-version": func(t *testing.T, dir string) {
+			path := filepath.Join(dir, store.KindOffline, key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env store.Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatal(err)
+			}
+			// Version skew one level down: the artifact payload claims a
+			// future encoding.
+			var art OfflineArtifact
+			if err := json.Unmarshal(env.Payload, &art); err != nil {
+				t.Fatal(err)
+			}
+			art.Version = 99
+			payload, _ := json.Marshal(art)
+			env.Payload = payload
+			out, _ := json.Marshal(env)
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"fingerprint-mismatch": func(t *testing.T, dir string) {
+			path := filepath.Join(dir, store.KindOffline, key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env store.Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatal(err)
+			}
+			var art OfflineArtifact
+			if err := json.Unmarshal(env.Payload, &art); err != nil {
+				t.Fatal(err)
+			}
+			art.Fingerprint = "deadbeef" + art.Fingerprint[8:]
+			payload, _ := json.Marshal(art)
+			env.Payload = payload
+			out, _ := json.Marshal(env)
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Seed the store with a valid artifact, then corrupt it.
+			cold := RunOfflineWithStore(sim, oo, seed, st, true, true)
+			if !cold.Trained || cold.Diag != nil {
+				t.Fatalf("cold run: trained=%v diag=%v", cold.Trained, cold.Diag)
+			}
+			corrupt(t, dir)
+
+			// A fresh store over the same dir (no memory layer) must
+			// detect the damage, report it, and train anyway.
+			st2, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := RunOfflineWithStore(sim, oo, seed, st2, true, true)
+			if out.Result == nil || out.Result.Policy == nil {
+				t.Fatal("fallback produced no result")
+			}
+			if !out.Trained {
+				t.Fatal("corrupt artifact did not fall back to training")
+			}
+			if out.Hit {
+				t.Fatal("corrupt artifact counted as a hit")
+			}
+			if out.Diag == nil {
+				t.Fatal("fallback carried no diagnostic")
+			}
+			// The fallback re-saved a valid artifact: the next read hits.
+			st3, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again := RunOfflineWithStore(sim, oo, seed, st3, true, true)
+			if !again.Hit || again.Diag != nil {
+				t.Fatalf("post-repair read: hit=%v diag=%v", again.Hit, again.Diag)
+			}
+		})
+	}
+}
+
+// TestRunOfflineWithStoreMissingIsClean: a plain miss trains without a
+// diagnostic (missing is normal, corrupt is reported).
+func TestRunOfflineWithStoreMissingIsClean(t *testing.T) {
+	sim := simnet.NewDefault()
+	oo := quickOffOpts()
+	oo.Iters, oo.Explore = 6, 2
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunOfflineWithStore(sim, oo, 17, st, true, true)
+	if !out.Trained || out.Hit || out.Diag != nil {
+		t.Fatalf("miss: trained=%v hit=%v diag=%v", out.Trained, out.Hit, out.Diag)
+	}
+}
+
+// TestPolicySnapshotClassMismatch: restoring a policy for a different
+// service class is refused with a diagnostic.
+func TestPolicySnapshotClassMismatch(t *testing.T) {
+	sim := simnet.NewDefault()
+	class := slicing.DefaultServiceClass()
+	oo := quickOffOpts()
+	oo.Iters, oo.Explore = 6, 2
+	oo.Class = &class
+	off := NewOfflineTrainer(sim, oo).Run(mathx.NewRNG(4))
+	snap := SnapshotPolicy(off.Policy)
+
+	other := class
+	other.Name = "teleop"
+	other.QoE = slicing.PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 150}
+	if _, err := PolicyFromSnapshot(snap, &other, mathx.NewRNG(1)); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+	restored, err := PolicyFromSnapshot(snap, &class, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored model predicts bit-identically (posterior mean path
+	// consumes no randomness).
+	cfg := FullConfig()
+	a := off.Policy.Model.Eval(off.Policy.Model.MeanDraw(), off.Policy.Encode(cfg))
+	b := restored.Model.Eval(restored.Model.MeanDraw(), restored.Encode(cfg))
+	if a != b {
+		t.Fatalf("restored mean prediction %v, want %v", b, a)
+	}
+}
+
+// TestOfflineFingerprintSensitivity: the content address must move with
+// the environment calibration, the class, the budgets, and the seed —
+// and stay put for equal inputs.
+func TestOfflineFingerprintSensitivity(t *testing.T) {
+	sim := simnet.NewDefault()
+	oo := quickOffOpts()
+	base := OfflineFingerprint(sim, oo, 1)
+	if OfflineFingerprint(sim, oo, 1) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if OfflineFingerprint(sim, oo, 2) == base {
+		t.Fatal("fingerprint insensitive to seed")
+	}
+	oo2 := oo
+	oo2.Iters++
+	if OfflineFingerprint(sim, oo2, 1) == base {
+		t.Fatal("fingerprint insensitive to budgets")
+	}
+	class := slicing.DefaultServiceClass()
+	oo3 := oo
+	oo3.Class = &class
+	if OfflineFingerprint(sim, oo3, 1) == base {
+		t.Fatal("fingerprint insensitive to class")
+	}
+	// Same class by value, different pointer: same fingerprint (this is
+	// what makes per-class sharing work across specs).
+	classCopy := slicing.DefaultServiceClass()
+	oo4 := oo
+	oo4.Class = &classCopy
+	if OfflineFingerprint(sim, oo4, 1) != OfflineFingerprint(sim, oo3, 1) {
+		t.Fatal("equal classes at different addresses fingerprint differently")
+	}
+	// A recalibrated simulator is a different environment.
+	aug := sim.WithParams(slicing.SimParams{BaselineLoss: 40, ENBNoiseFig: 4, UENoiseFig: 8})
+	if OfflineFingerprint(aug, oo, 1) == base {
+		t.Fatal("fingerprint insensitive to environment calibration")
+	}
+}
+
+// TestSystemWarmAdmission: a second system over the same store admits
+// the same class without retraining, and per-step checkpoints let the
+// online residual warm-start.
+func TestSystemWarmAdmission(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSystem := func() *System {
+		s := quickSystem()
+		s.Store = st
+		return s
+	}
+
+	s1 := mkSystem()
+	inst1, err := s1.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst1.WarmStart {
+		t.Fatal("first admission claims a warm start")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s1.Step("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A restarted system (same seed, same store): offline policy and
+	// online residual both come back from disk.
+	s2 := mkSystem()
+	inst2, err := s2.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst2.WarmStart {
+		t.Fatal("second admission retrained despite a stored artifact")
+	}
+	if !inst2.ResidualWarm {
+		t.Fatal("online residual did not warm-start from the checkpoint")
+	}
+	if got, want := policyBytes(t, inst2.Offline.Policy), policyBytes(t, inst1.Offline.Policy); string(got) != string(want) {
+		t.Fatal("warm policy differs from the trained one")
+	}
+	if inst2.Learner.Lambda() != inst1.Learner.Lambda() {
+		t.Fatalf("warm lambda %v, want %v", inst2.Learner.Lambda(), inst1.Learner.Lambda())
+	}
+	if err := s2.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+	if diags := s2.StoreDiagnostics(); len(diags) != 0 {
+		t.Fatalf("clean warm admission recorded diagnostics: %v", diags)
+	}
+}
+
+// TestSystemRecordsStoreDiagnostics: a corrupt offline artifact makes
+// admission fall back to fresh training AND surfaces the diagnostic on
+// the instance and the system, instead of silently retraining.
+func TestSystemRecordsStoreDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := quickSystem()
+	s1.Store = st
+	inst1, err := s1.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the stored policy artifact.
+	path := filepath.Join(dir, store.KindOffline, inst1.storeKey+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir) // fresh handle: no memory layer
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := quickSystem()
+	s2.Store = st2
+	inst2, err := s2.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.WarmStart {
+		t.Fatal("corrupt artifact claimed a warm start")
+	}
+	if inst2.Offline == nil || inst2.Offline.Policy == nil {
+		t.Fatal("fallback training produced no policy")
+	}
+	if inst2.StoreDiag == nil {
+		t.Fatal("corrupt artifact left no diagnostic on the instance")
+	}
+	if diags := s2.StoreDiagnostics(); len(diags) == 0 {
+		t.Fatal("corrupt artifact left no diagnostic on the system")
+	}
+}

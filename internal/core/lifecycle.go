@@ -9,6 +9,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // System is the slice-lifecycle orchestrator of the paper's §10: one
@@ -34,11 +35,43 @@ type System struct {
 	OffOpts OfflineOptions
 	OnOpts  OnlineOptions
 
+	// Store is the optional artifact store: admission consults it
+	// before offline training and writes the trained policy back, the
+	// shared calibration is cached under its fingerprint, and every
+	// Step checkpoints the slice's online residual state. Nil disables
+	// persistence.
+	Store *store.Store
+
 	mu     sync.Mutex
+	seed   int64 // base seed: canonical training seeds derive from it
 	rng    *rand.Rand
 	params slicing.SimParams // shared calibrated parameters
 	calib  bool
 	slices map[string]*SliceInstance
+	// diags accumulates non-fatal store diagnostics (corrupt artifacts
+	// that forced a fall back to fresh training); see StoreDiagnostics.
+	diags []error
+}
+
+// StoreDiagnostics returns the non-fatal artifact-store diagnostics the
+// system has accumulated: every corrupt, version-skewed, or mismatched
+// artifact that silently fell back to fresh training. Operators poll it
+// to learn a store needs repair; an empty slice means every read was
+// clean.
+func (s *System) StoreDiagnostics() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.diags...)
+}
+
+// noteDiag records a non-fatal store diagnostic (nil is ignored).
+func (s *System) noteDiag(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.diags = append(s.diags, err)
+	s.mu.Unlock()
 }
 
 // SliceInstance is one tenant's runtime state.
@@ -54,6 +87,15 @@ type SliceInstance struct {
 	Learner *OnlineLearner
 	Domains *domains.Orchestrator
 
+	// WarmStart marks an offline policy restored from the artifact
+	// store instead of trained on admission; ResidualWarm marks an
+	// online residual model warm-started from a stored checkpoint.
+	// StoreDiag carries the non-fatal diagnostic of an admission-time
+	// store read that fell back to fresh training.
+	WarmStart    bool
+	ResidualWarm bool
+	StoreDiag    error
+
 	Iter int
 	// Traffics records the per-interval demand of the class's traffic
 	// model.
@@ -62,6 +104,9 @@ type SliceInstance struct {
 	QoEs     []float64
 
 	trafficSeed int64
+	// storeKey is the slice's artifact fingerprint (set when the system
+	// has a store); online checkpoints land under it.
+	storeKey string
 }
 
 // NewSystem builds an orchestrator over a real network and a simulator.
@@ -73,6 +118,7 @@ func NewSystem(real slicing.Env, sim *simnet.Simulator, seed int64) *System {
 		CalOpts: DefaultCalibratorOptions(),
 		OffOpts: DefaultOfflineOptions(),
 		OnOpts:  DefaultOnlineOptions(),
+		seed:    seed,
 		rng:     mathx.NewRNG(seed),
 		slices:  map[string]*SliceInstance{},
 	}
@@ -104,7 +150,14 @@ func (s *System) Calibrate() (*CalibrationResult, error) {
 		opts.Explore = opts.Explore / 2
 	}
 	cal := NewCalibrator(s.Sim, dr, opts)
-	res := cal.Run(mathx.NewRNG(s.rng.Int63()))
+	// The search is cached under the fingerprint of (options,
+	// collection, seed): a restarted system with the same seed collects
+	// the same measurements and warm-starts instead of re-searching.
+	res, _, _, diag := RunCalibrationWithStore(cal, s.rng.Int63(), s.Store, true, true)
+	if diag != nil {
+		// Already under s.mu; append directly.
+		s.diags = append(s.diags, diag)
+	}
 	s.params = res.BestParams
 	s.calib = true
 	return res, nil
@@ -162,7 +215,13 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 	opts.SLA = sla
 	opts.Traffic = traffic
 	opts.Class = class
-	off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.rng.Int63()))
+	// The training seed is a pure function of (system seed, artifact
+	// fingerprint), so every admission of the same service class under
+	// the same budgets maps to the same artifact: the store hit on the
+	// second admission is exactly the policy the first one trained.
+	out := RunOfflineWithStore(aug, opts, OfflineSeed(aug, s.seed, opts), s.Store, true, true)
+	s.noteDiag(out.Diag)
+	off := out.Result
 
 	lo := s.OnOpts
 	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.rng.Int63()))
@@ -173,7 +232,26 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 		Offline:     off,
 		Learner:     learner,
 		Domains:     domains.NewOrchestrator(id),
+		WarmStart:   out.Hit,
+		StoreDiag:   out.Diag,
 		trafficSeed: s.rng.Int63(),
+		storeKey:    out.Key,
+	}
+	// Warm-start the online residual from the class's last checkpoint,
+	// when one exists: the sim-to-real gap is infrastructure-level, so a
+	// returning class resumes from its learned residual instead of the
+	// prior.
+	if s.Store != nil {
+		var snap OnlineSnapshot
+		found, err := s.Store.Get(store.KindOnline, inst.storeKey, &snap)
+		s.noteDiag(err)
+		if found && err == nil {
+			if rerr := learner.Restore(&snap); rerr != nil {
+				s.noteDiag(rerr)
+			} else {
+				inst.ResidualWarm = true
+			}
+		}
 	}
 	s.mu.Lock()
 	s.slices[id] = inst
@@ -236,6 +314,15 @@ func (s *System) Step(id string) error {
 	inst.Traffics = append(inst.Traffics, traffic)
 	inst.Usages = append(inst.Usages, usage)
 	inst.QoEs = append(inst.QoEs, qoe)
+	// Checkpoint the online residual after every epoch so a process
+	// restart (or a later admission of the same class) resumes from the
+	// latest learned sim-to-real gap. Checkpoint failures are non-fatal:
+	// the in-memory learner is always authoritative.
+	if s.Store != nil && inst.storeKey != "" {
+		if snap, err := inst.Learner.Snapshot(); err == nil {
+			_ = s.Store.Put(store.KindOnline, inst.storeKey, snap)
+		}
+	}
 	return nil
 }
 

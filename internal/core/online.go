@@ -471,3 +471,17 @@ func (l *OnlineLearner) Observe(iter int, cfg slicing.Config, usage, qoe float64
 // Lambda returns the current dual multiplier (exported for inspection
 // and tests).
 func (l *OnlineLearner) Lambda() float64 { return l.lambda }
+
+// Residuals returns how many online observations the residual model has
+// conditioned on (exported for inspection and checkpoint reporting).
+func (l *OnlineLearner) Residuals() int {
+	switch l.Opts.Model {
+	case ResidualBNN, ContinueBNN:
+		return len(l.xs)
+	default:
+		if l.gpModel == nil {
+			return 0
+		}
+		return l.gpModel.N()
+	}
+}

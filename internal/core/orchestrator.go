@@ -8,6 +8,7 @@ import (
 
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // This file is the concurrent multi-slice control loop: one Atlas
@@ -108,6 +109,13 @@ type OrchestratorOptions struct {
 	// Offline configures on-admission training for Train specs; its
 	// SLA and Traffic are overridden per slice.
 	Offline OfflineOptions
+
+	// Warm consults the orchestrator's artifact store before offline
+	// training; Save writes trained artifacts back. Both are no-ops
+	// without a Store. In-flight dedup of identical fingerprints is
+	// always on: repeated specs train once per run regardless.
+	Warm bool
+	Save bool
 }
 
 // DefaultOrchestratorOptions mirrors the single-slice defaults.
@@ -157,8 +165,14 @@ type SliceRun struct {
 	Spec    SliceSpec
 	Learner *OnlineLearner
 	// Offline holds the on-admission training artifact for Train specs.
-	Offline *OfflineResult
-	Configs []slicing.Config
+	// Identical fingerprints share one result (train-once-per-class);
+	// WarmHit marks artifacts restored from the store instead of
+	// trained, and OfflineDiag carries the non-fatal diagnostic of a
+	// store read that fell back to training.
+	Offline     *OfflineResult
+	WarmHit     bool
+	OfflineDiag error
+	Configs     []slicing.Config
 	// Traffics records the per-interval demand the traffic model
 	// produced.
 	Traffics []int
@@ -175,6 +189,14 @@ type OrchestratorResult struct {
 	// Classes are the per-service-class aggregates, ordered by first
 	// appearance in the spec list (deterministic at any worker count).
 	Classes []ClassMetrics
+
+	// Offline-training accounting: how many distinct fingerprints
+	// actually trained, how many were restored from the store, and how
+	// many Train specs rode along on a result another slice produced
+	// (in-run dedup).
+	OfflineTrainings int
+	OfflineStoreHits int
+	OfflineShared    int
 }
 
 // TotalViolations sums QoE violations across all epochs.
@@ -289,8 +311,50 @@ type Orchestrator struct {
 	// Space is the shared configuration space.
 	Space slicing.ConfigSpace
 	Opts  OrchestratorOptions
+	// Store is the optional artifact store consulted (Opts.Warm) and
+	// written (Opts.Save) around offline training.
+	Store *store.Store
 
 	specs []SliceSpec
+
+	// flights dedups offline training in-flight: one entry per distinct
+	// fingerprint, so identical (class, SLA, traffic) specs train once
+	// and share the result across the worker pool.
+	flightMu sync.Mutex
+	flights  map[string]*offlineFlight
+}
+
+// offlineFlight is one singleflight slot: the first slice to request a
+// fingerprint runs the load-or-train path, everyone else blocks on the
+// Once and shares the outcome.
+type offlineFlight struct {
+	once sync.Once
+	out  OfflineOutcome
+}
+
+// offlineFor returns the shared offline outcome for oo, training (or
+// restoring) it exactly once per distinct fingerprint per run. The
+// training seed derives from (master seed, seedless fingerprint), so
+// the shared result is bit-identical to what any of the deduped slices
+// would have trained alone.
+func (o *Orchestrator) offlineFor(oo OfflineOptions) *OfflineOutcome {
+	fpSim := o.Sim.Get()
+	seed := OfflineSeed(fpSim, o.Opts.Seed, oo)
+	key := OfflineFingerprint(fpSim, oo, seed)
+	o.Sim.Put(fpSim)
+	o.flightMu.Lock()
+	f := o.flights[key]
+	if f == nil {
+		f = &offlineFlight{}
+		o.flights[key] = f
+	}
+	o.flightMu.Unlock()
+	f.once.Do(func() {
+		sim := o.Sim.Get()
+		defer o.Sim.Put(sim)
+		f.out = RunOfflineWithStore(sim, oo, seed, o.Store, o.Opts.Warm, o.Opts.Save)
+	})
+	return &f.out
 }
 
 // NewOrchestrator builds an orchestrator over a real network and an
@@ -344,6 +408,10 @@ func (o *Orchestrator) Run() *OrchestratorResult {
 		}
 	}
 
+	o.flightMu.Lock()
+	o.flights = map[string]*offlineFlight{}
+	o.flightMu.Unlock()
+
 	runs := make([]SliceRun, n)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -363,7 +431,30 @@ func (o *Orchestrator) Run() *OrchestratorResult {
 	}
 	wg.Wait()
 	epochs, classes := aggregate(runs, intervals)
-	return &OrchestratorResult{Slices: runs, Epochs: epochs, Classes: classes}
+	res := &OrchestratorResult{Slices: runs, Epochs: epochs, Classes: classes}
+
+	// Offline accounting: each flight trained or hit exactly once;
+	// every additional Train slice on the same fingerprint shared.
+	var requests int
+	for i := range runs {
+		if runs[i].Offline != nil {
+			requests++
+		}
+	}
+	o.flightMu.Lock()
+	for _, f := range o.flights {
+		if f.out.Trained {
+			res.OfflineTrainings++
+		}
+		if f.out.Hit {
+			res.OfflineStoreHits++
+		}
+	}
+	if shared := requests - len(o.flights); shared > 0 {
+		res.OfflineShared = shared
+	}
+	o.flightMu.Unlock()
+	return res
 }
 
 // normalizeSpec defaults a spec's SLA and nominal traffic from its
@@ -406,10 +497,22 @@ func (o *Orchestrator) runSlice(i, intervals int) SliceRun {
 		oo.SLA = spec.SLA
 		oo.Traffic = spec.Traffic
 		oo.Class = spec.Class
-		sim := o.Sim.Get()
-		run.Offline = NewOfflineTrainer(sim, oo).Run(offRNG)
-		o.Sim.Put(sim)
+		out := o.offlineFor(oo)
+		run.Offline = out.Result
+		run.WarmHit = out.Hit
+		run.OfflineDiag = out.Diag
 		policy = run.Offline.Policy
+		if o.Opts.Online.Model == ContinueBNN {
+			// ContinueBNN trains the policy model in place, and the
+			// flight's result may be shared across identical specs; give
+			// this slice a private deep copy via the snapshot round trip.
+			p, err := PolicyFromSnapshot(SnapshotPolicy(policy), spec.Class, mathx.NewRNG(offRNG.Int63()))
+			if err != nil {
+				run.Err = fmt.Errorf("core: slice %q: clone shared policy: %w", spec.ID, err)
+				return run
+			}
+			policy = p
+		}
 	}
 	if policy != nil && (policy.SLA != spec.SLA || policy.Traffic != spec.Traffic || policy.Class != spec.Class) {
 		// The learner consults the policy's SLA/traffic/class; the spec

@@ -1,0 +1,56 @@
+package mathx
+
+import "fmt"
+
+// MatrixState is the serializable form of a Matrix: a versioned,
+// deterministic encoding (fields marshal in declaration order under
+// encoding/json) used by the artifact store to persist learned models'
+// linear-algebra state — most importantly Cholesky factors, whose exact
+// bits must survive a snapshot/restore round trip so that incremental
+// rank-1 extensions continue identically after a warm start.
+type MatrixState struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// State returns a deep-copied serializable snapshot of m. A nil matrix
+// snapshots to nil.
+func (m *Matrix) State() *MatrixState {
+	if m == nil {
+		return nil
+	}
+	return &MatrixState{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// MatrixFromState rebuilds a Matrix from its serialized state,
+// validating dimensions against the data length. A nil state restores
+// to nil.
+func MatrixFromState(s *MatrixState) (*Matrix, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if s.Rows < 0 || s.Cols < 0 {
+		return nil, fmt.Errorf("mathx: matrix state with negative dims %dx%d", s.Rows, s.Cols)
+	}
+	if len(s.Data) != s.Rows*s.Cols {
+		return nil, fmt.Errorf("mathx: matrix state %dx%d wants %d elements, has %d",
+			s.Rows, s.Cols, s.Rows*s.Cols, len(s.Data))
+	}
+	m := NewMatrix(s.Rows, s.Cols)
+	copy(m.Data, s.Data)
+	return m, nil
+}
+
+// CopyVecs deep-copies a slice of float64 vectors (snapshot hygiene:
+// restored models must not alias the snapshot's backing arrays).
+func CopyVecs(xs [][]float64) [][]float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = append([]float64(nil), x...)
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // adadelta implements the Adadelta optimizer (Zeiler 2012): per-parameter
 // adaptive steps from running averages of squared gradients and squared
@@ -54,6 +57,52 @@ type AdadeltaState struct {
 // NewAdadeltaState returns an accumulator for n parameters.
 func NewAdadeltaState(n int) *AdadeltaState {
 	return &AdadeltaState{rho: 0.95, eps: 1e-6, eg: make([]float64, n), ed: make([]float64, n)}
+}
+
+// AdadeltaSnapshot is the serializable form of an AdadeltaState: the
+// running squared-gradient and squared-update averages that make a
+// restored model continue training exactly where the original left off.
+type AdadeltaSnapshot struct {
+	Rho float64   `json:"rho"`
+	Eps float64   `json:"eps"`
+	EG  []float64 `json:"eg"`
+	ED  []float64 `json:"ed"`
+}
+
+// Snapshot returns a deep-copied serializable snapshot of the
+// accumulator. A nil state snapshots to nil.
+func (s *AdadeltaState) Snapshot() *AdadeltaSnapshot {
+	if s == nil {
+		return nil
+	}
+	return &AdadeltaSnapshot{
+		Rho: s.rho,
+		Eps: s.eps,
+		EG:  append([]float64(nil), s.eg...),
+		ED:  append([]float64(nil), s.ed...),
+	}
+}
+
+// AdadeltaFromSnapshot rebuilds an accumulator for n parameters from its
+// snapshot, validating lengths. A nil snapshot restores a fresh
+// accumulator so older artifacts without optimizer state stay loadable.
+func AdadeltaFromSnapshot(snap *AdadeltaSnapshot, n int) (*AdadeltaState, error) {
+	if snap == nil {
+		return NewAdadeltaState(n), nil
+	}
+	if len(snap.EG) != n || len(snap.ED) != n {
+		return nil, fmt.Errorf("nn: adadelta snapshot has %d/%d accumulators, want %d", len(snap.EG), len(snap.ED), n)
+	}
+	s := NewAdadeltaState(n)
+	if snap.Rho > 0 {
+		s.rho = snap.Rho
+	}
+	if snap.Eps > 0 {
+		s.eps = snap.Eps
+	}
+	copy(s.eg, snap.EG)
+	copy(s.ed, snap.ED)
+	return s, nil
 }
 
 // Step applies one update to params given mean gradients grad, scaled by

@@ -1,0 +1,73 @@
+package nn
+
+import "fmt"
+
+// MLPSnapshotVersion tags the MLP snapshot encoding. Bump it whenever
+// the layout changes; restore rejects unknown versions with a
+// diagnostic instead of misreading old bytes.
+const MLPSnapshotVersion = 1
+
+// LayerState is the serializable form of one fully connected layer.
+type LayerState struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MLPState is the versioned, deterministic serializable form of an MLP:
+// just the weights — an MLP carries no other state — so a restored
+// network forwards bit-identically to the original.
+type MLPState struct {
+	Version int          `json:"version"`
+	Layers  []LayerState `json:"layers"`
+}
+
+// Snapshot returns a deep-copied serializable snapshot of the network.
+func (m *MLP) Snapshot() *MLPState {
+	s := &MLPState{Version: MLPSnapshotVersion}
+	for _, l := range m.Layers {
+		s.Layers = append(s.Layers, LayerState{
+			In:  l.In,
+			Out: l.Out,
+			W:   append([]float64(nil), l.W...),
+			B:   append([]float64(nil), l.B...),
+		})
+	}
+	return s
+}
+
+// MLPFromSnapshot rebuilds a network from its snapshot, validating the
+// version tag and every layer's dimensions.
+func MLPFromSnapshot(s *MLPState) (*MLP, error) {
+	if s == nil {
+		return nil, fmt.Errorf("nn: nil MLP snapshot")
+	}
+	if s.Version != MLPSnapshotVersion {
+		return nil, fmt.Errorf("nn: MLP snapshot version %d, want %d", s.Version, MLPSnapshotVersion)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: MLP snapshot has no layers")
+	}
+	m := &MLP{}
+	for i, ls := range s.Layers {
+		if ls.In <= 0 || ls.Out <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has bad dims %dx%d", i, ls.In, ls.Out)
+		}
+		if i > 0 && ls.In != s.Layers[i-1].Out {
+			return nil, fmt.Errorf("nn: layer %d input dim %d does not chain from previous output %d",
+				i, ls.In, s.Layers[i-1].Out)
+		}
+		if len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: layer %d has %d weights and %d biases, want %d and %d",
+				i, len(ls.W), len(ls.B), ls.In*ls.Out, ls.Out)
+		}
+		m.Layers = append(m.Layers, Layer{
+			In:  ls.In,
+			Out: ls.Out,
+			W:   append([]float64(nil), ls.W...),
+			B:   append([]float64(nil), ls.B...),
+		})
+	}
+	return m, nil
+}

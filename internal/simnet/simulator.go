@@ -10,6 +10,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/simnet/radio"
 	"github.com/atlas-slicing/atlas/internal/simnet/transport"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // Simulator is a network environment: a structural Profile plus the
@@ -39,6 +40,18 @@ func NewDefault() *Simulator { return New(slicing.DefaultSimParams()) }
 // WithParams returns a copy of s using the given parameters.
 func (s *Simulator) WithParams(params slicing.SimParams) *Simulator {
 	return &Simulator{Profile: s.Profile, Params: params}
+}
+
+// EnvFingerprint identifies this simulator for artifact-store keys: a
+// content hash of the structural profile and the (calibrated)
+// simulation parameters. Policies trained in differently-calibrated
+// simulators therefore never share an artifact.
+func (s *Simulator) EnvFingerprint() string {
+	return store.Fingerprint(struct {
+		Kind    string            `json:"kind"`
+		Profile Profile           `json:"profile"`
+		Params  slicing.SimParams `json:"params"`
+	}{"simnet", s.Profile, s.Params})
 }
 
 // frame carries per-frame bookkeeping through the pipeline closures.

@@ -57,3 +57,22 @@ func (s *Scaler) InverseStd(z float64) float64 {
 	}
 	return z * s.Std
 }
+
+// ScalerState is the serializable form of a Scaler, exposing the
+// otherwise-unexported fitted flag so snapshot/restore round trips
+// reproduce the identity behavior of an unfitted scaler exactly.
+type ScalerState struct {
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Fitted bool    `json:"fitted"`
+}
+
+// State returns the scaler's serializable snapshot.
+func (s *Scaler) State() ScalerState {
+	return ScalerState{Mean: s.Mean, Std: s.Std, Fitted: s.fitted}
+}
+
+// ScalerFromState rebuilds a scaler from its serialized state.
+func ScalerFromState(st ScalerState) Scaler {
+	return Scaler{Mean: st.Mean, Std: st.Std, fitted: st.Fitted}
+}

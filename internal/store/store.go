@@ -1,0 +1,287 @@
+// Package store is the content-addressed artifact store that lets
+// every learned model in the pipeline outlive its process: calibration
+// results, offline policy snapshots, and online GP residual state are
+// keyed by a canonical fingerprint of everything that determined them
+// (service class, SLA, traffic, configuration space, training budgets,
+// seed) and persisted as versioned JSON.
+//
+// The design follows the slice-blueprint reuse of ONAP-style
+// automation: a 50-slice fleet sharing one service class trains its
+// offline policy once, and a restarted orchestrator warm-starts from
+// disk instead of retraining from scratch.
+//
+// Two layers back the store: an in-memory map (always present, so a
+// dirless store works as a process-local cache and dedup point) and an
+// optional JSON-on-disk directory with atomic writes (temp file +
+// rename). Reads tolerate corruption: a truncated file, a wrong version
+// tag, or a key mismatch surfaces as a non-nil diagnostic with
+// found=false — callers fall back to fresh training, never panic.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// EnvelopeVersion tags the on-disk envelope layout. Get rejects
+// envelopes with any other version.
+const EnvelopeVersion = 1
+
+// Artifact kinds used by the pipeline. Kinds namespace keys both in
+// memory and on disk (one subdirectory per kind).
+const (
+	KindCalibration = "calibration"
+	KindOffline     = "offline"
+	KindOnline      = "online"
+)
+
+// Envelope is the on-disk frame around every artifact: the version tag
+// and the (kind, key) identity are stored with the payload so a
+// misplaced or stale file is detected at read time instead of silently
+// deserializing into the wrong shape.
+type Envelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats counts store traffic (snapshot under the store lock; returned
+// by value).
+type Stats struct {
+	Hits    int // Get found a valid artifact
+	Misses  int // Get found nothing
+	Corrupt int // Get found an unreadable or mismatched artifact
+	Puts    int // successful writes
+}
+
+// Store is a concurrency-safe artifact store. The zero value is not
+// usable; construct with Open or InMemory.
+type Store struct {
+	dir string // "" = memory only
+
+	mu    sync.Mutex
+	mem   map[string][]byte // memKey(kind, key) -> payload bytes
+	stats Stats
+}
+
+// Open returns a store rooted at dir, creating the directory as needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory (use InMemory for a dirless store)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir, mem: map[string][]byte{}}, nil
+}
+
+// InMemory returns a store with no disk backing: a process-local cache
+// and dedup point with the same API.
+func InMemory() *Store {
+	return &Store{mem: map[string][]byte{}}
+}
+
+// Dir returns the on-disk root ("" for in-memory stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func memKey(kind, key string) string { return kind + "/" + key }
+
+// sanitize keeps kind/key filesystem-safe: fingerprints are lowercase
+// hex already, but kinds and caller-chosen keys must not escape the
+// store root.
+func sanitize(s string) error {
+	if s == "" {
+		return fmt.Errorf("store: empty identifier")
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return fmt.Errorf("store: identifier %q contains %q", s, r)
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return fmt.Errorf("store: identifier %q starts with a dot", s)
+	}
+	return nil
+}
+
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind, key+".json")
+}
+
+// Put stores payload under (kind, key), replacing any existing
+// artifact. Disk writes are atomic: the envelope lands in a temp file
+// in the destination directory and is renamed into place, so a crash
+// mid-write never leaves a truncated artifact under the final name.
+func (s *Store) Put(kind, key string, payload any) error {
+	if err := sanitize(kind); err != nil {
+		return err
+	}
+	if err := sanitize(key); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: marshal %s/%s: %w", kind, key, err)
+	}
+	if s.dir != "" {
+		env, err := json.Marshal(Envelope{Version: EnvelopeVersion, Kind: kind, Key: key, Payload: raw})
+		if err != nil {
+			return fmt.Errorf("store: marshal envelope %s/%s: %w", kind, key, err)
+		}
+		dir := filepath.Join(s.dir, kind)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: create %s: %w", dir, err)
+		}
+		tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
+		if err != nil {
+			return fmt.Errorf("store: temp file for %s/%s: %w", kind, key, err)
+		}
+		tmpName := tmp.Name()
+		if _, err := tmp.Write(env); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return fmt.Errorf("store: write %s/%s: %w", kind, key, err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("store: close %s/%s: %w", kind, key, err)
+		}
+		if err := os.Rename(tmpName, s.path(kind, key)); err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("store: commit %s/%s: %w", kind, key, err)
+		}
+	}
+	s.mu.Lock()
+	s.mem[memKey(kind, key)] = raw
+	s.stats.Puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get loads the artifact under (kind, key) into out (a JSON-decodable
+// pointer). It returns (true, nil) on a valid hit, (false, nil) when no
+// artifact exists, and (false, diagnostic) when an artifact exists but
+// is unreadable — truncated JSON, a foreign envelope version, an
+// identity mismatch, or a payload that does not decode. Callers treat
+// the diagnostic as "retrain and overwrite", never as fatal.
+func (s *Store) Get(kind, key string, out any) (bool, error) {
+	if err := sanitize(kind); err != nil {
+		return false, err
+	}
+	if err := sanitize(key); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	raw, ok := s.mem[memKey(kind, key)]
+	s.mu.Unlock()
+	if !ok {
+		if s.dir == "" {
+			s.count(func(st *Stats) { st.Misses++ })
+			return false, nil
+		}
+		var err error
+		raw, err = s.readDisk(kind, key)
+		if err != nil {
+			s.count(func(st *Stats) { st.Corrupt++ })
+			return false, err
+		}
+		if raw == nil {
+			s.count(func(st *Stats) { st.Misses++ })
+			return false, nil
+		}
+		s.mu.Lock()
+		s.mem[memKey(kind, key)] = raw
+		s.mu.Unlock()
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		s.count(func(st *Stats) { st.Corrupt++ })
+		return false, fmt.Errorf("store: decode %s/%s payload: %w", kind, key, err)
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return true, nil
+}
+
+// readDisk loads and validates the on-disk envelope for (kind, key),
+// returning (nil, nil) when the file does not exist.
+func (s *Store) readDisk(kind, key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(kind, key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s/%s: %w", kind, key, err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("store: corrupt artifact %s/%s: %w", kind, key, err)
+	}
+	if env.Version != EnvelopeVersion {
+		return nil, fmt.Errorf("store: artifact %s/%s has envelope version %d, want %d", kind, key, env.Version, EnvelopeVersion)
+	}
+	if env.Kind != kind || env.Key != key {
+		return nil, fmt.Errorf("store: artifact identity mismatch: file for %s/%s claims %s/%s",
+			kind, key, env.Kind, env.Key)
+	}
+	if len(env.Payload) == 0 {
+		return nil, fmt.Errorf("store: artifact %s/%s has an empty payload", kind, key)
+	}
+	return env.Payload, nil
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Fingerprint returns the canonical content address of v: the SHA-256
+// of its JSON encoding, as lowercase hex. Encoding/json marshals struct
+// fields in declaration order and map keys sorted, so the fingerprint
+// is deterministic across processes for the fingerprint structs the
+// pipeline uses (fixed structs of floats, ints, bools, and strings).
+func Fingerprint(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Fingerprint inputs are pipeline-controlled structs; a marshal
+		// failure is a programming error, not an I/O condition.
+		panic(fmt.Sprintf("store: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// FingerprintSeed folds a fingerprint into a 64-bit seed: the first
+// eight bytes of the (hex) content address interpreted big-endian.
+// Combined with a caller's base seed it derives the canonical training
+// seed for an artifact, making "the seed the dedup'd training would
+// use" a pure function of (base seed, fingerprint).
+func FingerprintSeed(fp string) int64 {
+	b, err := hex.DecodeString(fp)
+	if err != nil || len(b) < 8 {
+		// Not a hex fingerprint: hash the raw string instead.
+		sum := sha256.Sum256([]byte(fp))
+		b = sum[:]
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return int64(v)
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type artifact struct {
+	Name  string    `json:"name"`
+	Curve []float64 `json:"curve"`
+}
+
+func testKey() string {
+	return Fingerprint(struct{ A string }{"round-trip"})
+}
+
+// TestStoreRoundTrip: Put then Get returns the artifact bit-identically,
+// from memory and — via a fresh store over the same directory — from
+// disk.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact{Name: "policy", Curve: []float64{0.25, 0.5, 0.125}}
+	key := testKey()
+	if err := s.Put(KindOffline, key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got artifact
+	found, err := s.Get(KindOffline, key, &got)
+	if err != nil || !found {
+		t.Fatalf("memory get: found=%v err=%v", found, err)
+	}
+	if got.Name != want.Name || len(got.Curve) != 3 || got.Curve[2] != 0.125 {
+		t.Fatalf("memory get mismatch: %+v", got)
+	}
+
+	// A second store over the same directory reads through to disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = artifact{}
+	found, err = s2.Get(KindOffline, key, &got)
+	if err != nil || !found {
+		t.Fatalf("disk get: found=%v err=%v", found, err)
+	}
+	if got.Curve[1] != 0.5 {
+		t.Fatalf("disk get mismatch: %+v", got)
+	}
+	if st := s2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats after disk hit: %+v", st)
+	}
+}
+
+// TestStoreMiss: absent artifacts are (false, nil) — a miss, not an
+// error.
+func TestStoreMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	found, err := s.Get(KindOffline, testKey(), &got)
+	if found || err != nil {
+		t.Fatalf("miss: found=%v err=%v", found, err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+}
+
+// TestStoreTruncatedFile: a file cut mid-JSON yields a diagnostic, not
+// a panic, and reports found=false so callers fall back to training.
+func TestStoreTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := s.Put(KindOffline, key, artifact{Name: "x", Curve: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, KindOffline, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir) // fresh store: no memory layer masking the disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	found, err := s2.Get(KindOffline, key, &got)
+	if found {
+		t.Fatal("truncated artifact reported as found")
+	}
+	if err == nil {
+		t.Fatal("truncated artifact yielded no diagnostic")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats after corrupt read: %+v", st)
+	}
+}
+
+// TestStoreWrongVersion: an envelope from a future (or past) layout is
+// rejected with a diagnostic naming both versions.
+func TestStoreWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	payload, _ := json.Marshal(artifact{Name: "x"})
+	env, _ := json.Marshal(Envelope{Version: 99, Kind: KindOffline, Key: key, Payload: payload})
+	if err := os.MkdirAll(filepath.Join(dir, KindOffline), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, KindOffline, key+".json"), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	found, err := s.Get(KindOffline, key, &got)
+	if found || err == nil {
+		t.Fatalf("wrong version accepted: found=%v err=%v", found, err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("diagnostic does not mention the version: %v", err)
+	}
+}
+
+// TestStoreIdentityMismatch: a file copied under a different key (or
+// kind) is detected through the envelope's stored identity.
+func TestStoreIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := Fingerprint(struct{ A string }{"a"})
+	keyB := Fingerprint(struct{ A string }{"b"})
+	if err := s.Put(KindOffline, keyA, artifact{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a misplaced artifact: the bytes for keyA land at keyB's
+	// path.
+	data, err := os.ReadFile(filepath.Join(dir, KindOffline, keyA+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, KindOffline, keyB+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	found, err := s2.Get(KindOffline, keyB, &got)
+	if found || err == nil {
+		t.Fatalf("identity mismatch accepted: found=%v err=%v", found, err)
+	}
+	if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("diagnostic does not mention the mismatch: %v", err)
+	}
+}
+
+// TestStoreInMemory: a dirless store round-trips and misses cleanly.
+func TestStoreInMemory(t *testing.T) {
+	s := InMemory()
+	key := testKey()
+	if err := s.Put(KindOnline, key, artifact{Name: "gp"}); err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	found, err := s.Get(KindOnline, key, &got)
+	if !found || err != nil || got.Name != "gp" {
+		t.Fatalf("in-memory round trip: found=%v err=%v got=%+v", found, err, got)
+	}
+	found, err = s.Get(KindOffline, key, &got)
+	if found || err != nil {
+		t.Fatalf("in-memory miss: found=%v err=%v", found, err)
+	}
+}
+
+// TestStoreSanitize: identifiers that could escape the store root are
+// rejected on both paths.
+func TestStoreSanitize(t *testing.T) {
+	s := InMemory()
+	for _, bad := range []string{"", "../evil", "a/b", ".hidden", "a b"} {
+		if err := s.Put(bad, testKey(), artifact{}); err == nil {
+			t.Fatalf("kind %q accepted", bad)
+		}
+		if _, err := s.Get(KindOffline, bad, &artifact{}); err == nil {
+			t.Fatalf("key %q accepted", bad)
+		}
+	}
+}
+
+// TestFingerprintDeterministicAndSensitive: equal values agree, any
+// field change moves the address.
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	type fp struct {
+		SLA     float64
+		Traffic int
+		Class   string
+	}
+	a := Fingerprint(fp{0.9, 2, "teleop"})
+	b := Fingerprint(fp{0.9, 2, "teleop"})
+	c := Fingerprint(fp{0.9, 3, "teleop"})
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatal("fingerprint insensitive to traffic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length %d", len(a))
+	}
+	if FingerprintSeed(a) == FingerprintSeed(c) {
+		t.Fatal("fingerprint seeds collide for distinct fingerprints")
+	}
+	if FingerprintSeed(a) != FingerprintSeed(b) {
+		t.Fatal("fingerprint seed not deterministic")
+	}
+}
+
+// TestStoreConcurrentAccess: concurrent Put/Get on overlapping keys is
+// race-free (exercised under -race in CI).
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		Fingerprint(struct{ I int }{0}),
+		Fingerprint(struct{ I int }{1}),
+		Fingerprint(struct{ I int }{2}),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := keys[(w+i)%len(keys)]
+				if err := s.Put(KindOffline, key, artifact{Name: key}); err != nil {
+					t.Error(err)
+					return
+				}
+				var got artifact
+				if _, err := s.Get(KindOffline, key, &got); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

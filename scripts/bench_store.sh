@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench_store.sh — measure cold vs. warm orchestration of a 16-slice
+# single-class fleet through the artifact store and emit a JSON
+# snapshot, seeding the warm-start trajectory across PRs.
+#
+#	scripts/bench_store.sh              # writes BENCH_3.json
+#	scripts/bench_store.sh out.json     # custom output path
+#	BENCHTIME=1x scripts/bench_store.sh # CI smoke budget
+#
+# The snapshot records end-to-end ns/op for the cold run (empty store:
+# the in-run singleflight dedups 16 identical fingerprints to exactly
+# one offline training) and the warm run (populated store: every policy
+# restores from disk, zero training), plus the warm speedup and the
+# per-run training/hit counts that verify train-once-per-class.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_3.json}"
+benchtime="${BENCHTIME:-3x}"
+pattern='^(BenchmarkStoreColdFleet|BenchmarkStoreWarmFleet)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	# Custom metrics follow the "ns/op" unit as "value unit" pairs.
+	for (i = 5; i + 1 <= NF; i += 2)
+		metric[name, $(i + 1)] = $i
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"artifact-store-fleet\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"fleet\": {\"slices\": 16, \"classes\": 1, \"intervals\": 2},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"trainings_per_run\": %s, \"store_hits_per_run\": %s}%s\n", \
+			name, iters[name], ns[name], \
+			metric[name, "trainings"] + 0, metric[name, "store_hits"] + 0, \
+			(i < n - 1 ? "," : "")
+	}
+	printf "  ]"
+	if (ns["StoreColdFleet"] > 0 && ns["StoreWarmFleet"] > 0)
+		printf ",\n  \"warm_speedup\": %.2f", ns["StoreColdFleet"] / ns["StoreWarmFleet"]
+	printf ",\n  \"cold_trainings_per_run\": %s", metric["StoreColdFleet", "trainings"] + 0
+	printf ",\n  \"warm_trainings_per_run\": %s", metric["StoreWarmFleet", "trainings"] + 0
+	printf "\n}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+# Guardrails: a dedup'd cold run must train each distinct fingerprint
+# exactly once, and the warm run must be at least 5x faster end to end.
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["cold_trainings_per_run"] == 1, f"cold run trained {snap['cold_trainings_per_run']} times, want 1"
+assert snap["warm_trainings_per_run"] == 0, f"warm run trained {snap['warm_trainings_per_run']} times, want 0"
+assert snap["warm_speedup"] >= 5, f"warm speedup {snap['warm_speedup']}x below 5x"
+print(f"ok: warm speedup {snap['warm_speedup']}x, cold trainings 1, warm trainings 0")
+EOF
+fi
