@@ -20,9 +20,14 @@ import (
 	"github.com/atlas-slicing/atlas"
 	"github.com/atlas-slicing/atlas/internal/bnn"
 	"github.com/atlas-slicing/atlas/internal/bo"
+	"github.com/atlas-slicing/atlas/internal/core"
 	"github.com/atlas-slicing/atlas/internal/experiments"
+	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/gp"
 	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/scenarios"
+	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/stats"
 	"github.com/atlas-slicing/atlas/internal/store"
 )
@@ -407,4 +412,61 @@ func BenchmarkOracleSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		atlas.FindOracle(real, space, sla, 1, 40, 1, int64(i))
 	}
+}
+
+// benchFleetRun executes one churn-scenario fleet run at smoke budgets
+// under the given admission policy. Same seed and capacity across
+// policies, so BENCH_4 compares them on equal terms.
+func benchFleetRun(b *testing.B, policy fleet.Policy) *fleet.Result {
+	b.Helper()
+	fs, ok := scenarios.GetFleet("churn")
+	if !ok {
+		b.Fatal("churn fleet scenario missing")
+	}
+	ctl := fleet.NewController(realnet.New(), simnet.NewDefault(), fs.Classes, fleet.Options{
+		Horizon:  60,
+		Capacity: fs.Capacity,
+		Policy:   policy,
+		Seed:     42,
+		Tune: func(sys *core.System) {
+			sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 15, 5, 2, 150
+			sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 25, 8, 2, 150
+			sys.OnOpts.Pool, sys.OnOpts.N = 120, 3
+		},
+	})
+	res, err := ctl.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchFleetPolicy reports the fleet-control-plane metrics BENCH_4
+// snapshots: acceptance ratio, peak bottleneck utilization, SLA
+// violations, and QoE-weighted value.
+func benchFleetPolicy(b *testing.B, policy fleet.Policy) {
+	var acc, peak, viol, value float64
+	for i := 0; i < b.N; i++ {
+		res := benchFleetRun(b, policy)
+		acc += res.AcceptanceRatio
+		if u := res.PeakUtil.Max(); u > peak {
+			peak = u
+		}
+		viol += float64(res.SLAViolations)
+		value += res.QoEWeightedValue
+	}
+	n := float64(b.N)
+	b.ReportMetric(acc/n, "acceptance_ratio")
+	b.ReportMetric(peak, "peak_util")
+	b.ReportMetric(viol/n, "sla_violations")
+	b.ReportMetric(value/n, "qoe_value")
+}
+
+// BenchmarkFleetFirstFit: greedy admission, no arbitration.
+func BenchmarkFleetFirstFit(b *testing.B) { benchFleetPolicy(b, fleet.FirstFit{}) }
+
+// BenchmarkFleetValueDensity: QoE-aware value-density admission with
+// preemption-free downscale arbitration.
+func BenchmarkFleetValueDensity(b *testing.B) {
+	benchFleetPolicy(b, fleet.ValueDensity{ReservePrice: 4})
 }

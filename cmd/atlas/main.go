@@ -29,6 +29,16 @@
 //	atlas -slices 16 -store ./artifacts -save          # cold: train once per class
 //	atlas -slices 16 -store ./artifacts -warm -save    # warm: restore, zero training
 //
+// With -fleet the static spec list is replaced by the fleet control
+// plane: a dynamic scenario's arrival processes admit, downscale, and
+// release slices over finite per-domain capacity, reporting acceptance
+// ratio, utilization, SLA violations, and QoE-weighted value against
+// an infinite-capacity oracle:
+//
+//	atlas -fleet -scenario churn -horizon 200              # value-density policy
+//	atlas -fleet -scenario flashcrowd -policy first-fit    # greedy baseline
+//	atlas -fleet -scenario churn -capacity 2 -no-oracle    # 2 cells, skip oracle
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -41,6 +51,7 @@ import (
 
 	"github.com/atlas-slicing/atlas/internal/baselines"
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/realnet"
 	"github.com/atlas-slicing/atlas/internal/scenarios"
@@ -67,59 +78,99 @@ func main() {
 		storeDir     = flag.String("store", "", "artifact-store directory for learned models (empty = no persistence)")
 		save         = flag.Bool("save", false, "write trained artifacts back to the store (requires -store)")
 		warm         = flag.Bool("warm", false, "restore matching artifacts from the store instead of retraining (requires -store)")
+		fleetMode    = flag.Bool("fleet", false, "run the fleet control plane: dynamic slice arrivals/departures over finite capacity (requires a dynamic -scenario)")
+		horizon      = flag.Int("horizon", 0, "fleet horizon in control-plane epochs (0 = scenario default)")
+		capacity     = flag.Float64("capacity", 0, "fleet capacity in prototype cells, e.g. 1.5 (0 = scenario default)")
+		policyName   = flag.String("policy", "value-density", "fleet admission policy: "+strings.Join(fleet.PolicyNames(), ", "))
+		noOracle     = flag.Bool("no-oracle", false, "skip the infinite-capacity oracle run in fleet mode")
 	)
 	flag.Parse()
 
-	// Validate every flag up front with a clear error instead of
-	// silently clamping deep in the stack.
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "atlas: "+format+"\n", args...)
-		os.Exit(2)
+	// Validate every flag in a single pass and report every problem at
+	// once — one consolidated error message instead of a fix-rerun-fix
+	// loop across the mixed per-flag styles the flags accreted.
+	var errs []string
+	badf := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
 	}
 	if *slices < 1 {
-		fail("-slices must be at least 1, got %d", *slices)
+		badf("-slices must be at least 1, got %d", *slices)
 	}
 	if *traffic < 1 || *traffic > core.MaxTraffic {
-		fail("-traffic must be in [1, %d], got %d", core.MaxTraffic, *traffic)
+		badf("-traffic must be in [1, %d], got %d", core.MaxTraffic, *traffic)
 	}
 	if *workers < 0 {
-		fail("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+		badf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
 	}
 	if *pool < 2 {
-		fail("-pool must be at least 2, got %d", *pool)
+		badf("-pool must be at least 2, got %d", *pool)
 	}
 	if *onIters < 1 {
-		fail("-online-iters must be at least 1, got %d", *onIters)
+		badf("-online-iters must be at least 1, got %d", *onIters)
 	}
 	if *s1Iters < 1 || *s2Iters < 1 {
-		fail("-stage1-iters and -stage2-iters must be at least 1, got %d and %d", *s1Iters, *s2Iters)
+		badf("-stage1-iters and -stage2-iters must be at least 1, got %d and %d", *s1Iters, *s2Iters)
 	}
 	if *batch < 1 {
-		fail("-batch must be at least 1, got %d", *batch)
+		badf("-batch must be at least 1, got %d", *batch)
 	}
 	if *threshold <= 0 {
-		fail("-threshold must be positive milliseconds, got %v", *threshold)
+		badf("-threshold must be positive milliseconds, got %v", *threshold)
 	}
 	if *availability <= 0 || *availability > 1 {
-		fail("-availability must be in (0, 1], got %v", *availability)
+		badf("-availability must be in (0, 1], got %v", *availability)
+	}
+	if *horizon < 0 {
+		badf("-horizon must be >= 0 (0 = scenario default), got %d", *horizon)
+	}
+	if *capacity < 0 {
+		badf("-capacity must be >= 0 cells (0 = scenario default), got %v", *capacity)
+	}
+	var policy fleet.Policy
+	if *fleetMode {
+		var ok bool
+		if policy, ok = fleet.PolicyByName(*policyName); !ok {
+			badf("unknown -policy %q; valid policies: %s", *policyName, strings.Join(fleet.PolicyNames(), ", "))
+		}
 	}
 	var scen scenarios.Scenario
-	if *scenario != "" {
+	var fscen scenarios.FleetScenario
+	switch {
+	case *fleetMode:
+		if *scenario == "" {
+			badf("-fleet requires a dynamic -scenario; valid dynamic scenarios: %s", strings.Join(scenarios.FleetNames(), ", "))
+		} else if fs, ok := scenarios.GetFleet(*scenario); ok {
+			fscen = fs
+		} else {
+			badf("unknown dynamic scenario %q; valid dynamic scenarios: %s", *scenario, strings.Join(scenarios.FleetNames(), ", "))
+		}
+	case *scenario != "":
 		var ok bool
-		scen, ok = scenarios.Get(*scenario)
-		if !ok {
-			fail("unknown scenario %q; valid scenarios: %s", *scenario, strings.Join(scenarios.Names(), ", "))
+		if scen, ok = scenarios.Get(*scenario); !ok {
+			badf("unknown scenario %q; valid scenarios: %s", *scenario, strings.Join(scenarios.Names(), ", "))
 		}
 	}
 	if (*save || *warm) && *storeDir == "" {
-		fail("-save and -warm require -store DIR")
+		badf("-save and -warm require -store DIR")
+	}
+	if *fleetMode && *storeDir != "" && (!*save || !*warm) {
+		badf("-fleet with -store requires both -warm and -save: the control plane always restores artifacts by fingerprint, persists training, and tombstones released checkpoints")
 	}
 	var st *store.Store
-	if *storeDir != "" {
+	if *storeDir != "" && len(errs) == 0 {
 		var err error
 		if st, err = store.Open(*storeDir); err != nil {
-			fail("open artifact store: %v", err)
+			badf("open artifact store: %v", err)
 		}
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "atlas: invalid flags:\n")
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "valid scenarios: %s; dynamic (fleet) scenarios: %s\n",
+			strings.Join(scenarios.Names(), ", "), strings.Join(scenarios.FleetNames(), ", "))
+		os.Exit(2)
 	}
 
 	sla := slicing.SLA{ThresholdMs: *threshold, Availability: *availability}
@@ -129,6 +180,11 @@ func main() {
 	seeds := mathx.Split(*seed, 8)
 
 	sc := storeCtx{st: st, warm: *warm, save: *save}
+
+	if *fleetMode {
+		runFleet(real, sim, st, fscen, policy, *horizon, *capacity, *workers, *seed, !*noOracle)
+		return
+	}
 
 	if *scenario != "" {
 		runScenario(real, sim, sc, scen, *slices, *workers, *seed, *s1Iters, *s2Iters, *onIters, *batch, *pool, *alpha,
@@ -284,6 +340,67 @@ func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed in
 	copts.Iters, copts.Batch, copts.Pool, copts.Alpha, copts.Traffic = s1Iters, batch, pool, alpha, traffic
 	copts.Explore = s1Iters / 5
 	return core.NewCalibrator(sim, dr, copts)
+}
+
+// runFleet is the control-plane path: a dynamic fleet of slices
+// arriving and departing over finite capacity, with capacity-aware
+// admission and preemption-free downscale arbitration.
+func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs scenarios.FleetScenario, policy fleet.Policy, horizon int, capacityCells float64, workers int, seed int64, oracle bool) {
+	if horizon <= 0 {
+		horizon = fs.Horizon
+	}
+	capacity := fs.Capacity
+	if capacityCells > 0 {
+		capacity = slicing.CellCapacity(capacityCells)
+	}
+	fmt.Printf("== fleet scenario %q: %s ==\n", fs.Name, fs.Description)
+	fmt.Printf("policy %s, horizon %d epochs, capacity %v\n\n", policy.Name(), horizon, capacity)
+
+	ctl := fleet.NewController(real, sim, fs.Classes, fleet.Options{
+		Horizon:  horizon,
+		Capacity: capacity,
+		Policy:   policy,
+		Seed:     seed,
+		Workers:  workers,
+		Oracle:   oracle,
+		Store:    st,
+	})
+	res, err := ctl.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: fleet run: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("arrivals %d: admitted %d, rejected %d, departed %d (acceptance ratio %.3f)\n",
+		res.Arrivals, res.Admitted, res.Rejected, res.Departed, res.AcceptanceRatio)
+	fmt.Printf("utilization mean ran/tn/cn: %.1f%%/%.1f%%/%.1f%%  peak: %.1f%%/%.1f%%/%.1f%%\n",
+		100*res.MeanUtil.RAN, 100*res.MeanUtil.TN, 100*res.MeanUtil.CN,
+		100*res.PeakUtil.RAN, 100*res.PeakUtil.TN, 100*res.PeakUtil.CN)
+	fmt.Printf("served %d slice-epochs, %d SLA violations, %d downscale arbitrations\n",
+		res.ServedEpochs, res.SLAViolations, res.Downscales)
+	fmt.Printf("QoE-weighted value: %.2f", res.QoEWeightedValue)
+	if oracle {
+		fmt.Printf(" (infinite-capacity oracle %.2f, regret %.2f)", res.OracleValue, res.Regret)
+	}
+	fmt.Println()
+
+	fmt.Println("\nper-class admission:")
+	for _, cs := range res.Classes {
+		fmt.Printf("%-20s arrivals %3d admitted %3d rejected %3d value %8.2f\n",
+			cs.Class, cs.Arrivals, cs.Admitted, cs.Rejected, cs.Value)
+	}
+	if n := len(res.Rejections); n > 0 {
+		fmt.Printf("\nfirst rejections (of %d):\n", n)
+		for i, rj := range res.Rejections {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("epoch %3d %-20s %s\n", rj.Epoch, rj.ID, rj.Reason)
+		}
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintf(os.Stderr, "atlas: store diagnostic: %v\n", d)
+	}
 }
 
 // runScenario is the catalog-driven path: one shared stage-1

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/atlas-slicing/atlas/internal/domains"
 	"github.com/atlas-slicing/atlas/internal/mathx"
@@ -11,6 +14,21 @@ import (
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
 )
+
+// ErrInsufficientCapacity marks an admission rejected by the capacity
+// ledger: the tenant's reservation does not fit the free per-domain
+// capacity. Callers test with errors.Is.
+var ErrInsufficientCapacity = errors.New("insufficient capacity")
+
+// DefaultHeadroom is the reservation envelope factor: a slice reserves
+// its offline-optimal configuration scaled by this factor (clamped to
+// the space), so online exploration has room above the optimum without
+// overbooking the infrastructure.
+const DefaultHeadroom = 1.25
+
+// DownscaleHeadroom is the tighter envelope applied when the arbitrator
+// shrinks an elastic slice to make room for a newcomer.
+const DownscaleHeadroom = 1.05
 
 // System is the slice-lifecycle orchestrator of the paper's §10: one
 // individualized Atlas instance per admitted slice, sharing a single
@@ -41,6 +59,22 @@ type System struct {
 	// Step checkpoints the slice's online residual state. Nil disables
 	// persistence.
 	Store *store.Store
+
+	// Ledger is the optional capacity ledger of the fleet control
+	// plane. When set, admission reserves the tenant's configuration
+	// envelope (offline optimum scaled by Headroom) against the
+	// per-domain capacity and fails with ErrInsufficientCapacity when
+	// it does not fit; every applied configuration is confined to the
+	// slice's reserved envelope, so the fleet never overbooks. Nil
+	// means unlimited infrastructure (the pre-fleet behavior).
+	Ledger *slicing.CapacityLedger
+	// Headroom scales the reservation envelope; zero or negative
+	// defaults to DefaultHeadroom.
+	Headroom float64
+
+	// calMu serializes first-admission calibration (see
+	// ensureCalibrated). Never held together with mu.
+	calMu sync.Mutex
 
 	mu     sync.Mutex
 	seed   int64 // base seed: canonical training seeds derive from it
@@ -96,6 +130,13 @@ type SliceInstance struct {
 	ResidualWarm bool
 	StoreDiag    error
 
+	// Cap is the slice's reserved configuration envelope: every applied
+	// configuration is confined (componentwise) to it when the system
+	// has a capacity ledger. Capped reports whether the envelope is
+	// active.
+	Cap    slicing.Config
+	Capped bool
+
 	Iter int
 	// Traffics records the per-interval demand of the class's traffic
 	// model.
@@ -104,9 +145,34 @@ type SliceInstance struct {
 	QoEs     []float64
 
 	trafficSeed int64
+	// rng drives the slice's own stepping randomness (selection and
+	// episode seeds), derived once at admission — slices step
+	// independently, so concurrent Step calls on distinct slices stay
+	// deterministic regardless of interleaving.
+	rng *rand.Rand
 	// storeKey is the slice's artifact fingerprint (set when the system
-	// has a store); online checkpoints land under it.
-	storeKey string
+	// has a store); onlineKey derives from (storeKey, slice id) and is
+	// where the per-step online checkpoints land — per-identity, so
+	// concurrent same-class slices never clobber each other's residual
+	// state.
+	storeKey  string
+	onlineKey string
+	// lastDemand is the footprint of the configuration applied at the
+	// most recent Step.
+	lastDemand slicing.Demand
+	// finalized is set by ReleaseSlice before it tombstones the online
+	// checkpoint; a Step racing the release compensates by re-deleting
+	// after its own checkpoint Put, so the tombstone always wins.
+	finalized atomic.Bool
+}
+
+// Demand returns the slice's reserved per-domain capacity footprint
+// (the envelope demand; zero when the system has no ledger).
+func (inst *SliceInstance) Demand() slicing.Demand {
+	if !inst.Capped {
+		return slicing.Demand{}
+	}
+	return slicing.DemandOf(inst.Cap)
 }
 
 // NewSystem builds an orchestrator over a real network and a simulator.
@@ -128,6 +194,54 @@ func NewSystem(real slicing.Env, sim *simnet.Simulator, seed int64) *System {
 // gathering the online collection D_r (the surrogate implements it).
 type collector interface {
 	Collect(cfg slicing.Config, traffic, episodes int, seed int64) []float64
+}
+
+// nextSeed draws from the system RNG under the lock, so concurrent
+// admissions never race on the shared stream.
+func (s *System) nextSeed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Int63()
+}
+
+// calibrated reports whether stage 1 has run.
+func (s *System) calibrated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calib
+}
+
+// ensureCalibrated runs stage 1 exactly once even under concurrent
+// first admissions: the dedicated lock closes the check-then-calibrate
+// race, so a second admission waits for (and reuses) the first's
+// calibration instead of re-running the continual search against it.
+func (s *System) ensureCalibrated() error {
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	if s.calibrated() {
+		return nil
+	}
+	_, err := s.Calibrate()
+	return err
+}
+
+// headroom returns the effective reservation envelope factor.
+func (s *System) headroom() float64 {
+	if s.Headroom > 0 {
+		return s.Headroom
+	}
+	return DefaultHeadroom
+}
+
+// ReservationEnvelope returns the configuration envelope a slice with
+// the given offline-optimal configuration reserves: the optimum scaled
+// by the headroom factor, clamped to the space. Exported so the fleet
+// control plane predicts exactly the demand admission will book.
+func ReservationEnvelope(space slicing.ConfigSpace, best slicing.Config, headroom float64) slicing.Config {
+	if headroom <= 0 {
+		headroom = DefaultHeadroom
+	}
+	return space.Scale(best, headroom)
 }
 
 // Calibrate runs (or re-runs) stage 1 for the shared infrastructure.
@@ -204,27 +318,15 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 		return nil, fmt.Errorf("core: slice %q traffic %d outside [1, %d]", id, traffic, MaxTraffic)
 	}
 
-	if !s.calib {
-		if _, err := s.Calibrate(); err != nil {
-			return nil, err
-		}
+	out, err := s.offlineOutcome(class, sla, traffic)
+	if err != nil {
+		return nil, err
 	}
+	off := out.Result
 	aug := s.Augmented()
 
-	opts := s.OffOpts
-	opts.SLA = sla
-	opts.Traffic = traffic
-	opts.Class = class
-	// The training seed is a pure function of (system seed, artifact
-	// fingerprint), so every admission of the same service class under
-	// the same budgets maps to the same artifact: the store hit on the
-	// second admission is exactly the policy the first one trained.
-	out := RunOfflineWithStore(aug, opts, OfflineSeed(aug, s.seed, opts), s.Store, true, true)
-	s.noteDiag(out.Diag)
-	off := out.Result
-
 	lo := s.OnOpts
-	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.rng.Int63()))
+	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.nextSeed()))
 	learner.Class = class
 
 	inst := &SliceInstance{
@@ -234,16 +336,38 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 		Domains:     domains.NewOrchestrator(id),
 		WarmStart:   out.Hit,
 		StoreDiag:   out.Diag,
-		trafficSeed: s.rng.Int63(),
+		trafficSeed: s.nextSeed(),
+		rng:         mathx.NewRNG(s.nextSeed()),
 		storeKey:    out.Key,
 	}
-	// Warm-start the online residual from the class's last checkpoint,
-	// when one exists: the sim-to-real gap is infrastructure-level, so a
-	// returning class resumes from its learned residual instead of the
-	// prior.
+	if inst.storeKey != "" {
+		inst.onlineKey = onlineCheckpointKey(inst.storeKey, id)
+	}
+	// Capacity-checked admission: reserve the tenant's configuration
+	// envelope (offline optimum scaled by the headroom factor) against
+	// the per-domain capacity before the slice goes live.
+	if s.Ledger != nil {
+		inst.Cap = ReservationEnvelope(s.Space, off.BestConfig, s.headroom())
+		inst.Capped = true
+		if !s.Ledger.Reserve(id, slicing.DemandOf(inst.Cap)) {
+			if _, held := s.Ledger.Reserved(id); held {
+				// A concurrent admission of the same id booked first.
+				return nil, fmt.Errorf("core: slice %q already admitted", id)
+			}
+			return nil, fmt.Errorf("core: slice %q needs %v beyond free capacity %v: %w",
+				id, slicing.DemandOf(inst.Cap), s.Ledger.Free(), ErrInsufficientCapacity)
+		}
+	}
+	// Warm-start the online residual from this identity's last
+	// checkpoint, when one exists: the sim-to-real gap is
+	// infrastructure-level, so a returning slice resumes from its
+	// learned residual instead of the prior. Checkpoints are keyed per
+	// (artifact fingerprint, slice id) — concurrent same-class tenants
+	// keep disjoint residual histories, and ReleaseSlice tombstones the
+	// entry so a finalized identity re-admits deterministically cold.
 	if s.Store != nil {
 		var snap OnlineSnapshot
-		found, err := s.Store.Get(store.KindOnline, inst.storeKey, &snap)
+		found, err := s.Store.Get(store.KindOnline, inst.onlineKey, &snap)
 		s.noteDiag(err)
 		if found && err == nil {
 			if rerr := learner.Restore(&snap); rerr != nil {
@@ -254,20 +378,210 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 		}
 	}
 	s.mu.Lock()
+	if _, dup := s.slices[id]; dup {
+		// A concurrent admission of the same id won the insert while
+		// this one trained; undo the reservation and report the dup.
+		s.mu.Unlock()
+		if s.Ledger != nil {
+			s.Ledger.Release(id)
+		}
+		return nil, fmt.Errorf("core: slice %q already admitted", id)
+	}
 	s.slices[id] = inst
 	s.mu.Unlock()
 	return inst, nil
 }
 
-// RemoveSlice tears a tenant down.
+// offlineOutcome runs (or restores) the shared-calibration + offline
+// training path of an admission: calibrate stage 1 if needed, then
+// load-or-train the class's stage-2 policy. The training seed is a pure
+// function of (system seed, artifact fingerprint), so every admission
+// of the same service class under the same budgets maps to the same
+// artifact: the store hit on the second admission is exactly the policy
+// the first one trained.
+func (s *System) offlineOutcome(class *slicing.ServiceClass, sla slicing.SLA, traffic int) (OfflineOutcome, error) {
+	if err := s.ensureCalibrated(); err != nil {
+		return OfflineOutcome{}, err
+	}
+	aug := s.Augmented()
+	opts := s.OffOpts
+	opts.SLA = sla
+	opts.Traffic = traffic
+	opts.Class = class
+	out := RunOfflineWithStore(aug, opts, OfflineSeed(aug, s.seed, opts), s.Store, true, true)
+	s.noteDiag(out.Diag)
+	return out, nil
+}
+
+// EstimateAdmission previews a class admission without admitting: it
+// returns the offline artifact (trained once, then shared with the
+// eventual admission through the store) and the envelope demand that
+// admission would reserve. The fleet control plane consults it to make
+// admission decisions before committing a tenant.
+func (s *System) EstimateAdmission(class slicing.ServiceClass, traffic int) (*OfflineResult, slicing.Demand, error) {
+	if traffic == 0 {
+		traffic = class.Traffic
+	}
+	if traffic < 1 || traffic > MaxTraffic {
+		return nil, slicing.Demand{}, fmt.Errorf("core: class %q traffic %d outside [1, %d]", class.Name, traffic, MaxTraffic)
+	}
+	out, err := s.offlineOutcome(&class, class.SLA, traffic)
+	if err != nil {
+		return nil, slicing.Demand{}, err
+	}
+	env := ReservationEnvelope(s.Space, out.Result.BestConfig, s.headroom())
+	return out.Result, slicing.DemandOf(env), nil
+}
+
+// onlineCheckpointKey derives the per-identity online checkpoint key
+// from the slice's artifact fingerprint and id (hashed, so arbitrary
+// ids stay filesystem-safe).
+func onlineCheckpointKey(artifactKey, id string) string {
+	return store.Fingerprint(struct {
+		Artifact string `json:"artifact"`
+		Slice    string `json:"slice"`
+	}{artifactKey, id})
+}
+
+// RemoveSlice tears a tenant down, freeing its capacity reservation.
+// The slice's online checkpoint stays live in the store — this is the
+// suspend path: a later admission under the same identity resumes the
+// learned residual. Use ReleaseSlice to decommission for good.
 func (s *System) RemoveSlice(id string) error {
+	_, err := s.detach(id)
+	return err
+}
+
+// ReleaseSlice decommissions a tenant: it tears the slice down, frees
+// its capacity reservation, and finalizes its online checkpoint by
+// tombstoning the store entry. Re-admission of the same id is therefore
+// deterministic — it starts from the class's offline artifact with a
+// cold residual, exactly like a first admission, instead of resuming
+// whatever the departed tenant last checkpointed.
+func (s *System) ReleaseSlice(id string) error {
+	inst, err := s.detach(id)
+	if err != nil {
+		return err
+	}
+	// Order matters: the flag must be visible before the tombstone so
+	// that any Step still in flight either sees it (and skips or
+	// compensates its checkpoint write) or wrote before the Delete.
+	inst.finalized.Store(true)
+	if s.Store != nil && inst.onlineKey != "" {
+		s.noteDiag(s.Store.Delete(store.KindOnline, inst.onlineKey))
+	}
+	return nil
+}
+
+// detach removes a slice from the system and releases its reservation.
+func (s *System) detach(id string) (*SliceInstance, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.slices[id]; !ok {
-		return fmt.Errorf("core: slice %q not admitted", id)
+	inst, ok := s.slices[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: slice %q not admitted", id)
 	}
 	delete(s.slices, id)
-	return nil
+	s.mu.Unlock()
+	if s.Ledger != nil {
+		s.Ledger.Release(id)
+	}
+	return inst, nil
+}
+
+// SliceDemand returns a tenant's per-domain capacity footprint: the
+// reserved envelope demand and the demand of the configuration applied
+// at the last Step.
+func (s *System) SliceDemand(id string) (reserved, applied slicing.Demand, ok bool) {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return slicing.Demand{}, slicing.Demand{}, false
+	}
+	if s.Ledger != nil {
+		if r, held := s.Ledger.Reserved(id); held {
+			reserved = r
+		}
+	}
+	return reserved, inst.applied(), true
+}
+
+// applied returns the demand of the last applied configuration.
+func (inst *SliceInstance) applied() slicing.Demand {
+	if len(inst.Usages) == 0 {
+		return slicing.Demand{}
+	}
+	return inst.lastDemand
+}
+
+// PreviewDownscale asks a slice's online learner for the cheapest
+// configuration whose QoE posterior still meets the SLA target and
+// returns the tightened envelope that configuration would reserve plus
+// the per-domain demand tightening would free — without applying
+// anything. Arbitration callers preview a set of elastic slices first
+// and commit only when the combined freed capacity actually admits the
+// newcomer, so no slice is degraded for a rejection that happens
+// anyway.
+func (s *System) PreviewDownscale(id string, pool int) (next slicing.Config, freed slicing.Demand, ok bool, err error) {
+	inst, found := s.Slice(id)
+	if !found {
+		return slicing.Config{}, slicing.Demand{}, false, fmt.Errorf("core: slice %q not admitted", id)
+	}
+	if s.Ledger == nil || !inst.Capped {
+		return slicing.Config{}, slicing.Demand{}, false, nil
+	}
+	cfg, feasible := inst.Learner.CheapestFeasible(pool, inst.rng)
+	if !feasible {
+		return slicing.Config{}, slicing.Demand{}, false, nil
+	}
+	// Confine the tightened envelope's demand dimensions inside the
+	// current one so the reservation shrinks monotonically in every
+	// capacity domain (the demand-free MCS offsets stay unconstrained).
+	next = slicing.ConfineDemand(s.Space.Scale(cfg, DownscaleHeadroom), inst.Cap)
+	old, held := s.Ledger.Reserved(id)
+	if !held {
+		return slicing.Config{}, slicing.Demand{}, false, nil
+	}
+	freed = old.Sub(slicing.DemandOf(next))
+	if freed.IsZero() {
+		return slicing.Config{}, slicing.Demand{}, false, nil
+	}
+	return next, freed, true, nil
+}
+
+// CommitDownscale applies a previewed envelope: the slice's reservation
+// shrinks to the new envelope's demand and the difference returns to
+// the ledger. The slice keeps running throughout (nothing is evicted,
+// nothing restarts).
+func (s *System) CommitDownscale(id string, next slicing.Config) (slicing.Demand, bool, error) {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return slicing.Demand{}, false, fmt.Errorf("core: slice %q not admitted", id)
+	}
+	if s.Ledger == nil || !inst.Capped {
+		return slicing.Demand{}, false, nil
+	}
+	old, held := s.Ledger.Reserved(id)
+	if !held {
+		return slicing.Demand{}, false, nil
+	}
+	nd := slicing.DemandOf(next)
+	freed := old.Sub(nd)
+	if freed.IsZero() || !s.Ledger.Update(id, nd) {
+		return slicing.Demand{}, false, nil
+	}
+	inst.Cap = next
+	return freed, true, nil
+}
+
+// DownscaleSlice is the one-shot preview-and-commit form of the
+// preemption-free arbitration primitive. It returns the freed
+// per-domain demand and whether any capacity was recovered.
+func (s *System) DownscaleSlice(id string, pool int) (slicing.Demand, bool, error) {
+	next, _, ok, err := s.PreviewDownscale(id, pool)
+	if err != nil || !ok {
+		return slicing.Demand{}, false, err
+	}
+	return s.CommitDownscale(id, next)
 }
 
 // Slice returns a tenant's instance.
@@ -291,7 +605,10 @@ func (s *System) Slices() []string {
 
 // Step advances one slice by one configuration interval: select, apply
 // through the domain managers, run the interval on the real network,
-// observe.
+// observe. All per-step randomness comes from the slice's own RNG, so
+// stepping distinct slices concurrently is safe and deterministic
+// regardless of interleaving; two concurrent Steps of the same slice
+// are not.
 func (s *System) Step(id string) error {
 	inst, ok := s.Slice(id)
 	if !ok {
@@ -302,11 +619,19 @@ func (s *System) Step(id string) error {
 		traffic = min(inst.Class.TrafficAt(inst.Iter, inst.Traffic, inst.trafficSeed), MaxTraffic)
 		inst.Learner.SetTraffic(traffic)
 	}
-	cfg := inst.Learner.Next(inst.Iter, s.rng)
-	if _, err := inst.Domains.Apply(s.Space.Clamp(cfg)); err != nil {
+	cfg := s.Space.Clamp(inst.Learner.Next(inst.Iter, inst.rng))
+	if inst.Capped {
+		// Confine the applied configuration to the reserved envelope:
+		// the learner may propose anything, the infrastructure grants
+		// at most the reservation. Only the demand-bearing dimensions
+		// are clamped — the MCS offsets consume no capacity, and the
+		// online learner needs them free to close the sim-to-real gap.
+		cfg = slicing.ConfineDemand(cfg, inst.Cap)
+	}
+	if _, err := inst.Domains.Apply(cfg); err != nil {
 		return fmt.Errorf("core: slice %q domain apply: %w", id, err)
 	}
-	tr := slicing.EpisodeFor(s.Real, inst.Class, cfg, traffic, s.rng.Int63())
+	tr := slicing.EpisodeFor(s.Real, inst.Class, cfg, traffic, inst.rng.Int63())
 	usage := s.Space.Usage(cfg)
 	qoe := slicing.EvalFor(inst.Class, inst.SLA, tr)
 	inst.Learner.Observe(inst.Iter, cfg, usage, qoe)
@@ -314,19 +639,27 @@ func (s *System) Step(id string) error {
 	inst.Traffics = append(inst.Traffics, traffic)
 	inst.Usages = append(inst.Usages, usage)
 	inst.QoEs = append(inst.QoEs, qoe)
+	inst.lastDemand = slicing.DemandOf(cfg)
 	// Checkpoint the online residual after every epoch so a process
-	// restart (or a later admission of the same class) resumes from the
-	// latest learned sim-to-real gap. Checkpoint failures are non-fatal:
-	// the in-memory learner is always authoritative.
-	if s.Store != nil && inst.storeKey != "" {
+	// restart (or a later admission of the same identity) resumes from
+	// the latest learned sim-to-real gap. Checkpoint failures are
+	// non-fatal: the in-memory learner is always authoritative.
+	if s.Store != nil && inst.onlineKey != "" && !inst.finalized.Load() {
 		if snap, err := inst.Learner.Snapshot(); err == nil {
-			_ = s.Store.Put(store.KindOnline, inst.storeKey, snap)
+			_ = s.Store.Put(store.KindOnline, inst.onlineKey, snap)
+		}
+		// A ReleaseSlice racing this step sets finalized before its
+		// tombstone; if it fired between our check and our Put, the Put
+		// may have resurrected the checkpoint — re-delete so the
+		// tombstone wins in every interleaving.
+		if inst.finalized.Load() {
+			_ = s.Store.Delete(store.KindOnline, inst.onlineKey)
 		}
 	}
 	return nil
 }
 
-// StepAll advances every admitted slice one interval.
+// StepAll advances every admitted slice one interval, sequentially.
 func (s *System) StepAll() error {
 	for _, id := range s.Slices() {
 		if err := s.Step(id); err != nil {
@@ -334,6 +667,38 @@ func (s *System) StepAll() error {
 		}
 	}
 	return nil
+}
+
+// StepMany advances the given slices one interval each, fanned out over
+// a bounded worker pool (workers <= 0 selects GOMAXPROCS). Per-slice
+// RNGs make every trajectory independent of scheduling, so results are
+// bit-identical at any worker count. All steps run to completion; the
+// errors of every failed slice are returned joined (test membership
+// with errors.Is).
+func (s *System) StepMany(ids []string, workers int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = s.Step(id)
+		}(i, id)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // InfrastructureChanged handles the §10 adaptability procedure: re-run
@@ -356,7 +721,7 @@ func (s *System) InfrastructureChanged(fineTuneIters int) error {
 			opts.Iters = fineTuneIters
 			opts.Explore = fineTuneIters / 5
 		}
-		off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.rng.Int63()))
+		off := NewOfflineTrainer(aug, opts).Run(mathx.NewRNG(s.nextSeed()))
 		inst.Offline = off
 		// The learner keeps its online GP but points at the refreshed
 		// offline artifacts and simulator.

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/atlas-slicing/atlas/internal/realnet"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 func quickSystem() *System {
@@ -156,5 +160,232 @@ func TestSystemAdmitSliceClass(t *testing.T) {
 	zero.Traffic = 0
 	if _, err := s.AdmitSliceClass("bad", zero, -1); err == nil {
 		t.Fatal("negative traffic admitted")
+	}
+}
+
+// TestReleaseSliceTombstonesCheckpoint is the regression test for the
+// suspend/decommission split: RemoveSlice leaves the online checkpoint
+// live (re-admission of the same id resumes the residual), while
+// ReleaseSlice tombstones it, so re-admission after a release is
+// deterministically cold — exactly like a first admission.
+func TestReleaseSliceTombstonesCheckpoint(t *testing.T) {
+	s := quickSystem()
+	s.Store = store.InMemory()
+
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Suspend path: the checkpoint survives RemoveSlice and the same id
+	// resumes its residual history.
+	if err := s.RemoveSlice("a"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.ResidualWarm {
+		t.Fatal("re-admission after RemoveSlice did not resume the checkpoint")
+	}
+	if got := inst.Learner.Residuals(); got != 3 {
+		t.Fatalf("resumed residual count = %d, want 3", got)
+	}
+
+	// Decommission path: ReleaseSlice finalizes the checkpoint, so the
+	// same id re-admits cold and deterministic.
+	if err := s.ReleaseSlice("a"); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.ResidualWarm {
+		t.Fatal("re-admission after ReleaseSlice resumed a tombstoned checkpoint")
+	}
+	if got := inst2.Learner.Residuals(); got != 0 {
+		t.Fatalf("released slice re-admitted with %d residuals, want 0", got)
+	}
+	if err := s.ReleaseSlice("ghost"); err == nil {
+		t.Fatal("releasing an unknown slice must fail")
+	}
+}
+
+// TestSystemCapacityCheckedAdmission: with a ledger, admission reserves
+// the envelope demand, rejections surface ErrInsufficientCapacity, and
+// removal frees the reservation.
+func TestSystemCapacityCheckedAdmission(t *testing.T) {
+	s := quickSystem()
+	// Room for roughly one envelope: admissions reserve the offline
+	// optimum scaled by the headroom factor (the prototype's optimum
+	// leans hard on edge CPU, so ~1.2 cells fits one tenant).
+	s.Ledger = slicing.NewCapacityLedger(slicing.CellCapacity(1.2))
+
+	inst, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Capped || inst.Demand().IsZero() {
+		t.Fatalf("capacity-checked admission left no envelope: %+v", inst.Cap)
+	}
+	reserved, _, ok := s.SliceDemand("a")
+	if !ok || reserved != inst.Demand() {
+		t.Fatalf("SliceDemand reserved = %v, want %v", reserved, inst.Demand())
+	}
+	if u := s.Ledger.Utilization().Max(); u <= 0 || u > 1 {
+		t.Fatalf("utilization after admission = %v", u)
+	}
+
+	// Fill the remaining capacity until a rejection surfaces.
+	rejected := false
+	for i := 0; i < 8; i++ {
+		if _, err := s.AdmitSlice(fmt.Sprintf("b%d", i), slicing.DefaultSLA(), 1); err != nil {
+			if !errors.Is(err, ErrInsufficientCapacity) {
+				t.Fatalf("rejection error = %v, want ErrInsufficientCapacity", err)
+			}
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("no admission was rejected under 0.55 cells")
+	}
+	if u := s.Ledger.Utilization().Max(); u > 1 {
+		t.Fatalf("ledger overbooked: %v", u)
+	}
+
+	// Steps stay inside the envelope.
+	if err := s.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+	_, applied, _ := s.SliceDemand("a")
+	if !applied.Fits(reserved) {
+		t.Fatalf("applied %v exceeds reservation %v", applied, reserved)
+	}
+
+	// Removal frees exactly the reservation.
+	before := s.Ledger.Used()
+	if err := s.RemoveSlice("a"); err != nil {
+		t.Fatal(err)
+	}
+	if diff := before.Sub(s.Ledger.Used()); diff != reserved {
+		t.Fatalf("removal freed %v, want %v", diff, reserved)
+	}
+}
+
+// TestSystemDownscaleFreesCapacity: the preemption-free arbitration
+// primitive shrinks a slice's envelope to its learner's cheapest
+// posterior-feasible configuration and returns the freed demand.
+func TestSystemDownscaleFreesCapacity(t *testing.T) {
+	s := quickSystem()
+	s.Ledger = slicing.NewCapacityLedger(slicing.CellCapacity(2))
+	// A relaxed SLA leaves plenty of posterior-feasible candidates
+	// below the reservation envelope.
+	if _, err := s.AdmitSlice("a", slicing.SLA{ThresholdMs: 500, Availability: 0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Step("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := s.Ledger.Reserved("a")
+	freed, ok, err := s.DownscaleSlice("a", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("no posterior-feasible cheaper configuration at this budget")
+	}
+	after, _ := s.Ledger.Reserved("a")
+	if got := before.Sub(after); got != freed {
+		t.Fatalf("ledger freed %v, reported %v", got, freed)
+	}
+	if !after.Fits(before) || freed.IsZero() {
+		t.Fatalf("downscale did not shrink: before %v after %v", before, after)
+	}
+	// The slice keeps running inside the tightened envelope.
+	if err := s.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+	_, applied, _ := s.SliceDemand("a")
+	if !applied.Fits(after) {
+		t.Fatalf("post-downscale step %v escaped envelope %v", applied, after)
+	}
+}
+
+// TestSystemConcurrentAdmitRemove hammers the admission, stepping, and
+// teardown paths from many goroutines at once — the churn pattern the
+// fleet control plane drives. Run under -race in CI.
+func TestSystemConcurrentAdmitRemove(t *testing.T) {
+	s := quickSystem()
+	s.Store = store.InMemory()
+	s.Ledger = slicing.NewCapacityLedger(slicing.CellCapacity(16))
+	if _, err := s.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", i)
+			if _, err := s.AdmitSlice(id, slicing.DefaultSLA(), 1); err != nil {
+				errs[i] = err
+				return
+			}
+			for k := 0; k < 2; k++ {
+				if err := s.Step(id); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if i%2 == 0 {
+				errs[i] = s.RemoveSlice(id)
+			} else {
+				errs[i] = s.ReleaseSlice(id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if len(s.Slices()) != 0 {
+		t.Fatalf("slices left after churn: %v", s.Slices())
+	}
+	if used := s.Ledger.Used(); !used.IsZero() {
+		t.Fatalf("ledger leaked %v after full churn", used)
+	}
+
+	// Contended duplicate admissions: exactly one winner.
+	var okCount int32
+	var mu sync.Mutex
+	wg = sync.WaitGroup{}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.AdmitSlice("dup", slicing.DefaultSLA(), 1); err == nil {
+				mu.Lock()
+				okCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if okCount != 1 {
+		t.Fatalf("duplicate id admitted %d times, want exactly 1", okCount)
 	}
 }

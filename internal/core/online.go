@@ -251,7 +251,12 @@ func (p *candidatePool) std(i int) float64 {
 // components over it. The offline BNN is evaluated with a constant
 // number of weight draws shared across the whole pool.
 func (l *OnlineLearner) scanPool(space slicing.ConfigSpace, rng *rand.Rand) *candidatePool {
-	n := max(2, l.Opts.Pool)
+	return l.scanPoolN(space, l.Opts.Pool, rng)
+}
+
+// scanPoolN is scanPool with an explicit pool size.
+func (l *OnlineLearner) scanPoolN(space slicing.ConfigSpace, pool int, rng *rand.Rand) *candidatePool {
+	n := max(2, pool)
 	p := &candidatePool{
 		cfgs:   make([]slicing.Config, n),
 		usage:  make([]float64, n),
@@ -466,6 +471,36 @@ func (l *OnlineLearner) Observe(iter int, cfg slicing.Config, usage, qoe float64
 		qs, _ := l.qs(cfg)
 		l.lambda = math.Max(0, l.lambda-l.Opts.Eps*(qs+g-sla.Availability))
 	}
+}
+
+// CheapestFeasible scans a fresh candidate pool and returns the
+// minimum-usage configuration whose combined QoE posterior mean
+// (offline model plus online residual) meets the SLA availability
+// target. Feasibility is judged on the mean, not a lower confidence
+// bound: early in a slice's life the residual prior's σ would veto
+// every candidate, and the arbitration caller tolerates optimism —
+// the learner keeps adapting inside the tightened envelope. It reports
+// false when no candidate is posterior-feasible; the caller must then
+// leave the slice alone. pool <= 0 falls back to the learner's
+// configured pool size.
+func (l *OnlineLearner) CheapestFeasible(pool int, rng *rand.Rand) (slicing.Config, bool) {
+	space := l.space()
+	sla := l.sla()
+	if pool <= 0 {
+		pool = l.Opts.Pool
+	}
+	p := l.scanPoolN(space, pool, rng)
+	best, bestU := -1, math.Inf(1)
+	for i := range p.cfgs {
+		q := mathx.Clip(p.mean(i), 0, 1)
+		if q >= sla.Availability && p.usage[i] < bestU {
+			best, bestU = i, p.usage[i]
+		}
+	}
+	if best < 0 {
+		return slicing.Config{}, false
+	}
+	return p.cfgs[best], true
 }
 
 // Lambda returns the current dual multiplier (exported for inspection

@@ -1,0 +1,151 @@
+package fleet
+
+import "github.com/atlas-slicing/atlas/internal/slicing"
+
+// AdmissionContext is the fleet state a policy decides against: the
+// newcomer's predicted footprint and quality, and the ledger's current
+// occupancy.
+type AdmissionContext struct {
+	Epoch int
+	// Demand is the reservation the newcomer would book (its offline
+	// optimum scaled by the admission headroom).
+	Demand slicing.Demand
+	// PredictedQoE is the class's offline-artifact QoE at its optimum —
+	// what the newcomer is expected to deliver if admitted.
+	PredictedQoE float64
+	// Free and Capacity describe the ledger; Utilization is the
+	// bottleneck-domain used fraction before this admission.
+	Free        slicing.Demand
+	Capacity    slicing.Capacity
+	Utilization float64
+}
+
+// density is the QoE-aware value density: per-epoch value weighted by
+// expected QoE, per bottleneck fraction of capacity consumed.
+func (ctx AdmissionContext) density(a Arrival) float64 {
+	frac := ctx.Demand.BottleneckFrac(ctx.Capacity)
+	if frac <= 0 {
+		return 0
+	}
+	return a.Value * ctx.PredictedQoE / frac
+}
+
+// Policy decides which arrivals join the fleet. Implementations must be
+// deterministic pure functions of their inputs — the control plane's
+// bit-identical replay depends on it.
+type Policy interface {
+	// Name identifies the policy in reports and benchmarks.
+	Name() string
+	// Admit decides whether to take an arrival that fits (or could be
+	// made to fit) the free capacity.
+	Admit(ctx AdmissionContext, a Arrival) bool
+	// Arbitrate reports whether the controller should ask elastic
+	// slices for cheaper configurations to make room for this arrival
+	// when it does not fit as-is.
+	Arbitrate(ctx AdmissionContext, a Arrival) bool
+}
+
+// FirstFit is the baseline greedy policy: admit whatever fits, in
+// arrival order, and never disturb the running fleet.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Admit implements Policy.
+func (FirstFit) Admit(AdmissionContext, Arrival) bool { return true }
+
+// Arbitrate implements Policy.
+func (FirstFit) Arbitrate(AdmissionContext, Arrival) bool { return false }
+
+// PriorityTiered admits greedily like first-fit but lets high-value
+// arrivals (Value >= Threshold) trigger the downscale arbitrator: the
+// fleet shrinks elastic tenants to fit a premium newcomer, never for a
+// best-effort one.
+type PriorityTiered struct {
+	// Threshold is the per-epoch value at or above which an arrival
+	// counts as premium.
+	Threshold float64
+}
+
+// Name implements Policy.
+func (PriorityTiered) Name() string { return "priority-tiered" }
+
+// Admit implements Policy.
+func (PriorityTiered) Admit(AdmissionContext, Arrival) bool { return true }
+
+// Arbitrate implements Policy.
+func (p PriorityTiered) Arbitrate(_ AdmissionContext, a Arrival) bool {
+	return a.Value >= p.Threshold
+}
+
+// ValueDensity is the QoE-aware policy: every candidate is scored by
+// value density — per-epoch value weighted by its predicted QoE, per
+// bottleneck fraction of capacity consumed — and admission is gated by
+// a reserve price that rises with utilization. An empty fleet admits
+// almost anything; a nearly full one admits only tenants that earn
+// their footprint, keeping room for high-density arrivals instead of
+// letting early bulky tenants crowd them out. Arbitration is reserved
+// for premium arrivals (density >= 2x the reserve price): downscaling
+// degrades the elastic slices' delivered QoE, so the fleet only pays
+// that cost for newcomers clearly worth more than what it gives up.
+type ValueDensity struct {
+	// ReservePrice anchors both gates: an arrival is admitted when its
+	// density >= ReservePrice x utilization^2, and may trigger the
+	// downscale arbitrator when its density >= 2 x ReservePrice. Zero
+	// disables both gates (pure fit-with-arbitration).
+	ReservePrice float64
+}
+
+// Name implements Policy.
+func (ValueDensity) Name() string { return "value-density" }
+
+// Admit implements Policy.
+func (p ValueDensity) Admit(ctx AdmissionContext, a Arrival) bool {
+	if p.ReservePrice <= 0 {
+		return true
+	}
+	u := ctx.Utilization
+	return ctx.density(a) >= p.ReservePrice*u*u
+}
+
+// Arbitrate implements Policy.
+func (p ValueDensity) Arbitrate(ctx AdmissionContext, a Arrival) bool {
+	if p.ReservePrice <= 0 {
+		return true
+	}
+	return ctx.density(a) >= 2*p.ReservePrice
+}
+
+// AdmitAll takes every arrival unconditionally — the infinite-capacity
+// oracle's policy (meaningful only without a capacity constraint).
+type AdmitAll struct{}
+
+// Name implements Policy.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Admit implements Policy.
+func (AdmitAll) Admit(AdmissionContext, Arrival) bool { return true }
+
+// Arbitrate implements Policy.
+func (AdmitAll) Arbitrate(AdmissionContext, Arrival) bool { return false }
+
+// PolicyByName resolves a policy from its CLI name.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "first-fit":
+		return FirstFit{}, true
+	case "priority-tiered":
+		return PriorityTiered{Threshold: 3}, true
+	case "value-density":
+		return ValueDensity{ReservePrice: 4}, true
+	case "admit-all":
+		return AdmitAll{}, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the registered admission policies.
+func PolicyNames() []string {
+	return []string{"first-fit", "priority-tiered", "value-density", "admit-all"}
+}

@@ -1,0 +1,157 @@
+// Package fleet is the control plane above the per-slice learning
+// pipeline: it decides *which* slices run on finite infrastructure as
+// tenants arrive and depart. The paper automates the configuration of
+// an admitted slice; this package automates the admission itself — an
+// event-driven simulation of per-class arrival processes, lifetimes,
+// and departures over per-domain capacity (RAN PRBs, transport
+// bandwidth, edge compute), with pluggable admission policies and a
+// preemption-free downscale arbitrator that asks the online learner
+// for cheaper configurations of elastic slices before rejecting a
+// newcomer.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// ArrivalClass describes one tenant population of a dynamic scenario:
+// a service class plus its arrival process, lifetime distribution, and
+// economic weight.
+type ArrivalClass struct {
+	// Class is the tenant template every arrival of this population
+	// instantiates.
+	Class slicing.ServiceClass
+	// Rate is the expected Poisson arrivals per epoch. Ignored when
+	// Every > 0.
+	Rate float64
+	// Every switches to a deterministic process: one arrival every
+	// Every epochs, offset by Phase.
+	Every int
+	Phase int
+	// Surge adds a flash-crowd window of extra Poisson arrivals on top
+	// of the base process.
+	Surge SurgeWindow
+	// MeanLifetime is the expected epochs a tenant stays admitted
+	// (geometric, minimum 1). Zero or negative means the tenant never
+	// departs within the horizon.
+	MeanLifetime float64
+	// Value is the tenant's per-epoch revenue weight; QoE-weighted
+	// value accrues as Value x delivered QoE per served epoch.
+	Value float64
+	// Elastic marks tenants the downscale arbitrator may shrink to make
+	// room for newcomers.
+	Elastic bool
+}
+
+// SurgeWindow is a bounded burst of extra arrivals (a flash crowd).
+type SurgeWindow struct {
+	Start int
+	Len   int
+	Rate  float64
+}
+
+// active reports whether the window covers the epoch.
+func (w SurgeWindow) active(epoch int) bool {
+	return w.Len > 0 && epoch >= w.Start && epoch < w.Start+w.Len
+}
+
+// Arrival is one tenant arrival event on the fleet timeline.
+type Arrival struct {
+	Epoch int
+	ID    string
+	// ClassIdx indexes the generating ArrivalClass; Class is a copy of
+	// its template.
+	ClassIdx int
+	Class    slicing.ServiceClass
+	// Lifetime is how many epochs the tenant wants service after
+	// admission (0 = until the horizon ends).
+	Lifetime int
+	Value    float64
+	Elastic  bool
+}
+
+// poisson draws a Poisson variate with the given mean (Knuth's method;
+// fleet arrival rates are small).
+func poisson(mean float64, rng interface{ Float64() float64 }) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > limit && k < 64+int(64*mean) {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1
+}
+
+// geometric draws a geometric lifetime with the given mean, minimum 1.
+func geometric(mean float64, rng interface{ Float64() float64 }) int {
+	if mean <= 1 {
+		return 1
+	}
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	// P(L > n) = (1 - 1/mean)^n.
+	n := 1 + int(math.Floor(math.Log(u)/math.Log(1-1/mean)))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Trace expands the per-class arrival processes into the deterministic
+// event timeline of one fleet run: a pure function of (classes,
+// horizon, seed). Each class draws from its own child RNG, so adding a
+// class never perturbs another's arrivals; events are ordered by
+// (epoch, class index, draw index).
+func Trace(classes []ArrivalClass, horizon int, seed int64) []Arrival {
+	var out []Arrival
+	for ci, c := range classes {
+		rng := mathx.NewRNG(mathx.ChildSeed(seed, ci))
+		serial := 0
+		for epoch := 0; epoch < horizon; epoch++ {
+			n := 0
+			if c.Every > 0 {
+				if (epoch-c.Phase)%c.Every == 0 && epoch >= c.Phase {
+					n = 1
+				}
+			} else {
+				n = poisson(c.Rate, rng)
+			}
+			if c.Surge.active(epoch) {
+				n += poisson(c.Surge.Rate, rng)
+			}
+			for k := 0; k < n; k++ {
+				life := 0
+				if c.MeanLifetime > 0 {
+					life = geometric(c.MeanLifetime, rng)
+				}
+				out = append(out, Arrival{
+					Epoch:    epoch,
+					ID:       fmt.Sprintf("%s-%03d", c.Class.Name, serial),
+					ClassIdx: ci,
+					Class:    c.Class,
+					Lifetime: life,
+					Value:    c.Value,
+					Elastic:  c.Elastic,
+				})
+				serial++
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Epoch != out[j].Epoch {
+			return out[i].Epoch < out[j].Epoch
+		}
+		return out[i].ClassIdx < out[j].ClassIdx
+	})
+	return out
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/simnet/app"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// tinyTune shrinks every training budget to test scale.
+func tinyTune(sys *core.System) {
+	sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 12, 4, 2, 120
+	sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 15, 5, 2, 120
+	sys.OnOpts.Pool, sys.OnOpts.N = 100, 2
+}
+
+// testVideo is the prototype class (CPU-hungry envelope), elastic.
+func testVideo() slicing.ServiceClass { return slicing.DefaultServiceClass() }
+
+// testTeleop is a URLLC-style class with a small envelope.
+func testTeleop() slicing.ServiceClass {
+	return slicing.ServiceClass{
+		Name:    "teleop",
+		App:     app.Profile{FrameKBitMean: 12, FrameKBitStd: 3, ResultKBit: 4, LoadingBaseMs: 2, ComputeScale: 0.08},
+		QoE:     slicing.PercentileDeadlineQoE{Percentile: 0.95, DeadlineMs: 150},
+		SLA:     slicing.SLA{ThresholdMs: 150, Availability: 0.95},
+		Traffic: 1, TrafficModel: slicing.ConstantTraffic{},
+	}
+}
+
+// testIoT is a relaxed mMTC-style class with the smallest envelope.
+func testIoT() slicing.ServiceClass {
+	return slicing.ServiceClass{
+		Name:    "iot",
+		App:     app.Profile{FrameKBitMean: 40, FrameKBitStd: 12, ResultKBit: 2, LoadingBaseMs: 5, ComputeScale: 0.15},
+		QoE:     slicing.AvailabilityQoE{ThresholdMs: 500},
+		SLA:     slicing.SLA{ThresholdMs: 500, Availability: 0.85},
+		Traffic: 2, TrafficModel: slicing.BurstyTraffic{},
+	}
+}
+
+func TestTraceDeterministicAndOrdered(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Rate: 0.4, MeanLifetime: 8, Value: 2},
+		{Class: testTeleop(), Every: 3, Phase: 1, MeanLifetime: 5, Value: 5},
+	}
+	a := Trace(classes, 30, 9)
+	b := Trace(classes, 30, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace is not deterministic for a fixed seed")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	seen := map[string]bool{}
+	teleops := 0
+	for i, ev := range a {
+		if i > 0 && ev.Epoch < a[i-1].Epoch {
+			t.Fatalf("trace out of order at %d", i)
+		}
+		if seen[ev.ID] {
+			t.Fatalf("duplicate id %s", ev.ID)
+		}
+		seen[ev.ID] = true
+		if ev.Lifetime < 1 {
+			t.Fatalf("lifetime %d for %s", ev.Lifetime, ev.ID)
+		}
+		if ev.ClassIdx == 1 {
+			if (ev.Epoch-1)%3 != 0 {
+				t.Fatalf("deterministic arrival off schedule at epoch %d", ev.Epoch)
+			}
+			teleops++
+		}
+	}
+	if teleops != 10 {
+		t.Fatalf("deterministic process produced %d arrivals, want 10", teleops)
+	}
+	// A different seed moves the Poisson arrivals.
+	if c := Trace(classes, 30, 10); reflect.DeepEqual(a, c) {
+		t.Fatal("trace insensitive to seed")
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers: the full fleet result — every
+// epoch aggregate, rejection, and value — is bit-identical at any
+// worker count.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Rate: 0.3, MeanLifetime: 6, Value: 2, Elastic: true},
+		{Class: testIoT(), Rate: 0.4, MeanLifetime: 8, Value: 1, Elastic: true},
+	}
+	run := func(workers int) *Result {
+		ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+			Horizon:  10,
+			Capacity: slicing.CellCapacity(2),
+			Policy:   ValueDensity{ReservePrice: 4},
+			Seed:     21,
+			Workers:  workers,
+			Tune:     tinyTune,
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fleet result differs across worker counts:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}
+
+// TestFleetRejectsUnderConstrainedCapacity: a capacity that fits one
+// prototype envelope rejects the rest, utilization never exceeds 1, and
+// the books balance.
+func TestFleetRejectsUnderConstrainedCapacity(t *testing.T) {
+	classes := []ArrivalClass{
+		// Arrivals at epochs 0, 3, 6, 9; nobody departs.
+		{Class: testVideo(), Every: 3, Value: 2},
+	}
+	ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+		Horizon:  12,
+		Capacity: slicing.CellCapacity(1.3),
+		Policy:   FirstFit{},
+		Seed:     11,
+		Tune:     tinyTune,
+	})
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals != 4 {
+		t.Fatalf("arrivals = %d, want 4", res.Arrivals)
+	}
+	if res.Admitted < 1 || res.Rejected < 1 {
+		t.Fatalf("admitted=%d rejected=%d, want at least one of each", res.Admitted, res.Rejected)
+	}
+	if got := res.AcceptanceRatio; got <= 0 || got >= 1 {
+		t.Fatalf("acceptance ratio = %v", got)
+	}
+	if u := res.PeakUtil.Max(); u > 1 {
+		t.Fatalf("peak utilization %v exceeds capacity", u)
+	}
+	for _, rj := range res.Rejections {
+		if rj.Reason != "capacity" {
+			t.Fatalf("first-fit rejected for %q", rj.Reason)
+		}
+	}
+	if res.ServedEpochs == 0 || res.QoEWeightedValue <= 0 {
+		t.Fatalf("no service recorded: %+v", res)
+	}
+}
+
+// TestFleetArbitrationDownscales: a newcomer that does not fit triggers
+// the preemption-free arbitrator under an arbitrating policy — elastic
+// slices shrink, the newcomer is admitted, and nothing is evicted.
+// First-fit, on the same trace, rejects it.
+func TestFleetArbitrationDownscales(t *testing.T) {
+	classes := []ArrivalClass{
+		// The elastic IoT tenant reserves ~31 Mbps of the 55 Mbps
+		// transport at epoch 0 — but its relaxed SLA leaves plenty of
+		// posterior-feasible cheaper configurations...
+		{Class: testIoT(), Every: 100, Value: 1, Elastic: true},
+		// ...and the video tenant arriving at epoch 4 needs ~43 Mbps
+		// against the ~24 left: it only fits if the arbitrator shrinks
+		// the IoT envelope.
+		{Class: testVideo(), Every: 100, Phase: 4, Value: 2},
+	}
+	// Transport-constrained infrastructure; RAN and compute are ample.
+	capacity := slicing.Capacity{RanPRB: 150, TnMbps: 55, CnCPU: 3}
+	run := func(policy Policy) *Result {
+		ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+			Horizon:  8,
+			Capacity: capacity,
+			Policy:   policy,
+			Seed:     11,
+			Tune:     tinyTune,
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(FirstFit{})
+	if greedy.Admitted != 1 || greedy.Rejected != 1 || greedy.Downscales != 0 {
+		t.Fatalf("first-fit admitted=%d rejected=%d downscales=%d, want 1/1/0",
+			greedy.Admitted, greedy.Rejected, greedy.Downscales)
+	}
+	arb := run(ValueDensity{})
+	if arb.Downscales < 1 {
+		t.Fatalf("arbitrating policy never downscaled (admitted=%d rejected=%d)", arb.Admitted, arb.Rejected)
+	}
+	if arb.Admitted != 2 || arb.Rejected != 0 {
+		t.Fatalf("arbitration admitted=%d rejected=%d, want 2/0", arb.Admitted, arb.Rejected)
+	}
+	// Preemption-free: nobody departed before the horizon.
+	if arb.Departed != 0 {
+		t.Fatalf("arbitration evicted %d slices", arb.Departed)
+	}
+	if u := arb.PeakUtil.Max(); u > 1 {
+		t.Fatalf("peak utilization %v exceeds capacity", u)
+	}
+}
+
+// TestFleetOracleRegret: the infinite-capacity oracle on the same trace
+// earns at least the constrained fleet's QoE-weighted value, and regret
+// is their difference.
+func TestFleetOracleRegret(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Every: 2, Value: 2, Elastic: true},
+		{Class: testIoT(), Every: 3, Phase: 1, Value: 1, Elastic: true},
+	}
+	ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+		Horizon:  8,
+		Capacity: slicing.CellCapacity(1.3),
+		Policy:   FirstFit{},
+		Seed:     5,
+		Oracle:   true,
+		Tune:     tinyTune,
+	})
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleValue < res.QoEWeightedValue {
+		t.Fatalf("oracle value %v below constrained value %v", res.OracleValue, res.QoEWeightedValue)
+	}
+	if got := res.OracleValue - res.QoEWeightedValue; got != res.Regret {
+		t.Fatalf("regret = %v, want %v", res.Regret, got)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("constrained run rejected nothing; oracle comparison is vacuous")
+	}
+}

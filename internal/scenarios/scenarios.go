@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/simnet/app"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 )
@@ -169,6 +170,84 @@ func Names() []string {
 // All returns every registered scenario in catalog order.
 func All() []Scenario {
 	return append([]Scenario(nil), registry...)
+}
+
+// FleetScenario is one named dynamic-arrival workload for the fleet
+// control plane: per-class arrival processes, lifetimes, and values
+// over a suggested finite capacity and horizon. Static scenarios above
+// answer "configure these N slices"; fleet scenarios answer "tenants
+// of these populations keep arriving and departing — decide who runs".
+type FleetScenario struct {
+	Name        string
+	Description string
+	Classes     []fleet.ArrivalClass
+	// Capacity is the scenario's default infrastructure; Horizon its
+	// default epoch count. Both can be overridden by the caller.
+	Capacity slicing.Capacity
+	Horizon  int
+}
+
+// fleetRegistry holds the named dynamic scenarios in catalog order.
+var fleetRegistry = []FleetScenario{
+	{
+		Name:        "churn",
+		Description: "steady Poisson arrivals/departures of all four classes over 1.5 cells — the baseline admission-control workload",
+		Classes: []fleet.ArrivalClass{
+			{Class: VideoAnalytics(), Rate: 0.08, MeanLifetime: 25, Value: 2, Elastic: true},
+			{Class: Teleoperation(), Rate: 0.10, MeanLifetime: 20, Value: 5},
+			{Class: IoTTelemetry(), Rate: 0.12, MeanLifetime: 30, Value: 1, Elastic: true},
+			{Class: BulkStreaming(), Rate: 0.06, MeanLifetime: 35, Value: 1.5, Elastic: true},
+		},
+		Capacity: slicing.CellCapacity(1.5),
+		Horizon:  200,
+	},
+	{
+		Name:        "flashcrowd",
+		Description: "background IoT/video churn plus a mid-run teleoperation surge — premium demand spikes against a warm fleet",
+		Classes: []fleet.ArrivalClass{
+			{Class: VideoAnalytics(), Rate: 0.07, MeanLifetime: 30, Value: 2, Elastic: true},
+			{Class: IoTTelemetry(), Rate: 0.10, MeanLifetime: 40, Value: 1, Elastic: true},
+			{Class: Teleoperation(), Rate: 0.02, Surge: fleet.SurgeWindow{Start: 80, Len: 40, Rate: 0.35}, MeanLifetime: 15, Value: 5},
+		},
+		Capacity: slicing.CellCapacity(1.25),
+		Horizon:  200,
+	},
+	{
+		Name:        "diurnal-fleet",
+		Description: "deterministic arrivals of diurnal-demand classes — time-varying load inside slices while the fleet itself churns",
+		Classes: []fleet.ArrivalClass{
+			{Class: DiurnalVideoAnalytics(), Every: 12, MeanLifetime: 40, Value: 2, Elastic: true},
+			{Class: BulkStreaming(), Every: 18, Phase: 6, MeanLifetime: 45, Value: 1.5, Elastic: true},
+			{Class: Teleoperation(), Every: 15, Phase: 3, MeanLifetime: 25, Value: 5},
+		},
+		Capacity: slicing.CellCapacity(1.25),
+		Horizon:  200,
+	},
+}
+
+// GetFleet returns a registered dynamic scenario by name.
+func GetFleet(name string) (FleetScenario, bool) {
+	for _, s := range fleetRegistry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return FleetScenario{}, false
+}
+
+// FleetNames returns the registered dynamic scenario names, sorted.
+func FleetNames() []string {
+	out := make([]string, len(fleetRegistry))
+	for i, s := range fleetRegistry {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllFleet returns every registered dynamic scenario in catalog order.
+func AllFleet() []FleetScenario {
+	return append([]FleetScenario(nil), fleetRegistry...)
 }
 
 // Classes returns the distinct service classes across all scenarios, in

@@ -1,9 +1,11 @@
 package scenarios
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/realnet"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
@@ -224,5 +226,65 @@ func TestMixedFleetExercisesTimeVaryingTraffic(t *testing.T) {
 	}
 	if !varied {
 		t.Fatal("no slice's demand varied over 12 intervals")
+	}
+}
+
+// TestFleetScenarioCatalog: every dynamic scenario is retrievable,
+// internally consistent (an arrival process, a lifetime, a value, and a
+// finite capacity per class), and produces a non-empty deterministic
+// arrival trace over its default horizon.
+func TestFleetScenarioCatalog(t *testing.T) {
+	names := FleetNames()
+	if len(names) != len(AllFleet()) {
+		t.Fatalf("FleetNames %v does not cover the registry", names)
+	}
+	for _, want := range []string{"churn", "flashcrowd", "diurnal-fleet"} {
+		if _, ok := GetFleet(want); !ok {
+			t.Fatalf("dynamic scenario %q missing", want)
+		}
+	}
+	if _, ok := GetFleet("paper"); ok {
+		t.Fatal("static scenario resolved as a fleet scenario")
+	}
+	for _, fs := range AllFleet() {
+		if fs.Capacity.IsZero() || fs.Horizon <= 0 {
+			t.Fatalf("%s: missing capacity or horizon", fs.Name)
+		}
+		if len(fs.Classes) == 0 {
+			t.Fatalf("%s: no arrival classes", fs.Name)
+		}
+		for _, ac := range fs.Classes {
+			if ac.Class.Name == "" {
+				t.Fatalf("%s: unnamed class", fs.Name)
+			}
+			if ac.Rate <= 0 && ac.Every <= 0 && ac.Surge.Len == 0 {
+				t.Fatalf("%s/%s: no arrival process", fs.Name, ac.Class.Name)
+			}
+			if ac.Value <= 0 {
+				t.Fatalf("%s/%s: non-positive value", fs.Name, ac.Class.Name)
+			}
+			if ac.MeanLifetime < 0 {
+				t.Fatalf("%s/%s: negative lifetime", fs.Name, ac.Class.Name)
+			}
+		}
+		a := fleet.Trace(fs.Classes, fs.Horizon, 42)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty arrival trace over %d epochs", fs.Name, fs.Horizon)
+		}
+		b := fleet.Trace(fs.Classes, fs.Horizon, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: trace not deterministic", fs.Name)
+		}
+	}
+	// The flashcrowd surge actually lands inside its window.
+	fs, _ := GetFleet("flashcrowd")
+	surged := 0
+	for _, ev := range fleet.Trace(fs.Classes, fs.Horizon, 42) {
+		if ev.Class.Name == "teleop" && ev.Epoch >= 80 && ev.Epoch < 120 {
+			surged++
+		}
+	}
+	if surged < 5 {
+		t.Fatalf("flashcrowd surge produced only %d teleop arrivals in the window", surged)
 	}
 }

@@ -1,0 +1,281 @@
+package slicing
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the capacity vocabulary of the fleet control plane: the
+// finite per-domain infrastructure a dynamic fleet of slices shares.
+// A slice configuration (Table 2) spends resources in three capacity
+// domains — radio PRBs at the RAN centralized units, transport-network
+// bandwidth, and core/edge compute — and the ledger below tracks every
+// admitted slice's reservation against the per-domain totals, so
+// admission control can reject (or downscale) instead of overbooking.
+
+// Demand is a slice's footprint across the three capacity domains.
+type Demand struct {
+	// RanPRB is the radio demand: uplink plus downlink PRBs.
+	RanPRB float64
+	// TnMbps is the transport-network bandwidth demand.
+	TnMbps float64
+	// CnCPU is the core/edge compute demand (CPU share).
+	CnCPU float64
+}
+
+// DemandOf maps a configuration to its per-domain capacity footprint.
+func DemandOf(c Config) Demand {
+	return Demand{
+		RanPRB: c.BandwidthUL + c.BandwidthDL,
+		TnMbps: c.BackhaulMbps,
+		CnCPU:  c.CPURatio,
+	}
+}
+
+// Add returns the componentwise sum.
+func (d Demand) Add(o Demand) Demand {
+	return Demand{RanPRB: d.RanPRB + o.RanPRB, TnMbps: d.TnMbps + o.TnMbps, CnCPU: d.CnCPU + o.CnCPU}
+}
+
+// Sub returns the componentwise difference.
+func (d Demand) Sub(o Demand) Demand {
+	return Demand{RanPRB: d.RanPRB - o.RanPRB, TnMbps: d.TnMbps - o.TnMbps, CnCPU: d.CnCPU - o.CnCPU}
+}
+
+// Fits reports whether d fits inside free in every domain.
+func (d Demand) Fits(free Demand) bool {
+	return d.RanPRB <= free.RanPRB && d.TnMbps <= free.TnMbps && d.CnCPU <= free.CnCPU
+}
+
+// IsZero reports an empty footprint.
+func (d Demand) IsZero() bool { return d == Demand{} }
+
+// String implements fmt.Stringer.
+func (d Demand) String() string {
+	return fmt.Sprintf("ran=%.1fPRB tn=%.1fMbps cn=%.2fcpu", d.RanPRB, d.TnMbps, d.CnCPU)
+}
+
+// Capacity is the finite per-domain total of the shared infrastructure:
+// RAN centralized-unit PRBs, transport-network bandwidth, and core/edge
+// compute. The zero value means "unlimited" to callers that treat
+// capacity as optional.
+type Capacity struct {
+	RanPRB float64
+	TnMbps float64
+	CnCPU  float64
+}
+
+// IsZero reports the unlimited (unset) capacity.
+func (c Capacity) IsZero() bool { return c == Capacity{} }
+
+// Free returns the headroom left after used.
+func (c Capacity) Free(used Demand) Demand {
+	return Demand{RanPRB: c.RanPRB - used.RanPRB, TnMbps: c.TnMbps - used.TnMbps, CnCPU: c.CnCPU - used.CnCPU}
+}
+
+// Utilization is the per-domain used fraction of capacity.
+type Utilization struct {
+	RAN float64
+	TN  float64
+	CN  float64
+}
+
+// Max returns the bottleneck domain's utilization.
+func (u Utilization) Max() float64 {
+	m := u.RAN
+	if u.TN > m {
+		m = u.TN
+	}
+	if u.CN > m {
+		m = u.CN
+	}
+	return m
+}
+
+// Utilization returns the per-domain used fraction (zero-capacity
+// domains report zero).
+func (c Capacity) Utilization(used Demand) Utilization {
+	frac := func(u, total float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return u / total
+	}
+	return Utilization{
+		RAN: frac(used.RanPRB, c.RanPRB),
+		TN:  frac(used.TnMbps, c.TnMbps),
+		CN:  frac(used.CnCPU, c.CnCPU),
+	}
+}
+
+// BottleneckFrac returns the largest per-domain fraction of capacity d
+// would consume — the footprint of a slice as seen by value-density
+// admission policies.
+func (d Demand) BottleneckFrac(c Capacity) float64 {
+	return c.Utilization(d).Max()
+}
+
+// CellCapacity returns the capacity of the given number of prototype
+// cells: each cell offers one full configuration space of resources
+// (50+50 PRBs, 100 Mbps transport, one edge CPU).
+func CellCapacity(cells float64) Capacity {
+	maxc := DefaultConfigSpace().Max
+	return Capacity{
+		RanPRB: cells * (maxc.BandwidthUL + maxc.BandwidthDL),
+		TnMbps: cells * maxc.BackhaulMbps,
+		CnCPU:  cells * maxc.CPURatio,
+	}
+}
+
+// CapacityLedger is the concurrency-safe reservation book of the fleet
+// control plane: one reservation per admitted slice, accounted against
+// the per-domain capacity. All mutating operations are atomic — a
+// Reserve either fits entirely and books, or leaves the ledger
+// untouched — so concurrent admissions cannot overbook.
+type CapacityLedger struct {
+	capacity Capacity
+
+	mu  sync.Mutex
+	res map[string]Demand
+}
+
+// NewCapacityLedger builds an empty ledger over the given capacity.
+func NewCapacityLedger(capacity Capacity) *CapacityLedger {
+	return &CapacityLedger{capacity: capacity, res: map[string]Demand{}}
+}
+
+// Capacity returns the ledger's per-domain totals.
+func (l *CapacityLedger) Capacity() Capacity { return l.capacity }
+
+// usedLocked sums the booked reservations (caller holds the lock).
+// Recomputing from the map instead of keeping a running total avoids
+// floating-point drift over long admit/release churn.
+func (l *CapacityLedger) usedLocked() Demand {
+	var used Demand
+	for _, d := range l.res {
+		used = used.Add(d)
+	}
+	return used
+}
+
+// Reserve books a new reservation for id. It fails (returning false)
+// when the demand does not fit the free capacity or the id already
+// holds a reservation.
+func (l *CapacityLedger) Reserve(id string, d Demand) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.res[id]; dup {
+		return false
+	}
+	if !d.Fits(l.capacity.Free(l.usedLocked())) {
+		return false
+	}
+	l.res[id] = d
+	return true
+}
+
+// Update resizes an existing reservation. Shrinking always succeeds;
+// growing succeeds only when the extra demand fits the free capacity.
+func (l *CapacityLedger) Update(id string, d Demand) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old, ok := l.res[id]
+	if !ok {
+		return false
+	}
+	next := l.usedLocked().Sub(old).Add(d)
+	if !next.Fits(Demand{RanPRB: l.capacity.RanPRB, TnMbps: l.capacity.TnMbps, CnCPU: l.capacity.CnCPU}) {
+		return false
+	}
+	l.res[id] = d
+	return true
+}
+
+// Release frees id's reservation, returning the freed demand (zero when
+// the id held none).
+func (l *CapacityLedger) Release(id string) Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.res[id]
+	if !ok {
+		return Demand{}
+	}
+	delete(l.res, id)
+	return d
+}
+
+// Reserved returns id's current reservation.
+func (l *CapacityLedger) Reserved(id string) (Demand, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.res[id]
+	return d, ok
+}
+
+// Used returns the total booked demand.
+func (l *CapacityLedger) Used() Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.usedLocked()
+}
+
+// Free returns the per-domain headroom.
+func (l *CapacityLedger) Free() Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capacity.Free(l.usedLocked())
+}
+
+// Fits reports whether a new demand would fit the free capacity right
+// now (advisory: book with Reserve).
+func (l *CapacityLedger) Fits(d Demand) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return d.Fits(l.capacity.Free(l.usedLocked()))
+}
+
+// Utilization returns the per-domain used fraction.
+func (l *CapacityLedger) Utilization() Utilization {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.capacity.Utilization(l.usedLocked())
+}
+
+// Count returns how many reservations the ledger holds.
+func (l *CapacityLedger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.res)
+}
+
+// ConfineDemand returns cfg with its demand-bearing dimensions clamped
+// to the envelope cap: radio PRBs, transport bandwidth, and CPU share.
+// The MCS offsets pass through untouched — they carry no capacity
+// demand (see DemandOf), and capping them would block the online
+// learner's sim-to-real adaptation without freeing any resource.
+func ConfineDemand(cfg, cap Config) Config {
+	if cfg.BandwidthUL > cap.BandwidthUL {
+		cfg.BandwidthUL = cap.BandwidthUL
+	}
+	if cfg.BandwidthDL > cap.BandwidthDL {
+		cfg.BandwidthDL = cap.BandwidthDL
+	}
+	if cfg.BackhaulMbps > cap.BackhaulMbps {
+		cfg.BackhaulMbps = cap.BackhaulMbps
+	}
+	if cfg.CPURatio > cap.CPURatio {
+		cfg.CPURatio = cap.CPURatio
+	}
+	return cfg
+}
+
+// Scale returns the configuration scaled by f and clamped to the space
+// — the headroom envelope a reservation grants above the offline
+// optimum so online exploration has room to move.
+func (s ConfigSpace) Scale(c Config, f float64) Config {
+	v := c.Vector()
+	for i := range v {
+		v[i] *= f
+	}
+	return s.Clamp(ConfigFromVector(v))
+}

@@ -1,0 +1,107 @@
+package slicing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDemandOfAndCellCapacity(t *testing.T) {
+	cfg := Config{BandwidthUL: 20, BandwidthDL: 10, MCSOffsetUL: 5, MCSOffsetDL: 5, BackhaulMbps: 40, CPURatio: 0.5}
+	d := DemandOf(cfg)
+	if d.RanPRB != 30 || d.TnMbps != 40 || d.CnCPU != 0.5 {
+		t.Fatalf("DemandOf = %v", d)
+	}
+	c := CellCapacity(2)
+	if c.RanPRB != 200 || c.TnMbps != 200 || c.CnCPU != 2 {
+		t.Fatalf("CellCapacity(2) = %v", c)
+	}
+	u := c.Utilization(d)
+	if u.RAN != 0.15 || u.TN != 0.2 || u.CN != 0.25 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if u.Max() != 0.25 {
+		t.Fatalf("bottleneck = %v", u.Max())
+	}
+	if got := d.BottleneckFrac(c); got != 0.25 {
+		t.Fatalf("BottleneckFrac = %v", got)
+	}
+}
+
+func TestCapacityLedgerReserveUpdateRelease(t *testing.T) {
+	l := NewCapacityLedger(CellCapacity(1))
+	big := Demand{RanPRB: 80, TnMbps: 70, CnCPU: 0.8}
+	small := Demand{RanPRB: 10, TnMbps: 10, CnCPU: 0.1}
+
+	if !l.Reserve("a", big) {
+		t.Fatal("first reservation rejected")
+	}
+	if l.Reserve("a", small) {
+		t.Fatal("duplicate id reserved")
+	}
+	if l.Reserve("b", big) {
+		t.Fatal("overbooked: second big reservation accepted")
+	}
+	if !l.Reserve("b", small) {
+		t.Fatal("fitting reservation rejected")
+	}
+	if l.Count() != 2 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if u := l.Utilization(); u.RAN != 0.9 || u.Max() > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+
+	// Shrinking an existing reservation frees capacity atomically.
+	if !l.Update("a", small) {
+		t.Fatal("downscale update rejected")
+	}
+	if !l.Fits(big) {
+		t.Fatal("freed capacity not visible")
+	}
+	// Growing beyond capacity fails and leaves the ledger untouched.
+	if l.Update("a", Demand{RanPRB: 200, TnMbps: 10, CnCPU: 0.1}) {
+		t.Fatal("over-capacity grow accepted")
+	}
+	if got, _ := l.Reserved("a"); got != small {
+		t.Fatalf("failed update mutated the reservation: %v", got)
+	}
+	if l.Update("ghost", small) {
+		t.Fatal("update of unknown id accepted")
+	}
+
+	if freed := l.Release("a"); freed != small {
+		t.Fatalf("release freed %v", freed)
+	}
+	if freed := l.Release("a"); !freed.IsZero() {
+		t.Fatalf("double release freed %v", freed)
+	}
+	l.Release("b")
+	if used := l.Used(); !used.IsZero() {
+		t.Fatalf("empty ledger reports usage %v", used)
+	}
+}
+
+func TestConfineDemandAndScale(t *testing.T) {
+	space := DefaultConfigSpace()
+	cfg := Config{BandwidthUL: 40, BandwidthDL: 10, MCSOffsetUL: 8, MCSOffsetDL: 8, BackhaulMbps: 90, CPURatio: 0.2}
+	cap := Config{BandwidthUL: 20, BandwidthDL: 30, MCSOffsetUL: 1, MCSOffsetDL: 1, BackhaulMbps: 50, CPURatio: 0.9}
+	m := ConfineDemand(cfg, cap)
+	// Demand dimensions clamp to the envelope; the demand-free MCS
+	// offsets pass through so online adaptation stays unconstrained.
+	want := Config{BandwidthUL: 20, BandwidthDL: 10, MCSOffsetUL: 8, MCSOffsetDL: 8, BackhaulMbps: 50, CPURatio: 0.2}
+	if m != want {
+		t.Fatalf("ConfineDemand = %v", m)
+	}
+	if d := DemandOf(m); !d.Fits(DemandOf(cap)) {
+		t.Fatalf("confined demand %v escapes envelope %v", d, DemandOf(cap))
+	}
+	// Scale clamps to the space: a near-max config cannot exceed it.
+	s := space.Scale(Config{BandwidthUL: 45, BandwidthDL: 45, MCSOffsetUL: 9, MCSOffsetDL: 9, BackhaulMbps: 95, CPURatio: 0.95}, 2)
+	if s != space.Max {
+		t.Fatalf("Scale past max = %v", s)
+	}
+	s = space.Scale(Config{BandwidthUL: 10, BackhaulMbps: 20, CPURatio: 0.2}, 1.5)
+	if s.BandwidthUL != 15 || s.BackhaulMbps != 30 || math.Abs(s.CPURatio-0.3) > 1e-12 {
+		t.Fatalf("Scale = %v", s)
+	}
+}

@@ -59,6 +59,7 @@ type Stats struct {
 	Misses  int // Get found nothing
 	Corrupt int // Get found an unreadable or mismatched artifact
 	Puts    int // successful writes
+	Deletes int // delete calls (missing artifacts included)
 }
 
 // Store is a concurrency-safe artifact store. The zero value is not
@@ -69,6 +70,10 @@ type Store struct {
 	mu    sync.Mutex
 	mem   map[string][]byte // memKey(kind, key) -> payload bytes
 	stats Stats
+	// delGen counts Delete calls; Get's disk-to-memory refill re-checks
+	// it under the lock so a concurrent Delete can never be undone by a
+	// stale refill (a tombstoned artifact must stay tombstoned).
+	delGen uint64
 }
 
 // Open returns a store rooted at dir, creating the directory as needed.
@@ -196,19 +201,33 @@ func (s *Store) Get(kind, key string, out any) (bool, error) {
 			s.count(func(st *Stats) { st.Misses++ })
 			return false, nil
 		}
-		var err error
-		raw, err = s.readDisk(kind, key)
-		if err != nil {
-			s.count(func(st *Stats) { st.Corrupt++ })
-			return false, err
+		// Disk refill re-reads until no Delete raced the read: caching
+		// (or returning) bytes read just before a concurrent Delete
+		// unlinked the file would resurrect a tombstoned artifact.
+		for {
+			s.mu.Lock()
+			gen := s.delGen
+			s.mu.Unlock()
+			var err error
+			raw, err = s.readDisk(kind, key)
+			if err != nil {
+				s.count(func(st *Stats) { st.Corrupt++ })
+				return false, err
+			}
+			s.mu.Lock()
+			stable := s.delGen == gen
+			if stable && raw != nil {
+				s.mem[memKey(kind, key)] = raw
+			}
+			s.mu.Unlock()
+			if stable {
+				break
+			}
 		}
 		if raw == nil {
 			s.count(func(st *Stats) { st.Misses++ })
 			return false, nil
 		}
-		s.mu.Lock()
-		s.mem[memKey(kind, key)] = raw
-		s.mu.Unlock()
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		s.count(func(st *Stats) { st.Corrupt++ })
@@ -216,6 +235,35 @@ func (s *Store) Get(kind, key string, out any) (bool, error) {
 	}
 	s.count(func(st *Stats) { st.Hits++ })
 	return true, nil
+}
+
+// Delete removes the artifact under (kind, key) from both layers: the
+// in-memory cache and the on-disk file. Deleting a missing artifact is
+// a no-op. This is the finalization path of the slice lifecycle — a
+// released slice tombstones its online checkpoint so a later admission
+// under the same identity starts deterministically instead of resuming
+// whatever the departed tenant last wrote.
+func (s *Store) Delete(kind, key string) error {
+	if err := sanitize(kind); err != nil {
+		return err
+	}
+	if err := sanitize(key); err != nil {
+		return err
+	}
+	if s.dir != "" {
+		if err := os.Remove(s.path(kind, key)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: delete %s/%s: %w", kind, key, err)
+		}
+	}
+	// Drop the memory entry after the unlink and bump the deletion
+	// generation, so an in-flight Get refill (which re-checks the
+	// generation under this lock) cannot re-cache pre-delete bytes.
+	s.mu.Lock()
+	delete(s.mem, memKey(kind, key))
+	s.stats.Deletes++
+	s.delGen++
+	s.mu.Unlock()
+	return nil
 }
 
 // readDisk loads and validates the on-disk envelope for (kind, key),

@@ -273,3 +273,47 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestStoreDelete: Delete tombstones an artifact in both layers — the
+// in-memory cache and the disk file — and deleting a missing artifact
+// is a clean no-op.
+func TestStoreDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := s.Put(KindOnline, key, artifact{Name: "gp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindOnline, key); err != nil {
+		t.Fatal(err)
+	}
+	var got artifact
+	if found, err := s.Get(KindOnline, key, &got); found || err != nil {
+		t.Fatalf("deleted artifact still readable: found=%v err=%v", found, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, KindOnline, key+".json")); !os.IsNotExist(err) {
+		t.Fatalf("disk file survived delete: %v", err)
+	}
+	// A fresh handle over the same directory must not resurrect it.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := s2.Get(KindOnline, key, &got); found {
+		t.Fatal("deleted artifact resurrected by a fresh handle")
+	}
+	// Deleting a missing artifact is a no-op, and identifiers are still
+	// sanitized.
+	if err := s.Delete(KindOnline, key); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Delete(KindOnline, "../escape"); err == nil {
+		t.Fatal("unsanitized delete key accepted")
+	}
+	if got := s.Stats().Deletes; got != 2 {
+		t.Fatalf("delete stat = %d, want 2", got)
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_fleet.sh — run the churn-scenario fleet control plane under the
+# first-fit and QoE-aware value-density admission policies at equal
+# capacity and emit a JSON snapshot of the fleet metrics.
+#
+#	scripts/bench_fleet.sh              # writes BENCH_4.json
+#	scripts/bench_fleet.sh out.json     # custom output path
+#	BENCHTIME=1x scripts/bench_fleet.sh # CI smoke budget
+#
+# The snapshot records, per admission policy: acceptance ratio, peak
+# bottleneck utilization, SLA-violation count, and QoE-weighted value
+# (sum of value x delivered QoE over served slice-epochs). Guardrails
+# assert the control plane's invariants: acceptance ratios are real
+# numbers in [0, 1], reserved utilization never exceeds capacity, and
+# the QoE-aware policy beats first-fit on QoE-weighted value.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_4.json}"
+benchtime="${BENCHTIME:-1x}"
+pattern='^(BenchmarkFleetFirstFit|BenchmarkFleetValueDensity)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkFleet/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	# Custom metrics follow the "ns/op" unit as "value unit" pairs.
+	for (i = 5; i + 1 <= NF; i += 2)
+		metric[name, $(i + 1)] = $i
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"fleet-control-plane\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"fleet\": {\"scenario\": \"churn\", \"horizon\": 60, \"capacity_cells\": 1.5, \"seed\": 42},\n"
+	printf "  \"policies\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"acceptance_ratio\": %s, \"peak_util\": %s, \"sla_violations\": %s, \"qoe_weighted_value\": %s}%s\n", \
+			name, iters[name], ns[name], \
+			metric[name, "acceptance_ratio"] + 0, metric[name, "peak_util"] + 0, \
+			metric[name, "sla_violations"] + 0, metric[name, "qoe_value"] + 0, \
+			(i < n - 1 ? "," : "")
+	}
+	printf "  ]"
+	if (metric["FirstFit", "qoe_value"] > 0)
+		printf ",\n  \"value_density_gain\": %.4f", \
+			metric["ValueDensity", "qoe_value"] / metric["FirstFit", "qoe_value"]
+	printf "\n}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+# Guardrails: fleet invariants and the policy ordering BENCH_4 exists
+# to track.
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out" <<'EOF'
+import json, math, sys
+snap = json.load(open(sys.argv[1]))
+pols = {p["name"]: p for p in snap["policies"]}
+assert len(pols) >= 2, f"want >= 2 admission policies, got {list(pols)}"
+for name, p in pols.items():
+    ar = p["acceptance_ratio"]
+    assert not math.isnan(ar) and 0 <= ar <= 1, f"{name}: acceptance ratio {ar} invalid"
+    assert p["peak_util"] <= 1.0 + 1e-9, f"{name}: utilization {p['peak_util']} exceeds capacity"
+ff, vd = pols["FirstFit"], pols["ValueDensity"]
+assert vd["qoe_weighted_value"] > ff["qoe_weighted_value"], \
+    f"value-density {vd['qoe_weighted_value']} did not beat first-fit {ff['qoe_weighted_value']}"
+print(f"ok: acceptance ff={ff['acceptance_ratio']:.3f} vd={vd['acceptance_ratio']:.3f}, "
+      f"value gain {snap['value_density_gain']:.3f}x, peak util <= 1")
+EOF
+fi
