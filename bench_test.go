@@ -15,6 +15,8 @@ package atlas_test
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 	"testing"
 
 	"github.com/atlas-slicing/atlas"
@@ -30,6 +32,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/stats"
 	"github.com/atlas-slicing/atlas/internal/store"
+	"github.com/atlas-slicing/atlas/internal/topology"
 )
 
 // benchExperiment runs one registered paper artifact per iteration on
@@ -469,4 +472,129 @@ func BenchmarkFleetFirstFit(b *testing.B) { benchFleetPolicy(b, fleet.FirstFit{}
 // preemption-free downscale arbitration.
 func BenchmarkFleetValueDensity(b *testing.B) {
 	benchFleetPolicy(b, fleet.ValueDensity{ReservePrice: 4})
+}
+
+// benchTopologyRun executes one fleet run over the hotspot-cell site
+// graph at smoke budgets under the given placement policy. The
+// admission policy is plain first-fit for every variant — no value
+// gate, no arbitration — so BENCH_5 isolates what *placement* alone is
+// worth at equal total capacity.
+func benchTopologyRun(b *testing.B, place topology.Policy) *fleet.Result {
+	b.Helper()
+	preset, ok := scenarios.GetTopology("hotspot-cell")
+	if !ok {
+		b.Fatal("hotspot-cell topology preset missing")
+	}
+	topo, err := preset.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, ok := scenarios.GetFleet("churn")
+	if !ok {
+		b.Fatal("churn fleet scenario missing")
+	}
+	ctl := fleet.NewController(realnet.New(), simnet.NewDefault(), fs.Classes, fleet.Options{
+		Horizon:   60,
+		Topology:  topo,
+		Placement: place,
+		Policy:    fleet.FirstFit{},
+		Seed:      42,
+		Tune: func(sys *core.System) {
+			sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 15, 5, 2, 150
+			sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 25, 8, 2, 150
+			sys.OnOpts.Pool, sys.OnOpts.N = 120, 3
+		},
+	})
+	res, err := ctl.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchTopologyPlacement reports the placement metrics BENCH_5
+// snapshots: placement success ratio, QoE-weighted value, peak
+// per-site RAN utilization, and inter-site imbalance.
+func benchTopologyPlacement(b *testing.B, place topology.Policy) {
+	var ratio, value, acc, peakSite, imbalance float64
+	for i := 0; i < b.N; i++ {
+		res := benchTopologyRun(b, place)
+		ratio += res.PlacementRatio
+		value += res.QoEWeightedValue
+		acc += res.AcceptanceRatio
+		imbalance += res.Imbalance
+		for _, ss := range res.Sites {
+			if ss.PeakRanUtil > peakSite {
+				peakSite = ss.PeakRanUtil
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(ratio/n, "placement_ratio")
+	b.ReportMetric(value/n, "qoe_value")
+	b.ReportMetric(acc/n, "acceptance_ratio")
+	b.ReportMetric(peakSite, "peak_site_util")
+	b.ReportMetric(imbalance/n, "imbalance")
+}
+
+// BenchmarkTopologyPlaceFirstFit: blind packing in graph order.
+func BenchmarkTopologyPlaceFirstFit(b *testing.B) { benchTopologyPlacement(b, topology.FirstFit{}) }
+
+// BenchmarkTopologyPlaceBestFit: tightest-bin packing.
+func BenchmarkTopologyPlaceBestFit(b *testing.B) { benchTopologyPlacement(b, topology.BestFit{}) }
+
+// BenchmarkTopologyPlaceSpread: fault-isolating load balancing.
+func BenchmarkTopologyPlaceSpread(b *testing.B) { benchTopologyPlacement(b, topology.Spread{}) }
+
+// BenchmarkTopologyPlaceLocality: home-cell-preferring scoring.
+func BenchmarkTopologyPlaceLocality(b *testing.B) { benchTopologyPlacement(b, topology.Locality{}) }
+
+// BenchmarkFleetLongHorizon is the nightly fleet profile: sustained
+// churn at smoke training budgets, tracking control-plane overhead
+// (ns/op) and steady-state acceptance. The plain benchmark suite runs
+// it at a smoke horizon so `go test -bench .` stays fast; the nightly
+// job sets ATLAS_NIGHTLY_HORIZON=1000 (hundreds of arrivals) via
+// scripts/bench_fleet_long.sh.
+func BenchmarkFleetLongHorizon(b *testing.B) {
+	horizon := 60
+	if s := os.Getenv("ATLAS_NIGHTLY_HORIZON"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			horizon = v
+		}
+	}
+	fs, ok := scenarios.GetFleet("churn")
+	if !ok {
+		b.Fatal("churn fleet scenario missing")
+	}
+	var acc, arrivals, value, peak, downs float64
+	for i := 0; i < b.N; i++ {
+		ctl := fleet.NewController(realnet.New(), simnet.NewDefault(), fs.Classes, fleet.Options{
+			Horizon:  horizon,
+			Capacity: fs.Capacity,
+			Policy:   fleet.ValueDensity{ReservePrice: 4},
+			Seed:     42,
+			Tune: func(sys *core.System) {
+				sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 15, 5, 2, 150
+				sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 25, 8, 2, 150
+				sys.OnOpts.Pool, sys.OnOpts.N = 120, 3
+			},
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc += res.AcceptanceRatio
+		arrivals += float64(res.Arrivals)
+		value += res.QoEWeightedValue
+		downs += float64(res.Downscales)
+		if u := res.PeakUtil.Max(); u > peak {
+			peak = u
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(acc/n, "acceptance_ratio")
+	b.ReportMetric(arrivals/n, "arrivals")
+	b.ReportMetric(value/n, "qoe_value")
+	b.ReportMetric(downs/n, "downscales")
+	b.ReportMetric(peak, "peak_util")
 }

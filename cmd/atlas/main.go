@@ -39,6 +39,19 @@
 //	atlas -fleet -scenario flashcrowd -policy first-fit    # greedy baseline
 //	atlas -fleet -scenario churn -capacity 2 -no-oracle    # 2 cells, skip oracle
 //
+// With -topology the single capacity pool becomes a multi-cell site
+// graph: every arrival gets a home cell, a -placement policy picks its
+// host site ahead of admission, and hosting away from home costs
+// delivered QoE per transport hop:
+//
+//	atlas -fleet -scenario churn -topology hotspot-cell               # locality placement
+//	atlas -fleet -scenario churn -topology uniform-grid -sites 9 -placement spread
+//	atlas -fleet -scenario churn -topology edge-constrained -placement first-fit
+//
+// Fleet-only flags (-policy, -capacity, -horizon, -no-oracle,
+// -topology, -sites, -placement) are rejected without -fleet instead
+// of being silently ignored.
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -58,6 +71,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
+	"github.com/atlas-slicing/atlas/internal/topology"
 )
 
 func main() {
@@ -83,8 +97,18 @@ func main() {
 		capacity     = flag.Float64("capacity", 0, "fleet capacity in prototype cells, e.g. 1.5 (0 = scenario default)")
 		policyName   = flag.String("policy", "value-density", "fleet admission policy: "+strings.Join(fleet.PolicyNames(), ", "))
 		noOracle     = flag.Bool("no-oracle", false, "skip the infinite-capacity oracle run in fleet mode")
+		topoName     = flag.String("topology", "", "multi-cell site graph from the topology catalog (replaces the single capacity pool): "+strings.Join(scenarios.TopologyNames(), ", "))
+		sites        = flag.Int("sites", 0, "site count for the -topology preset (0 = preset default)")
+		placement    = flag.String("placement", "locality", "placement policy picking each arrival's host site: "+strings.Join(topology.PolicyNames(), ", "))
 	)
 	flag.Parse()
+
+	// Flags that only mean something in fleet mode (or only with a
+	// topology) are rejected when their mode is off instead of being
+	// silently ignored: a user typing `atlas -scenario mixed -policy
+	// first-fit` should learn the policy never ran.
+	explicitFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
 
 	// Validate every flag in a single pass and report every problem at
 	// once — one consolidated error message instead of a fix-rerun-fix
@@ -126,11 +150,54 @@ func main() {
 	if *capacity < 0 {
 		badf("-capacity must be >= 0 cells (0 = scenario default), got %v", *capacity)
 	}
+	if *sites < 0 {
+		badf("-sites must be >= 0 (0 = preset default), got %d", *sites)
+	}
+	if !*fleetMode {
+		var ignored []string
+		for _, name := range []string{"policy", "capacity", "horizon", "no-oracle", "topology", "sites", "placement"} {
+			if explicitFlags[name] {
+				ignored = append(ignored, "-"+name)
+			}
+		}
+		if len(ignored) > 0 {
+			badf("fleet-only flags without -fleet: %s; add -fleet with a dynamic -scenario", strings.Join(ignored, ", "))
+		}
+	}
+	if *topoName == "" {
+		var orphaned []string
+		for _, name := range []string{"sites", "placement"} {
+			if explicitFlags[name] {
+				orphaned = append(orphaned, "-"+name)
+			}
+		}
+		if len(orphaned) > 0 {
+			badf("topology-only flags without -topology: %s; valid topologies: %s", strings.Join(orphaned, ", "), strings.Join(scenarios.TopologyNames(), ", "))
+		}
+	}
 	var policy fleet.Policy
 	if *fleetMode {
 		var ok bool
 		if policy, ok = fleet.PolicyByName(*policyName); !ok {
 			badf("unknown -policy %q; valid policies: %s", *policyName, strings.Join(fleet.PolicyNames(), ", "))
+		}
+	}
+	var topo *topology.Graph
+	var place topology.Policy
+	if *topoName != "" {
+		preset, ok := scenarios.GetTopology(*topoName)
+		if !ok {
+			badf("unknown -topology %q; valid topologies: %s", *topoName, strings.Join(scenarios.TopologyNames(), ", "))
+		} else if g, err := preset.Build(*sites); err != nil {
+			badf("build topology %q: %v", *topoName, err)
+		} else {
+			topo = g
+		}
+		if place, ok = topology.PolicyByName(*placement); !ok {
+			badf("unknown -placement %q; valid placement policies: %s", *placement, strings.Join(topology.PolicyNames(), ", "))
+		}
+		if explicitFlags["capacity"] {
+			badf("-capacity and -topology are exclusive: the site graph defines the capacity")
 		}
 	}
 	var scen scenarios.Scenario
@@ -182,7 +249,7 @@ func main() {
 	sc := storeCtx{st: st, warm: *warm, save: *save}
 
 	if *fleetMode {
-		runFleet(real, sim, st, fscen, policy, *horizon, *capacity, *workers, *seed, !*noOracle)
+		runFleet(real, sim, st, fscen, policy, topo, place, *horizon, *capacity, *workers, *seed, !*noOracle)
 		return
 	}
 
@@ -343,9 +410,10 @@ func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed in
 }
 
 // runFleet is the control-plane path: a dynamic fleet of slices
-// arriving and departing over finite capacity, with capacity-aware
+// arriving and departing over finite capacity — a single pool, or a
+// multi-cell site graph with a placement stage — with capacity-aware
 // admission and preemption-free downscale arbitration.
-func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs scenarios.FleetScenario, policy fleet.Policy, horizon int, capacityCells float64, workers int, seed int64, oracle bool) {
+func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs scenarios.FleetScenario, policy fleet.Policy, topo *topology.Graph, place topology.Policy, horizon int, capacityCells float64, workers int, seed int64, oracle bool) {
 	if horizon <= 0 {
 		horizon = fs.Horizon
 	}
@@ -354,16 +422,23 @@ func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs 
 		capacity = slicing.CellCapacity(capacityCells)
 	}
 	fmt.Printf("== fleet scenario %q: %s ==\n", fs.Name, fs.Description)
-	fmt.Printf("policy %s, horizon %d epochs, capacity %v\n\n", policy.Name(), horizon, capacity)
+	if topo != nil {
+		fmt.Printf("policy %s, horizon %d epochs, topology %s (%d sites, %.2g cells), placement %s\n\n",
+			policy.Name(), horizon, topo.Name, len(topo.Sites), topo.TotalCells(), place.Name())
+	} else {
+		fmt.Printf("policy %s, horizon %d epochs, capacity %v\n\n", policy.Name(), horizon, capacity)
+	}
 
 	ctl := fleet.NewController(real, sim, fs.Classes, fleet.Options{
-		Horizon:  horizon,
-		Capacity: capacity,
-		Policy:   policy,
-		Seed:     seed,
-		Workers:  workers,
-		Oracle:   oracle,
-		Store:    st,
+		Horizon:   horizon,
+		Capacity:  capacity,
+		Topology:  topo,
+		Placement: place,
+		Policy:    policy,
+		Seed:      seed,
+		Workers:   workers,
+		Oracle:    oracle,
+		Store:     st,
 	})
 	res, err := ctl.Run()
 	if err != nil {
@@ -383,6 +458,16 @@ func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs 
 		fmt.Printf(" (infinite-capacity oracle %.2f, regret %.2f)", res.OracleValue, res.Regret)
 	}
 	fmt.Println()
+
+	if topo != nil {
+		fmt.Printf("placement: %d/%d placed (ratio %.3f), inter-site RAN imbalance %.3f\n",
+			res.Placed, res.PlacementAttempts, res.PlacementRatio, res.Imbalance)
+		fmt.Println("\nper-site occupancy:")
+		for _, ss := range res.Sites {
+			fmt.Printf("%-16s placed %3d ran util mean %5.1f%% peak %5.1f%%\n",
+				ss.Site, ss.Placed, 100*ss.MeanRanUtil, 100*ss.PeakRanUtil)
+		}
+	}
 
 	fmt.Println("\nper-class admission:")
 	for _, cs := range res.Classes {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// The arbitration primitive's edge cases: CheapestFeasible must refuse
+// to nominate a configuration when it has nothing trustworthy to stand
+// on (empty posterior), when the SLA is out of reach everywhere
+// (all-infeasible pool), and PreviewDownscale must report "nothing to
+// free" when the envelope is already at the minimum the learner would
+// pick.
+
+// TestCheapestFeasibleEmptyPosterior: a cold learner — no offline
+// policy, no online observations — predicts QoE 0 everywhere, so no
+// candidate meets any positive availability target and the slice must
+// be left alone.
+func TestCheapestFeasibleEmptyPosterior(t *testing.T) {
+	opts := DefaultOnlineOptions()
+	opts.Pool = 120
+	l := NewOnlineLearner(nil, nil, opts, mathx.NewRNG(3))
+	if _, ok := l.CheapestFeasible(120, mathx.NewRNG(5)); ok {
+		t.Fatal("empty posterior nominated a downscale configuration")
+	}
+}
+
+// TestCheapestFeasibleAllInfeasible: a learner whose observed residuals
+// sit far below the SLA target finds every candidate infeasible, while
+// the same posterior under a relaxed target nominates a candidate —
+// and deterministically so.
+func TestCheapestFeasibleAllInfeasible(t *testing.T) {
+	space := slicing.DefaultConfigSpace()
+	build := func(availability float64) *OnlineLearner {
+		opts := DefaultOnlineOptions()
+		opts.Pool = 150
+		pol := &Policy{Space: space, SLA: slicing.SLA{ThresholdMs: 300, Availability: availability}, Traffic: 1}
+		l := NewOnlineLearner(pol, nil, opts, mathx.NewRNG(7))
+		// Blanket the space with observations of residual 0.5: the GP
+		// posterior mean sits near 0.5 everywhere (the nil offline model
+		// contributes 0), far under a 0.99 target.
+		rng := mathx.NewRNG(11)
+		for i := 0; i < 25; i++ {
+			cfg := space.Sample(rng)
+			l.Observe(i, cfg, space.Usage(cfg), 0.5)
+		}
+		return l
+	}
+	if _, ok := build(0.99).CheapestFeasible(150, mathx.NewRNG(13)); ok {
+		t.Fatal("all-infeasible pool nominated a configuration")
+	}
+	strict := build(0.3)
+	cfg1, ok1 := strict.CheapestFeasible(150, mathx.NewRNG(13))
+	if !ok1 {
+		t.Fatal("relaxed target found no feasible candidate despite a ~0.5 posterior")
+	}
+	cfg2, ok2 := build(0.3).CheapestFeasible(150, mathx.NewRNG(13))
+	if !ok2 || cfg1 != cfg2 {
+		t.Fatalf("CheapestFeasible not deterministic: %v vs %v", cfg1, cfg2)
+	}
+	if u := space.Usage(cfg1); u < 0 || u > 1 {
+		t.Fatalf("nominated config outside the space: usage %v", u)
+	}
+}
+
+// TestPreviewDownscaleMinConfigEnvelope: once a slice's envelope has
+// been tightened to (essentially) the minimum configuration, another
+// preview frees nothing — the confined candidate cannot shrink any
+// demand dimension further — and must report ok=false rather than
+// churn the reservation.
+func TestPreviewDownscaleMinConfigEnvelope(t *testing.T) {
+	s := quickSystem()
+	s.Ledger = slicing.NewCapacityLedger(slicing.CellCapacity(2))
+	// The relaxed SLA keeps plenty of posterior-feasible candidates, so
+	// the preview reaches the envelope-shrink logic rather than bailing
+	// on infeasibility.
+	if _, err := s.AdmitSlice("a", slicing.SLA{ThresholdMs: 500, Availability: 0.3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Step("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Commit a floor envelope: every demand-bearing dimension at the
+	// space minimum (zero), so no candidate can shrink it further.
+	floor := slicing.Config{}
+	if _, ok, err := s.CommitDownscale("a", floor); err != nil || !ok {
+		t.Fatalf("floor commit = %v, %v", ok, err)
+	}
+	next, freed, ok, err := s.PreviewDownscale("a", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("preview below the floor envelope claimed to free %v (next %v)", freed, next)
+	}
+	// The reservation is untouched by the refused preview.
+	if got, _ := s.Ledger.Reserved("a"); got != slicing.DemandOf(floor) {
+		t.Fatalf("refused preview moved the reservation to %v", got)
+	}
+}

@@ -116,6 +116,9 @@ type SliceInstance struct {
 	// Class is the tenant's service class; nil keeps the prototype
 	// workload under the SLA's latency-availability QoE.
 	Class *slicing.ServiceClass
+	// Site is the cell/edge site hosting the slice's reservation
+	// (empty = the ledger's default site, i.e. the single-pool model).
+	Site slicing.SiteID
 
 	Offline *OfflineResult
 	Learner *OnlineLearner
@@ -291,7 +294,7 @@ func (s *System) Augmented() *simnet.Simulator {
 // offline training in the shared augmented simulator, then an online
 // learner and a domain-manager set of its own.
 func (s *System) AdmitSlice(id string, sla slicing.SLA, traffic int) (*SliceInstance, error) {
-	return s.admit(id, nil, sla, traffic)
+	return s.admit(id, nil, sla, traffic, "")
 }
 
 // AdmitSliceClass onboards a tenant of a specific service class: the
@@ -300,14 +303,22 @@ func (s *System) AdmitSlice(id string, sla slicing.SLA, traffic int) (*SliceInst
 // per-interval demand. A zero traffic defaults to the class's nominal
 // demand.
 func (s *System) AdmitSliceClass(id string, class slicing.ServiceClass, traffic int) (*SliceInstance, error) {
+	return s.AdmitSliceClassAt(id, class, traffic, "")
+}
+
+// AdmitSliceClassAt is AdmitSliceClass with an explicit host site: the
+// tenant's reservation books against that site's local RAN and the
+// shared tiers of the system's topology ledger. The empty site is the
+// ledger's default site (the single-pool model).
+func (s *System) AdmitSliceClassAt(id string, class slicing.ServiceClass, traffic int, site slicing.SiteID) (*SliceInstance, error) {
 	if traffic == 0 {
 		traffic = class.Traffic
 	}
 	sla := class.SLA
-	return s.admit(id, &class, sla, traffic)
+	return s.admit(id, &class, sla, traffic, site)
 }
 
-func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, traffic int) (*SliceInstance, error) {
+func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, traffic int, site slicing.SiteID) (*SliceInstance, error) {
 	s.mu.Lock()
 	if _, dup := s.slices[id]; dup {
 		s.mu.Unlock()
@@ -330,7 +341,7 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 	learner.Class = class
 
 	inst := &SliceInstance{
-		ID: id, SLA: sla, Traffic: traffic, Class: class,
+		ID: id, SLA: sla, Traffic: traffic, Class: class, Site: site,
 		Offline:     off,
 		Learner:     learner,
 		Domains:     domains.NewOrchestrator(id),
@@ -341,21 +352,26 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 		storeKey:    out.Key,
 	}
 	if inst.storeKey != "" {
-		inst.onlineKey = onlineCheckpointKey(inst.storeKey, id)
+		inst.onlineKey = onlineCheckpointKey(inst.storeKey, id, site)
 	}
 	// Capacity-checked admission: reserve the tenant's configuration
 	// envelope (offline optimum scaled by the headroom factor) against
-	// the per-domain capacity before the slice goes live.
+	// the host site's RAN and the shared tiers before the slice goes
+	// live.
 	if s.Ledger != nil {
 		inst.Cap = ReservationEnvelope(s.Space, off.BestConfig, s.headroom())
 		inst.Capped = true
-		if !s.Ledger.Reserve(id, slicing.DemandOf(inst.Cap)) {
+		if !s.Ledger.ReserveAt(site, id, slicing.DemandOf(inst.Cap)) {
 			if _, held := s.Ledger.Reserved(id); held {
 				// A concurrent admission of the same id booked first.
 				return nil, fmt.Errorf("core: slice %q already admitted", id)
 			}
-			return nil, fmt.Errorf("core: slice %q needs %v beyond free capacity %v: %w",
-				id, slicing.DemandOf(inst.Cap), s.Ledger.Free(), ErrInsufficientCapacity)
+			where := ""
+			if site != "" {
+				where = fmt.Sprintf(" at site %q", site)
+			}
+			return nil, fmt.Errorf("core: slice %q needs %v beyond free capacity %v%s: %w",
+				id, slicing.DemandOf(inst.Cap), s.Ledger.FreeAt(site), where, ErrInsufficientCapacity)
 		}
 	}
 	// Warm-start the online residual from this identity's last
@@ -434,13 +450,18 @@ func (s *System) EstimateAdmission(class slicing.ServiceClass, traffic int) (*Of
 }
 
 // onlineCheckpointKey derives the per-identity online checkpoint key
-// from the slice's artifact fingerprint and id (hashed, so arbitrary
-// ids stay filesystem-safe).
-func onlineCheckpointKey(artifactKey, id string) string {
+// from the slice's artifact fingerprint, id, and host site (hashed, so
+// arbitrary ids stay filesystem-safe). The site is part of the
+// identity: a slice re-admitted at a different site is a different
+// placement, so it must not resume the residual another placement
+// learned. The empty site is omitted from the canonical form, keeping
+// pre-topology checkpoint keys valid.
+func onlineCheckpointKey(artifactKey, id string, site slicing.SiteID) string {
 	return store.Fingerprint(struct {
-		Artifact string `json:"artifact"`
-		Slice    string `json:"slice"`
-	}{artifactKey, id})
+		Artifact string         `json:"artifact"`
+		Slice    string         `json:"slice"`
+		Site     slicing.SiteID `json:"site,omitempty"`
+	}{artifactKey, id, site})
 }
 
 // RemoveSlice tears a tenant down, freeing its capacity reservation.

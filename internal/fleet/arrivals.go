@@ -73,6 +73,11 @@ type Arrival struct {
 	Lifetime int
 	Value    float64
 	Elastic  bool
+	// Home is the arrival's home cell — the site its users attach to.
+	// Empty on single-pool traces; drawn uniformly over the topology's
+	// sites by TraceOver. Hosting away from home costs delivered QoE
+	// per transport hop (topology.Graph.QoEFactor).
+	Home slicing.SiteID
 }
 
 // poisson draws a Poisson variate with the given mean (Knuth's method;
@@ -113,6 +118,15 @@ func geometric(mean float64, rng interface{ Float64() float64 }) int {
 // class never perturbs another's arrivals; events are ordered by
 // (epoch, class index, draw index).
 func Trace(classes []ArrivalClass, horizon int, seed int64) []Arrival {
+	return TraceOver(classes, horizon, seed, nil)
+}
+
+// TraceOver is Trace over a multi-site topology: every arrival
+// additionally draws a home cell uniformly over the given sites (in
+// order) from the same per-class RNG. A nil or empty site list leaves
+// homes empty and reproduces Trace's draws bit-for-bit, so enabling a
+// topology is the only thing that changes a trace.
+func TraceOver(classes []ArrivalClass, horizon int, seed int64, sites []slicing.SiteID) []Arrival {
 	var out []Arrival
 	for ci, c := range classes {
 		rng := mathx.NewRNG(mathx.ChildSeed(seed, ci))
@@ -134,6 +148,10 @@ func Trace(classes []ArrivalClass, horizon int, seed int64) []Arrival {
 				if c.MeanLifetime > 0 {
 					life = geometric(c.MeanLifetime, rng)
 				}
+				var home slicing.SiteID
+				if len(sites) > 0 {
+					home = sites[rng.Intn(len(sites))]
+				}
 				out = append(out, Arrival{
 					Epoch:    epoch,
 					ID:       fmt.Sprintf("%s-%03d", c.Class.Name, serial),
@@ -142,6 +160,7 @@ func Trace(classes []ArrivalClass, horizon int, seed int64) []Arrival {
 					Lifetime: life,
 					Value:    c.Value,
 					Elastic:  c.Elastic,
+					Home:     home,
 				})
 				serial++
 			}

@@ -9,6 +9,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
+	"github.com/atlas-slicing/atlas/internal/topology"
 )
 
 // Options configures one fleet run.
@@ -16,8 +17,17 @@ type Options struct {
 	// Horizon is the number of control-plane epochs to simulate.
 	Horizon int
 	// Capacity is the shared infrastructure; the zero value means
-	// unlimited (every fit check passes).
+	// unlimited (every fit check passes). Ignored when Topology is set.
 	Capacity slicing.Capacity
+	// Topology, when set, replaces the single aggregated pool with a
+	// multi-site infrastructure: per-site RAN capacity plus shared
+	// regional transport/compute, arrivals gain home-cell affinity, and
+	// a placement stage picks every arrival's host site ahead of
+	// admission.
+	Topology *topology.Graph
+	// Placement picks each arrival's host site when Topology is set;
+	// nil defaults to the locality-aware policy.
+	Placement topology.Policy
 	// Policy is the admission policy; nil defaults to FirstFit.
 	Policy Policy
 	// Seed drives every random draw (arrival trace, per-slice seeds).
@@ -69,6 +79,17 @@ type Rejection struct {
 	Reason string // "capacity" or "policy"
 }
 
+// SiteStat aggregates one topology site over the run.
+type SiteStat struct {
+	Site slicing.SiteID
+	// Placed counts the arrivals admitted with this site as host.
+	Placed int
+	// MeanRanUtil and PeakRanUtil summarize the site's local reserved
+	// RAN utilization over the horizon.
+	MeanRanUtil float64
+	PeakRanUtil float64
+}
+
 // ClassStat aggregates one arrival class over the run.
 type ClassStat struct {
 	Class    string
@@ -115,6 +136,23 @@ type Result struct {
 	Rejections []Rejection
 	Classes    []ClassStat
 
+	// Topology metrics (zero-valued on single-pool runs). Topology and
+	// Placement name the site graph and placement policy;
+	// PlacementAttempts counts arrivals that passed the admission
+	// policy's value gate and therefore needed a host site, Placed
+	// those that found one (immediately or after site-local
+	// arbitration), and PlacementRatio their quotient (1 with no
+	// attempts). Imbalance is the mean over epochs of the spread
+	// (max − min) of per-site reserved RAN utilization — 0 means every
+	// site carries the same fraction of its local capacity.
+	Topology          string
+	Placement         string
+	PlacementAttempts int
+	Placed            int
+	PlacementRatio    float64
+	Imbalance         float64
+	Sites             []SiteStat
+
 	// Diags carries the non-fatal artifact-store diagnostics the
 	// underlying system accumulated.
 	Diags []error
@@ -140,6 +178,9 @@ func NewController(real slicing.Env, sim *simnet.Simulator, classes []ArrivalCla
 	if opts.Policy == nil {
 		opts.Policy = FirstFit{}
 	}
+	if opts.Placement == nil {
+		opts.Placement = topology.Locality{}
+	}
 	if opts.DownscalePool <= 0 {
 		opts.DownscalePool = 250
 	}
@@ -151,11 +192,13 @@ func NewController(real slicing.Env, sim *simnet.Simulator, classes []ArrivalCla
 }
 
 // newSystem builds the per-run core.System with fleet-scale budgets.
-func (c *Controller) newSystem(capacity slicing.Capacity) *core.System {
+func (c *Controller) newSystem(capacity slicing.Capacity, topo *topology.Graph) *core.System {
 	sys := core.NewSystem(c.real, c.sim, c.opts.Seed)
 	sys.Store = c.st
 	sys.Headroom = c.opts.Headroom
-	if !capacity.IsZero() {
+	if topo != nil {
+		sys.Ledger = topo.NewLedger()
+	} else if !capacity.IsZero() {
 		sys.Ledger = slicing.NewCapacityLedger(capacity)
 	}
 	// Fleet-scale defaults: churn admits tens of tenants per run, so
@@ -173,12 +216,23 @@ func (c *Controller) newSystem(capacity slicing.Capacity) *core.System {
 // Run executes the fleet simulation and, when Options.Oracle is set,
 // the infinite-capacity oracle on the same arrival trace.
 func (c *Controller) Run() (*Result, error) {
-	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity)
+	// One trace serves both runs: home cells are drawn into the trace
+	// (when a topology is set), so the oracle replays exactly the
+	// constrained fleet's arrivals.
+	var sites []slicing.SiteID
+	if c.opts.Topology != nil {
+		sites = c.opts.Topology.SiteIDs()
+	}
+	trace := TraceOver(c.classes, c.opts.Horizon, c.opts.Seed, sites)
+	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity, c.opts.Topology, trace)
 	if err != nil {
 		return nil, err
 	}
 	if c.opts.Oracle {
-		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{})
+		// The oracle is placement-free on purpose: unlimited single-pool
+		// capacity with every slice at home, so regret covers both what
+		// admission refused and what non-home placement cost.
+		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{}, nil, trace)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: oracle run: %w", err)
 		}
@@ -191,21 +245,32 @@ func (c *Controller) Run() (*Result, error) {
 // liveSlice is one admitted tenant's control-plane bookkeeping.
 type liveSlice struct {
 	a      Arrival
-	depart int // epoch at which the tenant leaves; 0 = horizon end
+	site   slicing.SiteID // host site (empty on single-pool runs)
+	depart int            // epoch at which the tenant leaves; 0 = horizon end
 	value  float64
 }
 
-// runOnce is one complete fleet simulation under the given policy and
-// capacity. All state iterates in admission order, so repeated runs are
+// runOnce is one complete fleet simulation under the given policy,
+// capacity, and (optional) topology, replaying the given arrival
+// trace. All state iterates in admission order, so repeated runs are
 // bit-identical at any worker count.
-func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result, error) {
-	sys := c.newSystem(capacity)
+func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival) (*Result, error) {
+	sys := c.newSystem(capacity, topo)
 	if _, err := sys.Calibrate(); err != nil {
 		return nil, err
 	}
-	trace := Trace(c.classes, c.opts.Horizon, c.opts.Seed)
+	placement := c.opts.Placement
 
 	res := &Result{Policy: policy.Name(), Horizon: c.opts.Horizon, Arrivals: len(trace)}
+	if topo != nil {
+		res.Topology = topo.Name
+		res.Placement = placement.Name()
+		res.Sites = make([]SiteStat, len(topo.Sites))
+		for i, s := range topo.Sites {
+			res.Sites[i].Site = s.ID
+		}
+		capacity = topo.TotalCapacity()
+	}
 	classStats := make([]ClassStat, len(c.classes))
 	for i, ac := range c.classes {
 		classStats[i].Class = ac.Class.Name
@@ -215,15 +280,47 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 	var order []string // admission order; ids stay after departure, skipped via live
 	next := 0          // next unprocessed trace index
 	var utilSum slicing.Utilization
+	var imbalanceSum float64
+	siteIdx := map[slicing.SiteID]int{}
+	for i, ss := range res.Sites {
+		siteIdx[ss.Site] = i
+	}
 
-	ledgerFree := func() slicing.Demand {
+	// Admission estimates are pure per class — same calibration, same
+	// artifact, same envelope — so the class fingerprint (and the store
+	// read behind it) is computed once per class instead of once per
+	// arrival. The oracle replay in particular calls the estimator for
+	// every arrival it unconditionally admits; long-horizon runs were
+	// paying that hashing hundreds of times over.
+	type classEst struct {
+		est    *core.OfflineResult
+		demand slicing.Demand
+	}
+	ests := make(map[int]classEst, len(c.classes))
+	estimate := func(a Arrival) (classEst, error) {
+		if e, ok := ests[a.ClassIdx]; ok {
+			return e, nil
+		}
+		est, demand, err := sys.EstimateAdmission(a.Class, 0)
+		if err != nil {
+			return classEst{}, err
+		}
+		e := classEst{est: est, demand: demand}
+		ests[a.ClassIdx] = e
+		return e, nil
+	}
+
+	// Site-aware ledger views: on single-pool runs site is always ""
+	// (the ledger's default site), so these collapse to the historical
+	// aggregate checks.
+	ledgerFreeAt := func(site slicing.SiteID) slicing.Demand {
 		if sys.Ledger == nil {
 			return slicing.Demand{RanPRB: math.Inf(1), TnMbps: math.Inf(1), CnCPU: math.Inf(1)}
 		}
-		return sys.Ledger.Free()
+		return sys.Ledger.FreeAt(site)
 	}
-	ledgerFits := func(d slicing.Demand) bool {
-		return sys.Ledger == nil || sys.Ledger.Fits(d)
+	ledgerFitsAt := func(site slicing.SiteID, d slicing.Demand) bool {
+		return sys.Ledger == nil || sys.Ledger.FitsAt(site, d)
 	}
 	utilization := func() slicing.Utilization {
 		if sys.Ledger == nil {
@@ -251,23 +348,42 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 			res.Departed++
 		}
 
-		// Arrivals: estimate the newcomer's footprint, consult the
-		// admission policy, arbitrate if allowed, then admit or reject.
+		// Arrivals: estimate the newcomer's footprint, pick a host site
+		// (with a topology), consult the admission policy, arbitrate if
+		// allowed, then admit or reject.
 		for next < len(trace) && trace[next].Epoch == epoch {
 			a := trace[next]
 			next++
 			es.Arrivals++
 			classStats[a.ClassIdx].Arrivals++
 
-			est, demand, err := sys.EstimateAdmission(a.Class, 0)
+			ce, err := estimate(a)
 			if err != nil {
 				return nil, fmt.Errorf("fleet: estimate %s: %w", a.ID, err)
+			}
+			est, demand := ce.est, ce.demand
+			// Placement: pick the host site before admission. When the
+			// demand fits nowhere, the returned site is still the
+			// policy's arbitration target — downscaling is site-local,
+			// so the arbitrator must know where to make room.
+			var site slicing.SiteID
+			var fits bool
+			if topo == nil {
+				fits = ledgerFitsAt("", demand)
+			} else {
+				site, fits = placement.Place(topo, sys.Ledger, topology.Request{
+					ID:           a.ID,
+					Demand:       demand,
+					Home:         a.Home,
+					Value:        a.Value,
+					PredictedQoE: est.BestQoE,
+				})
 			}
 			ctx := AdmissionContext{
 				Epoch:        epoch,
 				Demand:       demand,
 				PredictedQoE: est.BestQoE,
-				Free:         ledgerFree(),
+				Free:         ledgerFreeAt(site),
 				Capacity:     capacity,
 				Utilization:  utilization().Max(),
 			}
@@ -275,14 +391,18 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 			// newcomer the policy would refuse anyway never causes an
 			// elastic tenant to shrink.
 			reason := ""
-			fits := ledgerFits(demand)
 			if !policy.Admit(ctx, a) {
 				reason = "policy"
-			} else if !fits && policy.Arbitrate(ctx, a) {
-				res.Downscales += c.arbitrate(sys, live, order, demand)
-				fits = ledgerFits(demand)
-				ctx.Free = ledgerFree()
-				ctx.Utilization = utilization().Max()
+			} else {
+				if topo != nil {
+					res.PlacementAttempts++
+				}
+				if !fits && policy.Arbitrate(ctx, a) {
+					res.Downscales += c.arbitrate(sys, live, order, demand, site)
+					fits = ledgerFitsAt(site, demand)
+					ctx.Free = ledgerFreeAt(site)
+					ctx.Utilization = utilization().Max()
+				}
 			}
 			if reason == "" && !fits {
 				reason = "capacity"
@@ -294,7 +414,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 				res.Rejections = append(res.Rejections, Rejection{Epoch: epoch, ID: a.ID, Class: a.Class.Name, Reason: reason})
 				continue
 			}
-			if _, err := sys.AdmitSliceClass(a.ID, a.Class, 0); err != nil {
+			if _, err := sys.AdmitSliceClassAt(a.ID, a.Class, 0, site); err != nil {
 				if errors.Is(err, core.ErrInsufficientCapacity) {
 					// The estimate and the reservation derive from the
 					// same artifact, so this is unreachable in practice;
@@ -311,11 +431,17 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 			if a.Lifetime > 0 {
 				depart = epoch + a.Lifetime
 			}
-			live[a.ID] = &liveSlice{a: a, depart: depart}
+			live[a.ID] = &liveSlice{a: a, site: site, depart: depart}
 			order = append(order, a.ID)
 			res.Admitted++
 			es.Admitted++
 			classStats[a.ClassIdx].Admitted++
+			if topo != nil {
+				res.Placed++
+				if i, ok := siteIdx[site]; ok {
+					res.Sites[i].Placed++
+				}
+			}
 		}
 
 		// Step every live slice one configuration interval, fanned out
@@ -336,6 +462,12 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 				continue
 			}
 			qoe := inst.QoEs[len(inst.QoEs)-1]
+			if topo != nil {
+				// Delivered QoE pays the locality toll: each transport
+				// hop between the tenant's home cell and its host site
+				// costs a fraction of the experienced quality.
+				qoe *= topo.QoEFactor(ls.a.Home, ls.site)
+			}
 			v := ls.a.Value * qoe
 			ls.value += v
 			es.MeanQoE += qoe
@@ -362,6 +494,26 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 		}
 		if es.Util.CN > res.PeakUtil.CN {
 			res.PeakUtil.CN = es.Util.CN
+		}
+		if topo != nil {
+			minU, maxU := math.Inf(1), 0.0
+			for _, su := range sys.Ledger.SiteUtilizations() {
+				i, ok := siteIdx[su.Site]
+				if !ok {
+					continue
+				}
+				res.Sites[i].MeanRanUtil += su.RAN
+				if su.RAN > res.Sites[i].PeakRanUtil {
+					res.Sites[i].PeakRanUtil = su.RAN
+				}
+				if su.RAN < minU {
+					minU = su.RAN
+				}
+				if su.RAN > maxU {
+					maxU = su.RAN
+				}
+			}
+			imbalanceSum += maxU - minU
 		}
 		res.Epochs = append(res.Epochs, es)
 	}
@@ -392,6 +544,18 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 			CN:  utilSum.CN / float64(c.opts.Horizon),
 		}
 	}
+	if topo != nil {
+		if c.opts.Horizon > 0 {
+			for i := range res.Sites {
+				res.Sites[i].MeanRanUtil /= float64(c.opts.Horizon)
+			}
+			res.Imbalance = imbalanceSum / float64(c.opts.Horizon)
+		}
+		res.PlacementRatio = 1
+		if res.PlacementAttempts > 0 {
+			res.PlacementRatio = float64(res.Placed) / float64(res.PlacementAttempts)
+		}
+	}
 	res.Classes = classStats
 	res.Diags = sys.StoreDiagnostics()
 	return res, nil
@@ -400,13 +564,22 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity) (*Result,
 // arbitrate is the preemption-free downscale pass: it walks the live
 // elastic slices in admission order and asks each one's online learner
 // for a cheaper posterior-feasible configuration, collecting previewed
-// envelope tightenings until the needed demand would fit. The pass is
-// transactional — tightenings commit only when they actually make room
-// for the newcomer; if every elastic slice together cannot free
-// enough, nothing is applied, so no tenant is degraded for an arrival
-// that gets rejected anyway. It returns how many slices were
-// downscaled; no slice is ever evicted or restarted.
-func (c *Controller) arbitrate(sys *core.System, live map[string]*liveSlice, order []string, need slicing.Demand) int {
+// envelope tightenings until the needed demand would fit at the target
+// site. Site topology shapes what a tightening is worth: a tenant
+// hosted at the target site frees local RAN plus the shared tiers,
+// while a remote tenant's freed RAN belongs to its own site — only its
+// freed transport/compute help, since those tiers are regional. The
+// pass therefore walks the target site's tenants first and falls back
+// to remote ones only for their shared-tier contribution (skipping any
+// whose tightening frees no shared capacity at all). It stays
+// transactional: tightenings commit only when they actually make room;
+// if the elastic slices together cannot free enough, nothing is
+// applied, so no tenant is degraded for an arrival that gets rejected
+// anyway. It returns how many slices were downscaled; no slice is ever
+// evicted or restarted. (On single-pool runs every slice and every
+// arrival has the empty site, so the first pass covers the whole fleet
+// as before.)
+func (c *Controller) arbitrate(sys *core.System, live map[string]*liveSlice, order []string, need slicing.Demand, site slicing.SiteID) int {
 	if sys.Ledger == nil {
 		return 0
 	}
@@ -417,23 +590,35 @@ func (c *Controller) arbitrate(sys *core.System, live map[string]*liveSlice, ord
 	var plan []tightening
 	var freed slicing.Demand
 	enough := false
-	for _, id := range order {
-		ls, ok := live[id]
-		if !ok || !ls.a.Elastic {
-			continue
+	for pass := 0; pass < 2 && !enough; pass++ {
+		for _, id := range order {
+			ls, ok := live[id]
+			if !ok || !ls.a.Elastic || (ls.site == site) != (pass == 0) {
+				continue
+			}
+			if need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
+				enough = true
+				break
+			}
+			next, f, ok, err := sys.PreviewDownscale(id, c.opts.DownscalePool)
+			if err != nil || !ok {
+				continue
+			}
+			if pass == 1 {
+				// Remote RAN frees at the remote site, not here; only
+				// the shared tiers count toward this admission. A
+				// tightening that frees no shared capacity would shrink
+				// the tenant for nothing — leave it alone.
+				f.RanPRB = 0
+				if f.IsZero() {
+					continue
+				}
+			}
+			plan = append(plan, tightening{id: id, next: next})
+			freed = freed.Add(f)
 		}
-		if need.Fits(sys.Ledger.Free().Add(freed)) {
-			enough = true
-			break
-		}
-		next, f, ok, err := sys.PreviewDownscale(id, c.opts.DownscalePool)
-		if err != nil || !ok {
-			continue
-		}
-		plan = append(plan, tightening{id: id, next: next})
-		freed = freed.Add(f)
 	}
-	if !enough && !need.Fits(sys.Ledger.Free().Add(freed)) {
+	if !enough && !need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
 		return 0
 	}
 	downs := 0

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// testStar is a small hotspot graph: a 2-cell hub and three 1-cell
+// leaves, ample shared tiers.
+func testStar(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.Hotspot("test-star", 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTraceOverDrawsHomes(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Rate: 0.5, MeanLifetime: 6, Value: 2},
+		{Class: testIoT(), Every: 2, MeanLifetime: 5, Value: 1},
+	}
+	// Without sites, TraceOver is Trace bit-for-bit.
+	plain := Trace(classes, 30, 7)
+	if got := TraceOver(classes, 30, 7, nil); !reflect.DeepEqual(plain, got) {
+		t.Fatal("TraceOver(nil sites) diverged from Trace")
+	}
+	for _, a := range plain {
+		if a.Home != "" {
+			t.Fatalf("single-pool arrival %s has home %q", a.ID, a.Home)
+		}
+	}
+	sites := []slicing.SiteID{"a", "b", "c"}
+	sited := TraceOver(classes, 30, 7, sites)
+	if len(sited) == 0 {
+		t.Fatal("empty sited trace")
+	}
+	seen := map[slicing.SiteID]int{}
+	for _, a := range sited {
+		if a.Home != "a" && a.Home != "b" && a.Home != "c" {
+			t.Fatalf("arrival %s has home %q outside the site set", a.ID, a.Home)
+		}
+		seen[a.Home]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("homes did not spread over the sites: %v", seen)
+	}
+	if again := TraceOver(classes, 30, 7, sites); !reflect.DeepEqual(sited, again) {
+		t.Fatal("sited trace is not deterministic")
+	}
+}
+
+// TestFleetTopologyDeterministicAcrossWorkers: with a topology and the
+// locality placement in play, the full fleet result — placement
+// decisions, per-site stats, imbalance, value — is bit-identical at
+// any worker count.
+func TestFleetTopologyDeterministicAcrossWorkers(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Rate: 0.3, MeanLifetime: 6, Value: 2, Elastic: true},
+		{Class: testIoT(), Rate: 0.4, MeanLifetime: 8, Value: 1, Elastic: true},
+	}
+	run := func(workers int) *Result {
+		ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+			Horizon:   10,
+			Topology:  testStar(t),
+			Placement: topology.Locality{},
+			Policy:    ValueDensity{ReservePrice: 4},
+			Seed:      21,
+			Workers:   workers,
+			Tune:      tinyTune,
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("topology fleet result differs across worker counts:\n%+v\nvs\n%+v", serial, parallel)
+	}
+	if serial.Topology != "test-star" || serial.Placement != "locality" {
+		t.Fatalf("topology labels = %q/%q", serial.Topology, serial.Placement)
+	}
+	if len(serial.Sites) != 4 {
+		t.Fatalf("site stats = %+v", serial.Sites)
+	}
+	for _, ss := range serial.Sites {
+		if ss.PeakRanUtil > 1 {
+			t.Fatalf("site %s reserved RAN utilization %v exceeds its local capacity", ss.Site, ss.PeakRanUtil)
+		}
+	}
+	if serial.PlacementRatio < 0 || serial.PlacementRatio > 1 {
+		t.Fatalf("placement ratio = %v", serial.PlacementRatio)
+	}
+}
+
+// TestFleetArbitrationFreesSharedTiers: when the newcomer is blocked
+// by a shared regional tier (not the target site's RAN), the
+// arbitrator must reach elastic tenants hosted at *other* sites —
+// their freed transport/compute is regional, so it admits the
+// newcomer even though their RAN frees elsewhere.
+func TestFleetArbitrationFreesSharedTiers(t *testing.T) {
+	// Two disconnected 2-cell sites sharing a transport tier sized so
+	// the elastic IoT tenant's envelope (~31 Mbps) plus the video
+	// envelope (~43 Mbps) cannot coexist untightened.
+	topo, err := topology.New("shared-tn",
+		[]topology.Site{{ID: "east", Cells: 2}, {ID: "west", Cells: 2}},
+		nil, 55, 3, topology.DefaultHopPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []ArrivalClass{
+		// The IoT tenant lands first and is elastic.
+		{Class: testIoT(), Every: 100, Value: 1, Elastic: true},
+		// The video tenant arrives at epoch 4 and needs transport the
+		// IoT tenant must give back.
+		{Class: testVideo(), Every: 100, Phase: 4, Value: 2},
+	}
+	// Spread forces the two tenants onto different sites (the second
+	// site is freer after the first admission), so the transport crunch
+	// is strictly cross-site.
+	run := func(policy Policy) *Result {
+		ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+			Horizon:   8,
+			Topology:  topo,
+			Placement: topology.Spread{},
+			Policy:    policy,
+			Seed:      11,
+			Tune:      tinyTune,
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(FirstFit{})
+	if greedy.Admitted != 1 || greedy.Rejected != 1 {
+		t.Fatalf("first-fit admitted=%d rejected=%d, want 1/1", greedy.Admitted, greedy.Rejected)
+	}
+	arb := run(ValueDensity{})
+	if arb.Downscales < 1 || arb.Admitted != 2 || arb.Rejected != 0 {
+		t.Fatalf("cross-site arbitration admitted=%d rejected=%d downscales=%d, want 2/0/>=1",
+			arb.Admitted, arb.Rejected, arb.Downscales)
+	}
+	// The two tenants really are on different sites.
+	sited := map[slicing.SiteID]int{}
+	for _, ss := range arb.Sites {
+		sited[ss.Site] = ss.Placed
+	}
+	if sited["east"] != 1 || sited["west"] != 1 {
+		t.Fatalf("tenants not spread across sites: %v", sited)
+	}
+}
+
+// TestFleetLocalityBeatsFirstFitPlacement: at equal total capacity the
+// locality-aware placement earns more QoE-weighted value than blind
+// first-fit packing — non-home placement pays a per-hop delivered-QoE
+// toll, and first-fit piles arrivals onto the early sites regardless
+// of where their users are.
+func TestFleetLocalityBeatsFirstFitPlacement(t *testing.T) {
+	classes := []ArrivalClass{
+		{Class: testVideo(), Rate: 0.25, MeanLifetime: 8, Value: 2, Elastic: true},
+		{Class: testIoT(), Rate: 0.35, MeanLifetime: 10, Value: 1, Elastic: true},
+	}
+	run := func(place topology.Policy) *Result {
+		ctl := NewController(realnet.New(), simnet.NewDefault(), classes, Options{
+			Horizon:   12,
+			Topology:  testStar(t),
+			Placement: place,
+			Policy:    FirstFit{},
+			Seed:      9,
+			Tune:      tinyTune,
+		})
+		res, err := ctl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	packed := run(topology.FirstFit{})
+	local := run(topology.Locality{})
+	// The arrival trace is identical — only hosting differs.
+	if packed.Arrivals != local.Arrivals {
+		t.Fatalf("traces diverged: %d vs %d arrivals", packed.Arrivals, local.Arrivals)
+	}
+	if local.QoEWeightedValue <= packed.QoEWeightedValue {
+		t.Fatalf("locality value %v did not beat first-fit %v",
+			local.QoEWeightedValue, packed.QoEWeightedValue)
+	}
+	if packed.ServedEpochs == 0 || local.ServedEpochs == 0 {
+		t.Fatal("no service recorded")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/simnet/app"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/topology"
 )
 
 // VideoAnalytics is the paper's prototype service: 540p frame upload
@@ -248,6 +249,86 @@ func FleetNames() []string {
 // AllFleet returns every registered dynamic scenario in catalog order.
 func AllFleet() []FleetScenario {
 	return append([]FleetScenario(nil), fleetRegistry...)
+}
+
+// TopologyPreset is one named site-graph of the topology catalog: a
+// deterministic builder parameterized only by the site count, so
+// `-sites N` scales a preset without changing its shape. Fleet
+// scenarios above answer "who arrives"; topology presets answer "what
+// infrastructure they land on".
+type TopologyPreset struct {
+	Name        string
+	Description string
+	// DefaultSites is the site count Build uses when given 0.
+	DefaultSites int
+	// build constructs the graph with the given site count (>= 1; the
+	// DefaultSites fallback lives in Build so the catalog states each
+	// default exactly once).
+	build func(sites int) (*topology.Graph, error)
+}
+
+// Build constructs the preset's graph with the given site count (<= 0
+// uses DefaultSites).
+func (p TopologyPreset) Build(sites int) (*topology.Graph, error) {
+	if sites <= 0 {
+		sites = p.DefaultSites
+	}
+	return p.build(sites)
+}
+
+// topologyRegistry holds the named site graphs in catalog order. Sites
+// are sized in whole prototype cells: a slice envelope is a sizable
+// fraction of one cell, so sub-cell sites could host nothing.
+var topologyRegistry = []TopologyPreset{
+	{
+		Name:         "hotspot-cell",
+		Description:  "star of one 2-cell hot site and n-1 single-cell edge sites — packing policies pile onto the hot cell while homes spread uniformly",
+		DefaultSites: 5,
+		build: func(sites int) (*topology.Graph, error) {
+			return topology.Hotspot("hotspot-cell", sites, 2, 1)
+		},
+	},
+	{
+		Name:         "uniform-grid",
+		Description:  "near-square lattice of single-cell sites with 4-neighbor transport links — the homogeneous dense-urban layout",
+		DefaultSites: 4,
+		build: func(sites int) (*topology.Graph, error) {
+			return topology.GridN("uniform-grid", sites, 1)
+		},
+	},
+	{
+		Name:         "edge-constrained",
+		Description:  "ring of single-cell sites with the shared edge-compute tier at 45% — RAN is ample, the regional compute is the bottleneck",
+		DefaultSites: 4,
+		build: func(sites int) (*topology.Graph, error) {
+			return topology.Ring("edge-constrained", sites, 1, 0.45)
+		},
+	},
+}
+
+// GetTopology returns a registered topology preset by name.
+func GetTopology(name string) (TopologyPreset, bool) {
+	for _, p := range topologyRegistry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return TopologyPreset{}, false
+}
+
+// TopologyNames returns the registered topology preset names, sorted.
+func TopologyNames() []string {
+	out := make([]string, len(topologyRegistry))
+	for i, p := range topologyRegistry {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllTopologies returns every registered preset in catalog order.
+func AllTopologies() []TopologyPreset {
+	return append([]TopologyPreset(nil), topologyRegistry...)
 }
 
 // Classes returns the distinct service classes across all scenarios, in

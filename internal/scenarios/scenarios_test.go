@@ -288,3 +288,51 @@ func TestFleetScenarioCatalog(t *testing.T) {
 		t.Fatalf("flashcrowd surge produced only %d teleop arrivals in the window", surged)
 	}
 }
+
+func TestTopologyCatalog(t *testing.T) {
+	if len(TopologyNames()) != len(AllTopologies()) {
+		t.Fatal("topology name/registry length mismatch")
+	}
+	if _, ok := GetTopology("nope"); ok {
+		t.Fatal("unknown topology resolved")
+	}
+	for _, p := range AllTopologies() {
+		if p.Name == "" || p.Description == "" || p.DefaultSites < 2 {
+			t.Fatalf("preset %+v underspecified", p)
+		}
+		g, err := p.Build(0)
+		if err != nil {
+			t.Fatalf("%s: default build: %v", p.Name, err)
+		}
+		if len(g.Sites) != p.DefaultSites {
+			t.Fatalf("%s: default build has %d sites, want %d", p.Name, len(g.Sites), p.DefaultSites)
+		}
+		// Every site must be large enough to host at least a small
+		// slice envelope — sub-envelope sites would host nothing.
+		for _, s := range g.Sites {
+			if s.Cells < 1 {
+				t.Fatalf("%s: site %s has %v cells (< 1 hosts no envelope)", p.Name, s.ID, s.Cells)
+			}
+		}
+		scaled, err := p.Build(6)
+		if err != nil {
+			t.Fatalf("%s: build(6): %v", p.Name, err)
+		}
+		if len(scaled.Sites) != 6 {
+			t.Fatalf("%s: build(6) has %d sites", p.Name, len(scaled.Sites))
+		}
+	}
+	// The uniform grid honors exact site counts, including
+	// non-rectangular ones (a partial last row, not a rounded-up
+	// rectangle that would inflate the total capacity).
+	p, _ := GetTopology("uniform-grid")
+	for _, n := range []int{5, 7, 9} {
+		g, err := p.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Sites) != n || g.TotalCells() != float64(n) {
+			t.Fatalf("grid(%d) has %d sites, %v cells", n, len(g.Sites), g.TotalCells())
+		}
+	}
+}

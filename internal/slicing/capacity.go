@@ -1,17 +1,15 @@
 package slicing
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
 // This file is the capacity vocabulary of the fleet control plane: the
 // finite per-domain infrastructure a dynamic fleet of slices shares.
 // A slice configuration (Table 2) spends resources in three capacity
 // domains — radio PRBs at the RAN centralized units, transport-network
-// bandwidth, and core/edge compute — and the ledger below tracks every
-// admitted slice's reservation against the per-domain totals, so
-// admission control can reject (or downscale) instead of overbooking.
+// bandwidth, and core/edge compute — and the TopologyLedger (see
+// topology.go) tracks every admitted slice's reservation against its
+// host site's RAN and the shared tiers, so admission control can
+// reject (or downscale) instead of overbooking.
 
 // Demand is a slice's footprint across the three capacity domains.
 type Demand struct {
@@ -125,127 +123,6 @@ func CellCapacity(cells float64) Capacity {
 		TnMbps: cells * maxc.BackhaulMbps,
 		CnCPU:  cells * maxc.CPURatio,
 	}
-}
-
-// CapacityLedger is the concurrency-safe reservation book of the fleet
-// control plane: one reservation per admitted slice, accounted against
-// the per-domain capacity. All mutating operations are atomic — a
-// Reserve either fits entirely and books, or leaves the ledger
-// untouched — so concurrent admissions cannot overbook.
-type CapacityLedger struct {
-	capacity Capacity
-
-	mu  sync.Mutex
-	res map[string]Demand
-}
-
-// NewCapacityLedger builds an empty ledger over the given capacity.
-func NewCapacityLedger(capacity Capacity) *CapacityLedger {
-	return &CapacityLedger{capacity: capacity, res: map[string]Demand{}}
-}
-
-// Capacity returns the ledger's per-domain totals.
-func (l *CapacityLedger) Capacity() Capacity { return l.capacity }
-
-// usedLocked sums the booked reservations (caller holds the lock).
-// Recomputing from the map instead of keeping a running total avoids
-// floating-point drift over long admit/release churn.
-func (l *CapacityLedger) usedLocked() Demand {
-	var used Demand
-	for _, d := range l.res {
-		used = used.Add(d)
-	}
-	return used
-}
-
-// Reserve books a new reservation for id. It fails (returning false)
-// when the demand does not fit the free capacity or the id already
-// holds a reservation.
-func (l *CapacityLedger) Reserve(id string, d Demand) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, dup := l.res[id]; dup {
-		return false
-	}
-	if !d.Fits(l.capacity.Free(l.usedLocked())) {
-		return false
-	}
-	l.res[id] = d
-	return true
-}
-
-// Update resizes an existing reservation. Shrinking always succeeds;
-// growing succeeds only when the extra demand fits the free capacity.
-func (l *CapacityLedger) Update(id string, d Demand) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	old, ok := l.res[id]
-	if !ok {
-		return false
-	}
-	next := l.usedLocked().Sub(old).Add(d)
-	if !next.Fits(Demand{RanPRB: l.capacity.RanPRB, TnMbps: l.capacity.TnMbps, CnCPU: l.capacity.CnCPU}) {
-		return false
-	}
-	l.res[id] = d
-	return true
-}
-
-// Release frees id's reservation, returning the freed demand (zero when
-// the id held none).
-func (l *CapacityLedger) Release(id string) Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	d, ok := l.res[id]
-	if !ok {
-		return Demand{}
-	}
-	delete(l.res, id)
-	return d
-}
-
-// Reserved returns id's current reservation.
-func (l *CapacityLedger) Reserved(id string) (Demand, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	d, ok := l.res[id]
-	return d, ok
-}
-
-// Used returns the total booked demand.
-func (l *CapacityLedger) Used() Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.usedLocked()
-}
-
-// Free returns the per-domain headroom.
-func (l *CapacityLedger) Free() Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.capacity.Free(l.usedLocked())
-}
-
-// Fits reports whether a new demand would fit the free capacity right
-// now (advisory: book with Reserve).
-func (l *CapacityLedger) Fits(d Demand) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return d.Fits(l.capacity.Free(l.usedLocked()))
-}
-
-// Utilization returns the per-domain used fraction.
-func (l *CapacityLedger) Utilization() Utilization {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.capacity.Utilization(l.usedLocked())
-}
-
-// Count returns how many reservations the ledger holds.
-func (l *CapacityLedger) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.res)
 }
 
 // ConfineDemand returns cfg with its demand-bearing dimensions clamped

@@ -1,0 +1,384 @@
+package slicing
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file generalizes the fleet control plane's capacity vocabulary
+// from one aggregated pool per domain to a multi-site topology: each
+// cell/edge site owns its local RAN capacity (the PRBs of its cells),
+// while transport bandwidth and edge compute are regional tiers every
+// site shares. The TopologyLedger below books one reservation per
+// admitted slice against (host site RAN, shared TN, shared CN); the
+// single-pool CapacityLedger of the pre-topology control plane is the
+// one-site special case and survives as an alias.
+
+// SiteID identifies one cell/edge site of a multi-site infrastructure.
+// The empty SiteID addresses the ledger's default (first) site, which
+// is what keeps the single-pool API working unchanged.
+type SiteID string
+
+// DefaultSite is the site a single-pool ledger books against.
+const DefaultSite SiteID = "site-0"
+
+// SiteCapacity is one site's local RAN capacity: the uplink plus
+// downlink PRBs its cells offer.
+type SiteCapacity struct {
+	ID     SiteID
+	RanPRB float64
+}
+
+// TopologyCapacity describes a multi-site infrastructure: per-site RAN
+// capacity plus the regionally shared transport-bandwidth and
+// edge-compute tiers.
+type TopologyCapacity struct {
+	Sites  []SiteCapacity
+	TnMbps float64
+	CnCPU  float64
+}
+
+// SingleSite wraps an aggregated per-domain capacity as a one-site
+// topology (the pre-topology model).
+func SingleSite(c Capacity) TopologyCapacity {
+	return TopologyCapacity{
+		Sites:  []SiteCapacity{{ID: DefaultSite, RanPRB: c.RanPRB}},
+		TnMbps: c.TnMbps,
+		CnCPU:  c.CnCPU,
+	}
+}
+
+// Total returns the aggregated per-domain capacity: the sum of every
+// site's RAN plus the shared tiers.
+func (tc TopologyCapacity) Total() Capacity {
+	out := Capacity{TnMbps: tc.TnMbps, CnCPU: tc.CnCPU}
+	for _, s := range tc.Sites {
+		out.RanPRB += s.RanPRB
+	}
+	return out
+}
+
+// SiteUtilization is one site's reserved state: the local RAN used
+// fraction and how many reservations the site hosts.
+type SiteUtilization struct {
+	Site  SiteID
+	RAN   float64
+	Count int
+}
+
+// reservation is one booked slice: its host site and demand.
+type reservation struct {
+	site SiteID
+	d    Demand
+}
+
+// TopologyLedger is the concurrency-safe reservation book of a
+// multi-site infrastructure: one reservation per admitted slice,
+// booked against its host site's RAN capacity and the shared
+// transport/compute tiers. All mutating operations are atomic — a
+// reservation either fits entirely (site RAN and both shared tiers)
+// and books, or leaves the ledger untouched — so concurrent admissions
+// cannot overbook any tier. A one-site ledger behaves exactly like the
+// historical single-pool CapacityLedger.
+type TopologyLedger struct {
+	topo TopologyCapacity
+	idx  map[SiteID]int
+
+	mu  sync.Mutex
+	res map[string]reservation
+	// ids holds the reservation keys in booking order. Sums always
+	// iterate this slice, never the map: float addition is not
+	// associative, so map-order summation would make "identical" runs
+	// differ by ULPs — the bit-identical replay guarantee depends on a
+	// deterministic summation order.
+	ids []string
+}
+
+// CapacityLedger is the single-pool special case of the TopologyLedger:
+// one site owning all RAN, shared tiers equal to the pool's TN/CN.
+type CapacityLedger = TopologyLedger
+
+// NewTopologyLedger builds an empty ledger over the given topology. It
+// panics on an empty site list or duplicate site ids — topology
+// construction is deterministic configuration, not runtime input.
+func NewTopologyLedger(topo TopologyCapacity) *TopologyLedger {
+	if len(topo.Sites) == 0 {
+		panic("slicing: topology ledger needs at least one site")
+	}
+	topo.Sites = append([]SiteCapacity(nil), topo.Sites...)
+	idx := make(map[SiteID]int, len(topo.Sites))
+	for i, s := range topo.Sites {
+		if _, dup := idx[s.ID]; dup {
+			panic(fmt.Sprintf("slicing: duplicate site id %q", s.ID))
+		}
+		idx[s.ID] = i
+	}
+	return &TopologyLedger{topo: topo, idx: idx, res: map[string]reservation{}}
+}
+
+// NewCapacityLedger builds a single-pool ledger over the given
+// aggregated capacity (one default site owning all RAN).
+func NewCapacityLedger(capacity Capacity) *CapacityLedger {
+	return NewTopologyLedger(SingleSite(capacity))
+}
+
+// Capacity returns the aggregated per-domain totals.
+func (l *TopologyLedger) Capacity() Capacity { return l.topo.Total() }
+
+// Topology returns the ledger's site/tier description.
+func (l *TopologyLedger) Topology() TopologyCapacity {
+	out := l.topo
+	out.Sites = append([]SiteCapacity(nil), l.topo.Sites...)
+	return out
+}
+
+// Sites returns the site ids in topology order.
+func (l *TopologyLedger) Sites() []SiteID {
+	out := make([]SiteID, len(l.topo.Sites))
+	for i, s := range l.topo.Sites {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// site resolves a SiteID ("" = default site) to its index, or -1.
+func (l *TopologyLedger) site(id SiteID) int {
+	if id == "" {
+		return 0
+	}
+	if i, ok := l.idx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// usedLocked sums the booked reservations: the aggregate demand plus
+// the per-site RAN breakdown (caller holds the lock). Recomputing from
+// the map instead of keeping running totals avoids floating-point
+// drift over long admit/release churn.
+func (l *TopologyLedger) usedLocked() (Demand, []float64) {
+	var used Demand
+	perSite := make([]float64, len(l.topo.Sites))
+	for _, id := range l.ids {
+		r := l.res[id]
+		used = used.Add(r.d)
+		if i := l.site(r.site); i >= 0 {
+			perSite[i] += r.d.RanPRB
+		}
+	}
+	return used, perSite
+}
+
+// freeAtLocked returns the headroom a reservation at site i sees: the
+// site's local RAN free plus the shared-tier free (caller holds the
+// lock).
+func (l *TopologyLedger) freeAtLocked(i int, used Demand, perSite []float64) Demand {
+	return Demand{
+		RanPRB: l.topo.Sites[i].RanPRB - perSite[i],
+		TnMbps: l.topo.TnMbps - used.TnMbps,
+		CnCPU:  l.topo.CnCPU - used.CnCPU,
+	}
+}
+
+// ReserveAt books a new reservation for id at the given site ("" =
+// default site). It fails when the site is unknown, the id already
+// holds a reservation, or the demand does not fit the site's free RAN
+// plus the shared tiers.
+func (l *TopologyLedger) ReserveAt(site SiteID, id string, d Demand) bool {
+	i := l.site(site)
+	if i < 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.res[id]; dup {
+		return false
+	}
+	used, perSite := l.usedLocked()
+	if !d.Fits(l.freeAtLocked(i, used, perSite)) {
+		return false
+	}
+	l.res[id] = reservation{site: l.topo.Sites[i].ID, d: d}
+	l.ids = append(l.ids, id)
+	return true
+}
+
+// Reserve books a new reservation for id at the default site — the
+// single-pool API.
+func (l *TopologyLedger) Reserve(id string, d Demand) bool {
+	return l.ReserveAt("", id, d)
+}
+
+// Update resizes an existing reservation in place at its host site.
+// Shrinking always succeeds; growing succeeds only when the extra
+// demand fits the site's RAN and the shared tiers.
+func (l *TopologyLedger) Update(id string, d Demand) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old, ok := l.res[id]
+	if !ok {
+		return false
+	}
+	i := l.site(old.site)
+	if i < 0 {
+		return false
+	}
+	used, perSite := l.usedLocked()
+	free := l.freeAtLocked(i, used, perSite).Add(old.d)
+	if !d.Fits(free) {
+		return false
+	}
+	l.res[id] = reservation{site: old.site, d: d}
+	return true
+}
+
+// Release frees id's reservation, returning the freed demand (zero when
+// the id held none).
+func (l *TopologyLedger) Release(id string) Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.res[id]
+	if !ok {
+		return Demand{}
+	}
+	delete(l.res, id)
+	for i, v := range l.ids {
+		if v == id {
+			l.ids = append(l.ids[:i], l.ids[i+1:]...)
+			break
+		}
+	}
+	return r.d
+}
+
+// Reserved returns id's current reservation.
+func (l *TopologyLedger) Reserved(id string) (Demand, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.res[id]
+	return r.d, ok
+}
+
+// SiteOf returns the site hosting id's reservation.
+func (l *TopologyLedger) SiteOf(id string) (SiteID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.res[id]
+	return r.site, ok
+}
+
+// Used returns the total booked demand across every site.
+func (l *TopologyLedger) Used() Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, _ := l.usedLocked()
+	return used
+}
+
+// Free returns the aggregate per-domain headroom (total capacity minus
+// total booked demand). Multi-site callers deciding placement should
+// use FreeAt — aggregate RAN headroom may be fragmented across sites.
+func (l *TopologyLedger) Free() Demand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, _ := l.usedLocked()
+	return l.topo.Total().Free(used)
+}
+
+// FreeAt returns the headroom a reservation at the given site sees:
+// its local RAN free plus the shared-tier free ("" = default site; a
+// zero Demand for unknown sites).
+func (l *TopologyLedger) FreeAt(site SiteID) Demand {
+	i := l.site(site)
+	if i < 0 {
+		return Demand{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, perSite := l.usedLocked()
+	return l.freeAtLocked(i, used, perSite)
+}
+
+// SiteFree is one site's headroom in a FreeAllSites snapshot.
+type SiteFree struct {
+	Site SiteID
+	Free Demand
+}
+
+// FreeAllSites returns every site's headroom (local RAN free plus the
+// shared-tier free) under a single lock, in topology order — one
+// consistent snapshot for placement scoring, instead of S separately
+// locked O(reservations) summations.
+func (l *TopologyLedger) FreeAllSites() []SiteFree {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, perSite := l.usedLocked()
+	out := make([]SiteFree, len(l.topo.Sites))
+	for i, s := range l.topo.Sites {
+		out[i] = SiteFree{Site: s.ID, Free: l.freeAtLocked(i, used, perSite)}
+	}
+	return out
+}
+
+// FitsAt reports whether a new demand would fit at the given site right
+// now (advisory: book with ReserveAt).
+func (l *TopologyLedger) FitsAt(site SiteID, d Demand) bool {
+	i := l.site(site)
+	if i < 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, perSite := l.usedLocked()
+	return d.Fits(l.freeAtLocked(i, used, perSite))
+}
+
+// Fits reports whether a new demand would fit at some site right now
+// (for a single-pool ledger: the historical aggregate check).
+func (l *TopologyLedger) Fits(d Demand) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, perSite := l.usedLocked()
+	for i := range l.topo.Sites {
+		if d.Fits(l.freeAtLocked(i, used, perSite)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the aggregate per-domain used fraction.
+func (l *TopologyLedger) Utilization() Utilization {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, _ := l.usedLocked()
+	return l.topo.Total().Utilization(used)
+}
+
+// SiteUtilizations returns every site's local RAN used fraction and
+// reservation count, in topology order.
+func (l *TopologyLedger) SiteUtilizations() []SiteUtilization {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, perSite := l.usedLocked()
+	out := make([]SiteUtilization, len(l.topo.Sites))
+	for i, s := range l.topo.Sites {
+		out[i] = SiteUtilization{Site: s.ID}
+		if s.RanPRB > 0 {
+			out[i].RAN = perSite[i] / s.RanPRB
+		}
+	}
+	for _, id := range l.ids {
+		if i := l.site(l.res[id].site); i >= 0 {
+			out[i].Count++
+		}
+	}
+	return out
+}
+
+// Count returns how many reservations the ledger holds.
+func (l *TopologyLedger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.res)
+}

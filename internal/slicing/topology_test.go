@@ -1,0 +1,101 @@
+package slicing
+
+import "testing"
+
+// twoSite builds the canonical test topology: site A with 100 local
+// PRBs, site B with 50, sharing 100 Mbps transport and 1 CPU.
+func twoSite() *TopologyLedger {
+	return NewTopologyLedger(TopologyCapacity{
+		Sites:  []SiteCapacity{{ID: "A", RanPRB: 100}, {ID: "B", RanPRB: 50}},
+		TnMbps: 100,
+		CnCPU:  1,
+	})
+}
+
+func TestTopologyLedgerSiteLocalRAN(t *testing.T) {
+	l := twoSite()
+	if got := l.Capacity(); got != (Capacity{RanPRB: 150, TnMbps: 100, CnCPU: 1}) {
+		t.Fatalf("aggregate capacity = %v", got)
+	}
+	big := Demand{RanPRB: 80, TnMbps: 10, CnCPU: 0.1}
+	if !l.ReserveAt("A", "a", big) {
+		t.Fatal("fitting reservation at A rejected")
+	}
+	// RAN is site-local: B has 50 PRBs free, not the aggregate 70.
+	if l.ReserveAt("B", "b", big) {
+		t.Fatal("80 PRBs booked against B's 50-PRB local RAN")
+	}
+	if !l.FitsAt("B", Demand{RanPRB: 50}) || l.FitsAt("B", Demand{RanPRB: 51}) {
+		t.Fatalf("B free RAN = %v, want exactly 50", l.FreeAt("B").RanPRB)
+	}
+	// Fits reports placement feasibility: 80 PRBs fit nowhere now
+	// (A has 20 local free, B has 50), though 70 are free in aggregate.
+	if l.Fits(Demand{RanPRB: 80}) {
+		t.Fatal("Fits accepted a demand no single site can host")
+	}
+	if !l.Fits(Demand{RanPRB: 50}) {
+		t.Fatal("Fits rejected a demand B can host")
+	}
+	if site, ok := l.SiteOf("a"); !ok || site != "A" {
+		t.Fatalf("SiteOf(a) = %q, %v", site, ok)
+	}
+}
+
+func TestTopologyLedgerSharedTiers(t *testing.T) {
+	l := twoSite()
+	if !l.ReserveAt("A", "a", Demand{RanPRB: 10, TnMbps: 70, CnCPU: 0.2}) {
+		t.Fatal("first reservation rejected")
+	}
+	// Transport is regional: A's booking squeezes B's headroom too.
+	if free := l.FreeAt("B"); free.TnMbps != 30 || free.RanPRB != 50 {
+		t.Fatalf("FreeAt(B) = %v, want tn=30 ran=50", free)
+	}
+	if l.ReserveAt("B", "b", Demand{RanPRB: 10, TnMbps: 40, CnCPU: 0.1}) {
+		t.Fatal("shared transport overbooked across sites")
+	}
+	if !l.ReserveAt("B", "b", Demand{RanPRB: 10, TnMbps: 30, CnCPU: 0.1}) {
+		t.Fatal("fitting cross-site reservation rejected")
+	}
+	// Update stays at the host site and respects both tiers.
+	if l.Update("b", Demand{RanPRB: 60, TnMbps: 10, CnCPU: 0.1}) {
+		t.Fatal("update grew past B's local RAN")
+	}
+	if !l.Update("b", Demand{RanPRB: 50, TnMbps: 10, CnCPU: 0.1}) {
+		t.Fatal("fitting update rejected")
+	}
+	if site, _ := l.SiteOf("b"); site != "B" {
+		t.Fatalf("update moved b to %q", site)
+	}
+	us := l.SiteUtilizations()
+	if len(us) != 2 || us[0].Site != "A" || us[1].Site != "B" {
+		t.Fatalf("site utilizations = %+v", us)
+	}
+	if us[0].RAN != 0.1 || us[1].RAN != 1.0 || us[0].Count != 1 || us[1].Count != 1 {
+		t.Fatalf("site utilizations = %+v", us)
+	}
+	if freed := l.Release("b"); freed.RanPRB != 50 {
+		t.Fatalf("release freed %v", freed)
+	}
+	if _, ok := l.SiteOf("b"); ok {
+		t.Fatal("released id still sited")
+	}
+}
+
+func TestTopologyLedgerDefaultSiteCompat(t *testing.T) {
+	// The single-pool constructor behaves exactly like the historical
+	// CapacityLedger: Reserve books at the default site.
+	l := NewCapacityLedger(CellCapacity(1))
+	if !l.Reserve("a", Demand{RanPRB: 80, TnMbps: 70, CnCPU: 0.8}) {
+		t.Fatal("single-pool reserve rejected")
+	}
+	if site, _ := l.SiteOf("a"); site != DefaultSite {
+		t.Fatalf("single-pool reservation sited at %q", site)
+	}
+	if got, want := l.FreeAt(""), l.Free(); got != want {
+		t.Fatalf("FreeAt(\"\") = %v, Free() = %v", got, want)
+	}
+	// Unknown sites never fit and report no headroom.
+	if l.ReserveAt("ghost", "b", Demand{RanPRB: 1}) || l.FitsAt("ghost", Demand{}) {
+		t.Fatal("unknown site accepted a reservation")
+	}
+}

@@ -1,0 +1,171 @@
+package topology
+
+import "github.com/atlas-slicing/atlas/internal/slicing"
+
+// Request is one arrival's placement input: the envelope demand the
+// admission would reserve, the arrival's home site, and its economics
+// (value-aware policies may use them; the built-ins don't need to).
+type Request struct {
+	ID     string
+	Demand slicing.Demand
+	// Home is the arrival's home cell — where its users attach.
+	Home slicing.SiteID
+	// Value and PredictedQoE mirror the admission context.
+	Value        float64
+	PredictedQoE float64
+}
+
+// Policy picks the host site for an arrival before the admission
+// pipeline runs against that site's ledger. Implementations must be
+// deterministic pure functions of (graph, ledger state, request) — the
+// control plane's bit-identical replay depends on it.
+//
+// Place always returns a target site: when fits is false the demand
+// does not currently fit there, but the site is still the policy's
+// arbitration target — the admission pipeline may downscale that
+// site's elastic tenants and retry.
+//
+// Every built-in scores one FreeAllSites snapshot: a single lock, one
+// summation of the reservation book, and an atomic view across sites.
+type Policy interface {
+	Name() string
+	Place(g *Graph, led *slicing.TopologyLedger, req Request) (site slicing.SiteID, fits bool)
+}
+
+// freest returns the snapshot's site with the most free local RAN, in
+// snapshot (topology) order on ties — the shared fallback arbitration
+// target when nothing fits.
+func freest(frees []slicing.SiteFree) slicing.SiteID {
+	best, bestFree := frees[0].Site, -1.0
+	for _, f := range frees {
+		if f.Free.RanPRB > bestFree {
+			best, bestFree = f.Site, f.Free.RanPRB
+		}
+	}
+	return best
+}
+
+// FirstFit places at the first site in graph order where the demand
+// fits — the packing baseline that fills early sites regardless of
+// where the arrival's users actually are.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Policy.
+func (FirstFit) Place(g *Graph, led *slicing.TopologyLedger, req Request) (slicing.SiteID, bool) {
+	frees := led.FreeAllSites()
+	for _, f := range frees {
+		if req.Demand.Fits(f.Free) {
+			return f.Site, true
+		}
+	}
+	return freest(frees), false
+}
+
+// BestFit is the bin-packing policy: among fitting sites it picks the
+// one whose local RAN headroom after placement would be smallest,
+// keeping large contiguous headroom free for bulky future arrivals.
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Place implements Policy.
+func (BestFit) Place(g *Graph, led *slicing.TopologyLedger, req Request) (slicing.SiteID, bool) {
+	frees := led.FreeAllSites()
+	best, bestLeft := slicing.SiteID(""), -1.0
+	for _, f := range frees {
+		if !req.Demand.Fits(f.Free) {
+			continue
+		}
+		left := f.Free.RanPRB - req.Demand.RanPRB
+		if best == "" || left < bestLeft {
+			best, bestLeft = f.Site, left
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	return freest(frees), false
+}
+
+// Spread is the fault-isolation policy: among fitting sites it picks
+// the one with the most free local RAN, balancing load so no single
+// site failure takes out a disproportionate share of the fleet.
+type Spread struct{}
+
+// Name implements Policy.
+func (Spread) Name() string { return "spread" }
+
+// Place implements Policy.
+func (Spread) Place(g *Graph, led *slicing.TopologyLedger, req Request) (slicing.SiteID, bool) {
+	frees := led.FreeAllSites()
+	best, bestFree := slicing.SiteID(""), -1.0
+	for _, f := range frees {
+		if !req.Demand.Fits(f.Free) {
+			continue
+		}
+		if f.Free.RanPRB > bestFree {
+			best, bestFree = f.Site, f.Free.RanPRB
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	return freest(frees), false
+}
+
+// Locality is the locality-aware scoring policy: among fitting sites
+// it prefers the arrival's home cell, then the fewest transport hops
+// from home (each hop costs delivered QoE — see Graph.QoEFactor), and
+// breaks hop ties toward the freest site so nearby load stays
+// balanced. When nothing fits it targets the home site, so site-local
+// arbitration frees capacity where the arrival's users actually are.
+type Locality struct{}
+
+// Name implements Policy.
+func (Locality) Name() string { return "locality" }
+
+// Place implements Policy.
+func (Locality) Place(g *Graph, led *slicing.TopologyLedger, req Request) (slicing.SiteID, bool) {
+	frees := led.FreeAllSites()
+	best, bestHops, bestFree := slicing.SiteID(""), 0, 0.0
+	for _, f := range frees {
+		if !req.Demand.Fits(f.Free) {
+			continue
+		}
+		hops := g.Hops(req.Home, f.Site)
+		if best == "" || hops < bestHops || (hops == bestHops && f.Free.RanPRB > bestFree) {
+			best, bestHops, bestFree = f.Site, hops, f.Free.RanPRB
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	if i := g.siteIdx(req.Home); i >= 0 {
+		return g.Sites[i].ID, false
+	}
+	return freest(frees), false
+}
+
+// PolicyByName resolves a placement policy from its CLI name.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "first-fit":
+		return FirstFit{}, true
+	case "best-fit":
+		return BestFit{}, true
+	case "spread":
+		return Spread{}, true
+	case "locality":
+		return Locality{}, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the registered placement policies.
+func PolicyNames() []string {
+	return []string{"first-fit", "best-fit", "spread", "locality"}
+}

@@ -1,0 +1,319 @@
+// Package topology models the multi-cell infrastructure the fleet
+// control plane places slices onto: a deterministic graph of cell/edge
+// sites, each owning its local RAN capacity (the PRBs of its cells),
+// joined by transport links and sharing regional transport-bandwidth
+// and edge-compute tiers. Placement — which site hosts an arriving
+// slice — is a first-class decision ahead of admission (see
+// placement.go): the slice-creation literature treats instantiation
+// location as part of the creation phase, and a single aggregated pool
+// overstates what a placed fleet can achieve because RAN headroom
+// fragments across sites. Hosting a slice away from its home site
+// costs delivered QoE per transport hop (QoEFactor), which is what
+// makes locality-aware placement earn more QoE-weighted value than
+// blind packing at equal total capacity.
+package topology
+
+import (
+	"fmt"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// DefaultHopPenalty is the per-hop delivered-QoE multiplier penalty
+// for hosting a slice away from its home site: each transport hop
+// between home and host costs this fraction of delivered QoE.
+const DefaultHopPenalty = 0.1
+
+// Site is one cell/edge site of the infrastructure graph.
+type Site struct {
+	ID slicing.SiteID
+	// Cells is the site's RAN size in prototype cells: each cell offers
+	// one full configuration space of uplink+downlink PRBs.
+	Cells float64
+}
+
+// Link is an undirected transport adjacency between two sites.
+type Link struct {
+	A, B slicing.SiteID
+}
+
+// Graph is a deterministic cell/edge-site graph: sites with local RAN
+// capacity, transport links between them, and the shared regional
+// tiers. Build one with New (or the Grid/Hotspot/Ring constructors)
+// and hand its ledger to the admission pipeline.
+type Graph struct {
+	Name  string
+	Sites []Site
+	Links []Link
+	// SharedTnMbps and SharedCnCPU are the regional transport and edge
+	// compute tiers every site shares.
+	SharedTnMbps float64
+	SharedCnCPU  float64
+	// HopPenalty is the per-hop delivered-QoE penalty of non-home
+	// placement (see QoEFactor).
+	HopPenalty float64
+
+	idx  map[slicing.SiteID]int
+	hops [][]int
+}
+
+// New validates and finishes a graph: site ids must be unique and
+// non-empty, links must reference known sites, and the all-pairs hop
+// distances are precomputed (unreachable pairs count as len(Sites)
+// hops — "far", but still finite so QoEFactor stays defined).
+func New(name string, sites []Site, links []Link, tnMbps, cnCPU, hopPenalty float64) (*Graph, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("topology: graph %q has no sites", name)
+	}
+	if hopPenalty < 0 || hopPenalty >= 1 {
+		return nil, fmt.Errorf("topology: graph %q hop penalty %v outside [0, 1)", name, hopPenalty)
+	}
+	g := &Graph{
+		Name:         name,
+		Sites:        append([]Site(nil), sites...),
+		Links:        append([]Link(nil), links...),
+		SharedTnMbps: tnMbps,
+		SharedCnCPU:  cnCPU,
+		HopPenalty:   hopPenalty,
+		idx:          make(map[slicing.SiteID]int, len(sites)),
+	}
+	for i, s := range g.Sites {
+		if s.ID == "" {
+			return nil, fmt.Errorf("topology: graph %q site %d has an empty id", name, i)
+		}
+		if s.Cells <= 0 {
+			return nil, fmt.Errorf("topology: graph %q site %q has %v cells", name, s.ID, s.Cells)
+		}
+		if _, dup := g.idx[s.ID]; dup {
+			return nil, fmt.Errorf("topology: graph %q duplicate site id %q", name, s.ID)
+		}
+		g.idx[s.ID] = i
+	}
+	adj := make([][]int, len(g.Sites))
+	for _, l := range g.Links {
+		a, aok := g.idx[l.A]
+		b, bok := g.idx[l.B]
+		if !aok || !bok {
+			return nil, fmt.Errorf("topology: graph %q link %q-%q references an unknown site", name, l.A, l.B)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	// All-pairs BFS: graphs are a handful of sites, so O(n·(n+e)) is
+	// free and the placement hot path never searches.
+	far := len(g.Sites)
+	g.hops = make([][]int, len(g.Sites))
+	for s := range g.Sites {
+		dist := make([]int, len(g.Sites))
+		for i := range dist {
+			dist[i] = far
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] > dist[u]+1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		g.hops[s] = dist
+	}
+	return g, nil
+}
+
+// MustNew is New for static topology catalogs, panicking on invalid
+// construction.
+func MustNew(name string, sites []Site, links []Link, tnMbps, cnCPU, hopPenalty float64) *Graph {
+	g, err := New(name, sites, links, tnMbps, cnCPU, hopPenalty)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TotalCells sums the sites' RAN sizes.
+func (g *Graph) TotalCells() float64 {
+	var total float64
+	for _, s := range g.Sites {
+		total += s.Cells
+	}
+	return total
+}
+
+// SiteIDs returns the site ids in graph order.
+func (g *Graph) SiteIDs() []slicing.SiteID {
+	out := make([]slicing.SiteID, len(g.Sites))
+	for i, s := range g.Sites {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// cellRanPRB is the RAN PRB budget of one prototype cell (one full
+// configuration space of uplink plus downlink PRBs).
+func cellRanPRB() float64 {
+	maxc := slicing.DefaultConfigSpace().Max
+	return maxc.BandwidthUL + maxc.BandwidthDL
+}
+
+// Capacity returns the graph as a ledger topology: each site's cells
+// converted to local RAN PRBs, the shared tiers passed through.
+func (g *Graph) Capacity() slicing.TopologyCapacity {
+	prb := cellRanPRB()
+	tc := slicing.TopologyCapacity{TnMbps: g.SharedTnMbps, CnCPU: g.SharedCnCPU}
+	for _, s := range g.Sites {
+		tc.Sites = append(tc.Sites, slicing.SiteCapacity{ID: s.ID, RanPRB: s.Cells * prb})
+	}
+	return tc
+}
+
+// TotalCapacity returns the aggregated per-domain capacity — what an
+// equal-capacity single-pool comparison runs against.
+func (g *Graph) TotalCapacity() slicing.Capacity { return g.Capacity().Total() }
+
+// NewLedger builds an empty reservation ledger over the graph.
+func (g *Graph) NewLedger() *slicing.TopologyLedger {
+	return slicing.NewTopologyLedger(g.Capacity())
+}
+
+// Hops returns the transport hop distance between two sites ("" =
+// first site; unknown sites count as far).
+func (g *Graph) Hops(a, b slicing.SiteID) int {
+	ai, bi := g.siteIdx(a), g.siteIdx(b)
+	if ai < 0 || bi < 0 {
+		return len(g.Sites)
+	}
+	return g.hops[ai][bi]
+}
+
+// QoEFactor is the delivered-QoE multiplier of hosting a slice with
+// the given home at the given host site: 1 at home, reduced by
+// HopPenalty per transport hop, floored at zero.
+func (g *Graph) QoEFactor(home, host slicing.SiteID) float64 {
+	f := 1 - g.HopPenalty*float64(g.Hops(home, host))
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// siteIdx resolves a SiteID ("" = first site) to its index, or -1.
+func (g *Graph) siteIdx(id slicing.SiteID) int {
+	if id == "" {
+		return 0
+	}
+	if i, ok := g.idx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// sharedTiers sizes the regional transport/compute tiers to the total
+// cell count — the same per-cell budgets slicing.CellCapacity uses, so
+// a graph of c total cells aggregates to exactly CellCapacity(c).
+func sharedTiers(totalCells float64) (tnMbps, cnCPU float64) {
+	maxc := slicing.DefaultConfigSpace().Max
+	return totalCells * maxc.BackhaulMbps, totalCells * maxc.CPURatio
+}
+
+// Grid builds a rows x cols lattice of uniform sites (4-neighbor
+// adjacency), cellsPerSite cells each, with shared tiers sized to the
+// total cell count. Site ids are "r<row>c<col>".
+func Grid(name string, rows, cols int, cellsPerSite float64) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: grid %dx%d invalid", rows, cols)
+	}
+	var sites []Site
+	var links []Link
+	id := func(r, c int) slicing.SiteID {
+		return slicing.SiteID(fmt.Sprintf("r%dc%d", r, c))
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sites = append(sites, Site{ID: id(r, c), Cells: cellsPerSite})
+			if r > 0 {
+				links = append(links, Link{A: id(r-1, c), B: id(r, c)})
+			}
+			if c > 0 {
+				links = append(links, Link{A: id(r, c-1), B: id(r, c)})
+			}
+		}
+	}
+	tn, cn := sharedTiers(cellsPerSite * float64(rows*cols))
+	return New(name, sites, links, tn, cn, DefaultHopPenalty)
+}
+
+// GridN builds a near-square lattice with exactly sites sites: rows =
+// floor(sqrt(sites)) full rows of ceil(sites/rows) columns, the last
+// row partial when the count is not rectangular. Every site keeps its
+// existing 4-neighbor links, so capacity scales exactly with the
+// requested count instead of rounding up to a full rectangle.
+func GridN(name string, sites int, cellsPerSite float64) (*Graph, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("topology: grid needs >= 1 site, got %d", sites)
+	}
+	rows := 1
+	for (rows+1)*(rows+1) <= sites {
+		rows++
+	}
+	cols := (sites + rows - 1) / rows
+	var out []Site
+	var links []Link
+	id := func(r, c int) slicing.SiteID {
+		return slicing.SiteID(fmt.Sprintf("r%dc%d", r, c))
+	}
+	for i := 0; i < sites; i++ {
+		r, c := i/cols, i%cols
+		out = append(out, Site{ID: id(r, c), Cells: cellsPerSite})
+		if r > 0 {
+			links = append(links, Link{A: id(r-1, c), B: id(r, c)})
+		}
+		if c > 0 {
+			links = append(links, Link{A: id(r, c-1), B: id(r, c)})
+		}
+	}
+	tn, cn := sharedTiers(cellsPerSite * float64(sites))
+	return New(name, out, links, tn, cn, DefaultHopPenalty)
+}
+
+// Hotspot builds a star: one hot center site with hotCells, sites-1
+// leaves with coldCells each, every leaf linked to the center (leaf to
+// leaf is two hops). Shared tiers are sized to the total cell count.
+func Hotspot(name string, sites int, hotCells, coldCells float64) (*Graph, error) {
+	if sites < 2 {
+		return nil, fmt.Errorf("topology: hotspot needs >= 2 sites, got %d", sites)
+	}
+	out := []Site{{ID: "hot", Cells: hotCells}}
+	var links []Link
+	for i := 1; i < sites; i++ {
+		id := slicing.SiteID(fmt.Sprintf("cold-%d", i))
+		out = append(out, Site{ID: id, Cells: coldCells})
+		links = append(links, Link{A: "hot", B: id})
+	}
+	tn, cn := sharedTiers(hotCells + coldCells*float64(sites-1))
+	return New(name, out, links, tn, cn, DefaultHopPenalty)
+}
+
+// Ring builds a cycle of uniform sites with the shared compute tier
+// scaled by cnScale — cnScale < 1 models an edge-constrained region
+// where RAN is ample but the shared edge compute is the bottleneck.
+func Ring(name string, sites int, cellsPerSite, cnScale float64) (*Graph, error) {
+	if sites < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 sites, got %d", sites)
+	}
+	var out []Site
+	var links []Link
+	for i := 0; i < sites; i++ {
+		out = append(out, Site{ID: slicing.SiteID(fmt.Sprintf("edge-%d", i)), Cells: cellsPerSite})
+		if i > 0 {
+			links = append(links, Link{A: out[i-1].ID, B: out[i].ID})
+		}
+	}
+	links = append(links, Link{A: out[sites-1].ID, B: out[0].ID})
+	tn, cn := sharedTiers(cellsPerSite * float64(sites))
+	return New(name, out, links, tn, cn*cnScale, DefaultHopPenalty)
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := New("empty", nil, nil, 10, 1, 0.1); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := New("dup", []Site{{ID: "a", Cells: 1}, {ID: "a", Cells: 1}}, nil, 10, 1, 0.1); err == nil {
+		t.Fatal("duplicate site id accepted")
+	}
+	if _, err := New("badlink", []Site{{ID: "a", Cells: 1}}, []Link{{A: "a", B: "ghost"}}, 10, 1, 0.1); err == nil {
+		t.Fatal("dangling link accepted")
+	}
+	if _, err := New("badpen", []Site{{ID: "a", Cells: 1}}, nil, 10, 1, 1.5); err == nil {
+		t.Fatal("hop penalty >= 1 accepted")
+	}
+}
+
+func TestHopsAndQoEFactor(t *testing.T) {
+	g, err := Hotspot("h", 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Hops("hot", "cold-1"); got != 1 {
+		t.Fatalf("hot-cold hops = %d", got)
+	}
+	if got := g.Hops("cold-1", "cold-3"); got != 2 {
+		t.Fatalf("leaf-leaf hops = %d, want 2 (via the hub)", got)
+	}
+	if got := g.QoEFactor("cold-1", "cold-1"); got != 1 {
+		t.Fatalf("home factor = %v", got)
+	}
+	if got := g.QoEFactor("cold-1", "cold-3"); got != 1-2*DefaultHopPenalty {
+		t.Fatalf("2-hop factor = %v", got)
+	}
+	// Disconnected sites are "far" but the factor stays defined.
+	iso := MustNew("iso", []Site{{ID: "a", Cells: 1}, {ID: "b", Cells: 1}}, nil, 10, 1, 0.6)
+	if got := iso.Hops("a", "b"); got != 2 {
+		t.Fatalf("disconnected hops = %d, want len(sites)", got)
+	}
+	if got := iso.QoEFactor("a", "b"); got != 0 {
+		t.Fatalf("far factor = %v, want floored at 0", got)
+	}
+}
+
+func TestGridShapeAndAggregateCapacity(t *testing.T) {
+	g, err := Grid("g", 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sites) != 6 || g.TotalCells() != 6 {
+		t.Fatalf("grid sites = %d cells = %v", len(g.Sites), g.TotalCells())
+	}
+	// Corner-to-corner Manhattan distance on a 2x3 lattice.
+	if got := g.Hops("r0c0", "r1c2"); got != 3 {
+		t.Fatalf("corner hops = %d", got)
+	}
+	// A graph of c total cells aggregates to exactly CellCapacity(c),
+	// which is what keeps equal-total-capacity comparisons honest.
+	if got, want := g.TotalCapacity(), slicing.CellCapacity(6); got != want {
+		t.Fatalf("aggregate capacity %v != CellCapacity %v", got, want)
+	}
+	// GridN honors non-rectangular counts exactly: 5 sites = one full
+	// row of 3 plus a partial row of 2, still connected.
+	gn, err := GridN("gn", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gn.Sites) != 5 || gn.TotalCells() != 5 {
+		t.Fatalf("GridN(5) = %d sites, %v cells", len(gn.Sites), gn.TotalCells())
+	}
+	if got := gn.Hops("r0c2", "r1c0"); got != 3 {
+		t.Fatalf("partial-grid hops = %d, want 3", got)
+	}
+	// Edge-constrained ring: same RAN/transport, scaled-down compute.
+	r, err := Ring("r", 4, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := slicing.CellCapacity(4)
+	if got := r.TotalCapacity(); got.CnCPU != full.CnCPU*0.5 || got.RanPRB != full.RanPRB {
+		t.Fatalf("ring capacity = %v", got)
+	}
+}
+
+// placeReq is a fixed-size placement request for the policy tests.
+func placeReq(home slicing.SiteID, ran float64) Request {
+	return Request{ID: "req", Demand: slicing.Demand{RanPRB: ran, TnMbps: 5, CnCPU: 0.05}, Home: home}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	g := MustNew("p",
+		[]Site{{ID: "a", Cells: 1}, {ID: "b", Cells: 1}, {ID: "c", Cells: 1}},
+		[]Link{{A: "a", B: "b"}, {A: "b", B: "c"}},
+		300, 3, DefaultHopPenalty)
+	led := g.NewLedger()
+	// Pre-load: a is half full, b lightly loaded, c empty.
+	if !led.ReserveAt("a", "x", slicing.Demand{RanPRB: 50}) || !led.ReserveAt("b", "y", slicing.Demand{RanPRB: 20}) {
+		t.Fatal("setup reservations failed")
+	}
+
+	cases := []struct {
+		policy Policy
+		req    Request
+		want   slicing.SiteID
+		fits   bool
+	}{
+		// First-fit packs graph order: a still fits 40.
+		{FirstFit{}, placeReq("c", 40), "a", true},
+		// Best-fit picks the tightest bin: a leaves 10 free, b 40, c 60.
+		{BestFit{}, placeReq("c", 40), "a", true},
+		// Spread picks the freest site.
+		{Spread{}, placeReq("a", 40), "c", true},
+		// Locality prefers home while it fits...
+		{Locality{}, placeReq("b", 40), "b", true},
+		// ...falls to the nearest fitting neighbor when home is full...
+		{Locality{}, placeReq("a", 60), "b", true},
+		// ...and targets home for arbitration when nothing fits.
+		{Locality{}, placeReq("a", 120), "a", false},
+		// First-fit's arbitration target is the freest site.
+		{FirstFit{}, placeReq("a", 120), "c", false},
+	}
+	for _, tc := range cases {
+		site, fits := tc.policy.Place(g, led, tc.req)
+		if site != tc.want || fits != tc.fits {
+			t.Fatalf("%s.Place(home=%s ran=%v) = %s,%v want %s,%v",
+				tc.policy.Name(), tc.req.Home, tc.req.Demand.RanPRB, site, fits, tc.want, tc.fits)
+		}
+	}
+
+	// Every registered policy resolves by name and is deterministic.
+	for _, name := range PolicyNames() {
+		p, ok := PolicyByName(name)
+		if !ok || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
+		}
+		s1, f1 := p.Place(g, led, placeReq("b", 30))
+		s2, f2 := p.Place(g, led, placeReq("b", 30))
+		if s1 != s2 || f1 != f2 {
+			t.Fatalf("%s is not deterministic", name)
+		}
+	}
+}

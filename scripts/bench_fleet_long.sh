@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench_fleet_long.sh — the nightly long-horizon fleet profile: 1000+
+# control-plane epochs of sustained churn (hundreds of arrivals) at
+# smoke training budgets, tracking control-plane overhead and
+# steady-state acceptance. Gated behind the nightly schedule so PR CI
+# stays fast.
+#
+#	scripts/bench_fleet_long.sh                     # writes BENCH_nightly.json
+#	ATLAS_NIGHTLY_HORIZON=120 scripts/bench_fleet_long.sh  # local smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_nightly.json}"
+horizon="${ATLAS_NIGHTLY_HORIZON:-1000}"
+
+raw="$(ATLAS_NIGHTLY_HORIZON="$horizon" go test -run '^$' -bench '^BenchmarkFleetLongHorizon$' -benchtime 1x -timeout 120m .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v horizon="$horizon" '
+/^BenchmarkFleetLongHorizon/ {
+	ns = $3
+	for (i = 5; i + 1 <= NF; i += 2)
+		metric[$(i + 1)] = $i
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"fleet-long-horizon\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"fleet\": {\"scenario\": \"churn\", \"policy\": \"value-density\", \"horizon\": %s, \"capacity_cells\": 1.5, \"seed\": 42},\n", horizon
+	printf "  \"ns_per_run\": %s,\n", ns
+	printf "  \"arrivals\": %s,\n", metric["arrivals"] + 0
+	printf "  \"acceptance_ratio\": %s,\n", metric["acceptance_ratio"] + 0
+	printf "  \"qoe_weighted_value\": %s,\n", metric["qoe_value"] + 0
+	printf "  \"downscales\": %s,\n", metric["downscales"] + 0
+	printf "  \"peak_util\": %s\n", metric["peak_util"] + 0
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+# Guardrails: sustained churn must keep the control-plane invariants.
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out" "$horizon" <<'EOF'
+import json, math, sys
+snap = json.load(open(sys.argv[1]))
+horizon = int(sys.argv[2])
+ar = snap["acceptance_ratio"]
+assert not math.isnan(ar) and 0 < ar <= 1, f"acceptance ratio {ar} invalid"
+assert snap["peak_util"] <= 1.0 + 1e-9, f"utilization {snap['peak_util']} exceeds capacity"
+# ~0.36 arrivals/epoch on the churn scenario: a full-length nightly run
+# must see hundreds of arrivals (scaled-down smoke runs proportionally).
+assert snap["arrivals"] >= 0.2 * horizon, \
+    f"only {snap['arrivals']} arrivals over {horizon} epochs"
+assert snap["qoe_weighted_value"] > 0, "no value earned under sustained churn"
+print(f"ok: {snap['arrivals']:.0f} arrivals, acceptance {ar:.3f}, "
+      f"peak util {snap['peak_util']:.3f}, {snap['ns_per_run']/1e9:.1f}s/run")
+EOF
+fi

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench_topology.sh — run the churn fleet over the hotspot-cell site
+# graph under every placement policy at equal total capacity and emit
+# a JSON snapshot of the placement metrics.
+#
+#	scripts/bench_topology.sh              # writes BENCH_5.json
+#	scripts/bench_topology.sh out.json     # custom output path
+#	BENCHTIME=1x scripts/bench_topology.sh # CI smoke budget
+#
+# The snapshot records, per placement policy: placement success ratio,
+# QoE-weighted value (sum of value x locality-discounted QoE over
+# served slice-epochs), acceptance ratio, peak per-site reserved RAN
+# utilization, and inter-site RAN imbalance. Guardrails assert the
+# subsystem's invariants: the placement ratio is a real number in
+# [0, 1], no site's reserved RAN ever exceeds its local capacity, and
+# the locality-aware policy beats first-fit packing on QoE-weighted
+# value. A determinism gate reruns the topology fleet across worker
+# counts and fails on any bit difference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+benchtime="${BENCHTIME:-1x}"
+pattern='^BenchmarkTopologyPlace(FirstFit|BestFit|Spread|Locality)$'
+
+# Bit-identical across -workers with topology enabled: the dedicated
+# determinism test compares worker counts 1 and 4 via reflect.DeepEqual
+# over the full result (placements, site stats, imbalance, value).
+go test -run '^TestFleetTopologyDeterministicAcrossWorkers$' ./internal/fleet/
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)"
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkTopologyPlace/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	# Custom metrics follow the "ns/op" unit as "value unit" pairs.
+	for (i = 5; i + 1 <= NF; i += 2)
+		metric[name, $(i + 1)] = $i
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"topology-placement\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"fleet\": {\"scenario\": \"churn\", \"topology\": \"hotspot-cell\", \"sites\": 5, \"horizon\": 60, \"seed\": 42},\n"
+	printf "  \"placements\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"placement_ratio\": %s, \"qoe_weighted_value\": %s, \"acceptance_ratio\": %s, \"peak_site_util\": %s, \"imbalance\": %s}%s\n", \
+			name, iters[name], ns[name], \
+			metric[name, "placement_ratio"] + 0, metric[name, "qoe_value"] + 0, \
+			metric[name, "acceptance_ratio"] + 0, metric[name, "peak_site_util"] + 0, \
+			metric[name, "imbalance"] + 0, \
+			(i < n - 1 ? "," : "")
+	}
+	printf "  ]"
+	if (metric["FirstFit", "qoe_value"] > 0)
+		printf ",\n  \"locality_gain\": %.4f", \
+			metric["Locality", "qoe_value"] / metric["FirstFit", "qoe_value"]
+	printf "\n}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+# Guardrails: topology invariants and the placement ordering BENCH_5
+# exists to track.
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out" <<'EOF'
+import json, math, sys
+snap = json.load(open(sys.argv[1]))
+pols = {p["name"]: p for p in snap["placements"]}
+assert len(pols) >= 4, f"want 4 placement policies, got {list(pols)}"
+for name, p in pols.items():
+    pr = p["placement_ratio"]
+    assert not math.isnan(pr) and 0 <= pr <= 1, f"{name}: placement ratio {pr} invalid"
+    assert p["peak_site_util"] <= 1.0 + 1e-9, \
+        f"{name}: site utilization {p['peak_site_util']} exceeds local capacity"
+    assert p["imbalance"] >= 0, f"{name}: negative imbalance {p['imbalance']}"
+ff, loc = pols["FirstFit"], pols["Locality"]
+assert loc["qoe_weighted_value"] > ff["qoe_weighted_value"], \
+    f"locality {loc['qoe_weighted_value']} did not beat first-fit {ff['qoe_weighted_value']}"
+print(f"ok: placement ratio ff={ff['placement_ratio']:.3f} loc={loc['placement_ratio']:.3f}, "
+      f"locality gain {snap['locality_gain']:.3f}x, per-site util <= 1")
+EOF
+fi
