@@ -52,6 +52,19 @@
 // -topology, -sites, -placement) are rejected without -fleet instead
 // of being silently ignored.
 //
+// The serve subcommand turns the same fleet machinery into a
+// long-lived slice-lifecycle daemon: an HTTP+JSON API through which
+// tenants request, activate, modify, deactivate, and delete slices,
+// with every transition appended to a replayable event log:
+//
+//	atlas serve -addr :8080 -scenario churn                    # single pool
+//	atlas serve -topology hotspot-cell -serve-log events.jsonl # site graph + durable log
+//	atlas serve -replay events.jsonl                           # fold a log to final states
+//
+// Serve-only flags (-addr, -serve-log, -tick, -replay) are rejected
+// without the serve subcommand, and batch-only flags (-fleet, -slices,
+// -online-iters, ...) are rejected with it.
+//
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
 package main
@@ -61,6 +74,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/atlas-slicing/atlas/internal/baselines"
 	"github.com/atlas-slicing/atlas/internal/core"
@@ -100,8 +114,19 @@ func main() {
 		topoName     = flag.String("topology", "", "multi-cell site graph from the topology catalog (replaces the single capacity pool): "+strings.Join(scenarios.TopologyNames(), ", "))
 		sites        = flag.Int("sites", 0, "site count for the -topology preset (0 = preset default)")
 		placement    = flag.String("placement", "locality", "placement policy picking each arrival's host site: "+strings.Join(topology.PolicyNames(), ", "))
+		addr         = flag.String("addr", ":8080", "serve: HTTP listen address")
+		serveLog     = flag.String("serve-log", "", "serve: append-only slice-event log file (JSONL, replayable)")
+		tick         = flag.Duration("tick", time.Second, "serve: serving epoch period (every tick steps all OPERATING slices)")
+		replayPath   = flag.String("replay", "", "serve: fold an event log to final slice states and exit (no daemon)")
 	)
-	flag.Parse()
+	// `atlas serve ...` is the daemon subcommand; everything after it is
+	// ordinary flags.
+	args := os.Args[1:]
+	serveMode := len(args) > 0 && args[0] == "serve"
+	if serveMode {
+		args = args[1:]
+	}
+	_ = flag.CommandLine.Parse(args)
 
 	// Flags that only mean something in fleet mode (or only with a
 	// topology) are rejected when their mode is off instead of being
@@ -153,7 +178,7 @@ func main() {
 	if *sites < 0 {
 		badf("-sites must be >= 0 (0 = preset default), got %d", *sites)
 	}
-	if !*fleetMode {
+	if !*fleetMode && !serveMode {
 		var ignored []string
 		for _, name := range []string{"policy", "capacity", "horizon", "no-oracle", "topology", "sites", "placement"} {
 			if explicitFlags[name] {
@@ -162,6 +187,30 @@ func main() {
 		}
 		if len(ignored) > 0 {
 			badf("fleet-only flags without -fleet: %s; add -fleet with a dynamic -scenario", strings.Join(ignored, ", "))
+		}
+	}
+	if !serveMode {
+		var ignored []string
+		for _, name := range []string{"addr", "serve-log", "tick", "replay"} {
+			if explicitFlags[name] {
+				ignored = append(ignored, "-"+name)
+			}
+		}
+		if len(ignored) > 0 {
+			badf("serve-only flags without the serve subcommand: %s; run `atlas serve ...`", strings.Join(ignored, ", "))
+		}
+	} else {
+		var ignored []string
+		for _, name := range []string{"fleet", "horizon", "no-oracle", "slices", "traffic", "threshold", "availability", "online-iters", "alpha", "batch", "save", "warm"} {
+			if explicitFlags[name] {
+				ignored = append(ignored, "-"+name)
+			}
+		}
+		if len(ignored) > 0 {
+			badf("batch-only flags with the serve subcommand: %s", strings.Join(ignored, ", "))
+		}
+		if *tick <= 0 {
+			badf("-tick must be a positive duration, got %v", *tick)
 		}
 	}
 	if *topoName == "" {
@@ -176,7 +225,7 @@ func main() {
 		}
 	}
 	var policy fleet.Policy
-	if *fleetMode {
+	if *fleetMode || serveMode {
 		var ok bool
 		if policy, ok = fleet.PolicyByName(*policyName); !ok {
 			badf("unknown -policy %q; valid policies: %s", *policyName, strings.Join(fleet.PolicyNames(), ", "))
@@ -202,8 +251,11 @@ func main() {
 	}
 	var scen scenarios.Scenario
 	var fscen scenarios.FleetScenario
+	if serveMode && *scenario == "" {
+		*scenario = "churn"
+	}
 	switch {
-	case *fleetMode:
+	case *fleetMode || serveMode:
 		if *scenario == "" {
 			badf("-fleet requires a dynamic -scenario; valid dynamic scenarios: %s", strings.Join(scenarios.FleetNames(), ", "))
 		} else if fs, ok := scenarios.GetFleet(*scenario); ok {
@@ -247,6 +299,40 @@ func main() {
 	seeds := mathx.Split(*seed, 8)
 
 	sc := storeCtx{st: st, warm: *warm, save: *save}
+
+	if serveMode {
+		if *replayPath != "" {
+			runReplay(*replayPath)
+			return
+		}
+		// Training-budget flags passed explicitly override the serve
+		// defaults (CI smokes shrink them); unset ones keep the
+		// fleet-scale defaults serve.NewReconciler applies.
+		tune := func(sys *core.System) {
+			if explicitFlags["stage1-iters"] {
+				sys.CalOpts.Iters, sys.CalOpts.Explore = *s1Iters, max(1, *s1Iters/4)
+			}
+			if explicitFlags["stage2-iters"] {
+				sys.OffOpts.Iters, sys.OffOpts.Explore = *s2Iters, max(1, *s2Iters/5)
+			}
+			if explicitFlags["pool"] {
+				sys.CalOpts.Pool, sys.OffOpts.Pool, sys.OnOpts.Pool = *pool, *pool, *pool
+			}
+		}
+		runServe(*addr, fscen, serveOptions{
+			policy:    policy,
+			topo:      topo,
+			placement: place,
+			capacity:  *capacity,
+			store:     st,
+			logPath:   *serveLog,
+			tick:      *tick,
+			workers:   *workers,
+			seed:      *seed,
+			tune:      tune,
+		})
+		return
+	}
 
 	if *fleetMode {
 		runFleet(real, sim, st, fscen, policy, topo, place, *horizon, *capacity, *workers, *seed, !*noOracle)

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/scenarios"
+	"github.com/atlas-slicing/atlas/internal/serve"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// serveOptions carries the flag-derived configuration of the serve
+// subcommand into the daemon.
+type serveOptions struct {
+	policy    fleet.Policy
+	topo      *topology.Graph
+	placement topology.Policy
+	capacity  float64 // cells; 0 = scenario default (ignored with a topology)
+	store     *store.Store
+	logPath   string
+	tick      time.Duration
+	workers   int
+	seed      int64
+	tune      func(*core.System)
+}
+
+// runServe runs the slice-lifecycle daemon until SIGINT/SIGTERM, then
+// drains gracefully: the HTTP listener stops first, every live slice's
+// online residual is checkpointed, and the event log is flushed.
+func runServe(addr string, fs scenarios.FleetScenario, o serveOptions) {
+	capacity := fs.Capacity
+	if o.capacity > 0 {
+		capacity = slicing.CellCapacity(o.capacity)
+	}
+	fmt.Printf("== atlas serve: scenario %q catalog ==\n", fs.Name)
+	if o.topo != nil {
+		fmt.Printf("policy %s, topology %s (%d sites, %.2g cells), placement %s, tick %v\n",
+			o.policy.Name(), o.topo.Name, len(o.topo.Sites), o.topo.TotalCells(), o.placement.Name(), o.tick)
+	} else {
+		fmt.Printf("policy %s, capacity %v, tick %v\n", o.policy.Name(), capacity, o.tick)
+	}
+
+	srv, err := serve.New(addr, serve.Config{
+		Classes:   fs.Classes,
+		Policy:    o.policy,
+		Topology:  o.topo,
+		Placement: o.placement,
+		Capacity:  capacity,
+		Tick:      o.tick,
+		Workers:   o.workers,
+		Seed:      o.seed,
+		Store:     o.store,
+		LogPath:   o.logPath,
+		Tune:      o.tune,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runReplay folds an event log back into per-slice final states and
+// prints them as JSON — the crash-recovery path, and what the CI smoke
+// diffs against the live API's last snapshot.
+func runReplay(path string) {
+	states, n, err := serve.ReplayFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: serve -replay: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(states, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: serve -replay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "atlas: replayed %d events, %d slices\n", n, len(states))
+}

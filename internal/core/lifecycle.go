@@ -464,6 +464,118 @@ func onlineCheckpointKey(artifactKey, id string, site slicing.SiteID) string {
 	}{artifactKey, id, site})
 }
 
+// ResizeSlice re-optimizes a live tenant's reservation for a new
+// nominal traffic at its current host site: stage 2 re-runs (or
+// restores) the class's offline policy under the new demand, the
+// reservation envelope is recomputed from the re-optimized optimum, and
+// the ledger reservation is resized in place. Shrinks always succeed;
+// growth fails with ErrInsufficientCapacity when the extra demand does
+// not fit, leaving the tenant untouched. The slice keeps running
+// throughout — this is the serve path's first-class "modify" operation,
+// not a delete-and-readmit.
+//
+// Like Step, ResizeSlice must not race a concurrent Step of the same
+// slice; distinct slices are independent.
+func (s *System) ResizeSlice(id string, traffic int) (slicing.Demand, error) {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return slicing.Demand{}, fmt.Errorf("core: slice %q not admitted", id)
+	}
+	return s.ResizeSliceAt(id, traffic, inst.Site)
+}
+
+// ResizeSliceAt is ResizeSlice with an explicit host site: when the
+// site differs from the tenant's current one, the reservation migrates
+// — released at the old site and booked at the new one atomically with
+// respect to the ledger, rolling back to the old reservation when the
+// new site cannot host the resized envelope. The online checkpoint
+// identity moves with the placement (checkpoints are keyed per
+// (artifact, id, site)).
+func (s *System) ResizeSliceAt(id string, traffic int, site slicing.SiteID) (slicing.Demand, error) {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return slicing.Demand{}, fmt.Errorf("core: slice %q not admitted", id)
+	}
+	if inst.Class == nil {
+		return slicing.Demand{}, fmt.Errorf("core: slice %q has no service class to re-optimize", id)
+	}
+	if traffic == 0 {
+		traffic = inst.Class.Traffic
+	}
+	if traffic < 1 || traffic > MaxTraffic {
+		return slicing.Demand{}, fmt.Errorf("core: slice %q traffic %d outside [1, %d]", id, traffic, MaxTraffic)
+	}
+	out, err := s.offlineOutcome(inst.Class, inst.SLA, traffic)
+	if err != nil {
+		return slicing.Demand{}, err
+	}
+	off := out.Result
+	s.noteDiag(out.Diag)
+	env := ReservationEnvelope(s.Space, off.BestConfig, s.headroom())
+	d := slicing.DemandOf(env)
+	if s.Ledger != nil {
+		if site == inst.Site {
+			if !s.Ledger.Update(id, d) {
+				return slicing.Demand{}, fmt.Errorf("core: slice %q resize needs %v beyond free capacity %v: %w",
+					id, d, s.Ledger.FreeAt(site), ErrInsufficientCapacity)
+			}
+		} else {
+			old := s.Ledger.Release(id)
+			if !s.Ledger.ReserveAt(site, id, d) {
+				// Roll back: the old reservation was just freed, so
+				// re-booking it at the old site always fits.
+				s.Ledger.ReserveAt(inst.Site, id, old)
+				return slicing.Demand{}, fmt.Errorf("core: slice %q resize needs %v beyond free capacity %v at site %q: %w",
+					id, d, s.Ledger.FreeAt(site), site, ErrInsufficientCapacity)
+			}
+		}
+		inst.Cap = env
+		inst.Capped = true
+	}
+	// Rebind the runtime to the re-optimized artifact. The online GP
+	// residual survives — it models the infrastructure-level sim-to-real
+	// gap, which a demand change does not invalidate.
+	inst.Offline = off
+	inst.Learner.Policy = off.Policy
+	inst.Traffic = traffic
+	inst.Learner.SetTraffic(traffic)
+	inst.Site = site
+	inst.WarmStart = out.Hit
+	if out.Key != "" {
+		inst.storeKey = out.Key
+		inst.onlineKey = onlineCheckpointKey(out.Key, id, site)
+	}
+	return d, nil
+}
+
+// CheckpointSlice flushes a tenant's online residual state to the
+// artifact store immediately, outside the per-Step cadence — the
+// graceful-drain hook: a daemon shutting down checkpoints every live
+// slice so a restart resumes each learned residual. A finalized
+// (released) slice and a storeless system are no-ops.
+func (s *System) CheckpointSlice(id string) error {
+	inst, ok := s.Slice(id)
+	if !ok {
+		return fmt.Errorf("core: slice %q not admitted", id)
+	}
+	if s.Store == nil || inst.onlineKey == "" || inst.finalized.Load() {
+		return nil
+	}
+	snap, err := inst.Learner.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: slice %q snapshot: %w", id, err)
+	}
+	if err := s.Store.Put(store.KindOnline, inst.onlineKey, snap); err != nil {
+		return fmt.Errorf("core: slice %q checkpoint: %w", id, err)
+	}
+	// Same tombstone compensation as Step: a release racing this write
+	// must win in every interleaving.
+	if inst.finalized.Load() {
+		_ = s.Store.Delete(store.KindOnline, inst.onlineKey)
+	}
+	return nil
+}
+
 // RemoveSlice tears a tenant down, freeing its capacity reservation.
 // The slice's online checkpoint stays live in the store — this is the
 // suspend path: a later admission under the same identity resumes the

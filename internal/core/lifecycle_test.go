@@ -389,3 +389,140 @@ func TestSystemConcurrentAdmitRemove(t *testing.T) {
 		t.Fatalf("duplicate id admitted %d times, want exactly 1", okCount)
 	}
 }
+
+// TestSystemResizeSlice: the modify hook re-optimizes a live slice's
+// envelope in place — the ledger reservation resizes, the runtime
+// rebinds to the re-trained artifact, and unknown ids fail.
+func TestSystemResizeSlice(t *testing.T) {
+	s := quickSystem()
+	s.Store = store.InMemory()
+	s.Ledger = slicing.NewCapacityLedger(slicing.CellCapacity(4))
+	inst, err := s.AdmitSliceClass("a", slicing.DefaultServiceClass(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.Ledger.Reserved("a")
+
+	d, err := s.ResizeSlice("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, ok := s.Ledger.Reserved("a")
+	if !ok || after != d {
+		t.Fatalf("ledger holds %v, resize reported %v", after, d)
+	}
+	if inst.Traffic != 2 {
+		t.Fatalf("traffic = %d, want 2", inst.Traffic)
+	}
+	// The slice keeps stepping against the resized envelope.
+	if err := s.Step("a"); err != nil {
+		t.Fatal(err)
+	}
+	_, applied, _ := s.SliceDemand("a")
+	if !applied.Fits(d) {
+		t.Fatalf("applied %v exceeds resized envelope %v", applied, d)
+	}
+	// Shrinking back reuses the cached traffic-1 artifact and lands on
+	// the original envelope.
+	d1, err := s.ResizeSlice("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != before {
+		t.Fatalf("shrink landed on %v, original reservation was %v", d1, before)
+	}
+
+	if _, err := s.ResizeSlice("ghost", 2); err == nil {
+		t.Fatal("resizing an unknown slice must fail")
+	}
+	if _, err := s.ResizeSlice("a", MaxTraffic+1); err == nil {
+		t.Fatal("resizing beyond MaxTraffic must fail")
+	}
+}
+
+// TestSystemResizeSliceAtMigrates: an explicit host site moves the
+// reservation across sites; a site that cannot host the envelope
+// rejects with ErrInsufficientCapacity and rolls back cleanly.
+func TestSystemResizeSliceAtMigrates(t *testing.T) {
+	s := quickSystem()
+	cells := slicing.CellCapacity(4)
+	s.Ledger = slicing.NewTopologyLedger(slicing.TopologyCapacity{
+		Sites: []slicing.SiteCapacity{
+			{ID: "east", RanPRB: cells.RanPRB},
+			{ID: "west", RanPRB: cells.RanPRB},
+			{ID: "dead", RanPRB: 0},
+		},
+		TnMbps: cells.TnMbps,
+		CnCPU:  cells.CnCPU,
+	})
+	if _, err := s.AdmitSliceClassAt("a", slicing.DefaultServiceClass(), 1, "east"); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.Ledger.Reserved("a")
+
+	// Migration to a site with no RAN fails and rolls back.
+	if _, err := s.ResizeSliceAt("a", 1, "dead"); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("resize onto dead site: err = %v, want ErrInsufficientCapacity", err)
+	}
+	if site, _ := s.Ledger.SiteOf("a"); site != "east" {
+		t.Fatalf("failed migration left slice at %q, want east", site)
+	}
+	if d, _ := s.Ledger.Reserved("a"); d != before {
+		t.Fatalf("failed migration changed reservation: %v, was %v", d, before)
+	}
+
+	// Migration to a healthy site moves the booking.
+	d, err := s.ResizeSliceAt("a", 1, "west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site, _ := s.Ledger.SiteOf("a"); site != "west" {
+		t.Fatalf("slice at %q, want west", site)
+	}
+	if inst, _ := s.Slice("a"); inst.Site != "west" {
+		t.Fatalf("instance site %q, want west", inst.Site)
+	}
+	if got, _ := s.Ledger.Reserved("a"); got != d {
+		t.Fatalf("ledger holds %v, resize reported %v", got, d)
+	}
+	if free := s.Ledger.FreeAt("east"); free.RanPRB != cells.RanPRB {
+		t.Fatalf("east not fully freed after migration: %v", free)
+	}
+}
+
+// TestSystemCheckpointSlice: the drain hook flushes the online residual
+// outside the per-Step cadence — proven by never stepping: only
+// CheckpointSlice can have written the checkpoint the re-admission
+// resumes.
+func TestSystemCheckpointSlice(t *testing.T) {
+	s := quickSystem()
+	s.Store = store.InMemory()
+	if _, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointSlice("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveSlice("a"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.AdmitSlice("a", slicing.DefaultSLA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.ResidualWarm {
+		t.Fatal("re-admission did not resume the drain checkpoint")
+	}
+
+	if err := s.CheckpointSlice("ghost"); err == nil {
+		t.Fatal("checkpointing an unknown slice must fail")
+	}
+	// Storeless systems no-op.
+	s2 := quickSystem()
+	if _, err := s2.AdmitSlice("b", slicing.DefaultSLA(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckpointSlice("b"); err != nil {
+		t.Fatalf("storeless checkpoint: %v", err)
+	}
+}

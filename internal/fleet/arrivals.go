@@ -71,8 +71,12 @@ type Arrival struct {
 	// Lifetime is how many epochs the tenant wants service after
 	// admission (0 = until the horizon ends).
 	Lifetime int
-	Value    float64
-	Elastic  bool
+	// Traffic overrides the class's nominal demand (0 = class default).
+	// Batch traces leave it 0; the serve path threads per-request
+	// demand through it.
+	Traffic int
+	Value   float64
+	Elastic bool
 	// Home is the arrival's home cell — the site its users attach to.
 	// Empty on single-pool traces; drawn uniformly over the topology's
 	// sites by TraceOver. Hosting away from home costs delivered QoE

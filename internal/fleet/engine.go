@@ -1,0 +1,401 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// Engine is the per-request admission + placement core of the fleet
+// control plane, extracted from the batch Controller's trace loop so a
+// long-lived daemon (atlas serve) can drive the same decision path one
+// request at a time: estimate the arrival's footprint, pick a host site,
+// consult the admission policy, arbitrate preemption-free downscales,
+// and admit or reject. One Engine fronts one core.System and owns the
+// admission-order bookkeeping the downscale arbitrator walks.
+//
+// The Engine is a single-writer component: exactly one goroutine may
+// call Handle, Resize, Release, or Remove at a time — the batch
+// controller's epoch loop, or the serve reconciler. That goroutine may
+// freely interleave the read accessors.
+type Engine struct {
+	sys       *core.System
+	policy    Policy
+	placement topology.Policy
+	topo      *topology.Graph
+	capacity  slicing.Capacity
+	pool      int
+
+	// ests caches per-(class, traffic) admission estimates: estimates
+	// are pure per class — same calibration, same artifact, same
+	// envelope — so the fingerprint (and the store read behind it) is
+	// computed once instead of once per arrival.
+	ests  map[string]classEst
+	live  map[string]*Tenant
+	order []string // admission order, the arbitration walk sequence
+}
+
+type classEst struct {
+	est    *core.OfflineResult
+	demand slicing.Demand
+}
+
+// Tenant is one live (admitted) tenant's control-plane record.
+type Tenant struct {
+	Arrival Arrival
+	Site    slicing.SiteID
+}
+
+// Decision reports one arrival's admission outcome.
+type Decision struct {
+	// Admitted is true when the tenant was admitted (and is now live);
+	// otherwise Reason is "policy" or "capacity".
+	Admitted bool
+	Reason   string
+	// Site is the host site placement picked (empty on single-pool
+	// runs); even on a capacity rejection it names the placement
+	// policy's arbitration target.
+	Site slicing.SiteID
+	// Demand is the envelope the tenant reserves (or would have);
+	// PredictedQoE the offline artifact's predicted quality.
+	Demand       slicing.Demand
+	PredictedQoE float64
+	// PlacementAttempted marks arrivals that passed the policy's value
+	// gate on a topology run (the denominator of the placement ratio);
+	// Downscales counts the elastic tenants arbitration shrank.
+	PlacementAttempted bool
+	Downscales         int
+}
+
+// EngineConfig parameterizes an Engine. Zero values default like the
+// batch controller: FirstFit admission, Locality placement, a 250-wide
+// downscale pool, and (with a topology) the graph's total capacity.
+type EngineConfig struct {
+	Policy        Policy
+	Placement     topology.Policy
+	Topology      *topology.Graph
+	Capacity      slicing.Capacity
+	DownscalePool int
+}
+
+// NewEngine builds an engine over an already-configured system (the
+// caller wires the system's Ledger to match Topology/Capacity).
+func NewEngine(sys *core.System, cfg EngineConfig) *Engine {
+	if cfg.Policy == nil {
+		cfg.Policy = FirstFit{}
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = topology.Locality{}
+	}
+	if cfg.DownscalePool <= 0 {
+		cfg.DownscalePool = 250
+	}
+	if cfg.Topology != nil && cfg.Capacity.IsZero() {
+		cfg.Capacity = cfg.Topology.TotalCapacity()
+	}
+	return &Engine{
+		sys:       sys,
+		policy:    cfg.Policy,
+		placement: cfg.Placement,
+		topo:      cfg.Topology,
+		capacity:  cfg.Capacity,
+		pool:      cfg.DownscalePool,
+		ests:      map[string]classEst{},
+		live:      map[string]*Tenant{},
+	}
+}
+
+// System returns the engine's underlying slice-lifecycle system.
+func (e *Engine) System() *core.System { return e.sys }
+
+// Topology returns the engine's site graph (nil on single-pool runs).
+func (e *Engine) Topology() *topology.Graph { return e.topo }
+
+// estimate returns the cached admission estimate for an arrival's
+// (class, traffic) pair.
+func (e *Engine) estimate(a Arrival) (classEst, error) {
+	key := fmt.Sprintf("%d\x00%s\x00%d", a.ClassIdx, a.Class.Name, a.Traffic)
+	if ce, ok := e.ests[key]; ok {
+		return ce, nil
+	}
+	est, demand, err := e.sys.EstimateAdmission(a.Class, a.Traffic)
+	if err != nil {
+		return classEst{}, err
+	}
+	ce := classEst{est: est, demand: demand}
+	e.ests[key] = ce
+	return ce, nil
+}
+
+// Estimate previews the envelope demand and offline artifact an
+// admission of the class at the given traffic (0 = nominal) would use,
+// through the engine's per-class cache.
+func (e *Engine) Estimate(class slicing.ServiceClass, traffic int) (*core.OfflineResult, slicing.Demand, error) {
+	ce, err := e.estimate(Arrival{ClassIdx: -1, Class: class, Traffic: traffic})
+	if err != nil {
+		return nil, slicing.Demand{}, err
+	}
+	return ce.est, ce.demand, nil
+}
+
+// freeAt, fitsAt, and utilization are nil-ledger-tolerant views (no
+// ledger = unlimited infrastructure).
+func (e *Engine) freeAt(site slicing.SiteID) slicing.Demand {
+	if e.sys.Ledger == nil {
+		return slicing.Demand{RanPRB: math.Inf(1), TnMbps: math.Inf(1), CnCPU: math.Inf(1)}
+	}
+	return e.sys.Ledger.FreeAt(site)
+}
+
+func (e *Engine) fitsAt(site slicing.SiteID, d slicing.Demand) bool {
+	return e.sys.Ledger == nil || e.sys.Ledger.FitsAt(site, d)
+}
+
+// Utilization is the per-domain reserved fraction right now (zero
+// without a ledger).
+func (e *Engine) Utilization() slicing.Utilization {
+	if e.sys.Ledger == nil {
+		return slicing.Utilization{}
+	}
+	return e.sys.Ledger.Utilization()
+}
+
+// Handle runs one arrival through the full admission path — estimate,
+// placement, policy gate, downscale arbitration, reservation — and, on
+// admission, tracks the tenant as live. Errors are systemic (training
+// or ledger corruption); a refused arrival is a non-error Decision.
+func (e *Engine) Handle(a Arrival) (Decision, error) {
+	ce, err := e.estimate(a)
+	if err != nil {
+		return Decision{}, fmt.Errorf("fleet: estimate %s: %w", a.ID, err)
+	}
+	est, demand := ce.est, ce.demand
+
+	// Placement: pick the host site before admission. When the demand
+	// fits nowhere, the returned site is still the policy's arbitration
+	// target — downscaling is site-local, so the arbitrator must know
+	// where to make room.
+	var site slicing.SiteID
+	var fits bool
+	if e.topo == nil {
+		fits = e.fitsAt("", demand)
+	} else {
+		site, fits = e.placement.Place(e.topo, e.sys.Ledger, topology.Request{
+			ID:           a.ID,
+			Demand:       demand,
+			Home:         a.Home,
+			Value:        a.Value,
+			PredictedQoE: est.BestQoE,
+		})
+	}
+	ctx := AdmissionContext{
+		Epoch:        a.Epoch,
+		Demand:       demand,
+		PredictedQoE: est.BestQoE,
+		Free:         e.freeAt(site),
+		Capacity:     e.capacity,
+		Utilization:  e.Utilization().Max(),
+	}
+	dec := Decision{Site: site, Demand: demand, PredictedQoE: est.BestQoE}
+	// The policy's value gate runs before any arbitration, so a
+	// newcomer the policy would refuse anyway never causes an elastic
+	// tenant to shrink.
+	if !e.policy.Admit(ctx, a) {
+		dec.Reason = "policy"
+		return dec, nil
+	}
+	if e.topo != nil {
+		dec.PlacementAttempted = true
+	}
+	if !fits && e.policy.Arbitrate(ctx, a) {
+		dec.Downscales = e.arbitrate(demand, site)
+		fits = e.fitsAt(site, demand)
+	}
+	if !fits {
+		dec.Reason = "capacity"
+		return dec, nil
+	}
+	if _, err := e.sys.AdmitSliceClassAt(a.ID, a.Class, a.Traffic, site); err != nil {
+		if errors.Is(err, core.ErrInsufficientCapacity) {
+			// The estimate and the reservation derive from the same
+			// artifact, so this is unreachable in practice; treat it as
+			// a capacity rejection if it ever fires.
+			dec.Reason = "capacity"
+			return dec, nil
+		}
+		return dec, fmt.Errorf("fleet: admit %s: %w", a.ID, err)
+	}
+	dec.Admitted = true
+	e.live[a.ID] = &Tenant{Arrival: a, Site: site}
+	e.order = append(e.order, a.ID)
+	return dec, nil
+}
+
+// Resize re-optimizes a live tenant's envelope for a new nominal
+// traffic — the serve path's first-class "modify": stage 2 re-runs (or
+// restores) under the new demand and the reservation resizes in place
+// at the host site. When in-place growth does not fit and the engine
+// has a topology, the placement policy re-runs for the resized
+// footprint and the reservation migrates to the site it picks (the
+// tenant's own current reservation still counts as used during that
+// search, so cross-site growth is conservatively checked). The freed
+// or grown demand is returned with the (possibly new) host site.
+func (e *Engine) Resize(id string, traffic int) (slicing.Demand, slicing.SiteID, error) {
+	t, ok := e.live[id]
+	if !ok {
+		return slicing.Demand{}, "", fmt.Errorf("fleet: tenant %q not live", id)
+	}
+	d, err := e.sys.ResizeSlice(id, traffic)
+	if err == nil {
+		t.Arrival.Traffic = traffic
+		return d, t.Site, nil
+	}
+	if !errors.Is(err, core.ErrInsufficientCapacity) || e.topo == nil {
+		return slicing.Demand{}, "", err
+	}
+	est, demand, eerr := e.Estimate(t.Arrival.Class, traffic)
+	if eerr != nil {
+		return slicing.Demand{}, "", eerr
+	}
+	site, fits := e.placement.Place(e.topo, e.sys.Ledger, topology.Request{
+		ID:           id,
+		Demand:       demand,
+		Home:         t.Arrival.Home,
+		Value:        t.Arrival.Value,
+		PredictedQoE: est.BestQoE,
+	})
+	if !fits || site == t.Site {
+		return slicing.Demand{}, "", err
+	}
+	d, rerr := e.sys.ResizeSliceAt(id, traffic, site)
+	if rerr != nil {
+		return slicing.Demand{}, "", rerr
+	}
+	t.Site = site
+	t.Arrival.Traffic = traffic
+	return d, site, nil
+}
+
+// Release decommissions a live tenant — capacity freed, online
+// checkpoint tombstoned — and forgets it.
+func (e *Engine) Release(id string) (*Tenant, error) {
+	t, ok := e.live[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: tenant %q not live", id)
+	}
+	if err := e.sys.ReleaseSlice(id); err != nil {
+		return nil, err
+	}
+	e.forget(id)
+	return t, nil
+}
+
+// Remove suspends a live tenant: capacity freed, online checkpoint
+// kept, so a later admission under the same identity resumes the
+// learned residual.
+func (e *Engine) Remove(id string) (*Tenant, error) {
+	t, ok := e.live[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: tenant %q not live", id)
+	}
+	if err := e.sys.RemoveSlice(id); err != nil {
+		return nil, err
+	}
+	e.forget(id)
+	return t, nil
+}
+
+func (e *Engine) forget(id string) {
+	delete(e.live, id)
+	for i, v := range e.order {
+		if v == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tenant returns a live tenant's record.
+func (e *Engine) Tenant(id string) (*Tenant, bool) {
+	t, ok := e.live[id]
+	return t, ok
+}
+
+// Live returns the live tenant ids in admission order.
+func (e *Engine) Live() []string {
+	return append([]string(nil), e.order...)
+}
+
+// arbitrate is the preemption-free downscale pass: it walks the live
+// elastic tenants in admission order and asks each one's online learner
+// for a cheaper posterior-feasible configuration, collecting previewed
+// envelope tightenings until the needed demand would fit at the target
+// site. Site topology shapes what a tightening is worth: a tenant
+// hosted at the target site frees local RAN plus the shared tiers,
+// while a remote tenant's freed RAN belongs to its own site — only its
+// freed transport/compute help, since those tiers are regional. The
+// pass therefore walks the target site's tenants first and falls back
+// to remote ones only for their shared-tier contribution (skipping any
+// whose tightening frees no shared capacity at all). It stays
+// transactional: tightenings commit only when they actually make room;
+// if the elastic tenants together cannot free enough, nothing is
+// applied, so no tenant is degraded for an arrival that gets rejected
+// anyway. It returns how many slices were downscaled; no slice is ever
+// evicted or restarted. (On single-pool runs every tenant and every
+// arrival has the empty site, so the first pass covers the whole fleet
+// as before.)
+func (e *Engine) arbitrate(need slicing.Demand, site slicing.SiteID) int {
+	sys := e.sys
+	if sys.Ledger == nil {
+		return 0
+	}
+	type tightening struct {
+		id   string
+		next slicing.Config
+	}
+	var plan []tightening
+	var freed slicing.Demand
+	enough := false
+	for pass := 0; pass < 2 && !enough; pass++ {
+		for _, id := range e.order {
+			t, ok := e.live[id]
+			if !ok || !t.Arrival.Elastic || (t.Site == site) != (pass == 0) {
+				continue
+			}
+			if need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
+				enough = true
+				break
+			}
+			next, f, ok, err := sys.PreviewDownscale(id, e.pool)
+			if err != nil || !ok {
+				continue
+			}
+			if pass == 1 {
+				// Remote RAN frees at the remote site, not here; only
+				// the shared tiers count toward this admission. A
+				// tightening that frees no shared capacity would shrink
+				// the tenant for nothing — leave it alone.
+				f.RanPRB = 0
+				if f.IsZero() {
+					continue
+				}
+			}
+			plan = append(plan, tightening{id: id, next: next})
+			freed = freed.Add(f)
+		}
+	}
+	if !enough && !need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
+		return 0
+	}
+	downs := 0
+	for _, tg := range plan {
+		if _, ok, err := sys.CommitDownscale(tg.id, tg.next); err == nil && ok {
+			downs++
+		}
+	}
+	return downs
+}

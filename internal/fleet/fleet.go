@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -242,91 +241,52 @@ func (c *Controller) Run() (*Result, error) {
 	return res, nil
 }
 
-// liveSlice is one admitted tenant's control-plane bookkeeping.
-type liveSlice struct {
-	a      Arrival
-	site   slicing.SiteID // host site (empty on single-pool runs)
-	depart int            // epoch at which the tenant leaves; 0 = horizon end
+// runMeta is the per-tenant bookkeeping the batch run layers on top of
+// the engine's live set: the scheduled departure epoch and the accrued
+// QoE-weighted value.
+type runMeta struct {
+	depart int // epoch at which the tenant leaves; 0 = horizon end
 	value  float64
 }
 
 // runOnce is one complete fleet simulation under the given policy,
-// capacity, and (optional) topology, replaying the given arrival
-// trace. All state iterates in admission order, so repeated runs are
-// bit-identical at any worker count.
+// capacity, and (optional) topology, replaying the given arrival trace
+// through the per-request Engine. All state iterates in admission
+// order, so repeated runs are bit-identical at any worker count.
 func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival) (*Result, error) {
 	sys := c.newSystem(capacity, topo)
 	if _, err := sys.Calibrate(); err != nil {
 		return nil, err
 	}
-	placement := c.opts.Placement
+	eng := NewEngine(sys, EngineConfig{
+		Policy:        policy,
+		Placement:     c.opts.Placement,
+		Topology:      topo,
+		Capacity:      capacity,
+		DownscalePool: c.opts.DownscalePool,
+	})
 
 	res := &Result{Policy: policy.Name(), Horizon: c.opts.Horizon, Arrivals: len(trace)}
 	if topo != nil {
 		res.Topology = topo.Name
-		res.Placement = placement.Name()
+		res.Placement = c.opts.Placement.Name()
 		res.Sites = make([]SiteStat, len(topo.Sites))
 		for i, s := range topo.Sites {
 			res.Sites[i].Site = s.ID
 		}
-		capacity = topo.TotalCapacity()
 	}
 	classStats := make([]ClassStat, len(c.classes))
 	for i, ac := range c.classes {
 		classStats[i].Class = ac.Class.Name
 	}
 
-	live := map[string]*liveSlice{}
-	var order []string // admission order; ids stay after departure, skipped via live
-	next := 0          // next unprocessed trace index
+	meta := map[string]*runMeta{}
+	next := 0 // next unprocessed trace index
 	var utilSum slicing.Utilization
 	var imbalanceSum float64
 	siteIdx := map[slicing.SiteID]int{}
 	for i, ss := range res.Sites {
 		siteIdx[ss.Site] = i
-	}
-
-	// Admission estimates are pure per class — same calibration, same
-	// artifact, same envelope — so the class fingerprint (and the store
-	// read behind it) is computed once per class instead of once per
-	// arrival. The oracle replay in particular calls the estimator for
-	// every arrival it unconditionally admits; long-horizon runs were
-	// paying that hashing hundreds of times over.
-	type classEst struct {
-		est    *core.OfflineResult
-		demand slicing.Demand
-	}
-	ests := make(map[int]classEst, len(c.classes))
-	estimate := func(a Arrival) (classEst, error) {
-		if e, ok := ests[a.ClassIdx]; ok {
-			return e, nil
-		}
-		est, demand, err := sys.EstimateAdmission(a.Class, 0)
-		if err != nil {
-			return classEst{}, err
-		}
-		e := classEst{est: est, demand: demand}
-		ests[a.ClassIdx] = e
-		return e, nil
-	}
-
-	// Site-aware ledger views: on single-pool runs site is always ""
-	// (the ledger's default site), so these collapse to the historical
-	// aggregate checks.
-	ledgerFreeAt := func(site slicing.SiteID) slicing.Demand {
-		if sys.Ledger == nil {
-			return slicing.Demand{RanPRB: math.Inf(1), TnMbps: math.Inf(1), CnCPU: math.Inf(1)}
-		}
-		return sys.Ledger.FreeAt(site)
-	}
-	ledgerFitsAt := func(site slicing.SiteID, d slicing.Demand) bool {
-		return sys.Ledger == nil || sys.Ledger.FitsAt(site, d)
-	}
-	utilization := func() slicing.Utilization {
-		if sys.Ledger == nil {
-			return slicing.Utilization{}
-		}
-		return sys.Ledger.Utilization()
 	}
 
 	for epoch := 0; epoch < c.opts.Horizon; epoch++ {
@@ -335,110 +295,54 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		// Departures: tenants whose lifetime expired leave and are
 		// decommissioned for good (capacity released, online checkpoint
 		// finalized).
-		for _, id := range order {
-			ls, ok := live[id]
-			if !ok || ls.depart == 0 || ls.depart > epoch {
+		for _, id := range eng.Live() {
+			m := meta[id]
+			if m.depart == 0 || m.depart > epoch {
 				continue
 			}
-			if err := sys.ReleaseSlice(id); err != nil {
+			t, err := eng.Release(id)
+			if err != nil {
 				return nil, fmt.Errorf("fleet: release %s: %w", id, err)
 			}
-			classStats[ls.a.ClassIdx].Value += ls.value
-			delete(live, id)
+			classStats[t.Arrival.ClassIdx].Value += m.value
+			delete(meta, id)
 			res.Departed++
 		}
 
-		// Arrivals: estimate the newcomer's footprint, pick a host site
-		// (with a topology), consult the admission policy, arbitrate if
-		// allowed, then admit or reject.
+		// Arrivals: the engine runs the full per-request path —
+		// estimate, placement, policy gate, arbitration, reservation.
 		for next < len(trace) && trace[next].Epoch == epoch {
 			a := trace[next]
 			next++
 			es.Arrivals++
 			classStats[a.ClassIdx].Arrivals++
 
-			ce, err := estimate(a)
+			dec, err := eng.Handle(a)
 			if err != nil {
-				return nil, fmt.Errorf("fleet: estimate %s: %w", a.ID, err)
+				return nil, err
 			}
-			est, demand := ce.est, ce.demand
-			// Placement: pick the host site before admission. When the
-			// demand fits nowhere, the returned site is still the
-			// policy's arbitration target — downscaling is site-local,
-			// so the arbitrator must know where to make room.
-			var site slicing.SiteID
-			var fits bool
-			if topo == nil {
-				fits = ledgerFitsAt("", demand)
-			} else {
-				site, fits = placement.Place(topo, sys.Ledger, topology.Request{
-					ID:           a.ID,
-					Demand:       demand,
-					Home:         a.Home,
-					Value:        a.Value,
-					PredictedQoE: est.BestQoE,
-				})
+			if dec.PlacementAttempted {
+				res.PlacementAttempts++
 			}
-			ctx := AdmissionContext{
-				Epoch:        epoch,
-				Demand:       demand,
-				PredictedQoE: est.BestQoE,
-				Free:         ledgerFreeAt(site),
-				Capacity:     capacity,
-				Utilization:  utilization().Max(),
-			}
-			// The policy's value gate runs before any arbitration, so a
-			// newcomer the policy would refuse anyway never causes an
-			// elastic tenant to shrink.
-			reason := ""
-			if !policy.Admit(ctx, a) {
-				reason = "policy"
-			} else {
-				if topo != nil {
-					res.PlacementAttempts++
-				}
-				if !fits && policy.Arbitrate(ctx, a) {
-					res.Downscales += c.arbitrate(sys, live, order, demand, site)
-					fits = ledgerFitsAt(site, demand)
-					ctx.Free = ledgerFreeAt(site)
-					ctx.Utilization = utilization().Max()
-				}
-			}
-			if reason == "" && !fits {
-				reason = "capacity"
-			}
-			if reason != "" {
+			res.Downscales += dec.Downscales
+			if !dec.Admitted {
 				res.Rejected++
 				es.Rejected++
 				classStats[a.ClassIdx].Rejected++
-				res.Rejections = append(res.Rejections, Rejection{Epoch: epoch, ID: a.ID, Class: a.Class.Name, Reason: reason})
+				res.Rejections = append(res.Rejections, Rejection{Epoch: epoch, ID: a.ID, Class: a.Class.Name, Reason: dec.Reason})
 				continue
-			}
-			if _, err := sys.AdmitSliceClassAt(a.ID, a.Class, 0, site); err != nil {
-				if errors.Is(err, core.ErrInsufficientCapacity) {
-					// The estimate and the reservation derive from the
-					// same artifact, so this is unreachable in practice;
-					// treat it as a capacity rejection if it ever fires.
-					res.Rejected++
-					es.Rejected++
-					classStats[a.ClassIdx].Rejected++
-					res.Rejections = append(res.Rejections, Rejection{Epoch: epoch, ID: a.ID, Class: a.Class.Name, Reason: "capacity"})
-					continue
-				}
-				return nil, fmt.Errorf("fleet: admit %s: %w", a.ID, err)
 			}
 			depart := 0
 			if a.Lifetime > 0 {
 				depart = epoch + a.Lifetime
 			}
-			live[a.ID] = &liveSlice{a: a, site: site, depart: depart}
-			order = append(order, a.ID)
+			meta[a.ID] = &runMeta{depart: depart}
 			res.Admitted++
 			es.Admitted++
 			classStats[a.ClassIdx].Admitted++
 			if topo != nil {
 				res.Placed++
-				if i, ok := siteIdx[site]; ok {
+				if i, ok := siteIdx[dec.Site]; ok {
 					res.Sites[i].Placed++
 				}
 			}
@@ -446,17 +350,12 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 
 		// Step every live slice one configuration interval, fanned out
 		// over the worker pool; aggregate in admission order.
-		ids := make([]string, 0, len(live))
-		for _, id := range order {
-			if _, ok := live[id]; ok {
-				ids = append(ids, id)
-			}
-		}
+		ids := eng.Live()
 		if err := sys.StepMany(ids, c.opts.Workers); err != nil {
 			return nil, fmt.Errorf("fleet: step epoch %d: %w", epoch, err)
 		}
 		for _, id := range ids {
-			ls := live[id]
+			t, _ := eng.Tenant(id)
 			inst, ok := sys.Slice(id)
 			if !ok || len(inst.QoEs) == 0 {
 				continue
@@ -466,15 +365,15 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 				// Delivered QoE pays the locality toll: each transport
 				// hop between the tenant's home cell and its host site
 				// costs a fraction of the experienced quality.
-				qoe *= topo.QoEFactor(ls.a.Home, ls.site)
+				qoe *= topo.QoEFactor(t.Arrival.Home, t.Site)
 			}
-			v := ls.a.Value * qoe
-			ls.value += v
+			v := t.Arrival.Value * qoe
+			meta[id].value += v
 			es.MeanQoE += qoe
 			es.Value += v
 			res.ServedEpochs++
 			res.QoEWeightedValue += v
-			if qoe < ls.a.Class.SLA.Availability {
+			if qoe < t.Arrival.Class.SLA.Availability {
 				res.SLAViolations++
 			}
 		}
@@ -482,7 +381,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		if es.Live > 0 {
 			es.MeanQoE /= float64(es.Live)
 		}
-		es.Util = utilization()
+		es.Util = eng.Utilization()
 		utilSum.RAN += es.Util.RAN
 		utilSum.TN += es.Util.TN
 		utilSum.CN += es.Util.CN
@@ -521,15 +420,13 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 	// Decommission the fleet: every surviving tenant is released so the
 	// run leaves no live checkpoints behind (and the oracle run that
 	// may follow starts from a clean store).
-	for _, id := range order {
-		ls, ok := live[id]
-		if !ok {
-			continue
-		}
-		if err := sys.ReleaseSlice(id); err != nil {
+	for _, id := range eng.Live() {
+		m := meta[id]
+		t, err := eng.Release(id)
+		if err != nil {
 			return nil, fmt.Errorf("fleet: final release %s: %w", id, err)
 		}
-		classStats[ls.a.ClassIdx].Value += ls.value
+		classStats[t.Arrival.ClassIdx].Value += m.value
 	}
 
 	if res.Arrivals > 0 {
@@ -559,73 +456,4 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 	res.Classes = classStats
 	res.Diags = sys.StoreDiagnostics()
 	return res, nil
-}
-
-// arbitrate is the preemption-free downscale pass: it walks the live
-// elastic slices in admission order and asks each one's online learner
-// for a cheaper posterior-feasible configuration, collecting previewed
-// envelope tightenings until the needed demand would fit at the target
-// site. Site topology shapes what a tightening is worth: a tenant
-// hosted at the target site frees local RAN plus the shared tiers,
-// while a remote tenant's freed RAN belongs to its own site — only its
-// freed transport/compute help, since those tiers are regional. The
-// pass therefore walks the target site's tenants first and falls back
-// to remote ones only for their shared-tier contribution (skipping any
-// whose tightening frees no shared capacity at all). It stays
-// transactional: tightenings commit only when they actually make room;
-// if the elastic slices together cannot free enough, nothing is
-// applied, so no tenant is degraded for an arrival that gets rejected
-// anyway. It returns how many slices were downscaled; no slice is ever
-// evicted or restarted. (On single-pool runs every slice and every
-// arrival has the empty site, so the first pass covers the whole fleet
-// as before.)
-func (c *Controller) arbitrate(sys *core.System, live map[string]*liveSlice, order []string, need slicing.Demand, site slicing.SiteID) int {
-	if sys.Ledger == nil {
-		return 0
-	}
-	type tightening struct {
-		id   string
-		next slicing.Config
-	}
-	var plan []tightening
-	var freed slicing.Demand
-	enough := false
-	for pass := 0; pass < 2 && !enough; pass++ {
-		for _, id := range order {
-			ls, ok := live[id]
-			if !ok || !ls.a.Elastic || (ls.site == site) != (pass == 0) {
-				continue
-			}
-			if need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
-				enough = true
-				break
-			}
-			next, f, ok, err := sys.PreviewDownscale(id, c.opts.DownscalePool)
-			if err != nil || !ok {
-				continue
-			}
-			if pass == 1 {
-				// Remote RAN frees at the remote site, not here; only
-				// the shared tiers count toward this admission. A
-				// tightening that frees no shared capacity would shrink
-				// the tenant for nothing — leave it alone.
-				f.RanPRB = 0
-				if f.IsZero() {
-					continue
-				}
-			}
-			plan = append(plan, tightening{id: id, next: next})
-			freed = freed.Add(f)
-		}
-	}
-	if !enough && !need.Fits(sys.Ledger.FreeAt(site).Add(freed)) {
-		return 0
-	}
-	downs := 0
-	for _, tg := range plan {
-		if _, ok, err := sys.CommitDownscale(tg.id, tg.next); err == nil && ok {
-			downs++
-		}
-	}
-	return downs
 }

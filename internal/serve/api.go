@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// CreateRequest is the body of POST /slices: a tenant asking for a
+// slice of a cataloged service class.
+type CreateRequest struct {
+	// ID names the slice; empty lets the server assign slice-NNNN.
+	ID string `json:"id,omitempty"`
+	// Class is a service-class name from the serving catalog (the
+	// configured fleet scenario's classes).
+	Class string `json:"class"`
+	// Traffic overrides the class's nominal demand (0 = class default).
+	Traffic int `json:"traffic,omitempty"`
+	// Home is the tenant's home cell on topology runs (empty = the
+	// daemon picks none; hosting away from home costs delivered QoE).
+	Home string `json:"home,omitempty"`
+	// Value overrides the catalog's per-epoch revenue weight (nil =
+	// catalog default); Elastic likewise overrides whether the downscale
+	// arbitrator may shrink this tenant.
+	Value   *float64 `json:"value,omitempty"`
+	Elastic *bool    `json:"elastic,omitempty"`
+}
+
+// ModifyRequest is the body of POST /slices/{id}/modify: a first-class
+// re-optimization of a live slice. The reconciler re-runs stage 2 for
+// the new demand, resizes the reservation envelope in place, and — when
+// in-place growth does not fit on a topology run — re-runs placement
+// and migrates the reservation.
+type ModifyRequest struct {
+	// Traffic is the new nominal demand (required, >= 1).
+	Traffic int `json:"traffic"`
+}
+
+// DemandView is a reservation footprint in API form.
+type DemandView struct {
+	RanPRB float64 `json:"ran_prb"`
+	TnMbps float64 `json:"tn_mbps"`
+	CnCPU  float64 `json:"cn_cpu"`
+}
+
+func demandView(d slicing.Demand) *DemandView {
+	if d.IsZero() {
+		return nil
+	}
+	return &DemandView{RanPRB: d.RanPRB, TnMbps: d.TnMbps, CnCPU: d.CnCPU}
+}
+
+// SliceView is one slice's externally visible state, returned by every
+// slice endpoint.
+type SliceView struct {
+	ID      string  `json:"id"`
+	Class   string  `json:"class"`
+	State   State   `json:"state"`
+	Traffic int     `json:"traffic"`
+	Value   float64 `json:"value"`
+	Elastic bool    `json:"elastic"`
+	Home    string  `json:"home,omitempty"`
+	Site    string  `json:"site,omitempty"`
+	// Reason is the rejection reason ("policy" or "capacity") on
+	// REJECTED slices.
+	Reason string `json:"reason,omitempty"`
+	// Demand is the reserved envelope; PredictedQoE the offline
+	// artifact's predicted quality.
+	Demand       *DemandView `json:"demand,omitempty"`
+	PredictedQoE float64     `json:"predicted_qoe,omitempty"`
+	// Epochs counts served configuration intervals; LastQoE and MeanQoE
+	// summarize delivered quality over them.
+	Epochs  int     `json:"epochs"`
+	LastQoE float64 `json:"last_qoe,omitempty"`
+	MeanQoE float64 `json:"mean_qoe,omitempty"`
+	// Downscales counts arbitration-driven envelope tightenings this
+	// slice's admission caused (on the newcomer's view).
+	Downscales int `json:"downscales,omitempty"`
+}
+
+// Event is one append-only-log entry: a slice's state transition. The
+// log is the serve path's system of record — folding events through the
+// state machine reproduces every slice's final state exactly (see
+// Fold), which is what crash recovery and the CI smoke's replay check
+// rely on. Epoch is the reconciler epoch at which the transition fired,
+// not wall-clock time, so replay is deterministic.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Epoch  int    `json:"epoch"`
+	Slice  string `json:"slice"`
+	Op     Op     `json:"op"`
+	From   State  `json:"from,omitempty"`
+	To     State  `json:"to"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status string `json:"status"`
+	Epoch  int    `json:"epoch"`
+	Slices int    `json:"slices"`
+	Events int    `json:"events"`
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Sentinel errors the reconciler returns; the HTTP layer maps them to
+// status codes (404, 409, 400).
+var (
+	ErrNotFound   = errors.New("serve: slice not found")
+	ErrConflict   = errors.New("serve: conflict")
+	ErrBadRequest = errors.New("serve: bad request")
+)

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// EventLog is the append-only slice-lifecycle log: every state
+// transition the reconciler performs lands here, in memory and (when
+// opened with a path) as one JSON line per event on disk. The disk form
+// is the serve path's durable system of record — ReplayFile folds it
+// back into per-slice final states for crash recovery and for the CI
+// smoke's replay check.
+//
+// Appends are cheap (buffered writes); Sync flushes the buffer and
+// fsyncs, and the reconciler calls it on drain. The log tolerates a
+// missing file path (pure in-memory operation) so tests and ephemeral
+// runs need no disk.
+type EventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	lastErr error
+}
+
+// OpenEventLog opens (or creates) the log at path; an empty path keeps
+// the log purely in memory. An existing file is replayed first — its
+// events seed the in-memory view and the sequence counter, so a
+// restarted daemon appends where the crashed one stopped.
+func OpenEventLog(path string) (*EventLog, error) {
+	l := &EventLog{path: path}
+	if path == "" {
+		return l, nil
+	}
+	if prior, err := readEvents(path); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: replay event log %s: %w", path, err)
+		}
+	} else {
+		l.events = prior
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open event log %s: %w", path, err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// Append stamps the event with the next sequence number, records it,
+// and (with a file) writes its JSON line. Write errors are sticky and
+// surface from Sync/Close; the in-memory log stays authoritative.
+func (l *EventLog) Append(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.events) + 1
+	l.events = append(l.events, e)
+	if l.w != nil {
+		b, err := json.Marshal(e)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = l.w.Write(b)
+		}
+		if err != nil && l.lastErr == nil {
+			l.lastErr = err
+		}
+	}
+	return e
+}
+
+// Since returns the events with Seq > seq (all events for seq <= 0).
+func (l *EventLog) Since(seq int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= len(l.events) {
+		return nil
+	}
+	return append([]Event(nil), l.events[seq:]...)
+}
+
+// Len returns the number of events appended so far.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Sync flushes buffered lines to disk (fsync included) and reports the
+// first write error seen so far.
+func (l *EventLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *EventLog) syncLocked() error {
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil && l.lastErr == nil {
+			l.lastErr = err
+		}
+	}
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil && l.lastErr == nil {
+			l.lastErr = err
+		}
+	}
+	return l.lastErr
+}
+
+// Close flushes and closes the file (a memory-only log is a no-op).
+func (l *EventLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.syncLocked()
+	if l.f != nil {
+		if cerr := l.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.f, l.w = nil, nil
+	}
+	return err
+}
+
+// readEvents parses one JSONL event file.
+func readEvents(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fold replays events through the state machine, validating every
+// transition, and returns each slice's final state. This is the crash
+// recovery primitive: the log alone reproduces the control plane's
+// slice states, with no Result struct in sight.
+func Fold(events []Event) (map[string]State, error) {
+	states := map[string]State{}
+	for _, e := range events {
+		cur := states[e.Slice]
+		if cur != e.From {
+			return nil, fmt.Errorf("serve: event %d: slice %q is %q, event claims %q", e.Seq, e.Slice, cur, e.From)
+		}
+		to, err := Next(cur, e.Op)
+		if err != nil {
+			return nil, fmt.Errorf("serve: event %d: %w", e.Seq, err)
+		}
+		if to != e.To {
+			return nil, fmt.Errorf("serve: event %d: %s from %q leads to %q, event claims %q", e.Seq, e.Op, cur, to, e.To)
+		}
+		states[e.Slice] = to
+	}
+	return states, nil
+}
+
+// ReplayFile reads a JSONL event log and folds it to final states,
+// returning also the number of events replayed.
+func ReplayFile(path string) (map[string]State, int, error) {
+	events, err := readEvents(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: replay %s: %w", path, err)
+	}
+	states, err := Fold(events)
+	if err != nil {
+		return nil, 0, err
+	}
+	return states, len(events), nil
+}

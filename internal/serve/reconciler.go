@@ -1,0 +1,581 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// Config parameterizes one serving daemon.
+type Config struct {
+	// Classes is the serving catalog: the service classes tenants may
+	// request, with their default per-epoch value and elasticity
+	// (typically a fleet scenario's arrival classes).
+	Classes []fleet.ArrivalClass
+	// Policy is the admission policy (nil = value-density is NOT
+	// defaulted here; nil means FirstFit, matching the fleet engine).
+	Policy fleet.Policy
+	// Topology, Placement, and Capacity shape the infrastructure
+	// exactly as in fleet.Options: a site graph with a placement stage,
+	// or a single pool (zero Capacity = unlimited).
+	Topology  *topology.Graph
+	Placement topology.Policy
+	Capacity  slicing.Capacity
+	// Tick is the serving epoch period: every Tick the reconciler steps
+	// all OPERATING slices one configuration interval (0 = 1s).
+	Tick time.Duration
+	// Workers bounds the per-epoch stepping fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives every random draw.
+	Seed int64
+	// Store persists learned artifacts and online checkpoints; nil uses
+	// a fresh in-memory store.
+	Store *store.Store
+	// LogPath is the append-only event log file ("" = in-memory only).
+	LogPath string
+	// DownscalePool sizes the arbitration candidate pool (0 = 250).
+	DownscalePool int
+	// Tune adjusts the core.System after serve defaults are applied
+	// (training budgets, online options).
+	Tune func(*core.System)
+	// Real and Sim override the environment (nil = bundled surrogate
+	// and default simulator).
+	Real slicing.Env
+	Sim  *simnet.Simulator
+}
+
+// sliceRec is the reconciler's per-slice record: lifecycle state plus
+// the serving statistics the API reports. Only the reconciler goroutine
+// touches it.
+type sliceRec struct {
+	id           string
+	class        string
+	classIdx     int
+	state        State
+	traffic      int
+	value        float64
+	elastic      bool
+	home         slicing.SiteID
+	site         slicing.SiteID
+	reason       string
+	demand       slicing.Demand
+	predictedQoE float64
+	downscales   int
+	epochs       int
+	lastQoE      float64
+	qoeSum       float64
+}
+
+// cmdKind discriminates queued reconciler commands.
+type cmdKind int
+
+const (
+	cmdCreate cmdKind = iota
+	cmdActivate
+	cmdModify
+	cmdDeactivate
+	cmdDelete
+	cmdGet
+	cmdList
+	cmdHealth
+	cmdStep
+)
+
+type command struct {
+	kind   cmdKind
+	id     string
+	create CreateRequest
+	modify ModifyRequest
+	reply  chan cmdResult
+}
+
+type cmdResult struct {
+	view   SliceView
+	list   []SliceView
+	health Health
+	err    error
+}
+
+// Reconciler is the single-writer heart of the daemon: an async
+// command queue (fed by the HTTP handlers) and a serving ticker drain
+// into one goroutine that owns the fleet engine, the slice records,
+// and the event log. Single-writer means no locks around the engine or
+// the lifecycle states — concurrency is handled by serialization, and
+// every state transition appends exactly one event.
+type Reconciler struct {
+	sys     *core.System
+	eng     *fleet.Engine
+	log     *EventLog
+	classes []fleet.ArrivalClass
+	topo    *topology.Graph
+	tick    time.Duration
+	workers int
+
+	cmds   chan command
+	done   chan struct{}
+	epoch  int
+	serial int
+	slices map[string]*sliceRec
+	ids    []string // creation order, for listing
+	diags  []error
+}
+
+// NewReconciler builds the daemon core. The system gets the same
+// fleet-scale training budgets as the batch controller (the store
+// amortizes them to once per class); Config.Tune can override.
+func NewReconciler(cfg Config) (*Reconciler, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, errors.New("serve: no service classes in the catalog")
+	}
+	if cfg.Real == nil {
+		cfg.Real = realnet.New()
+	}
+	if cfg.Sim == nil {
+		cfg.Sim = simnet.NewDefault()
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Second
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.InMemory()
+	}
+	sys := core.NewSystem(cfg.Real, cfg.Sim, cfg.Seed)
+	sys.Store = st
+	if cfg.Topology != nil {
+		sys.Ledger = cfg.Topology.NewLedger()
+	} else if !cfg.Capacity.IsZero() {
+		sys.Ledger = slicing.NewCapacityLedger(cfg.Capacity)
+	}
+	sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 40, 10, 2, 300
+	sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 60, 12, 2, 300
+	sys.OnOpts.Pool, sys.OnOpts.N = 250, 5
+	if cfg.Tune != nil {
+		cfg.Tune(sys)
+	}
+	log, err := OpenEventLog(cfg.LogPath)
+	if err != nil {
+		return nil, err
+	}
+	eng := fleet.NewEngine(sys, fleet.EngineConfig{
+		Policy:        cfg.Policy,
+		Placement:     cfg.Placement,
+		Topology:      cfg.Topology,
+		Capacity:      cfg.Capacity,
+		DownscalePool: cfg.DownscalePool,
+	})
+	return &Reconciler{
+		sys:     sys,
+		eng:     eng,
+		log:     log,
+		classes: append([]fleet.ArrivalClass(nil), cfg.Classes...),
+		topo:    cfg.Topology,
+		tick:    cfg.Tick,
+		workers: cfg.Workers,
+		cmds:    make(chan command, 64),
+		done:    make(chan struct{}),
+		slices:  map[string]*sliceRec{},
+	}, nil
+}
+
+// Log exposes the event log (read-side: GET /events).
+func (r *Reconciler) Log() *EventLog { return r.log }
+
+// Run is the reconciler loop; it exits only when ctx is cancelled,
+// after draining: every commissioned slice's online residual is
+// checkpointed to the store and the event log is flushed and closed.
+// Callers must stop accepting commands (HTTP shutdown) before
+// cancelling ctx.
+func (r *Reconciler) Run(ctx context.Context) {
+	defer close(r.done)
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			r.drain()
+			return
+		case c := <-r.cmds:
+			r.handle(c)
+		case <-ticker.C:
+			r.step()
+		}
+	}
+}
+
+// drain is the graceful-shutdown hook: checkpoint all live slices,
+// flush the log.
+func (r *Reconciler) drain() {
+	for _, id := range r.eng.Live() {
+		if err := r.sys.CheckpointSlice(id); err != nil {
+			r.diags = append(r.diags, err)
+		}
+	}
+	if err := r.log.Close(); err != nil {
+		r.diags = append(r.diags, fmt.Errorf("serve: event log close: %w", err))
+	}
+}
+
+// Diagnostics returns the non-fatal errors the reconciler accumulated
+// (stepping failures, checkpoint failures, log write errors). Only
+// meaningful after Run returned.
+func (r *Reconciler) Diagnostics() []error {
+	return append(append([]error(nil), r.diags...), r.sys.StoreDiagnostics()...)
+}
+
+// do round-trips one command through the reconciler goroutine.
+func (r *Reconciler) do(c command) cmdResult {
+	c.reply = make(chan cmdResult, 1)
+	select {
+	case r.cmds <- c:
+	case <-r.done:
+		return cmdResult{err: errors.New("serve: reconciler stopped")}
+	}
+	select {
+	case res := <-c.reply:
+		return res
+	case <-r.done:
+		return cmdResult{err: errors.New("serve: reconciler stopped")}
+	}
+}
+
+// Public command surface (used by the HTTP layer and tests).
+
+func (r *Reconciler) Create(req CreateRequest) (SliceView, error) {
+	res := r.do(command{kind: cmdCreate, create: req})
+	return res.view, res.err
+}
+
+func (r *Reconciler) Lifecycle(op Op, id string, mod ModifyRequest) (SliceView, error) {
+	kind, ok := map[Op]cmdKind{
+		OpActivate:   cmdActivate,
+		OpModify:     cmdModify,
+		OpDeactivate: cmdDeactivate,
+		OpDelete:     cmdDelete,
+	}[op]
+	if !ok {
+		return SliceView{}, fmt.Errorf("%w: unknown operation %q", ErrBadRequest, op)
+	}
+	res := r.do(command{kind: kind, id: id, modify: mod})
+	return res.view, res.err
+}
+
+func (r *Reconciler) Get(id string) (SliceView, error) {
+	res := r.do(command{kind: cmdGet, id: id})
+	return res.view, res.err
+}
+
+func (r *Reconciler) List() ([]SliceView, error) {
+	res := r.do(command{kind: cmdList})
+	return res.list, res.err
+}
+
+func (r *Reconciler) Health() (Health, error) {
+	res := r.do(command{kind: cmdHealth})
+	return res.health, res.err
+}
+
+// StepNow forces one serving epoch outside the ticker cadence —
+// deterministic stepping for tests and manual drills.
+func (r *Reconciler) StepNow() error {
+	res := r.do(command{kind: cmdStep})
+	return res.err
+}
+
+// handle dispatches one queued command on the reconciler goroutine.
+func (r *Reconciler) handle(c command) {
+	var res cmdResult
+	switch c.kind {
+	case cmdCreate:
+		res.view, res.err = r.create(c.create)
+	case cmdActivate:
+		res.view, res.err = r.transition(c.id, OpActivate, "")
+	case cmdModify:
+		res.view, res.err = r.modify(c.id, c.modify)
+	case cmdDeactivate:
+		res.view, res.err = r.transition(c.id, OpDeactivate, "")
+	case cmdDelete:
+		res.view, res.err = r.delete(c.id)
+	case cmdGet:
+		rec, ok := r.slices[c.id]
+		if !ok {
+			res.err = fmt.Errorf("%w: %q", ErrNotFound, c.id)
+		} else {
+			res.view = r.view(rec)
+		}
+	case cmdList:
+		for _, id := range r.ids {
+			res.list = append(res.list, r.view(r.slices[id]))
+		}
+	case cmdHealth:
+		res.health = Health{Status: "ok", Epoch: r.epoch, Slices: len(r.eng.Live()), Events: r.log.Len()}
+	case cmdStep:
+		res.err = r.stepErr()
+	}
+	c.reply <- res
+}
+
+// event applies op to the slice's state machine and appends the
+// transition to the log. Transitions are pre-validated by callers; an
+// illegal one here is a reconciler bug and surfaces as ErrConflict.
+func (r *Reconciler) event(rec *sliceRec, op Op, detail string) error {
+	to, err := Next(rec.state, op)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	r.log.Append(Event{Epoch: r.epoch, Slice: rec.id, Op: op, From: rec.state, To: to, Detail: detail})
+	rec.state = to
+	return nil
+}
+
+// create runs the full request → admission-decision path for one POST.
+func (r *Reconciler) create(req CreateRequest) (SliceView, error) {
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("slice-%04d", r.serial)
+		r.serial++
+	}
+	if _, dup := r.slices[id]; dup {
+		return SliceView{}, fmt.Errorf("%w: slice %q already exists", ErrConflict, id)
+	}
+	ci := -1
+	for i, ac := range r.classes {
+		if ac.Class.Name == req.Class {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return SliceView{}, fmt.Errorf("%w: unknown class %q (catalog: %v)", ErrBadRequest, req.Class, r.classNames())
+	}
+	if req.Traffic < 0 || req.Traffic > core.MaxTraffic {
+		return SliceView{}, fmt.Errorf("%w: traffic %d outside [0, %d]", ErrBadRequest, req.Traffic, core.MaxTraffic)
+	}
+	home := slicing.SiteID(req.Home)
+	if home != "" {
+		if r.topo == nil {
+			return SliceView{}, fmt.Errorf("%w: home cell %q on a single-pool run", ErrBadRequest, home)
+		}
+		known := false
+		for _, s := range r.topo.SiteIDs() {
+			if s == home {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return SliceView{}, fmt.Errorf("%w: unknown home cell %q (sites: %v)", ErrBadRequest, home, r.topo.SiteIDs())
+		}
+	}
+	ac := r.classes[ci]
+	value, elastic := ac.Value, ac.Elastic
+	if req.Value != nil {
+		if *req.Value < 0 {
+			return SliceView{}, fmt.Errorf("%w: negative value", ErrBadRequest)
+		}
+		value = *req.Value
+	}
+	if req.Elastic != nil {
+		elastic = *req.Elastic
+	}
+
+	rec := &sliceRec{
+		id: id, class: ac.Class.Name, classIdx: ci,
+		traffic: req.Traffic, value: value, elastic: elastic, home: home,
+	}
+	r.slices[id] = rec
+	r.ids = append(r.ids, id)
+	if err := r.event(rec, OpRequest, ""); err != nil {
+		return SliceView{}, err
+	}
+
+	dec, err := r.eng.Handle(fleet.Arrival{
+		Epoch:    r.epoch,
+		ID:       id,
+		ClassIdx: ci,
+		Class:    ac.Class,
+		Traffic:  req.Traffic,
+		Value:    value,
+		Elastic:  elastic,
+		Home:     home,
+	})
+	if err != nil {
+		// Systemic failure (training/ledger): the request terminates as
+		// rejected so the log stays a total record, and the error
+		// surfaces as a 5xx.
+		rec.reason = "error"
+		_ = r.event(rec, OpReject, "internal: "+err.Error())
+		return SliceView{}, err
+	}
+	rec.demand = dec.Demand
+	rec.predictedQoE = dec.PredictedQoE
+	rec.downscales = dec.Downscales
+	if !dec.Admitted {
+		rec.reason = dec.Reason
+		if err := r.event(rec, OpReject, dec.Reason); err != nil {
+			return SliceView{}, err
+		}
+		return r.view(rec), nil
+	}
+	rec.site = dec.Site
+	if err := r.event(rec, OpAdmit, "site="+string(dec.Site)); err != nil {
+		return SliceView{}, err
+	}
+	return r.view(rec), nil
+}
+
+// transition handles the bodyless lifecycle verbs (activate,
+// deactivate).
+func (r *Reconciler) transition(id string, op Op, detail string) (SliceView, error) {
+	rec, ok := r.slices[id]
+	if !ok {
+		return SliceView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if _, err := Next(rec.state, op); err != nil {
+		return SliceView{}, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if err := r.event(rec, op, detail); err != nil {
+		return SliceView{}, err
+	}
+	return r.view(rec), nil
+}
+
+// modify is the first-class re-optimization path: stage 2 re-runs for
+// the new demand, the envelope resizes in place, and on topology runs
+// that cannot grow in place the placement policy re-runs and the
+// reservation migrates.
+func (r *Reconciler) modify(id string, req ModifyRequest) (SliceView, error) {
+	rec, ok := r.slices[id]
+	if !ok {
+		return SliceView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if _, err := Next(rec.state, OpModify); err != nil {
+		return SliceView{}, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if req.Traffic < 1 || req.Traffic > core.MaxTraffic {
+		return SliceView{}, fmt.Errorf("%w: traffic %d outside [1, %d]", ErrBadRequest, req.Traffic, core.MaxTraffic)
+	}
+	d, site, err := r.eng.Resize(id, req.Traffic)
+	if err != nil {
+		if errors.Is(err, core.ErrInsufficientCapacity) {
+			return SliceView{}, fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		return SliceView{}, err
+	}
+	detail := fmt.Sprintf("traffic=%d", req.Traffic)
+	if site != rec.site {
+		detail += fmt.Sprintf(" migrated=%s->%s", rec.site, site)
+	}
+	rec.traffic = req.Traffic
+	rec.demand = d
+	rec.site = site
+	if err := r.event(rec, OpModify, detail); err != nil {
+		return SliceView{}, err
+	}
+	return r.view(rec), nil
+}
+
+// delete decommissions an AVAILABLE slice: capacity freed, checkpoint
+// tombstoned, terminal DELETED state.
+func (r *Reconciler) delete(id string) (SliceView, error) {
+	rec, ok := r.slices[id]
+	if !ok {
+		return SliceView{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if _, err := Next(rec.state, OpDelete); err != nil {
+		return SliceView{}, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if _, err := r.eng.Release(id); err != nil {
+		return SliceView{}, err
+	}
+	if err := r.event(rec, OpDelete, ""); err != nil {
+		return SliceView{}, err
+	}
+	return r.view(rec), nil
+}
+
+// step advances every OPERATING slice one configuration interval and
+// aggregates delivered QoE (with the topology's locality toll), then
+// advances the serving epoch.
+func (r *Reconciler) step() {
+	if err := r.stepErr(); err != nil {
+		r.diags = append(r.diags, err)
+	}
+}
+
+func (r *Reconciler) stepErr() error {
+	var ids []string
+	for _, id := range r.eng.Live() {
+		if rec, ok := r.slices[id]; ok && rec.state == StateOperating {
+			ids = append(ids, id)
+		}
+	}
+	defer func() { r.epoch++ }()
+	if len(ids) == 0 {
+		return nil
+	}
+	err := r.sys.StepMany(ids, r.workers)
+	for _, id := range ids {
+		rec := r.slices[id]
+		inst, ok := r.sys.Slice(id)
+		if !ok || len(inst.QoEs) == 0 {
+			continue
+		}
+		qoe := inst.QoEs[len(inst.QoEs)-1]
+		if r.topo != nil {
+			qoe *= r.topo.QoEFactor(rec.home, rec.site)
+		}
+		rec.epochs++
+		rec.lastQoE = qoe
+		rec.qoeSum += qoe
+	}
+	if err != nil {
+		return fmt.Errorf("serve: step epoch %d: %w", r.epoch, err)
+	}
+	return nil
+}
+
+func (r *Reconciler) classNames() []string {
+	out := make([]string, len(r.classes))
+	for i, ac := range r.classes {
+		out[i] = ac.Class.Name
+	}
+	return out
+}
+
+// view renders one record as its API shape.
+func (r *Reconciler) view(rec *sliceRec) SliceView {
+	traffic := rec.traffic
+	if traffic == 0 {
+		traffic = r.classes[rec.classIdx].Class.Traffic
+	}
+	v := SliceView{
+		ID:           rec.id,
+		Class:        rec.class,
+		State:        rec.state,
+		Traffic:      traffic,
+		Value:        rec.value,
+		Elastic:      rec.elastic,
+		Home:         string(rec.home),
+		Site:         string(rec.site),
+		Reason:       rec.reason,
+		Demand:       demandView(rec.demand),
+		PredictedQoE: rec.predictedQoE,
+		Epochs:       rec.epochs,
+		LastQoE:      rec.lastQoE,
+		Downscales:   rec.downscales,
+	}
+	if rec.epochs > 0 {
+		v.MeanQoE = rec.qoeSum / float64(rec.epochs)
+	}
+	return v
+}

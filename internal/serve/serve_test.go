@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// tinyTune shrinks every training budget so lifecycle tests run in
+// seconds (the store caches artifacts, so each class trains once).
+func tinyTune(sys *core.System) {
+	sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 12, 4, 2, 120
+	sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 15, 5, 2, 120
+	sys.OnOpts.Pool, sys.OnOpts.N = 100, 2
+}
+
+func testCatalog() []fleet.ArrivalClass {
+	return []fleet.ArrivalClass{{Class: slicing.DefaultServiceClass(), Value: 2, Elastic: true}}
+}
+
+// harness is an httptest front over a running reconciler. Tick is huge:
+// serving epochs advance only via StepNow, keeping tests deterministic.
+type harness struct {
+	t    *testing.T
+	srv  *Server
+	http *httptest.Server
+	stop func()
+}
+
+func startHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	if cfg.Classes == nil {
+		cfg.Classes = testCatalog()
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Hour
+	}
+	if cfg.Tune == nil {
+		cfg.Tune = tinyTune
+	}
+	cfg.Seed = 7
+	srv, err := New("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Reconciler().Run(ctx)
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	h := &harness{t: t, srv: srv, http: ts}
+	h.stop = func() {
+		ts.Close() // waits for in-flight handlers before the reconciler dies
+		cancel()
+		<-done
+	}
+	t.Cleanup(h.stop)
+	return h
+}
+
+// call round-trips one request; the decoded body lands in out (nil to
+// discard).
+func (h *harness) call(method, path string, body any, out any) int {
+	h.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			h.t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, h.http.URL+path, rd)
+	if err != nil {
+		h.t.Fatalf("request: %v", err)
+	}
+	resp, err := h.http.Client().Do(req)
+	if err != nil {
+		h.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			h.t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// foldedStates folds GET /events through the state machine.
+func (h *harness) foldedStates() map[string]State {
+	h.t.Helper()
+	var events []Event
+	if code := h.call("GET", "/events", nil, &events); code != http.StatusOK {
+		h.t.Fatalf("GET /events: %d", code)
+	}
+	states, err := Fold(events)
+	if err != nil {
+		h.t.Fatalf("fold: %v", err)
+	}
+	return states
+}
+
+// TestLifecycleOverHTTP drives one slice through the full lifecycle and
+// checks the event log folds to exactly the states the API reports.
+func TestLifecycleOverHTTP(t *testing.T) {
+	h := startHarness(t, Config{})
+
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "s1", Class: "video-analytics", Traffic: 1}, &v); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if v.State != StateAvailable {
+		t.Fatalf("after create: state %q, want AVAILABLE", v.State)
+	}
+	if v.Demand == nil {
+		t.Fatal("admitted slice has no demand envelope")
+	}
+
+	if code := h.call("POST", "/slices/s1/activate", nil, &v); code != http.StatusOK || v.State != StateOperating {
+		t.Fatalf("activate: status %d state %q", code, v.State)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := h.srv.Reconciler().StepNow(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if code := h.call("GET", "/slices/s1", nil, &v); code != http.StatusOK {
+		t.Fatalf("get: %d", code)
+	}
+	if v.Epochs != 3 || v.MeanQoE <= 0 {
+		t.Fatalf("after 3 steps: epochs=%d meanQoE=%v", v.Epochs, v.MeanQoE)
+	}
+
+	if code := h.call("POST", "/slices/s1/modify", ModifyRequest{Traffic: 2}, &v); code != http.StatusOK {
+		t.Fatalf("modify: %d", code)
+	}
+	if v.State != StateOperating || v.Traffic != 2 {
+		t.Fatalf("after modify: state %q traffic %d", v.State, v.Traffic)
+	}
+
+	if code := h.call("POST", "/slices/s1/deactivate", nil, &v); code != http.StatusOK || v.State != StateAvailable {
+		t.Fatalf("deactivate: status %d state %q", code, v.State)
+	}
+	if code := h.call("DELETE", "/slices/s1", nil, &v); code != http.StatusOK || v.State != StateDeleted {
+		t.Fatalf("delete: status %d state %q", code, v.State)
+	}
+
+	// The log must replay to the live view.
+	states := h.foldedStates()
+	if states["s1"] != StateDeleted {
+		t.Fatalf("folded state %q, want DELETED", states["s1"])
+	}
+	var list []SliceView
+	if code := h.call("GET", "/slices", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 1 || states[list[0].ID] != list[0].State {
+		t.Fatalf("fold/list mismatch: %v vs %+v", states, list)
+	}
+}
+
+// TestHTTPErrorMapping checks the sentinel → status-code mapping:
+// unknown class 400, unknown id 404, illegal transition 409.
+func TestHTTPErrorMapping(t *testing.T) {
+	h := startHarness(t, Config{})
+
+	var e apiError
+	if code := h.call("POST", "/slices", CreateRequest{Class: "no-such-class"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown class: status %d (%s)", code, e.Error)
+	}
+	if code := h.call("GET", "/slices/ghost", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", code)
+	}
+
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "a", Class: "video-analytics"}, &v); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	// Delete while OPERATING is illegal; so is a duplicate id.
+	h.call("POST", "/slices/a/activate", nil, nil)
+	if code := h.call("DELETE", "/slices/a", nil, &e); code != http.StatusConflict {
+		t.Fatalf("delete while OPERATING: status %d", code)
+	}
+	if code := h.call("POST", "/slices", CreateRequest{ID: "a", Class: "video-analytics"}, &e); code != http.StatusConflict {
+		t.Fatalf("duplicate id: status %d", code)
+	}
+	if code := h.call("POST", "/slices/a/modify", ModifyRequest{Traffic: 0}, &e); code != http.StatusBadRequest {
+		t.Fatalf("zero traffic modify: status %d", code)
+	}
+}
+
+// TestRejectionIsADecision pins that a capacity rejection is a 201 with
+// a terminal REJECTED slice — a completed admission decision, not an
+// HTTP error — and that terminal slices refuse lifecycle verbs.
+func TestRejectionIsADecision(t *testing.T) {
+	h := startHarness(t, Config{
+		Capacity: slicing.Capacity{RanPRB: 1e-6, TnMbps: 1e-6, CnCPU: 1e-6},
+	})
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "r", Class: "video-analytics"}, &v); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if v.State != StateRejected || v.Reason == "" {
+		t.Fatalf("state %q reason %q, want REJECTED with reason", v.State, v.Reason)
+	}
+	var e apiError
+	if code := h.call("POST", "/slices/r/activate", nil, &e); code != http.StatusConflict {
+		t.Fatalf("activate rejected slice: status %d", code)
+	}
+	if st := h.foldedStates()["r"]; st != StateRejected {
+		t.Fatalf("folded %q, want REJECTED", st)
+	}
+}
+
+// TestConcurrentClients hammers the API from many goroutines (run under
+// -race in CI): no 5xx may escape, and afterwards the event log must
+// fold to exactly the per-slice states the API reports.
+func TestConcurrentClients(t *testing.T) {
+	h := startHarness(t, Config{})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*8)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%02d", c)
+			check := func(op string, code int) {
+				if code >= 500 {
+					errs <- fmt.Errorf("%s %s: status %d", id, op, code)
+				}
+			}
+			var v SliceView
+			check("create", h.call("POST", "/slices", CreateRequest{ID: id, Class: "video-analytics"}, &v))
+			check("activate", h.call("POST", "/slices/"+id+"/activate", nil, nil))
+			check("modify", h.call("POST", "/slices/"+id+"/modify", ModifyRequest{Traffic: 2}, nil))
+			if c%2 == 0 {
+				check("deactivate", h.call("POST", "/slices/"+id+"/deactivate", nil, nil))
+				check("delete", h.call("DELETE", "/slices/"+id, nil, nil))
+			}
+			check("get", h.call("GET", "/slices/"+id, nil, nil))
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	states := h.foldedStates()
+	var list []SliceView
+	if code := h.call("GET", "/slices", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != clients {
+		t.Fatalf("%d slices, want %d", len(list), clients)
+	}
+	for _, v := range list {
+		if states[v.ID] != v.State {
+			t.Errorf("slice %s: folded %q, API %q", v.ID, states[v.ID], v.State)
+		}
+	}
+}
+
+// TestEventLogReplayFile runs a lifecycle against an on-disk log,
+// drains, and checks ReplayFile reproduces the final states — the crash
+// recovery contract the CI smoke also asserts.
+func TestEventLogReplayFile(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	h := startHarness(t, Config{LogPath: logPath})
+
+	var v SliceView
+	h.call("POST", "/slices", CreateRequest{ID: "d1", Class: "video-analytics"}, &v)
+	h.call("POST", "/slices/d1/activate", nil, nil)
+	h.call("POST", "/slices", CreateRequest{ID: "d2", Class: "video-analytics"}, &v)
+	want := map[string]State{"d1": StateOperating, "d2": StateAvailable}
+
+	h.stop() // drain: flush + close the log (Cleanup tolerates a second call)
+
+	states, n, err := ReplayFile(logPath)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no events replayed")
+	}
+	for id, st := range want {
+		if states[id] != st {
+			t.Errorf("replayed %s: %q, want %q", id, states[id], st)
+		}
+	}
+
+	// A restarted log continues the sequence where the old one stopped.
+	log, err := OpenEventLog(logPath)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer log.Close()
+	if log.Len() != n {
+		t.Fatalf("reopened log has %d events, want %d", log.Len(), n)
+	}
+	e := log.Append(Event{Slice: "d2", Op: OpActivate, From: StateAvailable, To: StateOperating})
+	if e.Seq != n+1 {
+		t.Fatalf("appended seq %d, want %d", e.Seq, n+1)
+	}
+}

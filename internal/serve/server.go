@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server fronts one Reconciler with the HTTP+JSON slice-lifecycle API:
+//
+//	POST   /slices                  create (request → admission decision)
+//	GET    /slices                  list all slices
+//	GET    /slices/{id}             one slice
+//	POST   /slices/{id}/activate    AVAILABLE → OPERATING
+//	POST   /slices/{id}/modify      resize (re-optimization)
+//	POST   /slices/{id}/deactivate  OPERATING → AVAILABLE
+//	DELETE /slices/{id}             AVAILABLE → DELETED
+//	GET    /events?since=N          the append-only transition log
+//	GET    /healthz                 liveness + counters
+//
+// Handlers only marshal: every mutation round-trips through the
+// reconciler goroutine, so concurrent clients serialize there.
+type Server struct {
+	rec  *Reconciler
+	addr string
+}
+
+// New builds the daemon: reconciler plus HTTP front.
+func New(addr string, cfg Config) (*Server, error) {
+	rec, err := NewReconciler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{rec: rec, addr: addr}, nil
+}
+
+// Reconciler exposes the command surface (tests drive it directly).
+func (s *Server) Reconciler() *Reconciler { return s.rec }
+
+// Handler builds the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /slices", s.handleCreate)
+	mux.HandleFunc("GET /slices", s.handleList)
+	mux.HandleFunc("GET /slices/{id}", s.handleGet)
+	mux.HandleFunc("POST /slices/{id}/activate", s.lifecycle(OpActivate))
+	mux.HandleFunc("POST /slices/{id}/modify", s.handleModify)
+	mux.HandleFunc("POST /slices/{id}/deactivate", s.lifecycle(OpDeactivate))
+	mux.HandleFunc("DELETE /slices/{id}", s.lifecycle(OpDelete))
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// Run serves until ctx is cancelled, then shuts down gracefully: the
+// HTTP listener drains first (in-flight handlers still reach the
+// reconciler), the reconciler drains second (checkpoints + log flush).
+// The ordering matters — handlers block on reconciler replies, so the
+// reconciler must outlive them.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return err
+	}
+	recCtx, stopRec := context.WithCancel(context.Background())
+	defer stopRec()
+	recDone := make(chan struct{})
+	go func() {
+		defer close(recDone)
+		s.rec.Run(recCtx)
+	}()
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("atlas serve: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		stopRec()
+		<-recDone
+		return err
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	stopRec()
+	<-recDone
+	for _, d := range s.rec.Diagnostics() {
+		fmt.Printf("atlas serve: diagnostic: %v\n", d)
+	}
+	if shutErr != nil {
+		return fmt.Errorf("serve: shutdown: %w", shutErr)
+	}
+	fmt.Println("atlas serve: drained cleanly")
+	return nil
+}
+
+// writeJSON emits one JSON body with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps reconciler sentinels onto status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	view, err := s.rec.Create(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// A policy/capacity rejection is a completed decision, not an HTTP
+	// error: the slice exists, terminally REJECTED.
+	writeJSON(w, http.StatusCreated, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	views, err := s.rec.List()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if views == nil {
+		views = []SliceView{}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.rec.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) lifecycle(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		view, err := s.rec.Lifecycle(op, r.PathValue("id"), ModifyRequest{})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
+	var req ModifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	view, err := s.rec.Lifecycle(OpModify, r.PathValue("id"), req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: since=%q", ErrBadRequest, q))
+			return
+		}
+		since = n
+	}
+	events := s.rec.Log().Since(since)
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h, err := s.rec.Health()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}

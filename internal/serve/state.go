@@ -1,0 +1,74 @@
+// Package serve is the slice-lifecycle control-plane daemon over the
+// fleet engine: a long-lived HTTP+JSON API through which external
+// tenants request, activate, modify, deactivate, and delete network
+// slices, mirroring the GST→NEST creation-phase orchestration of
+// ONAP-style slice automation. Batch runs replay a fixed arrival trace
+// and print a Result struct; serve turns the same admission + placement
+// + online-learning machinery into a serving system — an async request
+// queue feeds a single-writer reconciler goroutine, per-slice state is
+// persisted as events in an append-only log (replayable for crash
+// recovery), and SIGTERM drains gracefully by checkpointing every live
+// slice.
+package serve
+
+import "fmt"
+
+// State is one slice's lifecycle state, following the
+// commissioned/operating phases of the 3GPP/GSMA slice lifecycle: a
+// REQUESTED slice awaits the admission decision, an AVAILABLE slice
+// holds a capacity reservation but is not stepping, an OPERATING slice
+// is served (stepped, accruing QoE) every reconciler epoch. REJECTED
+// and DELETED are terminal.
+type State string
+
+const (
+	StateRequested State = "REQUESTED"
+	StateAvailable State = "AVAILABLE"
+	StateOperating State = "OPERATING"
+	StateRejected  State = "REJECTED"
+	StateDeleted   State = "DELETED"
+)
+
+// Op is one lifecycle operation. OpRequest, OpAdmit, and OpReject are
+// reconciler-internal (a POST /slices produces a request event followed
+// by the admission decision); the rest map one-to-one onto API verbs.
+type Op string
+
+const (
+	OpRequest    Op = "request"
+	OpAdmit      Op = "admit"
+	OpReject     Op = "reject"
+	OpActivate   Op = "activate"
+	OpModify     Op = "modify"
+	OpDeactivate Op = "deactivate"
+	OpDelete     Op = "delete"
+)
+
+// transitions is the legal state machine. Deleting an OPERATING slice
+// is deliberately illegal — it must deactivate first, as in the 3GPP
+// lifecycle where decommissioning requires deactivation — and modify
+// is legal in both commissioned states (the reservation resizes whether
+// or not the slice is currently stepping). The empty state is genesis:
+// only a request leaves it.
+var transitions = map[State]map[Op]State{
+	"":             {OpRequest: StateRequested},
+	StateRequested: {OpAdmit: StateAvailable, OpReject: StateRejected},
+	StateAvailable: {OpActivate: StateOperating, OpModify: StateAvailable, OpDelete: StateDeleted},
+	StateOperating: {OpModify: StateOperating, OpDeactivate: StateAvailable},
+	StateRejected:  {},
+	StateDeleted:   {},
+}
+
+// Next returns the state op leads to from s, or an error when the
+// transition is illegal.
+func Next(s State, op Op) (State, error) {
+	if to, ok := transitions[s][op]; ok {
+		return to, nil
+	}
+	return "", fmt.Errorf("serve: illegal transition: %s from state %q", op, s)
+}
+
+// Terminal reports whether no operation can leave the state.
+func Terminal(s State) bool {
+	return len(transitions[s]) == 0
+}

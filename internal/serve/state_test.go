@@ -1,0 +1,58 @@
+package serve
+
+import "testing"
+
+// TestTransitionTable walks every state x op pair and asserts exactly
+// the legal set succeeds, with the documented target states.
+func TestTransitionTable(t *testing.T) {
+	states := []State{"", StateRequested, StateAvailable, StateOperating, StateRejected, StateDeleted}
+	ops := []Op{OpRequest, OpAdmit, OpReject, OpActivate, OpModify, OpDeactivate, OpDelete}
+	legal := map[State]map[Op]State{
+		"":             {OpRequest: StateRequested},
+		StateRequested: {OpAdmit: StateAvailable, OpReject: StateRejected},
+		StateAvailable: {OpActivate: StateOperating, OpModify: StateAvailable, OpDelete: StateDeleted},
+		StateOperating: {OpModify: StateOperating, OpDeactivate: StateAvailable},
+		StateRejected:  {},
+		StateDeleted:   {},
+	}
+	for _, s := range states {
+		for _, op := range ops {
+			want, ok := legal[s][op]
+			got, err := Next(s, op)
+			if ok {
+				if err != nil {
+					t.Errorf("Next(%q, %s): unexpected error %v", s, op, err)
+				} else if got != want {
+					t.Errorf("Next(%q, %s) = %q, want %q", s, op, got, want)
+				}
+			} else if err == nil {
+				t.Errorf("Next(%q, %s) = %q, want illegal", s, op, got)
+			}
+		}
+	}
+}
+
+// TestDeleteWhileOperatingIllegal pins the 3GPP-style rule that an
+// OPERATING slice must deactivate before deletion.
+func TestDeleteWhileOperatingIllegal(t *testing.T) {
+	if _, err := Next(StateOperating, OpDelete); err == nil {
+		t.Fatal("delete from OPERATING should be illegal")
+	}
+	if _, err := Next(StateAvailable, OpDelete); err != nil {
+		t.Fatalf("delete from AVAILABLE should be legal: %v", err)
+	}
+}
+
+// TestTerminal asserts exactly the two terminal states admit no ops.
+func TestTerminal(t *testing.T) {
+	for _, s := range []State{StateRejected, StateDeleted} {
+		if !Terminal(s) {
+			t.Errorf("Terminal(%q) = false, want true", s)
+		}
+	}
+	for _, s := range []State{"", StateRequested, StateAvailable, StateOperating} {
+		if Terminal(s) {
+			t.Errorf("Terminal(%q) = true, want false", s)
+		}
+	}
+}

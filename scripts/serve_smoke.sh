@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the slice-lifecycle daemon: build
+# `atlas` with the race detector, start `atlas serve` against the
+# hotspot-cell topology, drive one slice through the full lifecycle
+# (request → activate → modify → deactivate → delete) over HTTP, SIGTERM
+# the daemon, and assert
+#
+#   1. every API step lands in the expected lifecycle state,
+#   2. the daemon exits 0 after a graceful drain (race detector clean),
+#   3. replaying the event log reproduces the API's final slice states.
+#
+#	scripts/serve_smoke.sh           # run with defaults
+#	PORT=18099 scripts/serve_smoke.sh
+#
+# Training budgets are shrunk via -stage1-iters/-stage2-iters/-pool so
+# the whole smoke stays in CI seconds; the lifecycle and the log replay
+# are exactly the production paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${PORT:-18099}"
+base="http://127.0.0.1:${port}"
+workdir="$(mktemp -d)"
+log="${workdir}/events.jsonl"
+trap 'kill "${pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -race -o "${workdir}/atlas" ./cmd/atlas
+
+"${workdir}/atlas" serve \
+	-addr "127.0.0.1:${port}" \
+	-scenario churn \
+	-topology hotspot-cell \
+	-serve-log "$log" \
+	-tick 150ms \
+	-stage1-iters 10 -stage2-iters 12 -pool 100 \
+	>"${workdir}/serve.out" 2>&1 &
+pid=$!
+
+for _ in $(seq 1 100); do
+	curl -sf "${base}/healthz" >/dev/null 2>&1 && break
+	kill -0 "$pid" 2>/dev/null || { echo "FAIL: daemon died during startup"; cat "${workdir}/serve.out"; exit 1; }
+	sleep 0.3
+done
+curl -sf "${base}/healthz" >/dev/null || { echo "FAIL: daemon never became healthy"; cat "${workdir}/serve.out"; exit 1; }
+
+# expect VERB PATH BODY FIELD WANT — one API call, one field assertion.
+expect() {
+	local verb="$1" path="$2" body="$3" field="$4" want="$5" got
+	if [ -n "$body" ]; then
+		got="$(curl -sf -X "$verb" "${base}${path}" -d "$body" | jq -r "$field")"
+	else
+		got="$(curl -sf -X "$verb" "${base}${path}" | jq -r "$field")"
+	fi
+	if [ "$got" != "$want" ]; then
+		echo "FAIL: $verb $path: $field = $got, want $want"
+		exit 1
+	fi
+	echo "ok: $verb $path → $field=$want"
+}
+
+# Lifecycle: the teleop slice trains (tiny budgets), admits onto the
+# hotspot-cell graph, operates for a few ticks, resizes, and retires.
+expect POST /slices '{"id":"smoke","class":"teleop","home":"hot"}' .state AVAILABLE
+expect POST /slices/smoke/activate '' .state OPERATING
+sleep 1
+expect POST /slices/smoke/modify '{"traffic":2}' .traffic 2
+epochs="$(curl -sf "${base}/slices/smoke" | jq -r .epochs)"
+if [ "$epochs" -lt 1 ]; then
+	echo "FAIL: slice served $epochs epochs, want >= 1"
+	exit 1
+fi
+echo "ok: slice served $epochs epochs"
+expect POST /slices/smoke/deactivate '' .state AVAILABLE
+expect DELETE /slices/smoke '' .state DELETED
+
+# A second slice left AVAILABLE makes the replay check non-trivial.
+expect POST /slices '{"id":"smoke-2","class":"iot-telemetry"}' .state AVAILABLE
+
+events="$(curl -sf "${base}/events" | jq length)"
+if [ "$events" -lt 8 ]; then
+	echo "FAIL: event log has $events events, want >= 8"
+	exit 1
+fi
+echo "ok: event log has $events events"
+
+# Snapshot the API's view of every slice state, then drain.
+curl -sf "${base}/slices" | jq -S 'map({key: .id, value: .state}) | from_entries' >"${workdir}/api-states.json"
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+	echo "FAIL: daemon exited non-zero after SIGTERM"
+	cat "${workdir}/serve.out"
+	exit 1
+fi
+grep -q "drained cleanly" "${workdir}/serve.out" || { echo "FAIL: no clean-drain marker"; cat "${workdir}/serve.out"; exit 1; }
+echo "ok: daemon drained cleanly (exit 0)"
+
+# Crash-recovery contract: folding the event log alone must reproduce
+# exactly the final states the live API last reported.
+"${workdir}/atlas" serve -replay "$log" | jq -S . >"${workdir}/replayed-states.json"
+if ! diff -u "${workdir}/api-states.json" "${workdir}/replayed-states.json"; then
+	echo "FAIL: replayed event log diverges from the API's final states"
+	exit 1
+fi
+echo "ok: event log replays to identical final states"
+echo "PASS: serve smoke"
