@@ -598,3 +598,57 @@ func BenchmarkFleetLongHorizon(b *testing.B) {
 	b.ReportMetric(downs/n, "downscales")
 	b.ReportMetric(peak, "peak_util")
 }
+
+// ---- sustained-throughput hot-path benchmarks (BENCH_6) -------------
+
+// BenchmarkOnlineScanPool measures the steady-state candidate scan of a
+// warm online learner — the per-interval hot path every live slice pays
+// — via the mean-only arbitration entry point. B/op here is the
+// guardrail scripts/bench_hotpath.sh enforces: the scan reuses the
+// learner's scratch, so the steady state must stay near zero
+// allocations regardless of pool size.
+func BenchmarkOnlineScanPool(b *testing.B) {
+	space := atlas.DefaultConfigSpace()
+	for _, pool := range []int{64, 256} {
+		pool := pool
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			opts := core.DefaultOnlineOptions()
+			opts.Pool = pool
+			opts.OfflineAccel = false
+			l := core.NewOnlineLearner(nil, nil, opts, mathx.NewRNG(9))
+			rng := mathx.NewRNG(10)
+			for i := 0; i < 100; i++ {
+				cfg := space.Sample(rng)
+				l.Observe(i, cfg, space.Usage(cfg), 0.9+0.1*rng.Float64())
+			}
+			scanRng := mathx.NewRNG(11)
+			if _, ok := l.CheapestFeasible(pool, scanRng); !ok {
+				b.Fatal("warm learner found no feasible candidate")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.CheapestFeasible(pool, scanRng)
+			}
+			b.ReportMetric(float64(b.N*pool)/b.Elapsed().Seconds(), "cands/sec")
+		})
+	}
+}
+
+// BenchmarkFleetSustained reports end-to-end control-plane throughput
+// under churn: slice-epochs served and arrivals handled per wall-clock
+// second, with allocations. This is the sustained-throughput number
+// BENCH_6 snapshots and CI guards against regressing to NaN/zero.
+func BenchmarkFleetSustained(b *testing.B) {
+	var arrivals, episodes float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchFleetRun(b, fleet.ValueDensity{ReservePrice: 4})
+		arrivals += float64(res.Arrivals)
+		episodes += float64(res.ServedEpochs)
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(arrivals/sec, "arrivals/sec")
+	b.ReportMetric(episodes/sec, "episodes/sec")
+}

@@ -118,6 +118,8 @@ func main() {
 		serveLog     = flag.String("serve-log", "", "serve: append-only slice-event log file (JSONL, replayable)")
 		tick         = flag.Duration("tick", time.Second, "serve: serving epoch period (every tick steps all OPERATING slices)")
 		replayPath   = flag.String("replay", "", "serve: fold an event log to final slice states and exit (no daemon)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format; works in every mode)")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format; works in every mode)")
 	)
 	// `atlas serve ...` is the daemon subcommand; everything after it is
 	// ordinary flags.
@@ -291,6 +293,13 @@ func main() {
 			strings.Join(scenarios.Names(), ", "), strings.Join(scenarios.FleetNames(), ", "))
 		os.Exit(2)
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atlas: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	sla := slicing.SLA{ThresholdMs: *threshold, Availability: *availability}
 	real := realnet.New()

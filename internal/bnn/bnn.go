@@ -205,6 +205,62 @@ func (m *Model) Eval(d *Draw, x []float64) float64 {
 	return m.scaler.Inverse(d.evalStandardized(x))
 }
 
+// evalBuffered is evalStandardized with caller-provided ping-pong
+// activation buffers (each at least as wide as the widest layer), so a
+// pool-wide sweep reuses two slices instead of allocating per layer per
+// input. Identical arithmetic, identical results.
+func (d *Draw) evalBuffered(x, buf1, buf2 []float64) float64 {
+	a := x
+	next, other := buf1, buf2
+	for li := range d.layers {
+		l := &d.layers[li]
+		out := next[:l.out]
+		last := li == len(d.layers)-1
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, w := range row {
+				sum += w * a[i]
+			}
+			if !last && sum < 0 {
+				sum = 0
+			}
+			out[o] = sum
+		}
+		a = out
+		next, other = other, next
+	}
+	return a[0]
+}
+
+// maxWidth returns the widest layer output of the realized network.
+func (d *Draw) maxWidth() int {
+	w := 1
+	for i := range d.layers {
+		if d.layers[i].out > w {
+			w = d.layers[i].out
+		}
+	}
+	return w
+}
+
+// EvalBatchAccum evaluates the realized function at every input in
+// original target units, adding each value to sum and its square to
+// sumSq — the accumulation primitive of Monte-Carlo batch prediction.
+// Two activation buffers are allocated once per call and reused across
+// the whole pool, so the per-input cost is allocation-free. Values are
+// bit-identical to calling Eval per input in order.
+func (m *Model) EvalBatchAccum(d *Draw, xs [][]float64, sum, sumSq []float64) {
+	w := d.maxWidth()
+	buf1 := make([]float64, w)
+	buf2 := make([]float64, w)
+	for j, x := range xs {
+		v := m.scaler.Inverse(d.evalBuffered(x, buf1, buf2))
+		sum[j] += v
+		sumSq[j] += v * v
+	}
+}
+
 // Predict returns the Monte Carlo posterior mean and std at x using k
 // weight draws (k ≥ 2).
 func (m *Model) Predict(x []float64, k int, rng *rand.Rand) (mean, std float64) {

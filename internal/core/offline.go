@@ -28,14 +28,23 @@ const MaxTraffic = 4
 // time-varying traffic models surface in the encoding; a nil class
 // encodes the default latency-availability fingerprint.
 func EncodeInput(space slicing.ConfigSpace, traffic int, sla slicing.SLA, class *slicing.ServiceClass, cfg slicing.Config) []float64 {
+	v := make([]float64, PolicyInputDim)
+	EncodeInputInto(space, traffic, sla, class, cfg, v)
+	return v
+}
+
+// EncodeInputInto is EncodeInput writing into a caller-provided
+// PolicyInputDim-sized buffer — the allocation-free form the online hot
+// path encodes whole candidate pools with.
+func EncodeInputInto(space slicing.ConfigSpace, traffic int, sla slicing.SLA, class *slicing.ServiceClass, cfg slicing.Config, v []float64) {
 	var c slicing.ServiceClass
 	if class != nil {
 		c = *class
 	}
-	v := make([]float64, 0, PolicyInputDim)
-	v = append(v, float64(traffic)/MaxTraffic, sla.ThresholdMs/1000, c.Feature())
-	v = append(v, space.Normalize(cfg)...)
-	return v
+	v[0] = float64(traffic) / MaxTraffic
+	v[1] = sla.ThresholdMs / 1000
+	v[2] = c.Feature()
+	space.NormalizeInto(cfg, v[3:PolicyInputDim])
 }
 
 // Policy is the offline-trained configuration policy: the BNN
@@ -71,22 +80,30 @@ func (p *Policy) PredictQoE(cfg slicing.Config, samples int, rng *rand.Rand) (me
 // evaluating every input under each — k draws total instead of k per
 // input, which is what makes large candidate pools affordable.
 func (p *Policy) PredictQoEBatch(inputs [][]float64, k int, rng *rand.Rand) (means, stds []float64) {
+	n := len(inputs)
+	means = make([]float64, n)
+	stds = make([]float64, n)
+	p.PredictQoEBatchInto(inputs, k, rng, means, stds)
+	return means, stds
+}
+
+// PredictQoEBatchInto is PredictQoEBatch writing into caller-provided
+// buffers, which double as the running sum and sum-of-squares
+// accumulators — no per-scan allocation beyond the k weight draws.
+// Identical draws, identical accumulation order, identical results.
+func (p *Policy) PredictQoEBatchInto(inputs [][]float64, k int, rng *rand.Rand, means, stds []float64) {
 	if k < 2 {
 		k = 2
 	}
 	n := len(inputs)
-	sum := make([]float64, n)
-	sumSq := make([]float64, n)
+	sum, sumSq := means[:n], stds[:n]
+	for i := range sum {
+		sum[i], sumSq[i] = 0, 0
+	}
 	for d := 0; d < k; d++ {
 		draw := p.Model.Draw(rng)
-		for i, x := range inputs {
-			v := p.Model.Eval(draw, x)
-			sum[i] += v
-			sumSq[i] += v * v
-		}
+		p.Model.EvalBatchAccum(draw, inputs, sum, sumSq)
 	}
-	means = make([]float64, n)
-	stds = make([]float64, n)
 	kf := float64(k)
 	for i := 0; i < n; i++ {
 		m := sum[i] / kf
@@ -97,7 +114,6 @@ func (p *Policy) PredictQoEBatch(inputs [][]float64, k int, rng *rand.Rand) (mea
 		means[i] = m
 		stds[i] = math.Sqrt(variance * kf / (kf - 1))
 	}
-	return means, stds
 }
 
 // SelectConfig picks the configuration minimizing the Lagrangian

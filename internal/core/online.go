@@ -100,6 +100,12 @@ type OnlineLearner struct {
 	xs       [][]float64
 	ys       []float64
 
+	// scan is the candidate-scan scratch, reused every interval so the
+	// steady-state hot path (scanPoolN → evalResiduals) allocates
+	// nothing. Only the scanning goroutine touches it; the worker
+	// fan-out inside evalResiduals writes disjoint spans.
+	scan scanScratch
+
 	// Per-iteration log.
 	Usages []float64
 	QoEs   []float64
@@ -247,37 +253,104 @@ func (p *candidatePool) std(i int) float64 {
 	return math.Sqrt(p.qsStd[i]*p.qsStd[i] + p.gStd[i]*p.gStd[i])
 }
 
+// scanScratch is the reusable backing store of a candidate scan. The
+// pool slices, the flat encoding buffer and the span table grow to the
+// largest pool the learner has seen and are then recycled verbatim, so
+// a steady-state scan performs no heap allocation at all.
+type scanScratch struct {
+	pool     candidatePool
+	inputs   [][]float64
+	enc      []float64 // n × PolicyInputDim, rows aliased by inputs
+	spans    [residualChunks]scanSpan
+	acqMeans []float64
+	acqStds  []float64
+}
+
+// scanSpan is one contiguous chunk of the pool, with the deterministic
+// child RNG the BNN path consumes (nil for the randomness-free models).
+type scanSpan struct {
+	lo, hi int
+	rng    *rand.Rand
+}
+
+// growF resizes a scratch float slice to n reusing capacity. Contents
+// are unspecified; every caller overwrites (or zeroes) the full slice.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func zeroF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // scanPool samples a fresh candidate pool and evaluates both posterior
 // components over it. The offline BNN is evaluated with a constant
 // number of weight draws shared across the whole pool.
 func (l *OnlineLearner) scanPool(space slicing.ConfigSpace, rng *rand.Rand) *candidatePool {
-	return l.scanPoolN(space, l.Opts.Pool, rng)
+	return l.scanPoolN(space, l.Opts.Pool, rng, true)
 }
 
-// scanPoolN is scanPool with an explicit pool size.
-func (l *OnlineLearner) scanPoolN(space slicing.ConfigSpace, pool int, rng *rand.Rand) *candidatePool {
+// scanPoolN is scanPool with an explicit pool size. needStd=false skips
+// the residual-GP variance solves (the dominant cost of a batched
+// posterior sweep) for callers that judge candidates on the mean alone;
+// the gStd entries of those spans are zeroed. The returned pool aliases
+// the learner's scratch and is only valid until the next scan.
+func (l *OnlineLearner) scanPoolN(space slicing.ConfigSpace, pool int, rng *rand.Rand, needStd bool) *candidatePool {
 	n := max(2, pool)
-	p := &candidatePool{
-		cfgs:   make([]slicing.Config, n),
-		usage:  make([]float64, n),
-		qsMean: make([]float64, n),
-		qsStd:  make([]float64, n),
-		gMean:  make([]float64, n),
-		gStd:   make([]float64, n),
+	p := &l.scan.pool
+	if cap(p.cfgs) < n {
+		p.cfgs = make([]slicing.Config, n)
 	}
-	inputs := make([][]float64, n)
+	p.cfgs = p.cfgs[:n]
+	p.usage = growF(p.usage, n)
+	p.qsMean = growF(p.qsMean, n)
+	p.qsStd = growF(p.qsStd, n)
+	p.gMean = growF(p.gMean, n)
+	p.gStd = growF(p.gStd, n)
+	if cap(l.scan.enc) < n*PolicyInputDim {
+		l.scan.enc = make([]float64, n*PolicyInputDim)
+	}
+	enc := l.scan.enc[:n*PolicyInputDim]
+	if cap(l.scan.inputs) < n {
+		l.scan.inputs = make([][]float64, n)
+	}
+	l.scan.inputs = l.scan.inputs[:n]
+	inputs := l.scan.inputs
+
+	// The encoding prefix (traffic, SLA threshold, class feature) is
+	// constant across the scan — compute it once instead of per
+	// candidate (the class feature alone hashes the QoE model name).
+	tn := float64(l.traffic()) / MaxTraffic
+	th := l.sla().ThresholdMs / 1000
+	var cls slicing.ServiceClass
+	if c := l.class(); c != nil {
+		cls = *c
+	}
+	feat := cls.Feature()
 	for i := 0; i < n; i++ {
 		p.cfgs[i] = space.Sample(rng)
 		p.usage[i] = space.Usage(p.cfgs[i])
-		inputs[i] = l.encode(p.cfgs[i])
+		row := enc[i*PolicyInputDim : (i+1)*PolicyInputDim]
+		row[0], row[1], row[2] = tn, th, feat
+		space.NormalizeInto(p.cfgs[i], row[3:])
+		inputs[i] = row
 	}
 	if l.Policy != nil && l.Policy.Model != nil && l.Policy.Model.Fitted() {
-		means, stds := l.Policy.PredictQoEBatch(inputs, l.Opts.PredictSamples, l.rng)
-		copy(p.qsMean, means)
-		copy(p.qsStd, stds)
+		l.Policy.PredictQoEBatchInto(inputs, l.Opts.PredictSamples, l.rng, p.qsMean, p.qsStd)
+	} else {
+		zeroF(p.qsMean)
+		zeroF(p.qsStd)
 	}
 	if l.Opts.Model != ContinueBNN {
-		l.evalResiduals(p, inputs)
+		l.evalResiduals(p, inputs, needStd)
+	} else {
+		zeroF(p.gMean)
+		zeroF(p.gStd)
 	}
 	return p
 }
@@ -294,19 +367,17 @@ const residualChunks = 16
 // batches (bo.Minimizer). GP prediction is read-only and consumes no
 // randomness; the BNN path derives one deterministic child RNG per
 // chunk from the learner RNG before any goroutine starts, so results do
-// not depend on goroutine scheduling.
-func (l *OnlineLearner) evalResiduals(p *candidatePool, inputs [][]float64) {
+// not depend on goroutine scheduling. Workers pick spans by a fixed
+// stride instead of draining a channel, so the fan-out itself is
+// allocation-free.
+func (l *OnlineLearner) evalResiduals(p *candidatePool, inputs [][]float64, needStd bool) {
 	n := len(inputs)
 	chunks := residualChunks
 	if chunks > n {
 		chunks = n
 	}
-	type span struct {
-		lo, hi int
-		rng    *rand.Rand
-	}
 	size := (n + chunks - 1) / chunks
-	work := make(chan span, chunks)
+	spans := l.scan.spans[:0]
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {
@@ -316,45 +387,61 @@ func (l *OnlineLearner) evalResiduals(p *candidatePool, inputs [][]float64) {
 		if l.Opts.Model == ResidualBNN {
 			crng = mathx.NewRNG(l.rng.Int63())
 		}
-		work <- span{lo, hi, crng}
+		spans = append(spans, scanSpan{lo, hi, crng})
 	}
-	close(work)
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > chunks {
-		workers = chunks
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers <= 1 {
+		for _, s := range spans {
+			l.evalSpan(p, inputs, s, needStd)
+		}
+		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for s := range work {
-				for i := s.lo; i < s.hi; i++ {
-					p.gMean[i], p.gStd[i] = l.residualAt(inputs[i], s.rng)
-				}
+			for si := w; si < len(spans); si += workers {
+				l.evalSpan(p, inputs, spans[si], needStd)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
 
-// residualAt is residual() on a pre-encoded input, with an explicit RNG
-// for the sampling-based models so concurrent callers stay isolated.
-func (l *OnlineLearner) residualAt(x []float64, rng *rand.Rand) (float64, float64) {
+// evalSpan fills the residual posterior over one contiguous span. The
+// GP path batches the whole span through one blocked posterior solve;
+// the BNN path keeps per-candidate Monte-Carlo prediction on the span's
+// own RNG (bit-identical to the sequential scan).
+func (l *OnlineLearner) evalSpan(p *candidatePool, inputs [][]float64, s scanSpan, needStd bool) {
 	switch l.Opts.Model {
 	case ResidualBNN:
 		if !l.bnnModel.Fitted() {
-			return 0, 0.3
+			for i := s.lo; i < s.hi; i++ {
+				p.gMean[i], p.gStd[i] = 0, 0.3
+			}
+			return
 		}
-		return l.bnnModel.Predict(x, l.Opts.PredictSamples, rng)
-	case ContinueBNN:
-		return 0, 0.1
+		for i := s.lo; i < s.hi; i++ {
+			p.gMean[i], p.gStd[i] = l.bnnModel.Predict(inputs[i], l.Opts.PredictSamples, s.rng)
+		}
 	default:
 		if l.gpModel == nil || !l.gpModel.Fitted() {
-			return 0, 0.3
+			for i := s.lo; i < s.hi; i++ {
+				p.gMean[i], p.gStd[i] = 0, 0.3
+			}
+			return
 		}
-		return l.gpModel.Predict(x)
+		stds := p.gStd[s.lo:s.hi]
+		if !needStd {
+			zeroF(stds)
+			stds = nil
+		}
+		l.gpModel.PredictBatch(inputs[s.lo:s.hi], p.gMean[s.lo:s.hi], stds)
 	}
 }
 
@@ -414,8 +501,9 @@ func (l *OnlineLearner) Next(iter int, rng *rand.Rand) slicing.Config {
 // posterior (Fig. 22 comparators).
 func (l *OnlineLearner) selectAcq(pool *candidatePool, sla slicing.SLA) slicing.Config {
 	n := len(pool.cfgs)
-	means := make([]float64, n)
-	stds := make([]float64, n)
+	l.scan.acqMeans = growF(l.scan.acqMeans, n)
+	l.scan.acqStds = growF(l.scan.acqStds, n)
+	means, stds := l.scan.acqMeans, l.scan.acqStds
 	bestMean := math.Inf(1)
 	for i := 0; i < n; i++ {
 		mu := mathx.Clip(pool.mean(i), 0, 1)
@@ -489,7 +577,7 @@ func (l *OnlineLearner) CheapestFeasible(pool int, rng *rand.Rand) (slicing.Conf
 	if pool <= 0 {
 		pool = l.Opts.Pool
 	}
-	p := l.scanPoolN(space, pool, rng)
+	p := l.scanPoolN(space, pool, rng, false)
 	best, bestU := -1, math.Inf(1)
 	for i := range p.cfgs {
 		q := mathx.Clip(p.mean(i), 0, 1)

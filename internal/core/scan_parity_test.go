@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// The batched candidate scan (blocked GP posterior, shared-draw BNN
+// accumulation, reused scratch) must be bit-identical to the sequential
+// per-candidate evaluation it replaced — same RNG draw order, same
+// float arithmetic, same selections — at any worker count.
+
+// refPool is a reference scan result with its own backing arrays.
+type refPool struct {
+	cfgs                              []slicing.Config
+	usage, qsMean, qsStd, gMean, gStd []float64
+}
+
+// referenceScan is the seed implementation of scanPoolN: per-candidate
+// EncodeInput, one shared PredictQoEBatch over the pool, and a
+// sequential per-candidate gpModel.Predict for the residual. It
+// consumes rng and l.rng exactly as the production scan does.
+func referenceScan(l *OnlineLearner, space slicing.ConfigSpace, pool int, rng *rand.Rand) *refPool {
+	n := pool
+	if n < 2 {
+		n = 2
+	}
+	p := &refPool{
+		cfgs:   make([]slicing.Config, n),
+		usage:  make([]float64, n),
+		qsMean: make([]float64, n),
+		qsStd:  make([]float64, n),
+		gMean:  make([]float64, n),
+		gStd:   make([]float64, n),
+	}
+	inputs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p.cfgs[i] = space.Sample(rng)
+		p.usage[i] = space.Usage(p.cfgs[i])
+		inputs[i] = EncodeInput(space, l.traffic(), l.sla(), l.class(), p.cfgs[i])
+	}
+	if l.Policy != nil && l.Policy.Model != nil && l.Policy.Model.Fitted() {
+		means, stds := l.Policy.PredictQoEBatch(inputs, l.Opts.PredictSamples, l.rng)
+		copy(p.qsMean, means)
+		copy(p.qsStd, stds)
+	}
+	for i := 0; i < n; i++ {
+		if l.gpModel == nil || !l.gpModel.Fitted() {
+			p.gMean[i], p.gStd[i] = 0, 0.3
+			continue
+		}
+		p.gMean[i], p.gStd[i] = l.gpModel.Predict(inputs[i])
+	}
+	return p
+}
+
+// trainedPolicy is one small offline policy shared across subtests; the
+// scan only reads it.
+func trainedPolicy(t *testing.T) *Policy {
+	t.Helper()
+	return NewOfflineTrainer(simnet.NewDefault(), quickOffOpts()).Run(mathx.NewRNG(14)).Policy
+}
+
+// gpLearner builds an online learner with a fitted residual GP: obs
+// observations of a smooth usage-dependent QoE, no simulator (so the
+// residual is the observation itself), offline policy optional.
+func gpLearner(pol *Policy, obs int, seed int64) *OnlineLearner {
+	opts := DefaultOnlineOptions()
+	opts.Pool = 150
+	l := NewOnlineLearner(pol, nil, opts, mathx.NewRNG(seed))
+	space := slicing.DefaultConfigSpace()
+	rng := mathx.NewRNG(seed + 1)
+	for i := 0; i < obs; i++ {
+		cfg := space.Sample(rng)
+		l.Observe(i, cfg, space.Usage(cfg), 0.4+0.4*space.Usage(cfg))
+	}
+	return l
+}
+
+func comparePools(t *testing.T, what string, got *candidatePool, want *refPool, checkGStd bool) {
+	t.Helper()
+	if len(got.cfgs) != len(want.cfgs) {
+		t.Fatalf("%s: pool size %d vs %d", what, len(got.cfgs), len(want.cfgs))
+	}
+	for i := range want.cfgs {
+		if got.cfgs[i] != want.cfgs[i] {
+			t.Fatalf("%s: cfg[%d] diverged: %v vs %v", what, i, got.cfgs[i], want.cfgs[i])
+		}
+		if got.usage[i] != want.usage[i] {
+			t.Fatalf("%s: usage[%d] %v vs %v", what, i, got.usage[i], want.usage[i])
+		}
+		if got.qsMean[i] != want.qsMean[i] || got.qsStd[i] != want.qsStd[i] {
+			t.Fatalf("%s: qs[%d] (%v, %v) vs (%v, %v)", what, i, got.qsMean[i], got.qsStd[i], want.qsMean[i], want.qsStd[i])
+		}
+		if got.gMean[i] != want.gMean[i] {
+			t.Fatalf("%s: gMean[%d] %v vs %v", what, i, got.gMean[i], want.gMean[i])
+		}
+		if checkGStd && got.gStd[i] != want.gStd[i] {
+			t.Fatalf("%s: gStd[%d] %v vs %v", what, i, got.gStd[i], want.gStd[i])
+		}
+	}
+}
+
+// TestScanPoolMatchesSequentialReference: the production scan equals
+// the sequential reference bit for bit, with and without an offline
+// policy in the loop.
+func TestScanPoolMatchesSequentialReference(t *testing.T) {
+	pol := trainedPolicy(t)
+	space := slicing.DefaultConfigSpace()
+	for _, tc := range []struct {
+		name string
+		pol  *Policy
+	}{
+		{"cold-policy", nil},
+		{"trained-policy", pol},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := gpLearner(tc.pol, 30, 31)
+			b := gpLearner(tc.pol, 30, 31)
+			got := a.scanPoolN(space, 137, mathx.NewRNG(41), true)
+			want := referenceScan(b, space, 137, mathx.NewRNG(41))
+			comparePools(t, tc.name, got, want, true)
+		})
+	}
+}
+
+// TestCheapestFeasibleMatchesSequentialReference: the mean-only scan
+// (variance solves skipped) still nominates exactly the configuration
+// the sequential reference selects.
+func TestCheapestFeasibleMatchesSequentialReference(t *testing.T) {
+	space := slicing.DefaultConfigSpace()
+	a := gpLearner(nil, 30, 57)
+	b := gpLearner(nil, 30, 57)
+	// The learner's SLA (DefaultSLA) demands a mean above availability;
+	// the observed 0.4+0.4u residual makes high-usage candidates
+	// feasible.
+	cfgA, okA := a.CheapestFeasible(200, mathx.NewRNG(61))
+	want := referenceScan(b, space, 200, mathx.NewRNG(61))
+	sla := b.sla()
+	best, bestU := -1, 2.0
+	for i := range want.cfgs {
+		q := mathx.Clip(want.qsMean[i]+want.gMean[i], 0, 1)
+		if q >= sla.Availability && want.usage[i] < bestU {
+			best, bestU = i, want.usage[i]
+		}
+	}
+	if okA != (best >= 0) {
+		t.Fatalf("feasibility verdict diverged: batched %v, reference %v", okA, best >= 0)
+	}
+	if okA && cfgA != want.cfgs[best] {
+		t.Fatalf("selection diverged: batched %v, reference %v", cfgA, want.cfgs[best])
+	}
+}
+
+// TestScanPoolWorkerCountInvariant: the scan result must not depend on
+// GOMAXPROCS — chunk RNGs are derived before any goroutine runs and
+// chunking is fixed. Checked for both the GP and the BNN residual
+// models.
+func TestScanPoolWorkerCountInvariant(t *testing.T) {
+	space := slicing.DefaultConfigSpace()
+	build := func(model ResidualModel) *OnlineLearner {
+		opts := DefaultOnlineOptions()
+		opts.Pool = 150
+		opts.Model = model
+		l := NewOnlineLearner(nil, nil, opts, mathx.NewRNG(71))
+		rng := mathx.NewRNG(72)
+		for i := 0; i < 6; i++ {
+			cfg := space.Sample(rng)
+			l.Observe(i, cfg, space.Usage(cfg), 0.4+0.4*space.Usage(cfg))
+		}
+		return l
+	}
+	for _, model := range []ResidualModel{ResidualGP, ResidualBNN} {
+		a := build(model)
+		wide := a.scanPoolN(space, 100, mathx.NewRNG(83), true)
+		// Clone the scratch-backed result before the second scan reuses it.
+		got := &refPool{
+			cfgs:   append([]slicing.Config(nil), wide.cfgs...),
+			usage:  append([]float64(nil), wide.usage...),
+			qsMean: append([]float64(nil), wide.qsMean...),
+			qsStd:  append([]float64(nil), wide.qsStd...),
+			gMean:  append([]float64(nil), wide.gMean...),
+			gStd:   append([]float64(nil), wide.gStd...),
+		}
+
+		prev := runtime.GOMAXPROCS(1)
+		b := build(model)
+		narrow := b.scanPoolN(space, 100, mathx.NewRNG(83), true)
+		runtime.GOMAXPROCS(prev)
+
+		comparePools(t, "worker-invariance", narrow, got, true)
+	}
+}

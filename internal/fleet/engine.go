@@ -330,6 +330,14 @@ func (e *Engine) Live() []string {
 	return append([]string(nil), e.order...)
 }
 
+// LiveAppend appends the live tenant ids in admission order to dst and
+// returns the extended slice — the allocation-free form of Live for
+// per-epoch loops that reuse one buffer. The result is a snapshot:
+// callers may Release tenants while ranging over it.
+func (e *Engine) LiveAppend(dst []string) []string {
+	return append(dst, e.order...)
+}
+
 // arbitrate is the preemption-free downscale pass: it walks the live
 // elastic tenants in admission order and asks each one's online learner
 // for a cheaper posterior-feasible configuration, collecting previewed

@@ -281,7 +281,8 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 	}
 
 	meta := map[string]*runMeta{}
-	next := 0 // next unprocessed trace index
+	next := 0            // next unprocessed trace index
+	var liveBuf []string // reused live-id snapshot, one per loop below
 	var utilSum slicing.Utilization
 	var imbalanceSum float64
 	siteIdx := map[slicing.SiteID]int{}
@@ -295,7 +296,8 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		// Departures: tenants whose lifetime expired leave and are
 		// decommissioned for good (capacity released, online checkpoint
 		// finalized).
-		for _, id := range eng.Live() {
+		liveBuf = eng.LiveAppend(liveBuf[:0])
+		for _, id := range liveBuf {
 			m := meta[id]
 			if m.depart == 0 || m.depart > epoch {
 				continue
@@ -350,7 +352,8 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 
 		// Step every live slice one configuration interval, fanned out
 		// over the worker pool; aggregate in admission order.
-		ids := eng.Live()
+		liveBuf = eng.LiveAppend(liveBuf[:0])
+		ids := liveBuf
 		if err := sys.StepMany(ids, c.opts.Workers); err != nil {
 			return nil, fmt.Errorf("fleet: step epoch %d: %w", epoch, err)
 		}
@@ -420,7 +423,8 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 	// Decommission the fleet: every surviving tenant is released so the
 	// run leaves no live checkpoints behind (and the oracle run that
 	// may follow starts from a clean store).
-	for _, id := range eng.Live() {
+	liveBuf = eng.LiveAppend(liveBuf[:0])
+	for _, id := range liveBuf {
 		m := meta[id]
 		t, err := eng.Release(id)
 		if err != nil {

@@ -1,0 +1,138 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/mathx"
+)
+
+// randomPool draws m random dim-dimensional query points.
+func randomPool(m, dim int, rng interface{ Float64() float64 }) [][]float64 {
+	xs := make([][]float64, m)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// fitRandom conditions a fresh regressor on n random points of a smooth
+// target.
+func fitRandom(t *testing.T, kernel Kernel, n, dim int, seed int64) *Regressor {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	xs := randomPool(n, dim, rng)
+	ys := make([]float64, n)
+	for i, x := range xs {
+		ys[i] = x[0] - 0.5*x[dim-1] + 0.1*rng.NormFloat64()
+	}
+	g := NewRegressor()
+	g.Kernel = kernel
+	g.OptimizeHyper = false
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPredictBatchMatchesPredict is the batched-inference property
+// test: across kernels, collection sizes, and pool sizes straddling the
+// block boundary, PredictBatch must reproduce sequential Predict bit
+// for bit — in both full and mean-only modes.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	kernels := []Kernel{
+		Matern52{LengthScale: 0.8, Variance: 1.5},
+		RBF{LengthScale: 1.2, Variance: 0.7},
+	}
+	pools := []int{1, 3, predictBlock - 1, predictBlock, predictBlock + 1, 3*predictBlock + 17}
+	for ki, kernel := range kernels {
+		for _, n := range []int{1, 7, 60} {
+			g := fitRandom(t, kernel, n, 9, int64(100+ki*10+n))
+			rng := mathx.NewRNG(int64(7 + n))
+			for _, m := range pools {
+				xs := randomPool(m, 9, rng)
+				means := make([]float64, m)
+				stds := make([]float64, m)
+				g.PredictBatch(xs, means, stds)
+				meansOnly := make([]float64, m)
+				g.PredictBatch(xs, meansOnly, nil)
+				for j, x := range xs {
+					wm, ws := g.Predict(x)
+					if means[j] != wm || stds[j] != ws {
+						t.Fatalf("kernel %d n=%d m=%d cand %d: batch (%v, %v) vs sequential (%v, %v)",
+							ki, n, m, j, means[j], stds[j], wm, ws)
+					}
+					if meansOnly[j] != wm {
+						t.Fatalf("kernel %d n=%d m=%d cand %d: mean-only %v vs sequential %v",
+							ki, n, m, j, meansOnly[j], wm)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchUnfitted checks the prior path: zero mean, prior std,
+// matching Predict exactly.
+func TestPredictBatchUnfitted(t *testing.T) {
+	g := NewRegressor()
+	xs := randomPool(10, 4, mathx.NewRNG(5))
+	means := make([]float64, 10)
+	stds := make([]float64, 10)
+	g.PredictBatch(xs, means, stds)
+	for j, x := range xs {
+		wm, ws := g.Predict(x)
+		if means[j] != wm || stds[j] != ws {
+			t.Fatalf("cand %d: unfitted batch (%v, %v) vs Predict (%v, %v)", j, means[j], stds[j], wm, ws)
+		}
+		if means[j] != 0 || math.IsNaN(stds[j]) {
+			t.Fatalf("cand %d: prior should be (0, finite), got (%v, %v)", j, means[j], stds[j])
+		}
+	}
+}
+
+// TestPredictBatchSnapshotRoundTrip exercises the batched path on a
+// restored regressor: after a snapshot/restore cycle — including
+// incremental Observes on both sides — batched predictions from the
+// restored model must equal the original's, bit for bit.
+func TestPredictBatchSnapshotRoundTrip(t *testing.T) {
+	g := fitRandom(t, Matern52{LengthScale: 0.9, Variance: 1.1}, 40, 9, 77)
+	rng := mathx.NewRNG(78)
+	for i := 0; i < 10; i++ {
+		x := randomPool(1, 9, rng)[0]
+		if err := g.Observe(x, rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xs := randomPool(300, 9, rng)
+	wantMeans := make([]float64, len(xs))
+	wantStds := make([]float64, len(xs))
+	g.PredictBatch(xs, wantMeans, wantStds)
+	gotMeans := make([]float64, len(xs))
+	gotStds := make([]float64, len(xs))
+	r.PredictBatch(xs, gotMeans, gotStds)
+	for j := range xs {
+		if gotMeans[j] != wantMeans[j] || gotStds[j] != wantStds[j] {
+			t.Fatalf("cand %d: restored batch (%v, %v) vs original (%v, %v)",
+				j, gotMeans[j], gotStds[j], wantMeans[j], wantStds[j])
+		}
+		wm, ws := r.Predict(xs[j])
+		if gotMeans[j] != wm || gotStds[j] != ws {
+			t.Fatalf("cand %d: restored batch (%v, %v) vs restored Predict (%v, %v)",
+				j, gotMeans[j], gotStds[j], wm, ws)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/atlas-slicing/atlas/internal/mathx"
 	"github.com/atlas-slicing/atlas/internal/stats"
@@ -219,26 +220,140 @@ func (g *Regressor) logMarginalLikelihood(ty []float64) float64 {
 	return -0.5*fit - 0.5*mathx.LogDetFromChol(g.l) - 0.5*n*math.Log(2*math.Pi)
 }
 
+// predictScratch holds the reusable buffers of posterior queries. The
+// buffers live in a package-level sync.Pool rather than on the
+// Regressor so Predict and PredictBatch stay safe for concurrent
+// readers (each call borrows its own buffers) and Regressor values
+// remain freely copyable.
+type predictScratch struct {
+	vec mathx.Vector
+	blk mathx.Matrix
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// vector returns the scratch vector resized to n (contents undefined).
+func (s *predictScratch) vector(n int) mathx.Vector {
+	if cap(s.vec) < n {
+		s.vec = make(mathx.Vector, n)
+	}
+	s.vec = s.vec[:n]
+	return s.vec
+}
+
+// block returns the scratch matrix resized to rows×cols (contents
+// undefined).
+func (s *predictScratch) block(rows, cols int) *mathx.Matrix {
+	if cap(s.blk.Data) < rows*cols {
+		s.blk.Data = make([]float64, rows*cols)
+	}
+	s.blk.Rows, s.blk.Cols, s.blk.Data = rows, cols, s.blk.Data[:rows*cols]
+	return &s.blk
+}
+
+// fillKernelRow writes k(x, Xᵢ) for every stored input into row. The
+// type switch devirtualizes the two bundled kernels so the per-element
+// Eval inlines in the hot path; unknown kernels fall back to the
+// interface call with identical results.
+func (g *Regressor) fillKernelRow(row mathx.Vector, x []float64) {
+	switch k := g.Kernel.(type) {
+	case Matern52:
+		for i, xi := range g.x {
+			row[i] = k.Eval(x, xi)
+		}
+	case RBF:
+		for i, xi := range g.x {
+			row[i] = k.Eval(x, xi)
+		}
+	default:
+		for i, xi := range g.x {
+			row[i] = g.Kernel.Eval(x, xi)
+		}
+	}
+}
+
 // Predict returns the posterior mean and standard deviation at x in
 // original target units. Before any data it returns the prior (mean 0,
-// std = √(k(x,x) + noise)).
+// std = √(k(x,x) + noise)). Safe for concurrent readers: the kernel-row
+// and solve buffers come from a shared pool, so steady-state queries
+// allocate nothing.
 func (g *Regressor) Predict(x []float64) (mean, std float64) {
-	prior := math.Sqrt(g.Kernel.Eval(x, x) + g.NoiseVar)
+	kxx := g.Kernel.Eval(x, x)
 	if !g.fitted {
-		return 0, prior
+		return 0, math.Sqrt(kxx + g.NoiseVar)
 	}
-	n := len(g.x)
-	kstar := make(mathx.Vector, n)
-	for i := range g.x {
-		kstar[i] = g.Kernel.Eval(x, g.x[i])
-	}
+	s := scratchPool.Get().(*predictScratch)
+	kstar := s.vector(len(g.x))
+	g.fillKernelRow(kstar, x)
 	mu := kstar.Dot(g.alpha)
-	v := mathx.SolveLower(g.l, kstar)
-	variance := g.Kernel.Eval(x, x) - v.Dot(v)
+	mathx.SolveLowerInPlace(g.l, kstar)
+	variance := kxx - kstar.Dot(kstar)
 	if variance < 0 {
 		variance = 0
 	}
-	return g.scaler.Inverse(mu), g.scaler.InverseStd(math.Sqrt(variance))
+	mean, std = g.scaler.Inverse(mu), g.scaler.InverseStd(math.Sqrt(variance))
+	scratchPool.Put(s)
+	return mean, std
+}
+
+// predictBlock bounds how many candidates one batched block processes:
+// large enough to amortize the factor traversal, small enough that the
+// kernel-row block stays cache-resident against typical collection
+// sizes (128 rows × n=100 ≈ 100 KB).
+const predictBlock = 128
+
+// PredictBatch evaluates the posterior at every candidate in xs,
+// writing results into means and (when non-nil) stds — one blocked
+// K(X*, X) build plus one multi-RHS forward solve per block against the
+// cached Cholesky factor, instead of len(xs) independent builds and
+// solves. Passing stds == nil skips the O(n²)-per-candidate triangular
+// solves entirely — the mean-only mode feasibility scans run on.
+// Results are bit-identical to calling Predict per candidate, at any
+// batch size. Safe for concurrent readers, allocation-free at steady
+// state.
+func (g *Regressor) PredictBatch(xs [][]float64, means, stds []float64) {
+	m := len(xs)
+	if len(means) != m || (stds != nil && len(stds) != m) {
+		panic(fmt.Sprintf("gp: PredictBatch of %d inputs into %d means, %d stds", m, len(means), len(stds)))
+	}
+	if !g.fitted {
+		for j, x := range xs {
+			means[j] = 0
+			if stds != nil {
+				stds[j] = math.Sqrt(g.Kernel.Eval(x, x) + g.NoiseVar)
+			}
+		}
+		return
+	}
+	n := len(g.x)
+	s := scratchPool.Get().(*predictScratch)
+	for lo := 0; lo < m; lo += predictBlock {
+		hi := lo + predictBlock
+		if hi > m {
+			hi = m
+		}
+		kb := s.block(hi-lo, n)
+		for j := lo; j < hi; j++ {
+			row := kb.Row(j - lo)
+			g.fillKernelRow(row, xs[j])
+			means[j] = row.Dot(g.alpha)
+		}
+		if stds != nil {
+			mathx.SolveLowerMultiInPlace(g.l, kb)
+			for j := lo; j < hi; j++ {
+				v := kb.Row(j - lo)
+				variance := g.Kernel.Eval(xs[j], xs[j]) - v.Dot(v)
+				if variance < 0 {
+					variance = 0
+				}
+				stds[j] = g.scaler.InverseStd(math.Sqrt(variance))
+			}
+		}
+		for j := lo; j < hi; j++ {
+			means[j] = g.scaler.Inverse(means[j])
+		}
+	}
+	scratchPool.Put(s)
 }
 
 // Sample draws an (independent-marginal) posterior sample at x: a

@@ -91,17 +91,73 @@ func CholAppend(l *Matrix, k Vector, kappa float64) (*Matrix, error) {
 
 // SolveLower solves L·x = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b Vector) Vector {
+	x := make(Vector, len(b))
+	copy(x, b)
+	SolveLowerInPlace(l, x)
+	return x
+}
+
+// SolveLowerInPlace solves L·x = b by forward substitution, overwriting
+// b with x — the allocation-free core of SolveLower. The row of L is
+// hoisted to a subslice once per step, so the inner loop runs without
+// per-element index arithmetic.
+func SolveLowerInPlace(l *Matrix, b Vector) {
 	n := l.Rows
 	mustSameLen(n, len(b))
-	x := make(Vector, n)
 	for i := 0; i < n; i++ {
+		row := l.Data[i*l.Cols : i*l.Cols+i]
 		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * x[k]
+		for k, lk := range row {
+			sum -= lk * b[k]
 		}
-		x[i] = sum / l.At(i, i)
+		b[i] = sum / l.Data[i*l.Cols+i]
 	}
-	return x
+}
+
+// SolveLowerMultiInPlace solves L·xⱼ = bⱼ for the m right-hand sides
+// stored as the rows of b (an m×n matrix), overwriting each row with
+// its solution — the multi-RHS forward substitution batched posterior
+// inference rides on. The diagonal step i is outermost so each hoisted
+// L row stays hot across all m substitutions; per row the arithmetic
+// (subtraction order, division by the diagonal) is exactly
+// SolveLowerInPlace, so results are bit-identical to m independent
+// solves.
+func SolveLowerMultiInPlace(l *Matrix, b *Matrix) {
+	n := l.Rows
+	mustSameLen(n, b.Cols)
+	m := b.Rows
+	for i := 0; i < n; i++ {
+		lrow := l.Data[i*l.Cols : i*l.Cols+i]
+		diag := l.Data[i*l.Cols+i]
+		// Four right-hand sides at a time: each keeps its own
+		// accumulator, so the four multiply-subtract dependency chains
+		// run in parallel while sharing every load of L's row. The
+		// per-RHS operation order is untouched — unrolling across
+		// independent solves changes nothing bit-wise.
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			x0 := b.Data[j*n : j*n+i+1]
+			x1 := b.Data[(j+1)*n : (j+1)*n+i+1]
+			x2 := b.Data[(j+2)*n : (j+2)*n+i+1]
+			x3 := b.Data[(j+3)*n : (j+3)*n+i+1]
+			s0, s1, s2, s3 := x0[i], x1[i], x2[i], x3[i]
+			for k, lk := range lrow {
+				s0 -= lk * x0[k]
+				s1 -= lk * x1[k]
+				s2 -= lk * x2[k]
+				s3 -= lk * x3[k]
+			}
+			x0[i], x1[i], x2[i], x3[i] = s0/diag, s1/diag, s2/diag, s3/diag
+		}
+		for ; j < m; j++ {
+			x := b.Data[j*n : j*n+i+1]
+			sum := x[i]
+			for k, lk := range lrow {
+				sum -= lk * x[k]
+			}
+			x[i] = sum / diag
+		}
+	}
 }
 
 // SolveUpperT solves Lᵀ·x = b given lower-triangular L by backward

@@ -222,3 +222,76 @@ func TestCholAppendRejectsIndefiniteExtension(t *testing.T) {
 		t.Fatal("expected ErrNotPositiveDefinite for indefinite extension")
 	}
 }
+
+// refSolveLower is the pre-optimization forward substitution (fresh
+// output vector, At-based indexing) the in-place and multi-RHS solvers
+// must match bit for bit.
+func refSolveLower(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+func TestSolveLowerInPlaceBitIdentical(t *testing.T) {
+	rng := NewRNG(11)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		l, err := Cholesky(randomSPD(n, rng))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := refSolveLower(l, b)
+		got := SolveLower(l, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: SolveLower[%d]=%v want %v (bit-exact)", trial, i, got[i], want[i])
+			}
+		}
+		inPlace := append(Vector(nil), b...)
+		SolveLowerInPlace(l, inPlace)
+		for i := range want {
+			if inPlace[i] != want[i] {
+				t.Fatalf("trial %d: SolveLowerInPlace[%d]=%v want %v (bit-exact)", trial, i, inPlace[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveLowerMultiInPlaceBitIdentical(t *testing.T) {
+	rng := NewRNG(12)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(9)
+		l, err := Cholesky(randomSPD(n, rng))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b := NewMatrix(m, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		want := make([]Vector, m)
+		for j := 0; j < m; j++ {
+			want[j] = refSolveLower(l, b.Row(j))
+		}
+		SolveLowerMultiInPlace(l, b)
+		for j := 0; j < m; j++ {
+			for i := 0; i < n; i++ {
+				if b.At(j, i) != want[j][i] {
+					t.Fatalf("trial %d: rhs %d elem %d = %v want %v (bit-exact)", trial, j, i, b.At(j, i), want[j][i])
+				}
+			}
+		}
+	}
+}

@@ -127,6 +127,12 @@ type Reconciler struct {
 	slices map[string]*sliceRec
 	ids    []string // creation order, for listing
 	diags  []error
+
+	// Per-tick scratch: the live-id snapshot and the OPERATING subset
+	// are rebuilt into these buffers each step instead of being
+	// re-allocated every tick.
+	liveBuf []string
+	stepIDs []string
 }
 
 // NewReconciler builds the daemon core. The system gets the same
@@ -513,12 +519,14 @@ func (r *Reconciler) step() {
 }
 
 func (r *Reconciler) stepErr() error {
-	var ids []string
-	for _, id := range r.eng.Live() {
+	r.liveBuf = r.eng.LiveAppend(r.liveBuf[:0])
+	ids := r.stepIDs[:0]
+	for _, id := range r.liveBuf {
 		if rec, ok := r.slices[id]; ok && rec.state == StateOperating {
 			ids = append(ids, id)
 		}
 	}
+	r.stepIDs = ids
 	defer func() { r.epoch++ }()
 	if len(ids) == 0 {
 		return nil

@@ -80,18 +80,32 @@ func ConfigFromVector(v mathx.Vector) Config {
 	}
 }
 
+// vec is Config.Vector as a fixed-size array: the allocation-free form
+// the hot-path helpers below iterate over.
+func (c Config) vec() [ConfigDim]float64 {
+	return [ConfigDim]float64{c.BandwidthUL, c.BandwidthDL, c.MCSOffsetUL, c.MCSOffsetDL, c.BackhaulMbps, c.CPURatio}
+}
+
 // Normalize maps a configuration into [0,1]^6 relative to the space
 // maxima. Zero maxima map to zero.
 func (s ConfigSpace) Normalize(c Config) mathx.Vector {
-	maxv := s.Max.Vector()
-	cv := c.Vector()
 	out := make(mathx.Vector, ConfigDim)
+	s.NormalizeInto(c, out)
+	return out
+}
+
+// NormalizeInto writes Normalize(c) into out (length ConfigDim) without
+// allocating — the form candidate-pool encoding uses per scan.
+func (s ConfigSpace) NormalizeInto(c Config, out []float64) {
+	maxv := s.Max.vec()
+	cv := c.vec()
 	for i := range cv {
 		if maxv[i] > 0 {
 			out[i] = cv[i] / maxv[i]
+		} else {
+			out[i] = 0
 		}
 	}
-	return out
 }
 
 // Denormalize maps u ∈ [0,1]^6 back to a configuration, clamping to the
@@ -118,21 +132,46 @@ func (s ConfigSpace) Clamp(c Config) Config {
 	return ConfigFromVector(cv)
 }
 
-// Sample draws a configuration uniformly from the box.
+// Sample draws a configuration uniformly from the box. It is
+// allocation-free: the draw order and per-element arithmetic are
+// exactly Denormalize on a fresh uniform vector, so results are
+// bit-identical to the allocating form at every RNG state.
 func (s ConfigSpace) Sample(rng *rand.Rand) Config {
-	u := make(mathx.Vector, ConfigDim)
+	var u [ConfigDim]float64
 	for i := range u {
 		u[i] = rng.Float64()
 	}
-	return s.Denormalize(u)
+	maxv := s.Max.vec()
+	for i := range u {
+		u[i] = mathx.Clip(u[i], 0, 1) * maxv[i]
+	}
+	return Config{
+		BandwidthUL:  u[0],
+		BandwidthDL:  u[1],
+		MCSOffsetUL:  u[2],
+		MCSOffsetDL:  u[3],
+		BackhaulMbps: u[4],
+		CPURatio:     u[5],
+	}
 }
 
 // Usage is the resource-usage objective F(a) = |a/A|₁ / dim, reported as
 // a fraction in [0, 1]. The paper reports it as a percentage; dividing by
 // the dimension keeps the value in [0, 1] so it composes with QoE in the
-// Lagrangian without additional scaling.
+// Lagrangian without additional scaling. Allocation-free; the summation
+// order matches Normalize(c).Sum() term for term.
 func (s ConfigSpace) Usage(c Config) float64 {
-	return s.Normalize(c).Sum() / ConfigDim
+	maxv := s.Max.vec()
+	cv := c.vec()
+	var sum float64
+	for i := range cv {
+		term := 0.0
+		if maxv[i] > 0 {
+			term = cv[i] / maxv[i]
+		}
+		sum += term
+	}
+	return sum / ConfigDim
 }
 
 // ApplyConnectivityFloor raises the radio allocations to the minimum PRB

@@ -17,7 +17,7 @@ out="${1:-BENCH_1.json}"
 benchtime="${BENCHTIME:-10x}"
 pattern='^(BenchmarkGPFit|BenchmarkGPPredict|BenchmarkGPObserveIncremental|BenchmarkGPObserveFullRefit|BenchmarkSimEpisode)$'
 
-raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" .)"
+raw="$(go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" .)"
 echo "$raw"
 
 echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
@@ -27,6 +27,11 @@ echo "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" 
 	sub(/^Benchmark/, "", name)
 	iters[name] = $2
 	ns[name] = $3
+	# With -benchmem the value precedes each unit: "... 123 B/op 4 allocs/op".
+	for (i = 4; i + 1 <= NF; i++) {
+		if ($(i + 1) == "B/op") bytes[name] = $i
+		if ($(i + 1) == "allocs/op") allocs[name] = $i
+	}
 	order[n++] = name
 }
 END {
@@ -37,8 +42,8 @@ END {
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
-		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}%s\n", \
-			name, iters[name], ns[name], (i < n - 1 ? "," : "")
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, iters[name], ns[name], bytes[name] + 0, allocs[name] + 0, (i < n - 1 ? "," : "")
 	}
 	printf "  ]"
 	if (ns["GPObserveFullRefit"] > 0 && ns["GPObserveIncremental"] > 0)

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# bench_hotpath.sh — run the batched-inference / zero-allocation hot-path
+# benchmarks and emit the BENCH_6 sustained-throughput snapshot.
+#
+#	scripts/bench_hotpath.sh              # writes BENCH_6.json
+#	scripts/bench_hotpath.sh out.json     # custom output path
+#	BENCHTIME=1x scripts/bench_hotpath.sh # CI smoke budget
+#
+# Three layers are measured:
+#   - internal/gp: the seed's sequential per-candidate posterior scan vs
+#     PredictBatch (full posterior and the mean-only mode), at pool
+#     sizes 64/256/1024 over a 100-point collection. The batched
+#     benchmarks assert bit-identical outputs before timing, so a
+#     speedup here is never bought with drift.
+#   - online learner: the steady-state candidate scan through
+#     CheapestFeasible — the per-interval hot path of every live slice —
+#     whose B/op must stay near zero (scratch reuse).
+#   - fleet: end-to-end sustained throughput under churn (slice-epochs
+#     and arrivals per second).
+#
+# Guardrails (selection drift is separately re-checked by running the
+# parity tests): NaN/zero throughput fails, the online-scan B/op
+# ceiling fails, and at real budgets (not the 1x CI smoke, which is too
+# noisy for ratios) the batched scan must beat the sequential baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_6.json}"
+benchtime="${BENCHTIME:-20x}"
+
+# Selection-drift guardrail: the batched paths must be bit-identical to
+# the sequential ones before any number is worth snapshotting.
+go test -run 'TestPredictBatchMatchesPredict|TestPredictBatchSnapshotRoundTrip|TestSolveLowerMultiInPlaceBitIdentical' ./internal/gp ./internal/mathx
+go test -run 'TestScanPoolMatchesSequentialReference|TestCheapestFeasibleMatchesSequentialReference|TestScanPoolWorkerCountInvariant' ./internal/core
+
+raw_gp="$(go test -run '^$' -bench '^BenchmarkCandidateScan(Sequential|Batched|BatchedMeanOnly)$' -benchmem -benchtime "$benchtime" ./internal/gp)"
+echo "$raw_gp"
+raw_sys="$(go test -run '^$' -bench '^(BenchmarkOnlineScanPool|BenchmarkFleetSustained)$' -benchmem -benchtime "$benchtime" .)"
+echo "$raw_sys"
+
+printf '%s\n%s\n' "$raw_gp" "$raw_sys" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	for (i = 4; i + 1 <= NF; i++) {
+		u = $(i + 1)
+		if (u == "B/op") bytes[name] = $i
+		else if (u == "allocs/op") allocs[name] = $i
+		else if (u ~ /\//) metric[name, u] = $i
+	}
+	order[n++] = name
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"hot-path-throughput\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"fixture\": {\"gp_points\": 100, \"input_dim\": 9, \"fleet_scenario\": \"churn\", \"seed\": 42},\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+			name, iters[name], ns[name], bytes[name] + 0, allocs[name] + 0
+		if ((name, "scans/sec") in metric) printf ", \"scans_per_sec\": %s", metric[name, "scans/sec"]
+		if ((name, "cands/sec") in metric) printf ", \"cands_per_sec\": %s", metric[name, "cands/sec"]
+		if ((name, "arrivals/sec") in metric) printf ", \"arrivals_per_sec\": %s", metric[name, "arrivals/sec"]
+		if ((name, "episodes/sec") in metric) printf ", \"episodes_per_sec\": %s", metric[name, "episodes/sec"]
+		printf "}%s\n", (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"speedups\": {\n"
+	sep = ""
+	for (p = 0; p < 3; p++) {
+		pool = (p == 0 ? 64 : p == 1 ? 256 : 1024)
+		seq = ns["CandidateScanSequential/pool=" pool]
+		bat = ns["CandidateScanBatched/pool=" pool]
+		mo = ns["CandidateScanBatchedMeanOnly/pool=" pool]
+		if (seq > 0 && bat > 0) {
+			printf "%s    \"batched_pool_%d\": %.2f,\n    \"mean_only_pool_%d\": %.2f", \
+				sep, pool, seq / bat, pool, seq / mo
+			sep = ",\n"
+		}
+	}
+	printf "\n  }\n"
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+# Guardrails.
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$out" "$benchtime" <<'EOF'
+import json, math, sys
+snap = json.load(open(sys.argv[1]))
+smoke = sys.argv[2] == "1x"
+bench = {b["name"]: b for b in snap["benchmarks"]}
+
+# Throughput must be a real positive number everywhere it is reported.
+for name, b in bench.items():
+    for key in ("scans_per_sec", "cands_per_sec", "arrivals_per_sec", "episodes_per_sec"):
+        if key in b:
+            v = b[key]
+            assert not math.isnan(v) and v > 0, f"{name}: {key} = {v}"
+
+# The batched scan allocates nothing on the steady-state path.
+for pool in (64, 256, 1024):
+    b = bench[f"CandidateScanBatched/pool={pool}"]
+    assert b["bytes_per_op"] == 0, f"batched scan pool={pool} allocates {b['bytes_per_op']} B/op"
+
+# The online learner's scan reuses its scratch: B/op stays far under the
+# seed's ~1.8 KB-per-candidate footprint (ceiling leaves slack for the
+# worker fan-out bookkeeping).
+for pool in (64, 256):
+    b = bench[f"OnlineScanPool/pool={pool}"]
+    assert b["bytes_per_op"] <= 4096, f"online scan pool={pool}: {b['bytes_per_op']} B/op over ceiling 4096"
+
+# At real budgets the batched posterior must beat the sequential seed
+# baseline (the 1x CI smoke is too noisy for ratio guardrails).
+if not smoke:
+    for pool in (64, 256, 1024):
+        s = snap["speedups"][f"batched_pool_{pool}"]
+        assert s >= 1.0, f"batched pool={pool} speedup {s} < 1.0"
+    s64 = snap["speedups"]["batched_pool_64"]
+    assert s64 >= 2.0, f"pool=64 batched speedup {s64} < 2.0"
+
+fleet = bench["FleetSustained"]
+print(f"ok: speedups {snap['speedups']}, "
+      f"fleet {fleet['episodes_per_sec']:.1f} episodes/sec {fleet['arrivals_per_sec']:.2f} arrivals/sec")
+EOF
+fi
