@@ -635,6 +635,95 @@ func BenchmarkOnlineScanPool(b *testing.B) {
 	}
 }
 
+// ---- site-sharded stepping benchmarks (BENCH_7) ---------------------
+
+// benchShardRun executes the BENCH_5 hotspot-cell/locality workload —
+// identical scenario, budgets, and seed — under the given stepper
+// configuration, so BENCH_7's sharded numbers compare against the
+// recorded BENCH_5 lockstep baseline on equal terms.
+func benchShardRun(b *testing.B, mutate func(*fleet.Options)) *fleet.Result {
+	b.Helper()
+	preset, ok := scenarios.GetTopology("hotspot-cell")
+	if !ok {
+		b.Fatal("hotspot-cell topology preset missing")
+	}
+	topo, err := preset.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, ok := scenarios.GetFleet("churn")
+	if !ok {
+		b.Fatal("churn fleet scenario missing")
+	}
+	opts := fleet.Options{
+		Horizon:   60,
+		Topology:  topo,
+		Placement: topology.Locality{},
+		Policy:    fleet.FirstFit{},
+		Seed:      42,
+		Tune: func(sys *core.System) {
+			sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 15, 5, 2, 150
+			sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 25, 8, 2, 150
+			sys.OnOpts.Pool, sys.OnOpts.N = 120, 3
+		},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	ctl := fleet.NewController(realnet.New(), simnet.NewDefault(), fs.Classes, opts)
+	res, err := ctl.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchShardVariant reports the BENCH_7 headline metrics — sustained
+// arrivals handled per wall-clock second and peak concurrent slices —
+// plus the result fingerprint (value, ratios, imbalance) the bench
+// script's bit-drift guardrail compares across stepper variants: the
+// sharding determinism property says these must be identical at every
+// shard count and on the lockstep reference.
+func benchShardVariant(b *testing.B, mutate func(*fleet.Options)) {
+	var arrivals, peakLive float64
+	var last *fleet.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchShardRun(b, mutate)
+		arrivals += float64(res.Arrivals)
+		for _, es := range res.Epochs {
+			if float64(es.Live) > peakLive {
+				peakLive = float64(es.Live)
+			}
+		}
+		last = res
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(arrivals/sec, "arrivals/sec")
+	b.ReportMetric(peakLive, "peak_live_slices")
+	b.ReportMetric(last.QoEWeightedValue, "qoe_value")
+	b.ReportMetric(last.AcceptanceRatio, "acceptance_ratio")
+	b.ReportMetric(last.PlacementRatio, "placement_ratio")
+	b.ReportMetric(last.Imbalance, "imbalance")
+}
+
+// BenchmarkFleetStepLockstep: the legacy epoch-lockstep reference path
+// (the stepper BENCH_5 was recorded on).
+func BenchmarkFleetStepLockstep(b *testing.B) {
+	benchShardVariant(b, func(o *fleet.Options) { o.Lockstep = true })
+}
+
+// BenchmarkFleetStepSharded: the event-driven shard engine at one, two,
+// and one-per-site (hotspot-cell has five sites) shards.
+func BenchmarkFleetStepSharded(b *testing.B) {
+	for _, n := range []int{1, 2, 5} {
+		n := n
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchShardVariant(b, func(o *fleet.Options) { o.Shards = n })
+		})
+	}
+}
+
 // BenchmarkFleetSustained reports end-to-end control-plane throughput
 // under churn: slice-epochs served and arrivals handled per wall-clock
 // second, with allocations. This is the sustained-throughput number

@@ -48,9 +48,18 @@
 //	atlas -fleet -scenario churn -topology uniform-grid -sites 9 -placement spread
 //	atlas -fleet -scenario churn -topology edge-constrained -placement first-fit
 //
+// Fleet stepping is site-sharded and event-driven by default: each
+// shard goroutine owns its sites' resident slices and steps them
+// concurrently, with results bit-identical to the legacy lockstep
+// path at any shard count. -shards overrides the shard count (0 = one
+// per site) and -lockstep selects the unsharded reference path:
+//
+//	atlas -fleet -scenario churn -topology hotspot-cell -shards 2
+//	atlas -fleet -scenario churn -lockstep
+//
 // Fleet-only flags (-policy, -capacity, -horizon, -no-oracle,
-// -topology, -sites, -placement) are rejected without -fleet instead
-// of being silently ignored.
+// -topology, -sites, -placement, -shards, -lockstep) are rejected
+// without -fleet instead of being silently ignored.
 //
 // The serve subcommand turns the same fleet machinery into a
 // long-lived slice-lifecycle daemon: an HTTP+JSON API through which
@@ -114,6 +123,8 @@ func main() {
 		topoName     = flag.String("topology", "", "multi-cell site graph from the topology catalog (replaces the single capacity pool): "+strings.Join(scenarios.TopologyNames(), ", "))
 		sites        = flag.Int("sites", 0, "site count for the -topology preset (0 = preset default)")
 		placement    = flag.String("placement", "locality", "placement policy picking each arrival's host site: "+strings.Join(topology.PolicyNames(), ", "))
+		shards       = flag.Int("shards", 0, "fleet: shard count for the site-sharded stepping engine, clamped to the site count (0 = one shard per site)")
+		lockstep     = flag.Bool("lockstep", false, "fleet: step via the legacy epoch-lockstep reference path instead of the sharded event engine")
 		addr         = flag.String("addr", ":8080", "serve: HTTP listen address")
 		serveLog     = flag.String("serve-log", "", "serve: append-only slice-event log file (JSONL, replayable)")
 		tick         = flag.Duration("tick", time.Second, "serve: serving epoch period (every tick steps all OPERATING slices)")
@@ -180,9 +191,15 @@ func main() {
 	if *sites < 0 {
 		badf("-sites must be >= 0 (0 = preset default), got %d", *sites)
 	}
+	if *shards < 0 {
+		badf("-shards must be >= 0 (0 = one shard per site), got %d", *shards)
+	}
+	if *shards > 0 && *lockstep {
+		badf("-shards and -lockstep are mutually exclusive: the lockstep reference path is unsharded")
+	}
 	if !*fleetMode && !serveMode {
 		var ignored []string
-		for _, name := range []string{"policy", "capacity", "horizon", "no-oracle", "topology", "sites", "placement"} {
+		for _, name := range []string{"policy", "capacity", "horizon", "no-oracle", "topology", "sites", "placement", "shards", "lockstep"} {
 			if explicitFlags[name] {
 				ignored = append(ignored, "-"+name)
 			}
@@ -344,7 +361,7 @@ func main() {
 	}
 
 	if *fleetMode {
-		runFleet(real, sim, st, fscen, policy, topo, place, *horizon, *capacity, *workers, *seed, !*noOracle)
+		runFleet(real, sim, st, fscen, policy, topo, place, *horizon, *capacity, *workers, *shards, *lockstep, *seed, !*noOracle)
 		return
 	}
 
@@ -508,7 +525,7 @@ func newSharedCalibrator(real *realnet.Network, sim *simnet.Simulator, drSeed in
 // arriving and departing over finite capacity — a single pool, or a
 // multi-cell site graph with a placement stage — with capacity-aware
 // admission and preemption-free downscale arbitration.
-func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs scenarios.FleetScenario, policy fleet.Policy, topo *topology.Graph, place topology.Policy, horizon int, capacityCells float64, workers int, seed int64, oracle bool) {
+func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs scenarios.FleetScenario, policy fleet.Policy, topo *topology.Graph, place topology.Policy, horizon int, capacityCells float64, workers, shards int, lockstep bool, seed int64, oracle bool) {
 	if horizon <= 0 {
 		horizon = fs.Horizon
 	}
@@ -532,6 +549,8 @@ func runFleet(real *realnet.Network, sim *simnet.Simulator, st *store.Store, fs 
 		Policy:    policy,
 		Seed:      seed,
 		Workers:   workers,
+		Shards:    shards,
+		Lockstep:  lockstep,
 		Oracle:    oracle,
 		Store:     st,
 	})

@@ -371,6 +371,7 @@ func (l *OnlineLearner) Restore(s *OnlineSnapshot) error {
 	if s.Version != ArtifactVersion {
 		return fmt.Errorf("core: online snapshot version %d, want %d", s.Version, ArtifactVersion)
 	}
+	l.InvalidateSimCache()
 	if s.Model != l.Opts.Model {
 		return fmt.Errorf("core: online snapshot from residual model %d, learner uses %d", s.Model, l.Opts.Model)
 	}

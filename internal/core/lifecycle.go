@@ -537,6 +537,7 @@ func (s *System) ResizeSliceAt(id string, traffic int, site slicing.SiteID) (sli
 	// gap, which a demand change does not invalidate.
 	inst.Offline = off
 	inst.Learner.Policy = off.Policy
+	inst.Learner.InvalidateSimCache()
 	inst.Traffic = traffic
 	inst.Learner.SetTraffic(traffic)
 	inst.Site = site
@@ -834,6 +835,47 @@ func (s *System) StepMany(ids []string, workers int) error {
 	return errors.Join(errs...)
 }
 
+// StepShard advances the given slices one interval each, sequentially
+// in the caller's goroutine — the fan-out unit of a site-sharded
+// control plane, where concurrency comes from shards owning disjoint
+// slice sets rather than from a per-slice worker pool. Like StepMany,
+// every step runs to completion and the failures are returned joined,
+// in slice order.
+func (s *System) StepShard(ids []string) error {
+	var errs []error
+	for _, id := range ids {
+		if err := s.Step(id); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// StepGroups advances disjoint groups of slices concurrently, one
+// goroutine per group, each stepping its group sequentially (the
+// per-shard StepMany). Groups must not share ids. Per-slice RNGs make
+// every trajectory independent of scheduling, so results are
+// bit-identical at any grouping. Failures are joined in group order.
+func (s *System) StepGroups(groups [][]string) error {
+	switch len(groups) {
+	case 0:
+		return nil
+	case 1:
+		return s.StepShard(groups[0])
+	}
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g []string) {
+			defer wg.Done()
+			errs[i] = s.StepShard(g)
+		}(i, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // InfrastructureChanged handles the §10 adaptability procedure: re-run
 // stage 1 from the last optimum against fresh measurements, then
 // fine-tune every slice's offline policy in the updated simulator. The
@@ -860,6 +902,7 @@ func (s *System) InfrastructureChanged(fineTuneIters int) error {
 		// offline artifacts and simulator.
 		inst.Learner.Policy = off.Policy
 		inst.Learner.Sim = aug
+		inst.Learner.InvalidateSimCache()
 	}
 	return nil
 }

@@ -106,6 +106,14 @@ type OnlineLearner struct {
 	// fan-out inside evalResiduals writes disjoint spans.
 	scan scanScratch
 
+	// memo caches simulator queries within an interval. Q_s(cfg) is a
+	// pure function of (cfg, class, traffic): episode seeds derive from
+	// the config vector, and the simulator holds no cross-episode
+	// state. The accel loop's argmin frequently re-selects the same
+	// candidate as λ drifts, and Observe re-queries the applied config
+	// — both would re-run bit-identical episodes without the memo.
+	memo simMemo
+
 	// Per-iteration log.
 	Usages []float64
 	QoEs   []float64
@@ -217,11 +225,26 @@ func (l *OnlineLearner) residual(cfg slicing.Config) (float64, float64) {
 	}
 }
 
-// simQoE queries the augmented simulator for Q_s(cfg).
+// simQoE queries the augmented simulator for Q_s(cfg), deduplicating
+// repeat queries at the same configuration through the interval memo.
+// Correctness of the cache rests on Q_s being a deterministic pure
+// function of (cfg, traffic) for a fixed class and simulator: episode
+// seeds derive from the config vector, not from any learner RNG, so a
+// cached value is bit-identical to a recomputation and skipping the
+// recomputation perturbs no random stream.
 func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
 	if l.Sim == nil {
 		return 0
 	}
+	if v, ok := l.memo.lookup(cfg, l.traffic()); ok {
+		return v
+	}
+	v := l.simQoEUncached(cfg)
+	l.memo.add(cfg, l.traffic(), v)
+	return v
+}
+
+func (l *OnlineLearner) simQoEUncached(cfg slicing.Config) float64 {
 	base := seedOf(cfg.Vector())
 	n := max(1, l.Opts.Episodes)
 	var sum float64
@@ -230,6 +253,54 @@ func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
 		sum += l.evalTrace(tr)
 	}
 	return sum / float64(n)
+}
+
+// simMemo is a tiny exact-match cache of simulator queries. Entries
+// are valid for one traffic level; a traffic change (or capacity
+// overflow) clears it. Configs are compared field-for-field, so a hit
+// can only ever return the exact value the dropped recomputation
+// would have produced.
+type simMemo struct {
+	cfgs    []slicing.Config
+	vals    []float64
+	traffic int
+}
+
+// simMemoCap bounds the memo so lookups stay a short linear scan; the
+// accel loop touches only a handful of distinct candidates per
+// interval, so the cap is never hit in practice.
+const simMemoCap = 64
+
+func (m *simMemo) lookup(cfg slicing.Config, traffic int) (float64, bool) {
+	if traffic != m.traffic {
+		return 0, false
+	}
+	for i := range m.cfgs {
+		if m.cfgs[i] == cfg {
+			return m.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// InvalidateSimCache drops all cached simulator queries. Callers that
+// swap the learner's policy, class, or simulator mid-life (resize
+// migration, infrastructure change) must invalidate: the memo key is
+// (cfg, traffic) and assumes those stay fixed.
+func (l *OnlineLearner) InvalidateSimCache() {
+	l.memo.cfgs = l.memo.cfgs[:0]
+	l.memo.vals = l.memo.vals[:0]
+	l.memo.traffic = 0
+}
+
+func (m *simMemo) add(cfg slicing.Config, traffic int, v float64) {
+	if traffic != m.traffic || len(m.cfgs) >= simMemoCap {
+		m.cfgs = m.cfgs[:0]
+		m.vals = m.vals[:0]
+		m.traffic = traffic
+	}
+	m.cfgs = append(m.cfgs, cfg)
+	m.vals = append(m.vals, v)
 }
 
 // candidatePool is one scan of the configuration space: candidates with

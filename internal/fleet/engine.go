@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/atlas-slicing/atlas/internal/core"
 	"github.com/atlas-slicing/atlas/internal/slicing"
@@ -33,7 +34,12 @@ type Engine struct {
 	// ests caches per-(class, traffic) admission estimates: estimates
 	// are pure per class — same calibration, same artifact, same
 	// envelope — so the fingerprint (and the store read behind it) is
-	// computed once instead of once per arrival.
+	// computed once instead of once per arrival. estMu guards the map:
+	// unlike the single-writer admission path, Estimate may be called
+	// concurrently (shards pre-warming class estimates, serve
+	// handlers), and the lock is held across the fill so concurrent
+	// misses on one class dedup to a single training run.
+	estMu sync.Mutex
 	ests  map[string]classEst
 	live  map[string]*Tenant
 	order []string // admission order, the arbitration walk sequence
@@ -116,9 +122,13 @@ func (e *Engine) System() *core.System { return e.sys }
 func (e *Engine) Topology() *topology.Graph { return e.topo }
 
 // estimate returns the cached admission estimate for an arrival's
-// (class, traffic) pair.
+// (class, traffic) pair. Safe for concurrent callers: the memo lock is
+// held across the fill, so a class is estimated once no matter how
+// many shards ask at the same time.
 func (e *Engine) estimate(a Arrival) (classEst, error) {
 	key := fmt.Sprintf("%d\x00%s\x00%d", a.ClassIdx, a.Class.Name, a.Traffic)
+	e.estMu.Lock()
+	defer e.estMu.Unlock()
 	if ce, ok := e.ests[key]; ok {
 		return ce, nil
 	}
@@ -133,7 +143,8 @@ func (e *Engine) estimate(a Arrival) (classEst, error) {
 
 // Estimate previews the envelope demand and offline artifact an
 // admission of the class at the given traffic (0 = nominal) would use,
-// through the engine's per-class cache.
+// through the engine's per-class cache. Unlike the single-writer
+// mutating path, Estimate is safe to call concurrently.
 func (e *Engine) Estimate(class slicing.ServiceClass, traffic int) (*core.OfflineResult, slicing.Demand, error) {
 	ce, err := e.estimate(Arrival{ClassIdx: -1, Class: class, Traffic: traffic})
 	if err != nil {

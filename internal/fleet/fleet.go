@@ -32,9 +32,21 @@ type Options struct {
 	// Seed drives every random draw (arrival trace, per-slice seeds).
 	// Same seed, same options => bit-identical Result.
 	Seed int64
-	// Workers bounds the concurrent per-epoch stepping (0 =
-	// GOMAXPROCS). Results are identical at any worker count.
+	// Workers bounds the lockstep path's concurrent per-epoch stepping
+	// (0 = GOMAXPROCS). Results are identical at any worker count. The
+	// sharded engine ignores it — there, concurrency is the shard
+	// count.
 	Workers int
+	// Shards selects the site-sharded event-driven engine's shard
+	// count: 0 (auto) means one shard per topology site, and the value
+	// is clamped to [1, number of sites] (single-pool runs have one
+	// site). Results are bit-identical at any shard count.
+	Shards int
+	// Lockstep replaces the event-driven sharded engine with the
+	// legacy epoch-lockstep stepping path — the reference
+	// implementation differential tests and benchmarks compare
+	// against. Results are bit-identical either way.
+	Lockstep bool
 	// DownscalePool is the candidate-pool size the arbitrator hands the
 	// online learner when searching for cheaper configurations (0
 	// defaults to 250).
@@ -251,8 +263,10 @@ type runMeta struct {
 
 // runOnce is one complete fleet simulation under the given policy,
 // capacity, and (optional) topology, replaying the given arrival trace
-// through the per-request Engine. All state iterates in admission
-// order, so repeated runs are bit-identical at any worker count.
+// through the per-request Engine. Control events (admissions,
+// departures) execute in one global sequence and all per-epoch
+// aggregation iterates in admission order, so repeated runs are
+// bit-identical at any worker or shard count.
 func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival) (*Result, error) {
 	sys := c.newSystem(capacity, topo)
 	if _, err := sys.Calibrate(); err != nil {
@@ -265,6 +279,13 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		Capacity:      capacity,
 		DownscalePool: c.opts.DownscalePool,
 	})
+	var st stepper
+	if c.opts.Lockstep {
+		st = lockstepStepper{sys: sys, workers: c.opts.Workers}
+	} else {
+		st = newShardEngine(sys, topo, c.opts.Shards)
+	}
+	defer st.close()
 
 	res := &Result{Policy: policy.Name(), Horizon: c.opts.Horizon, Arrivals: len(trace)}
 	if topo != nil {
@@ -306,6 +327,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 			if err != nil {
 				return nil, fmt.Errorf("fleet: release %s: %w", id, err)
 			}
+			st.detach(id, t.Site)
 			classStats[t.Arrival.ClassIdx].Value += m.value
 			delete(meta, id)
 			res.Departed++
@@ -339,6 +361,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 				depart = epoch + a.Lifetime
 			}
 			meta[a.ID] = &runMeta{depart: depart}
+			st.attach(a.ID, dec.Site)
 			res.Admitted++
 			es.Admitted++
 			classStats[a.ClassIdx].Admitted++
@@ -350,11 +373,13 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 			}
 		}
 
-		// Step every live slice one configuration interval, fanned out
-		// over the worker pool; aggregate in admission order.
+		// Step every live slice one configuration interval — a tick
+		// event fanned out to the shard executors (or the lockstep
+		// worker pool); aggregate in admission order after the commit
+		// barrier.
 		liveBuf = eng.LiveAppend(liveBuf[:0])
 		ids := liveBuf
-		if err := sys.StepMany(ids, c.opts.Workers); err != nil {
+		if err := st.tick(epoch, ids); err != nil {
 			return nil, fmt.Errorf("fleet: step epoch %d: %w", epoch, err)
 		}
 		for _, id := range ids {
@@ -430,6 +455,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		if err != nil {
 			return nil, fmt.Errorf("fleet: final release %s: %w", id, err)
 		}
+		st.detach(id, t.Site)
 		classStats[t.Arrival.ClassIdx].Value += m.value
 	}
 

@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// This file is the site-sharded, event-driven stepping engine of the
+// fleet control plane. The controller's run loop no longer steps the
+// whole fleet in one lockstep StepMany call: arrivals, departures, and
+// step ticks become sequence-numbered events routed to the shard that
+// owns the tenant's host site. Each shard is a long-lived goroutine
+// owning its sites' resident slices (and therefore their online
+// learners); it processes its event queue in FIFO order and steps its
+// residents concurrently with every other shard. Control events
+// (attach/detach) are emitted by the coordinator in one global
+// sequence between ticks, and tick results merge at a commit barrier
+// in shard-index order — so the whole schedule is deterministic and
+// the run's Result is bit-identical to the lockstep reference path at
+// any shard count (the cross-PR determinism bar).
+//
+// Shared TN/CN capacity is the only cross-shard coupling, served by
+// the striped TopologyLedger's short shared-tier lock.
+
+// stepper abstracts how the controller's run loop advances the fleet
+// one epoch: the legacy lockstep fan-out, or the sharded event engine.
+type stepper interface {
+	// attach registers a newly admitted tenant with its owner.
+	attach(id string, site slicing.SiteID)
+	// detach unregisters a departed tenant.
+	detach(id string, site slicing.SiteID)
+	// tick steps every resident slice one interval. ids is the live
+	// set in admission order (the lockstep path's work list; the
+	// sharded engine steps from its own residency books).
+	tick(epoch int, ids []string) error
+	// close tears the stepper down (idempotent).
+	close()
+}
+
+// lockstepStepper is the pre-sharding reference implementation: one
+// epoch-wide StepMany fan-out over a bounded worker pool.
+type lockstepStepper struct {
+	sys     *core.System
+	workers int
+}
+
+func (l lockstepStepper) attach(string, slicing.SiteID) {}
+func (l lockstepStepper) detach(string, slicing.SiteID) {}
+func (l lockstepStepper) close()                        {}
+
+func (l lockstepStepper) tick(_ int, ids []string) error {
+	return l.sys.StepMany(ids, l.workers)
+}
+
+// evKind enumerates the shard event queue's message types.
+type evKind uint8
+
+const (
+	evAttach evKind = iota
+	evDetach
+	evTick
+)
+
+// shardEvent is one sequence-numbered message on a shard's queue.
+type shardEvent struct {
+	kind  evKind
+	seq   uint64
+	id    string // attach/detach
+	epoch int    // tick
+}
+
+// shardAck is a shard's commit message for one tick.
+type shardAck struct {
+	shard int
+	seq   uint64
+	err   error
+}
+
+// shard owns a partition of the fleet: the resident slice ids (in
+// admission order) of the sites assigned to it. Only the shard's own
+// goroutine touches ids after start.
+type shard struct {
+	idx int
+	ch  chan shardEvent
+	ids []string
+}
+
+// run is the shard goroutine: drain the event queue in FIFO order,
+// maintaining residency on attach/detach and stepping every resident
+// on tick. The ack carries the tick's sequence number so the
+// coordinator's commit barrier can verify ordered delivery.
+func (sh *shard) run(sys *core.System, acks chan<- shardAck, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for ev := range sh.ch {
+		switch ev.kind {
+		case evAttach:
+			sh.ids = append(sh.ids, ev.id)
+		case evDetach:
+			for i, v := range sh.ids {
+				if v == ev.id {
+					sh.ids = append(sh.ids[:i], sh.ids[i+1:]...)
+					break
+				}
+			}
+		case evTick:
+			acks <- shardAck{shard: sh.idx, seq: ev.seq, err: sys.StepShard(sh.ids)}
+		}
+	}
+}
+
+// shardEngine is the event-driven stepper: a coordinator-facing front
+// that routes events to per-site shards and merges tick commits.
+type shardEngine struct {
+	sys    *core.System
+	shards []*shard
+	// siteShard maps a site id to its owning shard; the empty site
+	// (single-pool runs) belongs to shard 0, matching the ledger's
+	// default-site semantics.
+	siteShard map[slicing.SiteID]int
+	acks      chan shardAck
+	seq       uint64
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// resolveShards clamps a requested shard count against the topology:
+// 0 (auto) means one shard per site, and a run can never use more
+// shards than it has sites (a single-pool run has exactly one).
+func resolveShards(requested int, topo *topology.Graph) int {
+	sites := 1
+	if topo != nil {
+		sites = len(topo.Sites)
+	}
+	n := requested
+	if n <= 0 || n > sites {
+		n = sites
+	}
+	return n
+}
+
+// newShardEngine starts n shard goroutines over the topology's sites,
+// assigned round-robin in site order.
+func newShardEngine(sys *core.System, topo *topology.Graph, n int) *shardEngine {
+	n = resolveShards(n, topo)
+	se := &shardEngine{
+		sys:       sys,
+		shards:    make([]*shard, n),
+		siteShard: map[slicing.SiteID]int{},
+		acks:      make(chan shardAck, n),
+	}
+	if topo != nil {
+		for i, id := range topo.SiteIDs() {
+			se.siteShard[id] = i % n
+		}
+	}
+	for i := range se.shards {
+		se.shards[i] = &shard{idx: i, ch: make(chan shardEvent, 16)}
+		se.wg.Add(1)
+		go se.shards[i].run(sys, se.acks, &se.wg)
+	}
+	return se
+}
+
+// shardOf resolves a tenant's host site to its owning shard.
+func (se *shardEngine) shardOf(site slicing.SiteID) *shard {
+	return se.shards[se.siteShard[site]]
+}
+
+func (se *shardEngine) attach(id string, site slicing.SiteID) {
+	se.seq++
+	se.shardOf(site).ch <- shardEvent{kind: evAttach, seq: se.seq, id: id}
+}
+
+func (se *shardEngine) detach(id string, site slicing.SiteID) {
+	se.seq++
+	se.shardOf(site).ch <- shardEvent{kind: evDetach, seq: se.seq, id: id}
+}
+
+// tick broadcasts one step event to every shard and blocks at the
+// commit barrier until all shards ack. Ack arrival order is whatever
+// the scheduler produces, but the merge is deterministic: errors slot
+// by shard index and join in that order.
+func (se *shardEngine) tick(epoch int, _ []string) error {
+	se.seq++
+	seq := se.seq
+	for _, sh := range se.shards {
+		sh.ch <- shardEvent{kind: evTick, seq: seq, epoch: epoch}
+	}
+	errs := make([]error, len(se.shards))
+	for range se.shards {
+		ack := <-se.acks
+		if ack.seq != seq {
+			return fmt.Errorf("fleet: shard %d acked tick seq %d, want %d", ack.shard, ack.seq, seq)
+		}
+		errs[ack.shard] = ack.err
+	}
+	return errors.Join(errs...)
+}
+
+func (se *shardEngine) close() {
+	if se.closed {
+		return
+	}
+	se.closed = true
+	for _, sh := range se.shards {
+		close(sh.ch)
+	}
+	se.wg.Wait()
+}

@@ -1,0 +1,119 @@
+package fleet_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/realnet"
+	"github.com/atlas-slicing/atlas/internal/scenarios"
+	"github.com/atlas-slicing/atlas/internal/simnet"
+	"github.com/atlas-slicing/atlas/internal/topology"
+)
+
+// parityTune shrinks training budgets to parity-test scale.
+func parityTune(sys *core.System) {
+	sys.CalOpts.Iters, sys.CalOpts.Explore, sys.CalOpts.Batch, sys.CalOpts.Pool = 12, 4, 2, 120
+	sys.OffOpts.Iters, sys.OffOpts.Explore, sys.OffOpts.Batch, sys.OffOpts.Pool = 15, 5, 2, 120
+	sys.OnOpts.Pool, sys.OnOpts.N = 100, 2
+}
+
+// parityScenario is one workload the sharded engine must replay
+// bit-identically to the lockstep reference at every shard count.
+type parityScenario struct {
+	name string
+	opts fleet.Options
+	cls  []fleet.ArrivalClass
+}
+
+// parityScenarios builds the three canonical workloads: the paper's
+// homogeneous video-analytics fleet, the mixed-class churn scenario,
+// and churn over the hotspot-cell site graph (the multi-shard case).
+func parityScenarios(t *testing.T) []parityScenario {
+	t.Helper()
+	churn, ok := scenarios.GetFleet("churn")
+	if !ok {
+		t.Fatal("churn fleet scenario missing")
+	}
+	preset, ok := scenarios.GetTopology("hotspot-cell")
+	if !ok {
+		t.Fatal("hotspot-cell topology preset missing")
+	}
+	topo, err := preset.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := []fleet.ArrivalClass{
+		{Class: scenarios.VideoAnalytics(), Rate: 0.25, MeanLifetime: 6, Value: 2, Elastic: true},
+	}
+	return []parityScenario{
+		{
+			name: "paper",
+			cls:  paper,
+			opts: fleet.Options{Horizon: 8, Capacity: churn.Capacity, Seed: 11, Tune: parityTune},
+		},
+		{
+			name: "churn",
+			cls:  churn.Classes,
+			opts: fleet.Options{Horizon: 8, Capacity: churn.Capacity, Policy: fleet.ValueDensity{ReservePrice: 4}, Seed: 7, Tune: parityTune},
+		},
+		{
+			name: "hotspot-cell",
+			cls:  churn.Classes,
+			opts: fleet.Options{Horizon: 10, Topology: topo, Placement: topology.Locality{}, Seed: 42, Tune: parityTune},
+		},
+	}
+}
+
+func parityRun(t *testing.T, sc parityScenario, mutate func(*fleet.Options)) *fleet.Result {
+	t.Helper()
+	opts := sc.opts
+	if mutate != nil {
+		mutate(&opts)
+	}
+	ctl := fleet.NewController(realnet.New(), simnet.NewDefault(), sc.cls, opts)
+	res, err := ctl.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", sc.name, err)
+	}
+	return res
+}
+
+// TestFleetShardParity is the sharding determinism property: on every
+// scenario, the sharded event-driven engine's Result — acceptance,
+// value, per-epoch stats, per-site stats, everything — is bit-identical
+// (reflect.DeepEqual) to the legacy lockstep run, at one shard, two
+// shards, and one shard per site.
+func TestFleetShardParity(t *testing.T) {
+	for _, sc := range parityScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			ref := parityRun(t, sc, func(o *fleet.Options) { o.Lockstep = true; o.Workers = 2 })
+			shardCounts := []int{1, 2}
+			if sc.opts.Topology != nil {
+				shardCounts = append(shardCounts, len(sc.opts.Topology.Sites))
+			}
+			for _, n := range shardCounts {
+				got := parityRun(t, sc, func(o *fleet.Options) { o.Shards = n })
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("shards=%d diverges from lockstep reference:\n%+v\nvs\n%+v", n, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetShardParityAcrossGOMAXPROCS re-runs the multi-site scenario
+// with an inflated GOMAXPROCS: scheduling must not leak into results.
+func TestFleetShardParityAcrossGOMAXPROCS(t *testing.T) {
+	scs := parityScenarios(t)
+	sc := scs[len(scs)-1] // hotspot-cell
+	base := parityRun(t, sc, func(o *fleet.Options) { o.Shards = len(sc.opts.Topology.Sites) })
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	wide := parityRun(t, sc, func(o *fleet.Options) { o.Shards = len(sc.opts.Topology.Sites) })
+	if !reflect.DeepEqual(base, wide) {
+		t.Fatal("sharded fleet result depends on GOMAXPROCS")
+	}
+}

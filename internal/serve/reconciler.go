@@ -128,11 +128,18 @@ type Reconciler struct {
 	ids    []string // creation order, for listing
 	diags  []error
 
+	// drained records "<id> <state>" for every slice checkpointed by
+	// the shutdown drain, in drain order — the observable audit trail
+	// the e2e smoke uses to assert exactly-once checkpointing.
+	drained []string
+
 	// Per-tick scratch: the live-id snapshot and the OPERATING subset
 	// are rebuilt into these buffers each step instead of being
-	// re-allocated every tick.
-	liveBuf []string
-	stepIDs []string
+	// re-allocated every tick. groupBuf holds the per-site shard
+	// partition of the step work list.
+	liveBuf  []string
+	stepIDs  []string
+	groupBuf [][]string
 }
 
 // NewReconciler builds the daemon core. The system gets the same
@@ -219,16 +226,33 @@ func (r *Reconciler) Run(ctx context.Context) {
 }
 
 // drain is the graceful-shutdown hook: checkpoint all live slices,
-// flush the log.
+// flush the log. Every commissioned slice is checkpointed exactly once
+// — the engine's live set holds each id once, and the drain runs after
+// the ticker loop has exited, so no concurrent shard step can race a
+// second checkpoint in. Each checkpoint is recorded in r.drained so the
+// daemon can surface the audit trail at shutdown.
 func (r *Reconciler) drain() {
 	for _, id := range r.eng.Live() {
 		if err := r.sys.CheckpointSlice(id); err != nil {
 			r.diags = append(r.diags, err)
+			continue
 		}
+		state := State("UNKNOWN")
+		if rec, ok := r.slices[id]; ok {
+			state = rec.state
+		}
+		r.drained = append(r.drained, fmt.Sprintf("%s %s", id, state))
 	}
 	if err := r.log.Close(); err != nil {
 		r.diags = append(r.diags, fmt.Errorf("serve: event log close: %w", err))
 	}
+}
+
+// DrainReport returns one "<id> <state>" entry per slice the shutdown
+// drain checkpointed, in drain order. Only meaningful after Run
+// returned.
+func (r *Reconciler) DrainReport() []string {
+	return append([]string(nil), r.drained...)
 }
 
 // Diagnostics returns the non-fatal errors the reconciler accumulated
@@ -518,6 +542,36 @@ func (r *Reconciler) step() {
 	}
 }
 
+// shardGroups partitions the step work list into per-site shards, each
+// stepped by its own goroutine — the reconciler's parallel tick. Group
+// order follows the sites' first appearance in admission order and ids
+// stay in admission order within a group, so the partition (and with
+// it every per-slice trajectory) is deterministic. Each OPERATING
+// slice lands in exactly one group: a slice has one host site, so the
+// concurrent shard steps can never double-step (and therefore never
+// double-checkpoint) a slice.
+func (r *Reconciler) shardGroups(ids []string) [][]string {
+	groups := r.groupBuf[:0]
+	if r.topo == nil {
+		groups = append(groups, ids)
+		r.groupBuf = groups
+		return groups
+	}
+	idx := make(map[slicing.SiteID]int, len(r.topo.Sites))
+	for _, id := range ids {
+		site := r.slices[id].site
+		g, ok := idx[site]
+		if !ok {
+			g = len(groups)
+			idx[site] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], id)
+	}
+	r.groupBuf = groups
+	return groups
+}
+
 func (r *Reconciler) stepErr() error {
 	r.liveBuf = r.eng.LiveAppend(r.liveBuf[:0])
 	ids := r.stepIDs[:0]
@@ -531,7 +585,7 @@ func (r *Reconciler) stepErr() error {
 	if len(ids) == 0 {
 		return nil
 	}
-	err := r.sys.StepMany(ids, r.workers)
+	err := r.sys.StepGroups(r.shardGroups(ids))
 	for _, id := range ids {
 		rec := r.slices[id]
 		inst, ok := r.sys.Slice(id)

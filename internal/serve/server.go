@@ -96,6 +96,9 @@ func (s *Server) Run(ctx context.Context) error {
 	for _, d := range s.rec.Diagnostics() {
 		fmt.Printf("atlas serve: diagnostic: %v\n", d)
 	}
+	for _, line := range s.rec.DrainReport() {
+		fmt.Printf("atlas serve: drain checkpoint %s\n", line)
+	}
 	if shutErr != nil {
 		return fmt.Errorf("serve: shutdown: %w", shutErr)
 	}

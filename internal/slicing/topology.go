@@ -66,10 +66,27 @@ type SiteUtilization struct {
 	Count int
 }
 
-// reservation is one booked slice: its host site and demand.
-type reservation struct {
-	site SiteID
-	d    Demand
+// siteTier is one site's local RAN reservation book. Each site owns
+// its lock, so reserve/release traffic against different sites never
+// contends — the striping a site-sharded control plane needs.
+type siteTier struct {
+	mu  sync.Mutex
+	res map[string]Demand
+	// ranUsed is the running local RAN total. It is maintained
+	// incrementally (O(1) per op, replacing the historical
+	// O(reservations) booking-order recompute) and snapped back to
+	// exactly zero whenever the site empties, so admit/release churn
+	// cannot accumulate floating-point drift across occupancy cycles.
+	ranUsed float64
+}
+
+// sharedTier is the regional transport/compute book: the only
+// cross-site synchronization point, guarded by one short lock.
+type sharedTier struct {
+	mu     sync.Mutex
+	tnUsed float64
+	cnUsed float64
+	count  int
 }
 
 // TopologyLedger is the concurrency-safe reservation book of a
@@ -78,20 +95,27 @@ type reservation struct {
 // transport/compute tiers. All mutating operations are atomic — a
 // reservation either fits entirely (site RAN and both shared tiers)
 // and books, or leaves the ledger untouched — so concurrent admissions
-// cannot overbook any tier. A one-site ledger behaves exactly like the
-// historical single-pool CapacityLedger.
+// cannot overbook any tier.
+//
+// Locking is striped by site: each site's RAN book has its own mutex,
+// and only the shared TN/CN tier takes a (short, O(1)) global lock, so
+// reservations against different sites proceed in parallel. Running
+// totals are deterministic for a deterministic operation sequence —
+// callers that need bit-identical replays (the fleet controller)
+// already serialize their admission/release events into a fixed order.
+// A one-site ledger behaves exactly like the historical single-pool
+// CapacityLedger.
 type TopologyLedger struct {
 	topo TopologyCapacity
 	idx  map[SiteID]int
 
-	mu  sync.Mutex
-	res map[string]reservation
-	// ids holds the reservation keys in booking order. Sums always
-	// iterate this slice, never the map: float addition is not
-	// associative, so map-order summation would make "identical" runs
-	// differ by ULPs — the bit-identical replay guarantee depends on a
-	// deterministic summation order.
-	ids []string
+	sites  []siteTier
+	shared sharedTier
+	// sitemap maps a reservation id to its host-site index. An id is
+	// claimed here (LoadOrStore) before fitting and unclaimed on
+	// failure, which both rejects duplicate ids and lets Release find
+	// the owning site without a global lock.
+	sitemap sync.Map
 }
 
 // CapacityLedger is the single-pool special case of the TopologyLedger:
@@ -113,7 +137,11 @@ func NewTopologyLedger(topo TopologyCapacity) *TopologyLedger {
 		}
 		idx[s.ID] = i
 	}
-	return &TopologyLedger{topo: topo, idx: idx, res: map[string]reservation{}}
+	l := &TopologyLedger{topo: topo, idx: idx, sites: make([]siteTier, len(topo.Sites))}
+	for i := range l.sites {
+		l.sites[i].res = map[string]Demand{}
+	}
+	return l
 }
 
 // NewCapacityLedger builds a single-pool ledger over the given
@@ -152,31 +180,22 @@ func (l *TopologyLedger) site(id SiteID) int {
 	return -1
 }
 
-// usedLocked sums the booked reservations: the aggregate demand plus
-// the per-site RAN breakdown (caller holds the lock). Recomputing from
-// the map instead of keeping running totals avoids floating-point
-// drift over long admit/release churn.
-func (l *TopologyLedger) usedLocked() (Demand, []float64) {
-	var used Demand
-	perSite := make([]float64, len(l.topo.Sites))
-	for _, id := range l.ids {
-		r := l.res[id]
-		used = used.Add(r.d)
-		if i := l.site(r.site); i >= 0 {
-			perSite[i] += r.d.RanPRB
-		}
+// siteOf looks up the host-site index of a booked id, or -1.
+func (l *TopologyLedger) siteOf(id string) int {
+	if v, ok := l.sitemap.Load(id); ok {
+		return v.(int)
 	}
-	return used, perSite
+	return -1
 }
 
-// freeAtLocked returns the headroom a reservation at site i sees: the
-// site's local RAN free plus the shared-tier free (caller holds the
-// lock).
-func (l *TopologyLedger) freeAtLocked(i int, used Demand, perSite []float64) Demand {
+// freeLocked returns the headroom a reservation at site i sees: the
+// site's local RAN free plus the shared-tier free. The caller holds
+// both the site's and the shared tier's lock.
+func (l *TopologyLedger) freeLocked(i int) Demand {
 	return Demand{
-		RanPRB: l.topo.Sites[i].RanPRB - perSite[i],
-		TnMbps: l.topo.TnMbps - used.TnMbps,
-		CnCPU:  l.topo.CnCPU - used.CnCPU,
+		RanPRB: l.topo.Sites[i].RanPRB - l.sites[i].ranUsed,
+		TnMbps: l.topo.TnMbps - l.shared.tnUsed,
+		CnCPU:  l.topo.CnCPU - l.shared.cnUsed,
 	}
 }
 
@@ -189,17 +208,28 @@ func (l *TopologyLedger) ReserveAt(site SiteID, id string, d Demand) bool {
 	if i < 0 {
 		return false
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, dup := l.res[id]; dup {
+	// Claim the id before fitting: concurrent ReserveAt calls for the
+	// same id race on this one lock-free registration, and exactly one
+	// proceeds.
+	if _, dup := l.sitemap.LoadOrStore(id, i); dup {
 		return false
 	}
-	used, perSite := l.usedLocked()
-	if !d.Fits(l.freeAtLocked(i, used, perSite)) {
+	st := &l.sites[i]
+	st.mu.Lock()
+	l.shared.mu.Lock()
+	if !d.Fits(l.freeLocked(i)) {
+		l.shared.mu.Unlock()
+		st.mu.Unlock()
+		l.sitemap.Delete(id)
 		return false
 	}
-	l.res[id] = reservation{site: l.topo.Sites[i].ID, d: d}
-	l.ids = append(l.ids, id)
+	st.res[id] = d
+	st.ranUsed += d.RanPRB
+	l.shared.tnUsed += d.TnMbps
+	l.shared.cnUsed += d.CnCPU
+	l.shared.count++
+	l.shared.mu.Unlock()
+	st.mu.Unlock()
 	return true
 }
 
@@ -213,76 +243,143 @@ func (l *TopologyLedger) Reserve(id string, d Demand) bool {
 // Shrinking always succeeds; growing succeeds only when the extra
 // demand fits the site's RAN and the shared tiers.
 func (l *TopologyLedger) Update(id string, d Demand) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	old, ok := l.res[id]
-	if !ok {
-		return false
-	}
-	i := l.site(old.site)
+	i := l.siteOf(id)
 	if i < 0 {
 		return false
 	}
-	used, perSite := l.usedLocked()
-	free := l.freeAtLocked(i, used, perSite).Add(old.d)
-	if !d.Fits(free) {
+	st := &l.sites[i]
+	st.mu.Lock()
+	l.shared.mu.Lock()
+	old, ok := st.res[id]
+	if !ok {
+		l.shared.mu.Unlock()
+		st.mu.Unlock()
 		return false
 	}
-	l.res[id] = reservation{site: old.site, d: d}
+	free := l.freeLocked(i).Add(old)
+	if !d.Fits(free) {
+		l.shared.mu.Unlock()
+		st.mu.Unlock()
+		return false
+	}
+	st.res[id] = d
+	st.ranUsed += d.RanPRB - old.RanPRB
+	l.shared.tnUsed += d.TnMbps - old.TnMbps
+	l.shared.cnUsed += d.CnCPU - old.CnCPU
+	l.shared.mu.Unlock()
+	st.mu.Unlock()
 	return true
 }
 
 // Release frees id's reservation, returning the freed demand (zero when
 // the id held none).
 func (l *TopologyLedger) Release(id string) Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r, ok := l.res[id]
-	if !ok {
+	i := l.siteOf(id)
+	if i < 0 {
 		return Demand{}
 	}
-	delete(l.res, id)
-	for i, v := range l.ids {
-		if v == id {
-			l.ids = append(l.ids[:i], l.ids[i+1:]...)
-			break
-		}
+	st := &l.sites[i]
+	st.mu.Lock()
+	l.shared.mu.Lock()
+	d, ok := st.res[id]
+	if !ok {
+		// The id is claimed by an in-flight ReserveAt that has not
+		// booked yet; from this caller's view nothing is reserved.
+		l.shared.mu.Unlock()
+		st.mu.Unlock()
+		return Demand{}
 	}
-	return r.d
+	delete(st.res, id)
+	st.ranUsed -= d.RanPRB
+	if len(st.res) == 0 {
+		// Snap the running total back to exactly zero on an empty
+		// site: incremental subtraction cannot drift across occupancy
+		// cycles.
+		st.ranUsed = 0
+	}
+	l.shared.tnUsed -= d.TnMbps
+	l.shared.cnUsed -= d.CnCPU
+	l.shared.count--
+	if l.shared.count == 0 {
+		l.shared.tnUsed, l.shared.cnUsed = 0, 0
+	}
+	l.shared.mu.Unlock()
+	st.mu.Unlock()
+	l.sitemap.Delete(id)
+	return d
 }
 
 // Reserved returns id's current reservation.
 func (l *TopologyLedger) Reserved(id string) (Demand, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r, ok := l.res[id]
-	return r.d, ok
+	i := l.siteOf(id)
+	if i < 0 {
+		return Demand{}, false
+	}
+	st := &l.sites[i]
+	st.mu.Lock()
+	d, ok := st.res[id]
+	st.mu.Unlock()
+	return d, ok
 }
 
 // SiteOf returns the site hosting id's reservation.
 func (l *TopologyLedger) SiteOf(id string) (SiteID, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r, ok := l.res[id]
-	return r.site, ok
+	i := l.siteOf(id)
+	if i < 0 {
+		return "", false
+	}
+	st := &l.sites[i]
+	st.mu.Lock()
+	_, ok := st.res[id]
+	st.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	return l.topo.Sites[i].ID, true
+}
+
+// lockAll acquires every site lock (ascending index) plus the shared
+// lock — the consistent-snapshot path the aggregate accessors use.
+// Mutating ops nest site-then-shared in the same order, so the two
+// patterns cannot deadlock.
+func (l *TopologyLedger) lockAll() {
+	for i := range l.sites {
+		l.sites[i].mu.Lock()
+	}
+	l.shared.mu.Lock()
+}
+
+func (l *TopologyLedger) unlockAll() {
+	l.shared.mu.Unlock()
+	for i := len(l.sites) - 1; i >= 0; i-- {
+		l.sites[i].mu.Unlock()
+	}
+}
+
+// usedAllLocked sums the per-site RAN totals (ascending site order)
+// with the shared tiers. Caller holds all locks.
+func (l *TopologyLedger) usedAllLocked() Demand {
+	used := Demand{TnMbps: l.shared.tnUsed, CnCPU: l.shared.cnUsed}
+	for i := range l.sites {
+		used.RanPRB += l.sites[i].ranUsed
+	}
+	return used
 }
 
 // Used returns the total booked demand across every site.
 func (l *TopologyLedger) Used() Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, _ := l.usedLocked()
-	return used
+	l.lockAll()
+	defer l.unlockAll()
+	return l.usedAllLocked()
 }
 
 // Free returns the aggregate per-domain headroom (total capacity minus
 // total booked demand). Multi-site callers deciding placement should
 // use FreeAt — aggregate RAN headroom may be fragmented across sites.
 func (l *TopologyLedger) Free() Demand {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, _ := l.usedLocked()
-	return l.topo.Total().Free(used)
+	l.lockAll()
+	defer l.unlockAll()
+	return l.topo.Total().Free(l.usedAllLocked())
 }
 
 // FreeAt returns the headroom a reservation at the given site sees:
@@ -293,10 +390,13 @@ func (l *TopologyLedger) FreeAt(site SiteID) Demand {
 	if i < 0 {
 		return Demand{}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, perSite := l.usedLocked()
-	return l.freeAtLocked(i, used, perSite)
+	st := &l.sites[i]
+	st.mu.Lock()
+	l.shared.mu.Lock()
+	free := l.freeLocked(i)
+	l.shared.mu.Unlock()
+	st.mu.Unlock()
+	return free
 }
 
 // SiteFree is one site's headroom in a FreeAllSites snapshot.
@@ -306,16 +406,14 @@ type SiteFree struct {
 }
 
 // FreeAllSites returns every site's headroom (local RAN free plus the
-// shared-tier free) under a single lock, in topology order — one
-// consistent snapshot for placement scoring, instead of S separately
-// locked O(reservations) summations.
+// shared-tier free), in topology order — one consistent snapshot for
+// placement scoring.
 func (l *TopologyLedger) FreeAllSites() []SiteFree {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, perSite := l.usedLocked()
+	l.lockAll()
+	defer l.unlockAll()
 	out := make([]SiteFree, len(l.topo.Sites))
 	for i, s := range l.topo.Sites {
-		out[i] = SiteFree{Site: s.ID, Free: l.freeAtLocked(i, used, perSite)}
+		out[i] = SiteFree{Site: s.ID, Free: l.freeLocked(i)}
 	}
 	return out
 }
@@ -327,20 +425,22 @@ func (l *TopologyLedger) FitsAt(site SiteID, d Demand) bool {
 	if i < 0 {
 		return false
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, perSite := l.usedLocked()
-	return d.Fits(l.freeAtLocked(i, used, perSite))
+	st := &l.sites[i]
+	st.mu.Lock()
+	l.shared.mu.Lock()
+	ok := d.Fits(l.freeLocked(i))
+	l.shared.mu.Unlock()
+	st.mu.Unlock()
+	return ok
 }
 
 // Fits reports whether a new demand would fit at some site right now
 // (for a single-pool ledger: the historical aggregate check).
 func (l *TopologyLedger) Fits(d Demand) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, perSite := l.usedLocked()
+	l.lockAll()
+	defer l.unlockAll()
 	for i := range l.topo.Sites {
-		if d.Fits(l.freeAtLocked(i, used, perSite)) {
+		if d.Fits(l.freeLocked(i)) {
 			return true
 		}
 	}
@@ -349,28 +449,21 @@ func (l *TopologyLedger) Fits(d Demand) bool {
 
 // Utilization returns the aggregate per-domain used fraction.
 func (l *TopologyLedger) Utilization() Utilization {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	used, _ := l.usedLocked()
-	return l.topo.Total().Utilization(used)
+	l.lockAll()
+	defer l.unlockAll()
+	return l.topo.Total().Utilization(l.usedAllLocked())
 }
 
 // SiteUtilizations returns every site's local RAN used fraction and
 // reservation count, in topology order.
 func (l *TopologyLedger) SiteUtilizations() []SiteUtilization {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, perSite := l.usedLocked()
+	l.lockAll()
+	defer l.unlockAll()
 	out := make([]SiteUtilization, len(l.topo.Sites))
 	for i, s := range l.topo.Sites {
-		out[i] = SiteUtilization{Site: s.ID}
+		out[i] = SiteUtilization{Site: s.ID, Count: len(l.sites[i].res)}
 		if s.RanPRB > 0 {
-			out[i].RAN = perSite[i] / s.RanPRB
-		}
-	}
-	for _, id := range l.ids {
-		if i := l.site(l.res[id].site); i >= 0 {
-			out[i].Count++
+			out[i].RAN = l.sites[i].ranUsed / s.RanPRB
 		}
 	}
 	return out
@@ -378,7 +471,7 @@ func (l *TopologyLedger) SiteUtilizations() []SiteUtilization {
 
 // Count returns how many reservations the ledger holds.
 func (l *TopologyLedger) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.res)
+	l.shared.mu.Lock()
+	defer l.shared.mu.Unlock()
+	return l.shared.count
 }

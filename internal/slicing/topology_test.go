@@ -1,6 +1,11 @@
 package slicing
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 // twoSite builds the canonical test topology: site A with 100 local
 // PRBs, site B with 50, sharing 100 Mbps transport and 1 CPU.
@@ -97,5 +102,94 @@ func TestTopologyLedgerDefaultSiteCompat(t *testing.T) {
 	// Unknown sites never fit and report no headroom.
 	if l.ReserveAt("ghost", "b", Demand{RanPRB: 1}) || l.FitsAt("ghost", Demand{}) {
 		t.Fatal("unknown site accepted a reservation")
+	}
+}
+
+// TestTopologyLedgerConcurrentReserveRelease hammers the striped
+// ledger from many goroutines — concurrent reserve/update/release
+// traffic against all sites plus aggregate readers — and checks that
+// no tier is ever overbooked and that the books balance exactly once
+// the churn settles. Demands use power-of-two floats so every running
+// total is exact and the final assertions can compare ==. Run with
+// -race to exercise the striped locking.
+func TestTopologyLedgerConcurrentReserveRelease(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	l := NewTopologyLedger(TopologyCapacity{
+		Sites: []SiteCapacity{
+			{ID: "A", RanPRB: 64}, {ID: "B", RanPRB: 64},
+			{ID: "C", RanPRB: 64}, {ID: "D", RanPRB: 64},
+		},
+		TnMbps: 128,
+		CnCPU:  16,
+	})
+	sites := []SiteID{"A", "B", "C", "D"}
+	d := Demand{RanPRB: 4, TnMbps: 2, CnCPU: 0.25}
+	grown := Demand{RanPRB: 8, TnMbps: 2, CnCPU: 0.25}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := sites[w%len(sites)]
+			for r := 0; r < rounds; r++ {
+				id := fmt.Sprintf("w%d-r%d", w, r)
+				if !l.ReserveAt(site, id, d) {
+					continue // transiently full; fine
+				}
+				if free := l.FreeAt(site); free.RanPRB < 0 || free.TnMbps < 0 || free.CnCPU < 0 {
+					t.Errorf("site %s overbooked: free %v", site, free)
+				}
+				if r%3 == 0 {
+					l.Update(id, grown)
+				}
+				// Aggregate readers race against writers on other sites.
+				if u := l.Utilization(); u.RAN > 1 || u.TN > 1 || u.CN > 1 {
+					t.Errorf("utilization above 1: %v", u)
+				}
+				l.Release(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := l.Count(); n != 0 {
+		t.Fatalf("count after full churn = %d, want 0", n)
+	}
+	if used := l.Used(); used != (Demand{}) {
+		t.Fatalf("used after full churn = %v, want zero", used)
+	}
+	for _, su := range l.SiteUtilizations() {
+		if su.RAN != 0 || su.Count != 0 {
+			t.Fatalf("site %s not empty after churn: %+v", su.Site, su)
+		}
+	}
+}
+
+// TestTopologyLedgerConcurrentDuplicateID races many goroutines on the
+// same reservation id: exactly one ReserveAt may win.
+func TestTopologyLedgerConcurrentDuplicateID(t *testing.T) {
+	l := twoSite()
+	const contenders = 16
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < contenders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if l.ReserveAt([]SiteID{"A", "B"}[w%2], "contested", Demand{RanPRB: 1}) {
+				wins.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d concurrent ReserveAt calls won for one id, want 1", wins.Load())
+	}
+	if n := l.Count(); n != 1 {
+		t.Fatalf("count = %d, want 1", n)
 	}
 }

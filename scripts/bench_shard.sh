@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# bench_shard.sh — run the site-sharded stepping benchmarks and emit the
+# BENCH_7 sustained-throughput snapshot: arrivals handled per wall-clock
+# second and peak concurrent slices on the BENCH_5 hotspot-cell/locality
+# workload, for the legacy lockstep reference and the event-driven shard
+# engine at one, two, and one-per-site shards.
+#
+#	scripts/bench_shard.sh               # writes BENCH_7.json
+#	scripts/bench_shard.sh out.json      # custom output path
+#	BENCHTIME=1x scripts/bench_shard.sh  # CI smoke budget
+#	COUNT=3 scripts/bench_shard.sh       # best-of-3 (min ns per variant)
+#
+# The speedup headline compares the sharded engine against the ns/op the
+# *committed* BENCH_5 snapshot recorded for the identical workload
+# (TopologyPlaceLocality: same scenario, topology, seed, budgets) on the
+# pre-sharding engine — `git show HEAD:BENCH_5.json`, so a CI job that
+# regenerates BENCH_5.json in the workspace doesn't poison the baseline.
+# The gain is algorithmic (the online stage's interval memo dedups
+# bit-identical simulator queries), so it holds on serial hardware too;
+# on multi-core hosts the shard fan-out adds wall-clock parallelism on
+# top.
+#
+# Guardrails: the shard-parity property tests must pass first (bit-equal
+# Result at every shard count — a speedup is never bought with drift);
+# NaN/zero throughput fails; any drift in the result fingerprint across
+# variants fails; sharded arrivals/sec below the live lockstep run
+# (beyond serial-hardware noise slack) fails; and the one-shard-per-site
+# engine must clear ATLAS_SHARD_SPEEDUP_FLOOR (default 1.5x) over the
+# recorded baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_7.json}"
+benchtime="${BENCHTIME:-1x}"
+count="${COUNT:-1}"
+
+# Determinism first: the sharded engine must replay the lockstep
+# reference bit-identically before any throughput number means anything.
+go test -run 'TestFleetShardParity' ./internal/fleet
+
+# The committed pre-sharding baseline (falls back to the working tree
+# outside a git checkout).
+baseline_json="$(git show HEAD:BENCH_5.json 2>/dev/null || cat BENCH_5.json)"
+baseline_ns="$(printf '%s' "$baseline_json" | python3 -c '
+import json, sys
+snap = json.load(sys.stdin)
+print(next(p["ns_per_op"] for p in snap["placements"] if p["name"] == "Locality"))
+')"
+
+raw="$(go test -run '^$' -bench '^BenchmarkFleetStep(Lockstep|Sharded)$' -benchtime "$benchtime" -count "$count" .)"
+echo "$raw"
+
+printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" \
+	-v count="$count" -v baseline_ns="$baseline_ns" -v maxprocs="$(nproc)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkFleetStep/, "", name)
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+	# Best-of-count: keep the lowest-noise (minimum ns) repetition and
+	# the metrics that came with it.
+	if (!(name in ns) || $3 + 0 < ns[name] + 0) {
+		ns[name] = $3
+		for (i = 5; i + 1 <= NF; i += 2) metric[name, $(i + 1)] = $i
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"site-sharded-stepping\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"count\": %d,\n", count
+	printf "  \"gomaxprocs\": %d,\n", maxprocs
+	printf "  \"fleet\": {\"scenario\": \"churn\", \"topology\": \"hotspot-cell\", \"sites\": 5, \"horizon\": 60, \"seed\": 42, \"placement\": \"locality\", \"admission\": \"first-fit\"},\n"
+	printf "  \"baseline\": {\"source\": \"BENCH_5.json (committed)\", \"benchmark\": \"TopologyPlaceLocality\", \"ns_per_op\": %s},\n", baseline_ns
+	printf "  \"steppers\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+		printf ", \"arrivals_per_sec\": %s", metric[name, "arrivals/sec"]
+		printf ", \"peak_live_slices\": %s", metric[name, "peak_live_slices"]
+		printf ", \"qoe_value\": %s", metric[name, "qoe_value"]
+		printf ", \"acceptance_ratio\": %s", metric[name, "acceptance_ratio"]
+		printf ", \"placement_ratio\": %s", metric[name, "placement_ratio"]
+		printf ", \"imbalance\": %s", metric[name, "imbalance"]
+		printf "}%s\n", (i < n - 1 ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"speedup_vs_baseline\": {\n"
+	sep = ""
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "%s    \"%s\": %.2f", sep, name, baseline_ns / ns[name]
+		sep = ",\n"
+	}
+	printf "\n  }\n"
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+python3 - "$out" "$benchtime" <<'EOF'
+import json, math, os, sys
+
+snap = json.load(open(sys.argv[1]))
+smoke = sys.argv[2] == "1x"
+steppers = {s["name"]: s for s in snap["steppers"]}
+assert "Lockstep" in steppers, "lockstep reference variant missing"
+shard_names = [n for n in steppers if n.startswith("Sharded/")]
+assert "Sharded/shards=5" in shard_names, "one-shard-per-site variant missing"
+
+# Throughput must be a real positive number everywhere.
+for name, s in steppers.items():
+    for key in ("arrivals_per_sec", "peak_live_slices"):
+        v = s[key]
+        assert not math.isnan(v) and v > 0, f"{name}: {key} = {v}"
+
+# Bit-drift guardrail: the sharding determinism property says the result
+# fingerprint is identical — exactly, not approximately — for every
+# stepper variant. (The parity tests already compared full Results; this
+# re-checks the actual benchmarked runs.)
+ref = steppers["Lockstep"]
+for name, s in steppers.items():
+    for key in ("qoe_value", "acceptance_ratio", "placement_ratio", "imbalance", "peak_live_slices"):
+        assert s[key] == ref[key], f"{name}: {key} = {s[key]} drifts from lockstep {ref[key]}"
+
+# Sharded must keep pace with the live lockstep run. On serial hardware
+# (GOMAXPROCS=1) the two do identical work and differ only by noise, so
+# the floor carries slack there; with real cores the sharded engine must
+# not lose to lockstep.
+floor = 0.85 if (snap["gomaxprocs"] <= 1 or smoke) else 1.0
+for name in shard_names:
+    r = steppers["Lockstep"]["ns_per_op"] / steppers[name]["ns_per_op"]
+    assert r >= floor, f"{name}: {r:.2f}x vs live lockstep, floor {floor}"
+
+# The headline: one shard per site clears the speedup floor over the
+# committed pre-sharding baseline on the identical workload.
+speed_floor = float(os.environ.get("ATLAS_SHARD_SPEEDUP_FLOOR", "1.5"))
+s5 = snap["speedup_vs_baseline"]["Sharded/shards=5"]
+assert s5 >= speed_floor, f"shards=5 speedup {s5:.2f}x < {speed_floor}x vs recorded baseline"
+
+print(f"ok: shards=5 {s5:.2f}x vs recorded baseline, "
+      f"{steppers['Sharded/shards=5']['arrivals_per_sec']:.2f} arrivals/sec, "
+      f"peak {steppers['Sharded/shards=5']['peak_live_slices']:.0f} live slices, "
+      f"zero drift across {len(steppers)} stepper variants")
+EOF

@@ -7,7 +7,9 @@
 #
 #   1. every API step lands in the expected lifecycle state,
 #   2. the daemon exits 0 after a graceful drain (race detector clean),
-#   3. replaying the event log reproduces the API's final slice states.
+#   3. the drain checkpoints every still-commissioned slice exactly
+#      once (the parallel per-site tick must never double-checkpoint),
+#   4. replaying the event log reproduces the API's final slice states.
 #
 #	scripts/serve_smoke.sh           # run with defaults
 #	PORT=18099 scripts/serve_smoke.sh
@@ -76,6 +78,13 @@ expect DELETE /slices/smoke '' .state DELETED
 # A second slice left AVAILABLE makes the replay check non-trivial.
 expect POST /slices '{"id":"smoke-2","class":"iot-telemetry"}' .state AVAILABLE
 
+# A third slice activated on a cold site and left OPERATING at SIGTERM:
+# the drain must checkpoint it (and smoke-2) exactly once, even though
+# the reconciler's ticks step per-site shard groups in parallel.
+expect POST /slices '{"id":"smoke-3","class":"teleop","home":"cold-1"}' .state AVAILABLE
+expect POST /slices/smoke-3/activate '' .state OPERATING
+sleep 0.5
+
 events="$(curl -sf "${base}/events" | jq length)"
 if [ "$events" -lt 8 ]; then
 	echo "FAIL: event log has $events events, want >= 8"
@@ -94,6 +103,31 @@ if ! wait "$pid"; then
 fi
 grep -q "drained cleanly" "${workdir}/serve.out" || { echo "FAIL: no clean-drain marker"; cat "${workdir}/serve.out"; exit 1; }
 echo "ok: daemon drained cleanly (exit 0)"
+
+# Exactly-once drain checkpoints: every slice still commissioned at
+# SIGTERM must appear exactly once in the drain audit trail — the
+# parallel per-site shard steps must never double-checkpoint a slice,
+# and the deleted slice must not reappear.
+for want in "smoke-2 AVAILABLE" "smoke-3 OPERATING"; do
+	n="$(grep -c "^atlas serve: drain checkpoint ${want}\$" "${workdir}/serve.out" || true)"
+	if [ "$n" -ne 1 ]; then
+		echo "FAIL: drain checkpoint '${want}' appears ${n} times, want exactly 1"
+		cat "${workdir}/serve.out"
+		exit 1
+	fi
+done
+if grep -q "^atlas serve: drain checkpoint smoke " "${workdir}/serve.out"; then
+	echo "FAIL: deleted slice 'smoke' was checkpointed at drain"
+	cat "${workdir}/serve.out"
+	exit 1
+fi
+dups="$(grep "^atlas serve: drain checkpoint " "${workdir}/serve.out" | sort | uniq -d)"
+if [ -n "$dups" ]; then
+	echo "FAIL: duplicate drain checkpoints:"
+	echo "$dups"
+	exit 1
+fi
+echo "ok: drain checkpointed every live slice exactly once"
 
 # Crash-recovery contract: folding the event log alone must reproduce
 # exactly the final states the live API last reported.
