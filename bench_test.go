@@ -15,6 +15,7 @@ package atlas_test
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/gp"
 	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/realnet"
 	"github.com/atlas-slicing/atlas/internal/scenarios"
 	"github.com/atlas-slicing/atlas/internal/simnet"
@@ -722,6 +724,21 @@ func BenchmarkFleetStepSharded(b *testing.B) {
 			benchShardVariant(b, func(o *fleet.Options) { o.Shards = n })
 		})
 	}
+}
+
+// BenchmarkFleetStepInstrumented: the one-shard-per-site engine with
+// the full observability plane attached — a live metrics registry plus
+// a JSON decision trace written to io.Discard — on the identical
+// workload as BenchmarkFleetStepSharded/shards=5. BENCH_8's overhead
+// guardrail compares the two: instrumentation must stay within a few
+// percent of the uninstrumented twin, and the result fingerprint must
+// not move at all.
+func BenchmarkFleetStepInstrumented(b *testing.B) {
+	benchShardVariant(b, func(o *fleet.Options) {
+		o.Shards = 5
+		o.Obs = obs.NewRegistry()
+		o.Trace = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	})
 }
 
 // BenchmarkFleetSustained reports end-to-end control-plane throughput

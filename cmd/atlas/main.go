@@ -70,9 +70,13 @@
 //	atlas serve -topology hotspot-cell -serve-log events.jsonl # site graph + durable log
 //	atlas serve -replay events.jsonl                           # fold a log to final states
 //
-// Serve-only flags (-addr, -serve-log, -tick, -replay) are rejected
-// without the serve subcommand, and batch-only flags (-fleet, -slices,
-// -online-iters, ...) are rejected with it.
+// Serve-only flags (-addr, -serve-log, -tick, -replay, -trace,
+// -debug-addr) are rejected without the serve subcommand, and
+// batch-only flags (-fleet, -slices, -online-iters, ...) are rejected
+// with it. The daemon exports Prometheus metrics on GET /metrics and a
+// JSON introspection snapshot on GET /stats; -trace streams one
+// structured decision record per admission/placement/resize/release to
+// stderr, and -debug-addr exposes net/http/pprof on its own listener.
 //
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
@@ -129,6 +133,8 @@ func main() {
 		serveLog     = flag.String("serve-log", "", "serve: append-only slice-event log file (JSONL, replayable)")
 		tick         = flag.Duration("tick", time.Second, "serve: serving epoch period (every tick steps all OPERATING slices)")
 		replayPath   = flag.String("replay", "", "serve: fold an event log to final slice states and exit (no daemon)")
+		traceFlag    = flag.Bool("trace", false, "serve: emit a structured JSON decision-trace record to stderr for every admission/placement/resize/release decision")
+		debugAddr    = flag.String("debug-addr", "", "serve: expose net/http/pprof on this extra listen address (empty = off)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format; works in every mode)")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format; works in every mode)")
 	)
@@ -210,7 +216,7 @@ func main() {
 	}
 	if !serveMode {
 		var ignored []string
-		for _, name := range []string{"addr", "serve-log", "tick", "replay"} {
+		for _, name := range []string{"addr", "serve-log", "tick", "replay", "trace", "debug-addr"} {
 			if explicitFlags[name] {
 				ignored = append(ignored, "-"+name)
 			}
@@ -356,6 +362,8 @@ func main() {
 			workers:   *workers,
 			seed:      *seed,
 			tune:      tune,
+			trace:     *traceFlag,
+			debugAddr: *debugAddr,
 		})
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,8 @@ type serveOptions struct {
 	workers   int
 	seed      int64
 	tune      func(*core.System)
+	trace     bool   // -trace: JSON decision records to stderr
+	debugAddr string // -debug-addr: opt-in pprof listener
 }
 
 // runServe runs the slice-lifecycle daemon until SIGINT/SIGTERM, then
@@ -49,6 +52,10 @@ func runServe(addr string, fs scenarios.FleetScenario, o serveOptions) {
 		fmt.Printf("policy %s, capacity %v, tick %v\n", o.policy.Name(), capacity, o.tick)
 	}
 
+	var trace *slog.Logger
+	if o.trace {
+		trace = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv, err := serve.New(addr, serve.Config{
 		Classes:   fs.Classes,
 		Policy:    o.policy,
@@ -61,6 +68,8 @@ func runServe(addr string, fs scenarios.FleetScenario, o serveOptions) {
 		Store:     o.store,
 		LogPath:   o.logPath,
 		Tune:      o.tune,
+		Trace:     trace,
+		DebugAddr: o.debugAddr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atlas: serve: %v\n", err)

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/atlas-slicing/atlas/internal/domains"
 	"github.com/atlas-slicing/atlas/internal/mathx"
@@ -85,6 +86,11 @@ type System struct {
 	// diags accumulates non-fatal store diagnostics (corrupt artifacts
 	// that forced a fall back to fresh training); see StoreDiagnostics.
 	diags []error
+
+	// met is the optional observability bundle (nil = uninstrumented);
+	// see Instrument. Written once before concurrent use, shared by
+	// every slice's learner afterwards.
+	met *coreMetrics
 }
 
 // StoreDiagnostics returns the non-fatal artifact-store diagnostics the
@@ -255,6 +261,8 @@ func (s *System) Calibrate() (*CalibrationResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: real network does not expose an online collection")
 	}
+	start := time.Now()
+	defer func() { s.met.recordCalibration(start) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -339,6 +347,8 @@ func (s *System) admit(id string, class *slicing.ServiceClass, sla slicing.SLA, 
 	lo := s.OnOpts
 	learner := NewOnlineLearner(off.Policy, aug, lo, mathx.NewRNG(s.nextSeed()))
 	learner.Class = class
+	learner.met = s.met
+	s.met.recordAdmission(out.Hit)
 
 	inst := &SliceInstance{
 		ID: id, SLA: sla, Traffic: traffic, Class: class, Site: site,
@@ -424,7 +434,9 @@ func (s *System) offlineOutcome(class *slicing.ServiceClass, sla slicing.SLA, tr
 	opts.SLA = sla
 	opts.Traffic = traffic
 	opts.Class = class
+	start := time.Now()
 	out := RunOfflineWithStore(aug, opts, OfflineSeed(aug, s.seed, opts), s.Store, true, true)
+	s.met.recordOffline(start)
 	s.noteDiag(out.Diag)
 	return out, nil
 }
@@ -748,6 +760,8 @@ func (s *System) Step(id string) error {
 	if !ok {
 		return fmt.Errorf("core: slice %q not admitted", id)
 	}
+	start := time.Now()
+	defer func() { s.met.recordStep(start) }()
 	traffic := inst.Traffic
 	if inst.Class != nil {
 		traffic = min(inst.Class.TrafficAt(inst.Iter, inst.Traffic, inst.trafficSeed), MaxTraffic)

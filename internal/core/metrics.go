@@ -1,0 +1,143 @@
+package core
+
+import (
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
+)
+
+// coreMetrics is the orchestrator's observability bundle: per-stage
+// latencies (calibration, offline training, online stepping) and the
+// online hot path's throughput counters (candidate scans, interval-memo
+// hit rate, simulator queries). A nil bundle no-ops on every method, so
+// an uninstrumented System pays one predictable nil check per call
+// site; when instrumented, every recording is a plain atomic operation
+// — no locks, no allocation — keeping the scan loop inside the
+// BENCH_6/BENCH_7 budgets. Nothing here reads an RNG or feeds a
+// decision, so instrumented and uninstrumented runs are bit-identical.
+type coreMetrics struct {
+	calibrateSeconds *obs.Histogram
+	offlineSeconds   *obs.Histogram
+	stepSeconds      *obs.Histogram
+
+	steps        *obs.Counter
+	admissions   *obs.Counter
+	offlineWarm  *obs.Counter
+	offlineTrain *obs.Counter
+
+	scans          *obs.Counter
+	scanCandidates *obs.Counter
+	memoHits       *obs.Counter
+	memoMisses     *obs.Counter
+	simEpisodes    *obs.Counter
+}
+
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &coreMetrics{
+		calibrateSeconds: reg.Histogram("atlas_stage_seconds",
+			"Wall time per orchestrator stage.", nil, obs.L("stage", "calibration")),
+		offlineSeconds: reg.Histogram("atlas_stage_seconds",
+			"Wall time per orchestrator stage.", nil, obs.L("stage", "offline")),
+		stepSeconds: reg.Histogram("atlas_stage_seconds",
+			"Wall time per orchestrator stage.", nil, obs.L("stage", "online_step")),
+		steps: reg.Counter("atlas_online_steps_total",
+			"Per-slice online configuration intervals advanced."),
+		admissions: reg.Counter("atlas_core_admissions_total",
+			"Slices admitted by the orchestrator."),
+		offlineWarm: reg.Counter("atlas_offline_outcomes_total",
+			"Offline-stage outcomes by source.", obs.L("source", "warm")),
+		offlineTrain: reg.Counter("atlas_offline_outcomes_total",
+			"Offline-stage outcomes by source.", obs.L("source", "trained")),
+		scans: reg.Counter("atlas_online_scans_total",
+			"Candidate-pool posterior scans run by the online stage."),
+		scanCandidates: reg.Counter("atlas_online_scan_candidates_total",
+			"Candidate configurations evaluated across all scans."),
+		memoHits: reg.Counter("atlas_online_memo_hits_total",
+			"Interval-memo hits: simulator queries answered from cache."),
+		memoMisses: reg.Counter("atlas_online_memo_misses_total",
+			"Interval-memo misses: simulator queries actually executed."),
+		simEpisodes: reg.Counter("atlas_online_sim_episodes_total",
+			"Simulator episodes executed by online-stage queries."),
+	}
+}
+
+func (m *coreMetrics) recordCalibration(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.calibrateSeconds.ObserveSince(start)
+}
+
+func (m *coreMetrics) recordOffline(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.offlineSeconds.ObserveSince(start)
+}
+
+func (m *coreMetrics) recordScan(candidates int) {
+	if m == nil {
+		return
+	}
+	m.scans.Inc()
+	m.scanCandidates.Add(uint64(candidates))
+}
+
+func (m *coreMetrics) recordMemo(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.memoHits.Inc()
+	} else {
+		m.memoMisses.Inc()
+	}
+}
+
+func (m *coreMetrics) recordSimEpisodes(n int) {
+	if m == nil {
+		return
+	}
+	m.simEpisodes.Add(uint64(n))
+}
+
+func (m *coreMetrics) recordStep(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.steps.Inc()
+	m.stepSeconds.ObserveSince(start)
+}
+
+func (m *coreMetrics) recordAdmission(warm bool) {
+	if m == nil {
+		return
+	}
+	m.admissions.Inc()
+	if warm {
+		m.offlineWarm.Inc()
+	} else {
+		m.offlineTrain.Inc()
+	}
+}
+
+// Instrument registers the orchestrator's stage timings and online
+// hot-path counters with reg, and points every subsequently admitted
+// slice's learner at the shared bundle. Call before concurrent use;
+// no-op on a nil registry. Instrumentation is result-invariant: it
+// consumes no randomness and alters no decision.
+func (s *System) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = newCoreMetrics(reg)
+	if s.Store != nil {
+		s.Store.Instrument(reg)
+	}
+	if s.Ledger != nil {
+		s.Ledger.Instrument(reg)
+	}
+}

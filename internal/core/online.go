@@ -117,6 +117,12 @@ type OnlineLearner struct {
 	// Per-iteration log.
 	Usages []float64
 	QoEs   []float64
+
+	// met is the orchestrator's shared observability bundle (nil =
+	// uninstrumented). Recordings are atomic adds that consume no
+	// randomness, so the scan hot path stays allocation-free and
+	// bit-identical either way.
+	met *coreMetrics
 }
 
 // NewOnlineLearner builds the online stage from the offline artifacts.
@@ -237,8 +243,10 @@ func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
 		return 0
 	}
 	if v, ok := l.memo.lookup(cfg, l.traffic()); ok {
+		l.met.recordMemo(true)
 		return v
 	}
+	l.met.recordMemo(false)
 	v := l.simQoEUncached(cfg)
 	l.memo.add(cfg, l.traffic(), v)
 	return v
@@ -247,6 +255,7 @@ func (l *OnlineLearner) simQoE(cfg slicing.Config) float64 {
 func (l *OnlineLearner) simQoEUncached(cfg slicing.Config) float64 {
 	base := seedOf(cfg.Vector())
 	n := max(1, l.Opts.Episodes)
+	l.met.recordSimEpisodes(n)
 	var sum float64
 	for e := 0; e < n; e++ {
 		tr := slicing.EpisodeFor(l.Sim, l.class(), cfg, l.traffic(), mathx.ChildSeed(base, e))
@@ -373,6 +382,7 @@ func (l *OnlineLearner) scanPool(space slicing.ConfigSpace, rng *rand.Rand) *can
 // the learner's scratch and is only valid until the next scan.
 func (l *OnlineLearner) scanPoolN(space slicing.ConfigSpace, pool int, rng *rand.Rand, needStd bool) *candidatePool {
 	n := max(2, pool)
+	l.met.recordScan(n)
 	p := &l.scan.pool
 	if cap(p.cfgs) < n {
 		p.cfgs = make([]slicing.Config, n)

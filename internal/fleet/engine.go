@@ -3,10 +3,13 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/topology"
 )
@@ -43,6 +46,14 @@ type Engine struct {
 	ests  map[string]classEst
 	live  map[string]*Tenant
 	order []string // admission order, the arbitration walk sequence
+
+	// met and traceLog are the optional observability hooks (nil =
+	// off): decision counters for the metrics registry and the
+	// structured decision-trace log. traceSeq numbers trace records;
+	// like the mutating path that emits them, it is single-writer.
+	met      *engineMetrics
+	traceLog *slog.Logger
+	traceSeq uint64
 }
 
 type classEst struct {
@@ -75,6 +86,12 @@ type Decision struct {
 	// Downscales counts the elastic tenants arbitration shrank.
 	PlacementAttempted bool
 	Downscales         int
+	// Utilization and Density capture the reserve-price context the
+	// admission policy decided against: the bottleneck-domain used
+	// fraction before this arrival and the arrival's QoE-weighted value
+	// density (zero when capacity is unbounded).
+	Utilization float64
+	Density     float64
 }
 
 // EngineConfig parameterizes an Engine. Zero values default like the
@@ -86,6 +103,11 @@ type EngineConfig struct {
 	Topology      *topology.Graph
 	Capacity      slicing.Capacity
 	DownscalePool int
+	// Obs registers the engine's decision metrics (nil = off); Trace
+	// receives one structured record per admission/placement/resize/
+	// release decision (nil = off). Both are result-invariant.
+	Obs   *obs.Registry
+	Trace *slog.Logger
 }
 
 // NewEngine builds an engine over an already-configured system (the
@@ -103,6 +125,7 @@ func NewEngine(sys *core.System, cfg EngineConfig) *Engine {
 	if cfg.Topology != nil && cfg.Capacity.IsZero() {
 		cfg.Capacity = cfg.Topology.TotalCapacity()
 	}
+	sys.Instrument(cfg.Obs)
 	return &Engine{
 		sys:       sys,
 		policy:    cfg.Policy,
@@ -112,6 +135,8 @@ func NewEngine(sys *core.System, cfg EngineConfig) *Engine {
 		pool:      cfg.DownscalePool,
 		ests:      map[string]classEst{},
 		live:      map[string]*Tenant{},
+		met:       newEngineMetrics(cfg.Obs),
+		traceLog:  cfg.Trace,
 	}
 }
 
@@ -130,8 +155,10 @@ func (e *Engine) estimate(a Arrival) (classEst, error) {
 	e.estMu.Lock()
 	defer e.estMu.Unlock()
 	if ce, ok := e.ests[key]; ok {
+		e.met.recordEstimate(true)
 		return ce, nil
 	}
+	e.met.recordEstimate(false)
 	est, demand, err := e.sys.EstimateAdmission(a.Class, a.Traffic)
 	if err != nil {
 		return classEst{}, err
@@ -180,6 +207,16 @@ func (e *Engine) Utilization() slicing.Utilization {
 // admission, tracks the tenant as live. Errors are systemic (training
 // or ledger corruption); a refused arrival is a non-error Decision.
 func (e *Engine) Handle(a Arrival) (Decision, error) {
+	start := time.Now()
+	dec, err := e.handle(a)
+	if err == nil {
+		e.met.recordDecision(dec, start)
+		e.traceDecision(a, dec)
+	}
+	return dec, err
+}
+
+func (e *Engine) handle(a Arrival) (Decision, error) {
 	ce, err := e.estimate(a)
 	if err != nil {
 		return Decision{}, fmt.Errorf("fleet: estimate %s: %w", a.ID, err)
@@ -211,7 +248,10 @@ func (e *Engine) Handle(a Arrival) (Decision, error) {
 		Capacity:     e.capacity,
 		Utilization:  e.Utilization().Max(),
 	}
-	dec := Decision{Site: site, Demand: demand, PredictedQoE: est.BestQoE}
+	dec := Decision{
+		Site: site, Demand: demand, PredictedQoE: est.BestQoE,
+		Utilization: ctx.Utilization, Density: ctx.density(a),
+	}
 	// The policy's value gate runs before any arbitration, so a
 	// newcomer the policy would refuse anyway never causes an elastic
 	// tenant to shrink.
@@ -223,6 +263,7 @@ func (e *Engine) Handle(a Arrival) (Decision, error) {
 		dec.PlacementAttempted = true
 	}
 	if !fits && e.policy.Arbitrate(ctx, a) {
+		e.met.recordArbitration()
 		dec.Downscales = e.arbitrate(demand, site)
 		fits = e.fitsAt(site, demand)
 	}
@@ -263,6 +304,12 @@ func (e *Engine) Resize(id string, traffic int) (slicing.Demand, slicing.SiteID,
 	d, err := e.sys.ResizeSlice(id, traffic)
 	if err == nil {
 		t.Arrival.Traffic = traffic
+		e.met.recordResize(false)
+		e.trace("resize",
+			slog.String("slice", id),
+			slog.String("site", string(t.Site)),
+			slog.Int("traffic", traffic),
+			demandAttrs(d))
 		return d, t.Site, nil
 	}
 	if !errors.Is(err, core.ErrInsufficientCapacity) || e.topo == nil {
@@ -286,8 +333,16 @@ func (e *Engine) Resize(id string, traffic int) (slicing.Demand, slicing.SiteID,
 	if rerr != nil {
 		return slicing.Demand{}, "", rerr
 	}
+	from := t.Site
 	t.Site = site
 	t.Arrival.Traffic = traffic
+	e.met.recordResize(true)
+	e.trace("resize_migrate",
+		slog.String("slice", id),
+		slog.String("site", string(site)),
+		slog.String("from_site", string(from)),
+		slog.Int("traffic", traffic),
+		demandAttrs(d))
 	return d, site, nil
 }
 
@@ -302,6 +357,8 @@ func (e *Engine) Release(id string) (*Tenant, error) {
 		return nil, err
 	}
 	e.forget(id)
+	e.met.recordRelease()
+	e.trace("release", slog.String("slice", id), slog.String("site", string(t.Site)))
 	return t, nil
 }
 
@@ -317,6 +374,8 @@ func (e *Engine) Remove(id string) (*Tenant, error) {
 		return nil, err
 	}
 	e.forget(id)
+	e.met.recordRemove()
+	e.trace("suspend", slog.String("slice", id), slog.String("site", string(t.Site)))
 	return t, nil
 }
 

@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
@@ -65,6 +67,16 @@ type Options struct {
 	// budgets, online options) after fleet defaults are applied and
 	// before calibration.
 	Tune func(*core.System)
+	// Obs registers the run's observability metrics (stage timings,
+	// scan/memo throughput, admission decisions, shard queues) with the
+	// given registry; nil disables instrumentation. Trace receives one
+	// structured record per admission/resize/release decision; nil
+	// disables tracing. Both are result-invariant: metrics-on and
+	// metrics-off runs produce bit-identical Results (enforced by the
+	// fingerprint parity test). An Oracle companion run is never
+	// instrumented, so counters reflect the constrained fleet only.
+	Obs   *obs.Registry
+	Trace *slog.Logger
 }
 
 // EpochStat is one epoch's aggregate.
@@ -235,15 +247,17 @@ func (c *Controller) Run() (*Result, error) {
 		sites = c.opts.Topology.SiteIDs()
 	}
 	trace := TraceOver(c.classes, c.opts.Horizon, c.opts.Seed, sites)
-	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity, c.opts.Topology, trace)
+	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity, c.opts.Topology, trace, c.opts.Obs, c.opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	if c.opts.Oracle {
 		// The oracle is placement-free on purpose: unlimited single-pool
 		// capacity with every slice at home, so regret covers both what
-		// admission refused and what non-home placement cost.
-		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{}, nil, trace)
+		// admission refused and what non-home placement cost. It is also
+		// uninstrumented, so the registry's counters describe the
+		// constrained fleet alone.
+		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{}, nil, trace, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: oracle run: %w", err)
 		}
@@ -267,8 +281,9 @@ type runMeta struct {
 // departures) execute in one global sequence and all per-epoch
 // aggregation iterates in admission order, so repeated runs are
 // bit-identical at any worker or shard count.
-func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival) (*Result, error) {
+func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival, reg *obs.Registry, trc *slog.Logger) (*Result, error) {
 	sys := c.newSystem(capacity, topo)
+	sys.Instrument(reg)
 	if _, err := sys.Calibrate(); err != nil {
 		return nil, err
 	}
@@ -278,12 +293,14 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		Topology:      topo,
 		Capacity:      capacity,
 		DownscalePool: c.opts.DownscalePool,
+		Obs:           reg,
+		Trace:         trc,
 	})
 	var st stepper
 	if c.opts.Lockstep {
 		st = lockstepStepper{sys: sys, workers: c.opts.Workers}
 	} else {
-		st = newShardEngine(sys, topo, c.opts.Shards)
+		st = newShardEngine(sys, topo, c.opts.Shards, reg)
 	}
 	defer st.close()
 

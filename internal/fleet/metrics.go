@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// engineMetrics is the admission path's observability bundle:
+// decision counters split by outcome and rejection reason, placement
+// and arbitration accounting, lifecycle (resize/release/suspend)
+// counters, and the class-estimate cache hit rate. All methods are
+// nil-safe — an uninstrumented Engine pays one nil check per decision
+// — and every recording is an atomic add that consumes no randomness
+// and alters no decision, so instrumented runs stay bit-identical.
+type engineMetrics struct {
+	admitted         *obs.Counter
+	rejectedPolicy   *obs.Counter
+	rejectedCapacity *obs.Counter
+
+	placementAttempts *obs.Counter
+	placements        *obs.Counter
+	arbitrations      *obs.Counter
+	downscales        *obs.Counter
+
+	resizes    *obs.Counter
+	migrations *obs.Counter
+	releases   *obs.Counter
+	removes    *obs.Counter
+
+	estHits   *obs.Counter
+	estMisses *obs.Counter
+
+	handleSeconds *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	const decisions = "atlas_admission_decisions_total"
+	const decisionsHelp = "Arrival admission decisions by outcome (rejections carry the reason)."
+	return &engineMetrics{
+		admitted:         reg.Counter(decisions, decisionsHelp, obs.L("outcome", "admitted")),
+		rejectedPolicy:   reg.Counter(decisions, decisionsHelp, obs.L("outcome", "rejected_policy")),
+		rejectedCapacity: reg.Counter(decisions, decisionsHelp, obs.L("outcome", "rejected_capacity")),
+		placementAttempts: reg.Counter("atlas_placement_attempts_total",
+			"Arrivals that reached the placement stage on a topology run."),
+		placements: reg.Counter("atlas_placements_total",
+			"Arrivals successfully placed and admitted at a host site."),
+		arbitrations: reg.Counter("atlas_arbitrations_total",
+			"Downscale-arbitration passes triggered by arrivals that did not fit."),
+		downscales: reg.Counter("atlas_downscales_total",
+			"Elastic tenants shrunk by the downscale arbitrator."),
+		resizes: reg.Counter("atlas_resizes_total",
+			"Live-tenant envelope resizes committed (in place or migrated)."),
+		migrations: reg.Counter("atlas_resize_migrations_total",
+			"Resizes that moved the reservation to a different host site."),
+		releases: reg.Counter("atlas_releases_total",
+			"Tenants decommissioned (capacity freed, checkpoint tombstoned)."),
+		removes: reg.Counter("atlas_suspends_total",
+			"Tenants suspended (capacity freed, checkpoint kept)."),
+		estHits: reg.Counter("atlas_estimate_cache_total",
+			"Class admission-estimate cache lookups.", obs.L("result", "hit")),
+		estMisses: reg.Counter("atlas_estimate_cache_total",
+			"Class admission-estimate cache lookups.", obs.L("result", "miss")),
+		handleSeconds: reg.Histogram("atlas_admission_handle_seconds",
+			"Wall time of one arrival's full admission path.", nil),
+	}
+}
+
+func (m *engineMetrics) recordDecision(dec Decision, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.handleSeconds.ObserveSince(start)
+	if dec.PlacementAttempted {
+		m.placementAttempts.Inc()
+	}
+	switch {
+	case dec.Admitted:
+		m.admitted.Inc()
+		if dec.PlacementAttempted {
+			m.placements.Inc()
+		}
+	case dec.Reason == "policy":
+		m.rejectedPolicy.Inc()
+	default:
+		m.rejectedCapacity.Inc()
+	}
+	if dec.Downscales > 0 {
+		m.downscales.Add(uint64(dec.Downscales))
+	}
+}
+
+func (m *engineMetrics) recordArbitration() {
+	if m == nil {
+		return
+	}
+	m.arbitrations.Inc()
+}
+
+func (m *engineMetrics) recordResize(migrated bool) {
+	if m == nil {
+		return
+	}
+	m.resizes.Inc()
+	if migrated {
+		m.migrations.Inc()
+	}
+}
+
+func (m *engineMetrics) recordRelease() {
+	if m == nil {
+		return
+	}
+	m.releases.Inc()
+}
+
+func (m *engineMetrics) recordRemove() {
+	if m == nil {
+		return
+	}
+	m.removes.Inc()
+}
+
+func (m *engineMetrics) recordEstimate(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.estHits.Inc()
+	} else {
+		m.estMisses.Inc()
+	}
+}
+
+// EngineCounters is a point-in-time snapshot of the engine's decision
+// accounting — the serve daemon surfaces it through GET /stats as the
+// daemon-side equivalent of the batch Result's arrival bookkeeping.
+// All zeros on an uninstrumented engine.
+type EngineCounters struct {
+	Arrivals          uint64  `json:"arrivals"`
+	Admitted          uint64  `json:"admitted"`
+	RejectedPolicy    uint64  `json:"rejected_policy"`
+	RejectedCapacity  uint64  `json:"rejected_capacity"`
+	AcceptanceRatio   float64 `json:"acceptance_ratio"`
+	PlacementAttempts uint64  `json:"placement_attempts"`
+	Placements        uint64  `json:"placements"`
+	Arbitrations      uint64  `json:"arbitrations"`
+	Downscales        uint64  `json:"downscales"`
+	Resizes           uint64  `json:"resizes"`
+	ResizeMigrations  uint64  `json:"resize_migrations"`
+	Releases          uint64  `json:"releases"`
+	Suspends          uint64  `json:"suspends"`
+	EstimateHits      uint64  `json:"estimate_cache_hits"`
+	EstimateMisses    uint64  `json:"estimate_cache_misses"`
+}
+
+// Counters snapshots the engine's decision accounting (zeros when the
+// engine is uninstrumented). Safe to call concurrently with the
+// single-writer mutating path — every read is atomic.
+func (e *Engine) Counters() EngineCounters {
+	m := e.met
+	if m == nil {
+		return EngineCounters{}
+	}
+	c := EngineCounters{
+		Admitted:          m.admitted.Value(),
+		RejectedPolicy:    m.rejectedPolicy.Value(),
+		RejectedCapacity:  m.rejectedCapacity.Value(),
+		PlacementAttempts: m.placementAttempts.Value(),
+		Placements:        m.placements.Value(),
+		Arbitrations:      m.arbitrations.Value(),
+		Downscales:        m.downscales.Value(),
+		Resizes:           m.resizes.Value(),
+		ResizeMigrations:  m.migrations.Value(),
+		Releases:          m.releases.Value(),
+		Suspends:          m.removes.Value(),
+		EstimateHits:      m.estHits.Value(),
+		EstimateMisses:    m.estMisses.Value(),
+	}
+	c.Arrivals = c.Admitted + c.RejectedPolicy + c.RejectedCapacity
+	if c.Arrivals > 0 {
+		c.AcceptanceRatio = float64(c.Admitted) / float64(c.Arrivals)
+	}
+	return c
+}
+
+// shardMetrics is the sharded stepping engine's observability bundle:
+// routed-event counters by kind, the event-queue depth observed at
+// each send, and the coordinator's commit-barrier wait per tick. The
+// serve reconciler registers the same families for its per-tick site
+// fan-out, so both execution modes export one shard vocabulary. All
+// methods are nil-safe.
+type shardMetrics struct {
+	attaches *obs.Counter
+	detaches *obs.Counter
+	ticks    *obs.Counter
+
+	queueDepth  *obs.Gauge
+	barrierWait *obs.Histogram
+}
+
+func newShardMetrics(reg *obs.Registry) *shardMetrics {
+	if reg == nil {
+		return nil
+	}
+	const events = "atlas_shard_events_total"
+	const eventsHelp = "Events routed to shard queues by kind."
+	return &shardMetrics{
+		attaches: reg.Counter(events, eventsHelp, obs.L("kind", "attach")),
+		detaches: reg.Counter(events, eventsHelp, obs.L("kind", "detach")),
+		ticks:    reg.Counter(events, eventsHelp, obs.L("kind", "tick")),
+		queueDepth: reg.Gauge("atlas_shard_queue_depth",
+			"Shard event-queue depth observed at the most recent send."),
+		barrierWait: reg.Histogram("atlas_shard_barrier_wait_seconds",
+			"Coordinator wall time from tick broadcast to the last shard ack.", nil),
+	}
+}
+
+func (m *shardMetrics) recordSend(kind evKind, depth int) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case evAttach:
+		m.attaches.Inc()
+	case evDetach:
+		m.detaches.Inc()
+	case evTick:
+		m.ticks.Inc()
+	}
+	m.queueDepth.Set(float64(depth))
+}
+
+func (m *shardMetrics) recordBarrier(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.barrierWait.ObserveSince(start)
+}
+
+// trace emits one structured decision-trace record when the engine has
+// a trace logger. Every record carries a monotonically increasing
+// decision sequence number (single-writer, like the mutating path that
+// produces it) so a run is auditable line-by-line; attrs carry the
+// decision-specific context. Tracing formats already-made decisions —
+// it consumes no randomness and feeds nothing back.
+func (e *Engine) trace(event string, attrs ...slog.Attr) {
+	if e.traceLog == nil {
+		return
+	}
+	e.traceSeq++
+	all := make([]slog.Attr, 0, len(attrs)+2)
+	all = append(all, slog.String("event", event), slog.Uint64("seq", e.traceSeq))
+	all = append(all, attrs...)
+	e.traceLog.LogAttrs(context.Background(), slog.LevelInfo, "decision", all...)
+}
+
+// demandAttrs renders a per-domain demand as trace attributes.
+func demandAttrs(d slicing.Demand) slog.Attr {
+	return slog.Group("demand",
+		slog.Float64("ran_prb", d.RanPRB),
+		slog.Float64("tn_mbps", d.TnMbps),
+		slog.Float64("cn_cpu", d.CnCPU))
+}
+
+// traceDecision records one arrival's admission outcome with the
+// reserve-price context the policy decided against.
+func (e *Engine) traceDecision(a Arrival, dec Decision) {
+	if e.traceLog == nil {
+		return
+	}
+	event := "admit"
+	if !dec.Admitted {
+		event = "reject"
+	}
+	e.trace(event,
+		slog.String("slice", a.ID),
+		slog.Int("epoch", a.Epoch),
+		slog.String("site", string(dec.Site)),
+		slog.String("reason", dec.Reason),
+		slog.String("policy", e.policy.Name()),
+		slog.Float64("value", a.Value),
+		slog.Bool("elastic", a.Elastic),
+		slog.Float64("predicted_qoe", dec.PredictedQoE),
+		slog.Float64("utilization", dec.Utilization),
+		slog.Float64("density", dec.Density),
+		slog.Int("downscales", dec.Downscales),
+		demandAttrs(dec.Demand))
+}

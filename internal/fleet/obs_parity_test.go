@@ -1,0 +1,92 @@
+package fleet_test
+
+import (
+	"io"
+	"log/slog"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/obs"
+)
+
+// TestFleetObsParity is the observability plane's result-invariance
+// property: a fully instrumented run — metrics registry attached,
+// decision tracing on — produces a Result bit-identical
+// (reflect.DeepEqual) to the uninstrumented run on every parity
+// scenario, across both the lockstep and sharded steppers.
+// Instrumentation may consume no randomness and alter no decision;
+// this test is what enforces that for every future metric.
+func TestFleetObsParity(t *testing.T) {
+	for _, sc := range parityScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, mode := range []struct {
+				name   string
+				mutate func(*fleet.Options)
+			}{
+				{name: "lockstep", mutate: func(o *fleet.Options) { o.Lockstep = true; o.Workers = 2 }},
+				{name: "sharded", mutate: func(o *fleet.Options) {}},
+			} {
+				plain := parityRun(t, sc, mode.mutate)
+				reg := obs.NewRegistry()
+				trace := slog.New(slog.NewJSONHandler(io.Discard, nil))
+				instr := parityRun(t, sc, func(o *fleet.Options) {
+					mode.mutate(o)
+					o.Obs = reg
+					o.Trace = trace
+				})
+				if !reflect.DeepEqual(plain, instr) {
+					t.Fatalf("%s: instrumented run diverges from uninstrumented:\n%+v\nvs\n%+v",
+						mode.name, instr, plain)
+				}
+				// Sanity: the instrumented run must actually have
+				// recorded decisions — a silently unplugged registry
+				// would make this parity vacuous.
+				snap := reg.Snapshot()
+				if len(snap) == 0 {
+					t.Fatalf("%s: instrumented run registered no metrics", mode.name)
+				}
+				decided := 0.0
+				for _, s := range snap {
+					if s.Name == "atlas_admission_decisions_total" {
+						decided += s.Value
+					}
+				}
+				if int(decided) != plain.Arrivals {
+					t.Fatalf("%s: decision counters saw %d arrivals, run had %d",
+						mode.name, int(decided), plain.Arrivals)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetObsTraceRecords checks the decision-trace log carries the
+// promised audit fields: every arrival produces one admit/reject
+// record with slice id, sequence number, and reserve-price context.
+func TestFleetObsTraceRecords(t *testing.T) {
+	scs := parityScenarios(t)
+	sc := scs[1] // churn: value-density policy, so rejections carry context
+	var buf strings.Builder
+	reg := obs.NewRegistry()
+	res := parityRun(t, sc, func(o *fleet.Options) {
+		o.Obs = reg
+		o.Trace = slog.New(slog.NewJSONHandler(&buf, nil))
+	})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	decisions := 0
+	for _, ln := range lines {
+		if strings.Contains(ln, `"event":"admit"`) || strings.Contains(ln, `"event":"reject"`) {
+			decisions++
+			for _, field := range []string{`"slice"`, `"seq"`, `"utilization"`, `"density"`, `"policy"`, `"demand"`} {
+				if !strings.Contains(ln, field) {
+					t.Fatalf("trace record missing %s: %s", field, ln)
+				}
+			}
+		}
+	}
+	if decisions != res.Arrivals {
+		t.Fatalf("trace has %d decision records, run had %d arrivals", decisions, res.Arrivals)
+	}
+}

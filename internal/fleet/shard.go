@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/atlas-slicing/atlas/internal/core"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/topology"
 )
@@ -126,6 +128,12 @@ type shardEngine struct {
 	seq       uint64
 	wg        sync.WaitGroup
 	closed    bool
+	// met is the optional observability bundle (nil = off): event
+	// routing counters, queue-depth gauge, and barrier-wait histogram.
+	// Recording reads queue lengths and the wall clock only — it never
+	// reorders events or touches a decision, so instrumented runs stay
+	// bit-identical.
+	met *shardMetrics
 }
 
 // resolveShards clamps a requested shard count against the topology:
@@ -145,13 +153,14 @@ func resolveShards(requested int, topo *topology.Graph) int {
 
 // newShardEngine starts n shard goroutines over the topology's sites,
 // assigned round-robin in site order.
-func newShardEngine(sys *core.System, topo *topology.Graph, n int) *shardEngine {
+func newShardEngine(sys *core.System, topo *topology.Graph, n int, reg *obs.Registry) *shardEngine {
 	n = resolveShards(n, topo)
 	se := &shardEngine{
 		sys:       sys,
 		shards:    make([]*shard, n),
 		siteShard: map[slicing.SiteID]int{},
 		acks:      make(chan shardAck, n),
+		met:       newShardMetrics(reg),
 	}
 	if topo != nil {
 		for i, id := range topo.SiteIDs() {
@@ -173,12 +182,16 @@ func (se *shardEngine) shardOf(site slicing.SiteID) *shard {
 
 func (se *shardEngine) attach(id string, site slicing.SiteID) {
 	se.seq++
-	se.shardOf(site).ch <- shardEvent{kind: evAttach, seq: se.seq, id: id}
+	sh := se.shardOf(site)
+	sh.ch <- shardEvent{kind: evAttach, seq: se.seq, id: id}
+	se.met.recordSend(evAttach, len(sh.ch))
 }
 
 func (se *shardEngine) detach(id string, site slicing.SiteID) {
 	se.seq++
-	se.shardOf(site).ch <- shardEvent{kind: evDetach, seq: se.seq, id: id}
+	sh := se.shardOf(site)
+	sh.ch <- shardEvent{kind: evDetach, seq: se.seq, id: id}
+	se.met.recordSend(evDetach, len(sh.ch))
 }
 
 // tick broadcasts one step event to every shard and blocks at the
@@ -190,7 +203,9 @@ func (se *shardEngine) tick(epoch int, _ []string) error {
 	seq := se.seq
 	for _, sh := range se.shards {
 		sh.ch <- shardEvent{kind: evTick, seq: seq, epoch: epoch}
+		se.met.recordSend(evTick, len(sh.ch))
 	}
+	barrier := time.Now()
 	errs := make([]error, len(se.shards))
 	for range se.shards {
 		ack := <-se.acks
@@ -199,6 +214,7 @@ func (se *shardEngine) tick(epoch int, _ []string) error {
 		}
 		errs[ack.shard] = ack.err
 	}
+	se.met.recordBarrier(barrier)
 	return errors.Join(errs...)
 }
 

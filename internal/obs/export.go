@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Series is one exported metric series: a counter/gauge value or a
+// histogram's buckets, with its resolved labels. The JSON shape is
+// what GET /stats embeds under "metrics".
+type Series struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered series in deterministic order
+// (families by name, series by label set). Values are read atomically
+// per series; the snapshot as a whole is not a cross-series atomic
+// cut, which is fine for monitoring surfaces. Nil registry returns
+// nil.
+func (r *Registry) Snapshot() []Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Series
+	for _, fam := range r.sortedFamilies() {
+		for _, s := range fam.sortedSeries() {
+			snap := Series{Name: fam.name, Type: fam.typ, Labels: labelMap(s.labels)}
+			switch {
+			case s.fn != nil:
+				snap.Value = s.fn()
+			case s.counter != nil:
+				snap.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				snap.Value = s.gauge.Value()
+			case s.hist != nil:
+				snap.Count = s.hist.Count()
+				snap.Sum = s.hist.Sum()
+				// The +Inf tail is omitted: encoding/json cannot
+				// represent it, and Count already carries the total.
+				cum := uint64(0)
+				for i, bound := range s.hist.bounds {
+					cum += s.hist.buckets[i].Load()
+					snap.Buckets = append(snap.Buckets, Bucket{LE: bound, Count: cum})
+				}
+				snap.Value = float64(snap.Count)
+			}
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE block per
+// family, histogram series expanded into cumulative _bucket{le=...}
+// plus _sum and _count. Output order is deterministic. Nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, fam := range r.sortedFamilies() {
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, s := range fam.sortedSeries() {
+			switch {
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, renderLabels(s.labels), fmtFloat(s.fn()))
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fam.name, renderLabels(s.labels), s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, renderLabels(s.labels), fmtFloat(s.gauge.Value()))
+			case s.hist != nil:
+				cum := uint64(0)
+				for i := range s.hist.buckets {
+					cum += s.hist.buckets[i].Load()
+					le := "+Inf"
+					if i < len(s.hist.bounds) {
+						le = fmtFloat(s.hist.bounds[i])
+					}
+					withLE := append(append([]Label{}, s.labels...), Label{Key: "le", Value: le})
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, renderLabels(withLE), cum)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, renderLabels(s.labels), fmtFloat(s.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, renderLabels(s.labels), s.hist.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,321 @@
+// Package obs is the fleet's zero-dependency observability plane: a
+// concurrent-safe registry of counters, gauges, and fixed-bucket
+// latency histograms with atomic, lock-free increment paths, plus
+// snapshot/export surfaces (Prometheus text exposition and structured
+// JSON) for the serve daemon's /metrics and /stats endpoints.
+//
+// Two invariants shape the design:
+//
+//   - Instrumentation is result-invariant. Nothing in this package
+//     touches an RNG stream or feeds back into a decision path; the
+//     fleet's bit-identity parity tests run with metrics on and off
+//     and compare Result fingerprints exactly.
+//
+//   - The increment path allocates nothing and takes no locks. Handles
+//     (Counter, Gauge, Histogram) are registered once up front under
+//     the registry mutex; after that every Inc/Add/Set/Observe is a
+//     plain atomic operation. All handle methods are nil-safe, so an
+//     uninstrumented subsystem (nil registry, nil handles) pays only a
+//     predictable nil check on its hot path.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value pair attached to a metric series. Series
+// within a family are distinguished by their full label sets.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; a nil *Counter no-ops on every method.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+// The zero value is ready to use; a nil *Gauge no-ops on every method.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d via a compare-and-swap loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default latency bucket upper bounds in seconds:
+// 100µs through 10s, covering sub-millisecond shard barrier waits up
+// to multi-second offline training stages.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets. Bucket bounds are
+// immutable after registration; Observe is a lock-free atomic
+// increment plus a CAS-add into the running sum. A nil *Histogram
+// no-ops on every method.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf tail
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (16 by default) and the
+	// bounds are hot in cache; this beats binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// series is one labeled instance within a family: exactly one of the
+// handle fields is non-nil, or fn is set for a collected-at-export
+// series.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family groups all series sharing a metric name, type, and help text.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", or "histogram"
+	series map[string]*series
+}
+
+// Registry holds the metric families. Registration takes a mutex;
+// increments on returned handles never do. A nil *Registry returns
+// nil handles from every constructor, so an uninstrumented subsystem
+// can register and increment unconditionally at zero cost.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	k := ""
+	for _, l := range sortedLabels(labels) {
+		k += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return k
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Key < out[j-1].Key; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// lookup finds or creates the family and series slot for a
+// registration, enforcing type consistency across callers: two
+// packages registering the same name get the same underlying handle,
+// and a name registered under conflicting types panics (programmer
+// error, like a duplicate prometheus.MustRegister).
+func (r *Registry) lookup(name, help, typ string, labels []Label) *series {
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		panic("obs: metric " + name + " registered as " + fam.typ + ", requested " + typ)
+	}
+	key := seriesKey(labels)
+	s, ok := fam.series[key]
+	if !ok {
+		s = &series{labels: sortedLabels(labels)}
+		fam.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series and returns its
+// handle. Nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, "counter", labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or finds) a gauge series and returns its handle.
+// Nil registry returns a nil (no-op) handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, "gauge", labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or finds) a histogram series and returns its
+// handle. Bounds apply on first registration of the series (nil means
+// DefBuckets); later registrations reuse the existing buckets. Nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, "histogram", labels)
+	if s.hist == nil {
+		s.hist = newHistogram(bounds)
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at export time — the bridge for subsystems that already keep their
+// own counters (e.g. the artifact store's Stats). No-op on a nil
+// registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, "counter", fn, labels)
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// export time. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, "gauge", fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help, typ string, fn func() float64, labels []Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, typ, labels)
+	s.fn = fn
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounterIncrements hammers one counter from many
+// goroutines and checks the total is exact — the -race CI job runs
+// this to prove the increment path is lock-free and correct.
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestConcurrentHistogramObserve checks that concurrent observations
+// keep count, sum, and bucket totals exactly consistent once writers
+// quiesce.
+func TestConcurrentHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	const workers, per = 8, 5000
+	vals := []float64{0.001, 0.05, 0.5, 5}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(vals[(w+i)%len(vals)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := uint64(workers * per)
+	if h.Count() != want {
+		t.Fatalf("count = %d, want %d", h.Count(), want)
+	}
+	var bucketTotal uint64
+	for i := range h.buckets {
+		bucketTotal += h.buckets[i].Load()
+	}
+	if bucketTotal != want {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, want)
+	}
+	// Each value lands workers*per/len(vals) times; sum must match.
+	wantSum := 0.0
+	for _, v := range vals {
+		wantSum += v * float64(workers*per/len(vals))
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestConcurrentRegistration checks that racing registrations of the
+// same series resolve to one shared handle.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	handles := make([]*Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			handles[w] = r.Counter("shared_total", "shared", L("site", "a"))
+			handles[w].Inc()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if handles[w] != handles[0] {
+			t.Fatalf("registration %d returned a distinct handle", w)
+		}
+	}
+	if got := handles[0].Value(); got != workers {
+		t.Fatalf("shared counter = %d, want %d", got, workers)
+	}
+}
+
+// TestSnapshotConsistency reads snapshots while writers are active
+// (values must be monotone and never torn) and checks the final
+// snapshot matches the exact totals.
+func TestSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("snap_ops_total", "ops")
+	g := r.Gauge("snap_depth", "depth")
+	h := r.Histogram("snap_seconds", "timing", nil)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20000; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(0.001)
+		}
+		close(done)
+	}()
+	var last float64
+	for {
+		select {
+		case <-done:
+			wg.Wait()
+			snap := r.Snapshot()
+			byName := map[string]Series{}
+			for _, s := range snap {
+				byName[s.Name] = s
+			}
+			if v := byName["snap_ops_total"].Value; v != 20000 {
+				t.Fatalf("final counter snapshot = %g, want 20000", v)
+			}
+			if v := byName["snap_depth"].Value; v != 19999 {
+				t.Fatalf("final gauge snapshot = %g, want 19999", v)
+			}
+			if n := byName["snap_seconds"].Count; n != 20000 {
+				t.Fatalf("final histogram count = %d, want 20000", n)
+			}
+			return
+		default:
+			for _, s := range r.Snapshot() {
+				if s.Name != "snap_ops_total" {
+					continue
+				}
+				if s.Value < last {
+					t.Fatalf("counter snapshot went backwards: %g -> %g", last, s.Value)
+				}
+				last = s.Value
+			}
+		}
+	}
+}
+
+// TestPrometheusExposition checks the text format: HELP/TYPE blocks,
+// label rendering and escaping, cumulative histogram buckets with a
+// +Inf tail, and deterministic ordering.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter", L("site", `edge"1`)).Add(3)
+	r.Gauge("a_util", "a gauge").Set(0.5)
+	h := r.Histogram("c_seconds", "c histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("d_func", "collected", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP a_util a gauge\n# TYPE a_util gauge\na_util 0.5\n",
+		"# TYPE b_total counter\nb_total{site=\"edge\\\"1\"} 3\n",
+		"c_seconds_bucket{le=\"0.1\"} 1\n",
+		"c_seconds_bucket{le=\"1\"} 2\n",
+		"c_seconds_bucket{le=\"+Inf\"} 3\n",
+		"c_seconds_sum 5.55\n",
+		"c_seconds_count 3\n",
+		"d_func 7\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Families come out name-sorted, so a repeat render is identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Fatal("exposition output is not deterministic")
+	}
+}
+
+// TestSnapshotJSONRoundTrip checks the snapshot is encoding/json
+// clean, including histograms (whose +Inf bucket is elided).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "j").Add(2)
+	h := r.Histogram("j_seconds", "j", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back []Series
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round-trip series = %d, want 2", len(back))
+	}
+}
+
+// TestNilSafety: every handle and registry method must be a no-op on
+// nil receivers — uninstrumented subsystems call them unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", nil)
+	r.CounterFunc("x_fn", "x", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypeConflictPanics: re-registering a name under a different
+// type is a programmer error and must fail loudly.
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("conflict_total", "g")
+}

@@ -3,7 +3,9 @@ package serve
 import (
 	"errors"
 
+	"github.com/atlas-slicing/atlas/internal/fleet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
+	"github.com/atlas-slicing/atlas/internal/store"
 )
 
 // CreateRequest is the body of POST /slices: a tenant asking for a
@@ -100,6 +102,54 @@ type Health struct {
 	Epoch  int    `json:"epoch"`
 	Slices int    `json:"slices"`
 	Events int    `json:"events"`
+}
+
+// UtilizationView is the ledger's per-domain reserved fraction in API
+// form.
+type UtilizationView struct {
+	RAN float64 `json:"ran"`
+	TN  float64 `json:"tn"`
+	CN  float64 `json:"cn"`
+}
+
+// SiteStatsView is one site's occupancy in the GET /stats body.
+type SiteStatsView struct {
+	Site           string  `json:"site"`
+	RanUtilization float64 `json:"ran_utilization"`
+	Reservations   int     `json:"reservations"`
+}
+
+// StoreStatsView is the artifact store's traffic counters in API form.
+type StoreStatsView struct {
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+	Corrupt int `json:"corrupt"`
+	Puts    int `json:"puts"`
+	Deletes int `json:"deletes"`
+}
+
+func storeStatsView(s store.Stats) StoreStatsView {
+	return StoreStatsView{Hits: s.Hits, Misses: s.Misses, Corrupt: s.Corrupt, Puts: s.Puts, Deletes: s.Deletes}
+}
+
+// StatsView is the GET /stats body: one internally consistent snapshot
+// of the daemon — lifecycle census by state, the engine's decision
+// accounting, ledger utilization (aggregate and per site on topology
+// runs), artifact-store traffic, and any accumulated store
+// diagnostics. Assembled on the reconciler goroutine, so every field
+// describes the same instant.
+type StatsView struct {
+	Epoch  int                  `json:"epoch"`
+	States map[string]int       `json:"slices_by_state"`
+	Live   int                  `json:"live"`
+	Events int                  `json:"events"`
+	Engine fleet.EngineCounters `json:"engine"`
+
+	Utilization *UtilizationView `json:"utilization,omitempty"`
+	Sites       []SiteStatsView  `json:"sites,omitempty"`
+
+	Store            StoreStatsView `json:"store"`
+	StoreDiagnostics []string       `json:"store_diagnostics,omitempty"`
 }
 
 // apiError is the JSON error body every non-2xx response carries.

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
+)
+
+// serveMetrics is the daemon's own observability bundle, layered on
+// top of the engine/core/store/ledger instrumentation the reconciler's
+// registry already carries: the serving-epoch tick fan-out (registered
+// under the same shard families the batch engine exports, so both
+// execution modes speak one shard vocabulary), the daemon's live-state
+// gauges, and per-route HTTP latencies. Like every obs bundle it is
+// nil-safe and result-invariant — recordings are atomic stores after
+// the fact.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	ticks       *obs.Counter
+	queueDepth  *obs.Gauge
+	barrierWait *obs.Histogram
+
+	epoch     *obs.Gauge
+	live      *obs.Gauge
+	operating *obs.Gauge
+}
+
+func newServeMetrics(reg *obs.Registry, log *EventLog) *serveMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serveMetrics{
+		reg: reg,
+		ticks: reg.Counter("atlas_shard_events_total",
+			"Events routed to shard queues by kind.", obs.L("kind", "tick")),
+		queueDepth: reg.Gauge("atlas_shard_queue_depth",
+			"Shard event-queue depth observed at the most recent send."),
+		barrierWait: reg.Histogram("atlas_shard_barrier_wait_seconds",
+			"Coordinator wall time from tick broadcast to the last shard ack.", nil),
+		epoch: reg.Gauge("atlas_serve_epoch",
+			"Current serving epoch (reconciler ticks since start)."),
+		live: reg.Gauge("atlas_serve_slices_live",
+			"Live (admitted, undeleted) slices the engine tracks."),
+		operating: reg.Gauge("atlas_serve_slices_operating",
+			"Slices in the OPERATING state, stepped every tick."),
+	}
+	// The event log is its own lock domain, so its length is collected
+	// at scrape time instead of being mirrored into a gauge on every
+	// transition.
+	reg.GaugeFunc("atlas_serve_events",
+		"Slice state transitions appended to the event log.",
+		func() float64 { return float64(log.Len()) })
+	return m
+}
+
+// recordTick accounts one serving-epoch fan-out: groups per-site step
+// groups dispatched (the serve path's shard queue), operating the
+// slices stepped, barrier the StepGroups start time.
+func (m *serveMetrics) recordTick(groups, operating int, barrier time.Time) {
+	if m == nil {
+		return
+	}
+	m.ticks.Inc()
+	m.queueDepth.Set(float64(groups))
+	m.operating.Set(float64(operating))
+	m.barrierWait.ObserveSince(barrier)
+}
+
+// recordState refreshes the daemon's state gauges after a command or
+// tick mutated the slice books.
+func (m *serveMetrics) recordState(epoch, live int) {
+	if m == nil {
+		return
+	}
+	m.epoch.Set(float64(epoch))
+	m.live.Set(float64(live))
+}
+
+// httpMetrics is the HTTP front's per-route accounting, built once at
+// mux construction.
+type httpMetrics struct {
+	requests *obs.Counter
+	seconds  *obs.Histogram
+}
+
+func newHTTPMetrics(reg *obs.Registry, route string) httpMetrics {
+	if reg == nil {
+		return httpMetrics{}
+	}
+	return httpMetrics{
+		requests: reg.Counter("atlas_http_requests_total",
+			"API requests served by route.", obs.L("route", route)),
+		seconds: reg.Histogram("atlas_http_request_seconds",
+			"API request latency by route.", nil, obs.L("route", route)),
+	}
+}
+
+func (m httpMetrics) record(start time.Time) {
+	m.requests.Inc()
+	m.seconds.ObserveSince(start)
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"github.com/atlas-slicing/atlas/internal/core"
 	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/realnet"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
@@ -51,6 +53,14 @@ type Config struct {
 	// and default simulator).
 	Real slicing.Env
 	Sim  *simnet.Simulator
+	// Obs is the metrics registry behind GET /metrics and /stats (nil =
+	// the daemon creates its own; serving is always instrumented).
+	// Trace receives one structured record per admission/placement/
+	// resize/release decision (nil = off). Both are result-invariant.
+	Obs   *obs.Registry
+	Trace *slog.Logger
+	// DebugAddr exposes net/http/pprof on its own listener ("" = off).
+	DebugAddr string
 }
 
 // sliceRec is the reconciler's per-slice record: lifecycle state plus
@@ -87,6 +97,7 @@ const (
 	cmdGet
 	cmdList
 	cmdHealth
+	cmdStats
 	cmdStep
 )
 
@@ -102,6 +113,7 @@ type cmdResult struct {
 	view   SliceView
 	list   []SliceView
 	health Health
+	stats  StatsView
 	err    error
 }
 
@@ -119,6 +131,10 @@ type Reconciler struct {
 	topo    *topology.Graph
 	tick    time.Duration
 	workers int
+
+	reg *obs.Registry
+	met *serveMetrics
+	trc *slog.Logger
 
 	cmds   chan command
 	done   chan struct{}
@@ -179,12 +195,21 @@ func NewReconciler(cfg Config) (*Reconciler, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The daemon is always instrumented: a registry backs GET /metrics
+	// and /stats even when the caller supplies none. NewEngine threads
+	// it through sys.Instrument, covering core, store, and ledger.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	eng := fleet.NewEngine(sys, fleet.EngineConfig{
 		Policy:        cfg.Policy,
 		Placement:     cfg.Placement,
 		Topology:      cfg.Topology,
 		Capacity:      cfg.Capacity,
 		DownscalePool: cfg.DownscalePool,
+		Obs:           reg,
+		Trace:         cfg.Trace,
 	})
 	return &Reconciler{
 		sys:     sys,
@@ -194,11 +219,17 @@ func NewReconciler(cfg Config) (*Reconciler, error) {
 		topo:    cfg.Topology,
 		tick:    cfg.Tick,
 		workers: cfg.Workers,
+		reg:     reg,
+		met:     newServeMetrics(reg, log),
+		trc:     cfg.Trace,
 		cmds:    make(chan command, 64),
 		done:    make(chan struct{}),
 		slices:  map[string]*sliceRec{},
 	}, nil
 }
+
+// Registry exposes the metrics registry (read-side: GET /metrics).
+func (r *Reconciler) Registry() *obs.Registry { return r.reg }
 
 // Log exposes the event log (read-side: GET /events).
 func (r *Reconciler) Log() *EventLog { return r.log }
@@ -242,6 +273,13 @@ func (r *Reconciler) drain() {
 			state = rec.state
 		}
 		r.drained = append(r.drained, fmt.Sprintf("%s %s", id, state))
+		if r.trc != nil {
+			r.trc.LogAttrs(context.Background(), slog.LevelInfo, "decision",
+				slog.String("event", "drain_checkpoint"),
+				slog.String("slice", id),
+				slog.String("state", string(state)),
+				slog.Int("epoch", r.epoch))
+		}
 	}
 	if err := r.log.Close(); err != nil {
 		r.diags = append(r.diags, fmt.Errorf("serve: event log close: %w", err))
@@ -314,6 +352,15 @@ func (r *Reconciler) Health() (Health, error) {
 	return res.health, res.err
 }
 
+// Stats snapshots the daemon's full introspection view (GET /stats):
+// lifecycle census, engine decision counters, utilization, and store
+// traffic. The snapshot is taken on the reconciler goroutine, so it is
+// internally consistent.
+func (r *Reconciler) Stats() (StatsView, error) {
+	res := r.do(command{kind: cmdStats})
+	return res.stats, res.err
+}
+
 // StepNow forces one serving epoch outside the ticker cadence —
 // deterministic stepping for tests and manual drills.
 func (r *Reconciler) StepNow() error {
@@ -348,10 +395,43 @@ func (r *Reconciler) handle(c command) {
 		}
 	case cmdHealth:
 		res.health = Health{Status: "ok", Epoch: r.epoch, Slices: len(r.eng.Live()), Events: r.log.Len()}
+	case cmdStats:
+		res.stats = r.stats()
 	case cmdStep:
 		res.err = r.stepErr()
 	}
+	r.met.recordState(r.epoch, len(r.eng.Live()))
 	c.reply <- res
+}
+
+// stats assembles the GET /stats body on the reconciler goroutine.
+func (r *Reconciler) stats() StatsView {
+	v := StatsView{
+		Epoch:  r.epoch,
+		States: map[string]int{},
+		Live:   len(r.eng.Live()),
+		Events: r.log.Len(),
+		Engine: r.eng.Counters(),
+		Store:  storeStatsView(r.sys.Store.Stats()),
+	}
+	for _, rec := range r.slices {
+		v.States[string(rec.state)]++
+	}
+	if r.sys.Ledger != nil {
+		u := r.sys.Ledger.Utilization()
+		v.Utilization = &UtilizationView{RAN: u.RAN, TN: u.TN, CN: u.CN}
+		if r.topo != nil {
+			for _, su := range r.sys.Ledger.SiteUtilizations() {
+				v.Sites = append(v.Sites, SiteStatsView{
+					Site: string(su.Site), RanUtilization: su.RAN, Reservations: su.Count,
+				})
+			}
+		}
+	}
+	for _, d := range r.sys.StoreDiagnostics() {
+		v.StoreDiagnostics = append(v.StoreDiagnostics, d.Error())
+	}
+	return v
 }
 
 // event applies op to the slice's state machine and appends the
@@ -581,11 +661,17 @@ func (r *Reconciler) stepErr() error {
 		}
 	}
 	r.stepIDs = ids
-	defer func() { r.epoch++ }()
+	defer func() {
+		r.epoch++
+		r.met.recordState(r.epoch, len(r.liveBuf))
+	}()
 	if len(ids) == 0 {
 		return nil
 	}
-	err := r.sys.StepGroups(r.shardGroups(ids))
+	groups := r.shardGroups(ids)
+	barrier := time.Now()
+	err := r.sys.StepGroups(groups)
+	r.met.recordTick(len(groups), len(ids), barrier)
 	for _, id := range ids {
 		rec := r.slices[id]
 		inst, ok := r.sys.Slice(id)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -319,5 +320,74 @@ func TestEventLogReplayFile(t *testing.T) {
 	e := log.Append(Event{Slice: "d2", Op: OpActivate, From: StateAvailable, To: StateOperating})
 	if e.Seq != n+1 {
 		t.Fatalf("appended seq %d, want %d", e.Seq, n+1)
+	}
+}
+
+// TestMetricsAndStatsEndpoints is the introspection contract: a daemon
+// that admitted, activated, and stepped a slice exposes the full atlas
+// metrics vocabulary on GET /metrics and a coherent snapshot on
+// GET /stats.
+func TestMetricsAndStatsEndpoints(t *testing.T) {
+	h := startHarness(t, Config{})
+
+	var v SliceView
+	h.call("POST", "/slices", CreateRequest{ID: "m1", Class: "video-analytics"}, &v)
+	h.call("POST", "/slices/m1/activate", nil, nil)
+	if err := h.srv.Reconciler().StepNow(); err != nil {
+		t.Fatalf("StepNow: %v", err)
+	}
+
+	resp, err := h.http.Client().Get(h.http.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	page := string(body)
+	for _, fam := range []string{
+		"atlas_admission_decisions_total",
+		"atlas_online_scans_total",
+		"atlas_online_memo_hits_total",
+		"atlas_shard_events_total",
+		"atlas_shard_barrier_wait_seconds",
+		"atlas_store_hits_total",
+		"atlas_http_requests_total",
+		"atlas_serve_epoch",
+	} {
+		if !strings.Contains(page, fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	series := 0
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "atlas_") {
+			series++
+		}
+	}
+	if series < 20 {
+		t.Errorf("/metrics exposes %d series, want >= 20", series)
+	}
+
+	var stats StatsView
+	if code := h.call("GET", "/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if stats.Epoch < 1 {
+		t.Errorf("stats epoch %d, want >= 1", stats.Epoch)
+	}
+	if stats.Live != 1 || stats.States[string(StateOperating)] != 1 {
+		t.Errorf("stats census live=%d states=%v, want one OPERATING slice", stats.Live, stats.States)
+	}
+	if stats.Engine.Arrivals != 1 || stats.Engine.Admitted != 1 {
+		t.Errorf("engine counters %+v, want 1 arrival admitted", stats.Engine)
+	}
+	if stats.Store.Hits+stats.Store.Misses == 0 {
+		t.Error("store stats show no traffic; the admission trains or restores artifacts")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -22,12 +23,15 @@ import (
 //	DELETE /slices/{id}             AVAILABLE → DELETED
 //	GET    /events?since=N          the append-only transition log
 //	GET    /healthz                 liveness + counters
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /stats                   JSON introspection snapshot
 //
 // Handlers only marshal: every mutation round-trips through the
 // reconciler goroutine, so concurrent clients serialize there.
 type Server struct {
-	rec  *Reconciler
-	addr string
+	rec       *Reconciler
+	addr      string
+	debugAddr string
 }
 
 // New builds the daemon: reconciler plus HTTP front.
@@ -36,24 +40,47 @@ func New(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{rec: rec, addr: addr}, nil
+	return &Server{rec: rec, addr: addr, debugAddr: cfg.DebugAddr}, nil
 }
 
 // Reconciler exposes the command surface (tests drive it directly).
 func (s *Server) Reconciler() *Reconciler { return s.rec }
 
-// Handler builds the API mux.
+// Handler builds the API mux. Every route is wrapped in per-route
+// request/latency accounting against the reconciler's registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /slices", s.handleCreate)
-	mux.HandleFunc("GET /slices", s.handleList)
-	mux.HandleFunc("GET /slices/{id}", s.handleGet)
-	mux.HandleFunc("POST /slices/{id}/activate", s.lifecycle(OpActivate))
-	mux.HandleFunc("POST /slices/{id}/modify", s.handleModify)
-	mux.HandleFunc("POST /slices/{id}/deactivate", s.lifecycle(OpDeactivate))
-	mux.HandleFunc("DELETE /slices/{id}", s.lifecycle(OpDelete))
-	mux.HandleFunc("GET /events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	handle := func(route string, h http.HandlerFunc) {
+		m := newHTTPMetrics(s.rec.Registry(), route)
+		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			m.record(start)
+		})
+	}
+	handle("POST /slices", s.handleCreate)
+	handle("GET /slices", s.handleList)
+	handle("GET /slices/{id}", s.handleGet)
+	handle("POST /slices/{id}/activate", s.lifecycle(OpActivate))
+	handle("POST /slices/{id}/modify", s.handleModify)
+	handle("POST /slices/{id}/deactivate", s.lifecycle(OpDeactivate))
+	handle("DELETE /slices/{id}", s.lifecycle(OpDelete))
+	handle("GET /events", s.handleEvents)
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /stats", s.handleStats)
+	return mux
+}
+
+// debugHandler builds the opt-in pprof mux served on DebugAddr — kept
+// off the API listener so profiling exposure is an explicit choice.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -80,6 +107,24 @@ func (s *Server) Run(ctx context.Context) error {
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Printf("atlas serve: listening on %s\n", ln.Addr())
 
+	var dbg *http.Server
+	if s.debugAddr != "" {
+		dln, err := net.Listen("tcp", s.debugAddr)
+		if err != nil {
+			_ = srv.Close()
+			stopRec()
+			<-recDone
+			return fmt.Errorf("serve: debug listener: %w", err)
+		}
+		dbg = &http.Server{Handler: debugHandler()}
+		go func() {
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Printf("atlas serve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("atlas serve: pprof on %s/debug/pprof/\n", dln.Addr())
+	}
+
 	select {
 	case err := <-errc:
 		stopRec()
@@ -91,6 +136,9 @@ func (s *Server) Run(ctx context.Context) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)
+	if dbg != nil {
+		_ = dbg.Shutdown(shutCtx)
+	}
 	stopRec()
 	<-recDone
 	for _, d := range s.rec.Diagnostics() {
@@ -213,4 +261,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.rec.Registry().WritePrometheus(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	v, err := s.rec.Stats()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }

@@ -3,6 +3,8 @@ package slicing
 import (
 	"fmt"
 	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
 )
 
 // This file generalizes the fleet control plane's capacity vocabulary
@@ -116,6 +118,89 @@ type TopologyLedger struct {
 	// failure, which both rejects duplicate ids and lets Release find
 	// the owning site without a global lock.
 	sitemap sync.Map
+
+	// m holds the optional observability gauges (nil = uninstrumented).
+	// Gauge writes happen under the same site/shared locks as the
+	// booking mutation they mirror and never feed back into any fit
+	// decision, so instrumentation is result-invariant.
+	m *ledgerMetrics
+}
+
+// ledgerMetrics are the ledger's exported occupancy gauges: per-site
+// RAN utilization and reservation counts plus the shared-tier used
+// fractions. All methods are nil-safe.
+type ledgerMetrics struct {
+	siteRAN   []*obs.Gauge
+	siteCount []*obs.Gauge
+	tnUtil    *obs.Gauge
+	cnUtil    *obs.Gauge
+	count     *obs.Gauge
+}
+
+// siteLocked refreshes site i's gauges. Caller holds the site lock.
+func (m *ledgerMetrics) siteLocked(l *TopologyLedger, i int) {
+	if m == nil {
+		return
+	}
+	util := 0.0
+	if c := l.topo.Sites[i].RanPRB; c > 0 {
+		util = l.sites[i].ranUsed / c
+	}
+	m.siteRAN[i].Set(util)
+	m.siteCount[i].Set(float64(len(l.sites[i].res)))
+}
+
+// sharedLocked refreshes the shared-tier gauges. Caller holds the
+// shared lock.
+func (m *ledgerMetrics) sharedLocked(l *TopologyLedger) {
+	if m == nil {
+		return
+	}
+	if l.topo.TnMbps > 0 {
+		m.tnUtil.Set(l.shared.tnUsed / l.topo.TnMbps)
+	}
+	if l.topo.CnCPU > 0 {
+		m.cnUtil.Set(l.shared.cnUsed / l.topo.CnCPU)
+	}
+	m.count.Set(float64(l.shared.count))
+}
+
+// Instrument registers the ledger's occupancy gauges with reg and
+// seeds them from the current state. Call once, before the ledger sees
+// concurrent traffic (registration itself is not synchronized with
+// in-flight bookings). No-op on a nil registry.
+func (l *TopologyLedger) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &ledgerMetrics{
+		siteRAN:   make([]*obs.Gauge, len(l.topo.Sites)),
+		siteCount: make([]*obs.Gauge, len(l.topo.Sites)),
+		tnUtil: reg.Gauge("atlas_ledger_utilization",
+			"Shared-tier used fraction by domain.", obs.L("domain", "tn")),
+		cnUtil: reg.Gauge("atlas_ledger_utilization",
+			"Shared-tier used fraction by domain.", obs.L("domain", "cn")),
+		count: reg.Gauge("atlas_ledger_reservations",
+			"Reservations currently booked across all sites."),
+	}
+	for i, s := range l.topo.Sites {
+		site := obs.L("site", string(s.ID))
+		m.siteRAN[i] = reg.Gauge("atlas_ledger_site_ran_utilization",
+			"Per-site local RAN used fraction.", site)
+		m.siteCount[i] = reg.Gauge("atlas_ledger_site_reservations",
+			"Reservations hosted at the site.", site)
+		reg.GaugeFunc("atlas_ledger_site_ran_capacity_prb",
+			"Per-site local RAN capacity in PRBs.",
+			func(c float64) func() float64 { return func() float64 { return c } }(s.RanPRB),
+			site)
+	}
+	l.m = m
+	l.lockAll()
+	for i := range l.topo.Sites {
+		m.siteLocked(l, i)
+	}
+	m.sharedLocked(l)
+	l.unlockAll()
 }
 
 // CapacityLedger is the single-pool special case of the TopologyLedger:
@@ -228,6 +313,8 @@ func (l *TopologyLedger) ReserveAt(site SiteID, id string, d Demand) bool {
 	l.shared.tnUsed += d.TnMbps
 	l.shared.cnUsed += d.CnCPU
 	l.shared.count++
+	l.m.siteLocked(l, i)
+	l.m.sharedLocked(l)
 	l.shared.mu.Unlock()
 	st.mu.Unlock()
 	return true
@@ -266,6 +353,8 @@ func (l *TopologyLedger) Update(id string, d Demand) bool {
 	st.ranUsed += d.RanPRB - old.RanPRB
 	l.shared.tnUsed += d.TnMbps - old.TnMbps
 	l.shared.cnUsed += d.CnCPU - old.CnCPU
+	l.m.siteLocked(l, i)
+	l.m.sharedLocked(l)
 	l.shared.mu.Unlock()
 	st.mu.Unlock()
 	return true
@@ -303,6 +392,8 @@ func (l *TopologyLedger) Release(id string) Demand {
 	if l.shared.count == 0 {
 		l.shared.tnUsed, l.shared.cnUsed = 0, 0
 	}
+	l.m.siteLocked(l, i)
+	l.m.sharedLocked(l)
 	l.shared.mu.Unlock()
 	st.mu.Unlock()
 	l.sitemap.Delete(id)

@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
 )
 
 // EnvelopeVersion tags the on-disk envelope layout. Get rejects
@@ -101,6 +103,32 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Instrument exports the store's traffic counters into reg as
+// collected-at-export counter series — the store keeps its existing
+// lock-guarded Stats accounting and the registry reads it on scrape,
+// so the Put/Get hot paths gain no extra atomics. No-op on a nil
+// registry.
+func (s *Store) Instrument(reg *obs.Registry) {
+	read := func(pick func(Stats) int) func() float64 {
+		return func() float64 { return float64(pick(s.Stats())) }
+	}
+	reg.CounterFunc("atlas_store_hits_total",
+		"Artifact store Gets that found a valid artifact.",
+		read(func(st Stats) int { return st.Hits }))
+	reg.CounterFunc("atlas_store_misses_total",
+		"Artifact store Gets that found nothing.",
+		read(func(st Stats) int { return st.Misses }))
+	reg.CounterFunc("atlas_store_corrupt_total",
+		"Artifact store Gets that found an unreadable or mismatched artifact.",
+		read(func(st Stats) int { return st.Corrupt }))
+	reg.CounterFunc("atlas_store_puts_total",
+		"Artifact store successful writes.",
+		read(func(st Stats) int { return st.Puts }))
+	reg.CounterFunc("atlas_store_deletes_total",
+		"Artifact store delete calls, missing artifacts included.",
+		read(func(st Stats) int { return st.Deletes }))
 }
 
 func memKey(kind, key string) string { return kind + "/" + key }

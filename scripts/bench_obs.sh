@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# bench_obs.sh — run the observability-overhead benchmarks and emit the
+# BENCH_8 snapshot: the BENCH_7 one-shard-per-site workload with the
+# full observability plane attached (metrics registry + discarded JSON
+# decision trace) against its uninstrumented twin.
+#
+#	scripts/bench_obs.sh               # writes BENCH_8.json
+#	scripts/bench_obs.sh out.json      # custom output path
+#	BENCHTIME=1x scripts/bench_obs.sh  # CI smoke budget
+#	COUNT=3 scripts/bench_obs.sh       # best-of-3 (min ns per variant)
+#
+# Guardrails: the metrics-on-vs-off parity tests must pass first (the
+# observability plane is result-invariant by construction — a cheap
+# counter is never bought with drift); NaN/zero throughput fails; any
+# drift in the result fingerprint between the instrumented and
+# uninstrumented runs fails; and the instrumented run must sustain at
+# least ATLAS_OBS_OVERHEAD_FLOOR (default 0.9) of the uninstrumented
+# arrivals/sec at real budgets (relaxed to 0.75 on the noisy 1x smoke).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_8.json}"
+benchtime="${BENCHTIME:-1x}"
+count="${COUNT:-1}"
+
+# Result-invariance first: instrumented runs must replay uninstrumented
+# runs bit-identically before any overhead number means anything.
+go test -run 'TestFleetObsParity' ./internal/fleet
+
+raw="$(go test -run '^$' -bench '^BenchmarkFleetStepSharded$/^shards=5$' -benchtime "$benchtime" -count "$count" .
+	go test -run '^$' -bench '^BenchmarkFleetStepInstrumented$' -benchtime "$benchtime" -count "$count" .)"
+echo "$raw"
+
+printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" \
+	-v count="$count" -v maxprocs="$(nproc)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (name ~ /Instrumented/) name = "Instrumented"
+	else name = "Uninstrumented"
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+	# Best-of-count: keep the lowest-noise (minimum ns) repetition and
+	# the metrics that came with it.
+	if (!(name in ns) || $3 + 0 < ns[name] + 0) {
+		ns[name] = $3
+		for (i = 5; i + 1 <= NF; i += 2) metric[name, $(i + 1)] = $i
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"observability-overhead\",\n"
+	printf "  \"go\": \"%s\",\n", go_version
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"count\": %d,\n", count
+	printf "  \"gomaxprocs\": %d,\n", maxprocs
+	printf "  \"fleet\": {\"scenario\": \"churn\", \"topology\": \"hotspot-cell\", \"sites\": 5, \"shards\": 5, \"horizon\": 60, \"seed\": 42, \"placement\": \"locality\", \"admission\": \"first-fit\"},\n"
+	printf "  \"instrumentation\": {\"metrics\": \"obs.Registry (full stack)\", \"trace\": \"slog JSON to io.Discard\"},\n"
+	printf "  \"variants\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
+		printf ", \"arrivals_per_sec\": %s", metric[name, "arrivals/sec"]
+		printf ", \"peak_live_slices\": %s", metric[name, "peak_live_slices"]
+		printf ", \"qoe_value\": %s", metric[name, "qoe_value"]
+		printf ", \"acceptance_ratio\": %s", metric[name, "acceptance_ratio"]
+		printf ", \"placement_ratio\": %s", metric[name, "placement_ratio"]
+		printf ", \"imbalance\": %s", metric[name, "imbalance"]
+		printf "}%s\n", (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n"
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
+
+python3 - "$out" "$benchtime" <<'EOF'
+import json, math, os, sys
+
+snap = json.load(open(sys.argv[1]))
+smoke = sys.argv[2] == "1x"
+variants = {v["name"]: v for v in snap["variants"]}
+assert "Uninstrumented" in variants, "uninstrumented twin missing"
+assert "Instrumented" in variants, "instrumented variant missing"
+
+# Throughput must be a real positive number for both variants.
+for name, v in variants.items():
+    for key in ("arrivals_per_sec", "peak_live_slices"):
+        assert not math.isnan(v[key]) and v[key] > 0, f"{name}: {key} = {v[key]}"
+
+# Result-invariance guardrail: the instrumented run's fingerprint is
+# identical — exactly, not approximately — to the uninstrumented twin.
+# (The parity tests already compared full Results; this re-checks the
+# actual benchmarked runs.)
+ref = variants["Uninstrumented"]
+ins = variants["Instrumented"]
+for key in ("qoe_value", "acceptance_ratio", "placement_ratio", "imbalance", "peak_live_slices"):
+    assert ins[key] == ref[key], f"Instrumented: {key} = {ins[key]} drifts from {ref[key]}"
+
+# Overhead guardrail: counters are lock-free atomics and the trace is a
+# formatting pass over already-made decisions, so the instrumented run
+# must keep at least the floor fraction of uninstrumented throughput.
+floor = float(os.environ.get("ATLAS_OBS_OVERHEAD_FLOOR", "0.75" if smoke else "0.9"))
+ratio = ins["arrivals_per_sec"] / ref["arrivals_per_sec"]
+assert ratio >= floor, f"instrumented throughput {ratio:.3f}x of uninstrumented, floor {floor}"
+
+print(f"ok: instrumented sustains {ratio:.3f}x of uninstrumented arrivals/sec "
+      f"({ins['arrivals_per_sec']:.2f} vs {ref['arrivals_per_sec']:.2f}), "
+      f"zero fingerprint drift")
+EOF

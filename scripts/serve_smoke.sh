@@ -92,6 +92,52 @@ if [ "$events" -lt 8 ]; then
 fi
 echo "ok: event log has $events events"
 
+# Observability plane: /metrics must expose a well-formed Prometheus
+# page carrying the full atlas vocabulary — online-scan and memo
+# counters, admission decisions, shard-queue/barrier series, per-site
+# ledger gauges, store traffic, and HTTP latencies.
+curl -sf "${base}/metrics" >"${workdir}/metrics.txt"
+series="$(grep -c '^atlas_' "${workdir}/metrics.txt" || true)"
+if [ "$series" -lt 20 ]; then
+	echo "FAIL: /metrics exposes $series atlas series, want >= 20"
+	cat "${workdir}/metrics.txt"
+	exit 1
+fi
+for fam in atlas_admission_decisions_total atlas_online_scans_total \
+	atlas_online_memo_hits_total atlas_shard_events_total \
+	atlas_shard_barrier_wait_seconds atlas_ledger_site_ran_utilization \
+	atlas_store_hits_total atlas_http_request_seconds atlas_serve_epoch; do
+	grep -q "^${fam}" "${workdir}/metrics.txt" || {
+		echo "FAIL: /metrics missing family ${fam}"
+		cat "${workdir}/metrics.txt"
+		exit 1
+	}
+done
+grep -q '^# TYPE atlas_admission_decisions_total counter$' "${workdir}/metrics.txt" || {
+	echo "FAIL: /metrics missing TYPE metadata"
+	exit 1
+}
+echo "ok: /metrics exposes $series atlas series"
+
+# /stats must be one coherent JSON snapshot: serving epoch advanced,
+# live census, engine decision counters, ledger utilization with
+# per-site occupancy, and store traffic.
+curl -sf "${base}/stats" >"${workdir}/stats.json"
+jq -e '.epoch >= 1
+	and .live >= 1
+	and (.slices_by_state | type == "object")
+	and .engine.arrivals >= 3
+	and .engine.admitted >= 1
+	and (.utilization.ran | type == "number")
+	and (.sites | length) >= 1
+	and (.store.hits + .store.misses) >= 0' \
+	"${workdir}/stats.json" >/dev/null || {
+	echo "FAIL: /stats malformed or incoherent:"
+	cat "${workdir}/stats.json"
+	exit 1
+}
+echo "ok: /stats is a coherent snapshot"
+
 # Snapshot the API's view of every slice state, then drain.
 curl -sf "${base}/slices" | jq -S 'map({key: .id, value: .state}) | from_entries' >"${workdir}/api-states.json"
 
