@@ -727,17 +727,26 @@ func BenchmarkFleetStepSharded(b *testing.B) {
 }
 
 // BenchmarkFleetStepInstrumented: the one-shard-per-site engine with
-// the full observability plane attached — a live metrics registry plus
-// a JSON decision trace written to io.Discard — on the identical
-// workload as BenchmarkFleetStepSharded/shards=5. BENCH_8's overhead
-// guardrail compares the two: instrumentation must stay within a few
-// percent of the uninstrumented twin, and the result fingerprint must
-// not move at all.
+// the full observability plane attached — a live metrics registry, a
+// JSON decision trace written to io.Discard, the flight-recorder time
+// series, and per-slice timelines — on the identical workload as
+// BenchmarkFleetStepSharded/shards=5. BENCH_8's overhead guardrail
+// compares the two: instrumentation must stay within a few percent of
+// the uninstrumented twin, and the result fingerprint must not move at
+// all.
 func BenchmarkFleetStepInstrumented(b *testing.B) {
-	benchShardVariant(b, func(o *fleet.Options) {
-		o.Shards = 5
-		o.Obs = obs.NewRegistry()
-		o.Trace = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	// The shards=5 sub-run mirrors the sharded benchmark's naming so one
+	// `-bench '…$/^shards=5$'` pattern selects both variants fully — a
+	// top-level benchmark without sub-runs only partially matches a
+	// two-element pattern and reports nothing.
+	b.Run("shards=5", func(b *testing.B) {
+		benchShardVariant(b, func(o *fleet.Options) {
+			o.Shards = 5
+			o.Obs = obs.NewRegistry()
+			o.Trace = slog.New(slog.NewJSONHandler(io.Discard, nil))
+			o.Recorder = obs.NewRecorder(0)
+			o.Timeline = obs.NewTimelineStore(0, 0)
+		})
 	})
 }
 

@@ -71,12 +71,22 @@
 //	atlas serve -replay events.jsonl                           # fold a log to final states
 //
 // Serve-only flags (-addr, -serve-log, -tick, -replay, -trace,
-// -debug-addr) are rejected without the serve subcommand, and
-// batch-only flags (-fleet, -slices, -online-iters, ...) are rejected
-// with it. The daemon exports Prometheus metrics on GET /metrics and a
-// JSON introspection snapshot on GET /stats; -trace streams one
-// structured decision record per admission/placement/resize/release to
-// stderr, and -debug-addr exposes net/http/pprof on its own listener.
+// -trace-file, -history-cap, -timeline-cap, -debug-addr) are rejected
+// without the serve subcommand,
+// and batch-only flags (-fleet, -slices, -online-iters, ...) are
+// rejected with it. The daemon exports Prometheus metrics on GET
+// /metrics, a JSON introspection snapshot on GET /stats, flight-recorder
+// time series on GET /history, per-slice timelines on GET
+// /slices/{id}/timeline, and SLO burn rates on GET /slo; -trace streams
+// one structured decision record per admission/placement/resize/release
+// to stderr, -trace-file appends the same records to a file fsync'd on
+// drain, and -debug-addr exposes net/http/pprof on its own listener.
+//
+// The watch subcommand is a terminal dashboard over a running daemon's
+// /history and /slo endpoints:
+//
+//	atlas watch -addr http://127.0.0.1:8080 -interval 2s
+//	atlas watch -once          # one snapshot, no screen clearing
 //
 // This is the programmatic equivalent of the paper's
 // main_simulator.py / main_offline.py / main_online.py workflow.
@@ -134,13 +144,21 @@ func main() {
 		tick         = flag.Duration("tick", time.Second, "serve: serving epoch period (every tick steps all OPERATING slices)")
 		replayPath   = flag.String("replay", "", "serve: fold an event log to final slice states and exit (no daemon)")
 		traceFlag    = flag.Bool("trace", false, "serve: emit a structured JSON decision-trace record to stderr for every admission/placement/resize/release decision")
+		traceFile    = flag.String("trace-file", "", "serve: append decision-trace records to this file (fsync'd on drain; combines with -trace)")
+		historyCap   = flag.Int("history-cap", 0, "serve: flight-recorder points kept per time series (0 = default)")
+		timelineCap  = flag.Int("timeline-cap", 0, "serve: flight-recorder entries kept per slice timeline (0 = default)")
 		debugAddr    = flag.String("debug-addr", "", "serve: expose net/http/pprof on this extra listen address (empty = off)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format; works in every mode)")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format; works in every mode)")
 	)
 	// `atlas serve ...` is the daemon subcommand; everything after it is
-	// ordinary flags.
+	// ordinary flags. `atlas watch ...` is a self-contained client with
+	// its own flag set and dispatches before the main parse.
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "watch" {
+		runWatch(args[1:])
+		return
+	}
 	serveMode := len(args) > 0 && args[0] == "serve"
 	if serveMode {
 		args = args[1:]
@@ -216,7 +234,7 @@ func main() {
 	}
 	if !serveMode {
 		var ignored []string
-		for _, name := range []string{"addr", "serve-log", "tick", "replay", "trace", "debug-addr"} {
+		for _, name := range []string{"addr", "serve-log", "tick", "replay", "trace", "trace-file", "history-cap", "timeline-cap", "debug-addr"} {
 			if explicitFlags[name] {
 				ignored = append(ignored, "-"+name)
 			}
@@ -236,6 +254,9 @@ func main() {
 		}
 		if *tick <= 0 {
 			badf("-tick must be a positive duration, got %v", *tick)
+		}
+		if *historyCap < 0 || *timelineCap < 0 {
+			badf("-history-cap and -timeline-cap must be >= 0 (0 = default), got %d and %d", *historyCap, *timelineCap)
 		}
 	}
 	if *topoName == "" {
@@ -352,18 +373,21 @@ func main() {
 			}
 		}
 		runServe(*addr, fscen, serveOptions{
-			policy:    policy,
-			topo:      topo,
-			placement: place,
-			capacity:  *capacity,
-			store:     st,
-			logPath:   *serveLog,
-			tick:      *tick,
-			workers:   *workers,
-			seed:      *seed,
-			tune:      tune,
-			trace:     *traceFlag,
-			debugAddr: *debugAddr,
+			policy:      policy,
+			topo:        topo,
+			placement:   place,
+			capacity:    *capacity,
+			store:       st,
+			logPath:     *serveLog,
+			tick:        *tick,
+			workers:     *workers,
+			seed:        *seed,
+			tune:        tune,
+			trace:       *traceFlag,
+			traceFile:   *traceFile,
+			historyCap:  *historyCap,
+			timelineCap: *timelineCap,
+			debugAddr:   *debugAddr,
 		})
 		return
 	}

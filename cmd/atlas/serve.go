@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -22,18 +23,21 @@ import (
 // serveOptions carries the flag-derived configuration of the serve
 // subcommand into the daemon.
 type serveOptions struct {
-	policy    fleet.Policy
-	topo      *topology.Graph
-	placement topology.Policy
-	capacity  float64 // cells; 0 = scenario default (ignored with a topology)
-	store     *store.Store
-	logPath   string
-	tick      time.Duration
-	workers   int
-	seed      int64
-	tune      func(*core.System)
-	trace     bool   // -trace: JSON decision records to stderr
-	debugAddr string // -debug-addr: opt-in pprof listener
+	policy      fleet.Policy
+	topo        *topology.Graph
+	placement   topology.Policy
+	capacity    float64 // cells; 0 = scenario default (ignored with a topology)
+	store       *store.Store
+	logPath     string
+	tick        time.Duration
+	workers     int
+	seed        int64
+	tune        func(*core.System)
+	trace       bool   // -trace: JSON decision records to stderr
+	traceFile   string // -trace-file: JSON decision records to a file, fsync'd on drain
+	historyCap  int    // -history-cap: flight-recorder points per series (0 = default)
+	timelineCap int    // -timeline-cap: flight-recorder entries per slice (0 = default)
+	debugAddr   string // -debug-addr: opt-in pprof listener
 }
 
 // runServe runs the slice-lifecycle daemon until SIGINT/SIGTERM, then
@@ -52,24 +56,45 @@ func runServe(addr string, fs scenarios.FleetScenario, o serveOptions) {
 		fmt.Printf("policy %s, capacity %v, tick %v\n", o.policy.Name(), capacity, o.tick)
 	}
 
+	// The decision trace can go to stderr (-trace), a file (-trace-file),
+	// or both; the file sink hands the reconciler a sync hook so the
+	// drain fsyncs the last records alongside the event log.
 	var trace *slog.Logger
+	var traceSync func() error
+	var sinks []io.Writer
 	if o.trace {
-		trace = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		sinks = append(sinks, os.Stderr)
+	}
+	if o.traceFile != "" {
+		f, err := os.OpenFile(o.traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atlas: serve: open -trace-file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+		traceSync = f.Sync
+	}
+	if len(sinks) > 0 {
+		trace = slog.New(slog.NewJSONHandler(io.MultiWriter(sinks...), nil))
 	}
 	srv, err := serve.New(addr, serve.Config{
-		Classes:   fs.Classes,
-		Policy:    o.policy,
-		Topology:  o.topo,
-		Placement: o.placement,
-		Capacity:  capacity,
-		Tick:      o.tick,
-		Workers:   o.workers,
-		Seed:      o.seed,
-		Store:     o.store,
-		LogPath:   o.logPath,
-		Tune:      o.tune,
-		Trace:     trace,
-		DebugAddr: o.debugAddr,
+		Classes:     fs.Classes,
+		Policy:      o.policy,
+		Topology:    o.topo,
+		Placement:   o.placement,
+		Capacity:    capacity,
+		Tick:        o.tick,
+		Workers:     o.workers,
+		Seed:        o.seed,
+		Store:       o.store,
+		LogPath:     o.logPath,
+		Tune:        o.tune,
+		Trace:       trace,
+		TraceSync:   traceSync,
+		HistoryCap:  o.historyCap,
+		TimelineCap: o.timelineCap,
+		DebugAddr:   o.debugAddr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atlas: serve: %v\n", err)

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The watch subcommand is a terminal dashboard over a running daemon:
+// it polls GET /history and GET /slo and renders fleet sparklines,
+// per-site utilization bars, and the SLO table in place. It is a pure
+// client — only the HTTP API, no shared state with the daemon.
+
+// Local mirrors of the serve API bodies (watch is a client; it decodes
+// only the fields it renders).
+type watchPoint struct {
+	Epoch int     `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+type watchSeries struct {
+	Name   string       `json:"name"`
+	Points []watchPoint `json:"points"`
+}
+
+type watchHistory struct {
+	Series []watchSeries `json:"series"`
+}
+
+type watchObjective struct {
+	Name     string   `json:"name"`
+	Target   float64  `json:"target"`
+	Kind     string   `json:"kind"`
+	Value    *float64 `json:"value"`
+	BurnRate *float64 `json:"burn_rate"`
+	Status   string   `json:"status"`
+}
+
+type watchSLO struct {
+	Objectives []watchObjective `json:"objectives"`
+	Breached   int              `json:"breached"`
+}
+
+// fleetSeries are the aggregate series rendered as sparklines, in
+// display order; site series render as bars below them.
+var fleetSeries = []string{
+	"live", "operating", "acceptance_ratio",
+	"qoe_mean", "qoe_value", "oracle_regret",
+	"util_ran", "util_tn", "util_cn",
+}
+
+func runWatch(args []string) {
+	fs := flag.NewFlagSet("atlas watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the atlas serve daemon")
+	interval := fs.Duration("interval", 2*time.Second, "poll period")
+	window := fs.Int("window", 30, "sparkline width in samples")
+	once := fs.Bool("once", false, "render one snapshot and exit (no screen clearing)")
+	_ = fs.Parse(args)
+	if *interval <= 0 || *window < 2 {
+		fmt.Fprintln(os.Stderr, "atlas watch: -interval must be positive and -window at least 2")
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	for {
+		frame, err := renderFrame(base, *window)
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "atlas watch: %v\n", err)
+				os.Exit(1)
+			}
+			frame = fmt.Sprintf("atlas watch: %v (retrying every %v)\n", err, *interval)
+		}
+		if !*once {
+			// Home the cursor and clear below instead of wiping the whole
+			// terminal: an in-place refresh without scrollback spam.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		fmt.Print(frame)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderFrame polls both endpoints and builds one dashboard screen.
+func renderFrame(base string, window int) (string, error) {
+	var hist watchHistory
+	if err := fetchJSON(base+"/history", &hist); err != nil {
+		return "", err
+	}
+	var slo watchSLO
+	if err := fetchJSON(base+"/slo", &slo); err != nil {
+		return "", err
+	}
+
+	byName := map[string]watchSeries{}
+	epoch := 0
+	for _, s := range hist.Series {
+		byName[s.Name] = s
+		for _, p := range s.Points {
+			epoch = max(epoch, p.Epoch)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "atlas watch — %s — epoch %d — %s\n\n", base, epoch, time.Now().Format("15:04:05"))
+
+	b.WriteString("fleet\n")
+	shown := map[string]bool{}
+	for _, name := range fleetSeries {
+		s, ok := byName[name]
+		if !ok || len(s.Points) == 0 {
+			continue
+		}
+		shown[name] = true
+		last := s.Points[len(s.Points)-1].Value
+		fmt.Fprintf(&b, "  %-18s %s  %s\n", name, sparkline(s.Points, window), formatValue(name, last))
+	}
+	if len(shown) == 0 {
+		b.WriteString("  (no samples yet)\n")
+	}
+
+	// Per-site RAN utilization bars, sorted by site name.
+	var sites []string
+	for name := range byName {
+		if site, ok := strings.CutPrefix(name, "site_ran_util:"); ok {
+			sites = append(sites, site)
+		}
+	}
+	if len(sites) > 0 {
+		sort.Strings(sites)
+		b.WriteString("\nsites (ran utilization)\n")
+		for _, site := range sites {
+			s := byName["site_ran_util:"+site]
+			last := 0.0
+			if len(s.Points) > 0 {
+				last = s.Points[len(s.Points)-1].Value
+			}
+			fmt.Fprintf(&b, "  %-16s %s %5.1f%%\n", site, bar(last, 24), 100*last)
+		}
+	}
+
+	b.WriteString("\nslo")
+	if slo.Breached > 0 {
+		fmt.Fprintf(&b, " — %d BREACHED", slo.Breached)
+	}
+	b.WriteString("\n")
+	if len(slo.Objectives) == 0 {
+		b.WriteString("  (none declared)\n")
+	}
+	nameWidth := 0
+	for _, o := range slo.Objectives {
+		if len(o.Name) > nameWidth {
+			nameWidth = len(o.Name)
+		}
+	}
+	for _, o := range slo.Objectives {
+		rel := "<="
+		if o.Kind == "floor" {
+			rel = ">="
+		}
+		value, burn := "n/a", "n/a"
+		if o.Value != nil {
+			value = fmt.Sprintf("%.3f", *o.Value)
+		}
+		if o.BurnRate != nil {
+			burn = fmt.Sprintf("%.2f", *o.BurnRate)
+		}
+		fmt.Fprintf(&b, "  %-*s %5s %s %.3f  burn %-5s %s\n",
+			nameWidth, o.Name, value, rel, o.Target, burn, o.Status)
+	}
+	return b.String(), nil
+}
+
+// fetchJSON GETs url and decodes the body into v.
+func fetchJSON(url string, v any) error {
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+var sparkRunes = []rune(" ▁▂▃▄▅▆▇█")
+
+// sparkline renders the last `width` samples scaled to the window's own
+// min..max — shape over absolute value; the printed last value anchors
+// the scale.
+func sparkline(points []watchPoint, width int) string {
+	if len(points) > width {
+		points = points[len(points)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	out := make([]rune, 0, width)
+	for _, p := range points {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((p.Value - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		out = append(out, sparkRunes[max(1, min(idx, len(sparkRunes)-1))])
+	}
+	for len(out) < width {
+		out = append(out, ' ')
+	}
+	return string(out)
+}
+
+// bar renders a horizontal gauge for a 0..1 fraction.
+func bar(frac float64, width int) string {
+	if math.IsNaN(frac) {
+		frac = 0
+	}
+	frac = math.Max(0, math.Min(1, frac))
+	fill := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("█", fill) + strings.Repeat("░", width-fill) + "]"
+}
+
+// formatValue picks a display format per series: counts as integers,
+// ratios as percentages, the rest with three decimals.
+func formatValue(name string, v float64) string {
+	switch name {
+	case "live", "operating":
+		return fmt.Sprintf("%d", int(v+0.5))
+	case "acceptance_ratio", "util_ran", "util_tn", "util_cn":
+		return fmt.Sprintf("%5.1f%%", 100*v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/atlas-slicing/atlas/internal/domains"
 	"github.com/atlas-slicing/atlas/internal/mathx"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/simnet"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
@@ -91,6 +92,16 @@ type System struct {
 	// see Instrument. Written once before concurrent use, shared by
 	// every slice's learner afterwards.
 	met *coreMetrics
+
+	// Timelines is the optional per-slice flight recorder (nil = off):
+	// every Step appends one delivered-QoE + applied-envelope sample to
+	// the slice's timeline. Like met, it is written once before
+	// concurrent use; recording is post-decision and consumes no
+	// randomness, so recorded runs stay bit-identical. The QoE recorded
+	// here is the raw model output — any placement locality toll is
+	// applied by the fleet layer and visible through the timeline's
+	// decision entries' host site.
+	Timelines *obs.TimelineStore
 }
 
 // StoreDiagnostics returns the non-fatal artifact-store diagnostics the
@@ -788,6 +799,16 @@ func (s *System) Step(id string) error {
 	inst.Usages = append(inst.Usages, usage)
 	inst.QoEs = append(inst.QoEs, qoe)
 	inst.lastDemand = slicing.DemandOf(cfg)
+	if s.Timelines != nil {
+		s.Timelines.Append(id, obs.TimelineEntry{
+			Epoch:  inst.Iter - 1,
+			Kind:   obs.KindSample,
+			Event:  "step",
+			Site:   string(inst.Site),
+			QoE:    qoe,
+			Demand: []float64{inst.lastDemand.RanPRB, inst.lastDemand.TnMbps, inst.lastDemand.CnCPU},
+		})
+	}
 	// Checkpoint the online residual after every epoch so a process
 	// restart (or a later admission of the same identity) resumes from
 	// the latest learned sim-to-real gap. Checkpoint failures are

@@ -47,13 +47,20 @@ type Engine struct {
 	live  map[string]*Tenant
 	order []string // admission order, the arbitration walk sequence
 
-	// met and traceLog are the optional observability hooks (nil =
-	// off): decision counters for the metrics registry and the
-	// structured decision-trace log. traceSeq numbers trace records;
-	// like the mutating path that emits them, it is single-writer.
+	// met, traceLog, and timeline are the optional observability hooks
+	// (nil = off): decision counters for the metrics registry, the
+	// structured decision-trace log, and the per-slice flight-recorder
+	// timeline. traceSeq numbers decision records and is shared between
+	// the trace log and the timeline, so entries in the two streams
+	// cross-reference; like the mutating path that emits them, it is
+	// single-writer. epoch is the control-plane epoch stamped on
+	// non-arrival decisions (resize/release/suspend), advanced by the
+	// driving loop via NoteEpoch.
 	met      *engineMetrics
 	traceLog *slog.Logger
+	timeline *obs.TimelineStore
 	traceSeq uint64
+	epoch    int
 }
 
 type classEst struct {
@@ -105,9 +112,12 @@ type EngineConfig struct {
 	DownscalePool int
 	// Obs registers the engine's decision metrics (nil = off); Trace
 	// receives one structured record per admission/placement/resize/
-	// release decision (nil = off). Both are result-invariant.
-	Obs   *obs.Registry
-	Trace *slog.Logger
+	// release decision (nil = off); Timeline records every decision on
+	// the per-slice flight-recorder timeline, sharing Trace's sequence
+	// numbers (nil = off). All three are result-invariant.
+	Obs      *obs.Registry
+	Trace    *slog.Logger
+	Timeline *obs.TimelineStore
 }
 
 // NewEngine builds an engine over an already-configured system (the
@@ -126,6 +136,9 @@ func NewEngine(sys *core.System, cfg EngineConfig) *Engine {
 		cfg.Capacity = cfg.Topology.TotalCapacity()
 	}
 	sys.Instrument(cfg.Obs)
+	if cfg.Timeline != nil {
+		sys.Timelines = cfg.Timeline
+	}
 	return &Engine{
 		sys:       sys,
 		policy:    cfg.Policy,
@@ -137,8 +150,15 @@ func NewEngine(sys *core.System, cfg EngineConfig) *Engine {
 		live:      map[string]*Tenant{},
 		met:       newEngineMetrics(cfg.Obs),
 		traceLog:  cfg.Trace,
+		timeline:  cfg.Timeline,
 	}
 }
+
+// NoteEpoch records the driving loop's current control-plane epoch so
+// non-arrival decisions (resize/release/suspend) are stamped with it in
+// the trace and timeline streams. Single-writer, like the mutating
+// path.
+func (e *Engine) NoteEpoch(epoch int) { e.epoch = epoch }
 
 // System returns the engine's underlying slice-lifecycle system.
 func (e *Engine) System() *core.System { return e.sys }
@@ -211,7 +231,9 @@ func (e *Engine) Handle(a Arrival) (Decision, error) {
 	dec, err := e.handle(a)
 	if err == nil {
 		e.met.recordDecision(dec, start)
-		e.traceDecision(a, dec)
+		seq := e.obsSeq()
+		e.traceDecision(seq, a, dec)
+		e.timelineDecision(seq, a, dec)
 	}
 	return dec, err
 }
@@ -305,11 +327,13 @@ func (e *Engine) Resize(id string, traffic int) (slicing.Demand, slicing.SiteID,
 	if err == nil {
 		t.Arrival.Traffic = traffic
 		e.met.recordResize(false)
-		e.trace("resize",
+		seq := e.obsSeq()
+		e.traceAt(seq, "resize",
 			slog.String("slice", id),
 			slog.String("site", string(t.Site)),
 			slog.Int("traffic", traffic),
 			demandAttrs(d))
+		e.timelineEvent(seq, id, "resize", string(t.Site), "", demandVec(d))
 		return d, t.Site, nil
 	}
 	if !errors.Is(err, core.ErrInsufficientCapacity) || e.topo == nil {
@@ -337,12 +361,14 @@ func (e *Engine) Resize(id string, traffic int) (slicing.Demand, slicing.SiteID,
 	t.Site = site
 	t.Arrival.Traffic = traffic
 	e.met.recordResize(true)
-	e.trace("resize_migrate",
+	seq := e.obsSeq()
+	e.traceAt(seq, "resize_migrate",
 		slog.String("slice", id),
 		slog.String("site", string(site)),
 		slog.String("from_site", string(from)),
 		slog.Int("traffic", traffic),
 		demandAttrs(d))
+	e.timelineEvent(seq, id, "resize_migrate", string(site), "from "+string(from), demandVec(d))
 	return d, site, nil
 }
 
@@ -358,7 +384,9 @@ func (e *Engine) Release(id string) (*Tenant, error) {
 	}
 	e.forget(id)
 	e.met.recordRelease()
-	e.trace("release", slog.String("slice", id), slog.String("site", string(t.Site)))
+	seq := e.obsSeq()
+	e.traceAt(seq, "release", slog.String("slice", id), slog.String("site", string(t.Site)))
+	e.timelineEvent(seq, id, "release", string(t.Site), "", nil)
 	return t, nil
 }
 
@@ -375,7 +403,9 @@ func (e *Engine) Remove(id string) (*Tenant, error) {
 	}
 	e.forget(id)
 	e.met.recordRemove()
-	e.trace("suspend", slog.String("slice", id), slog.String("site", string(t.Site)))
+	seq := e.obsSeq()
+	e.traceAt(seq, "suspend", slog.String("slice", id), slog.String("site", string(t.Site)))
+	e.timelineEvent(seq, id, "suspend", string(t.Site), "", nil)
 	return t, nil
 }
 

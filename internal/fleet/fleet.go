@@ -77,6 +77,16 @@ type Options struct {
 	// instrumented, so counters reflect the constrained fleet only.
 	Obs   *obs.Registry
 	Trace *slog.Logger
+	// Recorder, when set, samples fleet aggregates (live slices,
+	// acceptance ratio, QoE value, per-domain and per-site utilization,
+	// oracle regret) into time-series ring buffers once per epoch; nil
+	// disables the flight recorder. Timeline, when set, records every
+	// engine decision and per-epoch QoE/envelope sample on a bounded
+	// per-slice timeline. Both are result-invariant like Obs/Trace, and
+	// an Oracle companion run is never recorded (only its per-epoch
+	// regret is written back to the Recorder after the fact).
+	Recorder *obs.Recorder
+	Timeline *obs.TimelineStore
 }
 
 // EpochStat is one epoch's aggregate.
@@ -247,7 +257,7 @@ func (c *Controller) Run() (*Result, error) {
 		sites = c.opts.Topology.SiteIDs()
 	}
 	trace := TraceOver(c.classes, c.opts.Horizon, c.opts.Seed, sites)
-	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity, c.opts.Topology, trace, c.opts.Obs, c.opts.Trace)
+	res, err := c.runOnce(c.opts.Policy, c.opts.Capacity, c.opts.Topology, trace, c.opts.Obs, c.opts.Trace, c.opts.Recorder, c.opts.Timeline)
 	if err != nil {
 		return nil, err
 	}
@@ -255,14 +265,28 @@ func (c *Controller) Run() (*Result, error) {
 		// The oracle is placement-free on purpose: unlimited single-pool
 		// capacity with every slice at home, so regret covers both what
 		// admission refused and what non-home placement cost. It is also
-		// uninstrumented, so the registry's counters describe the
-		// constrained fleet alone.
-		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{}, nil, trace, nil, nil)
+		// uninstrumented and unrecorded, so the registry's counters and
+		// the flight recorder describe the constrained fleet alone.
+		oracle, err := c.runOnce(AdmitAll{}, slicing.Capacity{}, nil, trace, nil, nil, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: oracle run: %w", err)
 		}
 		res.OracleValue = oracle.QoEWeightedValue
 		res.Regret = res.OracleValue - res.QoEWeightedValue
+		// Write the oracle's per-epoch regret trajectory back to the
+		// flight recorder post-hoc: the cumulative gap between what an
+		// unconstrained infrastructure would have earned and what the
+		// constrained fleet did.
+		if c.opts.Recorder != nil {
+			fleetCum, oracleCum := 0.0, 0.0
+			for i := range oracle.Epochs {
+				oracleCum += oracle.Epochs[i].Value
+				if i < len(res.Epochs) {
+					fleetCum += res.Epochs[i].Value
+				}
+				c.opts.Recorder.Record(i, "oracle_regret", oracleCum-fleetCum)
+			}
+		}
 	}
 	return res, nil
 }
@@ -281,7 +305,7 @@ type runMeta struct {
 // departures) execute in one global sequence and all per-epoch
 // aggregation iterates in admission order, so repeated runs are
 // bit-identical at any worker or shard count.
-func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival, reg *obs.Registry, trc *slog.Logger) (*Result, error) {
+func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *topology.Graph, trace []Arrival, reg *obs.Registry, trc *slog.Logger, rec *obs.Recorder, tl *obs.TimelineStore) (*Result, error) {
 	sys := c.newSystem(capacity, topo)
 	sys.Instrument(reg)
 	if _, err := sys.Calibrate(); err != nil {
@@ -295,6 +319,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 		DownscalePool: c.opts.DownscalePool,
 		Obs:           reg,
 		Trace:         trc,
+		Timeline:      tl,
 	})
 	var st stepper
 	if c.opts.Lockstep {
@@ -330,6 +355,7 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 
 	for epoch := 0; epoch < c.opts.Horizon; epoch++ {
 		es := EpochStat{Epoch: epoch}
+		eng.NoteEpoch(epoch)
 
 		// Departures: tenants whose lifetime expired leave and are
 		// decommissioned for good (capacity released, online checkpoint
@@ -460,6 +486,29 @@ func (c *Controller) runOnce(policy Policy, capacity slicing.Capacity, topo *top
 			imbalanceSum += maxU - minU
 		}
 		res.Epochs = append(res.Epochs, es)
+
+		// Flight-recorder sampling: read the epoch's already-computed
+		// aggregates into the ring buffers. Post-decision, no RNG, no
+		// feedback — a recorded run stays bit-identical to an
+		// unrecorded one.
+		if rec != nil {
+			rec.Record(epoch, "live", float64(es.Live))
+			if n := res.Admitted + res.Rejected; n > 0 {
+				rec.Record(epoch, "acceptance_ratio", float64(res.Admitted)/float64(n))
+			} else {
+				rec.Record(epoch, "acceptance_ratio", 1)
+			}
+			rec.Record(epoch, "qoe_mean", es.MeanQoE)
+			rec.Record(epoch, "qoe_value", es.Value)
+			rec.Record(epoch, "util_ran", es.Util.RAN)
+			rec.Record(epoch, "util_tn", es.Util.TN)
+			rec.Record(epoch, "util_cn", es.Util.CN)
+			if topo != nil {
+				for _, su := range sys.Ledger.SiteUtilizations() {
+					rec.Record(epoch, "site_ran_util:"+string(su.Site), su.RAN)
+				}
+			}
+		}
 	}
 
 	// Decommission the fleet: every surviving tenant is released so the

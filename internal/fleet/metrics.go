@@ -244,21 +244,79 @@ func (m *shardMetrics) recordBarrier(start time.Time) {
 	m.barrierWait.ObserveSince(start)
 }
 
-// trace emits one structured decision-trace record when the engine has
-// a trace logger. Every record carries a monotonically increasing
-// decision sequence number (single-writer, like the mutating path that
-// produces it) so a run is auditable line-by-line; attrs carry the
+// obsSeq allocates the next decision sequence number when any decision
+// sink (trace log or flight-recorder timeline) is attached, and returns
+// zero otherwise. One number is drawn per decision and handed to both
+// sinks, so a timeline entry's seq matches the -trace line for the same
+// decision. Single-writer, like the mutating path that draws it.
+func (e *Engine) obsSeq() uint64 {
+	if e.traceLog == nil && e.timeline == nil {
+		return 0
+	}
+	e.traceSeq++
+	return e.traceSeq
+}
+
+// traceAt emits one structured decision-trace record under the given
+// sequence number when the engine has a trace logger. Attrs carry the
 // decision-specific context. Tracing formats already-made decisions —
 // it consumes no randomness and feeds nothing back.
-func (e *Engine) trace(event string, attrs ...slog.Attr) {
+func (e *Engine) traceAt(seq uint64, event string, attrs ...slog.Attr) {
 	if e.traceLog == nil {
 		return
 	}
-	e.traceSeq++
 	all := make([]slog.Attr, 0, len(attrs)+2)
-	all = append(all, slog.String("event", event), slog.Uint64("seq", e.traceSeq))
+	all = append(all, slog.String("event", event), slog.Uint64("seq", seq))
 	all = append(all, attrs...)
 	e.traceLog.LogAttrs(context.Background(), slog.LevelInfo, "decision", all...)
+}
+
+// demandVec renders a per-domain demand as the timeline's
+// [ran_prb, tn_mbps, cn_cpu] vector.
+func demandVec(d slicing.Demand) []float64 {
+	return []float64{d.RanPRB, d.TnMbps, d.CnCPU}
+}
+
+// timelineEvent appends one decision entry to the slice's flight
+// recorder timeline under the shared sequence number. Like tracing, it
+// records an already-made decision and feeds nothing back.
+func (e *Engine) timelineEvent(seq uint64, id, event, site, detail string, demand []float64) {
+	if e.timeline == nil {
+		return
+	}
+	e.timeline.Append(id, obs.TimelineEntry{
+		Seq:    seq,
+		Epoch:  e.epoch,
+		Kind:   obs.KindDecision,
+		Event:  event,
+		Site:   site,
+		Detail: detail,
+		Demand: demand,
+	})
+}
+
+// timelineDecision records one arrival's admission outcome on the
+// slice's timeline, mirroring traceDecision.
+func (e *Engine) timelineDecision(seq uint64, a Arrival, dec Decision) {
+	if e.timeline == nil {
+		return
+	}
+	event := "admit"
+	detail := ""
+	if !dec.Admitted {
+		event = "reject"
+		detail = dec.Reason
+	}
+	e.timeline.Append(a.ID, obs.TimelineEntry{
+		Seq:    seq,
+		Epoch:  a.Epoch,
+		Kind:   obs.KindDecision,
+		Event:  event,
+		Site:   string(dec.Site),
+		Detail: detail,
+		QoE:    dec.PredictedQoE,
+		Demand: demandVec(dec.Demand),
+	})
 }
 
 // demandAttrs renders a per-domain demand as trace attributes.
@@ -271,7 +329,7 @@ func demandAttrs(d slicing.Demand) slog.Attr {
 
 // traceDecision records one arrival's admission outcome with the
 // reserve-price context the policy decided against.
-func (e *Engine) traceDecision(a Arrival, dec Decision) {
+func (e *Engine) traceDecision(seq uint64, a Arrival, dec Decision) {
 	if e.traceLog == nil {
 		return
 	}
@@ -279,7 +337,7 @@ func (e *Engine) traceDecision(a Arrival, dec Decision) {
 	if !dec.Admitted {
 		event = "reject"
 	}
-	e.trace(event,
+	e.traceAt(seq, event,
 		slog.String("slice", a.ID),
 		slog.Int("epoch", a.Epoch),
 		slog.String("site", string(dec.Site)),

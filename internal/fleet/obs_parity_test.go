@@ -13,11 +13,12 @@ import (
 
 // TestFleetObsParity is the observability plane's result-invariance
 // property: a fully instrumented run — metrics registry attached,
-// decision tracing on — produces a Result bit-identical
-// (reflect.DeepEqual) to the uninstrumented run on every parity
-// scenario, across both the lockstep and sharded steppers.
-// Instrumentation may consume no randomness and alter no decision;
-// this test is what enforces that for every future metric.
+// decision tracing on, flight recorder and per-slice timelines
+// attached — produces a Result bit-identical (reflect.DeepEqual) to
+// the uninstrumented run on every parity scenario, across both the
+// lockstep and sharded steppers. Instrumentation may consume no
+// randomness and alter no decision; this test is what enforces that
+// for every future metric, series, and timeline entry.
 func TestFleetObsParity(t *testing.T) {
 	for _, sc := range parityScenarios(t) {
 		t.Run(sc.name, func(t *testing.T) {
@@ -30,11 +31,15 @@ func TestFleetObsParity(t *testing.T) {
 			} {
 				plain := parityRun(t, sc, mode.mutate)
 				reg := obs.NewRegistry()
+				rec := obs.NewRecorder(0)
+				tl := obs.NewTimelineStore(0, 0)
 				trace := slog.New(slog.NewJSONHandler(io.Discard, nil))
 				instr := parityRun(t, sc, func(o *fleet.Options) {
 					mode.mutate(o)
 					o.Obs = reg
 					o.Trace = trace
+					o.Recorder = rec
+					o.Timeline = tl
 				})
 				if !reflect.DeepEqual(plain, instr) {
 					t.Fatalf("%s: instrumented run diverges from uninstrumented:\n%+v\nvs\n%+v",
@@ -56,6 +61,28 @@ func TestFleetObsParity(t *testing.T) {
 				if int(decided) != plain.Arrivals {
 					t.Fatalf("%s: decision counters saw %d arrivals, run had %d",
 						mode.name, int(decided), plain.Arrivals)
+				}
+				// Same for the flight recorder and timelines: parity over
+				// empty recordings would prove nothing.
+				for _, name := range []string{"live", "acceptance_ratio", "qoe_value"} {
+					if pts := rec.Series(name).Points(0); len(pts) != len(plain.Epochs) {
+						t.Fatalf("%s: recorder series %q has %d points, run had %d epochs",
+							mode.name, name, len(pts), len(plain.Epochs))
+					}
+				}
+				if plain.Admitted > 0 && len(tl.Slices()) == 0 {
+					t.Fatalf("%s: run admitted %d slices but no timelines were recorded",
+						mode.name, plain.Admitted)
+				}
+				entries := 0
+				for _, id := range tl.Slices() {
+					if view, ok := tl.Get(id); ok {
+						entries += len(view.Entries)
+					}
+				}
+				if entries < plain.Arrivals {
+					t.Fatalf("%s: timelines carry %d entries, expected at least one per arrival (%d)",
+						mode.name, entries, plain.Arrivals)
 				}
 			}
 		})

@@ -14,10 +14,10 @@ type Bucket struct {
 	Count uint64  `json:"count"`
 }
 
-// Series is one exported metric series: a counter/gauge value or a
+// MetricSeries is one exported metric series: a counter/gauge value or a
 // histogram's buckets, with its resolved labels. The JSON shape is
 // what GET /stats embeds under "metrics".
-type Series struct {
+type MetricSeries struct {
 	Name    string            `json:"name"`
 	Type    string            `json:"type"`
 	Labels  map[string]string `json:"labels,omitempty"`
@@ -32,16 +32,16 @@ type Series struct {
 // per series; the snapshot as a whole is not a cross-series atomic
 // cut, which is fine for monitoring surfaces. Nil registry returns
 // nil.
-func (r *Registry) Snapshot() []Series {
+func (r *Registry) Snapshot() []MetricSeries {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []Series
+	var out []MetricSeries
 	for _, fam := range r.sortedFamilies() {
 		for _, s := range fam.sortedSeries() {
-			snap := Series{Name: fam.name, Type: fam.typ, Labels: labelMap(s.labels)}
+			snap := MetricSeries{Name: fam.name, Type: fam.typ, Labels: labelMap(s.labels)}
 			switch {
 			case s.fn != nil:
 				snap.Value = s.fn()

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotJSONRoundTrip serializes a histogram snapshot
+// through encoding/json and back: the +Inf overflow bucket must be
+// omitted (JSON cannot represent it), the finite buckets must survive
+// exactly, and Count must still carry the total including overflow
+// observations.
+func TestHistogramSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50, 500} {
+		h.Observe(v) // 50 and 500 land in the +Inf overflow bucket
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snap))
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	if strings.Contains(string(b), "Inf") {
+		t.Fatalf("snapshot JSON leaks an infinity: %s", b)
+	}
+	var back []MetricSeries
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	hs := back[0]
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5 (overflow observations must still count)", hs.Count)
+	}
+	if len(hs.Buckets) != 3 {
+		t.Fatalf("round-tripped %d buckets, want 3 finite (no +Inf tail)", len(hs.Buckets))
+	}
+	// Cumulative finite buckets: 1 at 0.1, 2 at 1, 3 at 10; the two
+	// overflow observations appear only in Count.
+	for i, want := range []Bucket{{LE: 0.1, Count: 1}, {LE: 1, Count: 2}, {LE: 10, Count: 3}} {
+		if hs.Buckets[i] != want {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, hs.Buckets[i], want)
+		}
+	}
+	if math.Abs(hs.Sum-555.55) > 1e-9 {
+		t.Fatalf("sum = %v, want 555.55", hs.Sum)
+	}
+}
+
+// TestPrometheusNonFiniteGauges checks WritePrometheus renders NaN and
+// ±Inf gauge values in the exposition format's own spelling instead of
+// corrupting the line — Prometheus accepts NaN/+Inf/-Inf tokens.
+func TestPrometheusNonFiniteGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("test_nan", "").Set(math.NaN())
+	r.Gauge("test_posinf", "").Set(math.Inf(1))
+	r.Gauge("test_neginf", "").Set(math.Inf(-1))
+	r.GaugeFunc("test_fn_nan", "", func() float64 { return math.NaN() })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"test_nan NaN\n",
+		"test_posinf +Inf\n",
+		"test_neginf -Inf\n",
+		"test_fn_nan NaN\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line must still be exactly "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestConcurrentRegistrationVsExport races registration of new series
+// against Snapshot and WritePrometheus — the -race job proves the
+// registry mutex covers both sides and exports see a consistent family
+// table.
+func TestConcurrentRegistrationVsExport(t *testing.T) {
+	r := NewRegistry()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("test_ops_total", "ops", L("worker", string(rune('a'+w)))).Inc()
+				r.Gauge("test_level", "level", L("worker", string(rune('a'+w)))).Set(float64(i))
+				r.Histogram("test_lat", "lat", nil, L("worker", string(rune('a'+w)))).Observe(0.001)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	exporterDone := make(chan struct{})
+	go func() {
+		defer close(exporterDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				_ = r.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-exporterDone
+
+	snap := r.Snapshot()
+	total := 0.0
+	for _, s := range snap {
+		if s.Name == "test_ops_total" {
+			total += s.Value
+		}
+	}
+	if total != 4*200 {
+		t.Fatalf("counters total %v after concurrent export, want %d", total, 4*200)
+	}
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSeriesRingEviction fills a ring past capacity and checks the
+// retained window is the most recent samples, oldest first, with an
+// honest dropped count.
+func TestSeriesRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for epoch := 0; epoch < 10; epoch++ {
+		r.Record(epoch, "live", float64(epoch*10))
+	}
+	s := r.Series("live")
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	pts := s.Points(0)
+	if len(pts) != 4 || pts[0].Epoch != 6 || pts[3].Epoch != 9 {
+		t.Fatalf("Points = %+v, want epochs 6..9", pts)
+	}
+	if last, ok := s.Last(); !ok || last != (Point{Epoch: 9, Value: 90}) {
+		t.Fatalf("Last = %+v/%v, want {9 90}/true", last, ok)
+	}
+	if sum := s.WindowSum(); sum != 60+70+80+90 {
+		t.Fatalf("WindowSum = %v, want 300", sum)
+	}
+	hist := r.History([]string{"live"}, 8)
+	if len(hist) != 1 || hist[0].Dropped != 6 || len(hist[0].Points) != 2 {
+		t.Fatalf("History = %+v, want dropped=6 and 2 points since epoch 8", hist)
+	}
+}
+
+// TestRecorderHistoryShape checks History's contract: empty names
+// export every series in registration order; unknown names still yield
+// an entry with a non-nil empty Points slice so JSON consumers see a
+// stable shape.
+func TestRecorderHistoryShape(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, "b_second", 2)
+	r.Record(1, "a_first", 1)
+
+	all := r.History(nil, 0)
+	if len(all) != 2 || all[0].Name != "b_second" || all[1].Name != "a_first" {
+		t.Fatalf("History(nil) = %+v, want registration order [b_second a_first]", all)
+	}
+
+	h := r.History([]string{"missing"}, 0)
+	if len(h) != 1 || h[0].Points == nil || len(h[0].Points) != 0 {
+		t.Fatalf("History(missing) = %+v, want one entry with empty non-nil points", h)
+	}
+	b, err := json.Marshal(h[0])
+	if err != nil || !strings.Contains(string(b), `"points":[]`) {
+		t.Fatalf("unknown series must serialize points as [], got %s (err %v)", b, err)
+	}
+}
+
+// TestRecorderWatchSample registers watched sources and checks Sample
+// reads each one per call.
+func TestRecorderWatchSample(t *testing.T) {
+	r := NewRecorder(0)
+	v := 0.0
+	r.Watch("watched", func() float64 { v++; return v })
+	r.Sample(1)
+	r.Sample(2)
+	pts := r.Series("watched").Points(0)
+	if len(pts) != 2 || pts[0] != (Point{1, 1}) || pts[1] != (Point{2, 2}) {
+		t.Fatalf("watched points = %+v", pts)
+	}
+}
+
+// TestRecorderNilSafety drives every method through nil receivers.
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(1, "x", 1)
+	r.Watch("x", func() float64 { return 1 })
+	r.Sample(1)
+	if r.Series("x") != nil || r.Names() != nil || r.History(nil, 0) != nil {
+		t.Fatal("nil recorder must return nil from every accessor")
+	}
+	var s *Series
+	s.Append(1, 1)
+	if s.Len() != 0 || s.Points(0) != nil || s.WindowSum() != 0 || s.Name() != "" {
+		t.Fatal("nil series must no-op")
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("nil series Last must report no sample")
+	}
+}
+
+// TestRecorderConcurrentAppendVsHistory races appends on many series
+// against History exports — the -race job proves the per-series locks
+// plus registry mutex cover the recorder's read and write sides.
+func TestRecorderConcurrentAppendVsHistory(t *testing.T) {
+	r := NewRecorder(64)
+	var writers sync.WaitGroup
+	names := []string{"a", "b", "c", "d"}
+	for _, name := range names {
+		writers.Add(1)
+		go func(name string) {
+			defer writers.Done()
+			for epoch := 0; epoch < 500; epoch++ {
+				r.Record(epoch, name, float64(epoch))
+			}
+		}(name)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.History(nil, 0)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	for _, name := range names {
+		if r.Series(name).Len() != 64 {
+			t.Fatalf("series %s holds %d samples, want full ring of 64", name, r.Series(name).Len())
+		}
+	}
+}
+
+// TestTimelineStoreBounds checks both bounds: per-slice rings evict
+// oldest entries with a dropped count, and the store evicts the
+// oldest-tracked slice wholesale past maxSlices.
+func TestTimelineStoreBounds(t *testing.T) {
+	ts := NewTimelineStore(2, 2)
+	for i := 0; i < 3; i++ {
+		ts.Append("s1", TimelineEntry{Epoch: i, Kind: KindSample, Event: "step"})
+	}
+	view, ok := ts.Get("s1")
+	if !ok || view.Dropped != 1 || len(view.Entries) != 2 || view.Entries[0].Epoch != 1 {
+		t.Fatalf("s1 view = %+v/%v, want dropped=1, entries at epochs 1,2", view, ok)
+	}
+
+	ts.Append("s2", TimelineEntry{Kind: KindDecision, Event: "admit"})
+	ts.Append("s3", TimelineEntry{Kind: KindDecision, Event: "admit"})
+	if _, ok := ts.Get("s1"); ok {
+		t.Fatal("s1 should have been evicted wholesale by the maxSlices bound")
+	}
+	if got := ts.Slices(); len(got) != 2 || got[0] != "s2" || got[1] != "s3" {
+		t.Fatalf("Slices = %v, want [s2 s3]", got)
+	}
+	if ts.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", ts.Evicted())
+	}
+}
+
+// TestTimelineNilSafety drives the store and timeline through nil
+// receivers.
+func TestTimelineNilSafety(t *testing.T) {
+	var ts *TimelineStore
+	ts.Append("x", TimelineEntry{})
+	if _, ok := ts.Get("x"); ok || ts.Slices() != nil || ts.Evicted() != 0 {
+		t.Fatal("nil store must no-op")
+	}
+	var tl *Timeline
+	tl.append(TimelineEntry{})
+	if tl.Entries() != nil || tl.Dropped() != 0 {
+		t.Fatal("nil timeline must no-op")
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantile estimate:
+// in-bucket interpolation, the +Inf overflow clamp, and the NaN edge
+// cases.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q", "", []float64{1, 2, 4})
+	// 2 observations in (0,1], 2 in (1,2], none in (2,4].
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5} {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1 (rank 2 falls at the first bucket's upper bound)", q)
+	}
+	if q := h.Quantile(0.75); q != 1.5 {
+		t.Fatalf("p75 = %v, want 1.5 (rank 3 interpolates halfway into (1,2])", q)
+	}
+	h.Observe(100) // overflow bucket
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("p100 = %v, want clamp to highest finite bound 4", q)
+	}
+	for name, q := range map[string]float64{
+		"empty":    r.Histogram("test_q_empty", "", nil).Quantile(0.5),
+		"nil":      (*Histogram)(nil).Quantile(0.5),
+		"negative": h.Quantile(-0.1),
+		"above":    h.Quantile(1.1),
+		"nan":      h.Quantile(math.NaN()),
+	} {
+		if !math.IsNaN(q) {
+			t.Fatalf("%s quantile = %v, want NaN", name, q)
+		}
+	}
+}
+
+// TestSLOEvaluate exercises ceiling and floor objectives across
+// healthy, breached, and no-data states, with burn rates.
+func TestSLOEvaluate(t *testing.T) {
+	e := NewSLOEngine()
+	vals := map[string]float64{
+		"ceiling-ok":     0.05,
+		"ceiling-breach": 0.2,
+		"floor-ok":       0.95,
+		"floor-breach":   0.5,
+		"nodata":         math.NaN(),
+	}
+	e.Declare(
+		Objective{Name: "ceiling-ok", Target: 0.1, SLI: func() float64 { return vals["ceiling-ok"] }},
+		Objective{Name: "ceiling-breach", Target: 0.1, SLI: func() float64 { return vals["ceiling-breach"] }},
+		Objective{Name: "floor-ok", Target: 0.9, Floor: true, SLI: func() float64 { return vals["floor-ok"] }},
+		Objective{Name: "floor-breach", Target: 0.9, Floor: true, SLI: func() float64 { return vals["floor-breach"] }},
+		Objective{Name: "nodata", Target: 0.1, SLI: func() float64 { return vals["nodata"] }},
+	)
+	byName := map[string]SLOStatus{}
+	statuses := e.Evaluate()
+	for i, st := range statuses {
+		byName[st.Name] = st
+		if i > 0 && statuses[i-1].Name > st.Name {
+			t.Fatalf("Evaluate not sorted: %s before %s", statuses[i-1].Name, st.Name)
+		}
+	}
+	checks := []struct {
+		name   string
+		status string
+		kind   string
+		burn   float64
+	}{
+		{"ceiling-ok", SLOHealthy, "ceiling", 0.5},
+		{"ceiling-breach", SLOBreached, "ceiling", 2},
+		{"floor-ok", SLOHealthy, "floor", 0.5},
+		{"floor-breach", SLOBreached, "floor", 5},
+		{"nodata", SLONoData, "ceiling", math.NaN()},
+	}
+	for _, c := range checks {
+		st, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("objective %s missing from Evaluate", c.name)
+		}
+		if st.Status != c.status || st.Kind != c.kind {
+			t.Fatalf("%s: status/kind = %s/%s, want %s/%s", c.name, st.Status, st.Kind, c.status, c.kind)
+		}
+		if math.IsNaN(c.burn) != math.IsNaN(st.BurnRate) ||
+			(!math.IsNaN(c.burn) && math.Abs(st.BurnRate-c.burn) > 1e-9) {
+			t.Fatalf("%s: burn = %v, want %v", c.name, st.BurnRate, c.burn)
+		}
+	}
+}
+
+// TestSLOStatusJSONNonFinite checks the /slo JSON shape survives NaN
+// and Inf indicator values: they serialize as null instead of failing
+// the whole encode.
+func TestSLOStatusJSONNonFinite(t *testing.T) {
+	e := NewSLOEngine()
+	e.Declare(
+		Objective{Name: "nodata", Target: 0.1, SLI: func() float64 { return math.NaN() }},
+		Objective{Name: "inf-burn", Target: 1, Floor: true, SLI: func() float64 { return 0.5 }},
+		Objective{Name: "fine", Target: 0.1, SLI: func() float64 { return 0.05 }},
+	)
+	b, err := json.Marshal(e.Evaluate())
+	if err != nil {
+		t.Fatalf("marshal /slo statuses: %v", err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, st := range back {
+		name := st["name"].(string)
+		switch name {
+		case "nodata":
+			if st["value"] != nil || st["burn_rate"] != nil {
+				t.Fatalf("nodata: value/burn must be null, got %v/%v", st["value"], st["burn_rate"])
+			}
+		case "inf-burn":
+			if st["burn_rate"] != nil {
+				t.Fatalf("inf-burn: infinite burn must be null, got %v", st["burn_rate"])
+			}
+		case "fine":
+			if st["value"] != 0.05 {
+				t.Fatalf("fine: value = %v, want 0.05", st["value"])
+			}
+		}
+	}
+}
+
+// TestSLOInstrument registers the atlas_slo_* gauge series and checks
+// the exported values track the objectives.
+func TestSLOInstrument(t *testing.T) {
+	e := NewSLOEngine()
+	sli := 0.125
+	e.Declare(Objective{Name: "obj", Target: 0.25, SLI: func() float64 { return sli }})
+	reg := NewRegistry()
+	e.Instrument(reg)
+
+	read := func() map[string]float64 {
+		out := map[string]float64{}
+		for _, s := range reg.Snapshot() {
+			if s.Labels["objective"] == "obj" {
+				out[s.Name] = s.Value
+			}
+		}
+		return out
+	}
+	got := read()
+	if got["atlas_slo_value"] != 0.125 || got["atlas_slo_target"] != 0.25 ||
+		got["atlas_slo_burn_rate"] != 0.5 || got["atlas_slo_healthy"] != 1 {
+		t.Fatalf("instrumented series = %+v", got)
+	}
+	sli = 0.75 // now breached; GaugeFuncs must re-read at export time
+	got = read()
+	if got["atlas_slo_healthy"] != 0 || got["atlas_slo_burn_rate"] != 3 {
+		t.Fatalf("post-breach series = %+v", got)
+	}
+}

@@ -124,7 +124,7 @@ func TestSnapshotConsistency(t *testing.T) {
 		case <-done:
 			wg.Wait()
 			snap := r.Snapshot()
-			byName := map[string]Series{}
+			byName := map[string]MetricSeries{}
 			for _, s := range snap {
 				byName[s.Name] = s
 			}
@@ -205,7 +205,7 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("snapshot does not marshal: %v", err)
 	}
-	var back []Series
+	var back []MetricSeries
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatalf("snapshot does not round-trip: %v", err)
 	}

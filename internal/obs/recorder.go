@@ -1,0 +1,248 @@
+package obs
+
+import "sync"
+
+// This file is the flight recorder's time-series half: fixed-capacity
+// ring buffers of (epoch, value) samples the serve daemon and the batch
+// fleet controller append fleet aggregates into once per epoch, and the
+// /history endpoint reads back. Like the rest of the package it is
+// result-invariant by construction — recording reads already-computed
+// aggregates, consumes no randomness, and feeds nothing back into a
+// decision path.
+
+// Point is one recorded sample: the control-plane epoch it was taken at
+// and the value.
+type Point struct {
+	Epoch int     `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+// Series is a fixed-capacity ring buffer of Points. Appends are O(1)
+// and overwrite the oldest sample once the capacity is reached, so a
+// long-lived daemon holds the most recent window at bounded memory. A
+// nil *Series no-ops on every method.
+type Series struct {
+	mu      sync.Mutex
+	name    string
+	buf     []Point
+	head    int // index of the oldest sample
+	n       int // samples held (<= cap(buf))
+	dropped uint64
+}
+
+// Name returns the series name.
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Append records one sample, evicting the oldest when full.
+func (s *Series) Append(epoch int, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < len(s.buf) {
+		s.buf[(s.head+s.n)%len(s.buf)] = Point{Epoch: epoch, Value: v}
+		s.n++
+		return
+	}
+	s.buf[s.head] = Point{Epoch: epoch, Value: v}
+	s.head = (s.head + 1) % len(s.buf)
+	s.dropped++
+}
+
+// Points returns the retained samples with Epoch >= since, oldest
+// first. The result is a copy; callers may retain it.
+func (s *Series) Points(since int) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Point
+	for i := 0; i < s.n; i++ {
+		p := s.buf[(s.head+i)%len(s.buf)]
+		if p.Epoch >= since {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent sample (ok=false on an empty series).
+func (s *Series) Last() (Point, bool) {
+	if s == nil {
+		return Point{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.buf[(s.head+s.n-1)%len(s.buf)], true
+}
+
+// WindowSum sums the retained values — the flight recorder's window is
+// the ring capacity, so this is "the sum over the recorded history".
+func (s *Series) WindowSum() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := 0.0
+	for i := 0; i < s.n; i++ {
+		sum += s.buf[(s.head+i)%len(s.buf)].Value
+	}
+	return sum
+}
+
+// Len reports how many samples the series currently holds.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// SeriesHistory is one series' exported window — the JSON shape GET
+// /history returns per requested series.
+type SeriesHistory struct {
+	Name string `json:"name"`
+	// Dropped counts samples evicted by the ring bound since start, so
+	// a consumer can tell a short history from a truncated one.
+	Dropped uint64  `json:"dropped,omitempty"`
+	Points  []Point `json:"points"`
+}
+
+// Recorder owns the named series plus an optional set of watched
+// sources sampled on every Sample call. Registration and lookup take a
+// mutex; appends lock only the one series touched. A nil *Recorder
+// no-ops on every method, so an unrecorded run pays a nil check.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*Series
+	order    []string
+	watches  []watch
+}
+
+type watch struct {
+	name string
+	fn   func() float64
+}
+
+// DefaultSeriesCap is the per-series ring capacity when NewRecorder is
+// given a non-positive one: enough for the recent operational window
+// without unbounded growth.
+const DefaultSeriesCap = 1024
+
+// NewRecorder returns a recorder whose series each retain up to
+// capacity samples (<= 0 selects DefaultSeriesCap).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCap
+	}
+	return &Recorder{capacity: capacity, series: map[string]*Series{}}
+}
+
+// Series finds or creates the named series. Nil recorder returns a nil
+// (no-op) series.
+func (r *Recorder) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesLocked(name)
+}
+
+func (r *Recorder) seriesLocked(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{name: name, buf: make([]Point, r.capacity)}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// Record appends one sample to the named series (creating it on first
+// use). No-op on a nil recorder.
+func (r *Recorder) Record(epoch int, name string, v float64) {
+	r.Series(name).Append(epoch, v)
+}
+
+// Watch registers a source sampled into the named series on every
+// Sample call — the bridge for gauges and counters a subsystem already
+// maintains. No-op on a nil recorder.
+func (r *Recorder) Watch(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesLocked(name)
+	r.watches = append(r.watches, watch{name: name, fn: fn})
+}
+
+// Sample reads every watched source once and appends the values at the
+// given epoch. No-op on a nil recorder.
+func (r *Recorder) Sample(epoch int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	watches := append([]watch(nil), r.watches...)
+	r.mu.Unlock()
+	for _, w := range watches {
+		r.Series(w.name).Append(epoch, w.fn())
+	}
+}
+
+// Names returns the registered series names in registration order.
+func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// History exports the requested series (nil or empty names = all, in
+// registration order), each restricted to samples with Epoch >= since.
+// Unknown names yield an entry with no points, so a consumer polling a
+// fixed series list gets a stable shape. Nil recorder returns nil.
+func (r *Recorder) History(names []string, since int) []SeriesHistory {
+	if r == nil {
+		return nil
+	}
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	out := make([]SeriesHistory, 0, len(names))
+	for _, name := range names {
+		r.mu.Lock()
+		s := r.series[name]
+		r.mu.Unlock()
+		h := SeriesHistory{Name: name}
+		if s != nil {
+			h.Points = s.Points(since)
+			s.mu.Lock()
+			h.Dropped = s.dropped
+			s.mu.Unlock()
+		}
+		if h.Points == nil {
+			h.Points = []Point{}
+		}
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file is the flight recorder's judgement half: declarative
+// service-level objectives evaluated on demand over live metric
+// handles and recorded series, with SRE-style burn rates (how fast the
+// error budget is being spent: 1.0 = exactly on target, >1 = burning).
+// Objectives never feed back into decisions — like the rest of the
+// package they observe, post-decision.
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket that contains
+// the target rank — the same estimate Prometheus histogram_quantile
+// computes. Values landing in the +Inf overflow bucket clamp to the
+// highest finite bound. Returns NaN when the histogram is nil or empty
+// or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.buckets {
+		prev := cum
+		cum += h.buckets[i].Load()
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate
+			// toward; clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		inBucket := cum - prev
+		if inBucket == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Objective is one declarative SLO: a named service-level indicator
+// with a target it must stay under (ceiling) or over (floor).
+type Objective struct {
+	// Name identifies the objective in /slo and the atlas_slo_* series.
+	Name string
+	// Help is a one-line human description.
+	Help string
+	// Target is the threshold. With Floor=false the SLI must stay <=
+	// Target (a ceiling: violation rates, p95 latency); with Floor=true
+	// it must stay >= Target (a floor: placement ratio, availability).
+	Target float64
+	// Floor selects floor semantics (see Target).
+	Floor bool
+	// SLI reads the current indicator value. Must be safe to call from
+	// any goroutine (the SLO engine evaluates at HTTP/export time).
+	// Return NaN when no data exists yet.
+	SLI func() float64
+}
+
+// SLO health states.
+const (
+	SLOHealthy  = "healthy"
+	SLOBreached = "breached"
+	SLONoData   = "no_data"
+)
+
+// SLOStatus is one objective's evaluation — the JSON shape GET /slo
+// returns per objective.
+type SLOStatus struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Target float64 `json:"target"`
+	// Kind is "ceiling" (SLI must stay <= target) or "floor" (>=).
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	// BurnRate is the error-budget burn: for ceilings value/target, for
+	// floors (1-value)/(1-target). 1.0 means exactly on target; above 1
+	// the objective is breached and the budget is burning.
+	BurnRate float64 `json:"burn_rate"`
+	Status   string  `json:"status"`
+}
+
+// MarshalJSON emits null for NaN and ±Inf indicator values —
+// encoding/json rejects non-finite floats, and a no-data objective must
+// still serialize.
+func (s SLOStatus) MarshalJSON() ([]byte, error) {
+	type alias SLOStatus
+	return json.Marshal(struct {
+		alias
+		Value    any `json:"value"`
+		BurnRate any `json:"burn_rate"`
+	}{alias: alias(s), Value: finiteOrNull(s.Value), BurnRate: finiteOrNull(s.BurnRate)})
+}
+
+func finiteOrNull(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return v
+}
+
+// SLOEngine holds the declared objectives and evaluates them on
+// demand. A nil *SLOEngine no-ops on every method.
+type SLOEngine struct {
+	mu         sync.Mutex
+	objectives []Objective
+}
+
+// NewSLOEngine returns an engine with no objectives declared.
+func NewSLOEngine() *SLOEngine { return &SLOEngine{} }
+
+// Declare adds objectives. Safe to call concurrently with Evaluate.
+func (e *SLOEngine) Declare(objs ...Objective) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objectives = append(e.objectives, objs...)
+}
+
+func (e *SLOEngine) snapshot() []Objective {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Objective(nil), e.objectives...)
+}
+
+// burnRate computes the error-budget burn for value against a target.
+func burnRate(value, target float64, floor bool) float64 {
+	if math.IsNaN(value) {
+		return math.NaN()
+	}
+	if floor {
+		// Budget is the allowed shortfall below 1.0.
+		if target >= 1 {
+			if value >= 1 {
+				return 1
+			}
+			return math.Inf(1)
+		}
+		return (1 - value) / (1 - target)
+	}
+	if target <= 0 {
+		if value <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return value / target
+}
+
+func evaluate(o Objective) SLOStatus {
+	v := math.NaN()
+	if o.SLI != nil {
+		v = o.SLI()
+	}
+	kind := "ceiling"
+	if o.Floor {
+		kind = "floor"
+	}
+	st := SLOStatus{
+		Name:     o.Name,
+		Help:     o.Help,
+		Target:   o.Target,
+		Kind:     kind,
+		Value:    v,
+		BurnRate: burnRate(v, o.Target, o.Floor),
+	}
+	switch {
+	case math.IsNaN(v):
+		st.Status = SLONoData
+	case o.Floor && v < o.Target, !o.Floor && v > o.Target:
+		st.Status = SLOBreached
+	default:
+		st.Status = SLOHealthy
+	}
+	return st
+}
+
+// Evaluate reads every objective's SLI once and returns the statuses
+// sorted by name. Nil engine returns nil.
+func (e *SLOEngine) Evaluate() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	objs := e.snapshot()
+	out := make([]SLOStatus, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, evaluate(o))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Instrument registers atlas_slo_* gauge series (value, target,
+// burn_rate, healthy) for every currently declared objective, labeled
+// by objective name and collected at export time. Call after Declare.
+// No-op on a nil engine or registry.
+func (e *SLOEngine) Instrument(reg *Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	for _, o := range e.snapshot() {
+		o := o
+		lbl := L("objective", o.Name)
+		reg.GaugeFunc("atlas_slo_value",
+			"Current service-level indicator value per objective.",
+			func() float64 { return evaluate(o).Value }, lbl)
+		reg.GaugeFunc("atlas_slo_target",
+			"Declared target per objective.",
+			func() float64 { return o.Target }, lbl)
+		reg.GaugeFunc("atlas_slo_burn_rate",
+			"Error-budget burn rate per objective (1.0 = on target).",
+			func() float64 { return evaluate(o).BurnRate }, lbl)
+		reg.GaugeFunc("atlas_slo_healthy",
+			"1 when the objective is met, 0 when breached or no data.",
+			func() float64 {
+				if evaluate(o).Status == SLOHealthy {
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
+}

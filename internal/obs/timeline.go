@@ -1,0 +1,212 @@
+package obs
+
+import "sync"
+
+// This file is the flight recorder's per-slice half: a bounded record
+// of every lifecycle-relevant moment in one slice's life — engine
+// decisions (admit/reject/place/resize/migrate/release/suspend), serve
+// lifecycle transitions, and per-epoch delivered-QoE / envelope
+// samples from the online loop. Entries carry the engine's decision
+// trace sequence number (Seq) and the serve event-log sequence
+// (LogSeq) where applicable, so a timeline cross-references -trace
+// lines and /events records directly.
+
+// Timeline entry kinds.
+const (
+	// KindDecision marks an engine decision about the slice
+	// (admit/reject/place/resize/migrate/release/suspend/drain).
+	KindDecision = "decision"
+	// KindSample marks a per-epoch online sample: delivered QoE plus
+	// the applied envelope demand.
+	KindSample = "sample"
+	// KindTransition marks a serve-plane lifecycle transition.
+	KindTransition = "transition"
+)
+
+// TimelineEntry is one moment in a slice's life.
+type TimelineEntry struct {
+	// Seq is the engine decision-trace sequence number, shared with the
+	// -trace slog records so the two streams cross-reference. Zero when
+	// the entry did not originate from an engine decision.
+	Seq uint64 `json:"seq,omitempty"`
+	// Epoch is the control-plane epoch (for decisions/transitions) or
+	// the slice's own step index (for samples).
+	Epoch int `json:"epoch"`
+	// Kind is one of KindDecision, KindSample, KindTransition.
+	Kind string `json:"kind"`
+	// Event names what happened: admit, reject, place, resize,
+	// resize_migrate, release, suspend, drain, step, or a lifecycle
+	// state name for transitions.
+	Event string `json:"event"`
+	// Site is the hosting site, when known.
+	Site string `json:"site,omitempty"`
+	// Detail carries event-specific context (rejection reason, target
+	// state, migration source site).
+	Detail string `json:"detail,omitempty"`
+	// QoE is the delivered QoE for sample entries (raw model output,
+	// before any placement locality toll).
+	QoE float64 `json:"qoe,omitempty"`
+	// Demand is the applied envelope demand [ran_prb, tn_mbps, cn_cpu]
+	// for sample and resize entries.
+	Demand []float64 `json:"demand,omitempty"`
+	// LogSeq is the serve event-log sequence number for transition
+	// entries, cross-referencing GET /events.
+	LogSeq int `json:"log_seq,omitempty"`
+}
+
+// Timeline is a bounded ring of entries for one slice. Appends beyond
+// the capacity evict the oldest entry and bump Dropped, so a long-lived
+// slice keeps its most recent history plus an honest truncation count.
+type Timeline struct {
+	mu      sync.Mutex
+	buf     []TimelineEntry
+	head    int
+	n       int
+	dropped uint64
+}
+
+func (t *Timeline) append(e TimelineEntry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < len(t.buf) {
+		t.buf[(t.head+t.n)%len(t.buf)] = e
+		t.n++
+		return
+	}
+	t.buf[t.head] = e
+	t.head = (t.head + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Entries returns a copy of the retained entries, oldest first.
+func (t *Timeline) Entries() []TimelineEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimelineEntry, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.head+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped reports how many entries the ring bound has evicted.
+func (t *Timeline) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// TimelineView is one slice's exported timeline — the JSON shape GET
+// /slices/{id}/timeline returns, and the per-slice file shape the serve
+// drain flushes next to the event log.
+type TimelineView struct {
+	Slice   string          `json:"slice"`
+	Dropped uint64          `json:"dropped,omitempty"`
+	Entries []TimelineEntry `json:"entries"`
+}
+
+// Defaults for NewTimelineStore when given non-positive bounds.
+const (
+	DefaultTimelineCap = 512
+	DefaultMaxSlices   = 4096
+)
+
+// TimelineStore holds the per-slice timelines, bounded two ways: each
+// timeline keeps at most perSlice entries, and the store tracks at most
+// maxSlices slices (the oldest-tracked slice is evicted wholesale when
+// a new one would exceed the bound). Appends for distinct slices
+// contend only on the map lookup; a nil *TimelineStore no-ops
+// everywhere so untracked runs pay a nil check.
+type TimelineStore struct {
+	mu        sync.Mutex
+	perSlice  int
+	maxSlices int
+	slices    map[string]*Timeline
+	order     []string
+	evicted   uint64
+}
+
+// NewTimelineStore returns a store keeping up to perSlice entries for
+// each of up to maxSlices slices (non-positive selects the defaults).
+func NewTimelineStore(perSlice, maxSlices int) *TimelineStore {
+	if perSlice <= 0 {
+		perSlice = DefaultTimelineCap
+	}
+	if maxSlices <= 0 {
+		maxSlices = DefaultMaxSlices
+	}
+	return &TimelineStore{
+		perSlice:  perSlice,
+		maxSlices: maxSlices,
+		slices:    map[string]*Timeline{},
+	}
+}
+
+func (ts *TimelineStore) timeline(id string) *Timeline {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.slices[id]
+	if !ok {
+		for len(ts.slices) >= ts.maxSlices && len(ts.order) > 0 {
+			delete(ts.slices, ts.order[0])
+			ts.order = ts.order[1:]
+			ts.evicted++
+		}
+		t = &Timeline{buf: make([]TimelineEntry, ts.perSlice)}
+		ts.slices[id] = t
+		ts.order = append(ts.order, id)
+	}
+	return t
+}
+
+// Append records one entry on the slice's timeline, creating it on
+// first use. No-op on a nil store.
+func (ts *TimelineStore) Append(id string, e TimelineEntry) {
+	ts.timeline(id).append(e)
+}
+
+// Get returns the slice's timeline view (ok=false if untracked).
+func (ts *TimelineStore) Get(id string) (TimelineView, bool) {
+	if ts == nil {
+		return TimelineView{}, false
+	}
+	ts.mu.Lock()
+	t := ts.slices[id]
+	ts.mu.Unlock()
+	if t == nil {
+		return TimelineView{}, false
+	}
+	return TimelineView{Slice: id, Dropped: t.Dropped(), Entries: t.Entries()}, true
+}
+
+// Slices returns the tracked slice IDs, oldest-tracked first.
+func (ts *TimelineStore) Slices() []string {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]string(nil), ts.order...)
+}
+
+// Evicted reports how many whole slices the maxSlices bound dropped.
+func (ts *TimelineStore) Evicted() uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.evicted
+}

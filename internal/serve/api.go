@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/atlas-slicing/atlas/internal/fleet"
+	"github.com/atlas-slicing/atlas/internal/obs"
 	"github.com/atlas-slicing/atlas/internal/slicing"
 	"github.com/atlas-slicing/atlas/internal/store"
 )
@@ -150,6 +151,21 @@ type StatsView struct {
 
 	Store            StoreStatsView `json:"store"`
 	StoreDiagnostics []string       `json:"store_diagnostics,omitempty"`
+}
+
+// HistoryView is the GET /history body: the requested flight-recorder
+// series plus the full list of recorded series names, so a client can
+// discover what it may ask for.
+type HistoryView struct {
+	Series    []obs.SeriesHistory `json:"series"`
+	Available []string            `json:"available"`
+}
+
+// SLOView is the GET /slo body: every declared objective's evaluation
+// plus a breach count for at-a-glance health.
+type SLOView struct {
+	Objectives []obs.SLOStatus `json:"objectives"`
+	Breached   int             `json:"breached"`
 }
 
 // apiError is the JSON error body every non-2xx response carries.

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
+)
+
+// This file wires the flight recorder into the daemon: per-epoch fleet
+// time series behind GET /history, per-slice timelines behind GET
+// /slices/{id}/timeline (flushed to disk on drain), and the declarative
+// SLO engine behind GET /slo and the atlas_slo_* metric series.
+
+// Flight exposes the fleet time-series recorder (read-side: GET
+// /history). Series rings are internally locked, so handlers read them
+// without a reconciler round-trip.
+func (r *Reconciler) Flight() *obs.Recorder { return r.flight }
+
+// Timelines exposes the per-slice timeline store (read-side: GET
+// /slices/{id}/timeline).
+func (r *Reconciler) Timelines() *obs.TimelineStore { return r.timelines }
+
+// SLO exposes the objective engine (read-side: GET /slo).
+func (r *Reconciler) SLO() *obs.SLOEngine { return r.slo }
+
+// Default SLO targets. Declarative and deliberately opinionated: a
+// half-second admission path, one QoE miss in ten served slice-epochs,
+// and nine in ten placement attempts hosted.
+const (
+	sloAdmissionP95Target  = 0.5
+	sloQoEViolationTarget  = 0.1
+	sloPlacementRatioFloor = 0.9
+)
+
+// declareSLOs builds the daemon's objective set. Every SLI reads
+// concurrency-safe state (atomic counters, locked rings), so the
+// engine evaluates at HTTP/export time without touching the reconciler
+// goroutine.
+func (r *Reconciler) declareSLOs() *obs.SLOEngine {
+	e := obs.NewSLOEngine()
+	// The admission-latency SLI reads the same histogram the engine
+	// observes into: re-registering the family name returns the shared
+	// handle.
+	handle := r.reg.Histogram("atlas_admission_handle_seconds",
+		"Wall time of one arrival's full admission path.", nil)
+	e.Declare(obs.Objective{
+		Name:   "admission-p95-latency",
+		Help:   "95th percentile of the arrival admission path, seconds.",
+		Target: sloAdmissionP95Target,
+		SLI:    func() float64 { return handle.Quantile(0.95) },
+	})
+	for _, ac := range r.classes {
+		class := ac.Class.Name
+		served := r.flight.Series("served:" + class)
+		violations := r.flight.Series("violations:" + class)
+		e.Declare(obs.Objective{
+			Name:   "qoe-violation-rate:" + class,
+			Help:   "Fraction of served slice-epochs whose delivered QoE missed the class SLA, over the recorded window.",
+			Target: sloQoEViolationTarget,
+			SLI: func() float64 {
+				s := served.WindowSum()
+				if s == 0 {
+					return math.NaN()
+				}
+				return violations.WindowSum() / s
+			},
+		})
+	}
+	e.Declare(obs.Objective{
+		Name:   "placement-ratio",
+		Help:   "Fraction of placement attempts hosted at a site (no data on single-pool runs).",
+		Target: sloPlacementRatioFloor,
+		Floor:  true,
+		SLI: func() float64 {
+			c := r.eng.Counters()
+			if c.PlacementAttempts == 0 {
+				return math.NaN()
+			}
+			return float64(c.Placements) / float64(c.PlacementAttempts)
+		},
+	})
+	return e
+}
+
+// recordEpoch samples one serving epoch's already-computed aggregates
+// into the flight recorder: census, delivered QoE (locality toll
+// applied), utilization, and the per-class served/violation counts the
+// QoE SLOs window over. ids and qoes are the stepped OPERATING slices
+// and their tolled QoE this epoch (NaN = not served); both may be
+// empty. Runs on the reconciler goroutine, post-step — no RNG, no
+// feedback.
+func (r *Reconciler) recordEpoch(live int, ids []string, qoes []float64) {
+	epoch := r.epoch
+	r.flight.Record(epoch, "live", float64(live))
+	r.flight.Record(epoch, "operating", float64(len(ids)))
+	c := r.eng.Counters()
+	acc := 1.0
+	if c.Arrivals > 0 {
+		acc = c.AcceptanceRatio
+	}
+	r.flight.Record(epoch, "acceptance_ratio", acc)
+
+	served := map[string]float64{}
+	violated := map[string]float64{}
+	qoeSum, value := 0.0, 0.0
+	n := 0
+	for i, id := range ids {
+		if i >= len(qoes) || math.IsNaN(qoes[i]) {
+			continue
+		}
+		rec := r.slices[id]
+		qoe := qoes[i]
+		qoeSum += qoe
+		value += rec.value * qoe
+		n++
+		served[rec.class]++
+		if qoe < r.classes[rec.classIdx].Class.SLA.Availability {
+			violated[rec.class]++
+		}
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = qoeSum / float64(n)
+	}
+	r.flight.Record(epoch, "qoe_mean", mean)
+	r.flight.Record(epoch, "qoe_value", value)
+	for _, ac := range r.classes {
+		class := ac.Class.Name
+		r.flight.Record(epoch, "served:"+class, served[class])
+		r.flight.Record(epoch, "violations:"+class, violated[class])
+	}
+
+	if r.sys.Ledger != nil {
+		u := r.sys.Ledger.Utilization()
+		r.flight.Record(epoch, "util_ran", u.RAN)
+		r.flight.Record(epoch, "util_tn", u.TN)
+		r.flight.Record(epoch, "util_cn", u.CN)
+		if r.topo != nil {
+			for _, su := range r.sys.Ledger.SiteUtilizations() {
+				r.flight.Record(epoch, "site_ran_util:"+string(su.Site), su.RAN)
+			}
+		}
+	}
+}
+
+// flushTimelines writes every tracked slice's timeline as one JSON file
+// under <event-log dir>/timelines/, fsync'd — the drain-time flight
+// record a postmortem reads next to the replayable event log. A
+// memory-only daemon (no LogPath) skips the flush.
+func (r *Reconciler) flushTimelines() error {
+	if r.logPath == "" {
+		return nil
+	}
+	dir := filepath.Join(filepath.Dir(r.logPath), "timelines")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: timeline dir: %w", err)
+	}
+	var firstErr error
+	for _, id := range r.timelines.Slices() {
+		view, ok := r.timelines.Get(id)
+		if !ok {
+			continue
+		}
+		b, err := json.MarshalIndent(view, "", "  ")
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: timeline %s: %w", id, err)
+			}
+			continue
+		}
+		path := filepath.Join(dir, url.PathEscape(id)+".json")
+		if err := writeFileSync(path, append(b, '\n')); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: timeline %s: %w", id, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// writeFileSync writes data to path and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

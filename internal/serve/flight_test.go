@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
+	"github.com/atlas-slicing/atlas/internal/slicing"
+)
+
+// TestHistoryEndpoint drives a slice through a few serving epochs and
+// checks GET /history: every fleet series carries one point per epoch,
+// the ?series and ?since filters apply, and a bad since is a 400.
+func TestHistoryEndpoint(t *testing.T) {
+	// A finite capacity gives the daemon a ledger, so the util_* series
+	// record too.
+	h := startHarness(t, Config{Capacity: slicing.CellCapacity(2)})
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "s1", Class: "video-analytics"}, &v); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := h.call("POST", "/slices/s1/activate", nil, &v); code != http.StatusOK {
+		t.Fatalf("activate: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.srv.Reconciler().StepNow(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+
+	var hist HistoryView
+	if code := h.call("GET", "/history", nil, &hist); code != http.StatusOK {
+		t.Fatalf("GET /history: %d", code)
+	}
+	byName := map[string][]obs.Point{}
+	for _, s := range hist.Series {
+		byName[s.Name] = s.Points
+	}
+	for _, name := range []string{"live", "operating", "acceptance_ratio", "qoe_mean", "qoe_value",
+		"served:video-analytics", "violations:video-analytics", "util_ran"} {
+		if len(byName[name]) != 3 {
+			t.Fatalf("series %q has %d points, want 3 (one per epoch): %+v", name, len(byName[name]), hist)
+		}
+	}
+	if last := byName["operating"][2]; last.Value != 1 {
+		t.Fatalf("operating last point = %+v, want value 1", last)
+	}
+	for _, name := range hist.Available {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("available lists %q but series body lacks it", name)
+		}
+	}
+
+	// Filters: one named series, restricted to the last epoch.
+	if code := h.call("GET", "/history?series=qoe_mean&since=2", nil, &hist); code != http.StatusOK {
+		t.Fatalf("filtered /history: %d", code)
+	}
+	if len(hist.Series) != 1 || hist.Series[0].Name != "qoe_mean" || len(hist.Series[0].Points) != 1 {
+		t.Fatalf("filtered history = %+v, want qoe_mean with 1 point", hist.Series)
+	}
+	// Unknown names keep a stable shape; bad since is the client's fault.
+	if code := h.call("GET", "/history?series=nope", nil, &hist); code != http.StatusOK || len(hist.Series[0].Points) != 0 {
+		t.Fatalf("unknown series: code %d body %+v", code, hist.Series)
+	}
+	if code := h.call("GET", "/history?since=abc", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad since: %d, want 400", code)
+	}
+}
+
+// TestTimelineEndpoint walks a slice through the full lifecycle and
+// checks its timeline: one transition entry per event-log record
+// (cross-referenced by LogSeq), decision entries from the engine with
+// trace sequence numbers, and per-epoch samples; unknown slices 404.
+func TestTimelineEndpoint(t *testing.T) {
+	h := startHarness(t, Config{})
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "s1", Class: "video-analytics"}, &v); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	h.call("POST", "/slices/s1/activate", nil, &v)
+	if err := h.srv.Reconciler().StepNow(); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	h.call("POST", "/slices/s1/modify", ModifyRequest{Traffic: 2}, &v)
+	h.call("POST", "/slices/s1/deactivate", nil, &v)
+	h.call("DELETE", "/slices/s1", nil, &v)
+
+	var events []Event
+	h.call("GET", "/events", nil, &events)
+	var tl obs.TimelineView
+	if code := h.call("GET", "/slices/s1/timeline", nil, &tl); code != http.StatusOK {
+		t.Fatalf("GET timeline: %d", code)
+	}
+	if tl.Slice != "s1" {
+		t.Fatalf("timeline slice = %q", tl.Slice)
+	}
+
+	transitions := map[int]obs.TimelineEntry{}
+	decisions, samples := 0, 0
+	for _, e := range tl.Entries {
+		switch e.Kind {
+		case obs.KindTransition:
+			transitions[e.LogSeq] = e
+		case obs.KindDecision:
+			decisions++
+			if e.Seq == 0 {
+				t.Fatalf("decision entry without trace seq: %+v", e)
+			}
+		case obs.KindSample:
+			samples++
+		}
+	}
+	// Every event-log record for s1 must have exactly one transition
+	// entry cross-referencing its seq.
+	for _, ev := range events {
+		if ev.Slice != "s1" {
+			continue
+		}
+		tr, ok := transitions[ev.Seq]
+		if !ok {
+			t.Fatalf("event seq %d (%s → %s) has no timeline transition; timeline: %+v", ev.Seq, ev.Op, ev.To, tl.Entries)
+		}
+		if tr.Event != string(ev.To) {
+			t.Fatalf("transition for seq %d names %q, event log says %q", ev.Seq, tr.Event, ev.To)
+		}
+		delete(transitions, ev.Seq)
+	}
+	if len(transitions) != 0 {
+		t.Fatalf("timeline has transitions with no matching event: %+v", transitions)
+	}
+	// The admit and the modify resize both go through the engine.
+	if decisions < 2 {
+		t.Fatalf("timeline has %d decision entries, want at least admit + resize", decisions)
+	}
+	if samples != 1 {
+		t.Fatalf("timeline has %d sample entries, want 1 (one serving epoch)", samples)
+	}
+
+	if code := h.call("GET", "/slices/nope/timeline", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown timeline: %d, want 404", code)
+	}
+}
+
+// TestSLOEndpoint checks GET /slo names every declared objective, that
+// admission latency has data once an arrival was handled, and that the
+// atlas_slo_* series reach /metrics.
+func TestSLOEndpoint(t *testing.T) {
+	h := startHarness(t, Config{})
+	var v SliceView
+	if code := h.call("POST", "/slices", CreateRequest{ID: "s1", Class: "video-analytics"}, &v); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	h.call("POST", "/slices/s1/activate", nil, &v)
+	if err := h.srv.Reconciler().StepNow(); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+
+	var slo SLOView
+	if code := h.call("GET", "/slo", nil, &slo); code != http.StatusOK {
+		t.Fatalf("GET /slo: %d", code)
+	}
+	byName := map[string]obs.SLOStatus{}
+	for _, o := range slo.Objectives {
+		byName[o.Name] = o
+	}
+	for _, name := range []string{"admission-p95-latency", "qoe-violation-rate:video-analytics", "placement-ratio"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("objective %q missing from /slo: %+v", name, slo.Objectives)
+		}
+	}
+	if st := byName["admission-p95-latency"].Status; st != obs.SLOHealthy && st != obs.SLOBreached {
+		t.Fatalf("admission latency has no data after an arrival: %+v", byName["admission-p95-latency"])
+	}
+	if st := byName["qoe-violation-rate:video-analytics"].Status; st == obs.SLONoData {
+		t.Fatalf("QoE violation rate has no data after a served epoch: %+v", byName["qoe-violation-rate:video-analytics"])
+	}
+	// Single-pool run: no placement attempts, so the floor has no data.
+	if st := byName["placement-ratio"].Status; st != obs.SLONoData {
+		t.Fatalf("placement ratio on a single pool = %q, want no_data", st)
+	}
+
+	resp, err := http.Get(h.http.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, want := range []string{"atlas_slo_value", "atlas_slo_burn_rate", "atlas_slo_healthy"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestDrainFlushesTimelines checks the SIGTERM drain writes every
+// tracked slice's timeline, with a drain entry, as fsync'd JSON files
+// next to the event log.
+func TestDrainFlushesTimelines(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Classes: testCatalog(),
+		Tick:    time.Hour,
+		Tune:    tinyTune,
+		Seed:    7,
+		LogPath: filepath.Join(dir, "events.jsonl"),
+	}
+	srv, err := New("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Reconciler().Run(ctx) }()
+	ts := httptest.NewServer(srv.Handler())
+
+	body, _ := json.Marshal(CreateRequest{ID: "s1", Class: "video-analytics"})
+	resp, err := http.Post(ts.URL+"/slices", "application/json", bytes.NewReader(body))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/slices/s1/activate", "application/json", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("activate: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+
+	ts.Close()
+	cancel()
+	<-done
+
+	path := filepath.Join(dir, "timelines", url.PathEscape("s1")+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("drained timeline file: %v", err)
+	}
+	var view obs.TimelineView
+	if err := json.Unmarshal(b, &view); err != nil {
+		t.Fatalf("drained timeline parse: %v", err)
+	}
+	if view.Slice != "s1" || len(view.Entries) == 0 {
+		t.Fatalf("drained timeline = %+v", view)
+	}
+	drained := false
+	for _, e := range view.Entries {
+		if e.Event == "drain" {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatalf("drained timeline lacks the drain entry: %+v", view.Entries)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"time"
 
 	"github.com/atlas-slicing/atlas/internal/core"
@@ -59,6 +60,17 @@ type Config struct {
 	// resize/release decision (nil = off). Both are result-invariant.
 	Obs   *obs.Registry
 	Trace *slog.Logger
+	// TraceSync, when set, is called by the SIGTERM drain after the last
+	// decision record is written — the hook the CLI uses to flush and
+	// fsync a -trace-file sink alongside the event log.
+	TraceSync func() error
+	// HistoryCap bounds each flight-recorder time series (0 =
+	// obs.DefaultSeriesCap); TimelineCap bounds each per-slice timeline
+	// (0 = obs.DefaultTimelineCap). The daemon always records — the
+	// flight recorder backs GET /history, /slices/{id}/timeline, and
+	// /slo.
+	HistoryCap  int
+	TimelineCap int
 	// DebugAddr exposes net/http/pprof on its own listener ("" = off).
 	DebugAddr string
 }
@@ -136,6 +148,16 @@ type Reconciler struct {
 	met *serveMetrics
 	trc *slog.Logger
 
+	// Flight-recorder surfaces: per-epoch fleet time series (GET
+	// /history), per-slice timelines (GET /slices/{id}/timeline), and
+	// the SLO engine (GET /slo). traceSync flushes the CLI's trace-file
+	// sink on drain; logPath anchors where drained timelines land.
+	flight    *obs.Recorder
+	timelines *obs.TimelineStore
+	slo       *obs.SLOEngine
+	traceSync func() error
+	logPath   string
+
 	cmds   chan command
 	done   chan struct{}
 	epoch  int
@@ -202,6 +224,10 @@ func NewReconciler(cfg Config) (*Reconciler, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// The flight recorder is always on, like the registry: bounded ring
+	// buffers are the price of answering "how did we get here".
+	flight := obs.NewRecorder(cfg.HistoryCap)
+	timelines := obs.NewTimelineStore(cfg.TimelineCap, 0)
 	eng := fleet.NewEngine(sys, fleet.EngineConfig{
 		Policy:        cfg.Policy,
 		Placement:     cfg.Placement,
@@ -210,22 +236,30 @@ func NewReconciler(cfg Config) (*Reconciler, error) {
 		DownscalePool: cfg.DownscalePool,
 		Obs:           reg,
 		Trace:         cfg.Trace,
+		Timeline:      timelines,
 	})
-	return &Reconciler{
-		sys:     sys,
-		eng:     eng,
-		log:     log,
-		classes: append([]fleet.ArrivalClass(nil), cfg.Classes...),
-		topo:    cfg.Topology,
-		tick:    cfg.Tick,
-		workers: cfg.Workers,
-		reg:     reg,
-		met:     newServeMetrics(reg, log),
-		trc:     cfg.Trace,
-		cmds:    make(chan command, 64),
-		done:    make(chan struct{}),
-		slices:  map[string]*sliceRec{},
-	}, nil
+	r := &Reconciler{
+		sys:       sys,
+		eng:       eng,
+		log:       log,
+		classes:   append([]fleet.ArrivalClass(nil), cfg.Classes...),
+		topo:      cfg.Topology,
+		tick:      cfg.Tick,
+		workers:   cfg.Workers,
+		reg:       reg,
+		met:       newServeMetrics(reg, log),
+		trc:       cfg.Trace,
+		flight:    flight,
+		timelines: timelines,
+		traceSync: cfg.TraceSync,
+		logPath:   cfg.LogPath,
+		cmds:      make(chan command, 64),
+		done:      make(chan struct{}),
+		slices:    map[string]*sliceRec{},
+	}
+	r.slo = r.declareSLOs()
+	r.slo.Instrument(reg)
+	return r, nil
 }
 
 // Registry exposes the metrics registry (read-side: GET /metrics).
@@ -273,12 +307,28 @@ func (r *Reconciler) drain() {
 			state = rec.state
 		}
 		r.drained = append(r.drained, fmt.Sprintf("%s %s", id, state))
+		r.timelines.Append(id, obs.TimelineEntry{
+			Epoch:  r.epoch,
+			Kind:   obs.KindDecision,
+			Event:  "drain",
+			Detail: string(state),
+		})
 		if r.trc != nil {
 			r.trc.LogAttrs(context.Background(), slog.LevelInfo, "decision",
 				slog.String("event", "drain_checkpoint"),
 				slog.String("slice", id),
 				slog.String("state", string(state)),
 				slog.Int("epoch", r.epoch))
+		}
+	}
+	// Flush every per-slice timeline next to the event log so the flight
+	// record survives the process, then sync the trace-file sink.
+	if err := r.flushTimelines(); err != nil {
+		r.diags = append(r.diags, err)
+	}
+	if r.traceSync != nil {
+		if err := r.traceSync(); err != nil {
+			r.diags = append(r.diags, fmt.Errorf("serve: trace sync: %w", err))
 		}
 	}
 	if err := r.log.Close(); err != nil {
@@ -370,6 +420,7 @@ func (r *Reconciler) StepNow() error {
 
 // handle dispatches one queued command on the reconciler goroutine.
 func (r *Reconciler) handle(c command) {
+	r.eng.NoteEpoch(r.epoch)
 	var res cmdResult
 	switch c.kind {
 	case cmdCreate:
@@ -442,9 +493,27 @@ func (r *Reconciler) event(rec *sliceRec, op Op, detail string) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrConflict, err)
 	}
-	r.log.Append(Event{Epoch: r.epoch, Slice: rec.id, Op: op, From: rec.state, To: to, Detail: detail})
+	stamped := r.log.Append(Event{Epoch: r.epoch, Slice: rec.id, Op: op, From: rec.state, To: to, Detail: detail})
 	rec.state = to
+	// Mirror the transition on the slice's flight-recorder timeline,
+	// cross-referenced to the event log by sequence number.
+	r.timelines.Append(rec.id, obs.TimelineEntry{
+		Epoch:  r.epoch,
+		Kind:   obs.KindTransition,
+		Event:  string(to),
+		Site:   string(rec.site),
+		Detail: string(op) + detailSep(detail) + detail,
+		LogSeq: stamped.Seq,
+	})
 	return nil
+}
+
+// detailSep joins an op name and a non-empty detail with a space.
+func detailSep(detail string) string {
+	if detail == "" {
+		return ""
+	}
+	return " "
 }
 
 // create runs the full request → admission-decision path for one POST.
@@ -653,6 +722,7 @@ func (r *Reconciler) shardGroups(ids []string) [][]string {
 }
 
 func (r *Reconciler) stepErr() error {
+	r.eng.NoteEpoch(r.epoch)
 	r.liveBuf = r.eng.LiveAppend(r.liveBuf[:0])
 	ids := r.stepIDs[:0]
 	for _, id := range r.liveBuf {
@@ -666,13 +736,16 @@ func (r *Reconciler) stepErr() error {
 		r.met.recordState(r.epoch, len(r.liveBuf))
 	}()
 	if len(ids) == 0 {
+		r.recordEpoch(len(r.liveBuf), ids, nil)
 		return nil
 	}
 	groups := r.shardGroups(ids)
 	barrier := time.Now()
 	err := r.sys.StepGroups(groups)
 	r.met.recordTick(len(groups), len(ids), barrier)
-	for _, id := range ids {
+	qoes := make([]float64, len(ids))
+	for i, id := range ids {
+		qoes[i] = math.NaN()
 		rec := r.slices[id]
 		inst, ok := r.sys.Slice(id)
 		if !ok || len(inst.QoEs) == 0 {
@@ -685,7 +758,9 @@ func (r *Reconciler) stepErr() error {
 		rec.epochs++
 		rec.lastQoE = qoe
 		rec.qoeSum += qoe
+		qoes[i] = qoe
 	}
+	r.recordEpoch(len(r.liveBuf), ids, qoes)
 	if err != nil {
 		return fmt.Errorf("serve: step epoch %d: %w", r.epoch, err)
 	}

@@ -9,7 +9,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
+
+	"github.com/atlas-slicing/atlas/internal/obs"
 )
 
 // Server fronts one Reconciler with the HTTP+JSON slice-lifecycle API:
@@ -25,6 +28,9 @@ import (
 //	GET    /healthz                 liveness + counters
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /stats                   JSON introspection snapshot
+//	GET    /history?series=a,b&since=N   flight-recorder time series
+//	GET    /slices/{id}/timeline    one slice's flight-recorder timeline
+//	GET    /slo                     SLO evaluation with burn rates
 //
 // Handlers only marshal: every mutation round-trips through the
 // reconciler goroutine, so concurrent clients serialize there.
@@ -65,10 +71,13 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /slices/{id}/modify", s.handleModify)
 	handle("POST /slices/{id}/deactivate", s.lifecycle(OpDeactivate))
 	handle("DELETE /slices/{id}", s.lifecycle(OpDelete))
+	handle("GET /slices/{id}/timeline", s.handleTimeline)
 	handle("GET /events", s.handleEvents)
 	handle("GET /healthz", s.handleHealth)
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /stats", s.handleStats)
+	handle("GET /history", s.handleHistory)
+	handle("GET /slo", s.handleSLO)
 	return mux
 }
 
@@ -275,4 +284,60 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleHistory serves the flight-recorder time series. ?series=a,b
+// restricts to the named series (default: all, in registration order);
+// ?since=N restricts to samples with epoch >= N. The recorder's rings
+// are internally locked, so no reconciler round-trip is needed.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: since=%q", ErrBadRequest, q))
+			return
+		}
+		since = n
+	}
+	var names []string
+	if q := r.URL.Query().Get("series"); q != "" {
+		for _, name := range strings.Split(q, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	rec := s.rec.Flight()
+	series := rec.History(names, since)
+	if series == nil {
+		series = []obs.SeriesHistory{}
+	}
+	writeJSON(w, http.StatusOK, HistoryView{Series: series, Available: rec.Names()})
+}
+
+// handleTimeline serves one slice's flight-recorder timeline.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.rec.Timelines().Get(id)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: no timeline for %q", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSLO serves the objective evaluation with burn rates.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	objectives := s.rec.SLO().Evaluate()
+	if objectives == nil {
+		objectives = []obs.SLOStatus{}
+	}
+	breached := 0
+	for _, o := range objectives {
+		if o.Status == obs.SLOBreached {
+			breached++
+		}
+	}
+	writeJSON(w, http.StatusOK, SLOView{Objectives: objectives, Breached: breached})
 }

@@ -2,12 +2,19 @@
 # bench_obs.sh — run the observability-overhead benchmarks and emit the
 # BENCH_8 snapshot: the BENCH_7 one-shard-per-site workload with the
 # full observability plane attached (metrics registry + discarded JSON
-# decision trace) against its uninstrumented twin.
+# decision trace + flight recorder + per-slice timelines) against its
+# uninstrumented twin.
 #
-#	scripts/bench_obs.sh               # writes BENCH_8.json
+#	scripts/bench_obs.sh               # writes BENCH_8.json (best-of-3)
 #	scripts/bench_obs.sh out.json      # custom output path
 #	BENCHTIME=1x scripts/bench_obs.sh  # CI smoke budget
-#	COUNT=3 scripts/bench_obs.sh       # best-of-3 (min ns per variant)
+#	COUNT=5 scripts/bench_obs.sh       # best-of-5 (min ns per variant)
+#
+# Both variants run in ONE `go test` invocation so they share a binary,
+# a warmed-up process, and interleaved repetitions — comparing two
+# separate processes at smoke budgets measured scheduler luck, not
+# instrumentation overhead. COUNT repetitions per variant are folded to
+# the minimum-ns one before the ratio is taken.
 #
 # Guardrails: the metrics-on-vs-off parity tests must pass first (the
 # observability plane is result-invariant by construction — a cheap
@@ -15,20 +22,26 @@
 # drift in the result fingerprint between the instrumented and
 # uninstrumented runs fails; and the instrumented run must sustain at
 # least ATLAS_OBS_OVERHEAD_FLOOR (default 0.9) of the uninstrumented
-# arrivals/sec at real budgets (relaxed to 0.75 on the noisy 1x smoke).
+# arrivals/sec at real budgets (relaxed to 0.8 on the noisy 1x smoke:
+# single-run iterations genuinely jitter by ~10-20% there, and a
+# tighter floor flaked on noise rather than catching regressions).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-1x}"
-count="${COUNT:-1}"
+count="${COUNT:-3}"
 
 # Result-invariance first: instrumented runs must replay uninstrumented
 # runs bit-identically before any overhead number means anything.
 go test -run 'TestFleetObsParity' ./internal/fleet
 
-raw="$(go test -run '^$' -bench '^BenchmarkFleetStepSharded$/^shards=5$' -benchtime "$benchtime" -count "$count" .
-	go test -run '^$' -bench '^BenchmarkFleetStepInstrumented$' -benchtime "$benchtime" -count "$count" .)"
+# One invocation, both variants: both benchmarks expose a shards=5
+# sub-run, so one slash pattern selects exactly the one-shard-per-site
+# workload from each.
+raw="$(go test -run '^$' \
+	-bench '^(BenchmarkFleetStepSharded|BenchmarkFleetStepInstrumented)$/^shards=5$' \
+	-benchtime "$benchtime" -count "$count" .)"
 echo "$raw"
 
 printf '%s\n' "$raw" | awk -v go_version="$(go env GOVERSION)" -v benchtime="$benchtime" \
@@ -54,7 +67,7 @@ END {
 	printf "  \"count\": %d,\n", count
 	printf "  \"gomaxprocs\": %d,\n", maxprocs
 	printf "  \"fleet\": {\"scenario\": \"churn\", \"topology\": \"hotspot-cell\", \"sites\": 5, \"shards\": 5, \"horizon\": 60, \"seed\": 42, \"placement\": \"locality\", \"admission\": \"first-fit\"},\n"
-	printf "  \"instrumentation\": {\"metrics\": \"obs.Registry (full stack)\", \"trace\": \"slog JSON to io.Discard\"},\n"
+	printf "  \"instrumentation\": {\"metrics\": \"obs.Registry (full stack)\", \"trace\": \"slog JSON to io.Discard\", \"recorder\": \"obs.Recorder fleet series\", \"timelines\": \"obs.TimelineStore per-slice\"},\n"
 	printf "  \"variants\": [\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
@@ -96,10 +109,13 @@ ins = variants["Instrumented"]
 for key in ("qoe_value", "acceptance_ratio", "placement_ratio", "imbalance", "peak_live_slices"):
     assert ins[key] == ref[key], f"Instrumented: {key} = {ins[key]} drifts from {ref[key]}"
 
-# Overhead guardrail: counters are lock-free atomics and the trace is a
-# formatting pass over already-made decisions, so the instrumented run
-# must keep at least the floor fraction of uninstrumented throughput.
-floor = float(os.environ.get("ATLAS_OBS_OVERHEAD_FLOOR", "0.75" if smoke else "0.9"))
+# Overhead guardrail: counters are lock-free atomics, the trace is a
+# formatting pass over already-made decisions, and the recorder is a
+# handful of mutex-guarded ring appends per epoch, so the instrumented
+# run must keep at least the floor fraction of uninstrumented
+# throughput. The smoke floor is looser because 1x iterations are
+# genuinely noisy, not because the overhead is larger there.
+floor = float(os.environ.get("ATLAS_OBS_OVERHEAD_FLOOR", "0.8" if smoke else "0.9"))
 ratio = ins["arrivals_per_sec"] / ref["arrivals_per_sec"]
 assert ratio >= floor, f"instrumented throughput {ratio:.3f}x of uninstrumented, floor {floor}"
 

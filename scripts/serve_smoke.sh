@@ -9,10 +9,15 @@
 #   2. the daemon exits 0 after a graceful drain (race detector clean),
 #   3. the drain checkpoints every still-commissioned slice exactly
 #      once (the parallel per-site tick must never double-checkpoint),
-#   4. replaying the event log reproduces the API's final slice states.
+#   4. replaying the event log reproduces the API's final slice states,
+#   5. the flight recorder answers: /history carries sampled fleet
+#      series, /slices/{id}/timeline cross-references every event-log
+#      transition, /slo names every declared objective, and the drain
+#      flushes per-slice timeline files plus the fsync'd -trace-file.
 #
 #	scripts/serve_smoke.sh           # run with defaults
 #	PORT=18099 scripts/serve_smoke.sh
+#	SMOKE_ARTIFACT_DIR=out scripts/serve_smoke.sh  # keep drained artifacts
 #
 # Training budgets are shrunk via -stage1-iters/-stage2-iters/-pool so
 # the whole smoke stays in CI seconds; the lifecycle and the log replay
@@ -33,6 +38,7 @@ go build -race -o "${workdir}/atlas" ./cmd/atlas
 	-scenario churn \
 	-topology hotspot-cell \
 	-serve-log "$log" \
+	-trace-file "${workdir}/trace.jsonl" \
 	-tick 150ms \
 	-stage1-iters 10 -stage2-iters 12 -pool 100 \
 	>"${workdir}/serve.out" 2>&1 &
@@ -138,6 +144,64 @@ jq -e '.epoch >= 1
 }
 echo "ok: /stats is a coherent snapshot"
 
+# Flight recorder: /history must expose the sampled fleet series, every
+# one carrying at least one point, with the available list matching the
+# default (all-series) response; the ?series filter must restrict it.
+curl -sf "${base}/history" >"${workdir}/history.json"
+jq -e '(.series | length) >= 6
+	and ((.available | sort) == ([.series[].name] | sort))
+	and ([.series[] | select((.points | length) < 1)] | length) == 0
+	and ([.series[].name] | index("live") != null)
+	and ([.series[].name] | index("acceptance_ratio") != null)
+	and ([.series[].name] | index("qoe_mean") != null)
+	and ([.series[].name | select(startswith("site_ran_util:"))] | length) >= 1' \
+	"${workdir}/history.json" >/dev/null || {
+	echo "FAIL: /history malformed or missing series:"
+	cat "${workdir}/history.json"
+	exit 1
+}
+curl -sf "${base}/history?series=operating" | jq -e '.series | length == 1 and .[0].name == "operating"' >/dev/null || {
+	echo "FAIL: /history?series= filter broken"
+	exit 1
+}
+echo "ok: /history carries $(jq '.series | length' "${workdir}/history.json") sampled series"
+
+# Per-slice timeline: every event-log transition for the smoke slice
+# must appear exactly once (cross-referenced by log_seq), alongside the
+# engine's decision entries and the per-epoch QoE samples.
+ev_smoke="$(curl -sf "${base}/events" | jq '[.[] | select(.slice == "smoke")] | length')"
+curl -sf "${base}/slices/smoke/timeline" >"${workdir}/timeline.json"
+jq -e --argjson n "$ev_smoke" '.slice == "smoke"
+	and ([.entries[] | select(.kind == "transition")] | length) == $n
+	and ([.entries[] | select(.kind == "transition") | .log_seq] | unique | length) == $n
+	and ([.entries[] | select(.kind == "decision")] | length) >= 2
+	and ([.entries[] | select(.kind == "decision") | .seq] | all(. >= 1))
+	and ([.entries[] | select(.kind == "sample")] | length) >= 1' \
+	"${workdir}/timeline.json" >/dev/null || {
+	echo "FAIL: /slices/smoke/timeline incomplete (event log has ${ev_smoke} transitions):"
+	cat "${workdir}/timeline.json"
+	exit 1
+}
+echo "ok: timeline cross-references all ${ev_smoke} event-log transitions"
+
+# SLO report: every declared objective must be named — the admission
+# p95 ceiling, the per-class QoE-violation ceilings for all four churn
+# classes, and the placement-ratio floor (which has data on this
+# topology run).
+curl -sf "${base}/slo" >"${workdir}/slo.json"
+jq -e '([.objectives[].name] | sort) == (["admission-p95-latency", "placement-ratio",
+		"qoe-violation-rate:video-analytics", "qoe-violation-rate:teleop",
+		"qoe-violation-rate:iot-telemetry", "qoe-violation-rate:embb-streaming"] | sort)
+	and ([.objectives[] | select(.name == "admission-p95-latency")][0].status != "no_data")
+	and ([.objectives[] | select(.name == "placement-ratio")][0].status != "no_data")
+	and ([.objectives[] | select(.status == "breached")] | length) == .breached' \
+	"${workdir}/slo.json" >/dev/null || {
+	echo "FAIL: /slo report incomplete:"
+	cat "${workdir}/slo.json"
+	exit 1
+}
+echo "ok: /slo names every declared objective"
+
 # Snapshot the API's view of every slice state, then drain.
 curl -sf "${base}/slices" | jq -S 'map({key: .id, value: .state}) | from_entries' >"${workdir}/api-states.json"
 
@@ -175,6 +239,35 @@ if [ -n "$dups" ]; then
 fi
 echo "ok: drain checkpointed every live slice exactly once"
 
+# The drain must have flushed one timeline file per tracked slice next
+# to the event log, each parsing back to the slice it names with a
+# drain entry for the still-commissioned ones.
+for id in smoke smoke-2 smoke-3; do
+	f="${workdir}/timelines/${id}.json"
+	[ -s "$f" ] || { echo "FAIL: drained timeline ${f} missing"; ls -la "${workdir}/timelines" || true; exit 1; }
+	jq -e --arg id "$id" '.slice == $id and (.entries | length) >= 1' "$f" >/dev/null || {
+		echo "FAIL: drained timeline ${f} malformed"
+		cat "$f"
+		exit 1
+	}
+done
+jq -e '[.entries[] | select(.event == "drain")] | length == 1' "${workdir}/timelines/smoke-3.json" >/dev/null || {
+	echo "FAIL: drained timeline for smoke-3 lacks its drain entry"
+	cat "${workdir}/timelines/smoke-3.json"
+	exit 1
+}
+echo "ok: drain flushed per-slice timeline files"
+
+# The -trace-file sink must hold the decision records, fsync'd by the
+# drain: at least one admit per admitted smoke slice.
+admits="$(grep -c '"event":"admit"' "${workdir}/trace.jsonl" || true)"
+if [ "$admits" -lt 3 ]; then
+	echo "FAIL: -trace-file has $admits admit records, want >= 3"
+	cat "${workdir}/trace.jsonl"
+	exit 1
+fi
+echo "ok: -trace-file holds $admits admit records"
+
 # Crash-recovery contract: folding the event log alone must reproduce
 # exactly the final states the live API last reported.
 "${workdir}/atlas" serve -replay "$log" | jq -S . >"${workdir}/replayed-states.json"
@@ -183,4 +276,13 @@ if ! diff -u "${workdir}/api-states.json" "${workdir}/replayed-states.json"; the
 	exit 1
 fi
 echo "ok: event log replays to identical final states"
+
+# Keep the drained flight-recorder artifacts for the CI workflow to
+# upload (timeline files, decision trace, event log, daemon output).
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+	mkdir -p "$SMOKE_ARTIFACT_DIR"
+	cp -r "${workdir}/timelines" "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+	cp "${workdir}/trace.jsonl" "$log" "${workdir}/serve.out" "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+	echo "ok: drained artifacts copied to $SMOKE_ARTIFACT_DIR"
+fi
 echo "PASS: serve smoke"
